@@ -1,0 +1,461 @@
+// Package phoebedb_test holds the top-level benchmark suite: one testing.B
+// target per table/figure of the paper's evaluation (Exp 1–9) plus the
+// design-choice ablations from DESIGN.md. `go test -bench=.` runs short
+// versions; cmd/phoebebench runs the full figure-regeneration harness.
+package phoebedb_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/internal/bench"
+	"phoebedb/internal/btree"
+	"phoebedb/internal/clock"
+	"phoebedb/internal/swizzle"
+	"phoebedb/internal/tpcc"
+)
+
+// benchCfg returns a short harness configuration sized for testing.B runs.
+func benchCfg(b *testing.B) bench.Config {
+	b.Helper()
+	return bench.Config{
+		Seconds:        1,
+		MaxWorkers:     minInt(4, runtime.GOMAXPROCS(0)),
+		SlotsPerWorker: 8,
+		Out:            discard{},
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reportTpm attaches throughput metrics to the benchmark result.
+func reportTpm(b *testing.B, name string, tpm float64) {
+	b.ReportMetric(tpm, name+"-tpm")
+}
+
+// BenchmarkExp1TpmC regenerates Figure 7(a): tpmC at increasing warehouse
+// and worker counts.
+func BenchmarkExp1TpmC(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp1TpmC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.TpmC <= 0 {
+					b.Fatalf("zero tpmC at %d warehouses", r.Warehouses)
+				}
+			}
+			reportTpm(b, "peak", rows[len(rows)-1].TpmC)
+		}
+	}
+}
+
+// BenchmarkExp2Scalability regenerates Figure 8: throughput vs workers.
+func BenchmarkExp2Scalability(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp2Scalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(rows) >= 2 {
+			first, last := rows[0], rows[len(rows)-1]
+			if last.Tpm < first.Tpm {
+				b.Logf("warning: no scaling: %0.f -> %0.f", first.Tpm, last.Tpm)
+			}
+			reportTpm(b, "max", last.Tpm)
+		}
+	}
+}
+
+// BenchmarkExp3WALFlush regenerates Figure 7(b): sustained WAL bandwidth.
+func BenchmarkExp3WALFlush(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp3WALFlush(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var sum float64
+			for _, r := range rows {
+				sum += r.WALMBps
+			}
+			if len(rows) > 0 {
+				b.ReportMetric(sum/float64(len(rows)), "WAL-MBps")
+			}
+		}
+	}
+}
+
+// BenchmarkExp4DiskIO regenerates Figure 7(c,d): data exchange bandwidth
+// and tpmC over time under a constrained buffer.
+func BenchmarkExp4DiskIO(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp4DiskIO(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var rd, wr float64
+			for _, r := range rows {
+				rd += r.ReadMBps
+				wr += r.WriteMBps
+			}
+			if n := float64(len(rows)); n > 0 {
+				b.ReportMetric(rd/n, "read-MBps")
+				b.ReportMetric(wr/n, "write-MBps")
+			}
+		}
+	}
+}
+
+// BenchmarkExp5BufferSize regenerates Figure 10: the buffer-size sweep.
+func BenchmarkExp5BufferSize(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp5BufferSize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(rows) >= 2 {
+			reportTpm(b, "smallest-buffer", rows[0].Tpm)
+			reportTpm(b, "largest-buffer", rows[len(rows)-1].Tpm)
+		}
+	}
+}
+
+// BenchmarkExp6CoroutineVsThread regenerates Figure 11.
+func BenchmarkExp6CoroutineVsThread(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Exp6CoroutineVsThread(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				reportTpm(b, r.Model, r.Tpm)
+			}
+		}
+	}
+}
+
+// BenchmarkExp7Breakdown regenerates Figure 12: component cost shares.
+func BenchmarkExp7Breakdown(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Exp7Breakdown(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res {
+				for _, s := range r.Shares {
+					if s.Component == "effective computation" {
+						name := "compute-frac-affinity-off"
+						if r.Affinity {
+							name = "compute-frac-affinity-on"
+						}
+						b.ReportMetric(s.Fraction, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkExp8VsBaseline regenerates Figure 9 and the headline 27× claim.
+func BenchmarkExp8VsBaseline(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Exp8VsBaseline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Speedup, "speedup-x")
+			b.ReportMetric(res.NewOrderSpeedup, "neworder-speedup-x")
+			b.ReportMetric(res.PaymentSpeedup, "payment-speedup-x")
+		}
+	}
+}
+
+// BenchmarkExp9ODB regenerates the Exp 9 comparison against the I/O-bound
+// commercial system model.
+func BenchmarkExp9ODB(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Exp9ODB(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTpm(b, "phoebe", res.PhoebeTpm)
+			reportTpm(b, "odb", res.ODBTpm)
+			b.ReportMetric(res.ODBCPUUtil, "odb-cpu-util")
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------------
+
+// BenchmarkAblationRFA toggles Remote Flush Avoidance.
+func BenchmarkAblationRFA(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		row, err := bench.AblationRFA(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTpm(b, "rfa-on", row.OnTpm)
+			reportTpm(b, "rfa-off", row.OffTpm)
+		}
+	}
+}
+
+// BenchmarkAblationHybridLock toggles optimistic lock coupling on index
+// B-Trees (pessimistic latch coupling otherwise).
+func BenchmarkAblationHybridLock(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		row, err := bench.AblationHybridLock(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportTpm(b, "olc-on", row.OnTpm)
+			reportTpm(b, "olc-off", row.OffTpm)
+		}
+	}
+}
+
+// BenchmarkAblationSnapshot compares PhoebeDB's O(1) timestamp snapshot
+// against a PostgreSQL-style active-list scan with many open transactions.
+func BenchmarkAblationSnapshot(b *testing.B) {
+	const activeTxns = 512
+	b.Run("phoebe-O1", func(b *testing.B) {
+		c := clock.New()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = c.Snapshot()
+			}
+		})
+	})
+	b.Run("scan-active-list", func(b *testing.B) {
+		var mu sync.Mutex
+		active := make(map[uint64]bool, activeTxns)
+		for i := uint64(0); i < activeTxns; i++ {
+			active[i] = true
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				snap := make(map[uint64]bool, len(active))
+				for x := range active {
+					snap[x] = true
+				}
+				mu.Unlock()
+				_ = snap
+			}
+		})
+	})
+}
+
+// BenchmarkAblationSwizzle compares a swizzled pointer dereference against
+// the global page-table lookup it replaces (§5.3).
+func BenchmarkAblationSwizzle(b *testing.B) {
+	type page struct{ data [64]byte }
+	b.Run("swizzled-pointer", func(b *testing.B) {
+		var s swizzle.Swip[page]
+		s.Swizzle(&page{})
+		b.RunParallel(func(pb *testing.PB) {
+			var sink byte
+			for pb.Next() {
+				sink += s.Ptr().data[0]
+			}
+			_ = sink
+		})
+	})
+	b.Run("global-hash-table", func(b *testing.B) {
+		var mu sync.RWMutex
+		table := map[uint64]*page{}
+		for i := uint64(0); i < 4096; i++ {
+			table[i] = &page{}
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			var sink byte
+			i := uint64(0)
+			for pb.Next() {
+				mu.RLock()
+				sink += table[i%4096].data[0]
+				mu.RUnlock()
+				i++
+			}
+			_ = sink
+		})
+	})
+}
+
+// BenchmarkAblationIndexOLC measures raw index lookup throughput with and
+// without optimistic lock coupling under concurrent writers.
+func BenchmarkAblationIndexOLC(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		pess bool
+	}{{"optimistic", false}, {"pessimistic", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr := btree.New()
+			tr.Pessimistic = mode.pess
+			var key [8]byte
+			for i := 0; i < 100000; i++ {
+				key[7], key[6], key[5] = byte(i), byte(i>>8), byte(i>>16)
+				tr.Insert(key[:], uint64(i))
+			}
+			stop := make(chan struct{})
+			go func() {
+				var k [8]byte
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k[7], k[6], k[5] = byte(i), byte(i>>8), byte(i>>16)
+					tr.Insert(k[:], uint64(i))
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var k [8]byte
+				i := 0
+				for pb.Next() {
+					k[7], k[6], k[5] = byte(i), byte(i>>8), byte(i>>16)
+					tr.Lookup(k[:])
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+		})
+	}
+}
+
+// BenchmarkPointTransactions measures raw single-row transaction latency
+// through the public API (insert-and-commit, read-only).
+func BenchmarkPointTransactions(b *testing.B) {
+	db, err := phoebedb.Open(phoebedb.Options{
+		Dir: b.TempDir(), Workers: 2, SlotsPerWorker: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("kv", phoebedb.NewSchema(
+		phoebedb.Column{Name: "k", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "v", Type: phoebedb.TString},
+	)); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "kv_pk", []string{"k"}, true); err != nil {
+		b.Fatal(err)
+	}
+	var insertSeq int64
+	b.Run("insert-commit", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			insertSeq++
+			i := insertSeq
+			if err := db.Execute(func(tx *phoebedb.Tx) error {
+				_, err := tx.Insert("kv", phoebedb.Row{phoebedb.Int(i), phoebedb.Str("value")})
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("point-read", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if err := db.Execute(func(tx *phoebedb.Tx) error {
+				_, _, _, err := tx.GetByIndex("kv", "kv_pk", phoebedb.Int(1))
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTPCCNewOrderLatency measures the New-Order profile end to end.
+func BenchmarkTPCCNewOrderLatency(b *testing.B) {
+	setup, err := bench.NewPhoebe(tpcc.Small(1), 2, 4, false, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer setup.Close()
+	b.ResetTimer()
+	res := tpcc.Run(setup.Backend, tpcc.DriverConfig{
+		Scale:        setup.Scale,
+		Terminals:    4,
+		Transactions: int64(b.N),
+		Affinity:     true,
+		Seed:         42,
+	})
+	b.StopTimer()
+	if res.PerTxnNanos[tpcc.TxnNewOrder] > 0 {
+		b.ReportMetric(res.PerTxnNanos[tpcc.TxnNewOrder]/1e3, "neworder-us")
+	}
+	_ = time.Now
+}
+
+// BenchmarkAblationTwinTable compares the paper's page-level twin table
+// (sidecar created only for modified pages) against the naive alternative
+// it replaces: a version pointer appended to every tuple. The measured
+// quantity is the visibility probe on clean tuples — the common case in
+// TP-heavy workloads where most tuples have no history (§6.2).
+func BenchmarkAblationTwinTable(b *testing.B) {
+	const tuples = 4096
+	b.Run("twin-table-absent", func(b *testing.B) {
+		// Clean page: no twin table at all; the probe is one nil check.
+		var twin map[int]*struct{ head *int }
+		var sink int
+		for i := 0; i < b.N; i++ {
+			if twin != nil {
+				if e := twin[i%tuples]; e != nil && e.head != nil {
+					sink += *e.head
+				}
+			}
+		}
+		_ = sink
+	})
+	b.Run("per-tuple-pointers", func(b *testing.B) {
+		// Naive design: every tuple carries a chain pointer that must be
+		// loaded and checked, and occupies memory on every page.
+		ptrs := make([]*int, tuples)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			if p := ptrs[i%tuples]; p != nil {
+				sink += *p
+			}
+		}
+		_ = sink
+		b.ReportMetric(float64(tuples*8), "bytes-per-page-overhead")
+	})
+}

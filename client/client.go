@@ -1,0 +1,153 @@
+// Package client is the Go driver for a standalone PhoebeDB server
+// (cmd/phoebeserver): it speaks the newline-delimited SQL protocol of
+// internal/server.
+//
+//	c, _ := client.Dial("localhost:5440")
+//	defer c.Close()
+//	c.Exec("CREATE TABLE t (id INT, v STRING)")
+//	res, _ := c.Exec("SELECT * FROM t WHERE id = 1")
+//	fmt.Println(res.Rows)
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one statement's outcome.
+type Result struct {
+	// Columns and Rows are set for SELECT (rows as decoded strings).
+	Columns []string
+	Rows    [][]string
+	// Affected is set for writes and DDL.
+	Affected int
+}
+
+// Conn is one client connection. Not safe for concurrent use; open one
+// per goroutine (a connection is a session).
+type Conn struct {
+	c net.Conn
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+// Dial connects to a PhoebeDB server.
+func Dial(addr string) (*Conn, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a bound on connection establishment.
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Conn{c: c, r: sc, w: bufio.NewWriter(c)}, nil
+}
+
+// Close terminates the session.
+func (c *Conn) Close() error {
+	fmt.Fprintln(c.w, "quit")
+	c.w.Flush()
+	return c.c.Close()
+}
+
+// Exec sends one SQL statement and parses the response.
+func (c *Conn) Exec(query string) (Result, error) {
+	if strings.ContainsAny(query, "\n\r") {
+		return Result{}, fmt.Errorf("client: statement must be a single line")
+	}
+	if _, err := fmt.Fprintln(c.w, query); err != nil {
+		return Result{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Result{}, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return Result{}, err
+	}
+	switch {
+	case strings.HasPrefix(line, "ERR "):
+		return Result{}, fmt.Errorf("client: server: %s", line[4:])
+	case strings.HasPrefix(line, "OK "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+		if err != nil {
+			return Result{}, fmt.Errorf("client: bad OK line %q", line)
+		}
+		return Result{Affected: n}, nil
+	case strings.HasPrefix(line, "ROWS "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[5:]))
+		if err != nil || n < 0 {
+			return Result{}, fmt.Errorf("client: bad ROWS line %q", line)
+		}
+		header, err := c.readLine()
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Columns: strings.Split(header, "\t")}
+		for i := 0; i < n; i++ {
+			row, err := c.readLine()
+			if err != nil {
+				return Result{}, err
+			}
+			fields := strings.Split(row, "\t")
+			for j, f := range fields {
+				fields[j] = decodeField(f)
+			}
+			res.Rows = append(res.Rows, fields)
+		}
+		endLine, err := c.readLine()
+		if err != nil {
+			return Result{}, err
+		}
+		if endLine != "END" {
+			return Result{}, fmt.Errorf("client: protocol error: expected END, got %q", endLine)
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("client: protocol error: %q", line)
+	}
+}
+
+func (c *Conn) readLine() (string, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("client: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+// decodeField reverses the server's string escaping.
+func decodeField(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

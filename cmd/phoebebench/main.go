@@ -1,0 +1,76 @@
+// Command phoebebench regenerates the paper's evaluation (§9): every
+// table and figure as a laptop-scale run. Each experiment prints the rows
+// or time series of its figure.
+//
+// Usage:
+//
+//	phoebebench -exp all            # run the full evaluation
+//	phoebebench -exp 1              # Figure 7(a): tpmC vs scale
+//	phoebebench -exp 8 -seconds 10  # the PostgreSQL comparison, longer run
+//	phoebebench -exp ablations      # the design-choice ablations
+//
+// Flags tune duration, worker cap, slot depth, and WAL fsync.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phoebedb/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: 1-9, 'ablations', or 'all'")
+		seconds = flag.Float64("seconds", 3, "measured duration per run")
+		workers = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
+		slots   = flag.Int("slots", 32, "task slots per worker (paper: 32)")
+		walSync = flag.Bool("walsync", true, "fsync WAL on commit (the paper's evaluated setting)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seconds:        *seconds,
+		MaxWorkers:     *workers,
+		SlotsPerWorker: *slots,
+		WALSync:        *walSync,
+		Out:            os.Stdout,
+	}
+
+	var err error
+	switch *exp {
+	case "all":
+		err = bench.RunAll(cfg)
+	case "1":
+		_, err = bench.Exp1TpmC(cfg)
+	case "2":
+		_, err = bench.Exp2Scalability(cfg)
+	case "3":
+		_, err = bench.Exp3WALFlush(cfg)
+	case "4":
+		_, err = bench.Exp4DiskIO(cfg)
+	case "5":
+		_, err = bench.Exp5BufferSize(cfg)
+	case "6":
+		_, err = bench.Exp6CoroutineVsThread(cfg)
+	case "7":
+		_, err = bench.Exp7Breakdown(cfg)
+	case "8":
+		_, err = bench.Exp8VsBaseline(cfg)
+	case "9":
+		_, err = bench.Exp9ODB(cfg)
+	case "ablations":
+		if _, err = bench.AblationRFA(cfg); err == nil {
+			_, err = bench.AblationHybridLock(cfg)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command phoebeserver runs PhoebeDB as a standalone database server
+// (the paper's future-work item 1): it opens a database directory,
+// recovers it, and serves the newline-delimited SQL protocol on a TCP
+// port. Drive it with the client package or netcat:
+//
+//	$ phoebeserver -dir /var/lib/phoebe -listen :5440 &
+//	$ printf "CREATE TABLE t (id INT, v STRING)\nINSERT INTO t VALUES (1,'x')\nSELECT * FROM t\nquit\n" | nc localhost 5440
+//
+// Schema persistence: tables declared over SQL are recorded in a schema
+// journal (schema.sql in the data directory) and re-applied before WAL
+// recovery on restart.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/internal/server"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "phoebe-data", "database directory")
+		listen  = flag.String("listen", "127.0.0.1:5440", "listen address")
+		workers = flag.Int("workers", 0, "worker threads (default GOMAXPROCS)")
+		slots   = flag.Int("slots", 32, "task slots per worker")
+		walSync = flag.Bool("walsync", true, "fsync WAL on commit")
+	)
+	flag.Parse()
+
+	db, err := phoebedb.Open(phoebedb.Options{
+		Dir:            *dir,
+		Workers:        *workers,
+		SlotsPerWorker: *slots,
+		WALSync:        *walSync,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	// Replay the schema journal, then the WAL.
+	journal := filepath.Join(*dir, "schema.sql")
+	if applied, err := replaySchema(db, journal); err != nil {
+		fmt.Fprintln(os.Stderr, "schema journal:", err)
+		os.Exit(1)
+	} else if applied > 0 {
+		fmt.Printf("applied %d schema statements\n", applied)
+	}
+	if n, err := db.Recover(); err != nil {
+		fmt.Fprintln(os.Stderr, "recover:", err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Printf("recovered %d log records\n", n)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	srv := server.New(db)
+	srv.JournalDDL = func(stmt string) error { return appendSchema(journal, stmt) }
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("shutting down")
+		srv.Shutdown(l)
+	}()
+
+	fmt.Printf("phoebeserver listening on %s (data in %s)\n", *listen, *dir)
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// replaySchema re-applies CREATE statements from the journal.
+func replaySchema(db *phoebedb.DB, path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" {
+			continue
+		}
+		if _, err := db.ExecSQL(stmt); err != nil {
+			return n, fmt.Errorf("replay %q: %w", stmt, err)
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// appendSchema records a DDL statement durably.
+func appendSchema(path, stmt string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, stmt); err != nil {
+		return err
+	}
+	return f.Sync()
+}

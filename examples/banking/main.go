@@ -1,0 +1,184 @@
+// Command banking stresses PhoebeDB's concurrency control with the classic
+// bank-transfer workload: many concurrent transactions move money between
+// accounts while auditors repeatedly verify that the total balance is
+// conserved — exercising MVCC snapshots, write-conflict waits on
+// transaction-ID locks, repeatable-read aborts, and rollback.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	phoebedb "phoebedb"
+)
+
+const (
+	numAccounts    = 64
+	initialBalance = 1000.0
+	numWorkers     = 8
+	transfersEach  = 300
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "phoebe-banking-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := phoebedb.Open(phoebedb.Options{
+		Dir:            dir,
+		Workers:        4,
+		SlotsPerWorker: 8,
+		LockTimeout:    5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.CreateTable("accounts", phoebedb.NewSchema(
+		phoebedb.Column{Name: "acct", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "balance", Type: phoebedb.TFloat64},
+	)))
+	must(db.CreateIndex("accounts", "accounts_pk", []string{"acct"}, true))
+
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		for i := 0; i < numAccounts; i++ {
+			if _, err := tx.Insert("accounts", phoebedb.Row{
+				phoebedb.Int(int64(i)), phoebedb.Float(initialBalance),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	fmt.Printf("opened %d accounts with %.0f each\n", numAccounts, initialBalance)
+
+	var transfers, conflicts, audits atomic.Int64
+	stop := make(chan struct{})
+
+	// Auditors: snapshot reads must always see a conserved total, even
+	// while transfers are in flight (snapshot isolation at work).
+	var auditWG sync.WaitGroup
+	for a := 0; a < 2; a++ {
+		auditWG.Add(1)
+		go func() {
+			defer auditWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var total float64
+				err := db.ExecuteIso(phoebedb.RepeatableRead, func(tx *phoebedb.Tx) error {
+					total = 0
+					return tx.ScanTable("accounts", func(rid phoebedb.RowID, row phoebedb.Row) bool {
+						total += row[1].F
+						return true
+					})
+				})
+				if err != nil {
+					continue
+				}
+				audits.Add(1)
+				if total != numAccounts*initialBalance {
+					log.Fatalf("AUDIT FAILURE: total %.2f != %.2f", total, numAccounts*initialBalance)
+				}
+			}
+		}()
+	}
+
+	// Transfer workers.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < transfersEach; i++ {
+				from := rng.Int63n(numAccounts)
+				to := rng.Int63n(numAccounts)
+				if from == to {
+					continue
+				}
+				amount := float64(rng.Intn(50) + 1)
+				for {
+					err := db.Execute(func(tx *phoebedb.Tx) error {
+						return transfer(tx, from, to, amount)
+					})
+					if err == nil {
+						transfers.Add(1)
+						break
+					}
+					if errors.Is(err, errInsufficient) {
+						break // business rule, not a conflict
+					}
+					conflicts.Add(1) // lock timeout / serialization: retry
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	auditWG.Wait()
+	elapsed := time.Since(start)
+
+	// Final audit.
+	var total float64
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		return tx.ScanTable("accounts", func(rid phoebedb.RowID, row phoebedb.Row) bool {
+			total += row[1].F
+			return true
+		})
+	}))
+	fmt.Printf("completed %d transfers in %v (%.0f txn/s), %d retries, %d live audits\n",
+		transfers.Load(), elapsed.Round(time.Millisecond),
+		float64(transfers.Load())/elapsed.Seconds(), conflicts.Load(), audits.Load())
+	fmt.Printf("final total: %.2f (expected %.2f) — money conserved: %v\n",
+		total, numAccounts*initialBalance, total == numAccounts*initialBalance)
+	if total != numAccounts*initialBalance {
+		os.Exit(1)
+	}
+}
+
+var errInsufficient = errors.New("insufficient funds")
+
+// transfer moves amount between accounts with an overdraft check, using
+// atomic read-modify-writes.
+func transfer(tx *phoebedb.Tx, from, to int64, amount float64) error {
+	fromRID, _, ok, err := tx.GetByIndex("accounts", "accounts_pk", phoebedb.Int(from))
+	if err != nil || !ok {
+		return fmt.Errorf("account %d: %w", from, err)
+	}
+	toRID, _, ok, err := tx.GetByIndex("accounts", "accounts_pk", phoebedb.Int(to))
+	if err != nil || !ok {
+		return fmt.Errorf("account %d: %w", to, err)
+	}
+	if _, err := tx.Modify("accounts", fromRID, func(cur phoebedb.Row) (map[string]phoebedb.Value, error) {
+		if cur[1].F < amount {
+			return nil, errInsufficient
+		}
+		return map[string]phoebedb.Value{"balance": phoebedb.Float(cur[1].F - amount)}, nil
+	}); err != nil {
+		return err
+	}
+	_, err = tx.Modify("accounts", toRID, func(cur phoebedb.Row) (map[string]phoebedb.Value, error) {
+		return map[string]phoebedb.Value{"balance": phoebedb.Float(cur[1].F + amount)}, nil
+	})
+	return err
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

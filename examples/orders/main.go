@@ -1,0 +1,191 @@
+// Command orders is an order-entry application in the style of the TPC-C
+// workload that motivates the paper: warehouses take orders against a
+// stock table under high concurrency, with an order-status query path.
+// It prints a small throughput report (orders/minute — a mini tpmC).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	phoebedb "phoebedb"
+)
+
+const (
+	products  = 200
+	clerks    = 6
+	runFor    = 2 * time.Second
+	stockEach = 10000
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "phoebe-orders-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := phoebedb.Open(phoebedb.Options{
+		Dir:            dir,
+		Workers:        4,
+		SlotsPerWorker: 8,
+		LockTimeout:    5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	declare(db)
+	loadCatalog(db)
+
+	var orders, lines, outOfStock atomic.Int64
+	var nextOrderID atomic.Int64
+
+	start := time.Now()
+	deadline := start.Add(runFor)
+	var wg sync.WaitGroup
+	for c := 0; c < clerks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 99))
+			for time.Now().Before(deadline) {
+				oID := nextOrderID.Add(1)
+				nLines := rng.Intn(5) + 1
+				err := db.Execute(func(tx *phoebedb.Tx) error {
+					if _, err := tx.Insert("orders", phoebedb.Row{
+						phoebedb.Int(oID), phoebedb.Int(int64(c)), phoebedb.Int(time.Now().UnixNano()),
+					}); err != nil {
+						return err
+					}
+					for l := 0; l < nLines; l++ {
+						pid := rng.Int63n(products)
+						qty := int64(rng.Intn(5) + 1)
+						prodRID, _, ok, err := tx.GetByIndex("products", "products_pk", phoebedb.Int(pid))
+						if err != nil || !ok {
+							return fmt.Errorf("product %d: %w", pid, err)
+						}
+						// Atomically decrement stock with an availability check.
+						if _, err := tx.Modify("products", prodRID, func(cur phoebedb.Row) (map[string]phoebedb.Value, error) {
+							if cur[2].I < qty {
+								return nil, fmt.Errorf("out of stock: product %d", pid)
+							}
+							return map[string]phoebedb.Value{"stock": phoebedb.Int(cur[2].I - qty)}, nil
+						}); err != nil {
+							return err
+						}
+						if _, err := tx.Insert("order_lines", phoebedb.Row{
+							phoebedb.Int(oID), phoebedb.Int(int64(l)), phoebedb.Int(pid), phoebedb.Int(qty),
+						}); err != nil {
+							return err
+						}
+						lines.Add(1)
+					}
+					return nil
+				})
+				if err != nil {
+					outOfStock.Add(1)
+					continue
+				}
+				orders.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Order-status query for a sample of orders.
+	statusChecked := 0
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		for oID := int64(1); oID <= 5 && oID <= orders.Load(); oID++ {
+			n := 0
+			if err := tx.ScanIndex("order_lines", "order_lines_pk",
+				[]phoebedb.Value{phoebedb.Int(oID)},
+				func(rid phoebedb.RowID, row phoebedb.Row) bool {
+					n++
+					return true
+				}); err != nil {
+				return err
+			}
+			statusChecked++
+		}
+		return nil
+	}))
+
+	// Verify conservation: total stock removed equals line quantities.
+	var remaining, sold int64
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		if err := tx.ScanTable("products", func(rid phoebedb.RowID, row phoebedb.Row) bool {
+			remaining += row[2].I
+			return true
+		}); err != nil {
+			return err
+		}
+		return tx.ScanTable("order_lines", func(rid phoebedb.RowID, row phoebedb.Row) bool {
+			sold += row[3].I
+			return true
+		})
+	}))
+
+	opm := float64(orders.Load()) / elapsed.Minutes()
+	fmt.Printf("took %d orders (%d lines) in %v — %.0f orders/minute\n",
+		orders.Load(), lines.Load(), elapsed.Round(time.Millisecond), opm)
+	fmt.Printf("rejected (out of stock / conflicts): %d; status queries: %d\n", outOfStock.Load(), statusChecked)
+	fmt.Printf("stock audit: initial %d = remaining %d + sold %d : %v\n",
+		int64(products)*stockEach, remaining, sold, remaining+sold == int64(products)*stockEach)
+	if remaining+sold != int64(products)*stockEach {
+		os.Exit(1)
+	}
+}
+
+func declare(db *phoebedb.DB) {
+	must(db.CreateTable("products", phoebedb.NewSchema(
+		phoebedb.Column{Name: "pid", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "name", Type: phoebedb.TString},
+		phoebedb.Column{Name: "stock", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "price", Type: phoebedb.TFloat64},
+	)))
+	must(db.CreateIndex("products", "products_pk", []string{"pid"}, true))
+	must(db.CreateTable("orders", phoebedb.NewSchema(
+		phoebedb.Column{Name: "oid", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "clerk", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "placed_at", Type: phoebedb.TInt64},
+	)))
+	must(db.CreateIndex("orders", "orders_pk", []string{"oid"}, true))
+	must(db.CreateTable("order_lines", phoebedb.NewSchema(
+		phoebedb.Column{Name: "oid", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "line", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "pid", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "qty", Type: phoebedb.TInt64},
+	)))
+	must(db.CreateIndex("order_lines", "order_lines_pk", []string{"oid", "line"}, true))
+}
+
+func loadCatalog(db *phoebedb.DB) {
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		for p := 0; p < products; p++ {
+			if _, err := tx.Insert("products", phoebedb.Row{
+				phoebedb.Int(int64(p)),
+				phoebedb.Str(fmt.Sprintf("product-%03d", p)),
+				phoebedb.Int(stockEach),
+				phoebedb.Float(float64(p%50) + 0.99),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	fmt.Printf("catalog loaded: %d products, %d units each\n", products, stockEach)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

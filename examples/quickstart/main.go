@@ -1,0 +1,125 @@
+// Command quickstart is the smallest complete PhoebeDB program: open a
+// database, declare a table with two indexes, run transactions through the
+// co-routine pool, read data back three ways (point lookup, index scan,
+// table scan), and demonstrate rollback.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	phoebedb "phoebedb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "phoebe-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := phoebedb.Open(phoebedb.Options{Dir: dir, Workers: 2, SlotsPerWorker: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// DDL: a users table with a unique primary index and a secondary
+	// index on the city column.
+	must(db.CreateTable("users", phoebedb.NewSchema(
+		phoebedb.Column{Name: "id", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "name", Type: phoebedb.TString},
+		phoebedb.Column{Name: "city", Type: phoebedb.TString},
+		phoebedb.Column{Name: "score", Type: phoebedb.TFloat64},
+	)))
+	must(db.CreateIndex("users", "users_pk", []string{"id"}, true))
+	must(db.CreateIndex("users", "users_city", []string{"city"}, false))
+
+	// Insert a few rows in one transaction.
+	users := []struct {
+		id    int64
+		name  string
+		city  string
+		score float64
+	}{
+		{1, "ada", "london", 99.5},
+		{2, "grace", "arlington", 97.0},
+		{3, "edsger", "rotterdam", 95.5},
+		{4, "barbara", "london", 98.0},
+	}
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		for _, u := range users {
+			if _, err := tx.Insert("users", phoebedb.Row{
+				phoebedb.Int(u.id), phoebedb.Str(u.name), phoebedb.Str(u.city), phoebedb.Float(u.score),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	fmt.Println("inserted", len(users), "users")
+
+	// Point lookup through the unique index.
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		_, row, found, err := tx.GetByIndex("users", "users_pk", phoebedb.Int(2))
+		if err != nil || !found {
+			return fmt.Errorf("lookup failed: %v", err)
+		}
+		fmt.Printf("user 2: %s from %s (score %.1f)\n", row[1].S, row[2].S, row[3].F)
+		return nil
+	}))
+
+	// Secondary-index scan: everyone in London.
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		fmt.Println("londoners:")
+		return tx.ScanIndex("users", "users_city",
+			[]phoebedb.Value{phoebedb.Str("london")},
+			func(rid phoebedb.RowID, row phoebedb.Row) bool {
+				fmt.Printf("  %s (row_id %d)\n", row[1].S, rid)
+				return true
+			})
+	}))
+
+	// An in-place update, then a rollback demonstration.
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		rid, _, _, err := tx.GetByIndex("users", "users_pk", phoebedb.Int(1))
+		if err != nil {
+			return err
+		}
+		return tx.Update("users", rid, map[string]phoebedb.Value{"score": phoebedb.Float(100)})
+	}))
+	errRolledBack := db.Execute(func(tx *phoebedb.Tx) error {
+		rid, _, _, err := tx.GetByIndex("users", "users_pk", phoebedb.Int(1))
+		if err != nil {
+			return err
+		}
+		if err := tx.Update("users", rid, map[string]phoebedb.Value{"score": phoebedb.Float(0)}); err != nil {
+			return err
+		}
+		return fmt.Errorf("changed my mind") // non-nil return rolls back
+	})
+	fmt.Println("second update rolled back:", errRolledBack != nil)
+
+	// Full scan with MVCC visibility.
+	must(db.Execute(func(tx *phoebedb.Tx) error {
+		var total float64
+		if err := tx.ScanTable("users", func(rid phoebedb.RowID, row phoebedb.Row) bool {
+			total += row[3].F
+			return true
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("total score: %.1f (ada's 100 kept, rollback discarded)\n", total)
+		return nil
+	}))
+
+	st := db.Stats()
+	fmt.Printf("stats: %d transactions, %d WAL bytes written\n", st.TasksExecuted, st.WALWriteBytes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

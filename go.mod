@@ -1,0 +1,3 @@
+module phoebedb
+
+go 1.22

@@ -1,0 +1,665 @@
+// Package baseline implements a deliberately conventional, PostgreSQL-
+// style OLTP engine used as the comparison point in the evaluation
+// (Exp 6–9). It reproduces the four architectural costs the paper
+// attributes PhoebeDB's speedup to:
+//
+//  1. O(n) snapshots: every statement scans the active-transaction array
+//     under a global mutex (PostgreSQL's ProcArray), instead of reading a
+//     single timestamp.
+//  2. A global lock table: row locks live in one hash table behind one
+//     mutex — the contention hotspot §7.2 calls out — and are held to
+//     commit (strict two-phase locking).
+//  3. Thread-per-transaction execution: each transaction pins an OS
+//     thread for its duration, paying kernel context-switch costs instead
+//     of user-level co-routine switches.
+//  4. A serialized WAL: one log file, one mutex, one flush at a time.
+//
+// The engine is still a correct snapshot-isolation MVCC system (new
+// versions chain to old ones with xmin/xmax; readers see a consistent
+// snapshot), so the TPC-C comparison measures architecture, not missing
+// functionality. An optional WAL bandwidth cap models the disk-bound
+// commercial system of Exp 9.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phoebedb/internal/btree"
+	"phoebedb/internal/rel"
+)
+
+// Errors mirroring the core engine's.
+var (
+	ErrNoSuchTable  = errors.New("baseline: no such table")
+	ErrNoSuchIndex  = errors.New("baseline: no such index")
+	ErrNoSuchColumn = errors.New("baseline: no such column")
+	ErrDuplicate    = errors.New("baseline: duplicate key")
+	ErrLockTimeout  = errors.New("baseline: lock wait timed out")
+)
+
+// Config configures the baseline engine.
+type Config struct {
+	// Dir holds the single WAL file.
+	Dir string
+	// WALSync fsyncs each commit.
+	WALSync bool
+	// LockThreads pins each transaction to an OS thread (default true via
+	// Open; the thread-per-transaction model).
+	LockThreads bool
+	// LockTimeout bounds lock waits (default 2s).
+	LockTimeout time.Duration
+	// WALBytesPerSec, if > 0, throttles commit flushes to the given
+	// bandwidth — the Exp 9 I/O-bound commercial-system model.
+	WALBytesPerSec int64
+}
+
+// version is one MVCC tuple version.
+type version struct {
+	row  rel.Row
+	xmin uint64
+	xmax uint64 // 0 = live
+	prev *version
+}
+
+type index struct {
+	name   string
+	cols   []int
+	unique bool
+	tree   *btree.Tree
+}
+
+type tbl struct {
+	name   string
+	schema *rel.Schema
+
+	mu      sync.RWMutex
+	rows    map[rel.RowID]*version // newest first
+	nextRID rel.RowID
+	indexes []*index
+}
+
+// DB is the baseline engine instance.
+type DB struct {
+	cfg Config
+
+	// procMu guards the "ProcArray": active transactions and commit
+	// status. Snapshots scan activeXIDs under it — the O(n) cost.
+	procMu    sync.Mutex
+	nextXID   uint64
+	active    map[uint64]bool
+	committed map[uint64]bool
+
+	// lockMu guards the single, global lock table.
+	lockMu    sync.Mutex
+	lockTable map[lockKey]*lockEntry
+
+	// walMu serializes all log appends and flushes.
+	walMu   sync.Mutex
+	walFile *os.File
+	walBuf  []byte
+	// throttleNanos accumulates Exp 9 bandwidth-cap sleep time: the
+	// difference between wall clock and CPU-busy time on the commit path.
+	throttleNanos atomic.Int64
+
+	tblMu  sync.RWMutex
+	tables map[string]*tbl
+}
+
+type lockKey struct {
+	table string
+	rid   rel.RowID
+}
+
+type lockEntry struct {
+	holder  uint64
+	waiters []chan struct{}
+}
+
+// Open creates a baseline engine.
+func Open(cfg Config) (*DB, error) {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 2 * time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, "baseline-wal.log"), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		cfg:       cfg,
+		active:    make(map[uint64]bool),
+		committed: make(map[uint64]bool),
+		lockTable: make(map[lockKey]*lockEntry),
+		walFile:   f,
+		tables:    make(map[string]*tbl),
+	}, nil
+}
+
+// Close releases the WAL file.
+func (db *DB) Close() error { return db.walFile.Close() }
+
+// ThrottledNanos returns the cumulative commit-path I/O-throttle time
+// (Exp 9's lost CPU utilization).
+func (db *DB) ThrottledNanos() int64 { return db.throttleNanos.Load() }
+
+// CreateTable declares a relation.
+func (db *DB) CreateTable(name string, schema *rel.Schema) error {
+	db.tblMu.Lock()
+	defer db.tblMu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("baseline: table %q exists", name)
+	}
+	db.tables[name] = &tbl{name: name, schema: schema, rows: make(map[rel.RowID]*version)}
+	return nil
+}
+
+// CreateIndex declares a secondary index.
+func (db *DB) CreateIndex(table, name string, cols []string, unique bool) error {
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.schema.ColIndex(c)
+		if p < 0 {
+			return fmt.Errorf("%w: %q", ErrNoSuchColumn, c)
+		}
+		positions[i] = p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.indexes = append(t.indexes, &index{name: name, cols: positions, unique: unique, tree: btree.New()})
+	return nil
+}
+
+func (db *DB) table(name string) (*tbl, error) {
+	db.tblMu.RLock()
+	defer db.tblMu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+func (t *tbl) index(name string) *index {
+	for _, ix := range t.indexes {
+		if ix.name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+func indexKeyOf(ix *index, row rel.Row, rid rel.RowID) []byte {
+	vals := make(rel.Row, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = row[c]
+	}
+	k := rel.EncodeKey(nil, vals...)
+	if !ix.unique {
+		k = rel.EncodeRowID(k, rid)
+	}
+	return k
+}
+
+// snapshot is a PostgreSQL-style snapshot: the in-progress set plus the
+// next-XID horizon, captured by scanning the proc array.
+type snapshot struct {
+	active map[uint64]bool
+	xmax   uint64
+}
+
+// takeSnapshot scans active transactions under the global mutex: O(n).
+func (db *DB) takeSnapshot() snapshot {
+	db.procMu.Lock()
+	defer db.procMu.Unlock()
+	s := snapshot{active: make(map[uint64]bool, len(db.active)), xmax: db.nextXID + 1}
+	for xid := range db.active {
+		s.active[xid] = true
+	}
+	return s
+}
+
+// committedXID reports whether xid committed (proc-array lookup).
+func (db *DB) committedXID(xid uint64) bool {
+	db.procMu.Lock()
+	defer db.procMu.Unlock()
+	return db.committed[xid]
+}
+
+// visibleXID evaluates snapshot visibility of a version boundary.
+func (tx *Tx) visibleXID(xid uint64) bool {
+	if xid == 0 {
+		return false
+	}
+	if xid == tx.xid {
+		return true
+	}
+	if xid >= tx.snap.xmax || tx.snap.active[xid] {
+		return false
+	}
+	return tx.db.committedXID(xid)
+}
+
+// visible returns the row the transaction sees in this version chain.
+func (tx *Tx) visible(head *version) (rel.Row, bool) {
+	for v := head; v != nil; v = v.prev {
+		if !tx.visibleXID(v.xmin) {
+			continue
+		}
+		// Version is visible unless a visible deleter superseded it.
+		if v.xmax != 0 && tx.visibleXID(v.xmax) {
+			return nil, false
+		}
+		return v.row, true
+	}
+	return nil, false
+}
+
+// Tx is one baseline transaction.
+type Tx struct {
+	db   *DB
+	xid  uint64
+	snap snapshot
+	done bool
+
+	heldLocks []lockKey
+	// undo actions to revert this transaction's version edits on abort.
+	undos []func()
+	// walPending holds this transaction's log payload bytes.
+	walPending int
+}
+
+// Begin starts a transaction (O(n) snapshot per statement, like
+// PostgreSQL's read committed).
+func (db *DB) Begin() *Tx {
+	db.procMu.Lock()
+	db.nextXID++
+	xid := db.nextXID
+	db.active[xid] = true
+	db.procMu.Unlock()
+	return &Tx{db: db, xid: xid, snap: db.takeSnapshot()}
+}
+
+// Execute runs fn as one transaction on an OS-thread-pinned goroutine
+// (the thread-per-transaction model): commit on nil, rollback on error.
+func (db *DB) Execute(fn func(tx *Tx) error) error {
+	if db.cfg.LockThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// stmt refreshes the statement snapshot (read committed).
+func (tx *Tx) stmt() {
+	tx.snap = tx.db.takeSnapshot()
+}
+
+// lockRow acquires the global-table row lock, held until commit (2PL).
+func (tx *Tx) lockRow(table string, rid rel.RowID) error {
+	key := lockKey{table, rid}
+	deadline := time.Now().Add(tx.db.cfg.LockTimeout)
+	for {
+		tx.db.lockMu.Lock()
+		e := tx.db.lockTable[key]
+		if e == nil {
+			tx.db.lockTable[key] = &lockEntry{holder: tx.xid}
+			tx.db.lockMu.Unlock()
+			tx.heldLocks = append(tx.heldLocks, key)
+			return nil
+		}
+		if e.holder == tx.xid {
+			tx.db.lockMu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		tx.db.lockMu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrLockTimeout
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return ErrLockTimeout
+		}
+	}
+}
+
+func (tx *Tx) releaseLocks() {
+	db := tx.db
+	db.lockMu.Lock()
+	for _, key := range tx.heldLocks {
+		if e := db.lockTable[key]; e != nil && e.holder == tx.xid {
+			delete(db.lockTable, key)
+			for _, ch := range e.waiters {
+				close(ch)
+			}
+		}
+	}
+	db.lockMu.Unlock()
+	tx.heldLocks = nil
+}
+
+// Insert adds a row.
+func (tx *Tx) Insert(table string, row rel.Row) (rel.RowID, error) {
+	tx.stmt()
+	t, err := tx.db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if err := row.Conforms(t.schema); err != nil {
+		return 0, err
+	}
+	row = row.Clone()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Unique checks against visible versions.
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		k := indexKeyOf(ix, row, 0)
+		if old, ok := ix.tree.Lookup(k); ok {
+			if _, vis := tx.visible(t.rows[rel.RowID(old)]); vis {
+				return 0, fmt.Errorf("%w: %s", ErrDuplicate, ix.name)
+			}
+			ix.tree.Delete(k)
+		}
+	}
+	t.nextRID++
+	rid := t.nextRID
+	v := &version{row: row, xmin: tx.xid}
+	t.rows[rid] = v
+	for _, ix := range t.indexes {
+		ix.tree.Insert(indexKeyOf(ix, row, rid), uint64(rid))
+	}
+	tx.undos = append(tx.undos, func() {
+		t.mu.Lock()
+		delete(t.rows, rid)
+		for _, ix := range t.indexes {
+			ix.tree.Delete(indexKeyOf(ix, row, rid))
+		}
+		t.mu.Unlock()
+	})
+	tx.walPending += 32 + len(row)*16
+	return rid, nil
+}
+
+// Get reads the visible version of a row.
+func (tx *Tx) Get(table string, rid rel.RowID) (rel.Row, bool, error) {
+	tx.stmt()
+	t, err := tx.db.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := tx.visible(t.rows[rid])
+	return row, ok, nil
+}
+
+// GetByIndex returns the first visible row matching vals.
+func (tx *Tx) GetByIndex(table, indexName string, vals ...rel.Value) (rel.RowID, rel.Row, bool, error) {
+	var outRID rel.RowID
+	var outRow rel.Row
+	found := false
+	err := tx.ScanIndex(table, indexName, vals, func(rid rel.RowID, row rel.Row) bool {
+		outRID, outRow, found = rid, row, true
+		return false
+	})
+	return outRID, outRow, found, err
+}
+
+// ScanIndex iterates visible rows whose key columns match vals.
+func (tx *Tx) ScanIndex(table, indexName string, vals []rel.Value, fn func(rid rel.RowID, row rel.Row) bool) error {
+	tx.stmt()
+	t, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	ix := t.index(indexName)
+	if ix == nil {
+		t.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNoSuchIndex, indexName)
+	}
+	prefix := rel.EncodeKey(nil, vals...)
+	if ix.unique && len(vals) == len(ix.cols) {
+		// Unique full-key probe: point lookup.
+		if v, ok := ix.tree.Lookup(prefix); ok {
+			if row, vis := tx.visible(t.rows[rel.RowID(v)]); vis {
+				match := true
+				for i := range vals {
+					if !row[ix.cols[i]].Equal(vals[i]) {
+						match = false
+						break
+					}
+				}
+				if match {
+					fn(rel.RowID(v), row)
+				}
+			}
+		}
+		t.mu.RUnlock()
+		return nil
+	}
+	hi := prefixEnd(prefix)
+	type hit struct {
+		rid rel.RowID
+	}
+	var hits []hit
+	ix.tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
+		hits = append(hits, hit{rel.RowID(v)})
+		return true
+	})
+	for _, h := range hits {
+		row, ok := tx.visible(t.rows[h.rid])
+		if !ok {
+			continue
+		}
+		match := true
+		for i := range vals {
+			if !row[ix.cols[i]].Equal(vals[i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if !fn(h.rid, row) {
+			break
+		}
+	}
+	t.mu.RUnlock()
+	return nil
+}
+
+func prefixEnd(p []byte) []byte {
+	end := append([]byte(nil), p...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// Update installs a new version of the row (2PL + MVCC).
+func (tx *Tx) Update(table string, rid rel.RowID, set map[string]rel.Value) error {
+	_, err := tx.Modify(table, rid, func(rel.Row) (map[string]rel.Value, error) {
+		return set, nil
+	})
+	return err
+}
+
+// Modify atomically applies a read-modify-write under the global-table row
+// lock, re-snapshotting after the lock is granted (PostgreSQL's read-
+// committed re-check). fn receives the current row and returns the columns
+// to set; the resulting row is returned.
+func (tx *Tx) Modify(table string, rid rel.RowID, fn func(cur rel.Row) (map[string]rel.Value, error)) (rel.Row, error) {
+	t, err := tx.db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lockRow(table, rid); err != nil {
+		return nil, err
+	}
+	tx.stmt() // re-snapshot after the lock: see the winner's version
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	head := t.rows[rid]
+	cur, ok := tx.visible(head)
+	if !ok {
+		return nil, fmt.Errorf("baseline: update of invisible row %d", rid)
+	}
+	set, err := fn(cur)
+	if err != nil {
+		return nil, err
+	}
+	newRow := cur.Clone()
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := t.schema.ColIndex(n)
+		if c < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, n)
+		}
+		newRow[c] = set[n]
+	}
+	oldHead := head
+	head.xmax = tx.xid
+	v := &version{row: newRow, xmin: tx.xid, prev: head}
+	t.rows[rid] = v
+	for _, ix := range t.indexes {
+		changed := false
+		for _, c := range ix.cols {
+			if !newRow[c].Equal(cur[c]) {
+				changed = true
+			}
+		}
+		if changed {
+			ix.tree.Insert(indexKeyOf(ix, newRow, rid), uint64(rid))
+		}
+	}
+	tx.undos = append(tx.undos, func() {
+		t.mu.Lock()
+		t.rows[rid] = oldHead
+		oldHead.xmax = 0
+		t.mu.Unlock()
+	})
+	tx.walPending += 24 + len(set)*16
+	return newRow, nil
+}
+
+// Delete marks the row's newest visible version dead.
+func (tx *Tx) Delete(table string, rid rel.RowID) error {
+	tx.stmt()
+	t, err := tx.db.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockRow(table, rid); err != nil {
+		return err
+	}
+	tx.stmt() // re-snapshot after the lock
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	head := t.rows[rid]
+	if _, ok := tx.visible(head); !ok {
+		return fmt.Errorf("baseline: delete of invisible row %d", rid)
+	}
+	head.xmax = tx.xid
+	tx.undos = append(tx.undos, func() {
+		t.mu.Lock()
+		head.xmax = 0
+		t.mu.Unlock()
+	})
+	tx.walPending += 16
+	return nil
+}
+
+// Commit flushes the serialized WAL and publishes the transaction.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return errors.New("baseline: transaction finished")
+	}
+	tx.done = true
+	if tx.walPending > 0 {
+		db := tx.db
+		db.walMu.Lock() // the serialized flush bottleneck
+		if cap(db.walBuf) < tx.walPending {
+			db.walBuf = make([]byte, tx.walPending)
+		}
+		buf := db.walBuf[:tx.walPending]
+		if _, err := db.walFile.Write(buf); err != nil {
+			db.walMu.Unlock()
+			tx.abort()
+			return err
+		}
+		if db.cfg.WALSync {
+			db.walFile.Sync()
+		}
+		if db.cfg.WALBytesPerSec > 0 {
+			// Exp 9: the I/O-bandwidth-bound commercial system.
+			d := time.Duration(int64(tx.walPending) * int64(time.Second) / db.cfg.WALBytesPerSec)
+			time.Sleep(d)
+			db.throttleNanos.Add(int64(d))
+		}
+		db.walMu.Unlock()
+	}
+	db := tx.db
+	db.procMu.Lock()
+	db.committed[tx.xid] = true
+	delete(db.active, tx.xid)
+	db.procMu.Unlock()
+	tx.releaseLocks()
+	return nil
+}
+
+// Rollback aborts the transaction, reverting its version edits.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return errors.New("baseline: transaction finished")
+	}
+	tx.done = true
+	tx.abort()
+	return nil
+}
+
+func (tx *Tx) abort() {
+	for i := len(tx.undos) - 1; i >= 0; i-- {
+		tx.undos[i]()
+	}
+	db := tx.db
+	db.procMu.Lock()
+	delete(db.active, tx.xid)
+	db.procMu.Unlock()
+	tx.releaseLocks()
+}

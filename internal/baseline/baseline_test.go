@@ -1,0 +1,347 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"phoebedb/internal/rel"
+)
+
+func testSchema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "id", Type: rel.TInt64},
+		rel.Column{Name: "val", Type: rel.TString},
+		rel.Column{Name: "n", Type: rel.TFloat64},
+	)
+}
+
+func openTest(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{Dir: t.TempDir(), LockTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t", "t_pk", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func row(id int64, v string) rel.Row {
+	return rel.Row{rel.Int(id), rel.Str(v), rel.Float(float64(id))}
+}
+
+func TestBasicCRUD(t *testing.T) {
+	db := openTest(t)
+	var rid rel.RowID
+	err := db.Execute(func(tx *Tx) error {
+		var err error
+		rid, err = tx.Insert("t", row(1, "a"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Execute(func(tx *Tx) error {
+		got, ok, err := tx.Get("t", rid)
+		if err != nil || !ok || got[1].S != "a" {
+			t.Fatalf("get = (%v,%v,%v)", got, ok, err)
+		}
+		if err := tx.Update("t", rid, map[string]rel.Value{"val": rel.Str("b")}); err != nil {
+			return err
+		}
+		got, _, _ = tx.Get("t", rid)
+		if got[1].S != "b" {
+			t.Fatalf("own update invisible: %v", got)
+		}
+		return nil
+	})
+	db.Execute(func(tx *Tx) error {
+		if err := tx.Delete("t", rid); err != nil {
+			return err
+		}
+		return nil
+	})
+	db.Execute(func(tx *Tx) error {
+		if _, ok, _ := tx.Get("t", rid); ok {
+			t.Fatal("deleted row visible")
+		}
+		return nil
+	})
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := openTest(t)
+	var rid rel.RowID
+	db.Execute(func(tx *Tx) error {
+		var err error
+		rid, err = tx.Insert("t", row(1, "v1"))
+		return err
+	})
+	// An uncommitted writer's change is invisible to a concurrent reader.
+	w := db.Begin()
+	if err := w.Update("t", rid, map[string]rel.Value{"val": rel.Str("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	r := db.Begin()
+	got, ok, _ := r.Get("t", rid)
+	if !ok || got[1].S != "v1" {
+		t.Fatalf("reader saw uncommitted write: %v", got)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Read-committed statement snapshot advances.
+	got, _, _ = r.Get("t", rid)
+	if got[1].S != "v2" {
+		t.Fatalf("reader missed committed write: %v", got)
+	}
+	r.Rollback()
+}
+
+func TestRollbackRevertsVersions(t *testing.T) {
+	db := openTest(t)
+	var rid rel.RowID
+	db.Execute(func(tx *Tx) error {
+		var err error
+		rid, err = tx.Insert("t", row(1, "orig"))
+		return err
+	})
+	tx := db.Begin()
+	tx.Update("t", rid, map[string]rel.Value{"val": rel.Str("changed")})
+	tx.Insert("t", row(2, "ghost"))
+	tx.Rollback()
+	db.Execute(func(tx *Tx) error {
+		got, _, _ := tx.Get("t", rid)
+		if got[1].S != "orig" {
+			t.Fatalf("rollback lost original: %v", got)
+		}
+		if _, _, found, _ := tx.GetByIndex("t", "t_pk", rel.Int(2)); found {
+			t.Fatal("rolled-back insert visible")
+		}
+		return nil
+	})
+}
+
+func TestRowLocksHeldToCommit(t *testing.T) {
+	db := openTest(t)
+	var rid rel.RowID
+	db.Execute(func(tx *Tx) error {
+		var err error
+		rid, err = tx.Insert("t", row(1, "x"))
+		return err
+	})
+	t1 := db.Begin()
+	if err := t1.Update("t", rid, map[string]rel.Value{"val": rel.Str("t1")}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- db.Execute(func(tx *Tx) error {
+			return tx.Update("t", rid, map[string]rel.Value{"val": rel.Str("t2")})
+		})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second writer did not block: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	t1.Commit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	db.Execute(func(tx *Tx) error {
+		got, _, _ := tx.Get("t", rid)
+		if got[1].S != "t2" {
+			t.Fatalf("final value %v", got)
+		}
+		return nil
+	})
+}
+
+func TestLockTimeout(t *testing.T) {
+	db, err := Open(Config{Dir: t.TempDir(), LockTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("t", testSchema())
+	var rid rel.RowID
+	db.Execute(func(tx *Tx) error {
+		var e error
+		rid, e = tx.Insert("t", row(1, "x"))
+		return e
+	})
+	t1 := db.Begin()
+	t1.Update("t", rid, map[string]rel.Value{"val": rel.Str("a")})
+	t2 := db.Begin()
+	if err := t2.Update("t", rid, map[string]rel.Value{"val": rel.Str("b")}); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	t2.Rollback()
+	t1.Commit()
+}
+
+func TestUniqueIndex(t *testing.T) {
+	db := openTest(t)
+	db.Execute(func(tx *Tx) error {
+		_, err := tx.Insert("t", row(1, "a"))
+		return err
+	})
+	err := db.Execute(func(tx *Tx) error {
+		_, err := tx.Insert("t", row(1, "b"))
+		return err
+	})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	// Deleted key is reusable.
+	db.Execute(func(tx *Tx) error {
+		rid, _, _, _ := tx.GetByIndex("t", "t_pk", rel.Int(1))
+		return tx.Delete("t", rid)
+	})
+	if err := db.Execute(func(tx *Tx) error {
+		_, err := tx.Insert("t", row(1, "c"))
+		return err
+	}); err != nil {
+		t.Fatalf("reuse failed: %v", err)
+	}
+}
+
+func TestModifyAtomicCounter(t *testing.T) {
+	db := openTest(t)
+	var rid rel.RowID
+	db.Execute(func(tx *Tx) error {
+		var err error
+		rid, err = tx.Insert("t", row(1, "ctr"))
+		return err
+	})
+	const workers = 8
+	const per = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				db.Execute(func(tx *Tx) error {
+					_, err := tx.Modify("t", rid, func(cur rel.Row) (map[string]rel.Value, error) {
+						return map[string]rel.Value{"n": rel.Float(cur[2].F + 1)}, nil
+					})
+					return err
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	db.Execute(func(tx *Tx) error {
+		got, _, _ := tx.Get("t", rid)
+		want := float64(1 + workers*per)
+		if got[2].F != want {
+			t.Fatalf("counter = %v, want %v (lost updates)", got[2].F, want)
+		}
+		return nil
+	})
+}
+
+func TestScanIndexOrderAndPrefix(t *testing.T) {
+	db := openTest(t)
+	db.CreateIndex("t", "t_val", []string{"val"}, false)
+	db.Execute(func(tx *Tx) error {
+		for i, v := range []string{"b", "a", "c", "a"} {
+			if _, err := tx.Insert("t", row(int64(i+1), v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	db.Execute(func(tx *Tx) error {
+		var got []string
+		tx.ScanIndex("t", "t_val", nil, func(rid rel.RowID, r rel.Row) bool {
+			got = append(got, r[1].S)
+			return true
+		})
+		if len(got) != 4 || got[0] != "a" || got[1] != "a" || got[2] != "b" || got[3] != "c" {
+			t.Fatalf("order = %v", got)
+		}
+		n := 0
+		tx.ScanIndex("t", "t_val", []rel.Value{rel.Str("a")}, func(rel.RowID, rel.Row) bool {
+			n++
+			return true
+		})
+		if n != 2 {
+			t.Fatalf("prefix scan = %d", n)
+		}
+		return nil
+	})
+}
+
+func TestThrottleAccounting(t *testing.T) {
+	db, err := Open(Config{Dir: t.TempDir(), WALBytesPerSec: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("t", testSchema())
+	db.Execute(func(tx *Tx) error {
+		_, err := tx.Insert("t", row(1, "x"))
+		return err
+	})
+	if db.ThrottledNanos() == 0 {
+		t.Fatal("throttle time not recorded")
+	}
+}
+
+func TestSnapshotIsONScan(t *testing.T) {
+	// Sanity: snapshots copy the active set (the architectural cost the
+	// engine exists to model).
+	db := openTest(t)
+	var txns []*Tx
+	for i := 0; i < 50; i++ {
+		txns = append(txns, db.Begin())
+	}
+	snap := db.takeSnapshot()
+	if len(snap.active) != 50 {
+		t.Fatalf("active set = %d", len(snap.active))
+	}
+	for _, tx := range txns {
+		tx.Rollback()
+	}
+	snap = db.takeSnapshot()
+	if len(snap.active) != 0 {
+		t.Fatalf("active set = %d after rollback", len(snap.active))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := openTest(t)
+	if err := db.CreateTable("t", testSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if err := db.CreateIndex("missing", "x", []string{"id"}, true); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := db.CreateIndex("t", "x", []string{"nope"}, true); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("err = %v", err)
+	}
+	db.Execute(func(tx *Tx) error {
+		if _, _, _, err := tx.GetByIndex("t", "nope", rel.Int(1)); !errors.Is(err, ErrNoSuchIndex) {
+			t.Fatalf("err = %v", err)
+		}
+		return nil
+	})
+	tx := db.Begin()
+	tx.Commit()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Fatal("rollback after commit accepted")
+	}
+}

@@ -1,0 +1,336 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		if !tr.Insert(key(i), uint64(i*10)) {
+			t.Fatalf("insert %d reported replace", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Lookup(key(i))
+		if !ok || v != uint64(i*10) {
+			t.Fatalf("lookup %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Lookup(key(5000)); ok {
+		t.Fatal("lookup of absent key succeeded")
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New()
+	tr.Insert(key(1), 10)
+	if tr.Insert(key(1), 20) {
+		t.Fatal("replace reported new insert")
+	}
+	v, _ := tr.Lookup(key(1))
+	if v != 20 {
+		t.Fatalf("value = %d after replace", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := tr.Lookup(key(i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence = %v", i, ok)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestRandomOrderInsert(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(5000)
+	for _, i := range perm {
+		tr.Insert(key(i), uint64(i))
+	}
+	// Keys must come back in sorted order.
+	var prev []byte
+	n := 0
+	tr.Scan(nil, nil, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != 5000 {
+		t.Fatalf("scan visited %d keys", n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	var got []uint64
+	tr.Scan(key(10), key(20), func(k []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early termination.
+	count := 0
+	tr.Scan(nil, nil, func(k []byte, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early-stop scan visited %d", count)
+	}
+	// Empty range.
+	count = 0
+	tr.Scan(key(50), key(50), func(k []byte, v uint64) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("empty range visited %d", count)
+	}
+}
+
+func TestModelProperty(t *testing.T) {
+	// The tree must agree with a map+sort model under random ops.
+	f := func(ops []uint16) bool {
+		tr := New()
+		model := map[string]uint64{}
+		for i, op := range ops {
+			k := key(int(op % 200))
+			switch i % 3 {
+			case 0, 1:
+				tr.Insert(k, uint64(i))
+				model[string(k)] = uint64(i)
+			case 2:
+				tr.Delete(k)
+				delete(model, string(k))
+			}
+		}
+		for k, want := range model {
+			v, ok := tr.Lookup([]byte(k))
+			if !ok || v != want {
+				return false
+			}
+		}
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okScan := true
+		tr.Scan(nil, nil, func(k []byte, v uint64) bool {
+			if i >= len(keys) || string(k) != keys[i] || v != model[keys[i]] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertDisjoint(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const per = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Insert(key(g*per+i), uint64(g*per+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := tr.Len(); n != goroutines*per {
+		t.Fatalf("Len = %d, want %d", n, goroutines*per)
+	}
+	for i := 0; i < goroutines*per; i++ {
+		if v, ok := tr.Lookup(key(i)); !ok || v != uint64(i) {
+			t.Fatalf("lookup %d = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentMixedReadWrite(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	// Writers keep inserting/deleting high keys.
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(10000 + g*100000 + i%5000)
+				if i%2 == 0 {
+					tr.Insert(k, uint64(i))
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(g)
+	}
+	// Readers verify the stable low keys are always visible and correct.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 20000; i++ {
+				j := i % 1000
+				v, ok := tr.Lookup(key(j))
+				if !ok || v != uint64(j) {
+					t.Errorf("stable key %d = (%d,%v)", j, v, ok)
+					return
+				}
+			}
+		}()
+	}
+	// Scanners walk the stable range.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; i < 200; i++ {
+			n := 0
+			tr.Scan(key(0), key(1000), func(k []byte, v uint64) bool { n++; return true })
+			if n != 1000 {
+				t.Errorf("stable scan saw %d keys", n)
+				return
+			}
+		}
+	}()
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+func TestPessimisticMode(t *testing.T) {
+	tr := New()
+	tr.Pessimistic = true
+	for i := 0; i < 2000; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	for i := 0; i < 2000; i++ {
+		if v, ok := tr.Lookup(key(i)); !ok || v != uint64(i) {
+			t.Fatalf("pessimistic lookup %d failed", i)
+		}
+	}
+	if tr.Stats.ExclusiveFallbacks.Load() != 2000 {
+		t.Fatalf("pessimistic inserts took the optimistic path: %d fallbacks", tr.Stats.ExclusiveFallbacks.Load())
+	}
+	if tr.Stats.OptimisticRestarts.Load() != 0 {
+		t.Fatal("pessimistic mode attempted optimistic traversal")
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New()
+	words := []string{"", "a", "ab", "abc", "b", "ba", "zzz", "\x00", "\xff\xff"}
+	for i, w := range words {
+		tr.Insert([]byte(w), uint64(i))
+	}
+	for i, w := range words {
+		v, ok := tr.Lookup([]byte(w))
+		if !ok || v != uint64(i) {
+			t.Fatalf("lookup %q = (%d,%v)", w, v, ok)
+		}
+	}
+	var got []string
+	tr.Scan(nil, nil, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan order %q, want %q", got, want)
+	}
+}
+
+func TestInsertDoesNotAliasCallerKey(t *testing.T) {
+	tr := New()
+	k := []byte("mutable")
+	tr.Insert(k, 1)
+	k[0] = 'X'
+	if _, ok := tr.Lookup([]byte("mutable")); !ok {
+		t.Fatal("tree aliased caller's key buffer")
+	}
+}
+
+func BenchmarkLookupOptimistic(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tr.Lookup(key(i % 100000))
+			i++
+		}
+	})
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+}

@@ -1,0 +1,164 @@
+// Package buffer implements PhoebeDB's partitioned buffer management
+// (§5.2, §7.1): per-worker pools with a byte budget, temperature-decayed
+// victim selection, and the two-step cooling/eviction protocol that backs
+// the swizzle state machine.
+//
+// There is deliberately no global page table — frames are reached through
+// their owners' swizzled pointers, and the pool only keeps a registry for
+// victim selection. Each partition is maintained by the worker that owns it
+// ("a worker thread manages its own buffer pool partition and handles page
+// swaps locally"), so maintenance never contends across workers.
+//
+// Eviction is two-phase, matching §5.3: a sweep first marks low-temperature
+// frames Cooling (they stay resident and a touch rescues them cheaply);
+// a later pass unswizzles frames still Cooling. The clock-style sweep
+// halves each surviving frame's access count, so temperature is a decayed
+// frequency, "access frequency over time" in the paper's terms.
+package buffer
+
+import "sync"
+
+// Frame is an evictable page frame. Implementations (table pages) guard
+// their own consistency; the pool only sequences cooling and eviction.
+type Frame interface {
+	// StartCooling moves a Hot frame to Cooling; false if not Hot.
+	StartCooling() bool
+	// EvictIfCooling writes the frame out and drops its payload if it is
+	// still Cooling; returns the bytes freed. It must fail (false) when
+	// the frame was rescued, is pinned by a twin table, or is latched.
+	EvictIfCooling() (int, bool)
+	// Hotness returns the decayed access count.
+	Hotness() uint32
+	// DecayHotness ages the access count (sweep pass).
+	DecayHotness()
+	// Resident reports whether the payload is in memory.
+	Resident() bool
+}
+
+type partition struct {
+	mu       sync.Mutex
+	frames   []Frame
+	hand     int
+	cooling  []Frame
+	resident int64
+	budget   int64
+}
+
+// Pool is a partitioned buffer pool.
+type Pool struct {
+	parts []*partition
+}
+
+// New creates a pool with the given number of partitions, each with an
+// equal share of budgetBytes.
+func New(partitions int, budgetBytes int64) *Pool {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	p := &Pool{}
+	per := budgetBytes / int64(partitions)
+	for i := 0; i < partitions; i++ {
+		p.parts = append(p.parts, &partition{budget: per})
+	}
+	return p
+}
+
+// Partitions returns the partition count.
+func (p *Pool) Partitions() int { return len(p.parts) }
+
+func (p *Pool) part(i int) *partition { return p.parts[i%len(p.parts)] }
+
+// Register adds a frame to partition part's registry.
+func (p *Pool) Register(f Frame, part int) {
+	pt := p.part(part)
+	pt.mu.Lock()
+	pt.frames = append(pt.frames, f)
+	pt.mu.Unlock()
+}
+
+// AddResident adjusts partition part's resident-byte accounting; called
+// when a frame is created, loaded (positive) or shrinks (negative).
+func (p *Pool) AddResident(part int, bytes int64) {
+	pt := p.part(part)
+	pt.mu.Lock()
+	pt.resident += bytes
+	pt.mu.Unlock()
+}
+
+// ResidentBytes returns the pool-wide resident total.
+func (p *Pool) ResidentBytes() int64 {
+	var total int64
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		total += pt.resident
+		pt.mu.Unlock()
+	}
+	return total
+}
+
+// NeedsMaintain reports whether partition part is over budget — the
+// trigger for the scheduler's page-swap duty ("page swaps are triggered
+// when buffer frames drop below a threshold", §7.1).
+func (p *Pool) NeedsMaintain(part int) bool {
+	pt := p.part(part)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.resident > pt.budget
+}
+
+// Maintain performs one round of page swapping on partition part: evict
+// frames from the cooling queue while over budget, then sweep the registry
+// to refill the cooling queue from the coldest frames. Returns the number
+// of frames evicted.
+func (p *Pool) Maintain(part int) int {
+	pt := p.part(part)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	evicted := 0
+
+	// Phase 1: evict cooling frames while over budget.
+	for pt.resident > pt.budget && len(pt.cooling) > 0 {
+		f := pt.cooling[0]
+		pt.cooling = pt.cooling[1:]
+		if freed, ok := f.EvictIfCooling(); ok {
+			pt.resident -= int64(freed)
+			evicted++
+		}
+	}
+
+	// Phase 2: clock sweep to replenish the cooling queue. Frames with a
+	// zero decayed access count cool; the rest age.
+	if pt.resident > pt.budget {
+		sweep := len(pt.frames)
+		if sweep > 512 {
+			sweep = 512
+		}
+		for i := 0; i < sweep && len(pt.cooling) < 64; i++ {
+			if len(pt.frames) == 0 {
+				break
+			}
+			pt.hand = (pt.hand + 1) % len(pt.frames)
+			f := pt.frames[pt.hand]
+			if !f.Resident() {
+				continue
+			}
+			if f.Hotness() == 0 {
+				if f.StartCooling() {
+					pt.cooling = append(pt.cooling, f)
+				}
+			} else {
+				f.DecayHotness()
+			}
+		}
+		// Evict what the sweep cooled, still bounded by the budget.
+		for pt.resident > pt.budget && len(pt.cooling) > 0 {
+			f := pt.cooling[0]
+			pt.cooling = pt.cooling[1:]
+			if freed, ok := f.EvictIfCooling(); ok {
+				pt.resident -= int64(freed)
+				evicted++
+			}
+		}
+	}
+	return evicted
+}

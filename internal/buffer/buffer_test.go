@@ -1,0 +1,203 @@
+package buffer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeFrame is a minimal Frame for pool tests.
+type fakeFrame struct {
+	mu      sync.Mutex
+	state   int // 0 hot, 1 cooling, 2 cold
+	hot     atomic.Uint32
+	bytes   int
+	pinned  bool
+	evicted atomic.Int32
+	rescued atomic.Int32
+}
+
+func (f *fakeFrame) StartCooling() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != 0 {
+		return false
+	}
+	f.state = 1
+	return true
+}
+
+func (f *fakeFrame) EvictIfCooling() (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.state != 1 {
+		return 0, false
+	}
+	if f.pinned {
+		f.state = 0
+		f.rescued.Add(1)
+		return 0, false
+	}
+	f.state = 2
+	f.evicted.Add(1)
+	return f.bytes, true
+}
+
+func (f *fakeFrame) Hotness() uint32 { return f.hot.Load() }
+func (f *fakeFrame) DecayHotness() {
+	for {
+		h := f.hot.Load()
+		if f.hot.CompareAndSwap(h, h/2) {
+			return
+		}
+	}
+}
+func (f *fakeFrame) Resident() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state != 2
+}
+
+func TestPoolEvictsWhenOverBudget(t *testing.T) {
+	p := New(1, 100)
+	var frames []*fakeFrame
+	for i := 0; i < 10; i++ {
+		f := &fakeFrame{bytes: 50}
+		frames = append(frames, f)
+		p.Register(f, 0)
+		p.AddResident(0, 50)
+	}
+	if !p.NeedsMaintain(0) {
+		t.Fatal("pool not over budget")
+	}
+	// All frames cold (hotness 0): repeated maintenance evicts to budget.
+	for i := 0; i < 10 && p.NeedsMaintain(0); i++ {
+		p.Maintain(0)
+	}
+	if p.NeedsMaintain(0) {
+		t.Fatalf("still over budget: %d resident", p.ResidentBytes())
+	}
+	if p.ResidentBytes() > 100 {
+		t.Fatalf("resident = %d", p.ResidentBytes())
+	}
+	evictedCount := 0
+	for _, f := range frames {
+		evictedCount += int(f.evicted.Load())
+	}
+	if evictedCount < 8 {
+		t.Fatalf("evicted %d frames, want >= 8", evictedCount)
+	}
+}
+
+func TestPoolPrefersColdFrames(t *testing.T) {
+	p := New(1, 100)
+	hotF := &fakeFrame{bytes: 50}
+	hotF.hot.Store(1 << 16) // very hot: survives many decay rounds
+	coldF := &fakeFrame{bytes: 50}
+	third := &fakeFrame{bytes: 50}
+	third.hot.Store(1 << 16)
+	for _, f := range []*fakeFrame{hotF, coldF, third} {
+		p.Register(f, 0)
+		p.AddResident(0, 50)
+	}
+	for i := 0; i < 3 && p.NeedsMaintain(0); i++ {
+		p.Maintain(0)
+	}
+	if coldF.evicted.Load() != 1 {
+		t.Fatal("cold frame not evicted first")
+	}
+	if hotF.evicted.Load() != 0 || third.evicted.Load() != 0 {
+		t.Fatal("hot frame evicted while cold frame available")
+	}
+}
+
+func TestPoolDecaysHotness(t *testing.T) {
+	p := New(1, 10)
+	f := &fakeFrame{bytes: 50}
+	f.hot.Store(8)
+	p.Register(f, 0)
+	p.AddResident(0, 50)
+	// Each sweep halves the hotness; eventually the frame cools and evicts.
+	for i := 0; i < 10 && f.evicted.Load() == 0; i++ {
+		p.Maintain(0)
+	}
+	if f.evicted.Load() != 1 {
+		t.Fatalf("frame never evicted (hotness %d)", f.Hotness())
+	}
+}
+
+func TestPoolPinnedFrameSurvives(t *testing.T) {
+	p := New(1, 10)
+	f := &fakeFrame{bytes: 50, pinned: true}
+	p.Register(f, 0)
+	p.AddResident(0, 50)
+	for i := 0; i < 5; i++ {
+		p.Maintain(0)
+	}
+	if f.evicted.Load() != 0 {
+		t.Fatal("pinned frame evicted")
+	}
+	if f.rescued.Load() == 0 {
+		t.Fatal("pinned frame never attempted")
+	}
+	if !p.NeedsMaintain(0) {
+		t.Fatal("budget accounting changed for rescued frame")
+	}
+}
+
+func TestPartitionsAreIndependent(t *testing.T) {
+	p := New(2, 200) // 100 per partition
+	f0 := &fakeFrame{bytes: 150}
+	p.Register(f0, 0)
+	p.AddResident(0, 150)
+	f1 := &fakeFrame{bytes: 50}
+	p.Register(f1, 1)
+	p.AddResident(1, 50)
+	if !p.NeedsMaintain(0) {
+		t.Fatal("partition 0 should be over budget")
+	}
+	if p.NeedsMaintain(1) {
+		t.Fatal("partition 1 should be under budget")
+	}
+	for i := 0; i < 5; i++ {
+		p.Maintain(1)
+	}
+	if f1.evicted.Load() != 0 {
+		t.Fatal("under-budget partition evicted")
+	}
+	for i := 0; i < 5; i++ {
+		p.Maintain(0)
+	}
+	if f0.evicted.Load() != 1 {
+		t.Fatal("over-budget partition did not evict")
+	}
+	if p.Partitions() != 2 {
+		t.Fatal("Partitions() wrong")
+	}
+}
+
+func TestPoolZeroPartitionsClamped(t *testing.T) {
+	p := New(0, 100)
+	if p.Partitions() != 1 {
+		t.Fatalf("Partitions = %d", p.Partitions())
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	p := New(4, 1<<30)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddResident(g%4, 10)
+				p.AddResident(g%4, -10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.ResidentBytes() != 0 {
+		t.Fatalf("resident = %d after balanced adds", p.ResidentBytes())
+	}
+}

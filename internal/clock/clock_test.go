@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextStrictlyIncreasing(t *testing.T) {
+	c := New()
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		ts := c.Next()
+		if ts <= prev {
+			t.Fatalf("timestamp %d not strictly greater than %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestFirstTimestampIsOne(t *testing.T) {
+	c := New()
+	if got := c.Next(); got != 1 {
+		t.Fatalf("first timestamp = %d, want 1", got)
+	}
+}
+
+func TestNowDoesNotAdvance(t *testing.T) {
+	c := New()
+	c.Next()
+	c.Next()
+	if c.Now() != 2 {
+		t.Fatalf("Now() = %d, want 2", c.Now())
+	}
+	if c.Now() != 2 {
+		t.Fatalf("Now() advanced the clock")
+	}
+	if c.Snapshot() != 2 {
+		t.Fatalf("Snapshot() = %d, want 2", c.Snapshot())
+	}
+}
+
+func TestXIDEncoding(t *testing.T) {
+	cases := []uint64{0, 1, 2, 42, MaxTimestamp}
+	for _, ts := range cases {
+		xid := MakeXID(ts)
+		if !IsXID(xid) {
+			t.Errorf("MakeXID(%d) not classified as XID", ts)
+		}
+		if IsXID(ts & MaxTimestamp) {
+			t.Errorf("plain timestamp %d classified as XID", ts)
+		}
+		if got := StartTS(xid); got != ts {
+			t.Errorf("StartTS(MakeXID(%d)) = %d", ts, got)
+		}
+	}
+}
+
+func TestXIDReservedBitIsZero(t *testing.T) {
+	xid := MakeXID(12345)
+	if xid&1 != 0 {
+		t.Fatalf("reserved low bit of XID is set: %x", xid)
+	}
+}
+
+func TestXIDRoundTripProperty(t *testing.T) {
+	f := func(ts uint64) bool {
+		ts &= MaxTimestamp
+		return StartTS(MakeXID(ts)) == ts && IsXID(MakeXID(ts))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUniqueness(t *testing.T) {
+	c := New()
+	const goroutines = 8
+	const perG = 2000
+	results := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]uint64, perG)
+			for i := range out {
+				out[i] = c.Next()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*perG)
+	for _, r := range results {
+		for _, ts := range r {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d unique timestamps, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	c := New()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.Snapshot()
+		}
+	})
+}
+
+func BenchmarkNext(b *testing.B) {
+	c := New()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.Next()
+		}
+	})
+}

@@ -1,0 +1,413 @@
+// Package core assembles PhoebeDB's kernel (§4): the temperature-layered
+// storage engine, MVCC transaction management with in-memory UNDO, the
+// decentralized lock manager, the parallel WAL with Remote Flush Avoidance,
+// and the maintenance duties (page swap, garbage collection, freezing)
+// that the co-routine scheduler drives.
+//
+// The engine is embedded: schema DDL is performed through the API at
+// startup, transactions are executed on task slots (pool slots for the
+// high-throughput path, reserved session slots for interactive use), and
+// durability comes from full WAL replay at open (checkpointing is future
+// work, mirroring the paper's roadmap).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"phoebedb/internal/btree"
+	"phoebedb/internal/buffer"
+	"phoebedb/internal/frozen"
+	"phoebedb/internal/lock"
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+	"phoebedb/internal/table"
+	"phoebedb/internal/txn"
+	"phoebedb/internal/undo"
+	"phoebedb/internal/wal"
+)
+
+// Errors surfaced by the engine API.
+var (
+	ErrNoSuchTable  = errors.New("core: no such table")
+	ErrNoSuchIndex  = errors.New("core: no such index")
+	ErrNoSuchColumn = errors.New("core: no such column")
+	ErrDuplicate    = errors.New("core: duplicate key in unique index")
+	ErrNotFound     = errors.New("core: row not found")
+	ErrTxnDone      = errors.New("core: transaction already finished")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Dir is the database directory (data pages, data blocks, WAL files).
+	Dir string
+	// PageSize is the data-page-file slot size (default 32 KiB).
+	PageSize int
+	// PageCap is rows per PAX page (default 64).
+	PageCap int
+	// BufferBytes is the Main Storage budget across partitions (default
+	// 256 MiB).
+	BufferBytes int64
+	// Partitions is the buffer partition count, normally the worker count
+	// (default 1).
+	Partitions int
+	// Slots is the total task-slot count: pool slots plus sessions
+	// (default 8). Each slot has a private WAL writer and UNDO arena.
+	Slots int
+	// WALSync fsyncs on every WAL flush (the paper's evaluated setting).
+	WALSync bool
+	// LockTimeout bounds lock waits; expiry aborts the waiter (deadlock
+	// recovery). Default 2s.
+	LockTimeout time.Duration
+	// DisableRFA makes every commit wait for the global flush horizon —
+	// the ablation baseline for Remote Flush Avoidance.
+	DisableRFA bool
+	// PessimisticIndex disables optimistic lock coupling on index B-Trees
+	// (pure latch coupling) — the ablation baseline for the hybrid lock
+	// strategy of §7.2.
+	PessimisticIndex bool
+	// PartitionOf maps a task slot to its worker's buffer partition, so a
+	// slot's page allocations land in the partition its worker maintains
+	// (§7.1). Defaults to slot modulo Partitions.
+	PartitionOf func(slot int) int
+	// IO receives I/O byte accounting; one is created if nil.
+	IO *metrics.IOCounters
+}
+
+func (c *Config) defaults() {
+	if c.PageSize <= 0 {
+		c.PageSize = 32 * 1024
+	}
+	if c.PageCap <= 0 {
+		c.PageCap = 64
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 256 << 20
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Slots <= 0 {
+		c.Slots = 8
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	if c.IO == nil {
+		c.IO = &metrics.IOCounters{}
+	}
+}
+
+// Index is a secondary index over a table (§5.1: (key, row_id) pairs).
+type Index struct {
+	Name   string
+	Cols   []int
+	Unique bool
+	Tree   *btree.Tree
+}
+
+// Tbl is one catalog entry: storage layers plus the table lock block.
+type Tbl struct {
+	Name   string
+	ID     uint32
+	Schema *rel.Schema
+	Store  *table.Table
+	Frozen *frozen.Store
+	// Lock is the table lock, stored with the table object per §7.2's
+	// decentralized design.
+	Lock lock.TableLock
+
+	mu      sync.RWMutex
+	indexes map[string]*Index
+}
+
+// Indexes returns the table's indexes (stable order).
+func (t *Tbl) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Index returns the named index or nil.
+func (t *Tbl) Index(name string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[name]
+}
+
+// Engine is the database kernel.
+type Engine struct {
+	cfg  Config
+	Mgr  *txn.Manager
+	WAL  *wal.Manager
+	Pool *buffer.Pool
+	IO   *metrics.IOCounters
+
+	pf *storage.PageFile
+	bf *storage.BlockFile
+
+	warms warmQueue
+
+	mu          sync.RWMutex
+	tables      map[string]*Tbl
+	tablesByID  map[uint32]*Tbl
+	nextTableID uint32
+}
+
+// Open creates or opens an engine in cfg.Dir. Existing WAL files are NOT
+// replayed automatically; call Recover after re-declaring the schema.
+func Open(cfg Config) (*Engine, error) {
+	cfg.defaults()
+	e := &Engine{
+		cfg:        cfg,
+		IO:         cfg.IO,
+		tables:     make(map[string]*Tbl),
+		tablesByID: make(map[uint32]*Tbl),
+	}
+	var err error
+	e.pf, err = storage.OpenPageFile(filepath.Join(cfg.Dir, "data.pages"), cfg.PageSize, e.IO)
+	if err != nil {
+		return nil, err
+	}
+	e.bf, err = storage.OpenBlockFile(filepath.Join(cfg.Dir, "data.blocks"), e.IO)
+	if err != nil {
+		e.pf.Close()
+		return nil, err
+	}
+	e.WAL, err = wal.Open(wal.Options{
+		Dir:         filepath.Join(cfg.Dir, "wal"),
+		Writers:     cfg.Slots,
+		SyncOnFlush: cfg.WALSync,
+		IO:          e.IO,
+	})
+	if err != nil {
+		e.pf.Close()
+		e.bf.Close()
+		return nil, err
+	}
+	e.Mgr = txn.NewManager(cfg.Slots)
+	e.Pool = buffer.New(cfg.Partitions, cfg.BufferBytes)
+	return e, nil
+}
+
+// Close flushes the WAL and releases files.
+func (e *Engine) Close() error {
+	var first error
+	if err := e.WAL.Close(); err != nil {
+		first = err
+	}
+	if err := e.pf.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := e.pf.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := e.bf.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// CreateTable declares a relation.
+func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	e.nextTableID++
+	t := &Tbl{
+		Name:    name,
+		ID:      e.nextTableID,
+		Schema:  schema,
+		Store:   table.New(e.nextTableID, schema, e.cfg.PageCap, e.pf, e.Pool),
+		Frozen:  frozen.NewStore(e.bf, schema),
+		indexes: make(map[string]*Index),
+	}
+	e.tables[name] = t
+	e.tablesByID[t.ID] = t
+	return t, nil
+}
+
+// CreateIndex declares a secondary index over the named columns. Indexes
+// must be created before data is loaded (embedded-engine DDL model).
+func (e *Engine) CreateIndex(tableName, indexName string, cols []string, unique bool) (*Index, error) {
+	t, err := e.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.Schema.ColIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, c, tableName)
+		}
+		positions[i] = p
+	}
+	ix := &Index{Name: indexName, Cols: positions, Unique: unique, Tree: btree.New()}
+	ix.Tree.Pessimistic = e.cfg.PessimisticIndex
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[indexName]; ok {
+		return nil, fmt.Errorf("core: index %q already exists on %q", indexName, tableName)
+	}
+	t.indexes[indexName] = ix
+	return ix, nil
+}
+
+// Table resolves a table by name.
+func (e *Engine) Table(name string) (*Tbl, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+func (e *Engine) tableByID(id uint32) *Tbl {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tablesByID[id]
+}
+
+// TableByID resolves a table by its catalog id (WAL shipping, tooling).
+func (e *Engine) TableByID(id uint32) *Tbl { return e.tableByID(id) }
+
+// Tables returns all tables sorted by name.
+func (e *Engine) Tables() []*Tbl {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Tbl, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// indexKey builds the index entry key: the encoded key columns, suffixed
+// with the row_id for non-unique indexes so entries stay distinct.
+func indexKey(ix *Index, row rel.Row, rid rel.RowID) []byte {
+	vals := make(rel.Row, len(ix.Cols))
+	for i, c := range ix.Cols {
+		vals[i] = row[c]
+	}
+	k := rel.EncodeKey(nil, vals...)
+	if !ix.Unique {
+		k = rel.EncodeRowID(k, rid)
+	}
+	return k
+}
+
+// IndexKeyOf builds an index entry key for external appliers (replication).
+func IndexKeyOf(ix *Index, row rel.Row, rid rel.RowID) []byte {
+	return indexKey(ix, row, rid)
+}
+
+// indexPrefix builds the search prefix for the given (possibly partial)
+// key values.
+func indexPrefix(ix *Index, vals []rel.Value) []byte {
+	return rel.EncodeKey(nil, vals...)
+}
+
+// --- Maintenance duties (§7.1) -----------------------------------------------
+
+// MaintainWorker runs one round of the worker-local duties: page swaps for
+// the worker's buffer partition and UNDO GC for the slots it owns. It is
+// designed to be plugged into sched.Config.Maintain.
+func (e *Engine) MaintainWorker(worker int) {
+	if e.Pool.NeedsMaintain(worker) {
+		e.Pool.Maintain(worker)
+	}
+	e.CollectGarbage()
+}
+
+// CollectGarbage runs one engine-wide GC round (§7.3): UNDO reclamation
+// with deleted-tuple cleanup, then twin table collection. Returns the
+// number of UNDO records reclaimed.
+func (e *Engine) CollectGarbage() int {
+	n := e.Mgr.CollectGarbage(func(r *undo.Record) {
+		if r.Op != undo.OpDelete {
+			return
+		}
+		// Deleted-tuple GC: physically erase the tombstoned tuple and its
+		// index entries once the delete is globally visible.
+		t := e.tableByID(r.TableID)
+		if t == nil {
+			return
+		}
+		e.eraseTuple(t, r.RowID)
+	})
+	maxFrozen := e.Mgr.MaxFrozenXID()
+	for _, t := range e.Tables() {
+		t.Store.DropCollectibleTwins(maxFrozen)
+	}
+	return n
+}
+
+// eraseTuple removes a tombstoned row and its index entries.
+func (e *Engine) eraseTuple(t *Tbl, rid rel.RowID) {
+	var row rel.Row
+	err := t.Store.WithRow(rid, true, nil, func(h *table.Handle) error {
+		if !h.Deleted() {
+			return fmt.Errorf("core: GC of live tuple %d", rid)
+		}
+		row = h.Row()
+		return nil
+	})
+	if err != nil {
+		return // already erased, frozen, or resurrected
+	}
+	for _, ix := range t.Indexes() {
+		ix.Tree.Delete(indexKey(ix, row, rid))
+	}
+	_ = t.Store.RemoveRow(rid, nil)
+}
+
+// FreezeTables runs one freezing round (§5.2 case 2): for every table,
+// detach up to maxPages coldest prefix pages whose decayed access count is
+// at or below maxHot and compress them into the data block file. Returns
+// the number of rows frozen.
+func (e *Engine) FreezeTables(maxPages int, maxHot uint32) (int, error) {
+	total := 0
+	for _, t := range e.Tables() {
+		cands, err := t.Store.DetachFrozenPrefix(maxPages, maxHot, nil)
+		if err != nil {
+			return total, err
+		}
+		var ids []rel.RowID
+		var rows []rel.Row
+		for _, c := range cands {
+			for i, id := range c.Payload.IDs {
+				if c.Payload.Deleted[i] {
+					continue
+				}
+				ids = append(ids, id)
+				rows = append(rows, c.Payload.Rows.Row(i))
+			}
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		if _, err := t.Frozen.Freeze(ids, rows); err != nil {
+			return total, err
+		}
+		total += len(ids)
+	}
+	return total, nil
+}

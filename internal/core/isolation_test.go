@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/txn"
+)
+
+// The PostgreSQL-compatible snapshot levels (§6.1) admit and forbid
+// specific anomalies; these tests pin the matrix down.
+
+func TestNoDirtyReadsAtAnyLevel(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	rid, _ := w.Insert("accounts", acct(1, "a", 100))
+	w.Commit()
+
+	writer := begin(e, 0)
+	writer.Update("accounts", rid, map[string]rel.Value{"balance": rel.Float(666)})
+	for slot, iso := range map[int]txn.Isolation{1: txn.ReadCommitted, 2: txn.RepeatableRead} {
+		r := e.Begin(slot, iso, nil, nil, nil)
+		row, ok, _ := r.Get("accounts", rid)
+		if !ok || row[2].F != 100 {
+			t.Fatalf("%v: dirty read: %v", iso, row)
+		}
+		r.Rollback()
+	}
+	writer.Rollback()
+}
+
+func TestNonRepeatableReadAllowedAtRC(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	rid, _ := w.Insert("accounts", acct(1, "a", 100))
+	w.Commit()
+
+	rc := begin(e, 1)
+	row, _, _ := rc.Get("accounts", rid)
+	if row[2].F != 100 {
+		t.Fatalf("first read %v", row)
+	}
+	u := begin(e, 2)
+	u.Update("accounts", rid, map[string]rel.Value{"balance": rel.Float(200)})
+	u.Commit()
+	// RC takes a fresh statement snapshot: the second read differs.
+	row, _, _ = rc.Get("accounts", rid)
+	if row[2].F != 200 {
+		t.Fatalf("read committed did not advance: %v", row)
+	}
+	rc.Rollback()
+}
+
+func TestPhantomsPreventedAtRR(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	for i := 1; i <= 3; i++ {
+		w.Insert("accounts", acct(i, "set", 1))
+	}
+	w.Commit()
+
+	rr := e.Begin(1, txn.RepeatableRead, nil, nil, nil)
+	count := func() int {
+		n := 0
+		rr.ScanIndex("accounts", "accounts_owner", []rel.Value{rel.Str("set")}, func(rel.RowID, rel.Row) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	if count() != 3 {
+		t.Fatalf("initial count = %d", count())
+	}
+	// A concurrent insert commits a new member of the predicate.
+	ins := begin(e, 2)
+	ins.Insert("accounts", acct(4, "set", 1))
+	ins.Commit()
+	// The repeatable-read scan must not see the phantom.
+	if got := count(); got != 3 {
+		t.Fatalf("phantom appeared under repeatable read: %d", got)
+	}
+	rr.Rollback()
+	// A read-committed scan does see it.
+	rc := begin(e, 1)
+	n := 0
+	rc.ScanIndex("accounts", "accounts_owner", []rel.Value{rel.Str("set")}, func(rel.RowID, rel.Row) bool {
+		n++
+		return true
+	})
+	if n != 4 {
+		t.Fatalf("read committed scan = %d", n)
+	}
+	rc.Rollback()
+}
+
+func TestRRScanStableAcrossDeletes(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	var rids []rel.RowID
+	for i := 1; i <= 3; i++ {
+		rid, _ := w.Insert("accounts", acct(i, "stable", 1))
+		rids = append(rids, rid)
+	}
+	w.Commit()
+
+	rr := e.Begin(1, txn.RepeatableRead, nil, nil, nil)
+	rr.Get("accounts", rids[0]) // pin snapshot
+
+	d := begin(e, 2)
+	d.Delete("accounts", rids[1])
+	d.Commit()
+
+	n := 0
+	rr.ScanTable("accounts", func(rel.RowID, rel.Row) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("repeatable read lost a deleted-after-snapshot row: %d", n)
+	}
+	rr.Rollback()
+}
+
+func TestLostUpdatePreventedAtRR(t *testing.T) {
+	// First-updater-wins: a repeatable-read transaction that read an old
+	// version cannot blind-write over a newer committed one.
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	rid, _ := w.Insert("accounts", acct(1, "a", 100))
+	w.Commit()
+
+	rr := e.Begin(1, txn.RepeatableRead, nil, nil, nil)
+	rr.Get("accounts", rid) // snapshot pinned at balance=100
+
+	u := begin(e, 2)
+	u.Update("accounts", rid, map[string]rel.Value{"balance": rel.Float(150)})
+	u.Commit()
+
+	if err := rr.Update("accounts", rid, map[string]rel.Value{"balance": rel.Float(100 + 10)}); err == nil {
+		t.Fatal("repeatable read blind write over newer version succeeded")
+	}
+	rr.Rollback()
+	// The concurrent committed update survived.
+	r := begin(e, 1)
+	row, _, _ := r.Get("accounts", rid)
+	if row[2].F != 150 {
+		t.Fatalf("balance = %v", row[2])
+	}
+	r.Rollback()
+}
+
+func TestReadOnlyTransactionsSkipWAL(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	w := begin(e, 0)
+	w.Insert("accounts", acct(1, "a", 1))
+	w.Commit()
+	before := e.IO.Snapshot().WALWrite
+	r := begin(e, 1)
+	r.Get("accounts", 1)
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.IO.Snapshot().WALWrite; after != before {
+		t.Fatalf("read-only commit wrote %d WAL bytes", after-before)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"phoebedb/internal/clock"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/table"
+	"phoebedb/internal/wal"
+)
+
+// Recover replays the write-ahead log into the (empty) tables declared on
+// this engine, implementing ARIES-style redo over the per-slot log files
+// merged by GSN (§8). Call it after CreateTable/CreateIndex and before any
+// transactions.
+//
+// Replay is redo-only: records of transactions without a commit record are
+// skipped (their effects were never made visible, and "Non-Force, Steal"
+// page writes are irrelevant here because the directory is rebuilt from
+// scratch). Committed deletes are applied as physical removals — they are
+// globally visible after a restart. Secondary indexes are rebuilt from the
+// recovered rows. Checkpointing (bounding replay work) is future work, as
+// in the paper.
+func (e *Engine) Recover() (replayed int, err error) {
+	// Load the newest checkpoint first (if any); the WAL then holds only
+	// post-checkpoint records (Checkpoint truncates it).
+	if _, err := e.loadCheckpoint(); err != nil {
+		return 0, err
+	}
+	recs, err := wal.Recover(e.WAL.Dir())
+	if err != nil {
+		return 0, err
+	}
+	committed := make(map[uint64]bool)
+	var maxTS, maxGSN uint64
+	for _, r := range recs {
+		if r.Type == wal.RecCommit {
+			committed[r.XID] = true
+			if r.RowID > maxTS { // commit records carry cts in RowID
+				maxTS = r.RowID
+			}
+		}
+		if ts := clock.StartTS(r.XID); ts > maxTS {
+			maxTS = ts
+		}
+		if r.GSN > maxGSN {
+			maxGSN = r.GSN
+		}
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case wal.RecCommit, wal.RecAbort:
+			continue
+		}
+		if !committed[r.XID] {
+			continue
+		}
+		t := e.tableByID(r.TableID)
+		if t == nil {
+			return replayed, fmt.Errorf("core: recovery references unknown table id %d (declare schema before Recover)", r.TableID)
+		}
+		switch r.Type {
+		case wal.RecInsert:
+			row, derr := rel.DecodeRow(r.Payload)
+			if derr != nil {
+				return replayed, fmt.Errorf("core: recovery insert payload: %w", derr)
+			}
+			if aerr := t.Store.InsertAt(rel.RowID(r.RowID), row); aerr != nil {
+				return replayed, aerr
+			}
+		case wal.RecUpdate:
+			cols, vals, derr := rel.DecodeDelta(r.Payload)
+			if derr != nil {
+				return replayed, fmt.Errorf("core: recovery update payload: %w", derr)
+			}
+			werr := t.Store.WithRow(rel.RowID(r.RowID), true, nil, func(h *table.Handle) error {
+				for i, c := range cols {
+					h.SetCol(c, vals[i])
+				}
+				return nil
+			})
+			if werr != nil {
+				return replayed, fmt.Errorf("core: recovery update row %d: %w", r.RowID, werr)
+			}
+		case wal.RecDelete:
+			// A committed delete is globally visible now: physical removal.
+			// Rows frozen at checkpoint time are tombstoned in the frozen
+			// layer instead (warming logs a delete of the frozen rid).
+			derr := t.Store.RemoveRow(rel.RowID(r.RowID), nil)
+			if errors.Is(derr, table.ErrFrozen) {
+				_, derr = t.Frozen.MarkDeleted(rel.RowID(r.RowID))
+			}
+			if errors.Is(derr, table.ErrNotFound) {
+				derr = nil // already erased (idempotent redo)
+			}
+			if derr != nil {
+				return replayed, fmt.Errorf("core: recovery delete row %d: %w", r.RowID, derr)
+			}
+		}
+		replayed++
+	}
+	// Fast-forward clocks past everything recovered so new transactions
+	// and log records sort strictly after history.
+	e.Mgr.Clock.AdvanceTo(maxTS + 1)
+	for i := 0; i < e.WAL.NumWriters(); i++ {
+		e.WAL.Writer(i).AdvanceGSN(maxGSN)
+	}
+	// Rebuild secondary indexes from the recovered base tables: the frozen
+	// layer (restored from the checkpoint) first, then hot/cold pages.
+	for _, t := range e.Tables() {
+		indexes := t.Indexes()
+		if len(indexes) == 0 {
+			continue
+		}
+		if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
+			for _, ix := range indexes {
+				ix.Tree.Insert(indexKey(ix, row, rid), uint64(rid))
+			}
+			return true
+		}); err != nil {
+			return replayed, err
+		}
+		err := t.Store.Scan(nil, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
+			for _, ix := range indexes {
+				ix.Tree.Insert(indexKey(ix, row, rid), uint64(rid))
+			}
+			return true
+		})
+		if err != nil {
+			return replayed, err
+		}
+	}
+	return replayed, nil
+}

@@ -1,0 +1,938 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"phoebedb/internal/lock"
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/table"
+	"phoebedb/internal/txn"
+	"phoebedb/internal/undo"
+	"phoebedb/internal/wal"
+)
+
+// Tx is one transaction bound to a task slot. All methods must be called
+// from that slot's goroutine; a slot runs one transaction at a time (§7.1).
+type Tx struct {
+	e     *Engine
+	inner *txn.Txn
+	slot  int
+
+	// Yield hooks supplied by the scheduler; either may be nil.
+	yield   func()                                               // high urgency
+	waitLow func(ch <-chan struct{}, timeout time.Duration) bool // low urgency
+
+	mets     *metrics.SlotMetrics
+	started  time.Time
+	tracked  time.Duration
+	finished bool
+
+	tableLocks map[*Tbl]lock.Mode
+	// idxOps records index mutations for rollback, keyed by the UNDO
+	// record whose rollback must revert them.
+	idxOps map[*undo.Record][]idxOp
+	// frozenRestores lists frozen tombstones to clear on rollback.
+	frozenRestores []frozenRestore
+}
+
+type idxOp struct {
+	ix    *Index
+	key   []byte
+	rid   uint64
+	added bool // true: entry was inserted; false: entry was removed
+}
+
+type frozenRestore struct {
+	t   *Tbl
+	rid rel.RowID
+}
+
+// Begin starts a transaction on the slot. mets may be nil; yield and
+// waitLow may be nil (blocking defaults are used).
+func (e *Engine) Begin(slot int, iso txn.Isolation, mets *metrics.SlotMetrics,
+	yield func(), waitLow func(ch <-chan struct{}, timeout time.Duration) bool) *Tx {
+	if mets == nil {
+		mets = &metrics.SlotMetrics{}
+	}
+	if waitLow == nil {
+		waitLow = func(ch <-chan struct{}, timeout time.Duration) bool {
+			if timeout <= 0 {
+				<-ch
+				return true
+			}
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			select {
+			case <-ch:
+				return true
+			case <-t.C:
+				return false
+			}
+		}
+	}
+	return &Tx{
+		e:          e,
+		inner:      e.Mgr.Begin(slot, iso),
+		slot:       slot,
+		yield:      yield,
+		waitLow:    waitLow,
+		mets:       mets,
+		started:    time.Now(),
+		tableLocks: make(map[*Tbl]lock.Mode),
+		idxOps:     make(map[*undo.Record][]idxOp),
+	}
+}
+
+// XID returns the transaction ID.
+func (tx *Tx) XID() uint64 { return tx.inner.XID() }
+
+// Snapshot returns the current statement snapshot.
+func (tx *Tx) Snapshot() uint64 { return tx.inner.Snapshot() }
+
+// track charges d to a component in both the slot metrics and the
+// transaction's accounted total (so Compute can be derived as residual).
+func (tx *Tx) track(c metrics.Component, start time.Time) {
+	d := time.Since(start)
+	tx.mets.Add(c, d)
+	tx.tracked += d
+}
+
+// stmt begins a statement: poisoned-transaction check plus snapshot
+// refresh (read committed re-snapshots; repeatable read keeps its pin).
+func (tx *Tx) stmt() error {
+	if tx.finished {
+		return ErrTxnDone
+	}
+	tx.inner.RefreshSnapshot()
+	return nil
+}
+
+// lockTable takes the table lock once per (table, mode) pair per
+// transaction, held to completion (intention locks are cheap and shared).
+func (tx *Tx) lockTable(t *Tbl, m lock.Mode) error {
+	if held, ok := tx.tableLocks[t]; ok && (held == m || held == lock.ModeIX && m == lock.ModeIS) {
+		return nil
+	}
+	start := time.Now()
+	acquired := t.Lock.TryLock(m)
+	if !acquired {
+		err := t.Lock.Lock(m, tx.e.cfg.LockTimeout)
+		d := time.Since(start)
+		tx.mets.AddWait(d)
+		tx.tracked += d
+		if err != nil {
+			return fmt.Errorf("table %q: %w", t.Name, err)
+		}
+	} else {
+		tx.track(metrics.CompLock, start)
+	}
+	if held, ok := tx.tableLocks[t]; ok {
+		// Upgraded IS->IX: drop the weaker grant.
+		if held == lock.ModeIS && m == lock.ModeIX {
+			t.Lock.Unlock(lock.ModeIS)
+		} else {
+			t.Lock.Unlock(m) // duplicate grant
+			return nil
+		}
+	}
+	tx.tableLocks[t] = m
+	return nil
+}
+
+func (tx *Tx) releaseTableLocks() {
+	for t, m := range tx.tableLocks {
+		t.Lock.Unlock(m)
+	}
+	tx.tableLocks = make(map[*Tbl]lock.Mode)
+}
+
+// logChange appends a WAL record for a change to the page under h's latch,
+// maintaining the RFA page stamp (§8).
+func (tx *Tx) logChange(h *table.Handle, typ wal.RecordType, tableID uint32, rid rel.RowID, payload []byte) {
+	start := time.Now()
+	w := tx.e.WAL.Writer(tx.slot)
+	st := h.Pg.Stamp
+	if st.LastWriter >= 0 && int(st.LastWriter) != tx.slot {
+		lastFlushed := tx.e.WAL.Writer(int(st.LastWriter)).FlushedGSN()
+		if wal.NeedsRemoteFlush(st, tx.slot, lastFlushed) {
+			tx.inner.NeedsRemoteFlush = true
+			if st.GSN > tx.inner.MaxObservedGSN {
+				tx.inner.MaxObservedGSN = st.GSN
+			}
+		}
+	}
+	gsn := w.NextGSN(st.GSN)
+	h.Pg.Stamp = wal.PageStamp{GSN: gsn, LastWriter: int32(tx.slot)}
+	rec := wal.Record{Type: typ, GSN: gsn, XID: tx.XID(), TableID: tableID, RowID: uint64(rid), Payload: payload}
+	w.Append(&rec)
+	tx.track(metrics.CompWAL, start)
+}
+
+// logUnstamped appends a WAL record not tied to a hot page (frozen-row
+// tombstones).
+func (tx *Tx) logUnstamped(typ wal.RecordType, tableID uint32, rid rel.RowID, payload []byte) {
+	start := time.Now()
+	w := tx.e.WAL.Writer(tx.slot)
+	rec := wal.Record{Type: typ, GSN: w.NextGSN(0), XID: tx.XID(), TableID: tableID, RowID: uint64(rid), Payload: payload}
+	w.Append(&rec)
+	tx.track(metrics.CompWAL, start)
+}
+
+// --- Insert --------------------------------------------------------------------
+
+// Insert adds a row and returns its row_id.
+func (tx *Tx) Insert(tableName string, row rel.Row) (rel.RowID, error) {
+	if err := tx.stmt(); err != nil {
+		return 0, err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return tx.insertRow(t, row, true)
+}
+
+func (tx *Tx) insertRow(t *Tbl, row rel.Row, checkUnique bool) (rel.RowID, error) {
+	if err := tx.lockTable(t, lock.ModeIX); err != nil {
+		return 0, err
+	}
+	indexes := t.Indexes()
+	if checkUnique {
+		for _, ix := range indexes {
+			if !ix.Unique {
+				continue
+			}
+			if err := tx.checkUnique(t, ix, row); err != nil {
+				return 0, err
+			}
+		}
+	}
+	var rec *undo.Record
+	rid, err := t.Store.Append(row, tx.partition(), tx.yield, func(h *table.Handle) error {
+		mvccStart := time.Now()
+		tt := h.TwinTable(true)
+		rec = tx.inner.AddUndo(t.ID, h.RID, undo.OpInsert, nil, nil)
+		tt.Push(h.RID, rec)
+		tx.track(metrics.CompMVCC, mvccStart)
+		tx.logChange(h, wal.RecInsert, t.ID, h.RID, rel.EncodeRow(nil, row))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, ix := range indexes {
+		k := indexKey(ix, row, rid)
+		ix.Tree.Insert(k, uint64(rid))
+		tx.idxOps[rec] = append(tx.idxOps[rec], idxOp{ix: ix, key: k, rid: uint64(rid), added: true})
+	}
+	return rid, nil
+}
+
+// checkUnique rejects the insert if an entry under the same unique key
+// resolves to a row version visible to this transaction (or an uncommitted
+// insert by anyone, conservatively treated as a duplicate).
+func (tx *Tx) checkUnique(t *Tbl, ix *Index, row rel.Row) error {
+	k := indexKey(ix, row, 0)
+	rid, ok := ix.Tree.Lookup(k)
+	if !ok {
+		return nil
+	}
+	_, visible, err := tx.readRow(t, rel.RowID(rid))
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	if visible {
+		return fmt.Errorf("%w: index %q", ErrDuplicate, ix.Name)
+	}
+	// Stale entry for a dead row: drop it so the new insert can claim it.
+	ix.Tree.Delete(k)
+	return nil
+}
+
+// partition maps the slot to its worker's buffer partition.
+func (tx *Tx) partition() int {
+	if tx.e.cfg.PartitionOf != nil {
+		return tx.e.cfg.PartitionOf(tx.slot) % tx.e.Pool.Partitions()
+	}
+	return tx.slot % tx.e.Pool.Partitions()
+}
+
+// --- Read ----------------------------------------------------------------------
+
+// Get returns the row version visible to the transaction, if any.
+func (tx *Tx) Get(tableName string, rid rel.RowID) (rel.Row, bool, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, false, err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return nil, false, err
+	}
+	row, ok, err := tx.readRow(t, rid)
+	if errors.Is(err, ErrNotFound) {
+		return nil, false, nil
+	}
+	return row, ok, err
+}
+
+// readRow performs the visibility-checked point read across the hot/cold
+// and frozen layers.
+func (tx *Tx) readRow(t *Tbl, rid rel.RowID) (rel.Row, bool, error) {
+	var out rel.Row
+	var ok bool
+	err := t.Store.WithRow(rid, false, tx.yield, func(h *table.Handle) error {
+		start := time.Now()
+		var head *undo.Record
+		if tt := h.TwinTable(false); tt != nil {
+			head = tt.Head(rid)
+		}
+		out, ok = txn.ReadVisible(head, tx.inner.Snapshot(), tx.XID(), h.Row(), h.Deleted())
+		tx.track(metrics.CompMVCC, start)
+		return nil
+	})
+	if errors.Is(err, table.ErrFrozen) {
+		start := time.Now()
+		row, found, ferr := t.Frozen.Get(rid)
+		tx.track(metrics.CompBuffer, start)
+		if ferr != nil {
+			return nil, false, ferr
+		}
+		if found && t.Frozen.ShouldWarm(rid) {
+			tx.e.requestWarm(t, rid)
+		}
+		return row, found, nil
+	}
+	if errors.Is(err, table.ErrNotFound) {
+		return nil, false, ErrNotFound
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return out, ok, nil
+}
+
+// GetByIndex returns the first row whose index key columns equal vals and
+// which is visible to the transaction.
+func (tx *Tx) GetByIndex(tableName, indexName string, vals ...rel.Value) (rel.RowID, rel.Row, bool, error) {
+	if err := tx.stmt(); err != nil {
+		return 0, nil, false, err
+	}
+	t, ix, err := tx.resolveIndex(tableName, indexName)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return 0, nil, false, err
+	}
+	var outRID rel.RowID
+	var outRow rel.Row
+	found := false
+	err = tx.scanIndexRaw(t, ix, vals, func(rid rel.RowID, row rel.Row) bool {
+		outRID, outRow, found = rid, row, true
+		return false
+	})
+	return outRID, outRow, found, err
+}
+
+// ScanIndex iterates, in key order, the visible rows whose index key
+// columns match vals (a full or partial prefix of the index columns),
+// until fn returns false.
+func (tx *Tx) ScanIndex(tableName, indexName string, vals []rel.Value, fn func(rid rel.RowID, row rel.Row) bool) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	t, ix, err := tx.resolveIndex(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return err
+	}
+	return tx.scanIndexRaw(t, ix, vals, fn)
+}
+
+func (tx *Tx) resolveIndex(tableName, indexName string) (*Tbl, *Index, error) {
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := t.Index(indexName)
+	if ix == nil {
+		return nil, nil, fmt.Errorf("%w: %q on %q", ErrNoSuchIndex, indexName, tableName)
+	}
+	return t, ix, nil
+}
+
+// keyPrefixEnd returns the smallest byte string greater than every string
+// with prefix p, or nil if p is all 0xFF.
+func keyPrefixEnd(p []byte) []byte {
+	end := append([]byte(nil), p...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.RowID, row rel.Row) bool) error {
+	prefix := indexPrefix(ix, vals)
+	// Unique full-key probes take the point-lookup path: one OLC descent
+	// instead of a range scan.
+	if ix.Unique && len(vals) == len(ix.Cols) {
+		latchStart := time.Now()
+		v, ok := ix.Tree.Lookup(prefix)
+		tx.track(metrics.CompLatch, latchStart)
+		if !ok {
+			return nil
+		}
+		row, ok, err := tx.readRow(t, rel.RowID(v))
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		if !ok || row == nil {
+			return nil
+		}
+		for i := range vals {
+			if !row[ix.Cols[i]].Equal(vals[i]) {
+				return nil // stale entry
+			}
+		}
+		fn(rel.RowID(v), row)
+		return nil
+	}
+	hi := keyPrefixEnd(prefix)
+	// Collect candidates first: the row reads below take page latches and
+	// must not run inside the index leaf snapshot loop.
+	type cand struct {
+		rid rel.RowID
+	}
+	var cands []cand
+	latchStart := time.Now()
+	ix.Tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
+		cands = append(cands, cand{rid: rel.RowID(v)})
+		return true
+	})
+	tx.track(metrics.CompLatch, latchStart)
+	for _, c := range cands {
+		row, ok, err := tx.readRow(t, c.rid)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		if !ok || row == nil {
+			continue // stale entry or invisible version
+		}
+		// Verify the visible version still matches the search key: stale
+		// entries can point at rows whose indexed columns changed.
+		match := true
+		for i := range vals {
+			if !row[ix.Cols[i]].Equal(vals[i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if !fn(c.rid, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanTable iterates every visible row: the frozen layer first (lower
+// row_ids), then hot/cold pages, until fn returns false.
+func (tx *Tx) ScanTable(tableName string, fn func(rid rel.RowID, row rel.Row) bool) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return err
+	}
+	stop := false
+	if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
+		if !fn(rid, row) {
+			stop = true
+			return false
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if stop {
+		return nil
+	}
+	snapshot := tx.inner.Snapshot()
+	xid := tx.XID()
+	// ScanAll: tombstoned rows flow through the visibility check so older
+	// snapshots still see rows deleted after them.
+	return t.Store.ScanAll(tx.yield, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
+		var head *undo.Record
+		if tt := h.TwinTable(false); tt != nil {
+			head = tt.Head(rid)
+		}
+		visRow, ok := txn.ReadVisible(head, snapshot, xid, row, h.Deleted())
+		if !ok {
+			return true
+		}
+		return fn(rid, visRow)
+	})
+}
+
+// --- Update / Delete -------------------------------------------------------------
+
+// errWait is an internal sentinel carrying what to wait on.
+type errWait struct {
+	meta *undo.TxnMeta
+	ch   <-chan struct{}
+}
+
+func (errWait) Error() string { return "core: internal wait sentinel" }
+
+// Update modifies the named columns of a row in place (§6.2's write path).
+func (tx *Tx) Update(tableName string, rid rel.RowID, set map[string]rel.Value) error {
+	_, err := tx.Modify(tableName, rid, func(rel.Row) (map[string]rel.Value, error) {
+		return set, nil
+	})
+	return err
+}
+
+// Modify atomically applies a read-modify-write: fn receives the row's
+// current version under the page's exclusive latch (after write-conflict
+// resolution) and returns the columns to set. It returns the resulting
+// row — the engine-level equivalent of UPDATE ... RETURNING, which TPC-C
+// needs for counters like D_NEXT_O_ID and the YTD accumulations. fn may
+// run more than once if the transaction has to wait and retry.
+func (tx *Tx) Modify(tableName string, rid rel.RowID, fn func(cur rel.Row) (map[string]rel.Value, error)) (rel.Row, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.lockTable(t, lock.ModeIX); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(tx.e.cfg.LockTimeout)
+	for {
+		row, err := tx.modifyOnce(t, rid, fn)
+		var w errWait
+		if !errors.As(err, &w) {
+			return row, err
+		}
+		if !tx.waitOn(w, deadline) {
+			return nil, fmt.Errorf("update %q row %d: %w", tableName, rid, lock.ErrLockTimeout)
+		}
+		tx.inner.RefreshSnapshot()
+	}
+}
+
+// waitOn performs the low-urgency wait for a conflict (§7.1): transaction-
+// ID locks or tuple-lock waiter channels. The blocked time is accounted as
+// stall, not as locking work (a waiting transaction executes nothing).
+func (tx *Tx) waitOn(w errWait, deadline time.Time) bool {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		tx.mets.AddWait(d)
+		tx.tracked += d
+	}()
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	if w.meta != nil {
+		return tx.waitLow(w.meta.Done(), remaining)
+	}
+	return tx.waitLow(w.ch, remaining)
+}
+
+func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string]rel.Value, error)) (rel.Row, error) {
+	var result rel.Row
+	err := t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+		mvccStart := time.Now()
+		tt := h.TwinTable(true)
+		head := tt.Head(rid)
+		waitMeta, err := txn.CheckWriteConflict(head, tx.inner)
+		tx.track(metrics.CompMVCC, mvccStart)
+		if err != nil {
+			return err
+		}
+		if waitMeta != nil {
+			return errWait{meta: waitMeta}
+		}
+		if h.Deleted() {
+			return ErrNotFound
+		}
+		lockStart := time.Now()
+		entry := tt.Entry(rid, true)
+		if !lock.TryLockTuple(entry, true, tx.XID()) {
+			ch := entry.AddWaiter()
+			tx.track(metrics.CompLock, lockStart)
+			return errWait{ch: ch}
+		}
+		tx.track(metrics.CompLock, lockStart)
+
+		set, err := fn(h.Row())
+		if err != nil {
+			lock.UnlockTuple(entry, true)
+			return err
+		}
+		cols, vals, err := resolveSet(t.Schema, set)
+		if err != nil {
+			lock.UnlockTuple(entry, true)
+			return err
+		}
+
+		// Before-image delta, version chain push, in-place update.
+		mvccStart = time.Now()
+		delta := make([]undo.ColVal, len(cols))
+		oldVals := make(rel.Row, len(cols))
+		for i, c := range cols {
+			oldVals[i] = h.Col(c)
+			delta[i] = undo.ColVal{Col: c, Val: oldVals[i]}
+		}
+		rec := tx.inner.AddUndo(t.ID, rid, undo.OpUpdate, delta, head)
+		tt.Push(rid, rec)
+		for i, c := range cols {
+			h.SetCol(c, vals[i])
+		}
+		tx.track(metrics.CompMVCC, mvccStart)
+		tx.logChange(h, wal.RecUpdate, t.ID, rid, rel.EncodeDelta(nil, cols, vals))
+
+		// Index maintenance: if an indexed column changed, add an entry
+		// for the new key. The old entry stays for older snapshots and is
+		// filtered by the scan-side key verification; it is physically
+		// removed when the row is eventually deleted and GC'd.
+		newRow := h.Row()
+		result = newRow
+		for _, ix := range t.Indexes() {
+			changed := false
+			for _, c := range ix.Cols {
+				for j, uc := range cols {
+					if uc == c && !oldVals[j].Equal(vals[j]) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				continue
+			}
+			k := indexKey(ix, newRow, rid)
+			ix.Tree.Insert(k, uint64(rid))
+			tx.idxOps[rec] = append(tx.idxOps[rec], idxOp{ix: ix, key: k, rid: uint64(rid), added: true})
+		}
+
+		lockStart = time.Now()
+		lock.UnlockTuple(entry, true) // released right after the operation (§7.2)
+		tx.track(metrics.CompLock, lockStart)
+		return nil
+	})
+	if errors.Is(err, table.ErrFrozen) {
+		// §5.2 case 3: writes to frozen rows warm them into hot storage
+		// first, then apply the update to the hot copy.
+		newRID, werr := tx.warmFrozenRow(t, rid)
+		if werr != nil {
+			return nil, werr
+		}
+		return tx.modifyOnce(t, newRID, fn)
+	}
+	if errors.Is(err, table.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return result, err
+}
+
+// Delete tombstones a row (physical removal happens at GC, §7.3).
+func (tx *Tx) Delete(tableName string, rid rel.RowID) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(t, lock.ModeIX); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(tx.e.cfg.LockTimeout)
+	for {
+		err := tx.deleteOnce(t, rid)
+		var w errWait
+		if !errors.As(err, &w) {
+			return err
+		}
+		if !tx.waitOn(w, deadline) {
+			return fmt.Errorf("delete %q row %d: %w", tableName, rid, lock.ErrLockTimeout)
+		}
+		tx.inner.RefreshSnapshot()
+	}
+}
+
+func (tx *Tx) deleteOnce(t *Tbl, rid rel.RowID) error {
+	err := t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+		mvccStart := time.Now()
+		tt := h.TwinTable(true)
+		head := tt.Head(rid)
+		waitMeta, err := txn.CheckWriteConflict(head, tx.inner)
+		tx.track(metrics.CompMVCC, mvccStart)
+		if err != nil {
+			return err
+		}
+		if waitMeta != nil {
+			return errWait{meta: waitMeta}
+		}
+		if h.Deleted() {
+			return ErrNotFound
+		}
+		lockStart := time.Now()
+		entry := tt.Entry(rid, true)
+		if !lock.TryLockTuple(entry, true, tx.XID()) {
+			ch := entry.AddWaiter()
+			tx.track(metrics.CompLock, lockStart)
+			return errWait{ch: ch}
+		}
+		tx.track(metrics.CompLock, lockStart)
+
+		mvccStart = time.Now()
+		rec := tx.inner.AddUndo(t.ID, rid, undo.OpDelete, nil, head)
+		tt.Push(rid, rec)
+		h.SetDeleted(true)
+		tx.track(metrics.CompMVCC, mvccStart)
+		tx.logChange(h, wal.RecDelete, t.ID, rid, nil)
+
+		lockStart = time.Now()
+		lock.UnlockTuple(entry, true)
+		tx.track(metrics.CompLock, lockStart)
+		return nil
+	})
+	if errors.Is(err, table.ErrFrozen) {
+		newRID, werr := tx.warmFrozenRow(t, rid)
+		if werr != nil {
+			return werr
+		}
+		return tx.deleteOnce(t, newRID)
+	}
+	if errors.Is(err, table.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// warmFrozenRow moves one frozen row into hot storage within this
+// transaction (§5.2 case 3): tombstone the frozen copy (WAL-logged so redo
+// erases the replayed hot original), repoint index entries, and insert the
+// hot copy with a fresh row_id.
+func (tx *Tx) warmFrozenRow(t *Tbl, rid rel.RowID) (rel.RowID, error) {
+	row, found, err := t.Frozen.Get(rid)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, ErrNotFound
+	}
+	live, err := t.Frozen.MarkDeleted(rid)
+	if err != nil {
+		return 0, err
+	}
+	if !live {
+		return 0, ErrNotFound // lost a warm race; caller re-finds via index
+	}
+	tx.frozenRestores = append(tx.frozenRestores, frozenRestore{t: t, rid: rid})
+	tx.logUnstamped(wal.RecDelete, t.ID, rid, nil)
+
+	newRID, err := tx.insertRow(t, row, false)
+	if err != nil {
+		return 0, err
+	}
+	// Repoint index entries. The insert already published the new rid's
+	// entries; for unique indexes that replaced the old mapping in place,
+	// while non-unique entries for the frozen rid must be removed. Both
+	// are recorded on the insert's undo record so rollback restores the
+	// old mappings.
+	insRec := tx.inner.Records[len(tx.inner.Records)-1]
+	tx.repointWarmedIndexes(insRec, t, row, rid)
+	return newRID, nil
+}
+
+// repointWarmedIndexes moves index entries from a warmed frozen rid to the
+// hot copy, recording rollback operations on insRec.
+func (tx *Tx) repointWarmedIndexes(insRec *undo.Record, t *Tbl, row rel.Row, oldRID rel.RowID) {
+	for _, ix := range t.Indexes() {
+		k := indexKey(ix, row, oldRID)
+		if ix.Unique {
+			// The insert replaced key->oldRID with key->newRID; rollback
+			// must restore the old mapping after deleting the new one.
+			tx.idxOps[insRec] = append(tx.idxOps[insRec], idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false})
+			continue
+		}
+		if ix.Tree.Delete(k) {
+			tx.idxOps[insRec] = append(tx.idxOps[insRec], idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false})
+		}
+	}
+}
+
+func resolveSet(s *rel.Schema, set map[string]rel.Value) ([]int, rel.Row, error) {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cols := make([]int, len(names))
+	vals := make(rel.Row, len(names))
+	for i, n := range names {
+		c := s.ColIndex(n)
+		if c < 0 {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, n)
+		}
+		if set[n].Kind != s.Cols[c].Type {
+			return nil, nil, fmt.Errorf("core: column %q: wrong value kind", n)
+		}
+		cols[i] = c
+		vals[i] = set[n]
+	}
+	return cols, vals, nil
+}
+
+// --- Commit / Rollback -------------------------------------------------------------
+
+// Commit makes the transaction durable and visible. Read-only transactions
+// skip the WAL entirely.
+func (tx *Tx) Commit() error {
+	if tx.finished {
+		return ErrTxnDone
+	}
+	tx.finished = true
+	cts := tx.inner.PrepareCommit()
+	if len(tx.inner.Records) > 0 {
+		walStart := time.Now()
+		w := tx.e.WAL.Writer(tx.slot)
+		cr := wal.Record{Type: wal.RecCommit, GSN: w.NextGSN(0), XID: tx.XID(), RowID: cts}
+		w.Append(&cr)
+		tx.track(metrics.CompWAL, walStart)
+		// The flush itself (and any remote-flush wait) is an I/O stall,
+		// accounted separately from WAL CPU work.
+		flushStart := time.Now()
+		err := w.Flush()
+		if err == nil && tx.e.cfg.DisableRFA {
+			// Ablation: behave like a serialized log — wait until every
+			// writer's durable horizon covers this commit.
+			err = tx.e.WAL.WaitRemoteFlush(cr.GSN)
+		} else if err == nil && tx.inner.NeedsRemoteFlush {
+			// RFA slow path: a foreign slot's unflushed change to one of
+			// our pages must be durable before we report commit.
+			err = tx.e.WAL.WaitRemoteFlush(tx.inner.MaxObservedGSN)
+		}
+		d := time.Since(flushStart)
+		tx.mets.AddWait(d)
+		tx.tracked += d
+		if err != nil {
+			tx.rollbackChanges()
+			tx.inner.FinalizeAbort()
+			tx.releaseTableLocks()
+			return fmt.Errorf("core: commit flush: %w", err)
+		}
+	}
+	mvccStart := time.Now()
+	tx.inner.FinalizeCommit(cts)
+	tx.track(metrics.CompMVCC, mvccStart)
+	tx.releaseTableLocks()
+	tx.finishMetrics()
+	return nil
+}
+
+// Rollback aborts the transaction, restoring every before image and
+// unlinking its version-chain records.
+func (tx *Tx) Rollback() error {
+	if tx.finished {
+		return ErrTxnDone
+	}
+	tx.finished = true
+	tx.rollbackChanges()
+	if len(tx.inner.Records) > 0 {
+		w := tx.e.WAL.Writer(tx.slot)
+		ar := wal.Record{Type: wal.RecAbort, GSN: w.NextGSN(0), XID: tx.XID()}
+		w.Append(&ar) // no flush needed: aborts are implicit at recovery
+	}
+	tx.inner.FinalizeAbort()
+	tx.releaseTableLocks()
+	tx.finishMetrics()
+	return nil
+}
+
+func (tx *Tx) finishMetrics() {
+	total := time.Since(tx.started)
+	if rest := total - tx.tracked; rest > 0 {
+		tx.mets.Add(metrics.CompCompute, rest)
+	}
+	tx.mets.CountTxn()
+}
+
+// rollbackChanges undoes the transaction's physical effects in reverse
+// order. UNDO records are marked dead (immediately reclaimable).
+func (tx *Tx) rollbackChanges() {
+	recs := tx.inner.Records
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		t := tx.e.tableByID(rec.TableID)
+		if t == nil {
+			continue
+		}
+		// Revert this record's index mutations.
+		for _, op := range tx.idxOps[rec] {
+			if op.added {
+				op.ix.Tree.Delete(op.key)
+			} else {
+				op.ix.Tree.Insert(op.key, op.rid)
+			}
+		}
+		rid := rec.RowID
+		switch rec.Op {
+		case undo.OpUpdate:
+			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+				for _, cv := range rec.Delta {
+					h.SetCol(cv.Col, cv.Val)
+				}
+				if tt := h.TwinTable(false); tt != nil {
+					tt.Pop(rid, rec)
+				}
+				return nil
+			})
+		case undo.OpDelete:
+			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+				h.SetDeleted(false)
+				if tt := h.TwinTable(false); tt != nil {
+					tt.Pop(rid, rec)
+				}
+				return nil
+			})
+		case undo.OpInsert:
+			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+				if tt := h.TwinTable(false); tt != nil {
+					tt.Pop(rid, rec)
+				}
+				return nil
+			})
+			t.Store.RemoveRow(rid, tx.yield)
+		}
+		rec.MarkDead()
+	}
+	// Clear frozen tombstones set by warming.
+	for _, fr := range tx.frozenRestores {
+		fr.t.Frozen.Undelete(fr.rid)
+	}
+}

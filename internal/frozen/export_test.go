@@ -1,0 +1,70 @@
+package frozen
+
+import (
+	"testing"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	bf, err := storage.OpenBlockFile(t.TempDir()+"/blocks", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	src := NewStore(bf, testSchema())
+	ids1, rows1 := batch(1, 10)
+	src.Freeze(ids1, rows1)
+	ids2, rows2 := batch(20, 5)
+	src.Freeze(ids2, rows2)
+	src.MarkDeleted(3)
+	src.MarkDeleted(22)
+
+	metas := src.Export()
+	if len(metas) != 2 {
+		t.Fatalf("exported %d blocks", len(metas))
+	}
+	if len(metas[0].Deleted) != 1 || metas[0].Deleted[0] != 3 {
+		t.Fatalf("block 0 deleted = %v", metas[0].Deleted)
+	}
+
+	// Import over the same block file (checkpoint recovery path).
+	dst := NewStore(bf, testSchema())
+	if err := dst.Import(metas); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumBlocks() != 2 || dst.MaxRID() != 24 {
+		t.Fatalf("imported = %d blocks, max %d", dst.NumBlocks(), dst.MaxRID())
+	}
+	// Live row reads back; tombstones survived.
+	row, ok, err := dst.Get(5)
+	if err != nil || !ok || row[0].I != 5 {
+		t.Fatalf("Get(5) = (%v,%v,%v)", row, ok, err)
+	}
+	if _, ok, _ := dst.Get(3); ok {
+		t.Fatal("tombstone lost on import")
+	}
+	if _, ok, _ := dst.Get(22); ok {
+		t.Fatal("tombstone in block 2 lost on import")
+	}
+	// Import into a non-empty store is rejected.
+	if err := dst.Import(metas); err == nil {
+		t.Fatal("import into non-empty store accepted")
+	}
+}
+
+func TestExportEmptyStore(t *testing.T) {
+	bf, _ := storage.OpenBlockFile(t.TempDir()+"/blocks", nil)
+	defer bf.Close()
+	s := NewStore(bf, testSchema())
+	if metas := s.Export(); len(metas) != 0 {
+		t.Fatalf("empty export = %v", metas)
+	}
+	if err := s.Import(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(rel.RowID(1)); ok {
+		t.Fatal("phantom row")
+	}
+}

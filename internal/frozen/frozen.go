@@ -1,0 +1,386 @@
+// Package frozen implements the Data Block File layer (§5.2): long-cold
+// data compressed into immutable blocks, primarily serving analytical
+// scans while keeping OLTP table scans from warming the buffer pool.
+//
+// A block is a run of consecutive leaf pages' rows — row_id order is
+// preserved — serialized and DEFLATE-compressed into the append-only block
+// file. Blocks are immutable on disk: updates and deletes are out-of-place
+// (§5.2 case 3) — the row is marked deleted in the block's in-memory
+// tombstone set and, for updates/warming, re-inserted into hot storage with
+// a fresh row_id by the engine, which also refreshes secondary indexes.
+// Tombstones are not persisted here; recovery replays them from the WAL.
+//
+// Each block counts its reads; once a block exceeds the warm threshold the
+// engine extracts its surviving rows back into hot storage ("frequently
+// accessed frozen pages ... are marked as deleted and reinserted").
+// A small decompression cache (FIFO over blocks) bounds repeated-scan cost.
+package frozen
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/pax"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+)
+
+// DefaultWarmReadThreshold is the per-block read count after which the
+// engine should warm the block back into hot storage.
+const DefaultWarmReadThreshold = 1024
+
+// blockData is a decompressed block image.
+type blockData struct {
+	ids  []rel.RowID
+	rows *pax.Page
+}
+
+// Block is one immutable frozen run.
+type Block struct {
+	FirstRID, LastRID rel.RowID
+	NumRows           int
+	ref               storage.BlockRef
+
+	mu      sync.Mutex
+	deleted map[rel.RowID]bool
+	reads   atomic.Uint32
+	cache   atomic.Pointer[blockData]
+}
+
+// Reads returns the block's access count.
+func (b *Block) Reads() uint32 { return b.reads.Load() }
+
+// Store manages one table's frozen blocks.
+type Store struct {
+	bf            *storage.BlockFile
+	schema        *rel.Schema
+	WarmThreshold uint32
+
+	mu     sync.RWMutex
+	blocks []*Block // ascending FirstRID
+
+	cacheMu  sync.Mutex
+	cacheQ   []*Block
+	cacheCap int
+}
+
+// NewStore creates a frozen store over the block file.
+func NewStore(bf *storage.BlockFile, schema *rel.Schema) *Store {
+	return &Store{bf: bf, schema: schema, WarmThreshold: DefaultWarmReadThreshold, cacheCap: 4}
+}
+
+// NumBlocks returns the block count.
+func (s *Store) NumBlocks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// MaxRID returns the largest frozen row_id (0 if no blocks).
+func (s *Store) MaxRID() rel.RowID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return 0
+	}
+	return s.blocks[len(s.blocks)-1].LastRID
+}
+
+// Freeze compresses the rows (ascending row_ids, all greater than any
+// frozen so far) into a new block.
+func (s *Store) Freeze(ids []rel.RowID, rows []rel.Row) (*Block, error) {
+	if len(ids) == 0 || len(ids) != len(rows) {
+		return nil, fmt.Errorf("frozen: bad freeze batch (%d ids, %d rows)", len(ids), len(rows))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return nil, fmt.Errorf("frozen: row_ids not ascending at %d", i)
+		}
+	}
+	if max := s.MaxRID(); ids[0] <= max {
+		return nil, fmt.Errorf("frozen: row_id %d overlaps frozen range (max %d)", ids[0], max)
+	}
+	page := pax.NewPage(s.schema, len(ids))
+	for _, r := range rows {
+		if _, err := page.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	// Serialize: count, ids, pax image; then DEFLATE.
+	var raw []byte
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(ids)))
+	raw = append(raw, b8[:4]...)
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(b8[:], uint64(id))
+		raw = append(raw, b8[:]...)
+	}
+	raw = page.Serialize(raw)
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	ref, err := s.bf.AppendBlock(comp.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{
+		FirstRID: ids[0],
+		LastRID:  ids[len(ids)-1],
+		NumRows:  len(ids),
+		ref:      ref,
+		deleted:  make(map[rel.RowID]bool),
+	}
+	s.mu.Lock()
+	s.blocks = append(s.blocks, blk)
+	s.mu.Unlock()
+	return blk, nil
+}
+
+// blockFor routes a row_id to its block (nil if outside all ranges).
+func (s *Store) blockFor(rid rel.RowID) *Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].LastRID >= rid })
+	if i == len(s.blocks) || s.blocks[i].FirstRID > rid {
+		return nil
+	}
+	return s.blocks[i]
+}
+
+func (s *Store) load(b *Block) (*blockData, error) {
+	if d := b.cache.Load(); d != nil {
+		return d, nil
+	}
+	comp, err := s.bf.ReadBlock(b.ref)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		return nil, fmt.Errorf("frozen: decompress block at %d: %w", b.ref.Offset, err)
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("frozen: truncated block")
+	}
+	n := int(binary.LittleEndian.Uint32(raw[:4]))
+	off := 4
+	if len(raw) < off+8*n {
+		return nil, fmt.Errorf("frozen: truncated block ids")
+	}
+	d := &blockData{ids: make([]rel.RowID, n)}
+	for i := 0; i < n; i++ {
+		d.ids[i] = rel.RowID(binary.LittleEndian.Uint64(raw[off : off+8]))
+		off += 8
+	}
+	page, err := pax.Deserialize(s.schema, n, raw[off:])
+	if err != nil {
+		return nil, err
+	}
+	d.rows = page
+	b.cache.Store(d)
+	// FIFO cache bound across blocks.
+	s.cacheMu.Lock()
+	s.cacheQ = append(s.cacheQ, b)
+	if len(s.cacheQ) > s.cacheCap {
+		evict := s.cacheQ[0]
+		s.cacheQ = s.cacheQ[1:]
+		if evict != b {
+			evict.cache.Store(nil)
+		}
+	}
+	s.cacheMu.Unlock()
+	return d, nil
+}
+
+// Get returns the frozen row, if present and not deleted. The bool reports
+// presence.
+func (s *Store) Get(rid rel.RowID) (rel.Row, bool, error) {
+	b := s.blockFor(rid)
+	if b == nil {
+		return nil, false, nil
+	}
+	b.reads.Add(1)
+	b.mu.Lock()
+	del := b.deleted[rid]
+	b.mu.Unlock()
+	if del {
+		return nil, false, nil
+	}
+	d, err := s.load(b)
+	if err != nil {
+		return nil, false, err
+	}
+	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= rid })
+	if i == len(d.ids) || d.ids[i] != rid {
+		return nil, false, nil
+	}
+	return d.rows.Row(i), true, nil
+}
+
+// MarkDeleted tombstones a frozen row (out-of-place delete/update). It
+// reports whether the row existed and was live.
+func (s *Store) MarkDeleted(rid rel.RowID) (bool, error) {
+	b := s.blockFor(rid)
+	if b == nil {
+		return false, nil
+	}
+	d, err := s.load(b)
+	if err != nil {
+		return false, err
+	}
+	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= rid })
+	if i == len(d.ids) || d.ids[i] != rid {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.deleted[rid] {
+		return false, nil
+	}
+	b.deleted[rid] = true
+	return true, nil
+}
+
+// Undelete clears a tombstone (rollback of a warming transaction).
+func (s *Store) Undelete(rid rel.RowID) {
+	b := s.blockFor(rid)
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.deleted, rid)
+	b.mu.Unlock()
+}
+
+// ShouldWarm reports whether the row's block has crossed the read
+// threshold (§5.2 case 3).
+func (s *Store) ShouldWarm(rid rel.RowID) bool {
+	b := s.blockFor(rid)
+	return b != nil && b.reads.Load() >= s.WarmThreshold
+}
+
+// ExtractLive returns the block's surviving rows (for re-insertion into
+// hot storage) and tombstones them all. The block stays in place, fully
+// dead, until a future block-file compaction.
+func (s *Store) ExtractLive(rid rel.RowID) (ids []rel.RowID, rows []rel.Row, err error) {
+	b := s.blockFor(rid)
+	if b == nil {
+		return nil, nil, nil
+	}
+	d, err := s.load(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, id := range d.ids {
+		if b.deleted[id] {
+			continue
+		}
+		b.deleted[id] = true
+		ids = append(ids, id)
+		rows = append(rows, d.rows.Row(i))
+	}
+	b.reads.Store(0)
+	return ids, rows, nil
+}
+
+// ScanLive streams every live frozen row in row_id order — the OLAP path.
+// Scanning does not bump warm counters: per §5.2, "operations like table
+// scans do not warm any data".
+func (s *Store) ScanLive(fn func(rid rel.RowID, row rel.Row) bool) error {
+	s.mu.RLock()
+	blocks := append([]*Block(nil), s.blocks...)
+	s.mu.RUnlock()
+	for _, b := range blocks {
+		d, err := s.load(b)
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		dels := make(map[rel.RowID]bool, len(b.deleted))
+		for k, v := range b.deleted {
+			dels[k] = v
+		}
+		b.mu.Unlock()
+		for i, id := range d.ids {
+			if dels[id] {
+				continue
+			}
+			if !fn(id, d.rows.Row(i)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CompressedBytes returns the block file size (diagnostics, Exp 4).
+func (s *Store) CompressedBytes() int64 { return s.bf.Size() }
+
+// BlockMeta is a frozen block's checkpoint record: its row range, its
+// location in the (append-only, immutable) block file, and its tombstones.
+type BlockMeta struct {
+	FirstRID, LastRID rel.RowID
+	NumRows           int
+	Ref               storage.BlockRef
+	Deleted           []rel.RowID
+}
+
+// Export captures the block directory for a checkpoint.
+func (s *Store) Export() []BlockMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]BlockMeta, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		m := BlockMeta{FirstRID: b.FirstRID, LastRID: b.LastRID, NumRows: b.NumRows, Ref: b.ref}
+		b.mu.Lock()
+		for rid, d := range b.deleted {
+			if d {
+				m.Deleted = append(m.Deleted, rid)
+			}
+		}
+		b.mu.Unlock()
+		sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
+		out = append(out, m)
+	}
+	return out
+}
+
+// Import rebuilds the block directory from a checkpoint export. The store
+// must be empty; the block file must be the one the refs point into.
+func (s *Store) Import(metas []BlockMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blocks) != 0 {
+		return fmt.Errorf("frozen: Import on non-empty store")
+	}
+	for _, m := range metas {
+		b := &Block{
+			FirstRID: m.FirstRID,
+			LastRID:  m.LastRID,
+			NumRows:  m.NumRows,
+			ref:      m.Ref,
+			deleted:  make(map[rel.RowID]bool, len(m.Deleted)),
+		}
+		for _, rid := range m.Deleted {
+			b.deleted[rid] = true
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package frozen
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+)
+
+func testSchema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "k", Type: rel.TInt64},
+		rel.Column{Name: "payload", Type: rel.TString},
+	)
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	bf, err := storage.OpenBlockFile(filepath.Join(t.TempDir(), "frozen.blocks"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bf.Close() })
+	return NewStore(bf, testSchema())
+}
+
+func batch(first, n int) ([]rel.RowID, []rel.Row) {
+	ids := make([]rel.RowID, n)
+	rows := make([]rel.Row, n)
+	for i := 0; i < n; i++ {
+		ids[i] = rel.RowID(first + i)
+		rows[i] = rel.Row{rel.Int(int64(first + i)), rel.Str(fmt.Sprintf("frozen-row-%d", first+i))}
+	}
+	return ids, rows
+}
+
+func TestFreezeAndGet(t *testing.T) {
+	s := newTestStore(t)
+	ids, rows := batch(1, 50)
+	blk, err := s.Freeze(ids, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.FirstRID != 1 || blk.LastRID != 50 || blk.NumRows != 50 {
+		t.Fatalf("block = %+v", blk)
+	}
+	for i, id := range ids {
+		row, ok, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || !row.Equal(rows[i]) {
+			t.Fatalf("Get(%d) = (%v,%v)", id, row, ok)
+		}
+	}
+	if _, ok, _ := s.Get(999); ok {
+		t.Fatal("absent rid found")
+	}
+	if s.MaxRID() != 50 || s.NumBlocks() != 1 {
+		t.Fatalf("MaxRID=%d NumBlocks=%d", s.MaxRID(), s.NumBlocks())
+	}
+	if s.CompressedBytes() <= 0 {
+		t.Fatal("no bytes written")
+	}
+}
+
+func TestFreezeValidation(t *testing.T) {
+	s := newTestStore(t)
+	ids, rows := batch(1, 10)
+	if _, err := s.Freeze(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := s.Freeze(ids[:5], rows[:4]); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+	bad := append([]rel.RowID(nil), ids...)
+	bad[3] = bad[2]
+	if _, err := s.Freeze(bad, rows); err == nil {
+		t.Fatal("non-ascending ids accepted")
+	}
+	if _, err := s.Freeze(ids, rows); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping range rejected.
+	if _, err := s.Freeze(ids, rows); err == nil {
+		t.Fatal("overlapping freeze accepted")
+	}
+}
+
+func TestMultipleBlocksAndRouting(t *testing.T) {
+	s := newTestStore(t)
+	for b := 0; b < 5; b++ {
+		ids, rows := batch(b*100+1, 20) // gaps between blocks
+		if _, err := s.Freeze(ids, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d", s.NumBlocks())
+	}
+	// Row in third block.
+	row, ok, err := s.Get(215)
+	if err != nil || !ok || row[0].I != 215 {
+		t.Fatalf("Get(215) = (%v,%v,%v)", row, ok, err)
+	}
+	// Gap between blocks: absent.
+	if _, ok, _ := s.Get(50); ok {
+		t.Fatal("rid in gap found")
+	}
+}
+
+func TestMarkDeleted(t *testing.T) {
+	s := newTestStore(t)
+	ids, rows := batch(1, 10)
+	s.Freeze(ids, rows)
+	ok, err := s.MarkDeleted(5)
+	if err != nil || !ok {
+		t.Fatalf("MarkDeleted = (%v,%v)", ok, err)
+	}
+	if _, ok, _ := s.Get(5); ok {
+		t.Fatal("deleted row still visible")
+	}
+	if ok, _ := s.MarkDeleted(5); ok {
+		t.Fatal("double delete reported live")
+	}
+	if ok, _ := s.MarkDeleted(999); ok {
+		t.Fatal("delete of absent row reported live")
+	}
+	// Neighbors unaffected.
+	if _, ok, _ := s.Get(4); !ok {
+		t.Fatal("neighbor lost")
+	}
+}
+
+func TestScanLiveSkipsDeleted(t *testing.T) {
+	s := newTestStore(t)
+	ids1, rows1 := batch(1, 5)
+	s.Freeze(ids1, rows1)
+	ids2, rows2 := batch(10, 5)
+	s.Freeze(ids2, rows2)
+	s.MarkDeleted(3)
+	s.MarkDeleted(12)
+	var seen []rel.RowID
+	if err := s.ScanLive(func(rid rel.RowID, row rel.Row) bool {
+		seen = append(seen, rid)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []rel.RowID{1, 2, 4, 5, 10, 11, 13, 14}
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", seen, want)
+	}
+	// Early stop.
+	n := 0
+	s.ScanLive(func(rel.RowID, rel.Row) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestScanDoesNotWarm(t *testing.T) {
+	s := newTestStore(t)
+	s.WarmThreshold = 2
+	ids, rows := batch(1, 5)
+	s.Freeze(ids, rows)
+	for i := 0; i < 10; i++ {
+		s.ScanLive(func(rel.RowID, rel.Row) bool { return true })
+	}
+	if s.ShouldWarm(1) {
+		t.Fatal("table scan warmed the block (§5.2 violation)")
+	}
+}
+
+func TestWarmThresholdAndExtract(t *testing.T) {
+	s := newTestStore(t)
+	s.WarmThreshold = 3
+	ids, rows := batch(1, 6)
+	s.Freeze(ids, rows)
+	s.MarkDeleted(2)
+	if s.ShouldWarm(1) {
+		t.Fatal("cold block reported warm")
+	}
+	for i := 0; i < 3; i++ {
+		s.Get(1)
+	}
+	if !s.ShouldWarm(1) {
+		t.Fatal("block not warm after threshold reads")
+	}
+	gotIDs, gotRows, err := s.ExtractLive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != 5 || len(gotRows) != 5 {
+		t.Fatalf("extracted %d rows", len(gotIDs))
+	}
+	for _, id := range gotIDs {
+		if id == 2 {
+			t.Fatal("deleted row extracted")
+		}
+	}
+	// After extraction everything is tombstoned.
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("extracted row still live")
+	}
+	n := 0
+	s.ScanLive(func(rel.RowID, rel.Row) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("%d live rows after extraction", n)
+	}
+	if s.ShouldWarm(1) {
+		t.Fatal("warm counter not reset after extraction")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := newTestStore(t)
+	s.cacheCap = 2
+	for b := 0; b < 6; b++ {
+		ids, rows := batch(b*10+1, 5)
+		if _, err := s.Freeze(ids, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch all blocks; the cache holds at most cacheCap decompressed.
+	for b := 0; b < 6; b++ {
+		if _, ok, err := s.Get(rel.RowID(b*10 + 1)); !ok || err != nil {
+			t.Fatalf("block %d unreadable", b)
+		}
+	}
+	cached := 0
+	for _, b := range s.blocks {
+		if b.cache.Load() != nil {
+			cached++
+		}
+	}
+	if cached > 2 {
+		t.Fatalf("%d blocks cached, cap 2", cached)
+	}
+	// Evicted blocks remain readable (re-decompress).
+	if _, ok, _ := s.Get(1); !ok {
+		t.Fatal("evicted block unreadable")
+	}
+}
+
+func TestCompressionActuallyShrinks(t *testing.T) {
+	s := newTestStore(t)
+	n := 500
+	ids := make([]rel.RowID, n)
+	rows := make([]rel.Row, n)
+	for i := 0; i < n; i++ {
+		ids[i] = rel.RowID(i + 1)
+		rows[i] = rel.Row{rel.Int(int64(i)), rel.Str("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")}
+	}
+	if _, err := s.Freeze(ids, rows); err != nil {
+		t.Fatal(err)
+	}
+	rawEstimate := int64(n * (8 + 40))
+	if s.CompressedBytes() >= rawEstimate/2 {
+		t.Fatalf("compressed %d bytes, raw estimate %d: compression ineffective", s.CompressedBytes(), rawEstimate)
+	}
+}
+
+func BenchmarkFrozenGet(b *testing.B) {
+	bf, _ := storage.OpenBlockFile(filepath.Join(b.TempDir(), "f.blocks"), nil)
+	defer bf.Close()
+	s := NewStore(bf, testSchema())
+	ids, rows := batch(1, 1000)
+	s.Freeze(ids, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(rel.RowID(i%1000 + 1))
+	}
+}

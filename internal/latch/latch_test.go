@@ -1,0 +1,185 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExclusiveBlocksOptimistic(t *testing.T) {
+	var l Latch
+	v, ok := l.OptimisticRead(0)
+	if !ok {
+		t.Fatal("optimistic read failed on free latch")
+	}
+	if !l.Validate(v) {
+		t.Fatal("validate failed with no writer")
+	}
+	l.LockExclusive(nil)
+	if l.Validate(v) {
+		t.Fatal("validate succeeded while writer active")
+	}
+	l.UnlockExclusive()
+	if l.Validate(v) {
+		t.Fatal("validate succeeded after version bump")
+	}
+}
+
+func TestOptimisticReadSpinBudget(t *testing.T) {
+	var l Latch
+	l.LockExclusive(nil)
+	if _, ok := l.OptimisticRead(4); ok {
+		t.Fatal("optimistic read should exhaust budget under writer")
+	}
+	l.UnlockExclusive()
+	if _, ok := l.OptimisticRead(4); !ok {
+		t.Fatal("optimistic read should succeed after unlock")
+	}
+}
+
+func TestSharedReadersCoexist(t *testing.T) {
+	var l Latch
+	for i := 0; i < 5; i++ {
+		if !l.TryLockShared() {
+			t.Fatalf("reader %d failed to acquire", i)
+		}
+	}
+	if l.SharedCount() != 5 {
+		t.Fatalf("SharedCount = %d, want 5", l.SharedCount())
+	}
+	if l.TryLockExclusive() {
+		t.Fatal("writer acquired latch while readers present")
+	}
+	for i := 0; i < 5; i++ {
+		l.UnlockShared()
+	}
+	if !l.TryLockExclusive() {
+		t.Fatal("writer failed after readers released")
+	}
+	l.UnlockExclusive()
+}
+
+func TestSharedDoesNotInvalidateOptimistic(t *testing.T) {
+	var l Latch
+	v, _ := l.OptimisticRead(0)
+	l.LockShared(nil)
+	if !l.Validate(v) {
+		t.Fatal("shared holder invalidated optimistic read")
+	}
+	l.UnlockShared()
+	if !l.Validate(v) {
+		t.Fatal("shared release invalidated optimistic read")
+	}
+}
+
+func TestUpgradeToExclusive(t *testing.T) {
+	var l Latch
+	v, _ := l.OptimisticRead(0)
+	if !l.UpgradeToExclusive(v) {
+		t.Fatal("upgrade failed on unchanged version")
+	}
+	l.UnlockExclusive()
+	if l.UpgradeToExclusive(v) {
+		t.Fatal("upgrade succeeded on stale version")
+	}
+}
+
+func TestUpgradeFailsWithReaders(t *testing.T) {
+	var l Latch
+	v, _ := l.OptimisticRead(0)
+	l.LockShared(nil)
+	if l.UpgradeToExclusive(v) {
+		t.Fatal("upgrade succeeded with a reader present")
+	}
+	l.UnlockShared()
+}
+
+func TestExclusiveMutualExclusion(t *testing.T) {
+	var l Latch
+	var counter int64
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const iters = 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.LockExclusive(nil)
+				// Non-atomic RMW protected by the latch.
+				c := atomic.LoadInt64(&counter)
+				atomic.StoreInt64(&counter, c+1)
+				l.UnlockExclusive()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, goroutines*iters)
+	}
+}
+
+func TestOptimisticReaderSeesConsistentPair(t *testing.T) {
+	// A writer keeps the invariant a == b under the latch; optimistic
+	// readers must never validate a read that saw a != b.
+	var l Latch
+	var a, b int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.LockExclusive(nil)
+			atomic.StoreInt64(&a, i)
+			atomic.StoreInt64(&b, i)
+			l.UnlockExclusive()
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		v, _ := l.OptimisticRead(0)
+		ra := atomic.LoadInt64(&a)
+		rb := atomic.LoadInt64(&b)
+		if l.Validate(v) && ra != rb {
+			t.Fatalf("validated torn read: a=%d b=%d", ra, rb)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestYieldCallbackInvoked(t *testing.T) {
+	var l Latch
+	l.LockExclusive(nil)
+	yielded := make(chan struct{})
+	var once sync.Once
+	go func() {
+		l.LockExclusive(func() { once.Do(func() { close(yielded) }) })
+		l.UnlockExclusive()
+	}()
+	<-yielded // must fire while the latch is contended
+	l.UnlockExclusive()
+}
+
+func BenchmarkOptimisticReadValidate(b *testing.B) {
+	var l Latch
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v, _ := l.OptimisticRead(0)
+			l.Validate(v)
+		}
+	})
+}
+
+func BenchmarkExclusiveLockUnlock(b *testing.B) {
+	var l Latch
+	for i := 0; i < b.N; i++ {
+		l.LockExclusive(nil)
+		l.UnlockExclusive()
+	}
+}

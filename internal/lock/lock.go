@@ -1,0 +1,213 @@
+// Package lock implements PhoebeDB's decentralized lock management (§7.2).
+//
+// There is no global lock hash table (the contention hotspot the paper
+// calls out in MySQL/PostgreSQL). Instead each lock lives with the object
+// it protects:
+//
+//   - Table locks hang off the table object itself (the paper stores them
+//     in a memory block referenced from the B-Tree root node): a
+//     multi-granularity lock with intention modes.
+//   - Transaction-ID locks are the transaction's own TxnMeta: a
+//     transaction implicitly holds the exclusive lock on its ID from start
+//     to finish, and "acquiring a shared lock on B's ID" is waiting on B's
+//     done channel — all waiters wake together when B finishes, exactly
+//     the semantics of §7.2's remark.
+//   - Tuple locks live in twin table entries and are mutated under the
+//     owning page's latch; this package provides the state transitions.
+package lock
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"phoebedb/internal/undo"
+)
+
+// ErrLockTimeout reports that a lock wait exceeded its bound; the caller
+// is expected to abort its transaction (timeout-based deadlock recovery).
+var ErrLockTimeout = errors.New("lock: wait timed out (possible deadlock)")
+
+// --- Transaction-ID locks -----------------------------------------------------
+
+// WaitTxn blocks until the other transaction finishes (commits or aborts),
+// i.e. acquires and immediately releases a shared lock on its transaction
+// ID. A zero timeout waits forever. This is a low-urgency yield point: the
+// goroutine parks and its worker runs other task slots (§7.1).
+func WaitTxn(other *undo.TxnMeta, timeout time.Duration) error {
+	if timeout <= 0 {
+		<-other.Done()
+		return nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-other.Done():
+		return nil
+	case <-t.C:
+		return ErrLockTimeout
+	}
+}
+
+// --- Tuple locks ----------------------------------------------------------------
+
+// TryLockTuple attempts to acquire the tuple lock recorded in a twin table
+// entry. The caller must hold the owning page's latch. State: 0 free, -1
+// exclusive, >0 shared count.
+func TryLockTuple(e *undo.TwinEntry, exclusive bool, xid uint64) bool {
+	if exclusive {
+		if e.LockState != 0 {
+			return false
+		}
+		e.LockState = -1
+		e.LockOwnerXID = xid
+		return true
+	}
+	if e.LockState < 0 {
+		return false
+	}
+	e.LockState++
+	return true
+}
+
+// UnlockTuple releases a tuple lock and wakes waiters. The caller must hold
+// the owning page's latch.
+func UnlockTuple(e *undo.TwinEntry, exclusive bool) {
+	if exclusive {
+		e.LockState = 0
+		e.LockOwnerXID = 0
+	} else {
+		e.LockState--
+	}
+	if e.LockState == 0 {
+		e.WakeWaiters()
+	}
+}
+
+// --- Table locks ----------------------------------------------------------------
+
+// Mode is a multi-granularity table lock mode.
+type Mode int
+
+const (
+	// ModeIS is intention-shared: the transaction will read tuples.
+	ModeIS Mode = iota
+	// ModeIX is intention-exclusive: the transaction will write tuples.
+	ModeIX
+	// ModeS locks the whole table for reading (stable scans).
+	ModeS
+	// ModeX locks the whole table exclusively (DDL).
+	ModeX
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeX:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// compatible is the standard multi-granularity compatibility matrix.
+var compatible = [numModes][numModes]bool{
+	ModeIS: {ModeIS: true, ModeIX: true, ModeS: true, ModeX: false},
+	ModeIX: {ModeIS: true, ModeIX: true, ModeS: false, ModeX: false},
+	ModeS:  {ModeIS: true, ModeIX: false, ModeS: true, ModeX: false},
+	ModeX:  {ModeIS: false, ModeIX: false, ModeS: false, ModeX: false},
+}
+
+// TableLock is the per-table lock block. The zero value is an unlocked
+// table lock.
+type TableLock struct {
+	mu      sync.Mutex
+	granted [numModes]int
+	waitCh  chan struct{} // broadcast: replaced on every release
+}
+
+func (l *TableLock) compatibleWith(m Mode) bool {
+	for g := Mode(0); g < numModes; g++ {
+		if l.granted[g] > 0 && !compatible[g][m] {
+			return false
+		}
+	}
+	return true
+}
+
+// TryLock attempts to acquire mode m without waiting.
+func (l *TableLock) TryLock(m Mode) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.compatibleWith(m) {
+		return false
+	}
+	l.granted[m]++
+	return true
+}
+
+// Lock acquires mode m, waiting up to timeout (0 = forever).
+func (l *TableLock) Lock(m Mode, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		l.mu.Lock()
+		if l.compatibleWith(m) {
+			l.granted[m]++
+			l.mu.Unlock()
+			return nil
+		}
+		if l.waitCh == nil {
+			l.waitCh = make(chan struct{})
+		}
+		ch := l.waitCh
+		l.mu.Unlock()
+		if timeout <= 0 {
+			<-ch
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrLockTimeout
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return ErrLockTimeout
+		}
+	}
+}
+
+// Unlock releases one grant of mode m and wakes waiters.
+func (l *TableLock) Unlock(m Mode) {
+	l.mu.Lock()
+	if l.granted[m] <= 0 {
+		l.mu.Unlock()
+		panic("lock: unlock of unheld table lock mode " + m.String())
+	}
+	l.granted[m]--
+	ch := l.waitCh
+	l.waitCh = nil
+	l.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// Granted returns the number of grants held in mode m (diagnostics).
+func (l *TableLock) Granted(m Mode) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.granted[m]
+}

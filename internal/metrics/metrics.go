@@ -1,0 +1,213 @@
+// Package metrics provides the measurement substrate for the evaluation
+// harness: per-component time accounting (the Go stand-in for the paper's
+// per-transaction instruction counts, Exp 7), byte-level I/O counters
+// (Exp 3 and 4), and bucketed throughput time series (Exp 1 and 4).
+//
+// Component accounting is slot-local and non-atomic on the hot path: each
+// task slot owns a SlotMetrics whose counters only that slot mutates, and
+// the harness aggregates across slots after the run — mirroring PhoebeDB's
+// principle of partitioning bookkeeping by worker to avoid shared-cache
+// contention (§7.1).
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Component identifies a kernel subsystem whose cost is accounted
+// separately, matching the categories of Figure 12.
+type Component int
+
+const (
+	// CompCompute is effective computation: the transaction logic itself.
+	CompCompute Component = iota
+	// CompWAL is write-ahead logging work (record construction).
+	CompWAL
+	// CompMVCC is version-chain maintenance and visibility checks.
+	CompMVCC
+	// CompLatch is B-Tree node latching (optimistic and pessimistic).
+	CompLatch
+	// CompLock is tuple / transaction-ID lock management.
+	CompLock
+	// CompBuffer is buffer management: page fetch, swizzle, eviction.
+	CompBuffer
+	// CompGC is UNDO log / twin table / deleted tuple garbage collection.
+	CompGC
+	numComponents
+)
+
+// NumComponents is the number of accounted components.
+const NumComponents = int(numComponents)
+
+// ComponentNames maps Component to the label used in Figure 12.
+var ComponentNames = [NumComponents]string{
+	"effective computation", "WAL", "MVCC", "latching", "locking", "buffer manager", "GC",
+}
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	if int(c) < NumComponents {
+		return ComponentNames[c]
+	}
+	return "unknown"
+}
+
+// SlotMetrics accumulates per-component nanoseconds and transaction counts
+// for one task slot. Only the owning slot may call its methods; padding
+// keeps adjacent slots off the same cache line.
+type SlotMetrics struct {
+	nanos [NumComponents]int64
+	wait  int64
+	txns  int64
+	_     [64]byte // padding against false sharing between slots
+}
+
+// Add charges d to the component.
+func (s *SlotMetrics) Add(c Component, d time.Duration) {
+	s.nanos[c] += int64(d)
+}
+
+// Track runs fn and charges its wall time to the component.
+func (s *SlotMetrics) Track(c Component, fn func()) {
+	start := time.Now()
+	fn()
+	s.nanos[c] += int64(time.Since(start))
+}
+
+// AddWait charges blocked time (lock waits, flush waits, I/O stalls).
+// Waits are reported separately from the component breakdown: the paper's
+// Figure 12 counts instructions, and a blocked transaction executes none.
+func (s *SlotMetrics) AddWait(d time.Duration) { s.wait += int64(d) }
+
+// CountTxn records one completed transaction.
+func (s *SlotMetrics) CountTxn() { s.txns++ }
+
+// Recorder owns the slot metrics for a run and aggregates them.
+type Recorder struct {
+	mu    sync.Mutex
+	slots []*SlotMetrics
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewSlot registers and returns a fresh per-slot accumulator.
+func (r *Recorder) NewSlot() *SlotMetrics {
+	s := &SlotMetrics{}
+	r.mu.Lock()
+	r.slots = append(r.slots, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Breakdown is the aggregated per-component cost of a run.
+type Breakdown struct {
+	Nanos [NumComponents]int64
+	// WaitNanos is blocked time, excluded from the component totals.
+	WaitNanos int64
+	Txns      int64
+}
+
+// Total returns the sum over all components.
+func (b Breakdown) Total() int64 {
+	var t int64
+	for _, n := range b.Nanos {
+		t += n
+	}
+	return t
+}
+
+// Fraction returns the component's share of the total cost in [0,1].
+func (b Breakdown) Fraction(c Component) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Nanos[c]) / float64(t)
+}
+
+// PerTxnNanos returns the average per-transaction cost of the component.
+func (b Breakdown) PerTxnNanos(c Component) float64 {
+	if b.Txns == 0 {
+		return 0
+	}
+	return float64(b.Nanos[c]) / float64(b.Txns)
+}
+
+// Aggregate sums all slot accumulators. Safe to call after the run's slots
+// have quiesced.
+func (r *Recorder) Aggregate() Breakdown {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out Breakdown
+	for _, s := range r.slots {
+		for c := 0; c < NumComponents; c++ {
+			out.Nanos[c] += s.nanos[c]
+		}
+		out.WaitNanos += s.wait
+		out.Txns += s.txns
+	}
+	return out
+}
+
+// --- I/O counters -----------------------------------------------------------
+
+// IOCounters tracks byte volumes through the storage stack (Exp 3 & 4).
+type IOCounters struct {
+	DataRead  atomic.Int64
+	DataWrite atomic.Int64
+	WALWrite  atomic.Int64
+}
+
+// SnapshotIO is a point-in-time copy of the counters.
+type SnapshotIO struct {
+	DataRead, DataWrite, WALWrite int64
+}
+
+// Snapshot returns the current counter values.
+func (c *IOCounters) Snapshot() SnapshotIO {
+	return SnapshotIO{
+		DataRead:  c.DataRead.Load(),
+		DataWrite: c.DataWrite.Load(),
+		WALWrite:  c.WALWrite.Load(),
+	}
+}
+
+// --- Throughput time series -------------------------------------------------
+
+// Series collects a value per fixed-width time bucket; used for the
+// tpmC-over-time and MB/s-over-time figures.
+type Series struct {
+	start   time.Time
+	bucket  time.Duration
+	mu      sync.Mutex
+	buckets []int64
+}
+
+// NewSeries creates a series with the given bucket width, starting now.
+func NewSeries(bucket time.Duration) *Series {
+	return &Series{start: time.Now(), bucket: bucket}
+}
+
+// Observe adds v to the bucket covering time now.
+func (s *Series) Observe(v int64) {
+	idx := int(time.Since(s.start) / s.bucket)
+	s.mu.Lock()
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[idx] += v
+	s.mu.Unlock()
+}
+
+// Buckets returns a copy of the per-bucket totals.
+func (s *Series) Buckets() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.buckets...)
+}
+
+// BucketWidth returns the series' bucket duration.
+func (s *Series) BucketWidth() time.Duration { return s.bucket }

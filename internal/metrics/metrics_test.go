@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlotAccumulationAndAggregate(t *testing.T) {
+	r := NewRecorder()
+	s1 := r.NewSlot()
+	s2 := r.NewSlot()
+	s1.Add(CompWAL, 100*time.Nanosecond)
+	s1.Add(CompCompute, 50*time.Nanosecond)
+	s1.CountTxn()
+	s2.Add(CompWAL, 25*time.Nanosecond)
+	s2.CountTxn()
+	s2.CountTxn()
+	b := r.Aggregate()
+	if b.Nanos[CompWAL] != 125 {
+		t.Fatalf("WAL nanos = %d", b.Nanos[CompWAL])
+	}
+	if b.Nanos[CompCompute] != 50 {
+		t.Fatalf("Compute nanos = %d", b.Nanos[CompCompute])
+	}
+	if b.Txns != 3 {
+		t.Fatalf("Txns = %d", b.Txns)
+	}
+	if b.Total() != 175 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+}
+
+func TestFractionAndPerTxn(t *testing.T) {
+	var b Breakdown
+	b.Nanos[CompWAL] = 75
+	b.Nanos[CompCompute] = 25
+	b.Txns = 5
+	if f := b.Fraction(CompWAL); f != 0.75 {
+		t.Fatalf("Fraction = %g", f)
+	}
+	if p := b.PerTxnNanos(CompWAL); p != 15 {
+		t.Fatalf("PerTxnNanos = %g", p)
+	}
+	var empty Breakdown
+	if empty.Fraction(CompWAL) != 0 || empty.PerTxnNanos(CompWAL) != 0 {
+		t.Fatal("empty breakdown should be zero")
+	}
+}
+
+func TestTrackChargesTime(t *testing.T) {
+	r := NewRecorder()
+	s := r.NewSlot()
+	s.Track(CompGC, func() { time.Sleep(2 * time.Millisecond) })
+	b := r.Aggregate()
+	if b.Nanos[CompGC] < int64(time.Millisecond) {
+		t.Fatalf("Track charged only %d ns", b.Nanos[CompGC])
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	if CompWAL.String() != "WAL" {
+		t.Fatalf("CompWAL = %q", CompWAL.String())
+	}
+	if Component(99).String() != "unknown" {
+		t.Fatal("out-of-range component name")
+	}
+	for c := 0; c < NumComponents; c++ {
+		if ComponentNames[c] == "" {
+			t.Fatalf("component %d has no name", c)
+		}
+	}
+}
+
+func TestIOCountersConcurrent(t *testing.T) {
+	var io IOCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				io.DataRead.Add(1)
+				io.DataWrite.Add(2)
+				io.WALWrite.Add(3)
+			}
+		}()
+	}
+	wg.Wait()
+	s := io.Snapshot()
+	if s.DataRead != 4000 || s.DataWrite != 8000 || s.WALWrite != 12000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestSeriesBucketing(t *testing.T) {
+	s := NewSeries(10 * time.Millisecond)
+	s.Observe(5)
+	s.Observe(7)
+	time.Sleep(25 * time.Millisecond)
+	s.Observe(1)
+	b := s.Buckets()
+	if len(b) < 3 {
+		t.Fatalf("expected >= 3 buckets, got %d", len(b))
+	}
+	if b[0] != 12 {
+		t.Fatalf("bucket 0 = %d, want 12", b[0])
+	}
+	var total int64
+	for _, v := range b {
+		total += v
+	}
+	if total != 13 {
+		t.Fatalf("total = %d, want 13", total)
+	}
+	if s.BucketWidth() != 10*time.Millisecond {
+		t.Fatal("BucketWidth wrong")
+	}
+}
+
+func TestSeriesConcurrentObserve(t *testing.T) {
+	s := NewSeries(time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range s.Buckets() {
+		total += v
+	}
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,157 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRow appends a self-describing encoding of the row to dst, used for
+// WAL payloads: per value a type byte followed by 8 bytes (fixed types) or
+// a length-prefixed string.
+func EncodeRow(dst []byte, row Row) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint16(b8[:2], uint16(len(row)))
+	dst = append(dst, b8[:2]...)
+	for _, v := range row {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case TInt64:
+			binary.LittleEndian.PutUint64(b8[:], uint64(v.I))
+			dst = append(dst, b8[:]...)
+		case TFloat64:
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v.F))
+			dst = append(dst, b8[:]...)
+		case TString:
+			binary.LittleEndian.PutUint32(b8[:4], uint32(len(v.S)))
+			dst = append(dst, b8[:4]...)
+			dst = append(dst, v.S...)
+		default:
+			panic(fmt.Sprintf("rel: cannot encode value kind %d", v.Kind))
+		}
+	}
+	return dst
+}
+
+// DecodeRow parses an EncodeRow payload.
+func DecodeRow(b []byte) (Row, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("rel: truncated row")
+	}
+	n := int(binary.LittleEndian.Uint16(b[:2]))
+	b = b[2:]
+	row := make(Row, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("rel: truncated value header")
+		}
+		kind := Type(b[0])
+		b = b[1:]
+		switch kind {
+		case TInt64:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("rel: truncated int64")
+			}
+			row = append(row, Int(int64(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case TFloat64:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("rel: truncated float64")
+			}
+			row = append(row, Float(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case TString:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("rel: truncated string length")
+			}
+			l := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < l {
+				return nil, fmt.Errorf("rel: truncated string")
+			}
+			row = append(row, Str(string(b[:l])))
+			b = b[l:]
+		default:
+			return nil, fmt.Errorf("rel: unknown value kind %d", kind)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("rel: %d trailing bytes in row", len(b))
+	}
+	return row, nil
+}
+
+// EncodeDelta appends a column-subset encoding: count, then (column index,
+// value) pairs — the WAL after-image of an update.
+func EncodeDelta(dst []byte, cols []int, vals Row) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint16(b8[:2], uint16(len(cols)))
+	dst = append(dst, b8[:2]...)
+	for i, c := range cols {
+		binary.LittleEndian.PutUint16(b8[:2], uint16(c))
+		dst = append(dst, b8[:2]...)
+		dst = EncodeRow(dst, Row{vals[i]})
+	}
+	return dst
+}
+
+// DecodeDelta parses an EncodeDelta payload.
+func DecodeDelta(b []byte) (cols []int, vals Row, err error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("rel: truncated delta")
+	}
+	n := int(binary.LittleEndian.Uint16(b[:2]))
+	b = b[2:]
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, nil, fmt.Errorf("rel: truncated delta column")
+		}
+		cols = append(cols, int(binary.LittleEndian.Uint16(b[:2])))
+		b = b[2:]
+		// Each value is a 1-element row; find its length by decoding.
+		row, rest, err := decodeRowPrefix(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, row[0])
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("rel: %d trailing bytes in delta", len(b))
+	}
+	return cols, vals, nil
+}
+
+// decodeRowPrefix decodes one EncodeRow value group from the front of b and
+// returns the remainder.
+func decodeRowPrefix(b []byte) (Row, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("rel: truncated row prefix")
+	}
+	n := int(binary.LittleEndian.Uint16(b[:2]))
+	off := 2
+	for i := 0; i < n; i++ {
+		if len(b) < off+1 {
+			return nil, nil, fmt.Errorf("rel: truncated value")
+		}
+		switch Type(b[off]) {
+		case TInt64, TFloat64:
+			off += 9
+		case TString:
+			if len(b) < off+5 {
+				return nil, nil, fmt.Errorf("rel: truncated string header")
+			}
+			off += 5 + int(binary.LittleEndian.Uint32(b[off+1:off+5]))
+		default:
+			return nil, nil, fmt.Errorf("rel: unknown kind %d", b[off])
+		}
+	}
+	if len(b) < off {
+		return nil, nil, fmt.Errorf("rel: truncated row group")
+	}
+	row, err := DecodeRow(b[:off])
+	if err != nil {
+		return nil, nil, err
+	}
+	return row, b[off:], nil
+}

@@ -1,0 +1,90 @@
+package rel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Int(0)},
+		{Int(-1), Float(3.5), Str("hello")},
+		{Str(""), Str("with\x00zero"), Int(math.MaxInt64)},
+	}
+	for _, r := range rows {
+		got, err := DecodeRow(EncodeRow(nil, r))
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if !got.Equal(r) {
+			t.Fatalf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestRowCodecErrors(t *testing.T) {
+	if _, err := DecodeRow([]byte{1}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	enc := EncodeRow(nil, Row{Str("hello")})
+	if _, err := DecodeRow(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated string accepted")
+	}
+	if _, err := DecodeRow(append(enc, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[2] = 0xEE // unknown kind
+	if _, err := DecodeRow(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRowCodecProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		r := Row{Int(i), Float(fl), Str(s)}
+		got, err := DecodeRow(EncodeRow(nil, r))
+		return err == nil && got.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	cols := []int{2, 5, 9}
+	vals := Row{Int(7), Str("updated"), Float(-2.25)}
+	gotCols, gotVals, err := DecodeDelta(EncodeDelta(nil, cols, vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCols) != 3 || gotCols[0] != 2 || gotCols[1] != 5 || gotCols[2] != 9 {
+		t.Fatalf("cols = %v", gotCols)
+	}
+	if !gotVals.Equal(vals) {
+		t.Fatalf("vals = %v", gotVals)
+	}
+	// Empty delta.
+	c, v, err := DecodeDelta(EncodeDelta(nil, nil, nil))
+	if err != nil || len(c) != 0 || len(v) != 0 {
+		t.Fatalf("empty delta = (%v,%v,%v)", c, v, err)
+	}
+}
+
+func TestDeltaCodecErrors(t *testing.T) {
+	if _, _, err := DecodeDelta([]byte{9}); err == nil {
+		t.Fatal("truncated delta accepted")
+	}
+	enc := EncodeDelta(nil, []int{1}, Row{Str("abc")})
+	if _, _, err := DecodeDelta(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated delta value accepted")
+	}
+	if _, _, err := DecodeDelta(append(enc, 1)); err == nil {
+		t.Fatal("trailing delta bytes accepted")
+	}
+}

@@ -1,0 +1,302 @@
+// Package rel defines the relational primitives shared by every layer of
+// the kernel: column types, table schemas, rows, and ordered key encoding
+// for secondary indexes.
+//
+// PhoebeDB stores base-table tuples keyed by an internally maintained,
+// monotonically increasing row_id (§5.1); user-defined indexes map encoded
+// user keys to row_ids. This package supplies the value model those layers
+// operate on.
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RowID is the internal, monotonically increasing tuple identifier used as
+// the table B-Tree key (§5.1).
+type RowID uint64
+
+// Type enumerates supported column types.
+type Type uint8
+
+const (
+	// TInt64 is a signed 64-bit integer column.
+	TInt64 Type = iota + 1
+	// TFloat64 is a 64-bit floating point column.
+	TFloat64
+	// TString is a variable-length string column.
+	TString
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TInt64:
+		return "INT64"
+	case TFloat64:
+		return "FLOAT64"
+	case TString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// FixedWidth returns the on-page width of a fixed-size type and 0 for
+// variable-length types.
+func (t Type) FixedWidth() int {
+	switch t {
+	case TInt64, TFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a relation's attributes.
+type Schema struct {
+	Cols []Column
+	// byName is built lazily by ColIndex.
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.Cols) }
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// String renders the schema as "(a INT64, b STRING)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Value is a single column value. Exactly one of the payload fields is
+// meaningful, selected by Kind. The zero Value is the NULL of kind 0.
+type Value struct {
+	Kind Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an int64 value.
+func Int(v int64) Value { return Value{Kind: TInt64, I: v} }
+
+// Float returns a float64 value.
+func Float(v float64) Value { return Value{Kind: TFloat64, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: TString, S: v} }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case TInt64:
+		return v.I == o.I
+	case TFloat64:
+		return v.F == o.F
+	case TString:
+		return v.S == o.S
+	default:
+		return true
+	}
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Kind {
+	case TInt64:
+		return fmt.Sprintf("%d", v.I)
+	case TFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case TString:
+		return fmt.Sprintf("%q", v.S)
+	default:
+		return "NULL"
+	}
+}
+
+// Row is one tuple: a value per schema column.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports column-wise equality.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conforms reports whether the row's value kinds match the schema.
+func (r Row) Conforms(s *Schema) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("rel: row has %d values, schema %s has %d columns", len(r), s, len(s.Cols))
+	}
+	for i, v := range r {
+		if v.Kind != s.Cols[i].Type {
+			return fmt.Errorf("rel: column %q: value kind %v does not match schema type %v", s.Cols[i].Name, v.Kind, s.Cols[i].Type)
+		}
+	}
+	return nil
+}
+
+// --- Ordered key encoding -------------------------------------------------
+//
+// Secondary indexes store (key, row_id) pairs where the key is a byte string
+// whose lexicographic order matches the column-wise order of the source
+// values. Int64s are encoded big-endian with the sign bit flipped; float64s
+// use the standard order-preserving IEEE transform; strings are escaped with
+// 0x00 0x01 and terminated with 0x00 0x00 so that prefixes sort first and
+// multi-column keys cannot alias.
+
+// EncodeKey appends the order-preserving encoding of vals to dst.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.Kind {
+		case TInt64:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v.I)^(1<<63))
+			dst = append(dst, b[:]...)
+		case TFloat64:
+			u := math.Float64bits(v.F)
+			if u&(1<<63) != 0 {
+				u = ^u
+			} else {
+				u |= 1 << 63
+			}
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], u)
+			dst = append(dst, b[:]...)
+		case TString:
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				if c == 0x00 {
+					dst = append(dst, 0x00, 0x01)
+				} else {
+					dst = append(dst, c)
+				}
+			}
+			dst = append(dst, 0x00, 0x00)
+		}
+	}
+	return dst
+}
+
+// DecodeKey decodes an EncodeKey-encoded byte string given the column types.
+func DecodeKey(key []byte, types []Type) (Row, error) {
+	row := make(Row, 0, len(types))
+	for _, t := range types {
+		switch t {
+		case TInt64:
+			if len(key) < 8 {
+				return nil, fmt.Errorf("rel: short key for INT64")
+			}
+			u := binary.BigEndian.Uint64(key[:8]) ^ (1 << 63)
+			row = append(row, Int(int64(u)))
+			key = key[8:]
+		case TFloat64:
+			if len(key) < 8 {
+				return nil, fmt.Errorf("rel: short key for FLOAT64")
+			}
+			u := binary.BigEndian.Uint64(key[:8])
+			if u&(1<<63) != 0 {
+				u &^= 1 << 63
+			} else {
+				u = ^u
+			}
+			row = append(row, Float(math.Float64frombits(u)))
+			key = key[8:]
+		case TString:
+			var sb strings.Builder
+			i := 0
+			for {
+				if i+1 >= len(key) {
+					return nil, fmt.Errorf("rel: unterminated STRING key")
+				}
+				if key[i] == 0x00 {
+					if key[i+1] == 0x00 {
+						i += 2
+						break
+					}
+					if key[i+1] == 0x01 {
+						sb.WriteByte(0x00)
+						i += 2
+						continue
+					}
+					return nil, fmt.Errorf("rel: invalid STRING escape")
+				}
+				sb.WriteByte(key[i])
+				i++
+			}
+			row = append(row, Str(sb.String()))
+			key = key[i:]
+		default:
+			return nil, fmt.Errorf("rel: unknown type %v in key", t)
+		}
+	}
+	if len(key) != 0 {
+		return nil, fmt.Errorf("rel: %d trailing bytes in key", len(key))
+	}
+	return row, nil
+}
+
+// EncodeRowID appends the big-endian encoding of a row_id, used as the table
+// B-Tree key so that row_id order equals byte order.
+func EncodeRowID(dst []byte, id RowID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return append(dst, b[:]...)
+}
+
+// DecodeRowID reads a row_id previously written by EncodeRowID.
+func DecodeRowID(b []byte) RowID {
+	return RowID(binary.BigEndian.Uint64(b))
+}

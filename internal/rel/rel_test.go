@@ -1,0 +1,213 @@
+package rel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaColIndex(t *testing.T) {
+	s := NewSchema(Column{"id", TInt64}, Column{"name", TString}, Column{"bal", TFloat64})
+	if s.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", s.NumCols())
+	}
+	if s.ColIndex("name") != 1 {
+		t.Fatalf("ColIndex(name) = %d", s.ColIndex("name"))
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatalf("ColIndex(missing) = %d", s.ColIndex("missing"))
+	}
+}
+
+func TestRowConforms(t *testing.T) {
+	s := NewSchema(Column{"id", TInt64}, Column{"name", TString})
+	if err := (Row{Int(1), Str("a")}).Conforms(s); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := (Row{Int(1)}).Conforms(s); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := (Row{Str("x"), Str("a")}).Conforms(s); err == nil {
+		t.Fatal("mistyped row accepted")
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{Int(1), Str("a")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].I != 1 {
+		t.Fatal("clone aliased original")
+	}
+	if !r.Equal(Row{Int(1), Str("a")}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestEncodeKeyIntOrder(t *testing.T) {
+	vals := []int64{math.MinInt64, -100, -1, 0, 1, 42, math.MaxInt64}
+	var prev []byte
+	for i, v := range vals {
+		k := EncodeKey(nil, Int(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("encoding not order preserving at %d", v)
+		}
+		prev = k
+	}
+}
+
+func TestEncodeKeyFloatOrder(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e10, -1, -0.5, 0, 0.5, 1, 1e10, math.Inf(1)}
+	var prev []byte
+	for i, v := range vals {
+		k := EncodeKey(nil, Float(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("float encoding not order preserving at %g", v)
+		}
+		prev = k
+	}
+}
+
+func TestEncodeKeyStringOrderWithZeros(t *testing.T) {
+	vals := []string{"", "\x00", "\x00a", "a", "a\x00", "a\x00b", "aa", "b"}
+	sorted := append([]string(nil), vals...)
+	sort.Strings(sorted)
+	var prev []byte
+	for i, v := range sorted {
+		k := EncodeKey(nil, Str(v))
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("string encoding not order preserving at %q", v)
+		}
+		prev = k
+	}
+}
+
+func TestCompositeKeyNoAliasing(t *testing.T) {
+	// ("a", "b") must not encode equal to ("ab", "") or ("a\x00b",).
+	k1 := EncodeKey(nil, Str("a"), Str("b"))
+	k2 := EncodeKey(nil, Str("ab"), Str(""))
+	k3 := EncodeKey(nil, Str("a\x00b"))
+	if bytes.Equal(k1, k2) || bytes.Equal(k1, k3) || bytes.Equal(k2, k3) {
+		t.Fatal("composite keys alias")
+	}
+}
+
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	types := []Type{TInt64, TString, TFloat64, TString}
+	row := Row{Int(-5), Str("hello\x00world"), Float(3.25), Str("")}
+	k := EncodeKey(nil, row...)
+	got, err := DecodeKey(k, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(row) {
+		t.Fatalf("round trip: got %v want %v", got, row)
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	if _, err := DecodeKey([]byte{1, 2}, []Type{TInt64}); err == nil {
+		t.Fatal("short INT64 key accepted")
+	}
+	if _, err := DecodeKey([]byte{'a'}, []Type{TString}); err == nil {
+		t.Fatal("unterminated STRING key accepted")
+	}
+	k := EncodeKey(nil, Int(1), Int(2))
+	if _, err := DecodeKey(k, []Type{TInt64}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestKeyOrderProperty(t *testing.T) {
+	f := func(a, b int64, sa, sb string) bool {
+		ka := EncodeKey(nil, Int(a), Str(sa))
+		kb := EncodeKey(nil, Int(b), Str(sb))
+		cmp := bytes.Compare(ka, kb)
+		var want int
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		default:
+			switch {
+			case sa < sb:
+				want = -1
+			case sa > sb:
+				want = 1
+			}
+		}
+		return cmp == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		row := Row{Int(i), Float(fl), Str(s)}
+		got, err := DecodeKey(EncodeKey(nil, row...), []Type{TInt64, TFloat64, TString})
+		return err == nil && got.Equal(row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowIDEncoding(t *testing.T) {
+	ids := []RowID{0, 1, 255, 1 << 20, math.MaxUint64}
+	var prev []byte
+	for i, id := range ids {
+		b := EncodeRowID(nil, id)
+		if DecodeRowID(b) != id {
+			t.Fatalf("round trip failed for %d", id)
+		}
+		if i > 0 && bytes.Compare(prev, b) >= 0 {
+			t.Fatal("row_id encoding not order preserving")
+		}
+		prev = b
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"7":    Int(7),
+		"1.5":  Float(1.5),
+		`"hi"`: Str("hi"),
+		"NULL": {},
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TInt64.String() != "INT64" || TString.String() != "STRING" || TFloat64.String() != "FLOAT64" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() != "TYPE(99)" {
+		t.Fatal("unknown type name wrong")
+	}
+}
+
+func BenchmarkEncodeKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]Row, 64)
+	for i := range rows {
+		rows[i] = Row{Int(rng.Int63()), Str("customer-name-field"), Float(rng.Float64())}
+	}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeKey(buf[:0], rows[i%len(rows)]...)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sched implements PhoebeDB's co-routine pool runtime with the
+// pull-based scheduler of §7.1.
+//
+// A pool runs Workers × SlotsPerWorker task slots. Each slot executes one
+// transaction at a time to completion and pulls the next task from the
+// global queue when it becomes vacant — the pull-based model that avoids a
+// central dispatcher. Yields carry an urgency class:
+//
+//   - High urgency (latch spins, synchronous page reads): the slot stays
+//     runnable and merely lets siblings proceed (runtime.Gosched), matching
+//     "worker threads prioritize high-urgency cases ... resolving current
+//     tasks" — the task is resumed promptly.
+//   - Low urgency (tuple-lock waits): the slot parks on a wakeup channel;
+//     its worker keeps pulling new tasks through its other slots.
+//
+// The co-routine substrate is the goroutine: user-level context switching
+// with stack management by the Go runtime stands in for the C++ original's
+// hand-rolled coroutines. For the thread-model comparison (Exp 6) the pool
+// can lock every slot to a dedicated OS thread, recreating the
+// thread-per-task-slot configuration the paper benchmarks against.
+//
+// Periodic duties — page swaps when a buffer partition runs low, garbage
+// collection after a number of transactions — are run by each worker's
+// slots between tasks via the Maintain callback, keeping maintenance
+// partitioned by worker (§7.1).
+package sched
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phoebedb/internal/metrics"
+)
+
+// Task is one unit of work (typically one transaction attempt).
+type Task func(s *Slot)
+
+// Config configures a Pool.
+type Config struct {
+	// Workers is the number of worker threads; defaults to GOMAXPROCS.
+	Workers int
+	// SlotsPerWorker is the task-slot count per worker (the paper's
+	// evaluation default is 32). Defaults to 1.
+	SlotsPerWorker int
+	// ThreadMode locks every task slot to its own OS thread (Exp 6's
+	// thread model). Off = co-routine model.
+	ThreadMode bool
+	// QueueDepth bounds the global task queue; Submit blocks when full.
+	// Defaults to 4 × total slots.
+	QueueDepth int
+	// Recorder receives per-slot metrics; may be nil.
+	Recorder *metrics.Recorder
+	// Maintain, if set, is invoked by a worker's slots between tasks,
+	// every MaintainEvery completed tasks per slot.
+	Maintain      func(worker int)
+	MaintainEvery int
+}
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("sched: pool stopped")
+
+// Slot is one task slot's execution context, passed to every task.
+type Slot struct {
+	// Worker is the owning worker's index; ID is the global slot index.
+	Worker, ID int
+	// Metrics is the slot-local metrics accumulator (never nil).
+	Metrics *metrics.SlotMetrics
+
+	pool          *Pool
+	sinceMaintain int
+	highYields    int64
+	lowYields     int64
+}
+
+// YieldHigh is a high-urgency yield (latch spin, page read): the slot
+// remains runnable.
+func (s *Slot) YieldHigh() {
+	s.highYields++
+	runtime.Gosched()
+}
+
+// YieldLow is a low-urgency yield: park until ch fires or the timeout
+// elapses (0 = no timeout). Returns false on timeout. The worker keeps
+// executing its other slots while this one is parked.
+func (s *Slot) YieldLow(ch <-chan struct{}, timeout time.Duration) bool {
+	s.lowYields++
+	if timeout <= 0 {
+		<-ch
+		return true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// HighYields returns the slot's high-urgency yield count.
+func (s *Slot) HighYields() int64 { return s.highYields }
+
+// LowYields returns the slot's low-urgency yield count.
+func (s *Slot) LowYields() int64 { return s.lowYields }
+
+// Pool is a running co-routine pool.
+type Pool struct {
+	cfg      Config
+	queue    chan Task
+	wg       sync.WaitGroup
+	slots    []*Slot
+	stopped  atomic.Bool
+	executed atomic.Int64
+}
+
+// New creates a pool; call Start to spin up the slots.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SlotsPerWorker <= 0 {
+		cfg.SlotsPerWorker = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers * cfg.SlotsPerWorker
+	}
+	if cfg.MaintainEvery <= 0 {
+		cfg.MaintainEvery = 64
+	}
+	return &Pool{cfg: cfg, queue: make(chan Task, cfg.QueueDepth)}
+}
+
+// NumSlots returns the total task-slot count.
+func (p *Pool) NumSlots() int { return p.cfg.Workers * p.cfg.SlotsPerWorker }
+
+// Slots returns the slot contexts (valid after Start).
+func (p *Pool) Slots() []*Slot { return p.slots }
+
+// Executed returns the number of completed tasks.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Start launches the worker slots.
+func (p *Pool) Start() {
+	for w := 0; w < p.cfg.Workers; w++ {
+		for i := 0; i < p.cfg.SlotsPerWorker; i++ {
+			s := &Slot{Worker: w, ID: w*p.cfg.SlotsPerWorker + i, pool: p}
+			if p.cfg.Recorder != nil {
+				s.Metrics = p.cfg.Recorder.NewSlot()
+			} else {
+				s.Metrics = &metrics.SlotMetrics{}
+			}
+			p.slots = append(p.slots, s)
+			p.wg.Add(1)
+			go p.run(s)
+		}
+	}
+}
+
+func (p *Pool) run(s *Slot) {
+	defer p.wg.Done()
+	if p.cfg.ThreadMode {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for task := range p.queue { // pull when the slot is vacant
+		task(s)
+		p.executed.Add(1)
+		s.sinceMaintain++
+		if p.cfg.Maintain != nil && s.sinceMaintain >= p.cfg.MaintainEvery {
+			s.sinceMaintain = 0
+			p.cfg.Maintain(s.Worker)
+		}
+	}
+}
+
+// Submit enqueues a task, blocking while the queue is full (admission
+// control). It fails once the pool is stopped.
+func (p *Pool) Submit(t Task) (err error) {
+	if p.stopped.Load() {
+		return ErrStopped
+	}
+	defer func() {
+		// A concurrent Stop may close the queue under us; surface that as
+		// ErrStopped rather than a panic.
+		if recover() != nil {
+			err = ErrStopped
+		}
+	}()
+	p.queue <- t
+	return nil
+}
+
+// SubmitWait enqueues a task and blocks until it completes.
+func (p *Pool) SubmitWait(t Task) error {
+	done := make(chan struct{})
+	err := p.Submit(func(s *Slot) {
+		defer close(done)
+		t(s)
+	})
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Stop drains the queue and waits for all slots to exit. Safe to call once.
+func (p *Pool) Stop() {
+	if p.stopped.Swap(true) {
+		return
+	}
+	close(p.queue)
+	p.wg.Wait()
+}

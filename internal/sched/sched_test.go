@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phoebedb/internal/metrics"
+)
+
+func TestAllTasksExecute(t *testing.T) {
+	p := New(Config{Workers: 2, SlotsPerWorker: 4})
+	p.Start()
+	var count atomic.Int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := p.Submit(func(s *Slot) { count.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Stop()
+	if count.Load() != n {
+		t.Fatalf("executed %d tasks, want %d", count.Load(), n)
+	}
+	if p.Executed() != n {
+		t.Fatalf("Executed() = %d", p.Executed())
+	}
+}
+
+func TestSlotIdentities(t *testing.T) {
+	p := New(Config{Workers: 3, SlotsPerWorker: 2})
+	p.Start()
+	defer p.Stop()
+	if p.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		p.Submit(func(s *Slot) {
+			defer wg.Done()
+			mu.Lock()
+			seen[s.ID] = true
+			mu.Unlock()
+			if s.Worker != s.ID/2 {
+				t.Errorf("slot %d has worker %d", s.ID, s.Worker)
+			}
+			time.Sleep(20 * time.Millisecond) // hold the slot so others run
+		})
+	}
+	wg.Wait()
+	if len(seen) != 6 {
+		t.Fatalf("tasks ran on %d distinct slots, want 6", len(seen))
+	}
+}
+
+func TestSubmitWait(t *testing.T) {
+	p := New(Config{Workers: 1, SlotsPerWorker: 1})
+	p.Start()
+	defer p.Stop()
+	ran := false
+	if err := p.SubmitWait(func(s *Slot) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("SubmitWait returned before task ran")
+	}
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	p := New(Config{Workers: 1, SlotsPerWorker: 1})
+	p.Start()
+	p.Stop()
+	if err := p.Submit(func(s *Slot) {}); err != ErrStopped {
+		t.Fatalf("err = %v", err)
+	}
+	p.Stop() // idempotent
+}
+
+func TestStopDrainsQueue(t *testing.T) {
+	p := New(Config{Workers: 1, SlotsPerWorker: 1, QueueDepth: 100})
+	p.Start()
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func(s *Slot) { count.Add(1) })
+	}
+	p.Stop()
+	if count.Load() != 50 {
+		t.Fatalf("drained %d tasks", count.Load())
+	}
+}
+
+func TestLowUrgencyYieldDoesNotBlockWorker(t *testing.T) {
+	// One worker with two slots: a task parked on a low-urgency wait must
+	// not stop the other slot from pulling tasks.
+	p := New(Config{Workers: 1, SlotsPerWorker: 2})
+	p.Start()
+	defer p.Stop()
+	wake := make(chan struct{})
+	parked := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(2)
+	p.Submit(func(s *Slot) {
+		defer wg.Done()
+		close(parked)
+		if !s.YieldLow(wake, time.Second) {
+			t.Error("low-urgency wait timed out")
+		}
+		mu.Lock()
+		order = append(order, "parked-task")
+		mu.Unlock()
+	})
+	<-parked
+	p.Submit(func(s *Slot) {
+		defer wg.Done()
+		mu.Lock()
+		order = append(order, "other-task")
+		mu.Unlock()
+		close(wake)
+	})
+	wg.Wait()
+	if len(order) != 2 || order[0] != "other-task" {
+		t.Fatalf("order = %v: parked slot blocked the worker", order)
+	}
+}
+
+func TestYieldLowTimeout(t *testing.T) {
+	p := New(Config{Workers: 1, SlotsPerWorker: 1})
+	p.Start()
+	defer p.Stop()
+	var timedOut bool
+	p.SubmitWait(func(s *Slot) {
+		timedOut = !s.YieldLow(make(chan struct{}), 5*time.Millisecond)
+	})
+	if !timedOut {
+		t.Fatal("YieldLow did not time out")
+	}
+}
+
+func TestYieldCounters(t *testing.T) {
+	p := New(Config{Workers: 1, SlotsPerWorker: 1})
+	p.Start()
+	defer p.Stop()
+	p.SubmitWait(func(s *Slot) {
+		s.YieldHigh()
+		s.YieldHigh()
+		ch := make(chan struct{})
+		close(ch)
+		s.YieldLow(ch, 0)
+	})
+	s := p.Slots()[0]
+	if s.HighYields() != 2 || s.LowYields() != 1 {
+		t.Fatalf("yields = %d/%d", s.HighYields(), s.LowYields())
+	}
+}
+
+func TestMaintainCallback(t *testing.T) {
+	var maintained atomic.Int64
+	p := New(Config{
+		Workers:        1,
+		SlotsPerWorker: 1,
+		Maintain:       func(worker int) { maintained.Add(1) },
+		MaintainEvery:  10,
+	})
+	p.Start()
+	for i := 0; i < 35; i++ {
+		p.Submit(func(s *Slot) {})
+	}
+	p.Stop()
+	if got := maintained.Load(); got != 3 {
+		t.Fatalf("maintain ran %d times, want 3", got)
+	}
+}
+
+func TestMetricsRecorderWiring(t *testing.T) {
+	rec := metrics.NewRecorder()
+	p := New(Config{Workers: 2, SlotsPerWorker: 2, Recorder: rec})
+	p.Start()
+	for i := 0; i < 20; i++ {
+		p.Submit(func(s *Slot) {
+			s.Metrics.Add(metrics.CompCompute, time.Microsecond)
+			s.Metrics.CountTxn()
+		})
+	}
+	p.Stop()
+	b := rec.Aggregate()
+	if b.Txns != 20 {
+		t.Fatalf("recorded %d txns", b.Txns)
+	}
+	if b.Nanos[metrics.CompCompute] != 20*1000 {
+		t.Fatalf("compute nanos = %d", b.Nanos[metrics.CompCompute])
+	}
+}
+
+func TestThreadMode(t *testing.T) {
+	p := New(Config{Workers: 2, SlotsPerWorker: 2, ThreadMode: true})
+	p.Start()
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func(s *Slot) { count.Add(1) })
+	}
+	p.Stop()
+	if count.Load() != 100 {
+		t.Fatalf("thread mode executed %d tasks", count.Load())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Workers <= 0 || p.cfg.SlotsPerWorker != 1 || p.cfg.QueueDepth <= 0 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+}
+
+func BenchmarkSubmitThroughput(b *testing.B) {
+	p := New(Config{Workers: 4, SlotsPerWorker: 8})
+	p.Start()
+	defer p.Stop()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.SubmitWait(func(s *Slot) {})
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package server turns the embedded kernel into a standalone database
+// server — the paper's future-work item 1 ("develop SQL interface to
+// establish PhoebeDB as a standalone server").
+//
+// The wire protocol is a newline-delimited text protocol, simple enough
+// to drive with netcat:
+//
+//	client: one SQL statement per line
+//	server: "OK <affected>"                       for writes / DDL
+//	        "ROWS <n>" + header + n data lines    for SELECT (tab-separated)
+//	        "END"                                 terminating a row block
+//	        "ERR <message>"                       on failure
+//
+// Each connection is a session; statements execute as independent
+// transactions on the co-routine pool (auto-commit), exactly how the
+// TPC-C evaluation drives the kernel.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	phoebedb "phoebedb"
+)
+
+// Server serves the SQL protocol over a listener.
+type Server struct {
+	DB *phoebedb.DB
+	// JournalDDL, if set, is invoked with every successfully executed DDL
+	// statement so the host can persist schema across restarts.
+	JournalDDL func(stmt string) error
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// New creates a server over an open database.
+func New(db *phoebedb.DB) *Server {
+	return &Server{DB: db, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener closes. It returns nil on
+// a clean shutdown (listener closed via Shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown stops accepting and closes live connections.
+func (s *Server) Shutdown(l net.Listener) {
+	close(s.done)
+	l.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			fmt.Fprintln(w, "OK 0")
+			w.Flush()
+			return
+		}
+		res, err := s.DB.ExecSQL(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			w.Flush()
+			continue
+		}
+		if s.JournalDDL != nil && strings.HasPrefix(strings.ToLower(line), "create ") {
+			if jerr := s.JournalDDL(line); jerr != nil {
+				fmt.Fprintf(w, "ERR schema journal: %s\n", jerr)
+				w.Flush()
+				continue
+			}
+		}
+		if res.Columns == nil {
+			fmt.Fprintf(w, "OK %d\n", res.Affected)
+			w.Flush()
+			continue
+		}
+		fmt.Fprintf(w, "ROWS %d\n", len(res.Rows))
+		fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = encodeField(v)
+			}
+			fmt.Fprintln(w, strings.Join(parts, "\t"))
+		}
+		fmt.Fprintln(w, "END")
+		w.Flush()
+	}
+}
+
+// encodeField renders a value for the wire: strings have tabs/newlines
+// escaped so rows stay line-delimited.
+func encodeField(v phoebedb.Value) string {
+	switch v.Kind {
+	case phoebedb.TInt64:
+		return fmt.Sprintf("%d", v.I)
+	case phoebedb.TFloat64:
+		return fmt.Sprintf("%g", v.F)
+	default:
+		rep := strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
+		return rep.Replace(v.S)
+	}
+}
+
+// DecodeField reverses encodeField's string escaping (client side).
+func DecodeField(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/client"
+)
+
+// startServer boots a server on a random port and returns its address.
+func startServer(t *testing.T, db *phoebedb.DB) (string, *Server, net.Listener) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Shutdown(l) })
+	return l.Addr().String(), srv, l
+}
+
+func openServerDB(t *testing.T) *phoebedb.DB {
+	t.Helper()
+	db, err := phoebedb.Open(phoebedb.Options{Dir: t.TempDir(), Workers: 2, SlotsPerWorker: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	db := openServerDB(t)
+	addr, _, _ := startServer(t, db)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec("CREATE TABLE t (id INT, v STRING, f FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE UNIQUE INDEX t_pk ON t (id)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("INSERT INTO t VALUES (1, 'hello', 1.5), (2, 'world', 2.5)")
+	if err != nil || res.Affected != 2 {
+		t.Fatalf("insert = (%+v, %v)", res, err)
+	}
+	res, err = c.Exec("SELECT v, f FROM t WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "world" || res.Rows[0][1] != "2.5" {
+		t.Fatalf("select = %+v", res)
+	}
+	if res.Columns[0] != "v" || res.Columns[1] != "f" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	res, err = c.Exec("UPDATE t SET v = 'updated' WHERE id = 1")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("update = (%+v, %v)", res, err)
+	}
+	res, err = c.Exec("DELETE FROM t WHERE id = 2")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("delete = (%+v, %v)", res, err)
+	}
+	res, err = c.Exec("SELECT * FROM t")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][1] != "updated" {
+		t.Fatalf("final = (%+v, %v)", res, err)
+	}
+}
+
+func TestServerErrorsDoNotKillConnection(t *testing.T) {
+	db := openServerDB(t)
+	addr, _, _ := startServer(t, db)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELEC nope"); err == nil || !strings.Contains(err.Error(), "server:") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection still works after an error.
+	if _, err := c.Exec("CREATE TABLE ok (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerStringEscaping(t *testing.T) {
+	db := openServerDB(t)
+	addr, _, _ := startServer(t, db)
+	c, _ := client.Dial(addr)
+	defer c.Close()
+	c.Exec("CREATE TABLE s (id INT, v STRING)")
+	// A value with an embedded tab must survive the wire format.
+	if _, err := c.Exec("INSERT INTO s VALUES (1, 'a\\tb')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("SELECT v FROM s")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("select = (%+v, %v)", res, err)
+	}
+	// The SQL literal contains a literal backslash-t (the lexer does not
+	// process escapes), which the wire must round-trip intact.
+	if res.Rows[0][0] != "a\\tb" {
+		t.Fatalf("value = %q", res.Rows[0][0])
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	db := openServerDB(t)
+	addr, _, _ := startServer(t, db)
+	setup, _ := client.Dial(addr)
+	setup.Exec("CREATE TABLE c (id INT, v STRING)")
+	setup.Exec("CREATE UNIQUE INDEX c_pk ON c (id)")
+	setup.Close()
+
+	const clients = 8
+	const per = 10
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				id := g*per + i
+				if _, err := c.Exec("INSERT INTO c VALUES (" + itoa(id) + ", 'x')"); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", g, err)
+		}
+	}
+	c, _ := client.Dial(addr)
+	defer c.Close()
+	res, err := c.Exec("SELECT * FROM c")
+	if err != nil || len(res.Rows) != clients*per {
+		t.Fatalf("rows = %d (%v)", len(res.Rows), err)
+	}
+}
+
+func TestJournalDDLHook(t *testing.T) {
+	db := openServerDB(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	var journal []string
+	srv.JournalDDL = func(stmt string) error {
+		journal = append(journal, stmt)
+		return nil
+	}
+	go srv.Serve(l)
+	defer srv.Shutdown(l)
+
+	c, _ := client.Dial(l.Addr().String())
+	defer c.Close()
+	c.Exec("CREATE TABLE j (a INT)")
+	c.Exec("INSERT INTO j VALUES (1)")
+	c.Exec("CREATE INDEX j_a ON j (a)")
+	if len(journal) != 2 {
+		t.Fatalf("journal = %v", journal)
+	}
+	if !strings.HasPrefix(journal[0], "CREATE TABLE") || !strings.HasPrefix(journal[1], "CREATE INDEX") {
+		t.Fatalf("journal = %v", journal)
+	}
+}
+
+func TestFieldEscapeRoundTrip(t *testing.T) {
+	cases := []string{"", "plain", "tab\there", "nl\nhere", "back\\slash", "\\t"}
+	for _, v := range cases {
+		enc := encodeField(phoebedb.Str(v))
+		if strings.ContainsAny(enc, "\t\n") {
+			t.Fatalf("encoded %q contains separators: %q", v, enc)
+		}
+		if got := DecodeField(enc); got != v {
+			t.Fatalf("round trip %q -> %q -> %q", v, enc, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,333 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+
+	"phoebedb/internal/rel"
+)
+
+// Catalog is the DDL surface the executor needs (satisfied by both
+// engines' catalogs; the adapter in the public API wires it).
+type Catalog interface {
+	CreateTable(name string, schema *rel.Schema) error
+	CreateIndex(table, index string, cols []string, unique bool) error
+	// TableSchema returns the schema of a table.
+	TableSchema(name string) (*rel.Schema, error)
+	// IndexInfo enumerates a table's indexes: name, column positions,
+	// uniqueness.
+	IndexInfo(table string) ([]IndexMeta, error)
+}
+
+// IndexMeta describes one index for planning.
+type IndexMeta struct {
+	Name   string
+	Cols   []int
+	Unique bool
+}
+
+// Txn is the DML surface the executor needs (a subset of the kernel's
+// transaction API, also satisfied by the baseline engine).
+type Txn interface {
+	Insert(table string, row rel.Row) (rel.RowID, error)
+	ScanIndex(table, index string, vals []rel.Value, fn func(rid rel.RowID, row rel.Row) bool) error
+	ScanTable(table string, fn func(rid rel.RowID, row rel.Row) bool) error
+	Update(table string, rid rel.RowID, set map[string]rel.Value) error
+	Delete(table string, rid rel.RowID) error
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the projected columns of a SELECT.
+	Columns []string
+	// Rows holds SELECT output.
+	Rows []rel.Row
+	// Affected counts rows written by INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// ErrUnsupported reports a statement outside the implemented subset.
+var ErrUnsupported = errors.New("sql: unsupported statement")
+
+// ExecDDL runs a CREATE statement against the catalog. DDL is not
+// transactional (the embedded engine declares schema at startup).
+func ExecDDL(cat Catalog, stmt Stmt) (Result, error) {
+	switch s := stmt.(type) {
+	case CreateTableStmt:
+		return Result{}, cat.CreateTable(s.Table, rel.NewSchema(s.Cols...))
+	case CreateIndexStmt:
+		return Result{Affected: 0}, cat.CreateIndex(s.Table, s.Index, s.Cols, s.Unique)
+	default:
+		return Result{}, fmt.Errorf("%w: not DDL", ErrUnsupported)
+	}
+}
+
+// IsDDL reports whether the statement is CREATE TABLE/INDEX.
+func IsDDL(stmt Stmt) bool {
+	switch stmt.(type) {
+	case CreateTableStmt, CreateIndexStmt:
+		return true
+	}
+	return false
+}
+
+// plan is a chosen access path for a WHERE conjunction.
+type plan struct {
+	// index is the chosen index ("" = full scan).
+	index string
+	// prefixVals are the equality values covering the index prefix.
+	prefixVals []rel.Value
+	// residual are the conditions not covered by the index prefix,
+	// evaluated against each candidate row.
+	residual []Cond
+}
+
+// planWhere picks the best access path: the index whose column prefix is
+// covered by the most equality conditions, preferring full unique matches.
+func planWhere(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, error) {
+	byCol := make(map[int]Cond, len(where))
+	for _, c := range where {
+		pos := schema.ColIndex(c.Col)
+		if pos < 0 {
+			return plan{}, fmt.Errorf("sql: unknown column %q", c.Col)
+		}
+		if c.Val.Kind != schema.Cols[pos].Type {
+			// Allow int literals for float columns.
+			if c.Val.Kind == rel.TInt64 && schema.Cols[pos].Type == rel.TFloat64 {
+				c.Val = rel.Float(float64(c.Val.I))
+			} else {
+				return plan{}, fmt.Errorf("sql: column %q: literal type mismatch", c.Col)
+			}
+		}
+		byCol[pos] = c
+	}
+	best := plan{}
+	bestScore := -1
+	for _, ix := range indexes {
+		covered := 0
+		var vals []rel.Value
+		for _, pos := range ix.Cols {
+			c, ok := byCol[pos]
+			if !ok {
+				break
+			}
+			vals = append(vals, c.Val)
+			covered++
+		}
+		if covered == 0 {
+			continue
+		}
+		score := covered * 2
+		if ix.Unique && covered == len(ix.Cols) {
+			score++ // full unique match wins ties
+		}
+		if score > bestScore {
+			bestScore = score
+			coveredCols := map[int]bool{}
+			for i := 0; i < covered; i++ {
+				coveredCols[ix.Cols[i]] = true
+			}
+			var residual []Cond
+			for pos, c := range byCol {
+				if !coveredCols[pos] {
+					residual = append(residual, c)
+				}
+			}
+			best = plan{index: ix.Name, prefixVals: vals, residual: residual}
+		}
+	}
+	if bestScore < 0 {
+		// Full scan; everything is residual.
+		residual := make([]Cond, 0, len(byCol))
+		for _, c := range byCol {
+			residual = append(residual, c)
+		}
+		return plan{residual: residual}, nil
+	}
+	return best, nil
+}
+
+func matches(schema *rel.Schema, row rel.Row, conds []Cond) bool {
+	for _, c := range conds {
+		pos := schema.ColIndex(c.Col)
+		if pos < 0 || !row[pos].Equal(c.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanMatching drives the planned access path, invoking fn for each
+// matching (rid, row) until fn returns false.
+func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, fn func(rid rel.RowID, row rel.Row) bool) error {
+	visit := func(rid rel.RowID, row rel.Row) bool {
+		if !matches(schema, row, p.residual) {
+			return true
+		}
+		return fn(rid, row)
+	}
+	if p.index != "" {
+		return tx.ScanIndex(table, p.index, p.prefixVals, visit)
+	}
+	return tx.ScanTable(table, visit)
+}
+
+// Exec runs a DML statement inside tx.
+func Exec(cat Catalog, tx Txn, stmt Stmt) (Result, error) {
+	switch s := stmt.(type) {
+	case InsertStmt:
+		return execInsert(cat, tx, s)
+	case SelectStmt:
+		return execSelect(cat, tx, s)
+	case UpdateStmt:
+		return execUpdate(cat, tx, s)
+	case DeleteStmt:
+		return execDelete(cat, tx, s)
+	case CreateTableStmt, CreateIndexStmt:
+		return Result{}, fmt.Errorf("%w: DDL inside a transaction", ErrUnsupported)
+	default:
+		return Result{}, ErrUnsupported
+	}
+}
+
+func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
+	schema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	n := 0
+	for _, vals := range s.Rows {
+		if len(vals) != schema.NumCols() {
+			return Result{Affected: n}, fmt.Errorf("sql: INSERT has %d values, table %q has %d columns",
+				len(vals), s.Table, schema.NumCols())
+		}
+		row := make(rel.Row, len(vals))
+		for i, v := range vals {
+			// Int literals coerce to float columns.
+			if v.Kind == rel.TInt64 && schema.Cols[i].Type == rel.TFloat64 {
+				v = rel.Float(float64(v.I))
+			}
+			row[i] = v
+		}
+		if _, err := tx.Insert(s.Table, row); err != nil {
+			return Result{Affected: n}, err
+		}
+		n++
+	}
+	return Result{Affected: n}, nil
+}
+
+func execSelect(cat Catalog, tx Txn, s SelectStmt) (Result, error) {
+	schema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	indexes, err := cat.IndexInfo(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := planWhere(schema, indexes, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	// Projection.
+	var proj []int
+	cols := s.Cols
+	if cols == nil {
+		for i, c := range schema.Cols {
+			proj = append(proj, i)
+			cols = append(cols, c.Name)
+		}
+	} else {
+		for _, c := range cols {
+			pos := schema.ColIndex(c)
+			if pos < 0 {
+				return Result{}, fmt.Errorf("sql: unknown column %q", c)
+			}
+			proj = append(proj, pos)
+		}
+	}
+	res := Result{Columns: cols}
+	err = scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+		out := make(rel.Row, len(proj))
+		for i, pos := range proj {
+			out[i] = row[pos]
+		}
+		res.Rows = append(res.Rows, out)
+		return s.Limit == 0 || len(res.Rows) < s.Limit
+	})
+	return res, err
+}
+
+func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
+	schema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	indexes, err := cat.IndexInfo(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	// Validate and coerce the SET clause.
+	set := make(map[string]rel.Value, len(s.Set))
+	for name, v := range s.Set {
+		pos := schema.ColIndex(name)
+		if pos < 0 {
+			return Result{}, fmt.Errorf("sql: unknown column %q", name)
+		}
+		if v.Kind == rel.TInt64 && schema.Cols[pos].Type == rel.TFloat64 {
+			v = rel.Float(float64(v.I))
+		}
+		if v.Kind != schema.Cols[pos].Type {
+			return Result{}, fmt.Errorf("sql: column %q: literal type mismatch", name)
+		}
+		set[name] = v
+	}
+	p, err := planWhere(schema, indexes, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	// Collect targets first: updating while scanning the same index could
+	// revisit moved entries.
+	var rids []rel.RowID
+	if err := scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+		rids = append(rids, rid)
+		return true
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, rid := range rids {
+		if err := tx.Update(s.Table, rid, set); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Affected: len(rids)}, nil
+}
+
+func execDelete(cat Catalog, tx Txn, s DeleteStmt) (Result, error) {
+	schema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	indexes, err := cat.IndexInfo(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := planWhere(schema, indexes, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	var rids []rel.RowID
+	if err := scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+		rids = append(rids, rid)
+		return true
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, rid := range rids {
+		if err := tx.Delete(s.Table, rid); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Affected: len(rids)}, nil
+}

@@ -1,0 +1,118 @@
+// Package sql implements PhoebeDB's SQL interface — the first item on the
+// paper's future-work list ("develop SQL interface to establish PhoebeDB
+// as a standalone server"). It covers the embedded-OLTP subset the kernel
+// serves natively:
+//
+//	CREATE TABLE t (a INT, b STRING, c FLOAT)
+//	CREATE [UNIQUE] INDEX i ON t (a, b)
+//	INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', 3.5)
+//	SELECT a, b FROM t WHERE a = 1 AND b = 'x' [LIMIT n]
+//	SELECT * FROM t [WHERE ...] [LIMIT n]
+//	UPDATE t SET c = 9.5 WHERE a = 1
+//	DELETE FROM t WHERE a = 1
+//
+// The planner matches equality conjunctions in WHERE against declared
+// index prefixes (choosing the longest usable prefix, unique indexes
+// first) and falls back to a visibility-checked full scan with a residual
+// filter — mirroring how the kernel's native access paths are meant to be
+// used.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , = * . < >
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit():
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					// '' escapes a quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("(),=*.<>", rune(c)):
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,434 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"phoebedb/internal/rel"
+)
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmtNode() }
+
+// CreateTableStmt declares a relation.
+type CreateTableStmt struct {
+	Table string
+	Cols  []rel.Column
+}
+
+// CreateIndexStmt declares a secondary index.
+type CreateIndexStmt struct {
+	Index  string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+// InsertStmt inserts one or more rows.
+type InsertStmt struct {
+	Table string
+	Rows  [][]rel.Value
+}
+
+// Cond is one equality predicate in a WHERE conjunction.
+type Cond struct {
+	Col string
+	Val rel.Value
+}
+
+// SelectStmt reads rows.
+type SelectStmt struct {
+	Table string
+	// Cols is nil for SELECT *.
+	Cols  []string
+	Where []Cond
+	Limit int // 0 = unlimited
+}
+
+// UpdateStmt updates matching rows.
+type UpdateStmt struct {
+	Table string
+	Set   map[string]rel.Value
+	Where []Cond
+}
+
+// DeleteStmt deletes matching rows.
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+func (CreateTableStmt) stmtNode() {}
+func (CreateIndexStmt) stmtNode() {}
+func (InsertStmt) stmtNode()      {}
+func (SelectStmt) stmtNode()      {}
+func (UpdateStmt) stmtNode()      {}
+func (DeleteStmt) stmtNode()      {}
+
+// parser consumes a token stream.
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing tokens after statement")
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (near position %d in %q)", fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+// keyword consumes an identifier matching kw (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return nil
+	}
+	return p.errorf("expected %q", s)
+}
+
+func (p *parser) symbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected identifier")
+	}
+	t := p.cur().text
+	p.pos++
+	return strings.ToLower(t), nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.keyword("create"):
+		if p.keyword("table") {
+			return p.createTable()
+		}
+		unique := p.keyword("unique")
+		if p.keyword("index") {
+			return p.createIndex(unique)
+		}
+		return nil, p.errorf("expected TABLE or [UNIQUE] INDEX after CREATE")
+	case p.keyword("insert"):
+		return p.insert()
+	case p.keyword("select"):
+		return p.selectStmt()
+	case p.keyword("update"):
+		return p.update()
+	case p.keyword("delete"):
+		return p.delete()
+	default:
+		return nil, p.errorf("expected CREATE, INSERT, SELECT, UPDATE, or DELETE")
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []rel.Column
+	for {
+		cn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var t rel.Type
+		switch tn {
+		case "int", "int64", "integer", "bigint":
+			t = rel.TInt64
+		case "float", "float64", "double", "real":
+			t = rel.TFloat64
+		case "string", "text", "varchar":
+			t = rel.TString
+		default:
+			return nil, p.errorf("unknown type %q", tn)
+		}
+		cols = append(cols, rel.Column{Name: cn, Type: t})
+		if p.symbol(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return CreateTableStmt{Table: name, Cols: cols}, nil
+}
+
+func (p *parser) createIndex(unique bool) (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	return CreateIndexStmt{Index: name, Table: table, Cols: cols, Unique: unique}, nil
+}
+
+func (p *parser) identList() ([]string, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if p.symbol(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) value() (rel.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return rel.Value{}, p.errorf("bad number %q", t.text)
+			}
+			return rel.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return rel.Value{}, p.errorf("bad integer %q", t.text)
+		}
+		return rel.Int(n), nil
+	case tokString:
+		p.pos++
+		return rel.Str(t.text), nil
+	default:
+		return rel.Value{}, p.errorf("expected literal value")
+	}
+}
+
+func (p *parser) insert() (Stmt, error) {
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	var rows [][]rel.Value
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []rel.Value
+		for {
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.symbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		rows = append(rows, row)
+		if p.symbol(",") {
+			continue
+		}
+		break
+	}
+	return InsertStmt{Table: table, Rows: rows}, nil
+}
+
+func (p *parser) where() ([]Cond, error) {
+	if !p.keyword("where") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Col: col, Val: v})
+		if p.keyword("and") {
+			continue
+		}
+		return conds, nil
+	}
+}
+
+func (p *parser) limit() (int, error) {
+	if !p.keyword("limit") {
+		return 0, nil
+	}
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, p.errorf("expected LIMIT count")
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errorf("bad LIMIT %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	var cols []string
+	if p.symbol("*") {
+		cols = nil
+	} else {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.where()
+	if err != nil {
+		return nil, err
+	}
+	limit, err := p.limit()
+	if err != nil {
+		return nil, err
+	}
+	return SelectStmt{Table: table, Cols: cols, Where: where, Limit: limit}, nil
+}
+
+func (p *parser) update() (Stmt, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	set := map[string]rel.Value{}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		set[col] = v
+		if p.symbol(",") {
+			continue
+		}
+		break
+	}
+	where, err := p.where()
+	if err != nil {
+		return nil, err
+	}
+	return UpdateStmt{Table: table, Set: set, Where: where}, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.where()
+	if err != nil {
+		return nil, err
+	}
+	return DeleteStmt{Table: table, Where: where}, nil
+}

@@ -1,0 +1,346 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"phoebedb/internal/rel"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a, b FROM t WHERE x = 'it''s' AND y = -3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "b", "FROM", "t", "WHERE", "x", "=", "it's", "AND", "y", "=", "-3.5", ""}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %q", texts)
+	}
+	if kinds[9] != tokString || kinds[13] != tokNumber {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("select ' unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := lex("select @"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE users (id INT, name STRING, score FLOAT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(CreateTableStmt)
+	if ct.Table != "users" || len(ct.Cols) != 3 {
+		t.Fatalf("stmt = %+v", ct)
+	}
+	if ct.Cols[0].Type != rel.TInt64 || ct.Cols[1].Type != rel.TString || ct.Cols[2].Type != rel.TFloat64 {
+		t.Fatalf("types = %+v", ct.Cols)
+	}
+	// Type synonyms.
+	stmt, err = Parse("create table x (a bigint, b text, c double)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct = stmt.(CreateTableStmt)
+	if ct.Cols[0].Type != rel.TInt64 || ct.Cols[1].Type != rel.TString || ct.Cols[2].Type != rel.TFloat64 {
+		t.Fatalf("synonym types = %+v", ct.Cols)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt, err := Parse("CREATE UNIQUE INDEX users_pk ON users (id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := stmt.(CreateIndexStmt)
+	if !ci.Unique || ci.Index != "users_pk" || ci.Table != "users" || len(ci.Cols) != 1 {
+		t.Fatalf("stmt = %+v", ci)
+	}
+	stmt, _ = Parse("CREATE INDEX ab ON t (a, b)")
+	ci = stmt.(CreateIndexStmt)
+	if ci.Unique || len(ci.Cols) != 2 {
+		t.Fatalf("stmt = %+v", ci)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', 3.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 {
+		t.Fatalf("stmt = %+v", ins)
+	}
+	if ins.Rows[0][0].I != 1 || ins.Rows[0][1].S != "a" || ins.Rows[0][2].F != 2.5 {
+		t.Fatalf("row = %v", ins.Rows[0])
+	}
+	if ins.Rows[1][0].I != 2 {
+		t.Fatalf("row = %v", ins.Rows[1])
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	stmt, err := Parse("SELECT a, b FROM t WHERE a = 1 AND b = 'x' LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(SelectStmt)
+	if sel.Table != "t" || len(sel.Cols) != 2 || len(sel.Where) != 2 || sel.Limit != 10 {
+		t.Fatalf("stmt = %+v", sel)
+	}
+	stmt, _ = Parse("SELECT * FROM t")
+	sel = stmt.(SelectStmt)
+	if sel.Cols != nil || sel.Where != nil || sel.Limit != 0 {
+		t.Fatalf("star stmt = %+v", sel)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	stmt, err := Parse("UPDATE t SET a = 5, b = 'z' WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(UpdateStmt)
+	if up.Table != "t" || len(up.Set) != 2 || up.Set["a"].I != 5 || len(up.Where) != 1 {
+		t.Fatalf("stmt = %+v", up)
+	}
+	stmt, err = Parse("DELETE FROM t WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(DeleteStmt)
+	if del.Table != "t" || len(del.Where) != 1 {
+		t.Fatalf("stmt = %+v", del)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"SELECT FROM t",
+		"CREATE TABLE t (a blob)",
+		"INSERT INTO t VALUES 1, 2",
+		"SELECT * FROM t WHERE a > 1", // only equality supported
+		"UPDATE t SET",
+		"SELECT * FROM t extra",
+		"SELECT * FROM t LIMIT 'x'",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("parse accepted %q", q)
+		}
+	}
+}
+
+// --- Planner ----------------------------------------------------------------
+
+func planSchema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "a", Type: rel.TInt64},
+		rel.Column{Name: "b", Type: rel.TInt64},
+		rel.Column{Name: "c", Type: rel.TString},
+	)
+}
+
+func TestPlannerPicksLongestPrefix(t *testing.T) {
+	schema := planSchema()
+	indexes := []IndexMeta{
+		{Name: "ix_a", Cols: []int{0}, Unique: false},
+		{Name: "ix_ab", Cols: []int{0, 1}, Unique: true},
+	}
+	p, err := planWhere(schema, indexes, []Cond{
+		{Col: "a", Val: rel.Int(1)},
+		{Col: "b", Val: rel.Int(2)},
+		{Col: "c", Val: rel.Str("x")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.index != "ix_ab" || len(p.prefixVals) != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.residual) != 1 || p.residual[0].Col != "c" {
+		t.Fatalf("residual = %+v", p.residual)
+	}
+}
+
+func TestPlannerPrefixOnly(t *testing.T) {
+	schema := planSchema()
+	indexes := []IndexMeta{{Name: "ix_ab", Cols: []int{0, 1}, Unique: true}}
+	// Only b is constrained: the index prefix (a) is not covered -> scan.
+	p, err := planWhere(schema, indexes, []Cond{{Col: "b", Val: rel.Int(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.index != "" || len(p.residual) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPlannerNoWhere(t *testing.T) {
+	p, err := planWhere(planSchema(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.index != "" || len(p.residual) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	if _, err := planWhere(planSchema(), nil, []Cond{{Col: "zzz", Val: rel.Int(1)}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := planWhere(planSchema(), nil, []Cond{{Col: "a", Val: rel.Str("x")}}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestPlannerIntToFloatCoercion(t *testing.T) {
+	schema := rel.NewSchema(rel.Column{Name: "f", Type: rel.TFloat64})
+	p, err := planWhere(schema, nil, []Cond{{Col: "f", Val: rel.Int(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.residual[0].Val.Kind != rel.TFloat64 || p.residual[0].Val.F != 3 {
+		t.Fatalf("coerced = %+v", p.residual[0].Val)
+	}
+}
+
+// --- Executor against a fake txn ---------------------------------------------
+
+type fakeCat struct {
+	schema  *rel.Schema
+	indexes []IndexMeta
+}
+
+func (c fakeCat) CreateTable(string, *rel.Schema) error            { return nil }
+func (c fakeCat) CreateIndex(string, string, []string, bool) error { return nil }
+func (c fakeCat) TableSchema(string) (*rel.Schema, error)          { return c.schema, nil }
+func (c fakeCat) IndexInfo(string) ([]IndexMeta, error)            { return c.indexes, nil }
+
+type fakeTxn struct {
+	rows    map[rel.RowID]rel.Row
+	nextRID rel.RowID
+	scans   []string // access-path audit trail
+}
+
+func (f *fakeTxn) Insert(table string, row rel.Row) (rel.RowID, error) {
+	f.nextRID++
+	f.rows[f.nextRID] = row.Clone()
+	return f.nextRID, nil
+}
+
+func (f *fakeTxn) ScanIndex(table, index string, vals []rel.Value, fn func(rel.RowID, rel.Row) bool) error {
+	f.scans = append(f.scans, "index:"+index)
+	for rid, row := range f.rows {
+		ok := true
+		for i, v := range vals {
+			if !row[i].Equal(v) { // fake: index cols == leading cols
+				ok = false
+			}
+		}
+		if ok && !fn(rid, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (f *fakeTxn) ScanTable(table string, fn func(rel.RowID, rel.Row) bool) error {
+	f.scans = append(f.scans, "table")
+	for rid, row := range f.rows {
+		if !fn(rid, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (f *fakeTxn) Update(table string, rid rel.RowID, set map[string]rel.Value) error {
+	row := f.rows[rid]
+	row[1] = set["b"]
+	return nil
+}
+
+func (f *fakeTxn) Delete(table string, rid rel.RowID) error {
+	delete(f.rows, rid)
+	return nil
+}
+
+func TestExecUsesIndexPath(t *testing.T) {
+	cat := fakeCat{
+		schema:  planSchema(),
+		indexes: []IndexMeta{{Name: "ix_a", Cols: []int{0}, Unique: true}},
+	}
+	tx := &fakeTxn{rows: map[rel.RowID]rel.Row{}}
+	stmt, _ := Parse("INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y')")
+	res, err := Exec(cat, tx, stmt)
+	if err != nil || res.Affected != 2 {
+		t.Fatalf("insert = (%+v, %v)", res, err)
+	}
+
+	stmt, _ = Parse("SELECT b FROM t WHERE a = 1")
+	res, err = Exec(cat, tx, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 10 || res.Columns[0] != "b" {
+		t.Fatalf("select = %+v", res)
+	}
+	if len(tx.scans) == 0 || !strings.HasPrefix(tx.scans[len(tx.scans)-1], "index:") {
+		t.Fatalf("did not use index path: %v", tx.scans)
+	}
+
+	// No usable index -> table scan.
+	stmt, _ = Parse("SELECT * FROM t WHERE c = 'y'")
+	res, err = Exec(cat, tx, stmt)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("scan select = (%+v, %v)", res, err)
+	}
+	if tx.scans[len(tx.scans)-1] != "table" {
+		t.Fatalf("expected table scan: %v", tx.scans)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cat := fakeCat{schema: planSchema()}
+	tx := &fakeTxn{rows: map[rel.RowID]rel.Row{}}
+	stmt, _ := Parse("INSERT INTO t VALUES (1, 2)")
+	if _, err := Exec(cat, tx, stmt); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	stmt, _ = Parse("SELECT zzz FROM t")
+	if _, err := Exec(cat, tx, stmt); err == nil {
+		t.Fatal("unknown projection column accepted")
+	}
+	stmt, _ = Parse("UPDATE t SET zzz = 1")
+	if _, err := Exec(cat, tx, stmt); err == nil {
+		t.Fatal("unknown SET column accepted")
+	}
+	ddl, _ := Parse("CREATE TABLE x (a int)")
+	if _, err := Exec(cat, tx, ddl); err == nil {
+		t.Fatal("DDL inside txn accepted")
+	}
+	if !IsDDL(ddl) {
+		t.Fatal("IsDDL wrong")
+	}
+	if _, err := ExecDDL(cat, stmt); err == nil {
+		t.Fatal("ExecDDL accepted DML")
+	}
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"phoebedb/internal/metrics"
+)
+
+func openTestPageFile(t *testing.T, pageSize int, io *metrics.IOCounters) *PageFile {
+	t.Helper()
+	pf, err := OpenPageFile(filepath.Join(t.TempDir(), "data.pages"), pageSize, io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestPageFileWriteRead(t *testing.T) {
+	pf := openTestPageFile(t, 128, nil)
+	id := pf.Allocate()
+	if id == InvalidPageID {
+		t.Fatal("allocated invalid id")
+	}
+	img := bytes.Repeat([]byte{0xAB}, 100)
+	if err := pf.WritePage(id, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pf.ReadPage(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 128 {
+		t.Fatalf("read %d bytes, want full slot 128", len(got))
+	}
+	if !bytes.Equal(got[:100], img) {
+		t.Fatal("payload mismatch")
+	}
+	for _, b := range got[100:] {
+		if b != 0 {
+			t.Fatal("slot tail not zero-filled")
+		}
+	}
+}
+
+func TestPageFileAllocateFreeReuse(t *testing.T) {
+	pf := openTestPageFile(t, 64, nil)
+	a := pf.Allocate()
+	b := pf.Allocate()
+	if a == b {
+		t.Fatal("duplicate allocation")
+	}
+	pf.Free(a)
+	c := pf.Allocate()
+	if c != a {
+		t.Fatalf("freed slot not reused: got %d want %d", c, a)
+	}
+	pf.Free(InvalidPageID) // must be a no-op
+	d := pf.Allocate()
+	if d == InvalidPageID || d == b || d == c {
+		t.Fatalf("bad allocation %d", d)
+	}
+}
+
+func TestPageFileErrors(t *testing.T) {
+	pf := openTestPageFile(t, 64, nil)
+	if err := pf.WritePage(InvalidPageID, nil); err == nil {
+		t.Fatal("write to invalid id accepted")
+	}
+	if _, err := pf.ReadPage(InvalidPageID, nil); err == nil {
+		t.Fatal("read of invalid id accepted")
+	}
+	id := pf.Allocate()
+	if err := pf.WritePage(id, make([]byte, 65)); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+	if _, err := OpenPageFile(filepath.Join(t.TempDir(), "x"), 0, nil); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+}
+
+func TestPageFilePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.pages")
+	pf, err := OpenPageFile(path, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pf.Allocate()
+	id2 := pf.Allocate()
+	if err := pf.WritePage(id, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WritePage(id2, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	pf.Sync()
+	pf.Close()
+
+	pf2, err := OpenPageFile(path, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	got, err := pf2.ReadPage(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("reopened payload = %q", got[:5])
+	}
+	// New allocations must not collide with persisted slots.
+	if next := pf2.Allocate(); next == id || next == id2 {
+		t.Fatalf("reopened file re-allocated live slot %d", next)
+	}
+}
+
+func TestPageFileConcurrentDisjointPages(t *testing.T) {
+	pf := openTestPageFile(t, 32, nil)
+	const pages = 16
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i] = pf.Allocate()
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id PageID) {
+			defer wg.Done()
+			img := bytes.Repeat([]byte{byte(i + 1)}, 32)
+			for k := 0; k < 50; k++ {
+				if err := pf.WritePage(id, img); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := pf.ReadPage(id, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, img) {
+					t.Errorf("page %d torn read", id)
+					return
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+}
+
+func TestIOCountersReported(t *testing.T) {
+	var io metrics.IOCounters
+	pf := openTestPageFile(t, 64, &io)
+	id := pf.Allocate()
+	pf.WritePage(id, make([]byte, 64))
+	pf.ReadPage(id, nil)
+	s := io.Snapshot()
+	if s.DataWrite != 64 || s.DataRead != 64 {
+		t.Fatalf("io snapshot = %+v", s)
+	}
+}
+
+func TestBlockFileAppendRead(t *testing.T) {
+	var io metrics.IOCounters
+	bf, err := OpenBlockFile(filepath.Join(t.TempDir(), "frozen.blocks"), &io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	r1, err := bf.AppendBlock([]byte("block-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := bf.AppendBlock([]byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Offset == r2.Offset {
+		t.Fatal("overlapping blocks")
+	}
+	b1, err := bf.ReadBlock(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != "block-one" {
+		t.Fatalf("block 1 = %q", b1)
+	}
+	b2, _ := bf.ReadBlock(r2)
+	if string(b2) != "second" {
+		t.Fatalf("block 2 = %q", b2)
+	}
+	if bf.Size() != int64(len("block-one")+len("second")) {
+		t.Fatalf("Size = %d", bf.Size())
+	}
+	if io.Snapshot().DataWrite != 15 {
+		t.Fatalf("write bytes = %d", io.Snapshot().DataWrite)
+	}
+}
+
+func TestBlockFileConcurrentAppend(t *testing.T) {
+	bf, err := OpenBlockFile(filepath.Join(t.TempDir(), "frozen.blocks"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	const goroutines = 8
+	const per = 20
+	refs := make([][]BlockRef, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				blk := bytes.Repeat([]byte{byte(g)}, 10+g)
+				ref, err := bf.AppendBlock(blk)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				refs[g] = append(refs[g], ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		for _, ref := range refs[g] {
+			blk, err := bf.ReadBlock(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range blk {
+				if b != byte(g) {
+					t.Fatalf("goroutine %d block corrupted", g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package swizzle implements pointer swizzling (§5.3): the per-page tagged
+// reference that lets PhoebeDB manage hot/cooling/cold page states without
+// a global hash table mapping page IDs to buffer frames.
+//
+// A Swip is in one of three states:
+//
+//   - Hot: the swip directly references the in-memory payload; access is a
+//     single pointer load with no indirection.
+//   - Cooling: the payload is still resident but the page has been queued
+//     for eviction; an access rescues it back to Hot cheaply.
+//   - Cold: the payload has been written to the data page file; the swip
+//     holds only the on-disk page ID and an access must reload the page.
+//
+// State transitions are performed under the owning page's exclusive latch;
+// reads of the state word are atomic so optimistic readers can classify a
+// swip without locking.
+package swizzle
+
+import (
+	"sync/atomic"
+
+	"phoebedb/internal/storage"
+)
+
+// State is a swip's residency state.
+type State uint32
+
+const (
+	// Hot means the payload is resident and directly referenced.
+	Hot State = iota
+	// Cooling means resident but queued for eviction (§5.3's cooling bit).
+	Cooling
+	// Cold means evicted; only the disk page ID remains.
+	Cold
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Hot:
+		return "hot"
+	case Cooling:
+		return "cooling"
+	case Cold:
+		return "cold"
+	default:
+		return "invalid"
+	}
+}
+
+// Swip is a swizzlable reference to a payload of type T. The zero Swip is
+// Hot with a nil payload.
+type Swip[T any] struct {
+	state  atomic.Uint32
+	ptr    atomic.Pointer[T]
+	pageID atomic.Uint64
+}
+
+// State returns the current residency state.
+func (s *Swip[T]) State() State { return State(s.state.Load()) }
+
+// Ptr returns the resident payload pointer; nil when Cold.
+func (s *Swip[T]) Ptr() *T { return s.ptr.Load() }
+
+// PageID returns the on-disk page ID (meaningful once assigned; retained
+// across swizzle/unswizzle so a page keeps its disk slot).
+func (s *Swip[T]) PageID() storage.PageID {
+	return storage.PageID(s.pageID.Load())
+}
+
+// SetPageID records the page's disk slot.
+func (s *Swip[T]) SetPageID(id storage.PageID) { s.pageID.Store(uint64(id)) }
+
+// Swizzle installs a resident payload and marks the swip Hot. Called when a
+// page is created or loaded from disk, under the page latch.
+func (s *Swip[T]) Swizzle(p *T) {
+	s.ptr.Store(p)
+	s.state.Store(uint32(Hot))
+}
+
+// StartCooling marks a Hot swip Cooling. Returns false if the swip was not
+// Hot (already cooling, or cold).
+func (s *Swip[T]) StartCooling() bool {
+	return s.state.CompareAndSwap(uint32(Hot), uint32(Cooling))
+}
+
+// Rescue returns a Cooling swip to Hot (a touch arrived before eviction).
+// Returns false if the swip was not Cooling.
+func (s *Swip[T]) Rescue() bool {
+	return s.state.CompareAndSwap(uint32(Cooling), uint32(Hot))
+}
+
+// Unswizzle completes eviction: drops the payload reference and marks the
+// swip Cold. The caller must have written the payload to the page file
+// first and must hold the page latch. Returns false unless the swip was
+// Cooling (an access raced in and rescued it).
+func (s *Swip[T]) Unswizzle() bool {
+	if !s.state.CompareAndSwap(uint32(Cooling), uint32(Cold)) {
+		return false
+	}
+	s.ptr.Store(nil)
+	return true
+}
+
+// IsResident reports whether the payload is in memory (Hot or Cooling).
+func (s *Swip[T]) IsResident() bool { return s.State() != Cold }

@@ -1,0 +1,136 @@
+package swizzle
+
+import (
+	"sync"
+	"testing"
+
+	"phoebedb/internal/storage"
+)
+
+type payload struct{ v int }
+
+func TestZeroSwipIsHotNil(t *testing.T) {
+	var s Swip[payload]
+	if s.State() != Hot {
+		t.Fatalf("zero state = %v", s.State())
+	}
+	if s.Ptr() != nil {
+		t.Fatal("zero ptr not nil")
+	}
+	if s.PageID() != storage.InvalidPageID {
+		t.Fatal("zero page id not invalid")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	var s Swip[payload]
+	p := &payload{v: 7}
+	s.Swizzle(p)
+	s.SetPageID(42)
+	if s.State() != Hot || s.Ptr() != p || !s.IsResident() {
+		t.Fatal("swizzle did not install payload")
+	}
+
+	if !s.StartCooling() {
+		t.Fatal("StartCooling failed on hot swip")
+	}
+	if s.State() != Cooling || s.Ptr() != p || !s.IsResident() {
+		t.Fatal("cooling swip lost payload")
+	}
+	if s.StartCooling() {
+		t.Fatal("StartCooling succeeded twice")
+	}
+
+	if !s.Unswizzle() {
+		t.Fatal("Unswizzle failed on cooling swip")
+	}
+	if s.State() != Cold || s.Ptr() != nil || s.IsResident() {
+		t.Fatal("cold swip retained payload")
+	}
+	if s.PageID() != 42 {
+		t.Fatal("page id lost across unswizzle")
+	}
+
+	// Reload.
+	s.Swizzle(&payload{v: 8})
+	if s.State() != Hot || s.Ptr().v != 8 {
+		t.Fatal("re-swizzle failed")
+	}
+}
+
+func TestRescue(t *testing.T) {
+	var s Swip[payload]
+	s.Swizzle(&payload{})
+	s.StartCooling()
+	if !s.Rescue() {
+		t.Fatal("rescue failed on cooling swip")
+	}
+	if s.State() != Hot {
+		t.Fatal("rescued swip not hot")
+	}
+	if s.Rescue() {
+		t.Fatal("rescue succeeded on hot swip")
+	}
+	// A rescued swip must not be unswizzleable.
+	if s.Unswizzle() {
+		t.Fatal("unswizzle succeeded on rescued (hot) swip")
+	}
+}
+
+func TestUnswizzleRequiresCooling(t *testing.T) {
+	var s Swip[payload]
+	s.Swizzle(&payload{})
+	if s.Unswizzle() {
+		t.Fatal("unswizzle succeeded on hot swip")
+	}
+	s.StartCooling()
+	s.Unswizzle()
+	if s.Unswizzle() {
+		t.Fatal("unswizzle succeeded twice")
+	}
+}
+
+func TestRescueRace(t *testing.T) {
+	// Many touches racing one evictor: exactly one of {rescue, unswizzle}
+	// wins, and a rescued swip keeps its payload.
+	for i := 0; i < 200; i++ {
+		var s Swip[payload]
+		p := &payload{v: i}
+		s.Swizzle(p)
+		s.StartCooling()
+		var wg sync.WaitGroup
+		var rescued, evicted bool
+		wg.Add(2)
+		go func() { defer wg.Done(); rescued = s.Rescue() }()
+		go func() { defer wg.Done(); evicted = s.Unswizzle() }()
+		wg.Wait()
+		if rescued == evicted {
+			t.Fatalf("iteration %d: rescued=%v evicted=%v", i, rescued, evicted)
+		}
+		if rescued && (s.State() != Hot || s.Ptr() != p) {
+			t.Fatal("rescued swip corrupted")
+		}
+		if evicted && (s.State() != Cold || s.Ptr() != nil) {
+			t.Fatal("evicted swip corrupted")
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Hot.String() != "hot" || Cooling.String() != "cooling" || Cold.String() != "cold" {
+		t.Fatal("state names wrong")
+	}
+	if State(9).String() != "invalid" {
+		t.Fatal("invalid state name wrong")
+	}
+}
+
+func BenchmarkHotDeref(b *testing.B) {
+	var s Swip[payload]
+	s.Swizzle(&payload{v: 1})
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Ptr().v
+	}
+	_ = sink
+}

@@ -1,0 +1,791 @@
+// Package table implements PhoebeDB's base-table storage (§5): the table
+// B-Tree keyed by the internally assigned, monotonically increasing row_id.
+//
+// Because row_ids are assigned at insert time in increasing order, the
+// tree's key space only ever grows at the right edge; the structure is a
+// routing directory (the inner level) over PAX leaf pages. Each leaf page
+// carries its own latch, swizzled payload (hot/cooling/cold), twin table
+// pointer (§6.2), RFA page stamp (§8), and decayed access count (§5.2's
+// data temperature). There is no global page table: a page is reached only
+// through the directory and its swip.
+//
+// Pages holding version chains or tuple locks (a live twin table) are
+// pinned in memory — their UNDO bookkeeping must stay addressable — and
+// become evictable again once GC drops the twin table.
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/buffer"
+	"phoebedb/internal/latch"
+	"phoebedb/internal/pax"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+	"phoebedb/internal/swizzle"
+	"phoebedb/internal/undo"
+	"phoebedb/internal/wal"
+)
+
+// ErrNotFound reports a row_id absent from the table's hot/cold layers.
+var ErrNotFound = errors.New("table: row not found")
+
+// ErrFrozen reports a row_id below the frozen frontier: the caller must
+// consult the frozen store (§5.2).
+var ErrFrozen = errors.New("table: row is frozen")
+
+// Payload is a page's resident content: the PAX rows, their row_ids
+// (sorted ascending, parallel to PAX slots), and tombstone flags for
+// deleted-but-not-yet-collected tuples.
+type Payload struct {
+	Rows    *pax.Page
+	IDs     []rel.RowID
+	Deleted []bool
+}
+
+func (pl *Payload) find(rid rel.RowID) int {
+	i := sort.Search(len(pl.IDs), func(i int) bool { return pl.IDs[i] >= rid })
+	if i < len(pl.IDs) && pl.IDs[i] == rid {
+		return i
+	}
+	return -1
+}
+
+func (pl *Payload) serialize(dst []byte) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(pl.IDs)))
+	dst = append(dst, b8[:4]...)
+	for _, id := range pl.IDs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(id))
+		dst = append(dst, b8[:]...)
+	}
+	for _, d := range pl.Deleted {
+		if d {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return pl.Rows.Serialize(dst)
+}
+
+func deserializePayload(schema *rel.Schema, cap int, img []byte) (*Payload, error) {
+	if len(img) < 4 {
+		return nil, fmt.Errorf("table: truncated payload")
+	}
+	n := int(binary.LittleEndian.Uint32(img[:4]))
+	off := 4
+	if len(img) < off+8*n+n {
+		return nil, fmt.Errorf("table: truncated payload ids")
+	}
+	pl := &Payload{IDs: make([]rel.RowID, n), Deleted: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		pl.IDs[i] = rel.RowID(binary.LittleEndian.Uint64(img[off : off+8]))
+		off += 8
+	}
+	for i := 0; i < n; i++ {
+		pl.Deleted[i] = img[off] != 0
+		off++
+	}
+	rows, err := pax.Deserialize(schema, cap, img[off:])
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() != n {
+		return nil, fmt.Errorf("table: payload row count %d != id count %d", rows.Len(), n)
+	}
+	pl.Rows = rows
+	return pl, nil
+}
+
+// Page is one leaf of the table tree.
+type Page struct {
+	lt         latch.Latch
+	firstRowID rel.RowID
+	swip       swizzle.Swip[Payload]
+	hotness    atomic.Uint32
+
+	// Guarded by lt (exclusive for writes):
+	Twin  *undo.TwinTable
+	Stamp wal.PageStamp
+
+	table *Table
+	part  int // buffer partition owning this page
+}
+
+// FirstRowID returns the smallest row_id ever stored in the page.
+func (pg *Page) FirstRowID() rel.RowID { return pg.firstRowID }
+
+// touch records an access for temperature tracking and rescues a cooling
+// page.
+func (pg *Page) touch() {
+	if pg.hotness.Load() < 1<<20 {
+		pg.hotness.Add(1)
+	}
+	if pg.swip.State() == swizzle.Cooling {
+		pg.swip.Rescue()
+	}
+}
+
+// Hotness implements buffer.Frame.
+func (pg *Page) Hotness() uint32 { return pg.hotness.Load() }
+
+// DecayHotness implements buffer.Frame (halving decay).
+func (pg *Page) DecayHotness() {
+	for {
+		h := pg.hotness.Load()
+		if pg.hotness.CompareAndSwap(h, h/2) {
+			return
+		}
+	}
+}
+
+// Resident implements buffer.Frame.
+func (pg *Page) Resident() bool { return pg.swip.IsResident() }
+
+// StartCooling implements buffer.Frame.
+func (pg *Page) StartCooling() bool {
+	if pg == pg.table.tailPage() {
+		return false // the insert frontier never cools
+	}
+	return pg.swip.StartCooling()
+}
+
+// EvictIfCooling implements buffer.Frame: serialize to the data page file
+// and unswizzle, unless the page was rescued, is pinned by a twin table,
+// cannot be latched without waiting, or no longer fits its disk slot.
+func (pg *Page) EvictIfCooling() (int, bool) {
+	if !pg.lt.TryLockExclusive() {
+		pg.swip.Rescue()
+		return 0, false
+	}
+	defer pg.lt.UnlockExclusive()
+	if pg.swip.State() != swizzle.Cooling {
+		return 0, false
+	}
+	if pg.Twin != nil {
+		pg.swip.Rescue() // pinned: version chains / locks reference it
+		return 0, false
+	}
+	pl := pg.swip.Ptr()
+	img := pl.serialize(nil)
+	if len(img) > pg.table.pf.PageSize() {
+		pg.swip.Rescue()
+		return 0, false
+	}
+	id := pg.swip.PageID()
+	if id == storage.InvalidPageID {
+		id = pg.table.pf.Allocate()
+		pg.swip.SetPageID(id)
+	}
+	if err := pg.table.pf.WritePage(id, img); err != nil {
+		pg.swip.Rescue()
+		return 0, false
+	}
+	if !pg.swip.Unswizzle() {
+		return 0, false
+	}
+	return pg.table.pf.PageSize(), true
+}
+
+// Table is one relation's storage.
+type Table struct {
+	ID      uint32
+	Schema  *rel.Schema
+	PageCap int
+
+	pf   *storage.PageFile
+	pool *buffer.Pool
+
+	dirMu sync.RWMutex
+	dir   []*Page // sorted by firstRowID
+
+	appendMu sync.Mutex // serializes tail-page appends
+	tail     atomic.Pointer[Page]
+
+	nextRowID      atomic.Uint64
+	maxFrozenRowID atomic.Uint64 // rows <= this are in the frozen store
+
+	// twinPages tracks pages with live twin tables for the GC sweep.
+	twinPages sync.Map // *Page -> struct{}
+}
+
+// New creates an empty table backed by pf, registering page frames with
+// pool partitions chosen by the inserting slot.
+func New(id uint32, schema *rel.Schema, pageCap int, pf *storage.PageFile, pool *buffer.Pool) *Table {
+	t := &Table{ID: id, Schema: schema, PageCap: pageCap, pf: pf, pool: pool}
+	t.addPage(1, 0)
+	return t
+}
+
+func (t *Table) tailPage() *Page { return t.tail.Load() }
+
+// addPage creates a fresh hot page starting at firstRID, appends it to the
+// directory, and makes it the tail. Caller must hold dirMu or be the
+// constructor.
+func (t *Table) addPage(firstRID rel.RowID, part int) *Page {
+	pg := &Page{firstRowID: firstRID, table: t, part: part}
+	pl := &Payload{Rows: pax.NewPage(t.Schema, t.PageCap)}
+	pg.swip.Swizzle(pl)
+	pg.Stamp.LastWriter = -1
+	t.dirMu.Lock()
+	t.dir = append(t.dir, pg)
+	t.dirMu.Unlock()
+	t.tail.Store(pg)
+	if t.pool != nil {
+		t.pool.Register(pg, part)
+		t.pool.AddResident(part, int64(t.pf.PageSize()))
+	}
+	return pg
+}
+
+// Handle is the view of one row passed to WithRow callbacks; valid only for
+// the callback's duration, under the page latch.
+type Handle struct {
+	Pg   *Page
+	Pl   *Payload
+	Slot int
+	RID  rel.RowID
+}
+
+// Row materializes the current (newest) tuple version.
+func (h *Handle) Row() rel.Row { return h.Pl.Rows.Row(h.Slot) }
+
+// Col reads one column of the current version.
+func (h *Handle) Col(i int) rel.Value { return h.Pl.Rows.Col(h.Slot, i) }
+
+// SetCol updates one column in place (caller has captured the UNDO delta).
+func (h *Handle) SetCol(i int, v rel.Value) { h.Pl.Rows.SetCol(h.Slot, i, v) }
+
+// Deleted reports the tombstone flag.
+func (h *Handle) Deleted() bool { return h.Pl.Deleted[h.Slot] }
+
+// SetDeleted sets or clears the tombstone flag.
+func (h *Handle) SetDeleted(d bool) { h.Pl.Deleted[h.Slot] = d }
+
+// TwinTable returns the page's twin table, creating it when create is set
+// (the page becomes pinned until GC drops the table).
+func (h *Handle) TwinTable(create bool) *undo.TwinTable {
+	if h.Pg.Twin == nil && create {
+		h.Pg.Twin = undo.NewTwinTable()
+		h.Pg.table.twinPages.Store(h.Pg, struct{}{})
+	}
+	return h.Pg.Twin
+}
+
+// ensureResident loads a cold page's payload. Requires the exclusive latch.
+func (pg *Page) ensureResident(yield func()) (*Payload, error) {
+	if pg.swip.State() != swizzle.Cold {
+		return pg.swip.Ptr(), nil
+	}
+	if yield != nil {
+		yield() // the paper's async-read high-urgency yield point
+	}
+	img, err := pg.table.pf.ReadPage(pg.swip.PageID(), nil)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := deserializePayload(pg.table.Schema, pg.table.PageCap, img)
+	if err != nil {
+		return nil, fmt.Errorf("table %d page %d: %w", pg.table.ID, pg.swip.PageID(), err)
+	}
+	pg.swip.Swizzle(pl)
+	if pg.table.pool != nil {
+		pg.table.pool.AddResident(pg.part, int64(pg.table.pf.PageSize()))
+	}
+	return pl, nil
+}
+
+// findPage routes a row_id to its page via the directory (the inner level
+// of the table tree).
+func (t *Table) findPage(rid rel.RowID) *Page {
+	t.dirMu.RLock()
+	defer t.dirMu.RUnlock()
+	i := sort.Search(len(t.dir), func(i int) bool { return t.dir[i].firstRowID > rid })
+	if i == 0 {
+		return nil
+	}
+	return t.dir[i-1]
+}
+
+// WithRow runs fn under the row's page latch (exclusive when exclusive is
+// set, shared otherwise). yield is invoked at latch-spin and page-load
+// points. Returns ErrFrozen for rows below the frozen frontier and
+// ErrNotFound for absent row_ids.
+func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *Handle) error) error {
+	if uint64(rid) <= t.maxFrozenRowID.Load() {
+		return ErrFrozen
+	}
+	pg := t.findPage(rid)
+	if pg == nil {
+		return ErrNotFound
+	}
+	for {
+		if exclusive || pg.swip.State() == swizzle.Cold {
+			pg.lt.LockExclusive(yield)
+			pl, err := pg.ensureResident(yield)
+			if err != nil {
+				pg.lt.UnlockExclusive()
+				return err
+			}
+			if !exclusive {
+				// Loaded on behalf of a reader: retry under shared.
+				pg.lt.UnlockExclusive()
+				continue
+			}
+			pg.touch()
+			slot := pl.find(rid)
+			if slot < 0 {
+				pg.lt.UnlockExclusive()
+				return ErrNotFound
+			}
+			err = fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
+			pg.lt.UnlockExclusive()
+			return err
+		}
+		pg.lt.LockShared(yield)
+		if pg.swip.State() == swizzle.Cold {
+			pg.lt.UnlockShared()
+			continue
+		}
+		pg.touch()
+		pl := pg.swip.Ptr()
+		slot := pl.find(rid)
+		if slot < 0 {
+			pg.lt.UnlockShared()
+			return ErrNotFound
+		}
+		err := fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
+		pg.lt.UnlockShared()
+		return err
+	}
+}
+
+// Append inserts row at the tail, assigns its row_id, and runs fn under the
+// tail page's exclusive latch (so the caller can build UNDO/WAL state
+// atomically with the insert).
+func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h *Handle) error) (rel.RowID, error) {
+	if err := row.Conforms(t.Schema); err != nil {
+		return 0, err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	return t.appendLocked(row, part, yield, fn)
+}
+
+// AppendAt inserts row with an explicit row_id greater than any assigned so
+// far, fast-forwarding the row_id counter past it. Recovery uses this to
+// reproduce logged row_ids even across gaps burned by aborted transactions.
+func (t *Table) AppendAt(rid rel.RowID, row rel.Row) error {
+	if err := row.Conforms(t.Schema); err != nil {
+		return err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	if uint64(rid) <= t.nextRowID.Load() {
+		return fmt.Errorf("table: AppendAt row_id %d not beyond counter %d", rid, t.nextRowID.Load())
+	}
+	t.nextRowID.Store(uint64(rid) - 1)
+	got, err := t.appendLocked(row, 0, nil, nil)
+	if err == nil && got != rid {
+		return fmt.Errorf("table: AppendAt assigned %d, want %d", got, rid)
+	}
+	return err
+}
+
+// appendLocked is Append's body; the caller holds appendMu.
+func (t *Table) appendLocked(row rel.Row, part int, yield func(), fn func(h *Handle) error) (rel.RowID, error) {
+	pg := t.tailPage()
+	pg.lt.LockExclusive(yield)
+	pl, err := pg.ensureResident(yield)
+	if err != nil {
+		pg.lt.UnlockExclusive()
+		return 0, err
+	}
+	if pl.Rows.Full() {
+		pg.lt.UnlockExclusive()
+		pg = t.addPage(rel.RowID(t.nextRowID.Load()+1), part)
+		pg.lt.LockExclusive(yield)
+		pl = pg.swip.Ptr()
+	}
+	rid := rel.RowID(t.nextRowID.Add(1))
+	slot, err := pl.Rows.Append(row)
+	if err != nil {
+		pg.lt.UnlockExclusive()
+		return 0, err
+	}
+	pl.IDs = append(pl.IDs, rid)
+	pl.Deleted = append(pl.Deleted, false)
+	pg.touch()
+	if fn != nil {
+		if err := fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid}); err != nil {
+			// Roll the physical insert back; the row_id is burned.
+			pl.Rows.Delete(slot)
+			pl.IDs = pl.IDs[:len(pl.IDs)-1]
+			pl.Deleted = pl.Deleted[:len(pl.Deleted)-1]
+			pg.lt.UnlockExclusive()
+			return 0, err
+		}
+	}
+	pg.lt.UnlockExclusive()
+	return rid, nil
+}
+
+// RemoveRow physically erases a tombstoned row (deleted-tuple GC, §7.3).
+func (t *Table) RemoveRow(rid rel.RowID, yield func()) error {
+	return t.WithRow(rid, true, yield, func(h *Handle) error {
+		if err := h.Pl.Rows.Delete(h.Slot); err != nil {
+			return err
+		}
+		h.Pl.IDs = append(h.Pl.IDs[:h.Slot], h.Pl.IDs[h.Slot+1:]...)
+		h.Pl.Deleted = append(h.Pl.Deleted[:h.Slot], h.Pl.Deleted[h.Slot+1:]...)
+		return nil
+	})
+}
+
+// DropCollectibleTwins sweeps pages with twin tables and drops those whose
+// writers are all globally visible (twin table GC, §7.3). Returns the
+// number of tables dropped.
+func (t *Table) DropCollectibleTwins(maxFrozenXID uint64) int {
+	dropped := 0
+	t.twinPages.Range(func(k, _ any) bool {
+		pg := k.(*Page)
+		if !pg.lt.TryLockExclusive() {
+			return true
+		}
+		if pg.Twin != nil && pg.Twin.Collectible(maxFrozenXID) {
+			pg.Twin = nil
+			t.twinPages.Delete(pg)
+			dropped++
+		}
+		pg.lt.UnlockExclusive()
+		return true
+	})
+	return dropped
+}
+
+// Scan iterates all live (non-tombstoned) rows in row_id order across the
+// hot/cold layers, invoking fn until it returns false. Each page is read
+// under its shared latch.
+func (t *Table) Scan(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+	return t.scan(yield, false, fn)
+}
+
+// ScanAll is Scan including tombstoned rows: MVCC scans need them because
+// a delete committed after a reader's snapshot must still be visible to
+// that reader through its version chain.
+func (t *Table) ScanAll(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+	return t.scan(yield, true, fn)
+}
+
+func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+	t.dirMu.RLock()
+	pages := append([]*Page(nil), t.dir...)
+	t.dirMu.RUnlock()
+	for _, pg := range pages {
+		cont, err := t.scanPage(pg, yield, includeTombstones, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) (bool, error) {
+	for {
+		if pg.swip.State() == swizzle.Cold {
+			pg.lt.LockExclusive(yield)
+			if _, err := pg.ensureResident(yield); err != nil {
+				pg.lt.UnlockExclusive()
+				return false, err
+			}
+			pg.lt.UnlockExclusive()
+			continue
+		}
+		pg.lt.LockShared(yield)
+		if pg.swip.State() == swizzle.Cold {
+			pg.lt.UnlockShared()
+			continue
+		}
+		pg.touch()
+		pl := pg.swip.Ptr()
+		for i := 0; i < len(pl.IDs); i++ {
+			if pl.Deleted[i] && !includeTombstones {
+				continue
+			}
+			if !fn(pl.IDs[i], pl.Rows.Row(i), &Handle{Pg: pg, Pl: pl, Slot: i, RID: pl.IDs[i]}) {
+				pg.lt.UnlockShared()
+				return false, nil
+			}
+		}
+		pg.lt.UnlockShared()
+		return true, nil
+	}
+}
+
+// NextRowID returns the highest assigned row_id.
+func (t *Table) NextRowID() rel.RowID { return rel.RowID(t.nextRowID.Load()) }
+
+// SetNextRowID fast-forwards the row_id counter (recovery).
+func (t *Table) SetNextRowID(rid rel.RowID) { t.nextRowID.Store(uint64(rid)) }
+
+// MaxFrozenRowID returns the frozen frontier (§5.2).
+func (t *Table) MaxFrozenRowID() rel.RowID { return rel.RowID(t.maxFrozenRowID.Load()) }
+
+// NumPages returns the directory size (hot/cold pages only).
+func (t *Table) NumPages() int {
+	t.dirMu.RLock()
+	defer t.dirMu.RUnlock()
+	return len(t.dir)
+}
+
+// FrozenCandidate is one page's content handed to the freezer.
+type FrozenCandidate struct {
+	FirstRID rel.RowID
+	Payload  *Payload
+}
+
+// DetachFrozenPrefix removes up to maxPages cold-enough pages from the
+// front of the directory for freezing (§5.2 case 2): consecutive non-tail
+// pages with decayed access counts at or below maxHot, no twin table, and
+// no pending tombstones. It advances max_frozen_row_id to cover the
+// detached range and returns the detached payloads in row_id order.
+func (t *Table) DetachFrozenPrefix(maxPages int, maxHot uint32, yield func()) ([]FrozenCandidate, error) {
+	t.dirMu.Lock()
+	defer t.dirMu.Unlock()
+	var out []FrozenCandidate
+	for len(out) < maxPages && len(t.dir) > 1 { // never freeze the tail
+		pg := t.dir[0]
+		if pg == t.tailPage() || pg.Hotness() > maxHot {
+			break
+		}
+		pg.lt.LockExclusive(yield)
+		if pg.Twin != nil {
+			pg.lt.UnlockExclusive()
+			break
+		}
+		pl, err := pg.ensureResident(yield)
+		if err != nil {
+			pg.lt.UnlockExclusive()
+			return out, err
+		}
+		pending := false
+		for _, d := range pl.Deleted {
+			if d {
+				pending = true
+				break
+			}
+		}
+		if pending {
+			pg.lt.UnlockExclusive()
+			break
+		}
+		// Detach: the page leaves the directory; its disk slot is freed.
+		t.dir = t.dir[1:]
+		if id := pg.swip.PageID(); id != storage.InvalidPageID {
+			t.pf.Free(id)
+		}
+		if t.pool != nil && pg.Resident() {
+			t.pool.AddResident(pg.part, -int64(t.pf.PageSize()))
+		}
+		out = append(out, FrozenCandidate{FirstRID: pg.firstRowID, Payload: pl})
+		t.maxFrozenRowID.Store(uint64(t.dir[0].firstRowID) - 1)
+		pg.lt.UnlockExclusive()
+	}
+	return out, nil
+}
+
+// PageImage is one page's serialized payload for checkpointing.
+type PageImage struct {
+	FirstRID rel.RowID
+	Img      []byte
+}
+
+// ExportImages serializes every hot/cold page (loading cold pages) for a
+// checkpoint. The engine quiesces transactions first; the table must not
+// be mutated during the export.
+func (t *Table) ExportImages(yield func()) (images []PageImage, nextRowID, maxFrozenRID uint64, err error) {
+	t.dirMu.RLock()
+	pages := append([]*Page(nil), t.dir...)
+	t.dirMu.RUnlock()
+	for _, pg := range pages {
+		pg.lt.LockExclusive(yield)
+		pl, lerr := pg.ensureResident(yield)
+		if lerr != nil {
+			pg.lt.UnlockExclusive()
+			return nil, 0, 0, lerr
+		}
+		images = append(images, PageImage{FirstRID: pg.firstRowID, Img: pl.serialize(nil)})
+		pg.lt.UnlockExclusive()
+	}
+	return images, t.nextRowID.Load(), t.maxFrozenRowID.Load(), nil
+}
+
+// ImportImages rebuilds the table's directory from a checkpoint export.
+// The table must be freshly created (only its empty initial page).
+func (t *Table) ImportImages(images []PageImage, nextRowID, maxFrozenRID uint64) error {
+	t.dirMu.Lock()
+	if len(t.dir) != 1 || t.dir[0].swip.Ptr() == nil || len(t.dir[0].swip.Ptr().IDs) != 0 {
+		t.dirMu.Unlock()
+		return fmt.Errorf("table: ImportImages on non-empty table %d", t.ID)
+	}
+	t.dir = t.dir[:0]
+	t.dirMu.Unlock()
+	for _, im := range images {
+		pl, err := deserializePayload(t.Schema, t.PageCap, im.Img)
+		if err != nil {
+			return fmt.Errorf("table %d: import page %d: %w", t.ID, im.FirstRID, err)
+		}
+		pg := &Page{firstRowID: im.FirstRID, table: t, part: 0}
+		pg.swip.Swizzle(pl)
+		pg.Stamp.LastWriter = -1
+		t.dirMu.Lock()
+		t.dir = append(t.dir, pg)
+		t.dirMu.Unlock()
+		t.tail.Store(pg)
+		if t.pool != nil {
+			t.pool.Register(pg, 0)
+			t.pool.AddResident(0, int64(t.pf.PageSize()))
+		}
+	}
+	if len(images) == 0 {
+		// Restore an empty tail page.
+		t.addPage(rel.RowID(nextRowID)+1, 0)
+	}
+	t.nextRowID.Store(nextRowID)
+	t.maxFrozenRowID.Store(maxFrozenRID)
+	return nil
+}
+
+// InsertAt places row at an explicit row_id anywhere in the key space:
+// past the counter (fast-forwarding it, burning any gap) or between
+// existing rows, splitting a full page if needed. Recovery and WAL-shipping
+// replication use it because cross-writer GSN order only guarantees
+// per-page order — inserts to different tail pages can arrive out of
+// row_id order.
+func (t *Table) InsertAt(rid rel.RowID, row rel.Row) error {
+	if err := row.Conforms(t.Schema); err != nil {
+		return err
+	}
+	t.appendMu.Lock()
+	defer t.appendMu.Unlock()
+	if uint64(rid) > t.nextRowID.Load() {
+		t.nextRowID.Store(uint64(rid) - 1)
+		got, err := t.appendLocked(row, 0, nil, nil)
+		if err == nil && got != rid {
+			return fmt.Errorf("table: InsertAt assigned %d, want %d", got, rid)
+		}
+		return err
+	}
+	// Out-of-order: the rid belongs to an existing page's range.
+	pg := t.findPage(rid)
+	if pg == nil {
+		return fmt.Errorf("table: InsertAt %d has no covering page", rid)
+	}
+	pg.lt.LockExclusive(nil)
+	pl, err := pg.ensureResident(nil)
+	if err != nil {
+		pg.lt.UnlockExclusive()
+		return err
+	}
+	if pl.find(rid) >= 0 {
+		pg.lt.UnlockExclusive()
+		return fmt.Errorf("table: InsertAt %d already present", rid)
+	}
+	if pl.Rows.Full() {
+		// Split the page in half and retry against the proper half.
+		if err := t.splitPage(pg, pl); err != nil {
+			pg.lt.UnlockExclusive()
+			return err
+		}
+		pg.lt.UnlockExclusive()
+		return t.insertIntoPage(rid, row)
+	}
+	err = insertSorted(pl, rid, row)
+	pg.lt.UnlockExclusive()
+	return err
+}
+
+// insertIntoPage re-routes and inserts after a split (appendMu held).
+func (t *Table) insertIntoPage(rid rel.RowID, row rel.Row) error {
+	pg := t.findPage(rid)
+	if pg == nil {
+		return fmt.Errorf("table: no covering page for %d after split", rid)
+	}
+	pg.lt.LockExclusive(nil)
+	defer pg.lt.UnlockExclusive()
+	pl, err := pg.ensureResident(nil)
+	if err != nil {
+		return err
+	}
+	if pl.Rows.Full() {
+		return fmt.Errorf("table: page for %d still full after split", rid)
+	}
+	return insertSorted(pl, rid, row)
+}
+
+// insertSorted places (rid, row) at its sorted slot in the payload.
+func insertSorted(pl *Payload, rid rel.RowID, row rel.Row) error {
+	at := sort.Search(len(pl.IDs), func(i int) bool { return pl.IDs[i] >= rid })
+	if err := pl.Rows.Insert(at, row); err != nil {
+		return err
+	}
+	pl.IDs = append(pl.IDs, 0)
+	copy(pl.IDs[at+1:], pl.IDs[at:])
+	pl.IDs[at] = rid
+	pl.Deleted = append(pl.Deleted, false)
+	copy(pl.Deleted[at+1:], pl.Deleted[at:])
+	pl.Deleted[at] = false
+	return nil
+}
+
+// splitPage moves the upper half of pg's rows into a new page placed after
+// it in the directory. Caller holds appendMu and pg's exclusive latch; the
+// page must have no twin table (replication/recovery context).
+func (t *Table) splitPage(pg *Page, pl *Payload) error {
+	if pg.Twin != nil {
+		return fmt.Errorf("table: split of page with twin table")
+	}
+	half := len(pl.IDs) / 2
+	right := &Page{firstRowID: pl.IDs[half], table: t, part: pg.part}
+	rpl := &Payload{Rows: pax.NewPage(t.Schema, t.PageCap)}
+	for i := half; i < len(pl.IDs); i++ {
+		if _, err := rpl.Rows.Append(pl.Rows.Row(i)); err != nil {
+			return err
+		}
+		rpl.IDs = append(rpl.IDs, pl.IDs[i])
+		rpl.Deleted = append(rpl.Deleted, pl.Deleted[i])
+	}
+	for i := len(pl.IDs) - 1; i >= half; i-- {
+		pl.Rows.Delete(i)
+	}
+	pl.IDs = pl.IDs[:half]
+	pl.Deleted = pl.Deleted[:half]
+	right.swip.Swizzle(rpl)
+	right.Stamp.LastWriter = -1
+
+	t.dirMu.Lock()
+	pos := sort.Search(len(t.dir), func(i int) bool { return t.dir[i].firstRowID > pg.firstRowID })
+	t.dir = append(t.dir, nil)
+	copy(t.dir[pos+1:], t.dir[pos:])
+	t.dir[pos] = right
+	if t.tail.Load() == pg && pos == len(t.dir)-1 {
+		t.tail.Store(right)
+	} else if t.dir[len(t.dir)-1] == right {
+		t.tail.Store(right)
+	}
+	t.dirMu.Unlock()
+	if t.pool != nil {
+		t.pool.Register(right, right.part)
+		t.pool.AddResident(right.part, int64(t.pf.PageSize()))
+	}
+	return nil
+}

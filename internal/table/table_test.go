@@ -1,0 +1,370 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"phoebedb/internal/buffer"
+	"phoebedb/internal/clock"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+	"phoebedb/internal/undo"
+)
+
+func testSchema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "k", Type: rel.TInt64},
+		rel.Column{Name: "s", Type: rel.TString},
+	)
+}
+
+func mkRow(i int) rel.Row { return rel.Row{rel.Int(int64(i)), rel.Str(fmt.Sprintf("row-%d", i))} }
+
+func newTestTable(t *testing.T, pageCap int, pool *buffer.Pool) *Table {
+	t.Helper()
+	pf, err := storage.OpenPageFile(filepath.Join(t.TempDir(), "data.pages"), 16*1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return New(1, testSchema(), pageCap, pf, pool)
+}
+
+func appendN(t *testing.T, tb *Table, n int) []rel.RowID {
+	t.Helper()
+	rids := make([]rel.RowID, n)
+	for i := 0; i < n; i++ {
+		rid, err := tb.Append(mkRow(i), 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	return rids
+}
+
+func TestAppendAssignsMonotonicRowIDs(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 10)
+	for i, rid := range rids {
+		if i > 0 && rid <= rids[i-1] {
+			t.Fatalf("row_ids not monotonic: %v", rids)
+		}
+	}
+	if tb.NumPages() != 3 { // 4+4+2
+		t.Fatalf("NumPages = %d", tb.NumPages())
+	}
+	if tb.NextRowID() != 10 {
+		t.Fatalf("NextRowID = %d", tb.NextRowID())
+	}
+}
+
+func TestWithRowReadsBack(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 10)
+	for i, rid := range rids {
+		err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+			if !h.Row().Equal(mkRow(i)) {
+				t.Fatalf("row %d mismatch", i)
+			}
+			if h.Deleted() {
+				t.Fatal("fresh row tombstoned")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.WithRow(9999, false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing row err = %v", err)
+	}
+}
+
+func TestWithRowExclusiveUpdate(t *testing.T) {
+	tb := newTestTable(t, 8, nil)
+	rids := appendN(t, tb, 3)
+	err := tb.WithRow(rids[1], true, nil, func(h *Handle) error {
+		h.SetCol(1, rel.Str("updated"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.WithRow(rids[1], false, nil, func(h *Handle) error {
+		if h.Col(1).S != "updated" {
+			t.Fatalf("update lost: %v", h.Col(1))
+		}
+		return nil
+	})
+}
+
+func TestAppendCallbackErrorRollsBack(t *testing.T) {
+	tb := newTestTable(t, 8, nil)
+	appendN(t, tb, 2)
+	boom := errors.New("boom")
+	_, err := tb.Append(mkRow(99), 0, nil, func(h *Handle) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	count := 0
+	tb.Scan(nil, func(rid rel.RowID, row rel.Row, h *Handle) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("scan count = %d after rolled-back append", count)
+	}
+}
+
+func TestRemoveRowAndScanSkipsTombstones(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 6)
+	// Tombstone one row, physically remove another.
+	tb.WithRow(rids[1], true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	if err := tb.RemoveRow(rids[3], nil); err != nil {
+		t.Fatal(err)
+	}
+	var seen []rel.RowID
+	tb.Scan(nil, func(rid rel.RowID, row rel.Row, h *Handle) bool {
+		seen = append(seen, rid)
+		return true
+	})
+	want := []rel.RowID{rids[0], rids[2], rids[4], rids[5]}
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", seen, want)
+	}
+	if err := tb.WithRow(rids[3], false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("removed row err = %v", err)
+	}
+}
+
+func TestEvictAndReload(t *testing.T) {
+	pool := buffer.New(1, 1) // 1-byte budget: everything evicts
+	tb := newTestTable(t, 4, pool)
+	rids := appendN(t, tb, 12)
+	// Cool + evict everything evictable (tail stays).
+	for i := 0; i < 4; i++ {
+		for _, pg := range tb.dir {
+			pg.hotness.Store(0)
+		}
+		pool.Maintain(0)
+	}
+	cold := 0
+	for _, pg := range tb.dir {
+		if !pg.Resident() {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Fatal("no pages evicted under 1-byte budget")
+	}
+	// Every row must still read back (cold pages reload).
+	for i, rid := range rids {
+		err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+			if !h.Row().Equal(mkRow(i)) {
+				return fmt.Errorf("row %d mismatch after reload", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTwinPinsPage(t *testing.T) {
+	pool := buffer.New(1, 1)
+	tb := newTestTable(t, 4, pool)
+	rids := appendN(t, tb, 8)
+	// Give the first page a twin table.
+	tb.WithRow(rids[0], true, nil, func(h *Handle) error {
+		tt := h.TwinTable(true)
+		m := undo.NewTxnMeta(clock.MakeXID(1))
+		tt.Push(h.RID, undo.NewArena(0).New(m, 1, h.RID, undo.OpUpdate, nil, nil))
+		return nil
+	})
+	for i := 0; i < 4; i++ {
+		for _, pg := range tb.dir {
+			pg.hotness.Store(0)
+		}
+		pool.Maintain(0)
+	}
+	if !tb.dir[0].Resident() {
+		t.Fatal("page with twin table was evicted")
+	}
+}
+
+func TestDropCollectibleTwins(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 2)
+	arena := undo.NewArena(0)
+	m := undo.NewTxnMeta(clock.MakeXID(1))
+	var rec *undo.Record
+	tb.WithRow(rids[0], true, nil, func(h *Handle) error {
+		tt := h.TwinTable(true)
+		rec = arena.New(m, 1, h.RID, undo.OpUpdate, nil, nil)
+		tt.Push(h.RID, rec)
+		return nil
+	})
+	if n := tb.DropCollectibleTwins(^uint64(0)); n != 0 {
+		t.Fatal("dropped twin with live chain")
+	}
+	m.Commit(2)
+	rec.SetETS(2)
+	arena.Reclaim(100, nil)
+	if n := tb.DropCollectibleTwins(^uint64(0)); n != 1 {
+		t.Fatalf("dropped %d twins, want 1", n)
+	}
+	if tb.dir[0].Twin != nil {
+		t.Fatal("twin still attached")
+	}
+}
+
+func TestDetachFrozenPrefix(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 10) // pages: [1-4][5-8][9-10(tail)]
+	for _, pg := range tb.dir {
+		pg.hotness.Store(0)
+	}
+	cands, err := tb.DetachFrozenPrefix(10, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("froze %d pages, want 2 (tail protected)", len(cands))
+	}
+	if tb.MaxFrozenRowID() != rids[7] {
+		t.Fatalf("frontier = %d, want %d", tb.MaxFrozenRowID(), rids[7])
+	}
+	// Frozen rows report ErrFrozen; unfrozen remain readable.
+	if err := tb.WithRow(rids[0], false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("frozen row err = %v", err)
+	}
+	if err := tb.WithRow(rids[9], false, nil, func(*Handle) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Candidates carry the data in row_id order.
+	if cands[0].FirstRID != rids[0] || cands[0].Payload.IDs[0] != rids[0] {
+		t.Fatal("candidate payload wrong")
+	}
+}
+
+func TestDetachFrozenPrefixStopsAtHotOrTombstoned(t *testing.T) {
+	tb := newTestTable(t, 4, nil)
+	rids := appendN(t, tb, 12)
+	// Hot first page blocks freezing entirely.
+	if cands, _ := tb.DetachFrozenPrefix(10, 0, nil); len(cands) != 0 {
+		t.Fatalf("froze %d pages despite hot prefix", len(cands))
+	}
+	for _, pg := range tb.dir {
+		pg.hotness.Store(0)
+	}
+	// Tombstone in the second page: only the first page freezes.
+	tb.WithRow(rids[5], true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	tb.dir[1].hotness.Store(0)
+	cands, _ := tb.DetachFrozenPrefix(10, 0, nil)
+	if len(cands) != 1 {
+		t.Fatalf("froze %d pages, want 1 (tombstone blocks)", len(cands))
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	tb := newTestTable(t, 16, nil)
+	const writers = 4
+	const per = 500
+	var mu sync.Mutex
+	all := map[rel.RowID]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rid, err := tb.Append(mkRow(i), w, nil, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if all[rid] {
+					t.Errorf("duplicate rid %d", rid)
+				}
+				all[rid] = true
+				mu.Unlock()
+				// Read own write back.
+				if err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+					if h.Col(0).I != int64(i) {
+						return fmt.Errorf("read own write failed")
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	count := 0
+	tb.Scan(nil, func(rid rel.RowID, row rel.Row, h *Handle) bool { count++; return true })
+	if count != writers*per {
+		t.Fatalf("scan count = %d, want %d", count, writers*per)
+	}
+}
+
+func TestPayloadSerializeRoundTrip(t *testing.T) {
+	pl := &Payload{Rows: nil}
+	_ = pl
+	tb := newTestTable(t, 8, nil)
+	appendN(t, tb, 5)
+	tb.WithRow(2, true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	src := tb.dir[0].swip.Ptr()
+	img := src.serialize(nil)
+	got, err := deserializePayload(testSchema(), 8, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 5 || got.IDs[2] != 3 || !got.Deleted[1] == got.Deleted[1] {
+		t.Fatalf("ids = %v", got.IDs)
+	}
+	for i := range got.IDs {
+		if !got.Rows.Row(i).Equal(src.Rows.Row(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+		if got.Deleted[i] != src.Deleted[i] {
+			t.Fatalf("deleted flag %d mismatch", i)
+		}
+	}
+	if _, err := deserializePayload(testSchema(), 8, img[:3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	pf, _ := storage.OpenPageFile(filepath.Join(b.TempDir(), "d.pages"), 16*1024, nil)
+	defer pf.Close()
+	tb := New(1, testSchema(), 128, pf, nil)
+	row := rel.Row{rel.Int(1), rel.Str("bench-row")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Append(row, 0, nil, nil)
+	}
+}
+
+func BenchmarkPointRead(b *testing.B) {
+	pf, _ := storage.OpenPageFile(filepath.Join(b.TempDir(), "d.pages"), 16*1024, nil)
+	defer pf.Close()
+	tb := New(1, testSchema(), 128, pf, nil)
+	for i := 0; i < 10000; i++ {
+		tb.Append(rel.Row{rel.Int(int64(i)), rel.Str("x")}, 0, nil, nil)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tb.WithRow(rel.RowID(i%10000+1), false, nil, func(h *Handle) error { return nil })
+			i++
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package tpcc
+
+import (
+	"fmt"
+	"math"
+
+	"phoebedb/internal/rel"
+)
+
+// CheckConsistency verifies the TPC-C consistency conditions (clause 3.3.2)
+// that this workload maintains, inside one transaction:
+//
+//	C1: W_YTD = sum(D_YTD) per warehouse.
+//	C2: D_NEXT_O_ID - 1 = max(O_ID) per district.
+//	C3: max(NO_O_ID) <= D_NEXT_O_ID - 1 per district.
+//	C4: per district, sum(O_OL_CNT) = count(ORDER_LINE rows).
+//
+// It returns the first violated condition as an error.
+func CheckConsistency(b Backend, s Scale) error {
+	return b.Execute(func(c Client) error {
+		for w := int64(1); w <= int64(s.Warehouses); w++ {
+			_, wRow, ok, err := c.GetByIndex("warehouse", "warehouse_pk", rel.Int(w))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("tpcc: C1 warehouse %d missing", w)
+			}
+			var dYtdSum float64
+			for d := int64(1); d <= int64(s.DistrictsPerWH); d++ {
+				_, dRow, ok, err := c.GetByIndex("district", "district_pk", rel.Int(w), rel.Int(d))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("tpcc: district %d/%d missing", w, d)
+				}
+				dYtdSum += dRow[DYtd].F
+
+				// C2/C3/C4 per district.
+				nextOID := dRow[DNextOID].I
+				var maxOID, olSum, olCount int64
+				err = c.ScanIndex("orders", "orders_pk",
+					[]rel.Value{rel.Int(w), rel.Int(d)},
+					func(rid rel.RowID, row rel.Row) bool {
+						if row[OID].I > maxOID {
+							maxOID = row[OID].I
+						}
+						olSum += row[OOlCnt].I
+						return true
+					})
+				if err != nil {
+					return err
+				}
+				if maxOID != nextOID-1 {
+					return fmt.Errorf("tpcc: C2 violated at %d/%d: max(O_ID)=%d, D_NEXT_O_ID-1=%d", w, d, maxOID, nextOID-1)
+				}
+				var maxNoOID int64
+				err = c.ScanIndex("new_order", "new_order_pk",
+					[]rel.Value{rel.Int(w), rel.Int(d)},
+					func(rid rel.RowID, row rel.Row) bool {
+						if row[NOOID].I > maxNoOID {
+							maxNoOID = row[NOOID].I
+						}
+						return true
+					})
+				if err != nil {
+					return err
+				}
+				if maxNoOID > nextOID-1 {
+					return fmt.Errorf("tpcc: C3 violated at %d/%d: max(NO_O_ID)=%d > %d", w, d, maxNoOID, nextOID-1)
+				}
+				err = c.ScanIndex("order_line", "order_line_pk",
+					[]rel.Value{rel.Int(w), rel.Int(d)},
+					func(rid rel.RowID, row rel.Row) bool {
+						olCount++
+						return true
+					})
+				if err != nil {
+					return err
+				}
+				if olSum != olCount {
+					return fmt.Errorf("tpcc: C4 violated at %d/%d: sum(O_OL_CNT)=%d, order lines=%d", w, d, olSum, olCount)
+				}
+			}
+			if math.Abs(wRow[WYtd].F-dYtdSum) > 0.01 {
+				return fmt.Errorf("tpcc: C1 violated at warehouse %d: W_YTD=%.2f, sum(D_YTD)=%.2f", w, wRow[WYtd].F, dYtdSum)
+			}
+		}
+		return nil
+	})
+}

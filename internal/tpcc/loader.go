@@ -1,0 +1,221 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"phoebedb/internal/rel"
+)
+
+// Scale sets the benchmark cardinalities. Full() matches the TPC-C
+// specification; Small() is a laptop/test preset that preserves every code
+// path at a fraction of the data volume (the paper's 100-warehouse,
+// 480 GB configuration is substituted by holding the ratios and shrinking
+// the absolute counts).
+type Scale struct {
+	Warehouses           int
+	DistrictsPerWH       int
+	CustomersPerDistrict int
+	Items                int
+	// InitialOrdersPerDistrict seeds ORDERS/ORDER_LINE/NEW_ORDER history;
+	// the newest third are undelivered (in NEW_ORDER), per spec.
+	InitialOrdersPerDistrict int
+	// MaxLastNames bounds the distinct customer last names (spec: 1000).
+	MaxLastNames int64
+}
+
+// Full returns the specification cardinalities for w warehouses.
+func Full(w int) Scale {
+	return Scale{
+		Warehouses:               w,
+		DistrictsPerWH:           10,
+		CustomersPerDistrict:     3000,
+		Items:                    100000,
+		InitialOrdersPerDistrict: 3000,
+		MaxLastNames:             1000,
+	}
+}
+
+// Medium returns a mid-size preset for laptop benchmark runs: large
+// enough that contention, buffer pressure, and index depth resemble the
+// full workload's, small enough to load in seconds.
+func Medium(w int) Scale {
+	return Scale{
+		Warehouses:               w,
+		DistrictsPerWH:           4,
+		CustomersPerDistrict:     300,
+		Items:                    2000,
+		InitialOrdersPerDistrict: 100,
+		MaxLastNames:             100,
+	}
+}
+
+// Small returns a reduced preset for tests and laptop benchmarks.
+func Small(w int) Scale {
+	return Scale{
+		Warehouses:               w,
+		DistrictsPerWH:           2,
+		CustomersPerDistrict:     30,
+		Items:                    100,
+		InitialOrdersPerDistrict: 10,
+		MaxLastNames:             30,
+	}
+}
+
+// Load populates the backend with the initial database for the scale.
+// Rows are inserted in batches of batch rows per transaction (0 = 500).
+func Load(b Backend, s Scale, batch int) error {
+	if batch <= 0 {
+		batch = 500
+	}
+	r := newRNG(42)
+	ins := newBatcher(b, batch)
+
+	// ITEM
+	for i := 1; i <= s.Items; i++ {
+		if err := ins.add("item", rel.Row{
+			rel.Int(int64(i)), rel.Int(r.uniform(1, 10000)),
+			rel.Str(r.aString(14, 24)), rel.Float(float64(r.uniform(100, 10000)) / 100),
+			rel.Str(r.originalOrData()),
+		}); err != nil {
+			return fmt.Errorf("load item %d: %w", i, err)
+		}
+	}
+
+	for w := 1; w <= s.Warehouses; w++ {
+		if err := ins.add("warehouse", rel.Row{
+			rel.Int(int64(w)), rel.Str(r.aString(6, 10)), rel.Str(r.aString(10, 20)),
+			rel.Str(r.aString(10, 20)), rel.Str(r.aString(2, 2)), rel.Str(r.zip()),
+			rel.Float(float64(r.uniform(0, 2000)) / 10000),
+			rel.Float(30000 * float64(s.DistrictsPerWH)),
+		}); err != nil {
+			return fmt.Errorf("load warehouse %d: %w", w, err)
+		}
+		// STOCK
+		for i := 1; i <= s.Items; i++ {
+			if err := ins.add("stock", rel.Row{
+				rel.Int(int64(i)), rel.Int(int64(w)), rel.Int(r.uniform(10, 100)),
+				rel.Str(r.distInfo()), rel.Int(0), rel.Int(0), rel.Int(0),
+				rel.Str(r.originalOrData()),
+			}); err != nil {
+				return fmt.Errorf("load stock w%d i%d: %w", w, i, err)
+			}
+		}
+		for d := 1; d <= s.DistrictsPerWH; d++ {
+			if err := ins.add("district", rel.Row{
+				rel.Int(int64(d)), rel.Int(int64(w)), rel.Str(r.aString(6, 10)),
+				rel.Str(r.aString(10, 20)), rel.Str(r.aString(10, 20)),
+				rel.Str(r.aString(2, 2)), rel.Str(r.zip()),
+				rel.Float(float64(r.uniform(0, 2000)) / 10000), rel.Float(30000),
+				rel.Int(int64(s.InitialOrdersPerDistrict + 1)),
+			}); err != nil {
+				return fmt.Errorf("load district %d/%d: %w", w, d, err)
+			}
+			// CUSTOMER + 1 HISTORY row each
+			for c := 1; c <= s.CustomersPerDistrict; c++ {
+				credit := "GC"
+				if r.Intn(10) == 0 {
+					credit = "BC"
+				}
+				if err := ins.add("customer", rel.Row{
+					rel.Int(int64(c)), rel.Int(int64(d)), rel.Int(int64(w)),
+					rel.Str(r.aString(8, 16)), rel.Str("OE"), rel.Str(r.lastNameLoad(s.MaxLastNames)),
+					rel.Str(r.aString(10, 20)), rel.Str(r.aString(10, 20)),
+					rel.Str(r.aString(2, 2)), rel.Str(r.zip()), rel.Str(r.nString(16)),
+					rel.Int(0), rel.Str(credit), rel.Float(50000),
+					rel.Float(float64(r.uniform(0, 5000)) / 10000),
+					rel.Float(-10), rel.Float(10), rel.Int(1), rel.Int(0),
+					rel.Str(r.aString(50, 100)),
+				}); err != nil {
+					return fmt.Errorf("load customer %d/%d/%d: %w", w, d, c, err)
+				}
+				if err := ins.add("history", rel.Row{
+					rel.Int(int64(c)), rel.Int(int64(d)), rel.Int(int64(w)),
+					rel.Int(int64(d)), rel.Int(int64(w)), rel.Int(0),
+					rel.Float(10), rel.Str(r.aString(12, 24)),
+				}); err != nil {
+					return fmt.Errorf("load history: %w", err)
+				}
+			}
+			// Seed order history: customers permuted over order ids.
+			perm := r.Perm(s.CustomersPerDistrict)
+			for o := 1; o <= s.InitialOrdersPerDistrict; o++ {
+				cid := int64(perm[(o-1)%len(perm)] + 1)
+				olCnt := r.uniform(5, 15)
+				carrier := r.uniform(1, 10)
+				undelivered := o > s.InitialOrdersPerDistrict*2/3
+				if undelivered {
+					carrier = 0
+				}
+				if err := ins.add("orders", rel.Row{
+					rel.Int(int64(o)), rel.Int(int64(d)), rel.Int(int64(w)), rel.Int(cid),
+					rel.Int(0), rel.Int(carrier), rel.Int(olCnt), rel.Int(1),
+				}); err != nil {
+					return fmt.Errorf("load order: %w", err)
+				}
+				for ol := int64(1); ol <= olCnt; ol++ {
+					amount := 0.0
+					deliveryD := int64(1)
+					if undelivered {
+						amount = float64(r.uniform(1, 999999)) / 100
+						deliveryD = 0
+					}
+					if err := ins.add("order_line", rel.Row{
+						rel.Int(int64(o)), rel.Int(int64(d)), rel.Int(int64(w)), rel.Int(ol),
+						rel.Int(r.uniform(1, int64(s.Items))), rel.Int(int64(w)),
+						rel.Int(deliveryD), rel.Int(5), rel.Float(amount), rel.Str(r.distInfo()),
+					}); err != nil {
+						return fmt.Errorf("load order_line: %w", err)
+					}
+				}
+				if undelivered {
+					if err := ins.add("new_order", rel.Row{
+						rel.Int(int64(o)), rel.Int(int64(d)), rel.Int(int64(w)),
+					}); err != nil {
+						return fmt.Errorf("load new_order: %w", err)
+					}
+				}
+			}
+		}
+	}
+	return ins.flush()
+}
+
+// batcher groups loader inserts into transactions.
+type batcher struct {
+	b       Backend
+	batch   int
+	pending []pendingRow
+}
+
+type pendingRow struct {
+	table string
+	row   rel.Row
+}
+
+func newBatcher(b Backend, batch int) *batcher {
+	return &batcher{b: b, batch: batch}
+}
+
+func (bt *batcher) add(table string, row rel.Row) error {
+	bt.pending = append(bt.pending, pendingRow{table, row})
+	if len(bt.pending) >= bt.batch {
+		return bt.flush()
+	}
+	return nil
+}
+
+func (bt *batcher) flush() error {
+	if len(bt.pending) == 0 {
+		return nil
+	}
+	rows := bt.pending
+	bt.pending = nil
+	return bt.b.Execute(func(c Client) error {
+		for _, pr := range rows {
+			if _, err := c.Insert(pr.table, pr.row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

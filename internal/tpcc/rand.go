@@ -1,0 +1,126 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// nuRandC holds the per-run constants of the TPC-C NURand function.
+type nuRandC struct {
+	cLast, cID, olIID int64
+}
+
+// rng wraps math/rand with TPC-C helpers. Not safe for concurrent use —
+// each terminal owns one.
+type rng struct {
+	*rand.Rand
+	c nuRandC
+}
+
+func newRNG(seed int64) *rng {
+	r := rand.New(rand.NewSource(seed))
+	return &rng{
+		Rand: r,
+		c: nuRandC{
+			cLast: r.Int63n(256),
+			cID:   r.Int63n(1024),
+			olIID: r.Int63n(8192),
+		},
+	}
+}
+
+// uniform returns a uniform integer in [lo, hi].
+func (r *rng) uniform(lo, hi int64) int64 {
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// nuRand is the non-uniform random function of TPC-C clause 2.1.6.
+func (r *rng) nuRand(a, c, lo, hi int64) int64 {
+	return ((r.uniform(0, a)|r.uniform(lo, hi))+c)%(hi-lo+1) + lo
+}
+
+// customerID draws a customer id in [1, n] with NURand(1023, ...).
+func (r *rng) customerID(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return r.nuRand(1023, r.c.cID, 1, n)
+}
+
+// itemID draws an item id in [1, n] with NURand(8191, ...).
+func (r *rng) itemID(n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return r.nuRand(8191, r.c.olIID, 1, n)
+}
+
+// lastNameSyllables are the TPC-C clause 4.3.2.3 syllables.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the customer last name for a number in [0, 999].
+func LastName(num int64) string {
+	var b strings.Builder
+	b.WriteString(lastNameSyllables[num/100%10])
+	b.WriteString(lastNameSyllables[num/10%10])
+	b.WriteString(lastNameSyllables[num%10])
+	return b.String()
+}
+
+// lastNameLoad picks the last-name number during loading (uniform over the
+// first maxNames names to keep small scales dense).
+func (r *rng) lastNameLoad(maxNames int64) string {
+	return LastName(r.uniform(0, maxNames-1))
+}
+
+// lastNameRun picks a last name at run time via NURand(255, ...).
+func (r *rng) lastNameRun(maxNames int64) string {
+	if maxNames <= 1 {
+		return LastName(0)
+	}
+	return LastName(r.nuRand(255, r.c.cLast, 0, maxNames-1))
+}
+
+// aString returns a random alphanumeric string with length in [lo, hi].
+func (r *rng) aString(lo, hi int64) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := r.uniform(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// nString returns a random numeric string of exactly n digits.
+func (r *rng) nString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + r.Intn(10))
+	}
+	return string(b)
+}
+
+// zip returns a TPC-C zip code: 4 random digits + "11111".
+func (r *rng) zip() string { return r.nString(4) + "11111" }
+
+// distInfo returns the 24-character district info string for a stock row.
+func (r *rng) distInfo() string { return r.aString(24, 24) }
+
+// originalOrData returns S_DATA / I_DATA, 10 % containing "ORIGINAL".
+func (r *rng) originalOrData() string {
+	s := r.aString(26, 50)
+	if r.Intn(10) == 0 {
+		pos := r.Intn(len(s) - 8)
+		s = s[:pos] + "ORIGINAL" + s[pos+8:]
+	}
+	return s
+}
+
+// String renders the NURand constants (diagnostics).
+func (c nuRandC) String() string {
+	return fmt.Sprintf("C(last=%d,id=%d,item=%d)", c.cLast, c.cID, c.olIID)
+}

@@ -1,0 +1,334 @@
+// Package txn implements PhoebeDB's transaction management (§6):
+// PostgreSQL-compatible snapshot isolation levels (read committed and
+// repeatable read) with O(1) snapshot acquisition from the global logical
+// clock, the MVCC visibility check of Algorithm 1 over in-memory UNDO
+// version chains, the write-conflict rules of §6.2, and the GC watermarks
+// of §7.3.
+//
+// Commit atomicity: PrepareCommit draws the commit timestamp, the engine
+// persists the WAL commit record, and FinalizeCommit flips the
+// transaction's meta to Committed — at that instant every version the
+// transaction wrote becomes visible at its cts, without waiting for the
+// per-record ets stamping scan that follows (readers resolve XID ets fields
+// through the meta).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"phoebedb/internal/clock"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/undo"
+)
+
+// Isolation is a transaction isolation level.
+type Isolation int
+
+const (
+	// ReadCommitted refreshes the snapshot at every statement.
+	ReadCommitted Isolation = iota
+	// RepeatableRead pins the snapshot at the transaction's first read and
+	// aborts on write-write conflicts with transactions committed after it
+	// (first-updater-wins).
+	RepeatableRead
+)
+
+// String implements fmt.Stringer.
+func (i Isolation) String() string {
+	switch i {
+	case ReadCommitted:
+		return "read committed"
+	case RepeatableRead:
+		return "repeatable read"
+	default:
+		return "isolation?"
+	}
+}
+
+// ErrWriteConflict reports a repeatable-read write-write conflict: the
+// tuple's newest version committed after the transaction's snapshot.
+var ErrWriteConflict = errors.New("txn: write-write conflict (serialization failure)")
+
+// paddedUint64 separates per-slot words onto distinct cache lines.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Manager owns the clock, the per-slot UNDO arenas, and active-transaction
+// tracking. Slots include both pool task slots and reserved session slots.
+type Manager struct {
+	Clock  *clock.Clock
+	arenas []*undo.Arena
+	// activeStart[slot] is the start timestamp of the slot's running
+	// transaction, 0 when idle. A slot runs one transaction at a time, so
+	// one word per slot suffices; the GC watermark scan reads them all.
+	activeStart []paddedUint64
+}
+
+// NewManager creates a manager with the given slot count.
+func NewManager(slots int) *Manager {
+	m := &Manager{Clock: clock.New(), activeStart: make([]paddedUint64, slots)}
+	for i := 0; i < slots; i++ {
+		m.arenas = append(m.arenas, undo.NewArena(i))
+	}
+	return m
+}
+
+// NumSlots returns the slot count.
+func (m *Manager) NumSlots() int { return len(m.arenas) }
+
+// Arena returns the slot's UNDO arena.
+func (m *Manager) Arena(slot int) *undo.Arena { return m.arenas[slot] }
+
+// Txn is one running transaction, bound to a task slot.
+type Txn struct {
+	Meta    *undo.TxnMeta
+	StartTS uint64
+	Iso     Isolation
+	Slot    int
+
+	mgr      *Manager
+	snapshot uint64
+	finished bool
+
+	// Records are the transaction's UNDO records in creation order; the
+	// commit-phase stamping scan walks them once (§6.2).
+	Records []*undo.Record
+
+	// RFA state (§8): set when the transaction touched a page whose last
+	// logged change came from another slot and was not yet durable.
+	NeedsRemoteFlush bool
+	MaxObservedGSN   uint64
+}
+
+// Begin starts a transaction on the slot. The slot must be idle.
+func (m *Manager) Begin(slot int, iso Isolation) *Txn {
+	start := m.Clock.Next()
+	m.activeStart[slot].v.Store(start)
+	return &Txn{
+		Meta:    undo.NewTxnMeta(clock.MakeXID(start)),
+		StartTS: start,
+		Iso:     iso,
+		Slot:    slot,
+		mgr:     m,
+	}
+}
+
+// XID returns the transaction ID.
+func (t *Txn) XID() uint64 { return t.Meta.XID }
+
+// Snapshot returns the transaction's current snapshot, taking one if none
+// is active. Acquisition is a single atomic clock load — O(1) (§6.1).
+func (t *Txn) Snapshot() uint64 {
+	if t.snapshot == 0 {
+		t.snapshot = t.mgr.Clock.Snapshot()
+	}
+	return t.snapshot
+}
+
+// RefreshSnapshot begins a new statement: under read committed the
+// snapshot advances; under repeatable read it is pinned.
+func (t *Txn) RefreshSnapshot() {
+	if t.Iso == ReadCommitted {
+		t.snapshot = t.mgr.Clock.Snapshot()
+	}
+}
+
+// AddUndo appends a before-image record to the slot's arena, linking prev
+// as the next-older version, and registers it for commit stamping.
+func (t *Txn) AddUndo(tableID uint32, rid rel.RowID, op undo.Op, delta []undo.ColVal, prev *undo.Record) *undo.Record {
+	rec := t.mgr.arenas[t.Slot].New(t.Meta, tableID, rid, op, delta, prev)
+	t.Records = append(t.Records, rec)
+	return rec
+}
+
+// PrepareCommit draws the commit timestamp. The engine must persist the
+// commit WAL record before calling FinalizeCommit.
+func (t *Txn) PrepareCommit() uint64 {
+	return t.mgr.Clock.Next()
+}
+
+// FinalizeCommit publishes the commit: all versions become visible at cts
+// atomically via the meta, the ets fields are stamped in a single scan, the
+// slot is marked idle, and the transaction-ID lock is released (waking
+// every waiter at once, §7.2).
+func (t *Txn) FinalizeCommit(cts uint64) {
+	if t.finished {
+		panic("txn: FinalizeCommit on finished transaction")
+	}
+	t.finished = true
+	t.Meta.Commit(cts)
+	for _, r := range t.Records {
+		r.SetETS(cts)
+	}
+	t.mgr.activeStart[t.Slot].v.Store(0)
+	t.Meta.Finish()
+}
+
+// FinalizeAbort publishes the abort after the engine has rolled back the
+// transaction's physical changes and unlinked its records from version
+// chains (marking them dead).
+func (t *Txn) FinalizeAbort() {
+	if t.finished {
+		panic("txn: FinalizeAbort on finished transaction")
+	}
+	t.finished = true
+	t.Meta.Abort()
+	t.mgr.activeStart[t.Slot].v.Store(0)
+	t.Meta.Finish()
+}
+
+// --- GC watermarks (§7.3) ---------------------------------------------------
+
+// ActiveCount returns the number of running transactions.
+func (m *Manager) ActiveCount() int {
+	n := 0
+	for i := range m.activeStart {
+		if m.activeStart[i].v.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MinActiveStartTS returns the minimum start timestamp among active
+// transactions, or the current clock value if none are active. UNDO
+// records of transactions committed before this are reclaimable, because
+// every snapshot is taken at or after its transaction's start.
+func (m *Manager) MinActiveStartTS() uint64 {
+	min := m.Clock.Now() + 1
+	for i := range m.activeStart {
+		if s := m.activeStart[i].v.Load(); s != 0 && s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// MaxFrozenXID returns the highest XID such that every transaction with an
+// XID at or below it is globally visible: the constraint is the oldest
+// unreclaimed UNDO record and the oldest active transaction across slots.
+// Twin tables whose writers are all at or below this watermark may be
+// dropped.
+func (m *Manager) MaxFrozenXID() uint64 {
+	minTS := m.Clock.Now() + 1
+	for i := range m.activeStart {
+		if s := m.activeStart[i].v.Load(); s != 0 && s < minTS {
+			minTS = s
+		}
+	}
+	for _, a := range m.arenas {
+		if x := a.FirstUnreclaimedXID(); x != 0 {
+			if ts := clock.StartTS(x); ts < minTS {
+				minTS = ts
+			}
+		}
+	}
+	if minTS == 0 {
+		return 0
+	}
+	return clock.MakeXID(minTS - 1)
+}
+
+// CollectGarbage runs one UNDO GC round across all arenas (§7.3),
+// reclaiming records of transactions globally invisible to every active
+// snapshot. onReclaim receives each reclaimed record (deleted-tuple GC).
+// Returns the number of records reclaimed.
+func (m *Manager) CollectGarbage(onReclaim func(*undo.Record)) int {
+	watermark := m.MinActiveStartTS()
+	n := 0
+	for _, a := range m.arenas {
+		n += a.Reclaim(watermark, onReclaim)
+	}
+	return n
+}
+
+// CollectSlotGarbage runs UNDO GC for a single slot's arena — the
+// partitioned form used by worker-local duty tasks ("UNDO logs are managed
+// and garbage is collected by the same worker thread that generates them",
+// §7.1).
+func (m *Manager) CollectSlotGarbage(slot int, onReclaim func(*undo.Record)) int {
+	return m.arenas[slot].Reclaim(m.MinActiveStartTS(), onReclaim)
+}
+
+// --- Visibility (Algorithm 1) -------------------------------------------------
+
+// ReadVisible reconstructs the tuple version visible to (snapshot, xid)
+// from the current tuple image and its version chain, implementing
+// Algorithm 1 extended with existence tracking for inserts and deletes.
+// current is the newest physical image (not retained; a copy is made
+// before deltas are applied), currentDeleted its tombstone flag. The bool
+// reports whether a visible version exists.
+func ReadVisible(head *undo.Record, snapshot, xid uint64, current rel.Row, currentDeleted bool) (rel.Row, bool) {
+	// Lines 1-4: no chain, reclaimed chain, or newest version visible.
+	if head == nil || head.Reclaimed() {
+		if currentDeleted {
+			return nil, false
+		}
+		return current, true
+	}
+	ets, committed := head.EffectiveETS()
+	if (committed && ets <= snapshot) || head.Meta.XID == xid {
+		if currentDeleted {
+			return nil, false
+		}
+		return current, true
+	}
+	// Lines 5-9: assemble before-image deltas until sts <= snapshot.
+	row := current.Clone()
+	exists := !currentDeleted
+	for cur := head; cur != nil && !cur.Reclaimed(); cur = cur.Prev {
+		switch cur.Op {
+		case undo.OpUpdate:
+			for _, cv := range cur.Delta {
+				row[cv.Col] = cv.Val
+			}
+		case undo.OpDelete:
+			exists = true // undoing a delete resurrects the row
+		case undo.OpInsert:
+			exists = false // undoing an insert removes the row
+		}
+		// sts may hold an XID (own earlier write) — its MSB makes it
+		// compare greater than any snapshot, continuing the walk.
+		if cur.STS() <= snapshot {
+			break
+		}
+	}
+	if !exists {
+		return nil, false
+	}
+	return row, true
+}
+
+// CheckWriteConflict evaluates §6.2's write rules against a tuple's chain
+// head before the transaction modifies it. Results:
+//
+//   - (nil, nil): proceed with the write.
+//   - (meta, nil): the newest version belongs to a live foreign
+//     transaction; wait on its transaction-ID lock, then retry.
+//   - (nil, ErrWriteConflict): repeatable read saw a version committed
+//     after its snapshot; the transaction must abort.
+func CheckWriteConflict(head *undo.Record, t *Txn) (*undo.TxnMeta, error) {
+	if head == nil || head.Reclaimed() {
+		return nil, nil
+	}
+	ets, committed := head.EffectiveETS()
+	if !committed {
+		if head.Meta == t.Meta {
+			return nil, nil // own earlier write
+		}
+		if head.Meta.Status() == undo.StatusAborted {
+			// Rollback in progress; wait for it to finish unlinking.
+			return head.Meta, nil
+		}
+		return head.Meta, nil
+	}
+	if t.Iso == RepeatableRead && ets > t.Snapshot() {
+		return nil, fmt.Errorf("%w: tuple %d committed at %d after snapshot %d",
+			ErrWriteConflict, head.RowID, ets, t.Snapshot())
+	}
+	return nil, nil
+}

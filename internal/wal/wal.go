@@ -1,0 +1,467 @@
+// Package wal implements PhoebeDB's parallel write-ahead log with Remote
+// Flush Avoidance (§8).
+//
+// Following the "Non-Force, Steal" principle, committed transactions need
+// not have their data pages flushed, and dirty pages of uncommitted
+// transactions may be written out — recovery replays the log.
+//
+// Unlike a traditional serialized log, PhoebeDB maintains one WAL writer
+// per task slot, each with a private in-memory buffer and file. Every
+// record carries two sequence numbers:
+//
+//   - GSN (Global Sequence Number): monotonically increasing but not
+//     unique; establishes a cross-writer partial order. A writer's local
+//     GSN advances to max(localGSN, pageGSN)+1 whenever it logs a change to
+//     a page, so any two changes to the same page are GSN-ordered.
+//   - LSN (Log Sequence Number): strictly increasing within one writer.
+//
+// Remote Flush Avoidance decouples commit from unrelated writers: a
+// transaction that only touched pages last written by its own slot (or
+// whose foreign writes are already durable) commits after flushing its own
+// writer. Only when it observed an unflushed change by another slot does it
+// wait for the remote flush horizon.
+//
+// Recovery merges all writer files, orders records by GSN (stable by
+// writer, LSN), verifies checksums, truncates at the first torn record of
+// each file, and hands the ordered stream to the engine for redo.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/metrics"
+)
+
+// RecordType enumerates log record kinds.
+type RecordType uint8
+
+const (
+	// RecInsert logs a tuple insert (payload: encoded row image).
+	RecInsert RecordType = iota + 1
+	// RecUpdate logs an in-place update (payload: after-image delta).
+	RecUpdate
+	// RecDelete logs a tuple delete.
+	RecDelete
+	// RecCommit marks a transaction commit.
+	RecCommit
+	// RecAbort marks a transaction abort.
+	RecAbort
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case RecInsert:
+		return "INSERT"
+	case RecUpdate:
+		return "UPDATE"
+	case RecDelete:
+		return "DELETE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("REC(%d)", uint8(t))
+	}
+}
+
+// Record is one WAL entry.
+type Record struct {
+	Type    RecordType
+	GSN     uint64
+	LSN     uint64
+	XID     uint64
+	TableID uint32
+	RowID   uint64
+	Writer  int32 // filled during recovery
+	Payload []byte
+}
+
+// recordHeaderSize is the fixed prefix: payloadLen(4) crc(4) type(1)
+// gsn(8) lsn(8) xid(8) table(4) rowid(8).
+const recordHeaderSize = 4 + 4 + 1 + 8 + 8 + 8 + 4 + 8
+
+func encodeRecord(dst []byte, r *Record) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(r.Payload)))
+	hdr[8] = byte(r.Type)
+	binary.LittleEndian.PutUint64(hdr[9:], r.GSN)
+	binary.LittleEndian.PutUint64(hdr[17:], r.LSN)
+	binary.LittleEndian.PutUint64(hdr[25:], r.XID)
+	binary.LittleEndian.PutUint32(hdr[33:], r.TableID)
+	binary.LittleEndian.PutUint64(hdr[37:], r.RowID)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:])
+	crc.Write(r.Payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc.Sum32())
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
+// decodeRecord parses one record from b. It returns the record, the number
+// of bytes consumed, and false if b holds no complete, checksum-valid
+// record (a torn tail).
+func decodeRecord(b []byte) (Record, int, bool) {
+	if len(b) < recordHeaderSize {
+		return Record{}, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:]))
+	total := recordHeaderSize + plen
+	if len(b) < total {
+		return Record{}, 0, false
+	}
+	want := binary.LittleEndian.Uint32(b[4:])
+	crc := crc32.NewIEEE()
+	crc.Write(b[8:recordHeaderSize])
+	crc.Write(b[recordHeaderSize:total])
+	if crc.Sum32() != want {
+		return Record{}, 0, false
+	}
+	r := Record{
+		Type:    RecordType(b[8]),
+		GSN:     binary.LittleEndian.Uint64(b[9:]),
+		LSN:     binary.LittleEndian.Uint64(b[17:]),
+		XID:     binary.LittleEndian.Uint64(b[25:]),
+		TableID: binary.LittleEndian.Uint32(b[33:]),
+		RowID:   binary.LittleEndian.Uint64(b[37:]),
+	}
+	if plen > 0 {
+		r.Payload = append([]byte(nil), b[recordHeaderSize:total]...)
+	}
+	return r, total, true
+}
+
+// Writer is one task slot's private WAL stream.
+type Writer struct {
+	id  int
+	mgr *Manager
+
+	mu         sync.Mutex
+	f          *os.File
+	buf        []byte
+	lsn        uint64
+	localGSN   uint64 // highest GSN assigned by this writer
+	bufferGSN  uint64 // highest GSN appended to buf (may be unflushed)
+	flushedGSN atomic.Uint64
+}
+
+// ID returns the writer's slot id.
+func (w *Writer) ID() int { return w.id }
+
+// NextGSN advances the writer's local GSN clock past pageGSN and returns
+// the new GSN (the LeanStore GSN rule: max(local, page)+1).
+func (w *Writer) NextGSN(pageGSN uint64) uint64 {
+	if pageGSN > w.localGSN {
+		w.localGSN = pageGSN
+	}
+	w.localGSN++
+	return w.localGSN
+}
+
+// AdvanceGSN fast-forwards the writer's GSN clock (and flushed horizon) to
+// at least g. Recovery uses this so that post-restart records sort after
+// every recovered record.
+func (w *Writer) AdvanceGSN(g uint64) {
+	w.mu.Lock()
+	if g > w.localGSN {
+		w.localGSN = g
+	}
+	if g > w.bufferGSN {
+		w.bufferGSN = g
+	}
+	w.mu.Unlock()
+	if g > w.flushedGSN.Load() {
+		w.flushedGSN.Store(g)
+	}
+}
+
+// Append encodes r into the writer's buffer (not yet durable), assigning
+// its LSN. r.GSN must already be set by the caller via NextGSN.
+func (w *Writer) Append(r *Record) {
+	w.mu.Lock()
+	w.lsn++
+	r.LSN = w.lsn
+	w.buf = encodeRecord(w.buf, r)
+	if r.GSN > w.bufferGSN {
+		w.bufferGSN = r.GSN
+	}
+	w.mu.Unlock()
+}
+
+// Flush writes the buffered records to the file (fsync if the manager is in
+// sync mode) and advances the writer's flushed-GSN horizon.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		if w.mgr.io != nil {
+			w.mgr.io.WALWrite.Add(int64(n))
+		}
+		if err != nil {
+			return fmt.Errorf("wal: writer %d flush: %w", w.id, err)
+		}
+		w.buf = w.buf[:0]
+		if w.mgr.syncOnFlush {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("wal: writer %d sync: %w", w.id, err)
+			}
+		}
+	}
+	if w.bufferGSN > w.flushedGSN.Load() {
+		w.flushedGSN.Store(w.bufferGSN)
+	}
+	return nil
+}
+
+// FlushedGSN returns the writer's durable GSN horizon.
+func (w *Writer) FlushedGSN() uint64 { return w.flushedGSN.Load() }
+
+// Manager owns the per-slot writers and the global flush horizon.
+type Manager struct {
+	dir         string
+	syncOnFlush bool
+	io          *metrics.IOCounters
+	writers     []*Writer
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the directory holding the per-writer files (wal-<n>.log).
+	Dir string
+	// Writers is the number of task-slot writers.
+	Writers int
+	// SyncOnFlush issues fsync on every flush (the paper's "WAL sync
+	// enabled" setting). Off by default in tests for speed.
+	SyncOnFlush bool
+	// IO receives write-volume accounting; may be nil.
+	IO *metrics.IOCounters
+}
+
+// Open creates a Manager and its writer files.
+func Open(opts Options) (*Manager, error) {
+	if opts.Writers <= 0 {
+		return nil, fmt.Errorf("wal: need at least one writer")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{dir: opts.Dir, syncOnFlush: opts.SyncOnFlush, io: opts.IO}
+	for i := 0; i < opts.Writers; i++ {
+		f, err := os.OpenFile(m.writerPath(i), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.writers = append(m.writers, &Writer{id: i, mgr: m, f: f})
+	}
+	return m, nil
+}
+
+func (m *Manager) writerPath(i int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("wal-%04d.log", i))
+}
+
+// Writer returns the slot's writer.
+func (m *Manager) Writer(slot int) *Writer { return m.writers[slot] }
+
+// NumWriters returns the writer count.
+func (m *Manager) NumWriters() int { return len(m.writers) }
+
+// constraintGSN returns the writer's contribution to the global flush
+// horizon: its flushed GSN while it has unflushed records, otherwise no
+// constraint (everything it ever logged is durable).
+func (w *Writer) constraintGSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bufferGSN > w.flushedGSN.Load() {
+		return w.flushedGSN.Load()
+	}
+	return ^uint64(0)
+}
+
+// GlobalFlushedGSN returns the horizon below which every logged change is
+// durable regardless of which writer logged it: the minimum flushed GSN
+// over writers that still hold unflushed records.
+func (m *Manager) GlobalFlushedGSN() uint64 {
+	min := uint64(1<<64 - 1)
+	for _, w := range m.writers {
+		if g := w.constraintGSN(); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// WaitRemoteFlush makes every change with GSN <= gsn durable. This is the
+// expensive path RFA lets most transactions skip: it forces a flush on
+// every writer lagging the horizon.
+func (m *Manager) WaitRemoteFlush(gsn uint64) error {
+	for _, w := range m.writers {
+		if w.FlushedGSN() >= gsn {
+			continue
+		}
+		// The writer may simply have nothing at that GSN; flushing is
+		// still the only way to know its buffer is empty up to gsn.
+		w.mu.Lock()
+		if w.bufferGSN < gsn {
+			// Everything this writer has even buffered is below gsn;
+			// advance its horizon without touching the disk.
+			if w.localGSN < gsn {
+				w.localGSN = gsn
+			}
+			w.bufferGSN = gsn
+		}
+		err := w.flushLocked()
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll flushes every writer (used at shutdown and checkpoints).
+func (m *Manager) FlushAll() error {
+	for _, w := range m.writers {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes all writer files.
+func (m *Manager) Close() error {
+	var first error
+	for _, w := range m.writers {
+		if w == nil || w.f == nil {
+			continue
+		}
+		if err := w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := w.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- Remote Flush Avoidance tracking ----------------------------------------
+
+// PageStamp is the per-page RFA bookkeeping: the GSN of the page's last
+// logged change and the slot that made it. It is embedded in buffer-managed
+// page frames and mutated under the page's exclusive latch.
+type PageStamp struct {
+	GSN        uint64
+	LastWriter int32
+}
+
+// NeedsRemoteFlush evaluates the RFA rule for a transaction on slot `slot`
+// about to modify a page with stamp ps: the transaction depends on a
+// remote flush iff another slot wrote the page and that writer has not yet
+// flushed past the page's GSN. lastWriterFlushed is that writer's durable
+// horizon — the per-writer check is what makes RFA effective: once the
+// previous writer committed (and therefore flushed), reusing its page
+// creates no dependency even while unrelated writers lag.
+func NeedsRemoteFlush(ps PageStamp, slot int, lastWriterFlushed uint64) bool {
+	return ps.LastWriter >= 0 && int(ps.LastWriter) != slot && ps.GSN > lastWriterFlushed
+}
+
+// DecodeRecordAt parses one record from b starting at off. It returns the
+// record, the bytes consumed, and false when no complete, checksum-valid
+// record starts there (an incomplete tail). Exposed for WAL shipping.
+func DecodeRecordAt(b []byte, off int) (Record, int, bool) {
+	if off < 0 || off > len(b) {
+		return Record{}, 0, false
+	}
+	return decodeRecord(b[off:])
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+// Recover reads every writer file in dir, drops torn tails, and returns the
+// records ordered by (GSN, writer, LSN) for redo.
+func Recover(dir string) ([]Record, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var all []Record
+	for wi, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("wal: recover %s: %w", p, err)
+		}
+		off := 0
+		for off < len(data) {
+			r, n, ok := decodeRecord(data[off:])
+			if !ok {
+				break // torn tail: everything after is discarded
+			}
+			r.Writer = int32(wi)
+			all = append(all, r)
+			off += n
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].GSN != all[j].GSN {
+			return all[i].GSN < all[j].GSN
+		}
+		if all[i].Writer != all[j].Writer {
+			return all[i].Writer < all[j].Writer
+		}
+		return all[i].LSN < all[j].LSN
+	})
+	return all, nil
+}
+
+// Dir returns the directory holding the writer files.
+func (m *Manager) Dir() string { return m.dir }
+
+// MaxGSN returns the highest GSN any writer has assigned (checkpoint
+// horizon). Call after FlushAll so buffers are empty.
+func (m *Manager) MaxGSN() uint64 {
+	var max uint64
+	for _, w := range m.writers {
+		w.mu.Lock()
+		if w.localGSN > max {
+			max = w.localGSN
+		}
+		w.mu.Unlock()
+	}
+	return max
+}
+
+// Truncate discards every writer's on-disk log. The checkpoint that
+// captured the database state must be durable first. GSN clocks and LSNs
+// keep advancing so post-truncation records sort after history.
+func (m *Manager) Truncate() error {
+	for _, w := range m.writers {
+		w.mu.Lock()
+		if len(w.buf) != 0 {
+			w.mu.Unlock()
+			return fmt.Errorf("wal: truncate with unflushed records on writer %d", w.id)
+		}
+		err := w.f.Truncate(0)
+		w.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: truncate writer %d: %w", w.id, err)
+		}
+	}
+	return nil
+}

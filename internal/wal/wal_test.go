@@ -1,0 +1,367 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"phoebedb/internal/metrics"
+)
+
+func openTestManager(t *testing.T, writers int) *Manager {
+	t.Helper()
+	m, err := Open(Options{Dir: t.TempDir(), Writers: writers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{Type: RecUpdate, GSN: 7, XID: 0x8000000000000010, TableID: 3, RowID: 42, Payload: []byte("delta-bytes")}
+	enc := encodeRecord(nil, &r)
+	got, n, ok := decodeRecord(enc)
+	if !ok || n != len(enc) {
+		t.Fatalf("decode failed: ok=%v n=%d len=%d", ok, n, len(enc))
+	}
+	if got.Type != r.Type || got.GSN != r.GSN || got.XID != r.XID || got.TableID != r.TableID || got.RowID != r.RowID || string(got.Payload) != string(r.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, gsn, xid, rowid uint64, table uint32, payload []byte) bool {
+		r := Record{Type: RecordType(typ%5 + 1), GSN: gsn, XID: xid, TableID: table, RowID: rowid, Payload: payload}
+		enc := encodeRecord(nil, &r)
+		got, n, ok := decodeRecord(enc)
+		if !ok || n != len(enc) {
+			return false
+		}
+		if len(payload) == 0 && len(got.Payload) == 0 {
+			return got.Type == r.Type && got.GSN == gsn
+		}
+		return got.Type == r.Type && got.GSN == gsn && got.XID == xid &&
+			got.TableID == table && got.RowID == rowid && string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := Record{Type: RecInsert, GSN: 1, Payload: []byte("payload")}
+	enc := encodeRecord(nil, &r)
+	// Flip a payload byte: checksum must fail.
+	enc[len(enc)-1] ^= 0xFF
+	if _, _, ok := decodeRecord(enc); ok {
+		t.Fatal("corrupted record accepted")
+	}
+	// Truncated record must not decode.
+	if _, _, ok := decodeRecord(enc[:10]); ok {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestNextGSNAdoptsPageGSN(t *testing.T) {
+	m := openTestManager(t, 2)
+	w := m.Writer(0)
+	g1 := w.NextGSN(0)
+	if g1 != 1 {
+		t.Fatalf("first GSN = %d", g1)
+	}
+	g2 := w.NextGSN(100) // page was last written at GSN 100 by someone else
+	if g2 != 101 {
+		t.Fatalf("GSN after adopting page GSN 100 = %d", g2)
+	}
+	g3 := w.NextGSN(50) // lower page GSN must not move the clock back
+	if g3 != 102 {
+		t.Fatalf("GSN = %d, want 102", g3)
+	}
+}
+
+func TestLSNStrictlyIncreasing(t *testing.T) {
+	m := openTestManager(t, 1)
+	w := m.Writer(0)
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		r := Record{Type: RecInsert, GSN: w.NextGSN(0)}
+		w.Append(&r)
+		if r.LSN <= prev {
+			t.Fatalf("LSN %d not increasing", r.LSN)
+		}
+		prev = r.LSN
+	}
+}
+
+func TestFlushAdvancesHorizon(t *testing.T) {
+	m := openTestManager(t, 2)
+	w := m.Writer(0)
+	r := Record{Type: RecInsert, GSN: w.NextGSN(0)}
+	w.Append(&r)
+	if w.FlushedGSN() != 0 {
+		t.Fatal("horizon advanced before flush")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.FlushedGSN() != r.GSN {
+		t.Fatalf("flushed GSN = %d, want %d", w.FlushedGSN(), r.GSN)
+	}
+	// With everything flushed and writer 1 idle, nothing constrains the
+	// global horizon.
+	if m.GlobalFlushedGSN() != ^uint64(0) {
+		t.Fatalf("global horizon = %d with no pending writers", m.GlobalFlushedGSN())
+	}
+	// An unflushed record on writer 1 pulls the horizon down to 0.
+	w1 := m.Writer(1)
+	r1 := Record{Type: RecInsert, GSN: w1.NextGSN(0)}
+	w1.Append(&r1)
+	if m.GlobalFlushedGSN() != 0 {
+		t.Fatalf("global horizon = %d with pending writer", m.GlobalFlushedGSN())
+	}
+}
+
+func TestNeedsRemoteFlushRule(t *testing.T) {
+	cases := []struct {
+		ps      PageStamp
+		slot    int
+		horizon uint64
+		want    bool
+	}{
+		{PageStamp{GSN: 0, LastWriter: -1}, 0, 0, false}, // untouched page
+		{PageStamp{GSN: 5, LastWriter: 0}, 0, 0, false},  // own slot
+		{PageStamp{GSN: 5, LastWriter: 1}, 0, 10, false}, // remote but durable
+		{PageStamp{GSN: 5, LastWriter: 1}, 0, 4, true},   // remote, not durable
+		{PageStamp{GSN: 5, LastWriter: 1}, 1, 0, false},  // same slot id
+	}
+	for i, c := range cases {
+		if got := NeedsRemoteFlush(c.ps, c.slot, c.horizon); got != c.want {
+			t.Errorf("case %d: NeedsRemoteFlush = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestWaitRemoteFlush(t *testing.T) {
+	m := openTestManager(t, 3)
+	w0, w1 := m.Writer(0), m.Writer(1)
+	r0 := Record{Type: RecInsert, GSN: w0.NextGSN(0)}
+	w0.Append(&r0)
+	r1 := Record{Type: RecInsert, GSN: w1.NextGSN(10)} // GSN 11
+	w1.Append(&r1)
+	if err := m.WaitRemoteFlush(11); err != nil {
+		t.Fatal(err)
+	}
+	if m.GlobalFlushedGSN() < 11 {
+		t.Fatalf("global horizon = %d after WaitRemoteFlush(11)", m.GlobalFlushedGSN())
+	}
+}
+
+func TestRecoveryOrdersByGSN(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := m.Writer(0), m.Writer(1)
+	// Interleave: page ping-pongs between writers, so GSNs order the writes.
+	var pageGSN uint64
+	var wantOrder []uint64
+	for i := 0; i < 6; i++ {
+		w := w0
+		if i%2 == 1 {
+			w = w1
+		}
+		g := w.NextGSN(pageGSN)
+		pageGSN = g
+		rec := Record{Type: RecUpdate, GSN: g, RowID: uint64(i)}
+		w.Append(&rec)
+		wantOrder = append(wantOrder, uint64(i))
+	}
+	m.FlushAll()
+	m.Close()
+
+	recs, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("recovered %d records, want 6", len(recs))
+	}
+	for i, r := range recs {
+		if r.RowID != wantOrder[i] {
+			t.Fatalf("record %d: RowID %d, want %d", i, r.RowID, wantOrder[i])
+		}
+	}
+}
+
+func TestRecoveryDropsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Writer(0)
+	for i := 0; i < 3; i++ {
+		rec := Record{Type: RecInsert, GSN: w.NextGSN(0), RowID: uint64(i), Payload: []byte("data")}
+		w.Append(&rec)
+	}
+	m.FlushAll()
+	m.Close()
+
+	// Simulate a crash mid-write: truncate the file inside the last record.
+	path := filepath.Join(dir, "wal-0000.log")
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (torn tail dropped)", len(recs))
+	}
+}
+
+func TestUnflushedRecordsNotRecovered(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Writer(0)
+	rec := Record{Type: RecInsert, GSN: w.NextGSN(0)}
+	w.Append(&rec)
+	// Crash without flush: close the raw file without flushing the buffer.
+	w.f.Close()
+	recs, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d unflushed records", len(recs))
+	}
+}
+
+func TestIOCountersAndSyncMode(t *testing.T) {
+	var io metrics.IOCounters
+	m, err := Open(Options{Dir: t.TempDir(), Writers: 1, SyncOnFlush: true, IO: &io})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w := m.Writer(0)
+	rec := Record{Type: RecInsert, GSN: w.NextGSN(0), Payload: []byte("abc")}
+	w.Append(&rec)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if io.Snapshot().WALWrite == 0 {
+		t.Fatal("WAL write bytes not reported")
+	}
+}
+
+func TestConcurrentAppendFlush(t *testing.T) {
+	m := openTestManager(t, 4)
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			w := m.Writer(s)
+			for i := 0; i < 200; i++ {
+				rec := Record{Type: RecInsert, GSN: w.NextGSN(0), RowID: uint64(i)}
+				w.Append(&rec)
+				if i%50 == 0 {
+					if err := w.Flush(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendFlushBatch(b *testing.B) {
+	m, err := Open(Options{Dir: b.TempDir(), Writers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	w := m.Writer(0)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := Record{Type: RecUpdate, GSN: w.NextGSN(0), Payload: payload}
+		w.Append(&rec)
+		if i%128 == 127 {
+			w.Flush()
+		}
+	}
+}
+
+func TestMaxGSNAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Options{Dir: dir, Writers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w0, w1 := m.Writer(0), m.Writer(1)
+	r0 := Record{Type: RecInsert, GSN: w0.NextGSN(0)}
+	w0.Append(&r0)
+	r1 := Record{Type: RecInsert, GSN: w1.NextGSN(5)} // GSN 6
+	w1.Append(&r1)
+	// Truncation with unflushed buffers is refused.
+	if err := m.Truncate(); err == nil {
+		t.Fatal("truncate with pending records accepted")
+	}
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.MaxGSN(); g != 6 {
+		t.Fatalf("MaxGSN = %d, want 6", g)
+	}
+	if err := m.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records after truncate", len(recs))
+	}
+	// GSN clock survives truncation: new records sort after history.
+	if g := w1.NextGSN(0); g <= 6 {
+		t.Fatalf("GSN regressed to %d after truncate", g)
+	}
+}
+
+func TestFlushIOErrorSurfaces(t *testing.T) {
+	// Failure injection: a dead file descriptor must surface as a flush
+	// error (the engine aborts the committing transaction on it).
+	m, err := Open(Options{Dir: t.TempDir(), Writers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Writer(0)
+	rec := Record{Type: RecInsert, GSN: w.NextGSN(0), Payload: []byte("doomed")}
+	w.Append(&rec)
+	w.f.Close() // simulate device failure
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush on closed file succeeded")
+	}
+	// The horizon must not advance past unflushed data.
+	if w.FlushedGSN() >= rec.GSN {
+		t.Fatal("flush error advanced the durable horizon")
+	}
+}

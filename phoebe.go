@@ -1,0 +1,339 @@
+// Package phoebedb is a from-scratch Go reproduction of PhoebeDB (EDBT
+// 2025): a disk-based RDBMS kernel for high-performance, cost-effective
+// OLTP. It combines an in-memory data-centric storage engine with
+// temperature-based hot/cold/frozen data layers and pointer swizzling, a
+// co-routine-pool runtime with a pull-based scheduler, MVCC with in-memory
+// UNDO logs and O(1) snapshots, hybrid optimistic/pessimistic concurrency
+// control with decentralized lock management, and a parallel write-ahead
+// log with Remote Flush Avoidance.
+//
+// # Quick start
+//
+//	db, _ := phoebedb.Open(phoebedb.Options{Dir: "demo-db"})
+//	defer db.Close()
+//	db.CreateTable("users", phoebedb.NewSchema(
+//		phoebedb.Column{Name: "id", Type: phoebedb.TInt64},
+//		phoebedb.Column{Name: "name", Type: phoebedb.TString},
+//	))
+//	db.CreateIndex("users", "users_pk", []string{"id"}, true)
+//	db.Execute(func(tx *phoebedb.Tx) error {
+//		_, err := tx.Insert("users", phoebedb.Row{phoebedb.Int(1), phoebedb.Str("ada")})
+//		return err
+//	})
+//
+// Execute runs the closure as one transaction on the co-routine pool:
+// commit on nil return, rollback otherwise. For explicit transaction
+// control use a Session, which reserves a dedicated task slot.
+package phoebedb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"phoebedb/internal/core"
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/sched"
+	"phoebedb/internal/txn"
+)
+
+// Re-exported relational primitives, so applications only import this
+// package.
+type (
+	// Row is one tuple.
+	Row = rel.Row
+	// Value is one column value.
+	Value = rel.Value
+	// Column declares a schema attribute.
+	Column = rel.Column
+	// Schema describes a relation.
+	Schema = rel.Schema
+	// RowID is the internal tuple identifier.
+	RowID = rel.RowID
+	// Tx is a running transaction.
+	Tx = core.Tx
+	// Isolation selects the snapshot isolation level.
+	Isolation = txn.Isolation
+)
+
+// Column types.
+const (
+	TInt64   = rel.TInt64
+	TFloat64 = rel.TFloat64
+	TString  = rel.TString
+)
+
+// Isolation levels (PostgreSQL-compatible, §6.1).
+const (
+	ReadCommitted  = txn.ReadCommitted
+	RepeatableRead = txn.RepeatableRead
+)
+
+// Value constructors.
+var (
+	Int       = rel.Int
+	Float     = rel.Float
+	Str       = rel.Str
+	NewSchema = rel.NewSchema
+)
+
+// Options configures a DB.
+type Options struct {
+	// Dir is the database directory.
+	Dir string
+	// Workers is the worker-thread count (default GOMAXPROCS); each owns
+	// a buffer partition and SlotsPerWorker task slots.
+	Workers int
+	// SlotsPerWorker is the task-slot count per worker (default 32, the
+	// paper's evaluated setting).
+	SlotsPerWorker int
+	// Sessions reserves extra dedicated slots for interactive Session use
+	// (default 4).
+	Sessions int
+	// ThreadMode pins every task slot to an OS thread (Exp 6 comparison).
+	ThreadMode bool
+	// BufferBytes is the Main Storage budget (default 256 MiB).
+	BufferBytes int64
+	// PageSize / PageCap tune the data page geometry (defaults 32 KiB /
+	// 64 rows).
+	PageSize, PageCap int
+	// WALSync fsyncs WAL flushes on commit.
+	WALSync bool
+	// Isolation is the default level for Execute (ReadCommitted).
+	Isolation Isolation
+	// LockTimeout bounds lock waits (default 2s).
+	LockTimeout time.Duration
+	// DisableRFA forces commits to wait for the global flush horizon (the
+	// Remote Flush Avoidance ablation).
+	DisableRFA bool
+	// PessimisticIndex disables optimistic lock coupling on index B-Trees
+	// (the hybrid-lock ablation).
+	PessimisticIndex bool
+	// MaintainEvery runs worker maintenance (page swap, GC) after this
+	// many transactions per slot (default 64).
+	MaintainEvery int
+}
+
+// DB is an open PhoebeDB instance: the kernel plus its co-routine pool.
+type DB struct {
+	engine *core.Engine
+	pool   *sched.Pool
+	rec    *metrics.Recorder
+	opts   Options
+
+	maintainMu sync.Mutex // serializes system-slot maintenance work
+	sysSlot    int        // reserved slot for warming / system txns
+
+	sessMu   sync.Mutex
+	sessNext int
+	sessMax  int
+}
+
+// Open creates or opens a database.
+func Open(opts Options) (*DB, error) {
+	if opts.SlotsPerWorker <= 0 {
+		opts.SlotsPerWorker = 32
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 4
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	poolSlots := workers * opts.SlotsPerWorker
+	totalSlots := poolSlots + opts.Sessions + 1 // +1 system slot
+	spw := opts.SlotsPerWorker
+	eng, err := core.Open(core.Config{
+		Dir:              opts.Dir,
+		PageSize:         opts.PageSize,
+		PageCap:          opts.PageCap,
+		BufferBytes:      opts.BufferBytes,
+		Partitions:       workers,
+		Slots:            totalSlots,
+		WALSync:          opts.WALSync,
+		LockTimeout:      opts.LockTimeout,
+		DisableRFA:       opts.DisableRFA,
+		PessimisticIndex: opts.PessimisticIndex,
+		// Pool slot IDs are contiguous per worker; session and system
+		// slots fold onto workers round-robin.
+		PartitionOf: func(slot int) int {
+			if slot < poolSlots {
+				return slot / spw
+			}
+			return slot - poolSlots
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		engine:   eng,
+		rec:      metrics.NewRecorder(),
+		opts:     opts,
+		sysSlot:  poolSlots,
+		sessNext: poolSlots + 1,
+		sessMax:  totalSlots,
+	}
+	db.pool = sched.New(sched.Config{
+		Workers:        workers,
+		SlotsPerWorker: opts.SlotsPerWorker,
+		ThreadMode:     opts.ThreadMode,
+		MaintainEvery:  opts.MaintainEvery,
+		Recorder:       db.rec,
+		Maintain:       db.maintain,
+	})
+	db.pool.Start()
+	return db, nil
+}
+
+// maintain is the worker duty hook (§7.1): partition page swaps, garbage
+// collection, and frozen-block warming on the system slot.
+func (db *DB) maintain(worker int) {
+	db.engine.MaintainWorker(worker)
+	if db.maintainMu.TryLock() {
+		db.engine.ProcessWarmQueue(db.sysSlot)
+		db.maintainMu.Unlock()
+	}
+}
+
+// Close stops the pool and closes the engine.
+func (db *DB) Close() error {
+	db.pool.Stop()
+	return db.engine.Close()
+}
+
+// Engine exposes the kernel for benchmarks and diagnostics.
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Recorder exposes the per-component metrics recorder.
+func (db *DB) Recorder() *metrics.Recorder { return db.rec }
+
+// CreateTable declares a relation.
+func (db *DB) CreateTable(name string, schema *Schema) error {
+	_, err := db.engine.CreateTable(name, schema)
+	return err
+}
+
+// CreateIndex declares a secondary index.
+func (db *DB) CreateIndex(table, index string, cols []string, unique bool) error {
+	_, err := db.engine.CreateIndex(table, index, cols, unique)
+	return err
+}
+
+// Recover replays the WAL into the declared schema; call after DDL and
+// before transactions when reopening an existing directory.
+func (db *DB) Recover() (int, error) { return db.engine.Recover() }
+
+// Execute runs fn as one transaction on a pool task slot: commit on nil,
+// rollback on error. It blocks until the transaction finishes.
+func (db *DB) Execute(fn func(tx *Tx) error) error {
+	return db.ExecuteIso(db.opts.Isolation, fn)
+}
+
+// ExecuteIso is Execute at an explicit isolation level.
+func (db *DB) ExecuteIso(iso Isolation, fn func(tx *Tx) error) error {
+	var txErr error
+	err := db.pool.SubmitWait(func(s *sched.Slot) {
+		tx := db.engine.Begin(s.ID, iso, s.Metrics, s.YieldHigh, s.YieldLow)
+		if txErr = fn(tx); txErr != nil {
+			tx.Rollback()
+			return
+		}
+		txErr = tx.Commit()
+	})
+	if err != nil {
+		return err
+	}
+	return txErr
+}
+
+// Submit runs fn as one transaction without waiting for it; done (if not
+// nil) receives the transaction's final error.
+func (db *DB) Submit(fn func(tx *Tx) error, done chan<- error) error {
+	return db.pool.Submit(func(s *sched.Slot) {
+		tx := db.engine.Begin(s.ID, db.opts.Isolation, s.Metrics, s.YieldHigh, s.YieldLow)
+		err := fn(tx)
+		if err != nil {
+			tx.Rollback()
+		} else {
+			err = tx.Commit()
+		}
+		if done != nil {
+			done <- err
+		}
+	})
+}
+
+// Freeze runs one freezing round over all tables (§5.2): up to maxPages
+// coldest prefix pages per table with decayed access counts <= maxHot move
+// to the compressed frozen layer. Returns rows frozen.
+func (db *DB) Freeze(maxPages int, maxHot uint32) (int, error) {
+	return db.engine.FreezeTables(maxPages, maxHot)
+}
+
+// ProcessWarmQueue warms read-hot frozen blocks back into hot storage.
+func (db *DB) ProcessWarmQueue() (int, error) {
+	db.maintainMu.Lock()
+	defer db.maintainMu.Unlock()
+	return db.engine.ProcessWarmQueue(db.sysSlot)
+}
+
+// CollectGarbage runs one engine-wide GC round (§7.3).
+func (db *DB) CollectGarbage() int { return db.engine.CollectGarbage() }
+
+// Checkpoint captures the full database state and truncates the WAL, so a
+// later Recover replays only the log written afterwards. The engine must
+// be quiesced (no in-flight transactions) — call it from a maintenance
+// window.
+func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Session reserves a dedicated task slot for explicit Begin/Commit
+// control. Sessions are not safe for concurrent use; one transaction runs
+// at a time per session.
+type Session struct {
+	db   *DB
+	slot int
+}
+
+// Session allocates a session slot. It fails once Options.Sessions slots
+// are taken.
+func (db *DB) Session() (*Session, error) {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	if db.sessNext >= db.sessMax {
+		return nil, fmt.Errorf("phoebedb: all %d session slots in use", db.opts.Sessions)
+	}
+	s := &Session{db: db, slot: db.sessNext}
+	db.sessNext++
+	return s, nil
+}
+
+// Begin starts a transaction on the session's slot.
+func (s *Session) Begin(iso Isolation) *Tx {
+	return s.db.engine.Begin(s.slot, iso, nil, nil, nil)
+}
+
+// Stats is a point-in-time summary of engine activity.
+type Stats struct {
+	// TasksExecuted counts pool transactions completed.
+	TasksExecuted int64
+	// BufferResidentBytes is the Main Storage footprint.
+	BufferResidentBytes int64
+	// DataReadBytes / DataWriteBytes / WALWriteBytes are cumulative I/O.
+	DataReadBytes, DataWriteBytes, WALWriteBytes int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	io := db.engine.IO.Snapshot()
+	return Stats{
+		TasksExecuted:       db.pool.Executed(),
+		BufferResidentBytes: db.engine.Pool.ResidentBytes(),
+		DataReadBytes:       io.DataRead,
+		DataWriteBytes:      io.DataWrite,
+		WALWriteBytes:       io.WALWrite,
+	}
+}

@@ -1,0 +1,77 @@
+package phoebedb
+
+import (
+	"fmt"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/sql"
+)
+
+// SQLResult is the outcome of ExecSQL: projected columns and rows for
+// SELECT, the affected-row count for writes.
+type SQLResult = sql.Result
+
+// sqlCatalog adapts the engine's catalog to the SQL executor.
+type sqlCatalog struct{ db *DB }
+
+func (c sqlCatalog) CreateTable(name string, schema *rel.Schema) error {
+	return c.db.CreateTable(name, schema)
+}
+
+func (c sqlCatalog) CreateIndex(table, index string, cols []string, unique bool) error {
+	return c.db.CreateIndex(table, index, cols, unique)
+}
+
+func (c sqlCatalog) TableSchema(name string) (*rel.Schema, error) {
+	t, err := c.db.engine.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema, nil
+}
+
+func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
+	t, err := c.db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var out []sql.IndexMeta
+	for _, ix := range t.Indexes() {
+		out = append(out, sql.IndexMeta{Name: ix.Name, Cols: ix.Cols, Unique: ix.Unique})
+	}
+	return out, nil
+}
+
+// ExecSQL parses and executes one SQL statement. DDL (CREATE TABLE /
+// CREATE INDEX) applies immediately; DML runs as one transaction on the
+// co-routine pool. The supported subset is documented in internal/sql.
+func (db *DB) ExecSQL(query string) (SQLResult, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	cat := sqlCatalog{db: db}
+	if sql.IsDDL(stmt) {
+		return sql.ExecDDL(cat, stmt)
+	}
+	var res SQLResult
+	err = db.Execute(func(tx *Tx) error {
+		var execErr error
+		res, execErr = sql.Exec(cat, tx, stmt)
+		return execErr
+	})
+	return res, err
+}
+
+// ExecSQLTx executes one DML statement inside an existing transaction
+// (session use).
+func (db *DB) ExecSQLTx(tx *Tx, query string) (SQLResult, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	if sql.IsDDL(stmt) {
+		return SQLResult{}, fmt.Errorf("phoebedb: DDL is not transactional; use ExecSQL")
+	}
+	return sql.Exec(sqlCatalog{db: db}, tx, stmt)
+}
