@@ -16,7 +16,11 @@
 // frequency, "access frequency over time" in the paper's terms.
 package buffer
 
-import "sync"
+import (
+	"sync"
+
+	"phoebedb/internal/fault"
+)
 
 // Frame is an evictable page frame. Implementations (table pages) guard
 // their own consistency; the pool only sequences cooling and eviction.
@@ -120,6 +124,9 @@ func (p *Pool) Maintain(part int) int {
 	for pt.resident > pt.budget && len(pt.cooling) > 0 {
 		f := pt.cooling[0]
 		pt.cooling = pt.cooling[1:]
+		if err := fault.Eval(fault.BufferEvict); err != nil {
+			return evicted // injected failure aborts the round; frames stay resident
+		}
 		if freed, ok := f.EvictIfCooling(); ok {
 			pt.resident -= int64(freed)
 			evicted++
@@ -154,6 +161,9 @@ func (p *Pool) Maintain(part int) int {
 		for pt.resident > pt.budget && len(pt.cooling) > 0 {
 			f := pt.cooling[0]
 			pt.cooling = pt.cooling[1:]
+			if err := fault.Eval(fault.BufferEvict); err != nil {
+				return evicted
+			}
 			if freed, ok := f.EvictIfCooling(); ok {
 				pt.resident -= int64(freed)
 				evicted++

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"phoebedb/internal/fault"
 	"phoebedb/internal/frozen"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/storage"
@@ -108,11 +109,27 @@ func (e *Engine) Checkpoint() error {
 	if err := e.WAL.FlushAll(); err != nil {
 		return err
 	}
+	if err := fault.Eval(fault.CheckpointPreSave); err != nil {
+		return err
+	}
+
+	// The checkpoint GSN horizon: everything at or below it is captured in
+	// the image. Fast-forward every writer past it NOW, before the image
+	// becomes durable, so each post-checkpoint record sorts strictly above
+	// the horizon — that is what lets recovery drop still-on-disk WAL
+	// records the checkpoint already covers when a crash lands between the
+	// checkpoint rename and the WAL truncation. (Without the fast-forward,
+	// a writer whose private GSN clock lagged the horizon could log
+	// post-checkpoint records below it.)
+	cpGSN := e.WAL.MaxGSN()
+	for i := 0; i < e.WAL.NumWriters(); i++ {
+		e.WAL.Writer(i).AdvanceGSN(cpGSN)
+	}
 
 	w := &cpWriter{}
 	w.u32(checkpointMagic)
 	w.u32(checkpointVersion)
-	w.u64(e.WAL.MaxGSN())
+	w.u64(cpGSN)
 	w.u64(e.Mgr.Clock.Now())
 	tables := e.Tables()
 	w.u32(uint32(len(tables)))
@@ -166,36 +183,43 @@ func (e *Engine) Checkpoint() error {
 	if err := os.Rename(tmp, e.checkpointPath()); err != nil {
 		return err
 	}
+	if err := fault.Eval(fault.CheckpointPostSave); err != nil {
+		return err
+	}
 	if err := e.bf.Sync(); err != nil {
+		return err
+	}
+	if err := fault.Eval(fault.CheckpointPreTruncate); err != nil {
 		return err
 	}
 	return e.WAL.Truncate()
 }
 
 // loadCheckpoint restores tables from the newest checkpoint, if one
-// exists; returns whether one was loaded. Tables must be declared (by the
-// same names) before calling.
-func (e *Engine) loadCheckpoint() (bool, error) {
+// exists; returns whether one was loaded and the checkpoint's GSN horizon
+// (every change at or below it is contained in the image). Tables must be
+// declared (by the same names) before calling.
+func (e *Engine) loadCheckpoint() (bool, uint64, error) {
 	data, err := os.ReadFile(e.checkpointPath())
 	if os.IsNotExist(err) {
-		return false, nil
+		return false, 0, nil
 	}
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if len(data) < 4 {
-		return false, fmt.Errorf("core: checkpoint too short")
+		return false, 0, fmt.Errorf("core: checkpoint too short")
 	}
 	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != sum {
-		return false, fmt.Errorf("core: checkpoint checksum mismatch")
+		return false, 0, fmt.Errorf("core: checkpoint checksum mismatch")
 	}
 	r := &cpReader{buf: body}
 	if r.u32() != checkpointMagic {
-		return false, fmt.Errorf("core: bad checkpoint magic")
+		return false, 0, fmt.Errorf("core: bad checkpoint magic")
 	}
 	if v := r.u32(); v != checkpointVersion {
-		return false, fmt.Errorf("core: unsupported checkpoint version %d", v)
+		return false, 0, fmt.Errorf("core: unsupported checkpoint version %d", v)
 	}
 	maxGSN := r.u64()
 	cpTS := r.u64()
@@ -205,7 +229,7 @@ func (e *Engine) loadCheckpoint() (bool, error) {
 		r.u32() // table id recorded for diagnostics; matching is by name
 		t, terr := e.Table(name)
 		if terr != nil {
-			return false, fmt.Errorf("core: checkpoint references undeclared table %q", name)
+			return false, 0, fmt.Errorf("core: checkpoint references undeclared table %q", name)
 		}
 		nextRID := r.u64()
 		maxFrozen := r.u64()
@@ -218,7 +242,7 @@ func (e *Engine) loadCheckpoint() (bool, error) {
 		}
 		if r.err == nil {
 			if err := t.Store.ImportImages(images, nextRID, maxFrozen); err != nil {
-				return false, err
+				return false, 0, err
 			}
 		}
 		numBlocks := int(r.u32())
@@ -238,16 +262,16 @@ func (e *Engine) loadCheckpoint() (bool, error) {
 		}
 		if r.err == nil {
 			if err := t.Frozen.Import(metas); err != nil {
-				return false, err
+				return false, 0, err
 			}
 		}
 	}
 	if r.err != nil {
-		return false, r.err
+		return false, 0, r.err
 	}
 	e.Mgr.Clock.AdvanceTo(cpTS + 1)
 	for i := 0; i < e.WAL.NumWriters(); i++ {
 		e.WAL.Writer(i).AdvanceGSN(maxGSN)
 	}
-	return true, nil
+	return true, maxGSN, nil
 }

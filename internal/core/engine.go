@@ -374,7 +374,16 @@ func (e *Engine) eraseTuple(t *Tbl, rid rel.RowID) {
 		return // already erased, frozen, or resurrected
 	}
 	for _, ix := range t.Indexes() {
-		ix.Tree.Delete(indexKey(ix, row, rid))
+		k := indexKey(ix, row, rid)
+		if ix.Unique {
+			// A unique key carries no row_id suffix, so the entry may have
+			// been reclaimed by a re-insert of the same key since this
+			// tombstone was created; erase it only if it still points here.
+			if cur, ok := ix.Tree.Lookup(k); !ok || rel.RowID(cur) != rid {
+				continue
+			}
+		}
+		ix.Tree.Delete(k)
 	}
 	_ = t.Store.RemoveRow(rid, nil)
 }

@@ -20,17 +20,32 @@ import (
 // page writes are irrelevant here because the directory is rebuilt from
 // scratch). Committed deletes are applied as physical removals — they are
 // globally visible after a restart. Secondary indexes are rebuilt from the
-// recovered rows. Checkpointing (bounding replay work) is future work, as
-// in the paper.
+// recovered rows. Replay starts from the newest checkpoint when one
+// exists, bounding redo work to the post-checkpoint log suffix.
 func (e *Engine) Recover() (replayed int, err error) {
 	// Load the newest checkpoint first (if any); the WAL then holds only
 	// post-checkpoint records (Checkpoint truncates it).
-	if _, err := e.loadCheckpoint(); err != nil {
+	_, cpGSN, err := e.loadCheckpoint()
+	if err != nil {
 		return 0, err
 	}
 	recs, err := wal.Recover(e.WAL.Dir())
 	if err != nil {
 		return 0, err
+	}
+	// A crash between the checkpoint rename and the WAL truncation leaves
+	// checkpoint-covered records on disk; replaying them would duplicate
+	// rows the image already holds. Checkpoint fast-forwards every writer
+	// past the horizon before the image is durable, so records at or below
+	// it are exactly the covered ones — drop them.
+	if cpGSN > 0 {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.GSN > cpGSN {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
 	}
 	committed := make(map[uint64]bool)
 	var maxTS, maxGSN uint64

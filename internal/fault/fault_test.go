@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledEvalIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("no site armed, Enabled() = true")
+	}
+	if err := Eval(WALPreSync); err != nil {
+		t.Fatalf("disabled Eval = %v", err)
+	}
+	if cut := TornCut(WALTornWrite, 100); cut != 0 {
+		t.Fatalf("disabled TornCut = %d", cut)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	defer Reset()
+	if err := Enable(WALPreSync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval(WALPreSync)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval = %v, want ErrInjected", err)
+	}
+	// Other sites stay clean.
+	if err := Eval(WALPostSync); err != nil {
+		t.Fatalf("unarmed site Eval = %v", err)
+	}
+	Disable(WALPreSync)
+	if err := Eval(WALPreSync); err != nil {
+		t.Fatalf("disarmed Eval = %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	if err := Enable(CheckpointPostSave, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if !IsCrash(r) {
+			t.Fatalf("recover() = %v, want CrashPanic", r)
+		}
+		if r.(CrashPanic).Site != CheckpointPostSave {
+			t.Fatalf("crash site = %q", r.(CrashPanic).Site)
+		}
+	}()
+	Eval(CheckpointPostSave)
+	t.Fatal("Eval did not panic")
+}
+
+func TestSkipAndSleepActions(t *testing.T) {
+	defer Reset()
+	if err := Enable(WALPreSync, "skip"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval(WALPreSync); !errors.Is(err, ErrSkip) {
+		t.Fatalf("Eval = %v, want ErrSkip", err)
+	}
+	if err := Enable(WALPostSync, "sleep(10ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval(WALPostSync); err != nil {
+		t.Fatalf("sleep Eval = %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("sleep action returned after %v", d)
+	}
+}
+
+func TestHitCountDelay(t *testing.T) {
+	defer Reset()
+	if err := Enable(StorageWritePage, "error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := Eval(StorageWritePage); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	// The third hit and every later one fire (persistent once triggered).
+	for i := 3; i <= 5; i++ {
+		if err := Eval(StorageWritePage); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d = %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestTornCut(t *testing.T) {
+	defer Reset()
+	if err := Enable(WALTornWrite, "torn(5)"); err != nil {
+		t.Fatal(err)
+	}
+	if cut := TornCut(WALTornWrite, 100); cut != 5 {
+		t.Fatalf("cut = %d, want 5", cut)
+	}
+	// The cut never exceeds the write size.
+	if cut := TornCut(WALTornWrite, 2); cut != 2 {
+		t.Fatalf("cut = %d, want 2", cut)
+	}
+	// A torn site does not fire through Eval.
+	if err := Eval(WALTornWrite); err != nil {
+		t.Fatalf("Eval on torn site = %v", err)
+	}
+}
+
+func TestEnableSpecCombined(t *testing.T) {
+	defer Reset()
+	err := EnableSpec("wal.preSync=panic; storage.readPage=error@2, checkpoint.preTruncate=torn(7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Armed()
+	want := []string{CheckpointPreTruncate, StorageReadPage, WALPreSync}
+	if len(got) != len(want) {
+		t.Fatalf("Armed() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Armed() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnableSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"wal.preSync",   // no action
+		"x=explode",     // unknown action
+		"x=sleep(soon)", // bad duration
+		"x=panic@zero",  // bad hit count
+		"x=torn(0)",     // bad byte count
+		"x=sleep(1ms",   // unbalanced parens
+	} {
+		if err := EnableSpec(bad); err == nil {
+			t.Errorf("EnableSpec(%q) accepted", bad)
+		}
+	}
+	Reset()
+}
+
+func TestCrashSitesRegistered(t *testing.T) {
+	all := make(map[string]bool)
+	for _, s := range AllSites() {
+		all[s] = true
+	}
+	cs := CrashSites()
+	if len(cs) < 6 {
+		t.Fatalf("CrashSites() = %d sites, want >= 6", len(cs))
+	}
+	for _, s := range cs {
+		if !all[s] {
+			t.Errorf("crash site %q not in AllSites()", s)
+		}
+	}
+}
+
+// BenchmarkEvalDisabled measures the cost a guarded operation pays when
+// no failpoint is armed — the budget is one atomic load.
+func BenchmarkEvalDisabled(b *testing.B) {
+	Reset()
+	for i := 0; i < b.N; i++ {
+		if err := Eval(WALPreSync); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -113,6 +113,9 @@ func DecodeDelta(b []byte) (cols []int, vals Row, err error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if len(row) != 1 {
+			return nil, nil, fmt.Errorf("rel: delta value group holds %d values, want 1", len(row))
+		}
 		vals = append(vals, row[0])
 		b = rest
 	}

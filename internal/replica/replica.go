@@ -31,6 +31,7 @@ import (
 
 	"phoebedb/internal/clock"
 	"phoebedb/internal/core"
+	"phoebedb/internal/fault"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/table"
 	"phoebedb/internal/wal"
@@ -184,6 +185,9 @@ func (s *Standby) readNew() ([]wal.Record, error) {
 // apply replays one data record into the standby engine (below MVCC,
 // mirroring recovery's redo).
 func (s *Standby) apply(r wal.Record) error {
+	if err := fault.Eval(fault.ReplicaApply); err != nil {
+		return err
+	}
 	t := s.Engine.TableByID(r.TableID)
 	if t == nil {
 		return fmt.Errorf("unknown table id %d", r.TableID)

@@ -1,11 +1,13 @@
 package replica
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"phoebedb/internal/core"
+	"phoebedb/internal/fault"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/txn"
 )
@@ -260,5 +262,42 @@ func TestShippingSameRowSerialization(t *testing.T) {
 	row, found := standbyRead(t, standby, 1)
 	if !found || row[2].F != 10 {
 		t.Fatalf("final standby value = (%v,%v), want 10", row, found)
+	}
+}
+
+// TestApplyFailpoint injects an error at the replica.apply site: the
+// shipping round must surface it without losing the transaction — once
+// the fault clears, the next round applies everything, because a failed
+// round leaves its pending/commit state in place for retry.
+func TestApplyFailpoint(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	primary, standby := pair(t)
+	commitTx(t, primary, 0, func(tx *core.Tx) error {
+		for i := 1; i <= 3; i++ {
+			if _, err := tx.Insert("accounts", rel.Row{rel.Int(int64(i)), rel.Str("a"), rel.Float(1)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := fault.Enable(fault.ReplicaApply, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := standby.CatchUp(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("CatchUp error = %v, want injected fault", err)
+	}
+	fault.Reset()
+	n, err := standby.CatchUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("applied %d records after fault cleared, want 3", n)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if _, found := standbyRead(t, standby, i); !found {
+			t.Fatalf("standby row %d missing after retried apply", i)
+		}
 	}
 }

@@ -1,0 +1,30 @@
+package sql
+
+import "testing"
+
+// FuzzParse feeds arbitrary source text to the SQL front end: the only
+// contract is that Parse returns a statement or an error — it must not
+// panic on any input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"CREATE TABLE users (id INT, name STRING, score FLOAT)",
+		"CREATE UNIQUE INDEX users_pk ON users (id)",
+		"INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b', 3.5)",
+		"SELECT a, b FROM t WHERE a = 1 AND b = 'x' LIMIT 10",
+		"SELECT * FROM t",
+		"UPDATE t SET a = 5, b = 'z' WHERE id = 3",
+		"DELETE FROM t WHERE id = 3",
+		"SELECT a FROM t WHERE x = 'it''s' AND y = -3.5",
+		"", "(", "'", "SELECT", "INSERT INTO t VALUES (",
+		"CREATE TABLE t (a blob)",
+		"SELECT * FROM t LIMIT 99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned neither a statement nor an error", src)
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"sync"
 
+	"phoebedb/internal/fault"
 	"phoebedb/internal/metrics"
 )
 
@@ -101,6 +102,9 @@ func (pf *PageFile) WritePage(id PageID, img []byte) error {
 	if len(img) > pf.pageSize {
 		return fmt.Errorf("storage: image %d bytes exceeds page size %d", len(img), pf.pageSize)
 	}
+	if err := fault.Eval(fault.StorageWritePage); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
 	off := int64(id-1) * int64(pf.pageSize)
 	if _, err := pf.f.WriteAt(img, off); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
@@ -116,6 +120,9 @@ func (pf *PageFile) WritePage(id PageID, img []byte) error {
 func (pf *PageFile) ReadPage(id PageID, buf []byte) ([]byte, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("storage: read of invalid page id")
+	}
+	if err := fault.Eval(fault.StorageReadPage); err != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
 	}
 	if cap(buf) < pf.pageSize {
 		buf = make([]byte, pf.pageSize)
@@ -174,6 +181,9 @@ func OpenBlockFile(path string, io *metrics.IOCounters) (*BlockFile, error) {
 
 // AppendBlock writes blk at the end of the file and returns its reference.
 func (bf *BlockFile) AppendBlock(blk []byte) (BlockRef, error) {
+	if err := fault.Eval(fault.StorageAppendBlock); err != nil {
+		return BlockRef{}, fmt.Errorf("storage: append block: %w", err)
+	}
 	bf.mu.Lock()
 	off := bf.end
 	bf.end += int64(len(blk))

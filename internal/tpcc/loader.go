@@ -64,10 +64,17 @@ func Small(w int) Scale {
 // Load populates the backend with the initial database for the scale.
 // Rows are inserted in batches of batch rows per transaction (0 = 500).
 func Load(b Backend, s Scale, batch int) error {
+	return LoadSeeded(b, s, batch, 42)
+}
+
+// LoadSeeded is Load with an explicit random seed, so tests can vary the
+// initial database deterministically (and report the seed on failure).
+// Load uses seed 42, the historical default.
+func LoadSeeded(b Backend, s Scale, batch int, seed int64) error {
 	if batch <= 0 {
 		batch = 500
 	}
-	r := newRNG(42)
+	r := newRNG(seed)
 	ins := newBatcher(b, batch)
 
 	// ITEM

@@ -18,6 +18,15 @@ type rng struct {
 	c nuRandC
 }
 
+// RNG is the exported handle to the workload's random source, letting
+// external harnesses (crash tests, custom drivers) call the exported
+// transaction profiles with a deterministic, reportable seed.
+type RNG = rng
+
+// NewRNG returns a workload random source seeded deterministically. Tests
+// should log the seed they used so failures are reproducible.
+func NewRNG(seed int64) *RNG { return newRNG(seed) }
+
 func newRNG(seed int64) *rng {
 	r := rand.New(rand.NewSource(seed))
 	return &rng{

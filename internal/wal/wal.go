@@ -28,6 +28,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -36,8 +37,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"phoebedb/internal/fault"
 	"phoebedb/internal/metrics"
 )
+
+// ErrBroken reports a write to a failed log. After any flush or fsync
+// error the durable prefix of the log is unknown, so the manager fails
+// stop: every subsequent flush (and therefore every commit) errors until
+// the engine is restarted and recovery re-establishes a consistent prefix
+// — the same posture as PostgreSQL's PANIC on WAL fsync failure.
+var ErrBroken = errors.New("wal: log writer failed; restart and recover")
 
 // RecordType enumerates log record kinds.
 type RecordType uint8
@@ -148,9 +157,13 @@ type Writer struct {
 	f          *os.File
 	buf        []byte
 	lsn        uint64
-	localGSN   uint64 // highest GSN assigned by this writer
 	bufferGSN  uint64 // highest GSN appended to buf (may be unflushed)
 	flushedGSN atomic.Uint64
+	// localGSN is the highest GSN assigned by this writer. Atomic rather
+	// than owner-private: a remote commit's flushPast fast-forwards it
+	// when it advances the flushed horizon past an empty buffer, so the
+	// owner can never assign a GSN below an already-published horizon.
+	localGSN atomic.Uint64
 }
 
 // ID returns the writer's slot id.
@@ -159,21 +172,34 @@ func (w *Writer) ID() int { return w.id }
 // NextGSN advances the writer's local GSN clock past pageGSN and returns
 // the new GSN (the LeanStore GSN rule: max(local, page)+1).
 func (w *Writer) NextGSN(pageGSN uint64) uint64 {
-	if pageGSN > w.localGSN {
-		w.localGSN = pageGSN
+	for {
+		cur := w.localGSN.Load()
+		next := cur + 1
+		if pageGSN > cur {
+			next = pageGSN + 1
+		}
+		if w.localGSN.CompareAndSwap(cur, next) {
+			return next
+		}
 	}
-	w.localGSN++
-	return w.localGSN
+}
+
+// raiseLocalGSN lifts the local GSN clock to at least g.
+func (w *Writer) raiseLocalGSN(g uint64) {
+	for {
+		cur := w.localGSN.Load()
+		if g <= cur || w.localGSN.CompareAndSwap(cur, g) {
+			return
+		}
+	}
 }
 
 // AdvanceGSN fast-forwards the writer's GSN clock (and flushed horizon) to
 // at least g. Recovery uses this so that post-restart records sort after
 // every recovered record.
 func (w *Writer) AdvanceGSN(g uint64) {
+	w.raiseLocalGSN(g)
 	w.mu.Lock()
-	if g > w.localGSN {
-		w.localGSN = g
-	}
 	if g > w.bufferGSN {
 		w.bufferGSN = g
 	}
@@ -205,19 +231,48 @@ func (w *Writer) Flush() error {
 }
 
 func (w *Writer) flushLocked() error {
+	if w.mgr.broken.Load() {
+		return ErrBroken
+	}
 	if len(w.buf) > 0 {
+		if cut := fault.TornCut(fault.WALTornWrite, len(w.buf)); cut > 0 {
+			// Simulate a crash tearing the flush: persist a prefix that
+			// ends mid-record, then die. The buffer is left intact so a
+			// racing flush cannot complete the write and acknowledge a
+			// commit behind the "dead" process's back (the armed site
+			// would tear that flush too).
+			w.f.Write(w.buf[:len(w.buf)-cut])
+			fault.Crash(fault.WALTornWrite)
+		}
 		n, err := w.f.Write(w.buf)
 		if w.mgr.io != nil {
 			w.mgr.io.WALWrite.Add(int64(n))
 		}
 		if err != nil {
+			w.mgr.broken.Store(true)
 			return fmt.Errorf("wal: writer %d flush: %w", w.id, err)
 		}
 		w.buf = w.buf[:0]
-		if w.mgr.syncOnFlush {
+		skipSync := false
+		if ferr := fault.Eval(fault.WALPreSync); ferr != nil {
+			if errors.Is(ferr, fault.ErrSkip) {
+				skipSync = true // lost-durability run: pretend the fsync happened
+			} else {
+				w.mgr.broken.Store(true)
+				return fmt.Errorf("wal: writer %d: %w", w.id, ferr)
+			}
+		}
+		if w.mgr.syncOnFlush && !skipSync {
 			if err := w.f.Sync(); err != nil {
+				w.mgr.broken.Store(true)
 				return fmt.Errorf("wal: writer %d sync: %w", w.id, err)
 			}
+		}
+		if ferr := fault.Eval(fault.WALPostSync); ferr != nil {
+			// The records are durable but the caller never learns it: the
+			// acknowledgment is lost, not the data.
+			w.mgr.broken.Store(true)
+			return fmt.Errorf("wal: writer %d: %w", w.id, ferr)
 		}
 	}
 	if w.bufferGSN > w.flushedGSN.Load() {
@@ -235,7 +290,13 @@ type Manager struct {
 	syncOnFlush bool
 	io          *metrics.IOCounters
 	writers     []*Writer
+	// broken latches the first flush/sync failure (fail-stop, see
+	// ErrBroken).
+	broken atomic.Bool
 }
+
+// Broken reports whether the log has failed stop.
+func (m *Manager) Broken() bool { return m.broken.Load() }
 
 // Options configures a Manager.
 type Options struct {
@@ -315,22 +376,26 @@ func (m *Manager) WaitRemoteFlush(gsn uint64) error {
 		}
 		// The writer may simply have nothing at that GSN; flushing is
 		// still the only way to know its buffer is empty up to gsn.
-		w.mu.Lock()
-		if w.bufferGSN < gsn {
-			// Everything this writer has even buffered is below gsn;
-			// advance its horizon without touching the disk.
-			if w.localGSN < gsn {
-				w.localGSN = gsn
-			}
-			w.bufferGSN = gsn
-		}
-		err := w.flushLocked()
-		w.mu.Unlock()
-		if err != nil {
+		if err := w.flushPast(gsn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// flushPast flushes the writer and advances its horizon to at least gsn
+// when it has nothing buffered at or above it. The unlock is deferred so an
+// injected crash mid-flush cannot strand the mutex and deadlock peers.
+func (w *Writer) flushPast(gsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bufferGSN < gsn {
+		// Everything this writer has even buffered is below gsn;
+		// advance its horizon without touching the disk.
+		w.raiseLocalGSN(gsn)
+		w.bufferGSN = gsn
+	}
+	return w.flushLocked()
 }
 
 // FlushAll flushes every writer (used at shutdown and checkpoints).
@@ -395,6 +460,14 @@ func DecodeRecordAt(b []byte, off int) (Record, int, bool) {
 
 // Recover reads every writer file in dir, drops torn tails, and returns the
 // records ordered by (GSN, writer, LSN) for redo.
+//
+// A file whose tail fails to parse (a crash tore the final write, or a
+// partial sector flipped bytes in it) is physically truncated back to its
+// last checksum-valid record. Without the truncation the torn bytes would
+// stay on disk and the reopened engine's O_APPEND writers would extend
+// them, leaving every post-recovery record unreachable behind garbage.
+// Callers recovering someone else's live log (none today — the standby's
+// Promote only reads the log of a dead primary) must copy it first.
 func Recover(dir string) ([]Record, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
@@ -417,6 +490,11 @@ func Recover(dir string) ([]Record, error) {
 			all = append(all, r)
 			off += n
 		}
+		if off < len(data) {
+			if err := os.Truncate(p, int64(off)); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", p, err)
+			}
+		}
 	}
 	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].GSN != all[j].GSN {
@@ -438,11 +516,9 @@ func (m *Manager) Dir() string { return m.dir }
 func (m *Manager) MaxGSN() uint64 {
 	var max uint64
 	for _, w := range m.writers {
-		w.mu.Lock()
-		if w.localGSN > max {
-			max = w.localGSN
+		if g := w.localGSN.Load(); g > max {
+			max = g
 		}
-		w.mu.Unlock()
 	}
 	return max
 }
