@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: 1-9, 'ablations', or 'all'")
+		exp     = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', or 'all'")
 		seconds = flag.Float64("seconds", 3, "measured duration per run")
 		workers = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
 		slots   = flag.Int("slots", 32, "task slots per worker (paper: 32)")
 		walSync = flag.Bool("walsync", true, "fsync WAL on commit (the paper's evaluated setting)")
+		maxOver = flag.Float64("max-overhead", 0, "with -exp overhead: exit non-zero if instrumentation regression exceeds this percent (0 = report only)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,14 @@ func main() {
 	case "ablations":
 		if _, err = bench.AblationRFA(cfg); err == nil {
 			_, err = bench.AblationHybridLock(cfg)
+		}
+	case "overhead":
+		var res bench.OverheadResult
+		if res, err = bench.ExpOverhead(cfg); err == nil &&
+			*maxOver > 0 && res.RegressionPct > *maxOver {
+			fmt.Fprintf(os.Stderr, "instrumentation overhead %.1f%% exceeds budget %.1f%%\n",
+				res.RegressionPct, *maxOver)
+			os.Exit(1)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -119,9 +119,15 @@ func run(db *phoebedb.DB, line string) error {
 	case "sql":
 		return runSQL(db, strings.TrimSpace(line[3:]))
 	case "stats":
+		// Summary line first, then the full registry dump.
 		st := db.Stats()
-		fmt.Printf("txns=%d resident=%dB dataR=%dB dataW=%dB wal=%dB\n",
+		fmt.Printf("txns=%d resident=%dB dataR=%dB dataW=%dB wal=%dB\n\n",
 			st.TasksExecuted, st.BufferResidentBytes, st.DataReadBytes, st.DataWriteBytes, st.WALWriteBytes)
+		db.Metrics().WriteHuman(os.Stdout)
+		if traces := db.SlowLog().Recent(); len(traces) > 0 {
+			fmt.Println("\nrecent slow transactions:")
+			db.SlowLog().Dump(os.Stdout)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", fields[0])

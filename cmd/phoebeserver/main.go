@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -29,19 +30,22 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("dir", "phoebe-data", "database directory")
-		listen  = flag.String("listen", "127.0.0.1:5440", "listen address")
-		workers = flag.Int("workers", 0, "worker threads (default GOMAXPROCS)")
-		slots   = flag.Int("slots", 32, "task slots per worker")
-		walSync = flag.Bool("walsync", true, "fsync WAL on commit")
+		dir         = flag.String("dir", "phoebe-data", "database directory")
+		listen      = flag.String("listen", "127.0.0.1:5440", "listen address")
+		workers     = flag.Int("workers", 0, "worker threads (default GOMAXPROCS)")
+		slots       = flag.Int("slots", 32, "task slots per worker")
+		walSync     = flag.Bool("walsync", true, "fsync WAL on commit")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9187)")
+		slowTxn     = flag.Duration("slow-threshold", 0, "log transactions slower than this with a component breakdown (0 disables)")
 	)
 	flag.Parse()
 
 	db, err := phoebedb.Open(phoebedb.Options{
-		Dir:            *dir,
-		Workers:        *workers,
-		SlotsPerWorker: *slots,
-		WALSync:        *walSync,
+		Dir:              *dir,
+		Workers:          *workers,
+		SlotsPerWorker:   *slots,
+		WALSync:          *walSync,
+		SlowTxnThreshold: *slowTxn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -71,6 +75,18 @@ func main() {
 	}
 	srv := server.New(db)
 	srv.JournalDDL = func(stmt string) error { return appendSchema(journal, stmt) }
+
+	if *slowTxn > 0 {
+		db.SlowLog().SetOutput(log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds))
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := srv.ServeMetrics(*metricsAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics (slow log at /slowlog)\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

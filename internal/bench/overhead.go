@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/tpcc"
+)
+
+// OverheadResult compares TPC-C throughput with full instrumentation
+// (per-transaction histograms, trace ring, slow-log checks, plus a live
+// scraper) against StatsLite (scalar counters only).
+type OverheadResult struct {
+	// FullTpm / LiteTpm are best-of-two throughputs per mode.
+	FullTpm, LiteTpm float64
+	// RegressionPct is how much slower full instrumentation ran, in
+	// percent of the lite throughput (negative when full was faster,
+	// i.e. within noise).
+	RegressionPct float64
+}
+
+// ExpOverhead measures the cost of always-on introspection: it runs the
+// same short TPC-C workload with stats fully on (including a background
+// scraper hammering the registry, the worst case) and with StatsLite,
+// interleaved twice to absorb machine noise, and keeps the best run of
+// each mode.
+func ExpOverhead(cfg Config) (OverheadResult, error) {
+	cfg.Defaults()
+	run := func(lite bool) (float64, error) {
+		setup, err := NewPhoebe(tpcc.Medium(2), 2, cfg.SlotsPerWorker, cfg.WALSync,
+			func(o *phoebedb.Options) {
+				o.StatsLite = lite
+				if !lite {
+					// Threshold high enough that nothing qualifies: we pay
+					// the per-transaction check, not the log volume.
+					o.SlowTxnThreshold = time.Minute
+				}
+			})
+		if err != nil {
+			return 0, err
+		}
+		defer setup.Close()
+
+		dcfg := tpcc.DriverConfig{
+			Scale:     setup.Scale,
+			Terminals: 2 * cfg.SlotsPerWorker,
+			Duration:  cfg.dur(),
+			Affinity:  true,
+			Seed:      42,
+		}
+		stop := make(chan struct{})
+		if !lite {
+			var hists [tpcc.NumTxnTypes]metrics.Histogram
+			for i := 0; i < tpcc.NumTxnTypes; i++ {
+				setup.DB.RegisterTxnTypeHist(tpcc.TxnNames[i], &hists[i])
+			}
+			dcfg.LatencyHists = &hists
+			go func() { // a scraper polling mid-run, like Prometheus would
+				tick := time.NewTicker(100 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						setup.DB.Metrics().WritePrometheus(io.Discard)
+					}
+				}
+			}()
+		}
+		res := tpcc.Run(setup.Backend, dcfg)
+		close(stop)
+		return res.Tpm(), nil
+	}
+
+	var out OverheadResult
+	for round := 0; round < 2; round++ {
+		lite, err := run(true)
+		if err != nil {
+			return out, err
+		}
+		full, err := run(false)
+		if err != nil {
+			return out, err
+		}
+		if lite > out.LiteTpm {
+			out.LiteTpm = lite
+		}
+		if full > out.FullTpm {
+			out.FullTpm = full
+		}
+	}
+	if out.LiteTpm > 0 {
+		out.RegressionPct = (out.LiteTpm - out.FullTpm) / out.LiteTpm * 100
+	}
+	cfg.logf("overhead: lite tpm=%9.0f full tpm=%9.0f regression=%+.1f%%",
+		out.LiteTpm, out.FullTpm, out.RegressionPct)
+	return out, nil
+}

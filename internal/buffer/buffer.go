@@ -18,6 +18,7 @@ package buffer
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"phoebedb/internal/fault"
 )
@@ -46,11 +47,43 @@ type partition struct {
 	cooling  []Frame
 	resident int64
 	budget   int64
+
+	// Sharded access stats: each partition is touched mostly by its owning
+	// worker, so these atomics stay core-local. Misses are page loads from
+	// disk; hits = accesses − misses.
+	accesses  atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // Pool is a partitioned buffer pool.
 type Pool struct {
 	parts []*partition
+}
+
+// CountAccess records one page access in partition part (hot or cold).
+func (p *Pool) CountAccess(part int) { p.part(part).accesses.Add(1) }
+
+// CountMiss records one page load from disk in partition part.
+func (p *Pool) CountMiss(part int) { p.part(part).misses.Add(1) }
+
+// PoolStats is a point-in-time view of the pool's access counters.
+type PoolStats struct {
+	Accesses, Misses, Evictions int64
+}
+
+// Hits returns the accesses that did not need a disk load.
+func (s PoolStats) Hits() int64 { return s.Accesses - s.Misses }
+
+// Stats sums the per-partition counters.
+func (p *Pool) Stats() PoolStats {
+	var s PoolStats
+	for _, pt := range p.parts {
+		s.Accesses += pt.accesses.Load()
+		s.Misses += pt.misses.Load()
+		s.Evictions += pt.evictions.Load()
+	}
+	return s
 }
 
 // New creates a pool with the given number of partitions, each with an
@@ -129,6 +162,7 @@ func (p *Pool) Maintain(part int) int {
 		}
 		if freed, ok := f.EvictIfCooling(); ok {
 			pt.resident -= int64(freed)
+			pt.evictions.Add(1)
 			evicted++
 		}
 	}
@@ -166,6 +200,7 @@ func (p *Pool) Maintain(part int) int {
 			}
 			if freed, ok := f.EvictIfCooling(); ok {
 				pt.resident -= int64(freed)
+				pt.evictions.Add(1)
 				evicted++
 			}
 		}

@@ -180,12 +180,16 @@ func (e *Engine) Checkpoint() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	// Checkpoint images go to disk outside the page/block files, but they
+	// are data writes all the same — Exp 3/4's write volumes must see them.
+	e.IO.DataWrite.Add(int64(len(w.buf)))
 	if err := os.Rename(tmp, e.checkpointPath()); err != nil {
 		return err
 	}
 	if err := fault.Eval(fault.CheckpointPostSave); err != nil {
 		return err
 	}
+	e.stats.Checkpoints.Add(1)
 	if err := e.bf.Sync(); err != nil {
 		return err
 	}

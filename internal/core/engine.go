@@ -77,6 +77,14 @@ type Config struct {
 	PartitionOf func(slot int) int
 	// IO receives I/O byte accounting; one is created if nil.
 	IO *metrics.IOCounters
+	// SlowTxnThreshold arms the slow-transaction log: any transaction whose
+	// total latency exceeds it is captured with its component breakdown.
+	// Zero disables the log.
+	SlowTxnThreshold time.Duration
+	// StatsLite turns off per-transaction histogram and trace-ring updates
+	// (the scalar counters stay on — they are single atomic adds). Used by
+	// the instrumentation-overhead benchmark; production keeps it off.
+	StatsLite bool
 }
 
 func (c *Config) defaults() {
@@ -147,11 +155,12 @@ func (t *Tbl) Index(name string) *Index {
 
 // Engine is the database kernel.
 type Engine struct {
-	cfg  Config
-	Mgr  *txn.Manager
-	WAL  *wal.Manager
-	Pool *buffer.Pool
-	IO   *metrics.IOCounters
+	cfg   Config
+	Mgr   *txn.Manager
+	WAL   *wal.Manager
+	Pool  *buffer.Pool
+	IO    *metrics.IOCounters
+	stats EngineStats
 
 	pf *storage.PageFile
 	bf *storage.BlockFile
@@ -197,6 +206,7 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.Mgr = txn.NewManager(cfg.Slots)
 	e.Pool = buffer.New(cfg.Partitions, cfg.BufferBytes)
+	e.stats.SlowLog.SetThreshold(cfg.SlowTxnThreshold)
 	return e, nil
 }
 
@@ -237,6 +247,7 @@ func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {
 		Frozen:  frozen.NewStore(e.bf, schema),
 		indexes: make(map[string]*Index),
 	}
+	t.Lock.Stats = &e.stats.TableLocks
 	e.tables[name] = t
 	e.tablesByID[t.ID] = t
 	return t, nil
@@ -357,6 +368,8 @@ func (e *Engine) CollectGarbage() int {
 	for _, t := range e.Tables() {
 		t.Store.DropCollectibleTwins(maxFrozen)
 	}
+	e.stats.GCRuns.Add(1)
+	e.stats.GCReclaimed.Add(int64(n))
 	return n
 }
 

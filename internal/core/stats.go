@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"phoebedb/internal/lock"
+	"phoebedb/internal/metrics"
+)
+
+// EngineStats are the engine-wide always-on counters. Everything here is
+// atomic and incremented at the source (commit path, lock manager, RFA
+// check, GC rounds), so scraping is race-free while transactions run. The
+// cost per increment is one uncontended atomic add — the same bookkeeping
+// partitioning argument as §7.1, since each counter is touched either by
+// one slot at a time or rarely.
+type EngineStats struct {
+	// Commits and Aborts count finished transactions by outcome.
+	Commits atomic.Int64
+	Aborts  atomic.Int64
+
+	// TupleLockWaits counts low-urgency waits on tuple locks or conflicting
+	// transaction IDs (§7.2); TableLockWaits/TableLockTimeouts come from
+	// the decentralized table-lock blocks.
+	TupleLockWaits atomic.Int64
+	TableLocks     lock.Stats
+
+	// RemoteFlushWaits counts commits that had to wait for a foreign
+	// writer's durable horizon; RFAAvoided counts cross-slot page touches
+	// where the stamp check proved the foreign change already durable —
+	// the remote flushes that RFA (§8) eliminated.
+	RemoteFlushWaits atomic.Int64
+	RFAAvoided       atomic.Int64
+
+	// GCRuns and GCReclaimed count garbage-collection rounds and the UNDO
+	// records they reclaimed.
+	GCRuns      atomic.Int64
+	GCReclaimed atomic.Int64
+
+	// Checkpoints counts completed checkpoints.
+	Checkpoints atomic.Int64
+
+	// SlowLog captures transactions over the configured threshold with
+	// their full component breakdown.
+	SlowLog metrics.SlowLog
+}
+
+// Stats returns the engine's live counter block.
+func (e *Engine) Stats() *EngineStats { return &e.stats }

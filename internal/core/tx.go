@@ -31,6 +31,12 @@ type Tx struct {
 	tracked  time.Duration
 	finished bool
 
+	// comp and waited are the transaction-local copy of the component
+	// accounting, kept for the per-transaction trace (slow-transaction log
+	// and trace ring) without re-reading the shared slot counters.
+	comp   [metrics.NumComponents]time.Duration
+	waited time.Duration
+
 	tableLocks map[*Tbl]lock.Mode
 	// idxOps records index mutations for rollback, keyed by the UNDO
 	// record whose rollback must revert them.
@@ -99,6 +105,15 @@ func (tx *Tx) track(c metrics.Component, start time.Time) {
 	d := time.Since(start)
 	tx.mets.Add(c, d)
 	tx.tracked += d
+	tx.comp[c] += d
+}
+
+// addWait charges blocked time to the slot metrics and the transaction's
+// accounted total (so it is excluded from the Compute residual).
+func (tx *Tx) addWait(d time.Duration) {
+	tx.mets.AddWait(d)
+	tx.tracked += d
+	tx.waited += d
 }
 
 // stmt begins a statement: poisoned-transaction check plus snapshot
@@ -121,9 +136,7 @@ func (tx *Tx) lockTable(t *Tbl, m lock.Mode) error {
 	acquired := t.Lock.TryLock(m)
 	if !acquired {
 		err := t.Lock.Lock(m, tx.e.cfg.LockTimeout)
-		d := time.Since(start)
-		tx.mets.AddWait(d)
-		tx.tracked += d
+		tx.addWait(time.Since(start))
 		if err != nil {
 			return fmt.Errorf("table %q: %w", t.Name, err)
 		}
@@ -163,6 +176,10 @@ func (tx *Tx) logChange(h *table.Handle, typ wal.RecordType, tableID uint32, rid
 			if st.GSN > tx.inner.MaxObservedGSN {
 				tx.inner.MaxObservedGSN = st.GSN
 			}
+		} else {
+			// The foreign writer's change is already durable: RFA (§8)
+			// just avoided a remote flush dependency.
+			tx.e.stats.RFAAvoided.Add(1)
 		}
 	}
 	gsn := w.NextGSN(st.GSN)
@@ -545,11 +562,10 @@ func (tx *Tx) Modify(tableName string, rid rel.RowID, fn func(cur rel.Row) (map[
 // ID locks or tuple-lock waiter channels. The blocked time is accounted as
 // stall, not as locking work (a waiting transaction executes nothing).
 func (tx *Tx) waitOn(w errWait, deadline time.Time) bool {
+	tx.e.stats.TupleLockWaits.Add(1)
 	start := time.Now()
 	defer func() {
-		d := time.Since(start)
-		tx.mets.AddWait(d)
-		tx.tracked += d
+		tx.addWait(time.Since(start))
 	}()
 	remaining := time.Until(deadline)
 	if remaining <= 0 {
@@ -831,19 +847,20 @@ func (tx *Tx) Commit() error {
 		if err == nil && tx.e.cfg.DisableRFA {
 			// Ablation: behave like a serialized log — wait until every
 			// writer's durable horizon covers this commit.
+			tx.e.stats.RemoteFlushWaits.Add(1)
 			err = tx.e.WAL.WaitRemoteFlush(cr.GSN)
 		} else if err == nil && tx.inner.NeedsRemoteFlush {
 			// RFA slow path: a foreign slot's unflushed change to one of
 			// our pages must be durable before we report commit.
+			tx.e.stats.RemoteFlushWaits.Add(1)
 			err = tx.e.WAL.WaitRemoteFlush(tx.inner.MaxObservedGSN)
 		}
-		d := time.Since(flushStart)
-		tx.mets.AddWait(d)
-		tx.tracked += d
+		tx.addWait(time.Since(flushStart))
 		if err != nil {
 			tx.rollbackChanges()
 			tx.inner.FinalizeAbort()
 			tx.releaseTableLocks()
+			tx.finishMetrics(false)
 			return fmt.Errorf("core: commit flush: %w", err)
 		}
 	}
@@ -851,7 +868,7 @@ func (tx *Tx) Commit() error {
 	tx.inner.FinalizeCommit(cts)
 	tx.track(metrics.CompMVCC, mvccStart)
 	tx.releaseTableLocks()
-	tx.finishMetrics()
+	tx.finishMetrics(true)
 	return nil
 }
 
@@ -870,16 +887,41 @@ func (tx *Tx) Rollback() error {
 	}
 	tx.inner.FinalizeAbort()
 	tx.releaseTableLocks()
-	tx.finishMetrics()
+	tx.finishMetrics(false)
 	return nil
 }
 
-func (tx *Tx) finishMetrics() {
+// finishMetrics closes out the transaction's accounting: the untracked
+// residual is charged to Compute, the outcome counter bumps, and — unless
+// the engine runs in StatsLite mode — the latency histogram, the slot's
+// trace ring, and the slow-transaction log observe the full breakdown.
+func (tx *Tx) finishMetrics(committed bool) {
 	total := time.Since(tx.started)
 	if rest := total - tx.tracked; rest > 0 {
 		tx.mets.Add(metrics.CompCompute, rest)
+		tx.comp[metrics.CompCompute] += rest
 	}
 	tx.mets.CountTxn()
+	if committed {
+		tx.e.stats.Commits.Add(1)
+	} else {
+		tx.e.stats.Aborts.Add(1)
+	}
+	if tx.e.cfg.StatsLite {
+		return
+	}
+	tx.mets.Hist.Observe(total)
+	tr := metrics.TxnTrace{
+		XID:       tx.XID(),
+		Slot:      tx.slot,
+		Start:     tx.started,
+		Total:     total,
+		Wait:      tx.waited,
+		Committed: committed,
+		Comp:      tx.comp,
+	}
+	tx.mets.Ring.Record(tr)
+	tx.e.stats.SlowLog.Offer(tr)
 }
 
 // rollbackChanges undoes the transaction's physical effects in reverse

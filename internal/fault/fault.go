@@ -245,6 +245,20 @@ func Reset() {
 	}
 }
 
+// HitCounts returns, for each armed site, how many times its guarded seam
+// was reached (hits count evaluations, whether or not the action fired —
+// an `@N` point shows its approach to the trigger). Crash-test runs use
+// this to assert a failpoint actually fired.
+func HitCounts() map[string]int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]int64, len(points))
+	for s, p := range points {
+		out[s] = p.hits.Load()
+	}
+	return out
+}
+
 // Armed returns the currently armed site names, sorted.
 func Armed() []string {
 	mu.Lock()

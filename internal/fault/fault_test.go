@@ -173,3 +173,30 @@ func BenchmarkEvalDisabled(b *testing.B) {
 		}
 	}
 }
+
+func TestHitCounts(t *testing.T) {
+	defer Reset()
+	Reset()
+	if n := len(HitCounts()); n != 0 {
+		t.Fatalf("clean HitCounts has %d entries", n)
+	}
+	if err := Enable(WALPreSync, "sleep(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable(StorageWritePage, "error@100"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		Eval(WALPreSync)
+	}
+	Eval(StorageWritePage)
+	hits := HitCounts()
+	if hits[WALPreSync] != 3 {
+		t.Fatalf("HitCounts[%s] = %d, want 3", WALPreSync, hits[WALPreSync])
+	}
+	// Sites count evaluations, not firings: the delayed error has not
+	// triggered yet but the site was still evaluated once.
+	if hits[StorageWritePage] != 1 {
+		t.Fatalf("HitCounts[%s] = %d, want 1", StorageWritePage, hits[StorageWritePage])
+	}
+}

@@ -19,6 +19,7 @@ package lock
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phoebedb/internal/undo"
@@ -125,12 +126,24 @@ var compatible = [numModes][numModes]bool{
 	ModeX:  {ModeIS: false, ModeIX: false, ModeS: false, ModeX: false},
 }
 
+// Stats aggregates wait/timeout counts across lock blocks. Locks stay
+// decentralized (§7.2) — the shared counter block is touched only on the
+// slow path, when a waiter actually blocks.
+type Stats struct {
+	Waits    atomic.Int64
+	Timeouts atomic.Int64
+}
+
 // TableLock is the per-table lock block. The zero value is an unlocked
 // table lock.
 type TableLock struct {
 	mu      sync.Mutex
 	granted [numModes]int
 	waitCh  chan struct{} // broadcast: replaced on every release
+
+	// Stats, when non-nil, receives wait and timeout counts; typically one
+	// Stats block is shared by every table lock of an engine.
+	Stats *Stats
 }
 
 func (l *TableLock) compatibleWith(m Mode) bool {
@@ -159,6 +172,7 @@ func (l *TableLock) Lock(m Mode, timeout time.Duration) error {
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
+	waited := false
 	for {
 		l.mu.Lock()
 		if l.compatibleWith(m) {
@@ -171,12 +185,21 @@ func (l *TableLock) Lock(m Mode, timeout time.Duration) error {
 		}
 		ch := l.waitCh
 		l.mu.Unlock()
+		if !waited {
+			waited = true
+			if l.Stats != nil {
+				l.Stats.Waits.Add(1)
+			}
+		}
 		if timeout <= 0 {
 			<-ch
 			continue
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			if l.Stats != nil {
+				l.Stats.Timeouts.Add(1)
+			}
 			return ErrLockTimeout
 		}
 		t := time.NewTimer(remaining)
@@ -184,6 +207,9 @@ func (l *TableLock) Lock(m Mode, timeout time.Duration) error {
 		case <-ch:
 			t.Stop()
 		case <-t.C:
+			if l.Stats != nil {
+				l.Stats.Timeouts.Add(1)
+			}
 			return ErrLockTimeout
 		}
 	}

@@ -1,13 +1,15 @@
 // Package metrics provides the measurement substrate for the evaluation
-// harness: per-component time accounting (the Go stand-in for the paper's
-// per-transaction instruction counts, Exp 7), byte-level I/O counters
-// (Exp 3 and 4), and bucketed throughput time series (Exp 1 and 4).
+// harness and the always-on observability layer: per-component time
+// accounting (the Go stand-in for the paper's per-transaction instruction
+// counts, Exp 7), byte-level I/O counters (Exp 3 and 4), bucketed throughput
+// time series (Exp 1 and 4), log-bucketed latency histograms, per-slot
+// transaction trace rings, and a registry that exposes all of it live.
 //
-// Component accounting is slot-local and non-atomic on the hot path: each
-// task slot owns a SlotMetrics whose counters only that slot mutates, and
-// the harness aggregates across slots after the run — mirroring PhoebeDB's
-// principle of partitioning bookkeeping by worker to avoid shared-cache
-// contention (§7.1).
+// Component accounting is slot-local: each task slot owns a SlotMetrics that
+// only the owning slot mutates, mirroring PhoebeDB's principle of
+// partitioning bookkeeping by worker to avoid shared-cache contention
+// (§7.1). Counters are atomic so scrapers can read them mid-run, but since
+// writes are single-owner the atomics stay core-local and uncontended.
 package metrics
 
 import (
@@ -54,37 +56,46 @@ func (c Component) String() string {
 	return "unknown"
 }
 
-// SlotMetrics accumulates per-component nanoseconds and transaction counts
-// for one task slot. Only the owning slot may call its methods; padding
-// keeps adjacent slots off the same cache line.
+// SlotMetrics accumulates per-component nanoseconds, transaction counts, a
+// transaction-latency histogram, and a recent-transaction trace ring for one
+// task slot. Only the owning slot may call the mutating methods; scrapers
+// may read concurrently (all counters are atomic). Padding keeps adjacent
+// slots' hot fields off the same cache line.
 type SlotMetrics struct {
-	nanos [NumComponents]int64
-	wait  int64
-	txns  int64
+	nanos [NumComponents]atomic.Int64
+	wait  atomic.Int64
+	txns  atomic.Int64
 	_     [64]byte // padding against false sharing between slots
+
+	// Hist is the slot-local transaction latency distribution.
+	Hist Histogram
+	// Ring holds the slot's most recent transaction traces.
+	Ring TraceRing
 }
 
 // Add charges d to the component.
 func (s *SlotMetrics) Add(c Component, d time.Duration) {
-	s.nanos[c] += int64(d)
+	s.nanos[c].Add(int64(d))
 }
 
 // Track runs fn and charges its wall time to the component.
 func (s *SlotMetrics) Track(c Component, fn func()) {
 	start := time.Now()
 	fn()
-	s.nanos[c] += int64(time.Since(start))
+	s.nanos[c].Add(int64(time.Since(start)))
 }
 
 // AddWait charges blocked time (lock waits, flush waits, I/O stalls).
 // Waits are reported separately from the component breakdown: the paper's
 // Figure 12 counts instructions, and a blocked transaction executes none.
-func (s *SlotMetrics) AddWait(d time.Duration) { s.wait += int64(d) }
+func (s *SlotMetrics) AddWait(d time.Duration) { s.wait.Add(int64(d)) }
 
 // CountTxn records one completed transaction.
-func (s *SlotMetrics) CountTxn() { s.txns++ }
+func (s *SlotMetrics) CountTxn() { s.txns.Add(1) }
 
-// Recorder owns the slot metrics for a run and aggregates them.
+// Recorder owns the slot metrics for a run and aggregates them. Aggregation
+// is safe at any time, not just post-quiesce: a scrape concurrent with a
+// running transaction sees each counter at some recent value, never torn.
 type Recorder struct {
 	mu    sync.Mutex
 	slots []*SlotMetrics
@@ -136,18 +147,45 @@ func (b Breakdown) PerTxnNanos(c Component) float64 {
 	return float64(b.Nanos[c]) / float64(b.Txns)
 }
 
-// Aggregate sums all slot accumulators. Safe to call after the run's slots
-// have quiesced.
+// Aggregate sums all slot accumulators. Safe to call at any time.
 func (r *Recorder) Aggregate() Breakdown {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out Breakdown
 	for _, s := range r.slots {
 		for c := 0; c < NumComponents; c++ {
-			out.Nanos[c] += s.nanos[c]
+			out.Nanos[c] += s.nanos[c].Load()
 		}
-		out.WaitNanos += s.wait
-		out.Txns += s.txns
+		out.WaitNanos += s.wait.Load()
+		out.Txns += s.txns.Load()
+	}
+	return out
+}
+
+// MergedHist merges every slot's transaction-latency histogram into one
+// engine-wide distribution.
+func (r *Recorder) MergedHist() HistSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out HistSnapshot
+	for _, s := range r.slots {
+		out.Merge(s.Hist.Snapshot())
+	}
+	return out
+}
+
+// RecentTraces returns up to max recent transaction traces drawn from every
+// slot's ring, newest slots-interleaved order (not globally time-sorted).
+func (r *Recorder) RecentTraces(max int) []TxnTrace {
+	r.mu.Lock()
+	slots := append([]*SlotMetrics(nil), r.slots...)
+	r.mu.Unlock()
+	var out []TxnTrace
+	for _, s := range slots {
+		out = append(out, s.Ring.Recent()...)
+		if max > 0 && len(out) >= max {
+			return out[:max]
+		}
 	}
 	return out
 }
@@ -177,13 +215,26 @@ func (c *IOCounters) Snapshot() SnapshotIO {
 
 // --- Throughput time series -------------------------------------------------
 
+// MaxSeriesBuckets caps a Series' length: a stalled engine (or a forgotten
+// long-running server) stops growing the slice and counts overflowed
+// observations instead of allocating without bound. At the default 1s bucket
+// width this is over a day of data.
+const MaxSeriesBuckets = 1 << 17
+
 // Series collects a value per fixed-width time bucket; used for the
 // tpmC-over-time and MB/s-over-time figures.
+//
+// Observe is designed for many concurrent slots: the common case (bucket
+// already allocated) takes a read lock and an atomic add, so observers don't
+// serialize behind each other. The write lock is only taken to grow the
+// slice, which geometric doubling makes amortised O(1) per bucket.
 type Series struct {
-	start   time.Time
-	bucket  time.Duration
-	mu      sync.Mutex
-	buckets []int64
+	start  time.Time
+	bucket time.Duration
+
+	mu       sync.RWMutex
+	buckets  []atomic.Int64 // grown under mu; cells are atomics so readers don't block writers
+	overflow atomic.Int64
 }
 
 // NewSeries creates a series with the given bucket width, starting now.
@@ -191,23 +242,54 @@ func NewSeries(bucket time.Duration) *Series {
 	return &Series{start: time.Now(), bucket: bucket}
 }
 
-// Observe adds v to the bucket covering time now.
+// Observe adds v to the bucket covering time now. Observations past
+// MaxSeriesBuckets are dropped and counted in Overflow.
 func (s *Series) Observe(v int64) {
 	idx := int(time.Since(s.start) / s.bucket)
-	s.mu.Lock()
-	for len(s.buckets) <= idx {
-		s.buckets = append(s.buckets, 0)
+	if idx >= MaxSeriesBuckets {
+		s.overflow.Add(v)
+		return
 	}
-	s.buckets[idx] += v
+	s.mu.RLock()
+	if idx < len(s.buckets) {
+		s.buckets[idx].Add(v)
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	if idx >= len(s.buckets) {
+		newLen := 2 * len(s.buckets)
+		if newLen <= idx {
+			newLen = idx + 1
+		}
+		if newLen > MaxSeriesBuckets {
+			newLen = MaxSeriesBuckets
+		}
+		grown := make([]atomic.Int64, newLen)
+		for i := range s.buckets {
+			grown[i].Store(s.buckets[i].Load())
+		}
+		s.buckets = grown
+	}
+	s.buckets[idx].Add(v)
 	s.mu.Unlock()
 }
 
 // Buckets returns a copy of the per-bucket totals.
 func (s *Series) Buckets() []int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]int64(nil), s.buckets...)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, len(s.buckets))
+	for i := range s.buckets {
+		out[i] = s.buckets[i].Load()
+	}
+	return out
 }
+
+// Overflow reports the total value observed past MaxSeriesBuckets.
+func (s *Series) Overflow() int64 { return s.overflow.Load() }
 
 // BucketWidth returns the series' bucket duration.
 func (s *Series) BucketWidth() time.Duration { return s.bucket }

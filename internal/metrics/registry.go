@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The registry is the glue between the kernel's decentralized counters and
+// the presentation surfaces (Prometheus endpoint, phoebe_stat_* SQL tables,
+// phoebectl stats). Subsystems register read functions — the registry never
+// owns hot-path state, so registration cost is paid once and scrapes read
+// whatever the sources publish atomically.
+
+// Kind classifies a registered metric.
+type Kind int
+
+const (
+	// KindCounter is a monotonically non-decreasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level (may go down).
+	KindGauge
+	// KindHistogram is a latency distribution source.
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "metric?"
+	}
+}
+
+// LabeledValue is one sample of a vector metric.
+type LabeledValue struct {
+	// Label is the label value (the registration fixes the label name).
+	Label string
+	Value int64
+}
+
+type regItem struct {
+	name  string
+	help  string
+	kind  Kind
+	label string // label name for vectors; "" for scalars
+	// exactly one of the following is set
+	value func() int64
+	vec   func() []LabeledValue
+	hist  func() HistSnapshot
+}
+
+// Registry is a named collection of metric read functions.
+type Registry struct {
+	mu    sync.RWMutex
+	items []*regItem
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(it *regItem) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Histograms may share a name across label values; scalars must be
+	// unique — last registration wins so re-wiring a source is idempotent.
+	if it.hist == nil && r.names[it.name] {
+		for i, old := range r.items {
+			if old.name == it.name && old.hist == nil {
+				r.items[i] = it
+				return
+			}
+		}
+	}
+	r.names[it.name] = true
+	r.items = append(r.items, it)
+}
+
+// Counter registers a monotonic counter source.
+func (r *Registry) Counter(name, help string, f func() int64) {
+	r.add(&regItem{name: name, help: help, kind: KindCounter, value: f})
+}
+
+// Gauge registers an instantaneous-level source.
+func (r *Registry) Gauge(name, help string, f func() int64) {
+	r.add(&regItem{name: name, help: help, kind: KindGauge, value: f})
+}
+
+// CounterVec registers a counter vector: f returns one sample per label
+// value (the set may change between scrapes, e.g. armed failpoints).
+func (r *Registry) CounterVec(name, help, label string, f func() []LabeledValue) {
+	r.add(&regItem{name: name, help: help, kind: KindCounter, label: label, vec: f})
+}
+
+// Histogram registers a latency distribution under name; labelValue
+// distinguishes multiple distributions sharing the name (e.g. one per
+// TPC-C transaction type) and may be empty. label is the label name.
+func (r *Registry) Histogram(name, help, label, labelValue string, f func() HistSnapshot) {
+	r.add(&regItem{name: name, help: help, kind: KindHistogram, label: labelStr(label, labelValue), hist: f})
+}
+
+func labelStr(label, value string) string {
+	if label == "" || value == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s=%q", label, value)
+}
+
+// Sample is one scraped scalar value.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value int64
+}
+
+// HistSample is one scraped histogram.
+type HistSample struct {
+	Name string
+	// Label is the rendered label pair (`type="NewOrder"`) or "".
+	Label string
+	Snap  HistSnapshot
+}
+
+// Samples evaluates every scalar source (counters and gauges, vectors
+// flattened as name{label}) sorted by name.
+func (r *Registry) Samples() []Sample {
+	r.mu.RLock()
+	items := append([]*regItem(nil), r.items...)
+	r.mu.RUnlock()
+	var out []Sample
+	for _, it := range items {
+		switch {
+		case it.value != nil:
+			out = append(out, Sample{Name: it.name, Kind: it.kind, Value: it.value()})
+		case it.vec != nil:
+			for _, lv := range it.vec() {
+				out = append(out, Sample{
+					Name: fmt.Sprintf("%s{%s}", it.name, labelStr(it.label, lv.Label)),
+					Kind: it.kind, Value: lv.Value,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms evaluates every histogram source, sorted by (name, label).
+func (r *Registry) Histograms() []HistSample {
+	r.mu.RLock()
+	items := append([]*regItem(nil), r.items...)
+	r.mu.RUnlock()
+	var out []HistSample
+	for _, it := range items {
+		if it.hist == nil {
+			continue
+		}
+		out = append(out, HistSample{Name: it.name, Label: it.label, Snap: it.hist()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters/gauges as-is, histograms as cumulative le-buckets in
+// seconds with _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	items := append([]*regItem(nil), r.items...)
+	r.mu.RUnlock()
+
+	helped := map[string]bool{}
+	emitHeader := func(name, help string, kind Kind) {
+		if helped[name] {
+			return
+		}
+		helped[name] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	}
+	for _, it := range items {
+		switch {
+		case it.value != nil:
+			emitHeader(it.name, it.help, it.kind)
+			fmt.Fprintf(w, "%s %d\n", it.name, it.value())
+		case it.vec != nil:
+			emitHeader(it.name, it.help, it.kind)
+			for _, lv := range it.vec() {
+				fmt.Fprintf(w, "%s{%s} %d\n", it.name, labelStr(it.label, lv.Label), lv.Value)
+			}
+		case it.hist != nil:
+			emitHeader(it.name, it.help, KindHistogram)
+			s := it.hist()
+			sep := ""
+			if it.label != "" {
+				sep = it.label + ","
+			}
+			var cum int64
+			for b := 0; b < HistBuckets; b++ {
+				cum += s.Counts[b]
+				if s.Counts[b] == 0 && b < HistBuckets-1 {
+					continue // sparse rendering; cumulative counts stay exact
+				}
+				if b == HistBuckets-1 {
+					break
+				}
+				fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n",
+					it.name, sep, float64(HistBucketUpper(b))/1e9, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", it.name, sep, s.Count)
+			if it.label != "" {
+				fmt.Fprintf(w, "%s_sum{%s} %g\n", it.name, it.label, float64(s.Sum)/1e9)
+				fmt.Fprintf(w, "%s_count{%s} %d\n", it.name, it.label, s.Count)
+			} else {
+				fmt.Fprintf(w, "%s_sum %g\n", it.name, float64(s.Sum)/1e9)
+				fmt.Fprintf(w, "%s_count %d\n", it.name, s.Count)
+			}
+		}
+	}
+}
+
+// WriteHuman renders a compact human-readable dump (phoebectl stats).
+func (r *Registry) WriteHuman(w io.Writer) {
+	for _, s := range r.Samples() {
+		fmt.Fprintf(w, "%-44s %12d  (%s)\n", s.Name, s.Value, s.Kind)
+	}
+	for _, h := range r.Histograms() {
+		name := h.Name
+		if h.Label != "" {
+			name = fmt.Sprintf("%s{%s}", h.Name, h.Label)
+		}
+		fmt.Fprintf(w, "%-44s n=%d p50=%v p95=%v p99=%v max=%v mean=%v\n",
+			name, h.Snap.Count,
+			h.Snap.Quantile(0.50), h.Snap.Quantile(0.95), h.Snap.Quantile(0.99),
+			time.Duration(h.Snap.Max), h.Snap.Mean())
+	}
+}

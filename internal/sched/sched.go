@@ -71,14 +71,16 @@ type Slot struct {
 
 	pool          *Pool
 	sinceMaintain int
-	highYields    int64
-	lowYields     int64
+	// Yield counters are atomic so live scrapers can read them while the
+	// slot runs; only the owning slot writes, so the adds stay uncontended.
+	highYields atomic.Int64
+	lowYields  atomic.Int64
 }
 
 // YieldHigh is a high-urgency yield (latch spin, page read): the slot
 // remains runnable.
 func (s *Slot) YieldHigh() {
-	s.highYields++
+	s.highYields.Add(1)
 	runtime.Gosched()
 }
 
@@ -86,7 +88,7 @@ func (s *Slot) YieldHigh() {
 // elapses (0 = no timeout). Returns false on timeout. The worker keeps
 // executing its other slots while this one is parked.
 func (s *Slot) YieldLow(ch <-chan struct{}, timeout time.Duration) bool {
-	s.lowYields++
+	s.lowYields.Add(1)
 	if timeout <= 0 {
 		<-ch
 		return true
@@ -102,10 +104,10 @@ func (s *Slot) YieldLow(ch <-chan struct{}, timeout time.Duration) bool {
 }
 
 // HighYields returns the slot's high-urgency yield count.
-func (s *Slot) HighYields() int64 { return s.highYields }
+func (s *Slot) HighYields() int64 { return s.highYields.Load() }
 
 // LowYields returns the slot's low-urgency yield count.
-func (s *Slot) LowYields() int64 { return s.lowYields }
+func (s *Slot) LowYields() int64 { return s.lowYields.Load() }
 
 // Pool is a running co-routine pool.
 type Pool struct {
@@ -142,6 +144,19 @@ func (p *Pool) Slots() []*Slot { return p.slots }
 
 // Executed returns the number of completed tasks.
 func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// QueueDepth returns the number of tasks waiting in the global queue —
+// the admission-control backlog.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Yields sums the high- and low-urgency yield counts across all slots.
+func (p *Pool) Yields() (high, low int64) {
+	for _, s := range p.slots {
+		high += s.HighYields()
+		low += s.LowYields()
+	}
+	return high, low
+}
 
 // Start launches the worker slots.
 func (p *Pool) Start() {

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"net/http"
+)
+
+// MetricsHandler serves the database's metrics registry in the Prometheus
+// text exposition format, plus a plain-text slow-transaction dump at
+// /slowlog. Mount it with ServeMetrics or any http.Server.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.DB.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.DB.SlowLog().Dump(w)
+	})
+	return mux
+}
+
+// ServeMetrics serves the metrics endpoint on addr (e.g. ":9187") until the
+// server fails. Run it in its own goroutine; it uses the default HTTP
+// server timeouts since scrapes are short.
+func (s *Server) ServeMetrics(addr string) error {
+	return http.ListenAndServe(addr, s.MetricsHandler())
+}

@@ -26,6 +26,28 @@ type IndexMeta struct {
 	Unique bool
 }
 
+// StatCatalog is optionally implemented by catalogs exposing pg_stat-style
+// virtual tables (phoebe_stat_engine, phoebe_stat_activity, ...). StatTable
+// materializes the named virtual table at call time; ok is false when the
+// name is not a stat table, sending the query down the normal path. Stat
+// tables are read-only: INSERT/UPDATE/DELETE against them are rejected.
+type StatCatalog interface {
+	StatTable(name string) (schema *rel.Schema, rows []rel.Row, ok bool)
+}
+
+// statTable resolves name against cat's virtual tables, if it has any.
+func statTable(cat Catalog, name string) (*rel.Schema, []rel.Row, bool) {
+	if sc, ok := cat.(StatCatalog); ok {
+		return sc.StatTable(name)
+	}
+	return nil, nil, false
+}
+
+// errStatReadOnly rejects writes to virtual stat tables.
+func errStatReadOnly(table string) error {
+	return fmt.Errorf("sql: %q is a read-only stat table", table)
+}
+
 // Txn is the DML surface the executor needs (a subset of the kernel's
 // transaction API, also satisfied by the baseline engine).
 type Txn interface {
@@ -191,6 +213,9 @@ func Exec(cat Catalog, tx Txn, stmt Stmt) (Result, error) {
 }
 
 func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
+	if _, _, ok := statTable(cat, s.Table); ok {
+		return Result{}, errStatReadOnly(s.Table)
+	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
 		return Result{}, err
@@ -218,6 +243,9 @@ func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
 }
 
 func execSelect(cat Catalog, tx Txn, s SelectStmt) (Result, error) {
+	if schema, rows, ok := statTable(cat, s.Table); ok {
+		return selectRows(schema, rows, s)
+	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
 		return Result{}, err
@@ -259,7 +287,51 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt) (Result, error) {
 	return res, err
 }
 
+// selectRows runs a SELECT over pre-materialized rows (virtual stat
+// tables): WHERE becomes pure residual filtering, then projection and LIMIT
+// apply as usual.
+func selectRows(schema *rel.Schema, rows []rel.Row, s SelectStmt) (Result, error) {
+	p, err := planWhere(schema, nil, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	var proj []int
+	cols := s.Cols
+	if cols == nil {
+		for i, c := range schema.Cols {
+			proj = append(proj, i)
+			cols = append(cols, c.Name)
+		}
+	} else {
+		for _, c := range cols {
+			pos := schema.ColIndex(c)
+			if pos < 0 {
+				return Result{}, fmt.Errorf("sql: unknown column %q", c)
+			}
+			proj = append(proj, pos)
+		}
+	}
+	res := Result{Columns: cols}
+	for _, row := range rows {
+		if !matches(schema, row, p.residual) {
+			continue
+		}
+		out := make(rel.Row, len(proj))
+		for i, pos := range proj {
+			out[i] = row[pos]
+		}
+		res.Rows = append(res.Rows, out)
+		if s.Limit > 0 && len(res.Rows) >= s.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
 func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
+	if _, _, ok := statTable(cat, s.Table); ok {
+		return Result{}, errStatReadOnly(s.Table)
+	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
 		return Result{}, err
@@ -305,6 +377,9 @@ func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
 }
 
 func execDelete(cat Catalog, tx Txn, s DeleteStmt) (Result, error) {
+	if _, _, ok := statTable(cat, s.Table); ok {
+		return Result{}, errStatReadOnly(s.Table)
+	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
 		return Result{}, err

@@ -130,6 +130,9 @@ func (pg *Page) touch() {
 	if pg.swip.State() == swizzle.Cooling {
 		pg.swip.Rescue()
 	}
+	if pg.table.pool != nil {
+		pg.table.pool.CountAccess(pg.part)
+	}
 }
 
 // Hotness implements buffer.Frame.
@@ -285,6 +288,9 @@ func (pg *Page) ensureResident(yield func()) (*Payload, error) {
 	}
 	if yield != nil {
 		yield() // the paper's async-read high-urgency yield point
+	}
+	if pg.table.pool != nil {
+		pg.table.pool.CountMiss(pg.part)
 	}
 	img, err := pg.table.pf.ReadPage(pg.swip.PageID(), nil)
 	if err != nil {

@@ -110,6 +110,11 @@ type DriverConfig struct {
 	// TpmCSeries, if set, receives one observation per committed
 	// New-Order (for throughput-over-time figures).
 	TpmCSeries *metrics.Series
+	// LatencyHists, if set, receives per-transaction-type latency
+	// observations; register each histogram with
+	// DB.RegisterTxnTypeHist to expose p50/p95/p99 over the metrics
+	// endpoint and phoebe_stat_latency.
+	LatencyHists *[NumTxnTypes]metrics.Histogram
 }
 
 // Run drives the workload against the backend and returns the result.
@@ -167,6 +172,9 @@ func Run(b Backend, cfg DriverConfig) Result {
 				case err == nil:
 					completed[tt].Add(1)
 					latency[tt].Add(int64(el))
+					if cfg.LatencyHists != nil {
+						cfg.LatencyHists[tt].Observe(el)
+					}
 					if tt == TxnNewOrder && cfg.TpmCSeries != nil {
 						cfg.TpmCSeries.Observe(1)
 					}

@@ -194,6 +194,36 @@ func (m *Manager) ActiveCount() int {
 	return n
 }
 
+// ActiveTxn describes one running transaction (phoebe_stat_activity).
+type ActiveTxn struct {
+	Slot    int
+	XID     uint64
+	StartTS uint64
+}
+
+// ActiveSnapshot lists the running transactions at scrape time. Each slot's
+// word is read once; a transaction beginning or ending mid-scan appears or
+// not, but entries are never torn.
+func (m *Manager) ActiveSnapshot() []ActiveTxn {
+	var out []ActiveTxn
+	for i := range m.activeStart {
+		if s := m.activeStart[i].v.Load(); s != 0 {
+			out = append(out, ActiveTxn{Slot: i, XID: clock.MakeXID(s), StartTS: s})
+		}
+	}
+	return out
+}
+
+// LiveUndo sums the unreclaimed UNDO records across all arenas — the GC
+// backlog gauge.
+func (m *Manager) LiveUndo() int {
+	n := 0
+	for _, a := range m.arenas {
+		n += a.Live()
+	}
+	return n
+}
+
 // MinActiveStartTS returns the minimum start timestamp among active
 // transactions, or the current clock value if none are active. UNDO
 // records of transactions committed before this are reclaimable, because

@@ -252,6 +252,7 @@ func (w *Writer) flushLocked() error {
 			w.mgr.broken.Store(true)
 			return fmt.Errorf("wal: writer %d flush: %w", w.id, err)
 		}
+		w.mgr.flushes.Add(1)
 		w.buf = w.buf[:0]
 		skipSync := false
 		if ferr := fault.Eval(fault.WALPreSync); ferr != nil {
@@ -293,10 +294,16 @@ type Manager struct {
 	// broken latches the first flush/sync failure (fail-stop, see
 	// ErrBroken).
 	broken atomic.Bool
+	// flushes counts device writes across all writers (buffer drains that
+	// actually hit the file, not empty-buffer Flush calls).
+	flushes atomic.Int64
 }
 
 // Broken reports whether the log has failed stop.
 func (m *Manager) Broken() bool { return m.broken.Load() }
+
+// Flushes returns the number of non-empty buffer drains across all writers.
+func (m *Manager) Flushes() int64 { return m.flushes.Load() }
 
 // Options configures a Manager.
 type Options struct {

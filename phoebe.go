@@ -114,6 +114,14 @@ type Options struct {
 	// MaintainEvery runs worker maintenance (page swap, GC) after this
 	// many transactions per slot (default 64).
 	MaintainEvery int
+	// SlowTxnThreshold arms the slow-transaction log: transactions slower
+	// than this are captured with their full component breakdown (see
+	// SlowLog). Zero leaves it off.
+	SlowTxnThreshold time.Duration
+	// StatsLite disables per-transaction histogram and trace updates,
+	// keeping only the scalar counters. Used to measure instrumentation
+	// overhead; leave off in normal operation.
+	StatsLite bool
 }
 
 // DB is an open PhoebeDB instance: the kernel plus its co-routine pool.
@@ -121,6 +129,7 @@ type DB struct {
 	engine *core.Engine
 	pool   *sched.Pool
 	rec    *metrics.Recorder
+	reg    *metrics.Registry
 	opts   Options
 
 	maintainMu sync.Mutex // serializes system-slot maintenance work
@@ -157,6 +166,8 @@ func Open(opts Options) (*DB, error) {
 		LockTimeout:      opts.LockTimeout,
 		DisableRFA:       opts.DisableRFA,
 		PessimisticIndex: opts.PessimisticIndex,
+		SlowTxnThreshold: opts.SlowTxnThreshold,
+		StatsLite:        opts.StatsLite,
 		// Pool slot IDs are contiguous per worker; session and system
 		// slots fold onto workers round-robin.
 		PartitionOf: func(slot int) int {
@@ -186,6 +197,7 @@ func Open(opts Options) (*DB, error) {
 		Maintain:       db.maintain,
 	})
 	db.pool.Start()
+	db.reg = buildRegistry(db)
 	return db, nil
 }
 

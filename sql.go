@@ -30,6 +30,12 @@ func (c sqlCatalog) TableSchema(name string) (*rel.Schema, error) {
 	return t.Schema, nil
 }
 
+// StatTable implements sql.StatCatalog: phoebe_stat_* names resolve to
+// virtual tables materialized from the live metrics registry.
+func (c sqlCatalog) StatTable(name string) (*rel.Schema, []rel.Row, bool) {
+	return c.db.StatTable(name)
+}
+
 func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
 	t, err := c.db.engine.Table(table)
 	if err != nil {

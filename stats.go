@@ -1,0 +1,236 @@
+package phoebedb
+
+import (
+	"sort"
+	"time"
+
+	"phoebedb/internal/fault"
+	"phoebedb/internal/metrics"
+)
+
+// This file wires the kernel's decentralized counters into the metrics
+// registry (Prometheus endpoint, phoebectl stats) and materializes the
+// pg_stat-style virtual tables served over the SQL protocol.
+
+// Metrics returns the DB's live metrics registry. Callers may register
+// additional sources (the TPC-C driver adds per-transaction-type latency
+// histograms this way).
+func (db *DB) Metrics() *metrics.Registry { return db.reg }
+
+// SlowLog returns the engine's slow-transaction log. Arm it with
+// SlowLog().SetThreshold or Options.SlowTxnThreshold.
+func (db *DB) SlowLog() *metrics.SlowLog { return &db.engine.Stats().SlowLog }
+
+// RegisterTxnTypeHist registers a per-transaction-type latency histogram
+// under the shared phoebe_txn_type_latency_seconds family (label
+// type=typeName). The caller owns the histogram and observes into it.
+func (db *DB) RegisterTxnTypeHist(typeName string, h *metrics.Histogram) {
+	db.reg.Histogram("phoebe_txn_type_latency_seconds",
+		"Transaction latency by transaction type.", "type", typeName, h.Snapshot)
+}
+
+// buildRegistry registers every kernel counter, gauge, and histogram.
+// Sources are read functions over the subsystems' own atomics, so
+// registration happens once at Open and scrapes always see live values.
+func buildRegistry(db *DB) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	st := db.engine.Stats()
+
+	reg.Counter("phoebe_txn_commits_total", "Committed transactions.", st.Commits.Load)
+	reg.Counter("phoebe_txn_aborts_total", "Aborted transactions (rollbacks and failed commits).", st.Aborts.Load)
+	reg.Counter("phoebe_txn_slow_total", "Transactions over the slow-transaction threshold.", st.SlowLog.Count)
+	reg.Gauge("phoebe_txn_active", "Transactions currently running.", func() int64 {
+		return int64(db.engine.Mgr.ActiveCount())
+	})
+
+	reg.Counter("phoebe_lock_table_waits_total", "Table-lock acquisitions that blocked.", st.TableLocks.Waits.Load)
+	reg.Counter("phoebe_lock_table_timeouts_total", "Table-lock waits that timed out (deadlock recovery).", st.TableLocks.Timeouts.Load)
+	reg.Counter("phoebe_lock_tuple_waits_total", "Tuple-lock / transaction-ID waits (low-urgency parks).", st.TupleLockWaits.Load)
+
+	reg.Counter("phoebe_buffer_accesses_total", "Page accesses (hot or cold).", func() int64 {
+		return db.engine.Pool.Stats().Accesses
+	})
+	reg.Counter("phoebe_buffer_hits_total", "Page accesses served from memory.", func() int64 {
+		return db.engine.Pool.Stats().Hits()
+	})
+	reg.Counter("phoebe_buffer_misses_total", "Page accesses that loaded from disk.", func() int64 {
+		return db.engine.Pool.Stats().Misses
+	})
+	reg.Counter("phoebe_buffer_evictions_total", "Pages evicted by the cooling protocol.", func() int64 {
+		return db.engine.Pool.Stats().Evictions
+	})
+	reg.Gauge("phoebe_buffer_resident_bytes", "Main Storage resident footprint.", db.engine.Pool.ResidentBytes)
+
+	reg.Counter("phoebe_wal_flushes_total", "WAL buffer drains that hit the device.", db.engine.WAL.Flushes)
+	reg.Counter("phoebe_wal_remote_flush_waits_total", "Commits that waited on a foreign writer's durable horizon.", st.RemoteFlushWaits.Load)
+	reg.Counter("phoebe_wal_rfa_avoided_total", "Cross-slot page touches whose remote flush RFA proved unnecessary.", st.RFAAvoided.Load)
+
+	io := db.engine.IO
+	reg.Counter("phoebe_io_data_read_bytes_total", "Bytes read from the data page/block files.", io.DataRead.Load)
+	reg.Counter("phoebe_io_data_write_bytes_total", "Bytes written to data files (page flushes, frozen blocks, checkpoints).", io.DataWrite.Load)
+	reg.Counter("phoebe_io_wal_write_bytes_total", "Bytes written to the WAL.", io.WALWrite.Load)
+
+	reg.Counter("phoebe_gc_runs_total", "Garbage-collection rounds.", st.GCRuns.Load)
+	reg.Counter("phoebe_gc_reclaimed_total", "UNDO records reclaimed by GC.", st.GCReclaimed.Load)
+	reg.Gauge("phoebe_gc_backlog", "Unreclaimed UNDO records across all arenas.", func() int64 {
+		return int64(db.engine.Mgr.LiveUndo())
+	})
+	reg.Counter("phoebe_checkpoints_total", "Completed checkpoints.", st.Checkpoints.Load)
+
+	reg.Counter("phoebe_sched_executed_total", "Pool tasks completed.", db.pool.Executed)
+	reg.Gauge("phoebe_sched_queue_depth", "Tasks waiting in the admission queue.", func() int64 {
+		return int64(db.pool.QueueDepth())
+	})
+	reg.Counter("phoebe_sched_yields_high_total", "High-urgency yields (latch spins, page reads).", func() int64 {
+		high, _ := db.pool.Yields()
+		return high
+	})
+	reg.Counter("phoebe_sched_yields_low_total", "Low-urgency yields (lock waits park the slot).", func() int64 {
+		_, low := db.pool.Yields()
+		return low
+	})
+
+	reg.CounterVec("phoebe_failpoint_hits", "Evaluations of armed failpoint sites.", "site",
+		func() []metrics.LabeledValue {
+			hits := fault.HitCounts()
+			sites := make([]string, 0, len(hits))
+			for s := range hits {
+				sites = append(sites, s)
+			}
+			sort.Strings(sites)
+			out := make([]metrics.LabeledValue, 0, len(sites))
+			for _, s := range sites {
+				out = append(out, metrics.LabeledValue{Label: s, Value: hits[s]})
+			}
+			return out
+		})
+
+	reg.Histogram("phoebe_txn_latency_seconds",
+		"End-to-end transaction latency merged across all task slots.", "", "",
+		func() metrics.HistSnapshot { return db.rec.MergedHist() })
+	return reg
+}
+
+// --- Virtual stat tables -----------------------------------------------------
+
+// Stat-table names served over the SQL protocol.
+const (
+	StatEngineTable   = "phoebe_stat_engine"
+	StatLatencyTable  = "phoebe_stat_latency"
+	StatActivityTable = "phoebe_stat_activity"
+	StatSlowTable     = "phoebe_stat_slow"
+	StatTablesTable   = "phoebe_stat_tables"
+)
+
+var (
+	statEngineSchema = NewSchema(
+		Column{Name: "name", Type: TString},
+		Column{Name: "kind", Type: TString},
+		Column{Name: "value", Type: TInt64},
+	)
+	statLatencySchema = NewSchema(
+		Column{Name: "name", Type: TString},
+		Column{Name: "label", Type: TString},
+		Column{Name: "count", Type: TInt64},
+		Column{Name: "p50_us", Type: TInt64},
+		Column{Name: "p95_us", Type: TInt64},
+		Column{Name: "p99_us", Type: TInt64},
+		Column{Name: "max_us", Type: TInt64},
+		Column{Name: "mean_us", Type: TInt64},
+	)
+	statActivitySchema = NewSchema(
+		Column{Name: "slot", Type: TInt64},
+		Column{Name: "xid", Type: TInt64},
+		Column{Name: "start_ts", Type: TInt64},
+		Column{Name: "age_ticks", Type: TInt64},
+	)
+	statSlowSchema = NewSchema(
+		Column{Name: "xid", Type: TInt64},
+		Column{Name: "slot", Type: TInt64},
+		Column{Name: "committed", Type: TInt64},
+		Column{Name: "total_us", Type: TInt64},
+		Column{Name: "wait_us", Type: TInt64},
+		Column{Name: "compute_us", Type: TInt64},
+		Column{Name: "wal_us", Type: TInt64},
+		Column{Name: "mvcc_us", Type: TInt64},
+		Column{Name: "latch_us", Type: TInt64},
+		Column{Name: "lock_us", Type: TInt64},
+		Column{Name: "buffer_us", Type: TInt64},
+		Column{Name: "gc_us", Type: TInt64},
+	)
+	statTablesSchema = NewSchema(
+		Column{Name: "name", Type: TString},
+		Column{Name: "id", Type: TInt64},
+		Column{Name: "pages", Type: TInt64},
+		Column{Name: "indexes", Type: TInt64},
+	)
+)
+
+func micros(d time.Duration) Value { return Int(d.Microseconds()) }
+
+// StatTable materializes one virtual stat table, or ok=false for any name
+// that is not one. Every call reads the live counters — two scrapes of the
+// same table can and should differ under load.
+func (db *DB) StatTable(name string) (*Schema, []Row, bool) {
+	switch name {
+	case StatEngineTable:
+		var rows []Row
+		for _, s := range db.reg.Samples() {
+			rows = append(rows, Row{Str(s.Name), Str(s.Kind.String()), Int(s.Value)})
+		}
+		return statEngineSchema, rows, true
+
+	case StatLatencyTable:
+		var rows []Row
+		for _, h := range db.reg.Histograms() {
+			rows = append(rows, Row{
+				Str(h.Name), Str(h.Label), Int(h.Snap.Count),
+				micros(h.Snap.Quantile(0.50)), micros(h.Snap.Quantile(0.95)),
+				micros(h.Snap.Quantile(0.99)), micros(time.Duration(h.Snap.Max)),
+				micros(h.Snap.Mean()),
+			})
+		}
+		return statLatencySchema, rows, true
+
+	case StatActivityTable:
+		now := db.engine.Mgr.Clock.Now()
+		var rows []Row
+		for _, a := range db.engine.Mgr.ActiveSnapshot() {
+			age := int64(0)
+			if now > a.StartTS {
+				age = int64(now - a.StartTS)
+			}
+			rows = append(rows, Row{Int(int64(a.Slot)), Int(int64(a.XID)), Int(int64(a.StartTS)), Int(age)})
+		}
+		return statActivitySchema, rows, true
+
+	case StatSlowTable:
+		var rows []Row
+		for _, t := range db.engine.Stats().SlowLog.Recent() {
+			committed := int64(0)
+			if t.Committed {
+				committed = 1
+			}
+			row := Row{
+				Int(int64(t.XID)), Int(int64(t.Slot)), Int(committed),
+				micros(t.Total), micros(t.Wait),
+			}
+			for c := 0; c < metrics.NumComponents; c++ {
+				row = append(row, micros(t.Comp[c]))
+			}
+			rows = append(rows, row)
+		}
+		return statSlowSchema, rows, true
+
+	case StatTablesTable:
+		var rows []Row
+		for _, t := range db.engine.Tables() {
+			rows = append(rows, Row{
+				Str(t.Name), Int(int64(t.ID)),
+				Int(int64(t.Store.NumPages())), Int(int64(len(t.Indexes()))),
+			})
+		}
+		return statTablesSchema, rows, true
+	}
+	return nil, nil, false
+}
