@@ -16,20 +16,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"phoebedb/internal/bench"
 )
 
 func main() {
+	// All work happens in run so gate failures exit AFTER the deferred
+	// profile writers flush — a failing run is exactly when the profiles
+	// matter.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', or 'all'")
-		seconds = flag.Float64("seconds", 3, "measured duration per run")
-		workers = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
-		slots   = flag.Int("slots", 32, "task slots per worker (paper: 32)")
-		walSync = flag.Bool("walsync", true, "fsync WAL on commit (the paper's evaluated setting)")
-		maxOver = flag.Float64("max-overhead", 0, "with -exp overhead: exit non-zero if instrumentation regression exceeds this percent (0 = report only)")
+		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', or 'all'")
+		seconds  = flag.Float64("seconds", 3, "measured duration per run")
+		workers  = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
+		slots    = flag.Int("slots", 32, "task slots per worker (paper: 32)")
+		walSync  = flag.Bool("walsync", true, "fsync WAL on commit (the paper's evaluated setting)")
+		maxOver  = flag.Float64("max-overhead", 0, "with -exp overhead: exit non-zero if instrumentation regression exceeds this percent (0 = report only)")
+		minScale = flag.Float64("min-scale", 0, "with -exp scale: exit non-zero if 8-worker tpm is below this multiple of 1-worker tpm (0 = report only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		blkProf  = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mtxProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mtxProf)
+	}
+	if *blkProf != "" {
+		runtime.SetBlockProfileRate(int(100_000)) // sample blocks >= 100µs
+		defer writeProfile("block", *blkProf)
+	}
 
 	cfg := bench.Config{
 		Seconds:        *seconds,
@@ -71,15 +106,39 @@ func main() {
 			*maxOver > 0 && res.RegressionPct > *maxOver {
 			fmt.Fprintf(os.Stderr, "instrumentation overhead %.1f%% exceeds budget %.1f%%\n",
 				res.RegressionPct, *maxOver)
-			os.Exit(1)
+			return 1
+		}
+	case "scale":
+		var res bench.ScaleResult
+		if res, err = bench.ExpScale(cfg); err == nil &&
+			*minScale > 0 && res.Ratio < *minScale {
+			fmt.Fprintf(os.Stderr, "%d-worker scaling %.2fx is below the %.2fx floor\n",
+				res.Workers, res.Ratio, *minScale)
+			return 1
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// writeProfile flushes a named runtime profile at exit.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	defer f.Close()
+	if p := pprof.Lookup(name); p != nil {
+		if err := p.WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
 	}
 }

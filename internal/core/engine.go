@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phoebedb/internal/btree"
@@ -75,6 +76,18 @@ type Config struct {
 	// slot's page allocations land in the partition its worker maintains
 	// (§7.1). Defaults to slot modulo Partitions.
 	PartitionOf func(slot int) int
+	// WALGroups is the number of WAL group-commit files: slots mapped to
+	// the same group share one log file, and any member's commit flush
+	// drains every member's buffer in a single write+fsync. 0 (default)
+	// keeps one file per slot — no batching, the paper's per-slot layout.
+	WALGroups int
+	// WALGroupOf maps a slot to its WAL group (typically all of a worker's
+	// slots to one group). Defaults to slot modulo WALGroups.
+	WALGroupOf func(slot int) int
+	// GroupCommitWait is how long a commit leader that sees sibling slots
+	// mid-transaction waits for their commits before the shared fsync,
+	// growing the batch one device write retires. 0 flushes immediately.
+	GroupCommitWait time.Duration
 	// IO receives I/O byte accounting; one is created if nil.
 	IO *metrics.IOCounters
 	// SlowTxnThreshold arms the slow-transaction log: any transaction whose
@@ -132,17 +145,33 @@ type Tbl struct {
 
 	mu      sync.RWMutex
 	indexes map[string]*Index
+	// indexCache is the name-sorted index slice, rebuilt on DDL. Every
+	// insert/update/delete statement walks the indexes; serving them from
+	// an immutable cached slice keeps the per-statement map iteration,
+	// allocation, and sort off the hot path.
+	indexCache atomic.Pointer[[]*Index]
 }
 
-// Indexes returns the table's indexes (stable order).
+// Indexes returns the table's indexes (stable order). The returned slice
+// is shared and must not be mutated.
 func (t *Tbl) Indexes() []*Index {
+	if p := t.indexCache.Load(); p != nil {
+		return *p
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.rebuildIndexCacheLocked()
+}
+
+// rebuildIndexCacheLocked recomputes the sorted index slice; the caller
+// holds t.mu (read suffices — the rebuild is idempotent).
+func (t *Tbl) rebuildIndexCacheLocked() []*Index {
 	out := make([]*Index, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		out = append(out, ix)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	t.indexCache.Store(&out)
 	return out
 }
 
@@ -194,10 +223,13 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.WAL, err = wal.Open(wal.Options{
-		Dir:         filepath.Join(cfg.Dir, "wal"),
-		Writers:     cfg.Slots,
-		SyncOnFlush: cfg.WALSync,
-		IO:          e.IO,
+		Dir:             filepath.Join(cfg.Dir, "wal"),
+		Writers:         cfg.Slots,
+		Groups:          cfg.WALGroups,
+		GroupOf:         cfg.WALGroupOf,
+		SyncOnFlush:     cfg.WALSync,
+		GroupCommitWait: cfg.GroupCommitWait,
+		IO:              e.IO,
 	})
 	if err != nil {
 		e.pf.Close()
@@ -248,6 +280,9 @@ func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {
 		indexes: make(map[string]*Index),
 	}
 	t.Lock.Stats = &e.stats.TableLocks
+	// One insert lane per buffer partition (= per worker): concurrent
+	// workers append through disjoint open pages instead of one tail.
+	t.Store.SetInsertLanes(e.cfg.Partitions)
 	e.tables[name] = t
 	e.tablesByID[t.ID] = t
 	return t, nil
@@ -276,6 +311,7 @@ func (e *Engine) CreateIndex(tableName, indexName string, cols []string, unique 
 		return nil, fmt.Errorf("core: index %q already exists on %q", indexName, tableName)
 	}
 	t.indexes[indexName] = ix
+	t.rebuildIndexCacheLocked()
 	return ix, nil
 }
 

@@ -37,12 +37,30 @@ type Tx struct {
 	comp   [metrics.NumComponents]time.Duration
 	waited time.Duration
 
-	tableLocks map[*Tbl]lock.Mode
-	// idxOps records index mutations for rollback, keyed by the UNDO
-	// record whose rollback must revert them.
-	idxOps map[*undo.Record][]idxOp
+	// tableLocks is the per-transaction table-lock set. Transactions touch
+	// a handful of tables, so a linear-scanned slice (inline backing array,
+	// no per-Begin allocation) beats a map on the hot path.
+	tableLocks    []tblLock
+	tableLocksBuf [8]tblLock
+	// idxOps records index mutations for rollback as a flat list. Ops for
+	// one UNDO record are contiguous (statements run sequentially on the
+	// slot), so rollback walks record groups from the tail in lockstep
+	// with the reversed record list.
+	idxOps    []recIdxOp
+	idxOpsBuf [8]recIdxOp
+	// encBuf is the WAL payload scratch: Writer.Append copies the payload
+	// into its own buffer synchronously, so one per-transaction buffer is
+	// reused across every EncodeRow/EncodeDelta call.
+	encBuf []byte
+	// cands is the index-scan candidate scratch, reused across scans.
+	cands []rel.RowID
 	// frozenRestores lists frozen tombstones to clear on rollback.
 	frozenRestores []frozenRestore
+}
+
+type tblLock struct {
+	t *Tbl
+	m lock.Mode
 }
 
 type idxOp struct {
@@ -50,6 +68,13 @@ type idxOp struct {
 	key   []byte
 	rid   uint64
 	added bool // true: entry was inserted; false: entry was removed
+}
+
+// recIdxOp ties an index mutation to the UNDO record whose rollback
+// reverts it.
+type recIdxOp struct {
+	rec *undo.Record
+	idxOp
 }
 
 type frozenRestore struct {
@@ -80,17 +105,18 @@ func (e *Engine) Begin(slot int, iso txn.Isolation, mets *metrics.SlotMetrics,
 			}
 		}
 	}
-	return &Tx{
-		e:          e,
-		inner:      e.Mgr.Begin(slot, iso),
-		slot:       slot,
-		yield:      yield,
-		waitLow:    waitLow,
-		mets:       mets,
-		started:    time.Now(),
-		tableLocks: make(map[*Tbl]lock.Mode),
-		idxOps:     make(map[*undo.Record][]idxOp),
+	tx := &Tx{
+		e:       e,
+		inner:   e.Mgr.Begin(slot, iso),
+		slot:    slot,
+		yield:   yield,
+		waitLow: waitLow,
+		mets:    mets,
+		started: time.Now(),
 	}
+	tx.tableLocks = tx.tableLocksBuf[:0]
+	tx.idxOps = tx.idxOpsBuf[:0]
+	return tx
 }
 
 // XID returns the transaction ID.
@@ -129,8 +155,18 @@ func (tx *Tx) stmt() error {
 // lockTable takes the table lock once per (table, mode) pair per
 // transaction, held to completion (intention locks are cheap and shared).
 func (tx *Tx) lockTable(t *Tbl, m lock.Mode) error {
-	if held, ok := tx.tableLocks[t]; ok && (held == m || held == lock.ModeIX && m == lock.ModeIS) {
-		return nil
+	held := -1
+	for i := range tx.tableLocks {
+		if tx.tableLocks[i].t == t {
+			held = i
+			break
+		}
+	}
+	if held >= 0 {
+		hm := tx.tableLocks[held].m
+		if hm == m || hm == lock.ModeIX && m == lock.ModeIS {
+			return nil
+		}
 	}
 	start := time.Now()
 	acquired := t.Lock.TryLock(m)
@@ -143,24 +179,25 @@ func (tx *Tx) lockTable(t *Tbl, m lock.Mode) error {
 	} else {
 		tx.track(metrics.CompLock, start)
 	}
-	if held, ok := tx.tableLocks[t]; ok {
+	if held >= 0 {
 		// Upgraded IS->IX: drop the weaker grant.
-		if held == lock.ModeIS && m == lock.ModeIX {
+		if tx.tableLocks[held].m == lock.ModeIS && m == lock.ModeIX {
 			t.Lock.Unlock(lock.ModeIS)
+			tx.tableLocks[held].m = m
 		} else {
 			t.Lock.Unlock(m) // duplicate grant
-			return nil
 		}
+		return nil
 	}
-	tx.tableLocks[t] = m
+	tx.tableLocks = append(tx.tableLocks, tblLock{t: t, m: m})
 	return nil
 }
 
 func (tx *Tx) releaseTableLocks() {
-	for t, m := range tx.tableLocks {
-		t.Lock.Unlock(m)
+	for _, tl := range tx.tableLocks {
+		tl.t.Lock.Unlock(tl.m)
 	}
-	tx.tableLocks = make(map[*Tbl]lock.Mode)
+	tx.tableLocks = tx.tableLocks[:0]
 }
 
 // logChange appends a WAL record for a change to the page under h's latch,
@@ -235,7 +272,8 @@ func (tx *Tx) insertRow(t *Tbl, row rel.Row, checkUnique bool) (rel.RowID, error
 		rec = tx.inner.AddUndo(t.ID, h.RID, undo.OpInsert, nil, nil)
 		tt.Push(h.RID, rec)
 		tx.track(metrics.CompMVCC, mvccStart)
-		tx.logChange(h, wal.RecInsert, t.ID, h.RID, rel.EncodeRow(nil, row))
+		tx.encBuf = rel.EncodeRow(tx.encBuf[:0], row)
+		tx.logChange(h, wal.RecInsert, t.ID, h.RID, tx.encBuf)
 		return nil
 	})
 	if err != nil {
@@ -244,7 +282,7 @@ func (tx *Tx) insertRow(t *Tbl, row rel.Row, checkUnique bool) (rel.RowID, error
 	for _, ix := range indexes {
 		k := indexKey(ix, row, rid)
 		ix.Tree.Insert(k, uint64(rid))
-		tx.idxOps[rec] = append(tx.idxOps[rec], idxOp{ix: ix, key: k, rid: uint64(rid), added: true})
+		tx.idxOps = append(tx.idxOps, recIdxOp{rec: rec, idxOp: idxOp{ix: ix, key: k, rid: uint64(rid), added: true}})
 	}
 	return rid, nil
 }
@@ -428,19 +466,20 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 	}
 	hi := keyPrefixEnd(prefix)
 	// Collect candidates first: the row reads below take page latches and
-	// must not run inside the index leaf snapshot loop.
-	type cand struct {
-		rid rel.RowID
-	}
-	var cands []cand
+	// must not run inside the index leaf snapshot loop. The scratch slice
+	// is taken off the transaction for the duration so a nested scan from
+	// inside fn allocates its own rather than clobbering ours.
+	cands := tx.cands[:0]
+	tx.cands = nil
 	latchStart := time.Now()
 	ix.Tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
-		cands = append(cands, cand{rid: rel.RowID(v)})
+		cands = append(cands, rel.RowID(v))
 		return true
 	})
 	tx.track(metrics.CompLatch, latchStart)
-	for _, c := range cands {
-		row, ok, err := tx.readRow(t, c.rid)
+	defer func() { tx.cands = cands }()
+	for _, rid := range cands {
+		row, ok, err := tx.readRow(t, rid)
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return err
 		}
@@ -459,7 +498,7 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 		if !match {
 			continue
 		}
-		if !fn(c.rid, row) {
+		if !fn(rid, row) {
 			return nil
 		}
 	}
@@ -628,7 +667,8 @@ func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string
 			h.SetCol(c, vals[i])
 		}
 		tx.track(metrics.CompMVCC, mvccStart)
-		tx.logChange(h, wal.RecUpdate, t.ID, rid, rel.EncodeDelta(nil, cols, vals))
+		tx.encBuf = rel.EncodeDelta(tx.encBuf[:0], cols, vals)
+		tx.logChange(h, wal.RecUpdate, t.ID, rid, tx.encBuf)
 
 		// Index maintenance: if an indexed column changed, add an entry
 		// for the new key. The old entry stays for older snapshots and is
@@ -650,7 +690,7 @@ func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string
 			}
 			k := indexKey(ix, newRow, rid)
 			ix.Tree.Insert(k, uint64(rid))
-			tx.idxOps[rec] = append(tx.idxOps[rec], idxOp{ix: ix, key: k, rid: uint64(rid), added: true})
+			tx.idxOps = append(tx.idxOps, recIdxOp{rec: rec, idxOp: idxOp{ix: ix, key: k, rid: uint64(rid), added: true}})
 		}
 
 		lockStart = time.Now()
@@ -793,11 +833,11 @@ func (tx *Tx) repointWarmedIndexes(insRec *undo.Record, t *Tbl, row rel.Row, old
 		if ix.Unique {
 			// The insert replaced key->oldRID with key->newRID; rollback
 			// must restore the old mapping after deleting the new one.
-			tx.idxOps[insRec] = append(tx.idxOps[insRec], idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false})
+			tx.idxOps = append(tx.idxOps, recIdxOp{rec: insRec, idxOp: idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false}})
 			continue
 		}
 		if ix.Tree.Delete(k) {
-			tx.idxOps[insRec] = append(tx.idxOps[insRec], idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false})
+			tx.idxOps = append(tx.idxOps, recIdxOp{rec: insRec, idxOp: idxOp{ix: ix, key: k, rid: uint64(oldRID), added: false}})
 		}
 	}
 }
@@ -928,19 +968,31 @@ func (tx *Tx) finishMetrics(committed bool) {
 // order. UNDO records are marked dead (immediately reclaimable).
 func (tx *Tx) rollbackChanges() {
 	recs := tx.inner.Records
+	// idxOps holds each record's ops as one contiguous group, groups in
+	// record order; walk groups from the tail in lockstep with the
+	// reversed record loop (ops within a group revert in forward order —
+	// a warmed unique index records delete-new before restore-old).
+	opEnd := len(tx.idxOps)
 	for i := len(recs) - 1; i >= 0; i-- {
 		rec := recs[i]
 		t := tx.e.tableByID(rec.TableID)
+		// Revert this record's index mutations.
+		opStart := opEnd
+		for opStart > 0 && tx.idxOps[opStart-1].rec == rec {
+			opStart--
+		}
+		if t != nil {
+			for _, op := range tx.idxOps[opStart:opEnd] {
+				if op.added {
+					op.ix.Tree.Delete(op.key)
+				} else {
+					op.ix.Tree.Insert(op.key, op.rid)
+				}
+			}
+		}
+		opEnd = opStart
 		if t == nil {
 			continue
-		}
-		// Revert this record's index mutations.
-		for _, op := range tx.idxOps[rec] {
-			if op.added {
-				op.ix.Tree.Delete(op.key)
-			} else {
-				op.ix.Tree.Insert(op.key, op.rid)
-			}
 		}
 		rid := rec.RowID
 		switch rec.Op {

@@ -241,6 +241,13 @@ func openEngine(dir string, slots int, bufBytes int64) (*core.Engine, error) {
 		BufferBytes: bufBytes,
 		PageCap:     16,
 		LockTimeout: 500 * time.Millisecond,
+		// Share WAL files across slots and enable the adaptive leader
+		// wait, so every wal.* failpoint fires inside the group-commit
+		// path: a crash mid-flush must not lose acked commits from any
+		// slot batched into the same window.
+		WALGroups:       2,
+		WALGroupOf:      func(slot int) int { return slot % 2 },
+		GroupCommitWait: 200 * time.Microsecond,
 	})
 	if err != nil {
 		return nil, err
@@ -657,6 +664,11 @@ func TPCCCrash(dir string, seed int64, site string, after int) error {
 			Slots:       terminals + 1,
 			WALSync:     true,
 			LockTimeout: time.Second,
+			// All terminals share one WAL group so the crash lands in a
+			// flush window batching commits from several terminals.
+			WALGroups:       1,
+			WALGroupOf:      func(int) int { return 0 },
+			GroupCommitWait: 200 * time.Microsecond,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -132,14 +132,30 @@ var compatible = [numModes][numModes]bool{
 type Stats struct {
 	Waits    atomic.Int64
 	Timeouts atomic.Int64
+	// SpuriousWakeups counts waiters signaled as grantable that found the
+	// lock incompatible again on wake (a new grant barged in between the
+	// release and the waiter running) and had to re-wait.
+	SpuriousWakeups atomic.Int64
+}
+
+// waiter is one blocked Lock call, queued FIFO. ch is buffered so a
+// release can signal it without blocking and without the waiter being
+// parked yet.
+type waiter struct {
+	mode Mode
+	ch   chan struct{}
 }
 
 // TableLock is the per-table lock block. The zero value is an unlocked
 // table lock.
+//
+// Releases wake only the longest FIFO prefix of waiters whose modes are
+// simultaneously grantable — not every waiter — so a herd of incompatible
+// waiters no longer stampedes onto l.mu after each Unlock just to re-queue.
 type TableLock struct {
 	mu      sync.Mutex
 	granted [numModes]int
-	waitCh  chan struct{} // broadcast: replaced on every release
+	waiters []*waiter
 
 	// Stats, when non-nil, receives wait and timeout counts; typically one
 	// Stats block is shared by every table lock of an engine.
@@ -166,68 +182,120 @@ func (l *TableLock) TryLock(m Mode) bool {
 	return true
 }
 
-// Lock acquires mode m, waiting up to timeout (0 = forever).
+// Lock acquires mode m, waiting up to timeout (0 = forever). A compatible
+// request is granted immediately even while incompatible waiters queue —
+// lock upgrades (IS held, IX wanted) must be able to barge past a queued X
+// or the upgrade deadlocks against it.
 func (l *TableLock) Lock(m Mode, timeout time.Duration) error {
+	l.mu.Lock()
+	if l.compatibleWith(m) {
+		l.granted[m]++
+		l.mu.Unlock()
+		return nil
+	}
+	w := &waiter{mode: m, ch: make(chan struct{}, 1)}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+	if l.Stats != nil {
+		l.Stats.Waits.Add(1)
+	}
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	waited := false
 	for {
+		if timeout <= 0 {
+			<-w.ch
+		} else {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return l.abandonWait(w)
+			}
+			t := time.NewTimer(remaining)
+			select {
+			case <-w.ch:
+				t.Stop()
+			case <-t.C:
+				return l.abandonWait(w)
+			}
+		}
+		// Signaled as grantable; re-check, since a fresh grant may have
+		// barged in before this goroutine ran.
 		l.mu.Lock()
 		if l.compatibleWith(m) {
 			l.granted[m]++
+			l.removeWaiterLocked(w)
 			l.mu.Unlock()
 			return nil
 		}
-		if l.waitCh == nil {
-			l.waitCh = make(chan struct{})
-		}
-		ch := l.waitCh
 		l.mu.Unlock()
-		if !waited {
-			waited = true
-			if l.Stats != nil {
-				l.Stats.Waits.Add(1)
-			}
-		}
-		if timeout <= 0 {
-			<-ch
-			continue
-		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			if l.Stats != nil {
-				l.Stats.Timeouts.Add(1)
-			}
-			return ErrLockTimeout
-		}
-		t := time.NewTimer(remaining)
-		select {
-		case <-ch:
-			t.Stop()
-		case <-t.C:
-			if l.Stats != nil {
-				l.Stats.Timeouts.Add(1)
-			}
-			return ErrLockTimeout
+		if l.Stats != nil {
+			l.Stats.SpuriousWakeups.Add(1)
 		}
 	}
 }
 
-// Unlock releases one grant of mode m and wakes waiters.
+// abandonWait withdraws a timed-out waiter. A signal that raced with the
+// timeout is passed on so the release it represents is not lost on us.
+func (l *TableLock) abandonWait(w *waiter) error {
+	l.mu.Lock()
+	l.removeWaiterLocked(w)
+	select {
+	case <-w.ch:
+		l.wakeLocked()
+	default:
+	}
+	l.mu.Unlock()
+	if l.Stats != nil {
+		l.Stats.Timeouts.Add(1)
+	}
+	return ErrLockTimeout
+}
+
+func (l *TableLock) removeWaiterLocked(w *waiter) {
+	for i, o := range l.waiters {
+		if o == w {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeLocked signals the longest FIFO prefix of waiters that could all be
+// granted together against the current grant table. Stopping at the first
+// incompatible waiter keeps an X waiter from starving behind a stream of
+// intention locks.
+func (l *TableLock) wakeLocked() {
+	sim := l.granted
+	for _, w := range l.waiters {
+		ok := true
+		for g := Mode(0); g < numModes; g++ {
+			if sim[g] > 0 && !compatible[g][w.mode] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		sim[w.mode]++
+		select {
+		case w.ch <- struct{}{}:
+		default: // already signaled
+		}
+	}
+}
+
+// Unlock releases one grant of mode m and wakes now-grantable waiters.
 func (l *TableLock) Unlock(m Mode) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.granted[m] <= 0 {
-		l.mu.Unlock()
 		panic("lock: unlock of unheld table lock mode " + m.String())
 	}
 	l.granted[m]--
-	ch := l.waitCh
-	l.waitCh = nil
-	l.mu.Unlock()
-	if ch != nil {
-		close(ch)
+	if len(l.waiters) > 0 {
+		l.wakeLocked()
 	}
 }
 

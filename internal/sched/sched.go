@@ -2,9 +2,11 @@
 // pull-based scheduler of §7.1.
 //
 // A pool runs Workers × SlotsPerWorker task slots. Each slot executes one
-// transaction at a time to completion and pulls the next task from the
-// global queue when it becomes vacant — the pull-based model that avoids a
-// central dispatcher. Yields carry an urgency class:
+// transaction at a time to completion and pulls the next task from its
+// worker's queue when it becomes vacant — the pull-based model that avoids
+// a central dispatcher. The task queue is sharded per worker (submission is
+// round-robin, idle workers steal from siblings) so a many-core pool does
+// not rendezvous on a single channel. Yields carry an urgency class:
 //
 //   - High urgency (latch spins, synchronous page reads): the slot stays
 //     runnable and merely lets siblings proceed (runtime.Gosched), matching
@@ -48,8 +50,9 @@ type Config struct {
 	// ThreadMode locks every task slot to its own OS thread (Exp 6's
 	// thread model). Off = co-routine model.
 	ThreadMode bool
-	// QueueDepth bounds the global task queue; Submit blocks when full.
-	// Defaults to 4 × total slots.
+	// QueueDepth bounds the total queued-task backlog; Submit blocks when
+	// every per-worker queue is full. Defaults to 4 × total slots. The
+	// budget is split evenly across the per-worker queues.
 	QueueDepth int
 	// Recorder receives per-slot metrics; may be nil.
 	Recorder *metrics.Recorder
@@ -109,14 +112,18 @@ func (s *Slot) HighYields() int64 { return s.highYields.Load() }
 // LowYields returns the slot's low-urgency yield count.
 func (s *Slot) LowYields() int64 { return s.lowYields.Load() }
 
-// Pool is a running co-routine pool.
+// Pool is a running co-routine pool. Tasks are sharded across per-worker
+// queues so concurrent submitters and workers no longer rendezvous on one
+// channel; an idle worker whose own queue is empty steals from siblings.
 type Pool struct {
 	cfg      Config
-	queue    chan Task
+	queues   []chan Task // one per worker
+	rr       atomic.Uint64
 	wg       sync.WaitGroup
 	slots    []*Slot
 	stopped  atomic.Bool
 	executed atomic.Int64
+	stolen   atomic.Int64
 }
 
 // New creates a pool; call Start to spin up the slots.
@@ -133,7 +140,15 @@ func New(cfg Config) *Pool {
 	if cfg.MaintainEvery <= 0 {
 		cfg.MaintainEvery = 64
 	}
-	return &Pool{cfg: cfg, queue: make(chan Task, cfg.QueueDepth)}
+	perWorker := cfg.QueueDepth / cfg.Workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	queues := make([]chan Task, cfg.Workers)
+	for i := range queues {
+		queues[i] = make(chan Task, perWorker)
+	}
+	return &Pool{cfg: cfg, queues: queues}
 }
 
 // NumSlots returns the total task-slot count.
@@ -145,9 +160,19 @@ func (p *Pool) Slots() []*Slot { return p.slots }
 // Executed returns the number of completed tasks.
 func (p *Pool) Executed() int64 { return p.executed.Load() }
 
-// QueueDepth returns the number of tasks waiting in the global queue —
-// the admission-control backlog.
-func (p *Pool) QueueDepth() int { return len(p.queue) }
+// QueueDepth returns the number of tasks waiting across all worker
+// queues — the admission-control backlog.
+func (p *Pool) QueueDepth() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Stolen returns the number of tasks executed by a worker other than the
+// one they were queued on.
+func (p *Pool) Stolen() int64 { return p.stolen.Load() }
 
 // Yields sums the high- and low-urgency yield counts across all slots.
 func (p *Pool) Yields() (high, low int64) {
@@ -175,37 +200,133 @@ func (p *Pool) Start() {
 	}
 }
 
+// stealPollInterval bounds how long an idle slot blocks on its own queue
+// before sweeping siblings for stealable backlog again.
+const stealPollInterval = time.Millisecond
+
 func (p *Pool) run(s *Slot) {
 	defer p.wg.Done()
 	if p.cfg.ThreadMode {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	for task := range p.queue { // pull when the slot is vacant
-		task(s)
-		p.executed.Add(1)
-		s.sinceMaintain++
-		if p.cfg.Maintain != nil && s.sinceMaintain >= p.cfg.MaintainEvery {
-			s.sinceMaintain = 0
-			p.cfg.Maintain(s.Worker)
+	own := p.queues[s.Worker]
+	timer := time.NewTimer(stealPollInterval)
+	defer timer.Stop()
+	for {
+		// Fast path: the worker's own queue (pull when the slot is vacant).
+		select {
+		case task, ok := <-own:
+			if !ok {
+				p.drainAll(s)
+				return
+			}
+			p.exec(s, task)
+			continue
+		default:
+		}
+		// Own queue empty: steal from siblings.
+		if p.steal(s) {
+			continue
+		}
+		// Nothing anywhere: park on the own queue, waking periodically to
+		// re-sweep for stealable work.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(stealPollInterval)
+		select {
+		case task, ok := <-own:
+			if !ok {
+				p.drainAll(s)
+				return
+			}
+			p.exec(s, task)
+		case <-timer.C:
 		}
 	}
 }
 
-// Submit enqueues a task, blocking while the queue is full (admission
-// control). It fails once the pool is stopped.
+func (p *Pool) exec(s *Slot, task Task) {
+	task(s)
+	p.executed.Add(1)
+	s.sinceMaintain++
+	if p.cfg.Maintain != nil && s.sinceMaintain >= p.cfg.MaintainEvery {
+		s.sinceMaintain = 0
+		p.cfg.Maintain(s.Worker)
+	}
+}
+
+// steal runs one non-blocking sweep over sibling queues, executing the
+// first task found. A receive from a sibling's closed queue still yields
+// its buffered backlog, so stopped pools drain fully.
+func (p *Pool) steal(s *Slot) bool {
+	for off := 1; off < len(p.queues); off++ {
+		q := p.queues[(s.Worker+off)%len(p.queues)]
+		select {
+		case task, ok := <-q:
+			if !ok {
+				continue
+			}
+			p.stolen.Add(1)
+			p.exec(s, task)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// drainAll empties every queue after Stop closed them: buffered tasks must
+// still run. Queues are closed and nothing submits anymore, so one sweep
+// that finds every queue empty means done.
+func (p *Pool) drainAll(s *Slot) {
+	for {
+		found := false
+		for _, q := range p.queues {
+			select {
+			case task, ok := <-q:
+				if ok {
+					p.exec(s, task)
+					found = true
+				}
+			default:
+			}
+		}
+		if !found {
+			return
+		}
+	}
+}
+
+// Submit enqueues a task, blocking while every worker queue is full
+// (admission control). It fails once the pool is stopped. Placement is
+// round-robin with overflow onto any queue with room, so load spreads
+// without a global rendezvous point.
 func (p *Pool) Submit(t Task) (err error) {
 	if p.stopped.Load() {
 		return ErrStopped
 	}
 	defer func() {
-		// A concurrent Stop may close the queue under us; surface that as
+		// A concurrent Stop may close the queues under us; surface that as
 		// ErrStopped rather than a panic.
 		if recover() != nil {
 			err = ErrStopped
 		}
 	}()
-	p.queue <- t
+	home := int(p.rr.Add(1) % uint64(len(p.queues)))
+	for off := 0; off < len(p.queues); off++ {
+		select {
+		case p.queues[(home+off)%len(p.queues)] <- t:
+			return nil
+		default:
+		}
+	}
+	// All full: block on the round-robin choice.
+	p.queues[home] <- t
 	return nil
 }
 
@@ -223,11 +344,13 @@ func (p *Pool) SubmitWait(t Task) error {
 	return nil
 }
 
-// Stop drains the queue and waits for all slots to exit. Safe to call once.
+// Stop drains the queues and waits for all slots to exit. Safe to call once.
 func (p *Pool) Stop() {
 	if p.stopped.Swap(true) {
 		return
 	}
-	close(p.queue)
+	for _, q := range p.queues {
+		close(q)
+	}
 	p.wg.Wait()
 }

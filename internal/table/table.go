@@ -109,6 +109,9 @@ type Page struct {
 	firstRowID rel.RowID
 	swip       swizzle.Swip[Payload]
 	hotness    atomic.Uint32
+	// open marks an active insert frontier (a lane's current page): such a
+	// page never cools and never freezes. Cleared when the lane moves on.
+	open atomic.Bool
 
 	// Guarded by lt (exclusive for writes):
 	Twin  *undo.TwinTable
@@ -153,8 +156,8 @@ func (pg *Page) Resident() bool { return pg.swip.IsResident() }
 
 // StartCooling implements buffer.Frame.
 func (pg *Page) StartCooling() bool {
-	if pg == pg.table.tailPage() {
-		return false // the insert frontier never cools
+	if pg.open.Load() {
+		return false // an insert frontier never cools
 	}
 	return pg.swip.StartCooling()
 }
@@ -196,6 +199,17 @@ func (pg *Page) EvictIfCooling() (int, bool) {
 	return pg.table.pf.PageSize(), true
 }
 
+// insertLane is one worker's private insert frontier: an open page plus the
+// row_id chunk it is filling. Lanes pre-reserve PageCap row_ids at a time
+// from the shared counter, so concurrent appends on different lanes touch
+// no shared state beyond one fetch-add per page.
+type insertLane struct {
+	mu   sync.Mutex
+	pg   *Page  // open page, nil until the first append (or after a seal)
+	next uint64 // next row_id to assign from the chunk
+	end  uint64 // last row_id of the chunk (inclusive)
+}
+
 // Table is one relation's storage.
 type Table struct {
 	ID      uint32
@@ -208,10 +222,18 @@ type Table struct {
 	dirMu sync.RWMutex
 	dir   []*Page // sorted by firstRowID
 
-	appendMu sync.Mutex // serializes tail-page appends
-	tail     atomic.Pointer[Page]
+	// lanes are the per-worker insert frontiers; Append(row, part, ...)
+	// uses lane part%len(lanes). A single lane reproduces the classic
+	// serialized tail.
+	lanes []insertLane
 
-	nextRowID      atomic.Uint64
+	// recMu serializes the explicit-row_id paths (AppendAt, InsertAt,
+	// ImportImages, SetNextRowID) used by recovery, replication, and
+	// checkpoint restore. The hot Append path never takes it.
+	recMu sync.Mutex
+
+	nextRowID      atomic.Uint64 // highest row_id reserved by any lane chunk
+	maxAssigned    atomic.Uint64 // highest row_id actually given to a row
 	maxFrozenRowID atomic.Uint64 // rows <= this are in the frozen store
 
 	// twinPages tracks pages with live twin tables for the GC sweep.
@@ -219,27 +241,49 @@ type Table struct {
 }
 
 // New creates an empty table backed by pf, registering page frames with
-// pool partitions chosen by the inserting slot.
+// pool partitions chosen by the inserting slot. The table starts with a
+// single insert lane; see SetInsertLanes.
 func New(id uint32, schema *rel.Schema, pageCap int, pf *storage.PageFile, pool *buffer.Pool) *Table {
-	t := &Table{ID: id, Schema: schema, PageCap: pageCap, pf: pf, pool: pool}
-	t.addPage(1, 0)
-	return t
+	return &Table{ID: id, Schema: schema, PageCap: pageCap, pf: pf, pool: pool,
+		lanes: make([]insertLane, 1)}
 }
 
-func (t *Table) tailPage() *Page { return t.tail.Load() }
+// SetInsertLanes splits the insert frontier into n independent lanes,
+// typically one per worker, so concurrent inserts stop serializing on one
+// tail page. Call before the first insert (the engine does, at DDL time).
+func (t *Table) SetInsertLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.lanes = make([]insertLane, n)
+}
 
-// addPage creates a fresh hot page starting at firstRID, appends it to the
-// directory, and makes it the tail. Caller must hold dirMu or be the
-// constructor.
-func (t *Table) addPage(firstRID rel.RowID, part int) *Page {
+// raiseMaxAssigned lifts the assigned-row_id high-water mark to at least r.
+func (t *Table) raiseMaxAssigned(r uint64) {
+	for {
+		cur := t.maxAssigned.Load()
+		if r <= cur || t.maxAssigned.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}
+
+// newPage creates a fresh hot page starting at firstRID and inserts it into
+// the directory at its sorted position. Chunk starts are allocated from a
+// monotone counter but lanes fill at different speeds, so a new page is not
+// always the right edge.
+func (t *Table) newPage(firstRID rel.RowID, part int, open bool) *Page {
 	pg := &Page{firstRowID: firstRID, table: t, part: part}
 	pl := &Payload{Rows: pax.NewPage(t.Schema, t.PageCap)}
 	pg.swip.Swizzle(pl)
 	pg.Stamp.LastWriter = -1
+	pg.open.Store(open)
 	t.dirMu.Lock()
-	t.dir = append(t.dir, pg)
+	pos := sort.Search(len(t.dir), func(i int) bool { return t.dir[i].firstRowID > pg.firstRowID })
+	t.dir = append(t.dir, nil)
+	copy(t.dir[pos+1:], t.dir[pos:])
+	t.dir[pos] = pg
 	t.dirMu.Unlock()
-	t.tail.Store(pg)
 	if t.pool != nil {
 		t.pool.Register(pg, part)
 		t.pool.AddResident(part, int64(t.pf.PageSize()))
@@ -372,54 +416,47 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *
 	}
 }
 
-// Append inserts row at the tail, assigns its row_id, and runs fn under the
-// tail page's exclusive latch (so the caller can build UNDO/WAL state
-// atomically with the insert).
+// Append inserts row at the insert frontier of lane part%lanes, assigns its
+// row_id from the lane's chunk, and runs fn under the page's exclusive
+// latch (so the caller can build UNDO/WAL state atomically with the
+// insert). Lanes hold disjoint row_id ranges, so concurrent appends on
+// different lanes never touch the same page.
 func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h *Handle) error) (rel.RowID, error) {
 	if err := row.Conforms(t.Schema); err != nil {
 		return 0, err
 	}
-	t.appendMu.Lock()
-	defer t.appendMu.Unlock()
-	return t.appendLocked(row, part, yield, fn)
-}
-
-// AppendAt inserts row with an explicit row_id greater than any assigned so
-// far, fast-forwarding the row_id counter past it. Recovery uses this to
-// reproduce logged row_ids even across gaps burned by aborted transactions.
-func (t *Table) AppendAt(rid rel.RowID, row rel.Row) error {
-	if err := row.Conforms(t.Schema); err != nil {
-		return err
+	l := &t.lanes[part%len(t.lanes)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pg := l.pg
+	var pl *Payload
+	if pg != nil {
+		pg.lt.LockExclusive(yield)
+		var err error
+		pl, err = pg.ensureResident(yield)
+		if err != nil {
+			pg.lt.UnlockExclusive()
+			return 0, err
+		}
+		if pl.Rows.Full() || l.next > l.end {
+			pg.lt.UnlockExclusive()
+			pg.open.Store(false)
+			l.pg, pg = nil, nil
+		}
 	}
-	t.appendMu.Lock()
-	defer t.appendMu.Unlock()
-	if uint64(rid) <= t.nextRowID.Load() {
-		return fmt.Errorf("table: AppendAt row_id %d not beyond counter %d", rid, t.nextRowID.Load())
-	}
-	t.nextRowID.Store(uint64(rid) - 1)
-	got, err := t.appendLocked(row, 0, nil, nil)
-	if err == nil && got != rid {
-		return fmt.Errorf("table: AppendAt assigned %d, want %d", got, rid)
-	}
-	return err
-}
-
-// appendLocked is Append's body; the caller holds appendMu.
-func (t *Table) appendLocked(row rel.Row, part int, yield func(), fn func(h *Handle) error) (rel.RowID, error) {
-	pg := t.tailPage()
-	pg.lt.LockExclusive(yield)
-	pl, err := pg.ensureResident(yield)
-	if err != nil {
-		pg.lt.UnlockExclusive()
-		return 0, err
-	}
-	if pl.Rows.Full() {
-		pg.lt.UnlockExclusive()
-		pg = t.addPage(rel.RowID(t.nextRowID.Load()+1), part)
+	if pg == nil {
+		// Reserve a fresh chunk: one page's worth of row_ids. Idle lanes
+		// burn their leftover range — gaps are first-class (aborts burn
+		// row_ids too), only disjointness and per-page sortedness matter.
+		end := t.nextRowID.Add(uint64(t.PageCap))
+		l.next, l.end = end-uint64(t.PageCap)+1, end
+		pg = t.newPage(rel.RowID(l.next), part, true)
+		l.pg = pg
 		pg.lt.LockExclusive(yield)
 		pl = pg.swip.Ptr()
 	}
-	rid := rel.RowID(t.nextRowID.Add(1))
+	rid := rel.RowID(l.next)
+	l.next++
 	slot, err := pl.Rows.Append(row)
 	if err != nil {
 		pg.lt.UnlockExclusive()
@@ -438,8 +475,100 @@ func (t *Table) appendLocked(row rel.Row, part int, yield func(), fn func(h *Han
 			return 0, err
 		}
 	}
+	t.raiseMaxAssigned(uint64(rid))
 	pg.lt.UnlockExclusive()
+	if l.next > l.end {
+		// Chunk exhausted: seal the page so cooling and freezing may take it.
+		pg.open.Store(false)
+		l.pg = nil
+	}
 	return rid, nil
+}
+
+// sealLanesLocked retires every lane's open page and chunk remainder (the
+// unassigned row_ids are burned). Explicit-row_id fast-forwards use it so a
+// later lane append can never re-assign a row_id at or below the new
+// counter. Caller holds recMu.
+func (t *Table) sealLanesLocked() {
+	for i := range t.lanes {
+		l := &t.lanes[i]
+		l.mu.Lock()
+		if l.pg != nil {
+			l.pg.open.Store(false)
+			l.pg = nil
+		}
+		l.next, l.end = 0, 0
+		l.mu.Unlock()
+	}
+}
+
+// fastForwardLocked seals all lanes and advances both counters to rid,
+// which becomes the highest reserved and assigned row_id. Caller holds
+// recMu and is about to place a row at rid.
+func (t *Table) fastForwardLocked(rid uint64) {
+	t.sealLanesLocked()
+	t.nextRowID.Store(rid)
+	t.raiseMaxAssigned(rid)
+}
+
+// highRowID returns the highest row_id that is reserved or assigned.
+func (t *Table) highRowID() uint64 {
+	hi := t.nextRowID.Load()
+	if m := t.maxAssigned.Load(); m > hi {
+		hi = m
+	}
+	return hi
+}
+
+// placeRight appends (rid, row) at the right edge of the key space: into
+// the last directory page when it is sealed, in range, and has room, else
+// into a fresh page starting at rid. Caller holds recMu and has
+// fast-forwarded the counters past rid.
+func (t *Table) placeRight(rid rel.RowID, row rel.Row) error {
+	t.dirMu.RLock()
+	var pg *Page
+	if n := len(t.dir); n > 0 {
+		pg = t.dir[n-1]
+	}
+	t.dirMu.RUnlock()
+	if pg != nil && !pg.open.Load() {
+		pg.lt.LockExclusive(nil)
+		pl, err := pg.ensureResident(nil)
+		if err != nil {
+			pg.lt.UnlockExclusive()
+			return err
+		}
+		if !pl.Rows.Full() && (len(pl.IDs) == 0 || pl.IDs[len(pl.IDs)-1] < rid) {
+			err = insertSorted(pl, rid, row)
+			pg.touch()
+			pg.lt.UnlockExclusive()
+			return err
+		}
+		pg.lt.UnlockExclusive()
+	}
+	pg = t.newPage(rid, 0, false)
+	pg.lt.LockExclusive(nil)
+	err := insertSorted(pg.swip.Ptr(), rid, row)
+	pg.touch()
+	pg.lt.UnlockExclusive()
+	return err
+}
+
+// AppendAt inserts row with an explicit row_id greater than any reserved or
+// assigned so far, fast-forwarding the row_id counter past it. Recovery
+// uses this to reproduce logged row_ids even across gaps burned by aborted
+// transactions.
+func (t *Table) AppendAt(rid rel.RowID, row rel.Row) error {
+	if err := row.Conforms(t.Schema); err != nil {
+		return err
+	}
+	t.recMu.Lock()
+	defer t.recMu.Unlock()
+	if hi := t.highRowID(); uint64(rid) <= hi {
+		return fmt.Errorf("table: AppendAt row_id %d not beyond counter %d", rid, hi)
+	}
+	t.fastForwardLocked(uint64(rid))
+	return t.placeRight(rid, row)
 }
 
 // RemoveRow physically erases a tombstoned row (deleted-tuple GC, §7.3).
@@ -537,11 +666,17 @@ func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, fn func
 	}
 }
 
-// NextRowID returns the highest assigned row_id.
-func (t *Table) NextRowID() rel.RowID { return rel.RowID(t.nextRowID.Load()) }
+// NextRowID returns the highest assigned row_id (reserved-but-unused chunk
+// remainders don't count: they may be burned without ever holding a row).
+func (t *Table) NextRowID() rel.RowID { return rel.RowID(t.maxAssigned.Load()) }
 
-// SetNextRowID fast-forwards the row_id counter (recovery).
-func (t *Table) SetNextRowID(rid rel.RowID) { t.nextRowID.Store(uint64(rid)) }
+// SetNextRowID fast-forwards the row_id counter (recovery): later appends
+// assign strictly greater row_ids.
+func (t *Table) SetNextRowID(rid rel.RowID) {
+	t.recMu.Lock()
+	defer t.recMu.Unlock()
+	t.fastForwardLocked(uint64(rid))
+}
 
 // MaxFrozenRowID returns the frozen frontier (§5.2).
 func (t *Table) MaxFrozenRowID() rel.RowID { return rel.RowID(t.maxFrozenRowID.Load()) }
@@ -568,10 +703,10 @@ func (t *Table) DetachFrozenPrefix(maxPages int, maxHot uint32, yield func()) ([
 	t.dirMu.Lock()
 	defer t.dirMu.Unlock()
 	var out []FrozenCandidate
-	for len(out) < maxPages && len(t.dir) > 1 { // never freeze the tail
+	for len(out) < maxPages && len(t.dir) > 1 { // never empty the directory
 		pg := t.dir[0]
-		if pg == t.tailPage() || pg.Hotness() > maxHot {
-			break
+		if pg.open.Load() || pg.Hotness() > maxHot {
+			break // an insert frontier never freezes
 		}
 		pg.lt.LockExclusive(yield)
 		if pg.Twin != nil {
@@ -632,19 +767,20 @@ func (t *Table) ExportImages(yield func()) (images []PageImage, nextRowID, maxFr
 		images = append(images, PageImage{FirstRID: pg.firstRowID, Img: pl.serialize(nil)})
 		pg.lt.UnlockExclusive()
 	}
-	return images, t.nextRowID.Load(), t.maxFrozenRowID.Load(), nil
+	return images, t.maxAssigned.Load(), t.maxFrozenRowID.Load(), nil
 }
 
 // ImportImages rebuilds the table's directory from a checkpoint export.
-// The table must be freshly created (only its empty initial page).
+// The table must be freshly created (no rows ever inserted).
 func (t *Table) ImportImages(images []PageImage, nextRowID, maxFrozenRID uint64) error {
-	t.dirMu.Lock()
-	if len(t.dir) != 1 || t.dir[0].swip.Ptr() == nil || len(t.dir[0].swip.Ptr().IDs) != 0 {
-		t.dirMu.Unlock()
+	t.recMu.Lock()
+	defer t.recMu.Unlock()
+	t.dirMu.RLock()
+	pristine := len(t.dir) == 0 && t.highRowID() == 0
+	t.dirMu.RUnlock()
+	if !pristine {
 		return fmt.Errorf("table: ImportImages on non-empty table %d", t.ID)
 	}
-	t.dir = t.dir[:0]
-	t.dirMu.Unlock()
 	for _, im := range images {
 		pl, err := deserializePayload(t.Schema, t.PageCap, im.Img)
 		if err != nil {
@@ -656,17 +792,14 @@ func (t *Table) ImportImages(images []PageImage, nextRowID, maxFrozenRID uint64)
 		t.dirMu.Lock()
 		t.dir = append(t.dir, pg)
 		t.dirMu.Unlock()
-		t.tail.Store(pg)
 		if t.pool != nil {
 			t.pool.Register(pg, 0)
 			t.pool.AddResident(0, int64(t.pf.PageSize()))
 		}
 	}
-	if len(images) == 0 {
-		// Restore an empty tail page.
-		t.addPage(rel.RowID(nextRowID)+1, 0)
-	}
+	// Later appends open fresh lane chunks strictly above nextRowID.
 	t.nextRowID.Store(nextRowID)
+	t.raiseMaxAssigned(nextRowID)
 	t.maxFrozenRowID.Store(maxFrozenRID)
 	return nil
 }
@@ -675,27 +808,30 @@ func (t *Table) ImportImages(images []PageImage, nextRowID, maxFrozenRID uint64)
 // past the counter (fast-forwarding it, burning any gap) or between
 // existing rows, splitting a full page if needed. Recovery and WAL-shipping
 // replication use it because cross-writer GSN order only guarantees
-// per-page order — inserts to different tail pages can arrive out of
+// per-page order — inserts to different lane pages can arrive out of
 // row_id order.
 func (t *Table) InsertAt(rid rel.RowID, row rel.Row) error {
 	if err := row.Conforms(t.Schema); err != nil {
 		return err
 	}
-	t.appendMu.Lock()
-	defer t.appendMu.Unlock()
-	if uint64(rid) > t.nextRowID.Load() {
-		t.nextRowID.Store(uint64(rid) - 1)
-		got, err := t.appendLocked(row, 0, nil, nil)
-		if err == nil && got != rid {
-			return fmt.Errorf("table: InsertAt assigned %d, want %d", got, rid)
-		}
-		return err
+	t.recMu.Lock()
+	defer t.recMu.Unlock()
+	if uint64(rid) > t.highRowID() {
+		t.fastForwardLocked(uint64(rid))
+		return t.placeRight(rid, row)
 	}
-	// Out-of-order: the rid belongs to an existing page's range.
+	// Out-of-order: the rid belongs to an existing page's range, or lies in
+	// a burned gap below every page.
 	pg := t.findPage(rid)
 	if pg == nil {
-		return fmt.Errorf("table: InsertAt %d has no covering page", rid)
+		return t.insertAtPage(t.newPage(rid, 0, false), rid, row)
 	}
+	return t.insertAtPage(pg, rid, row)
+}
+
+// insertAtPage places (rid, row) into pg at its sorted slot, splitting a
+// full page. Caller holds recMu.
+func (t *Table) insertAtPage(pg *Page, rid rel.RowID, row rel.Row) error {
 	pg.lt.LockExclusive(nil)
 	pl, err := pg.ensureResident(nil)
 	if err != nil {
@@ -705,6 +841,15 @@ func (t *Table) InsertAt(rid rel.RowID, row rel.Row) error {
 	if pl.find(rid) >= 0 {
 		pg.lt.UnlockExclusive()
 		return fmt.Errorf("table: InsertAt %d already present", rid)
+	}
+	if pg.open.Load() {
+		// An active lane owns this page's chunk. Only a burned gap below
+		// the lane's frontier is safe to fill; re-inserting at or above it
+		// would collide with a future lane assignment.
+		if n := len(pl.IDs); n == 0 || rid > pl.IDs[n-1] {
+			pg.lt.UnlockExclusive()
+			return fmt.Errorf("table: InsertAt %d targets an active insert lane", rid)
+		}
 	}
 	if pl.Rows.Full() {
 		// Split the page in half and retry against the proper half.
@@ -720,7 +865,7 @@ func (t *Table) InsertAt(rid rel.RowID, row rel.Row) error {
 	return err
 }
 
-// insertIntoPage re-routes and inserts after a split (appendMu held).
+// insertIntoPage re-routes and inserts after a split (recMu held).
 func (t *Table) insertIntoPage(rid rel.RowID, row rel.Row) error {
 	pg := t.findPage(rid)
 	if pg == nil {
@@ -754,7 +899,7 @@ func insertSorted(pl *Payload, rid rel.RowID, row rel.Row) error {
 }
 
 // splitPage moves the upper half of pg's rows into a new page placed after
-// it in the directory. Caller holds appendMu and pg's exclusive latch; the
+// it in the directory. Caller holds recMu and pg's exclusive latch; the
 // page must have no twin table (replication/recovery context).
 func (t *Table) splitPage(pg *Page, pl *Payload) error {
 	if pg.Twin != nil {
@@ -783,11 +928,6 @@ func (t *Table) splitPage(pg *Page, pl *Payload) error {
 	t.dir = append(t.dir, nil)
 	copy(t.dir[pos+1:], t.dir[pos:])
 	t.dir[pos] = right
-	if t.tail.Load() == pg && pos == len(t.dir)-1 {
-		t.tail.Store(right)
-	} else if t.dir[len(t.dir)-1] == right {
-		t.tail.Store(right)
-	}
 	t.dirMu.Unlock()
 	if t.pool != nil {
 		t.pool.Register(right, right.part)

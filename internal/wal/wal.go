@@ -21,9 +21,22 @@
 // writer. Only when it observed an unflushed change by another slot does it
 // wait for the remote flush horizon.
 //
-// Recovery merges all writer files, orders records by GSN (stable by
-// writer, LSN), verifies checksums, truncates at the first torn record of
-// each file, and hands the ordered stream to the engine for redo.
+// Group commit batches writers into flush groups (Options.Groups /
+// Options.GroupOf; by default every writer is its own group, the original
+// one-file-per-slot layout). Writers in a group share one log file and one
+// fsync window: the first committer to reach the group's flush mutex
+// becomes the leader and drains every member's buffer in a single
+// write+fsync, while followers arriving behind it find their records
+// already durable and return without touching the device. Buffers are
+// trimmed only after the write and fsync succeed, so a torn or failed
+// group flush never loses an acknowledged commit. GSN/LSN assignment and
+// the RFA rule are per-writer and unchanged by grouping.
+//
+// Recovery merges all log files, orders records by GSN (stable by file,
+// LSN), verifies checksums, truncates at the first torn record of each
+// file, and hands the ordered stream to the engine for redo. Per-writer
+// order survives the merge because a writer's records carry strictly
+// increasing GSNs and drain to the file in LSN order.
 package wal
 
 import (
@@ -33,9 +46,11 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phoebedb/internal/fault"
 	"phoebedb/internal/metrics"
@@ -148,22 +163,61 @@ func decodeRecord(b []byte) (Record, int, bool) {
 	return r, total, true
 }
 
-// Writer is one task slot's private WAL stream.
+// Writer is one task slot's private WAL stream. Records buffer per writer;
+// the bytes drain to the writer's group file during a group flush.
 type Writer struct {
 	id  int
 	mgr *Manager
+	grp *group
 
 	mu         sync.Mutex
-	f          *os.File
 	buf        []byte
 	lsn        uint64
 	bufferGSN  uint64 // highest GSN appended to buf (may be unflushed)
+	// bufCommits counts RecCommit records currently in buf; the group
+	// flush uses it to measure how many commits one device write retired.
+	bufCommits int
 	flushedGSN atomic.Uint64
 	// localGSN is the highest GSN assigned by this writer. Atomic rather
 	// than owner-private: a remote commit's flushPast fast-forwards it
 	// when it advances the flushed horizon past an empty buffer, so the
 	// owner can never assign a GSN below an already-published horizon.
 	localGSN atomic.Uint64
+}
+
+// group is one commit group: the shared log file and the flush mutex its
+// members' commits convoy on.
+type group struct {
+	id      int
+	mgr     *Manager
+	members []*Writer
+
+	// mu serializes flushes of the group. A committer that blocks here
+	// while another member flushes is the group-commit win: when it gets
+	// the mutex its records are usually already durable.
+	mu      sync.Mutex
+	f       *os.File
+	scratch []byte      // concatenated member buffers for the single write
+	parts   []flushPart // per-member drained prefix bookkeeping
+
+	// waitCredit and sinceProbe drive the adaptive group-commit leader
+	// wait (see Flush): credit is granted while flushes capture multiple
+	// commit records and drains on single-commit flushes; the probe
+	// counter forces one speculative wait per probeInterval flushes so a
+	// group can rediscover concurrency after going serial.
+	waitCredit int
+	sinceProbe int
+}
+
+// flushPart records how much of one member's buffer a group flush captured:
+// the first n buffered bytes and the buffer's GSN high-water mark at capture
+// time. Only that prefix is trimmed (and only that horizon published) after
+// the write and fsync succeed — records appended while the flush was in
+// flight stay buffered with strictly greater GSNs.
+type flushPart struct {
+	w   *Writer
+	n   int
+	gsn uint64
 }
 
 // ID returns the writer's slot id.
@@ -219,65 +273,188 @@ func (w *Writer) Append(r *Record) {
 	if r.GSN > w.bufferGSN {
 		w.bufferGSN = r.GSN
 	}
+	if r.Type == RecCommit {
+		w.bufCommits++
+	}
 	w.mu.Unlock()
 }
 
-// Flush writes the buffered records to the file (fsync if the manager is in
-// sync mode) and advances the writer's flushed-GSN horizon.
+// Flush makes every record this writer has buffered durable (fsync if the
+// manager is in sync mode) and advances the writer's flushed-GSN horizon.
+// It is the group-commit entry point: the caller convoys on the group's
+// flush mutex, and whoever holds it drains all members' buffers in one
+// write+fsync window. A committer that blocked behind a leader usually
+// finds its records already durable and returns without a device write.
 func (w *Writer) Flush() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.flushLocked()
-}
-
-func (w *Writer) flushLocked() error {
+	g := w.grp
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if w.mgr.broken.Load() {
 		return ErrBroken
 	}
-	if len(w.buf) > 0 {
-		if cut := fault.TornCut(fault.WALTornWrite, len(w.buf)); cut > 0 {
+	w.mu.Lock()
+	pending := len(w.buf) > 0 || w.bufferGSN > w.flushedGSN.Load()
+	w.mu.Unlock()
+	if !pending {
+		// A leader's flush covered us while we waited for the mutex.
+		return nil
+	}
+	if d := w.mgr.groupWait; d > 0 && g.shouldWaitLocked() {
+		// Group-commit leader wait: before paying the fsync, yield the
+		// processor for a bounded window so concurrently executing
+		// transactions can reach their own commit points and convoy on
+		// g.mu — the flush below then retires the whole batch under one
+		// device write. Yielding (rather than sleeping on a timer or
+		// proceeding straight into the fsync syscall) matters on a
+		// saturated machine: Gosched hands the OS thread to a sibling
+		// worker immediately, where a thread blocked in fsync only
+		// releases it after the runtime's syscall-retake latency.
+		//
+		// The wait is adaptive: it keeps firing only while flushes
+		// actually capture multiple commits (waitCredit), plus a cheap
+		// periodic probe to rediscover concurrency after a quiet spell.
+		// A serial commit stream earns no credit, so it pays one
+		// amortized probe per probeInterval flushes and nothing else.
+		w.mgr.groupWaits.Add(1)
+		g.mu.Unlock()
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		g.mu.Lock()
+		if w.mgr.broken.Load() {
+			return ErrBroken
+		}
+		w.mu.Lock()
+		covered := len(w.buf) == 0 && w.bufferGSN <= w.flushedGSN.Load()
+		w.mu.Unlock()
+		if covered {
+			// Another leader flushed the whole batch — us included —
+			// while we yielded.
+			return nil
+		}
+	}
+	return g.flushLocked()
+}
+
+// probeInterval is how often (in flushes) a group speculatively pays one
+// leader wait with no credit, to rediscover commit concurrency.
+// waitCreditWindow is how many single-commit flushes a group keeps waiting
+// after a batched one before concluding the workload went serial.
+const (
+	probeInterval    = 32
+	waitCreditWindow = 64
+)
+
+// shouldWaitLocked decides whether the next flush leader should yield for
+// more commits first: yes while recent flushes batched multiple commits
+// (credit), and on a periodic speculative probe otherwise. Caller holds
+// g.mu.
+func (g *group) shouldWaitLocked() bool {
+	if g.waitCredit > 0 {
+		return true
+	}
+	g.sinceProbe++
+	if g.sinceProbe >= probeInterval {
+		g.sinceProbe = 0
+		return true
+	}
+	return false
+}
+
+// flushLocked drains every member's buffered records to the group file in
+// one write (+fsync), then trims the drained prefixes and publishes the
+// flushed-GSN horizons. Caller holds g.mu. Nothing is trimmed or published
+// on error: after a failed or torn flush the buffers still hold every
+// unacknowledged record, so an acknowledged commit can never be lost.
+func (g *group) flushLocked() error {
+	m := g.mgr
+	if m.broken.Load() {
+		return ErrBroken
+	}
+	g.scratch = g.scratch[:0]
+	g.parts = g.parts[:0]
+	commits := 0
+	for _, w := range g.members {
+		w.mu.Lock()
+		n := len(w.buf)
+		gsn := w.bufferGSN
+		if n > 0 {
+			g.scratch = append(g.scratch, w.buf[:n]...)
+			commits += w.bufCommits
+			w.bufCommits = 0
+		}
+		w.mu.Unlock()
+		if n > 0 || gsn > w.flushedGSN.Load() {
+			g.parts = append(g.parts, flushPart{w: w, n: n, gsn: gsn})
+		}
+	}
+	// Feed the adaptive leader wait: batching multiple commits under this
+	// one device write earns a credit window; a serial flush burns one.
+	if commits >= 2 {
+		g.waitCredit = waitCreditWindow
+	} else if g.waitCredit > 0 {
+		g.waitCredit--
+	}
+	if len(g.scratch) > 0 {
+		if cut := fault.TornCut(fault.WALTornWrite, len(g.scratch)); cut > 0 {
 			// Simulate a crash tearing the flush: persist a prefix that
-			// ends mid-record, then die. The buffer is left intact so a
+			// ends mid-record, then die. The buffers are left intact so a
 			// racing flush cannot complete the write and acknowledge a
 			// commit behind the "dead" process's back (the armed site
 			// would tear that flush too).
-			w.f.Write(w.buf[:len(w.buf)-cut])
+			g.f.Write(g.scratch[:len(g.scratch)-cut])
 			fault.Crash(fault.WALTornWrite)
 		}
-		n, err := w.f.Write(w.buf)
-		if w.mgr.io != nil {
-			w.mgr.io.WALWrite.Add(int64(n))
+		n, err := g.f.Write(g.scratch)
+		if m.io != nil {
+			m.io.WALWrite.Add(int64(n))
 		}
 		if err != nil {
-			w.mgr.broken.Store(true)
-			return fmt.Errorf("wal: writer %d flush: %w", w.id, err)
+			m.broken.Store(true)
+			return fmt.Errorf("wal: group %d flush: %w", g.id, err)
 		}
-		w.mgr.flushes.Add(1)
-		w.buf = w.buf[:0]
+		m.flushes.Add(1)
+		// Trim the written prefixes NOW, before the sync failpoints: the
+		// records are in the OS's hands, and a crash injected below must
+		// not let a later flush (ours or a remote-flush on a survivor's
+		// behalf) write them a second time. Records appended mid-flush
+		// keep their place behind the cut. A real sync failure latches
+		// broken, so trimming early never drops an acked commit.
+		for _, p := range g.parts {
+			if p.n > 0 {
+				p.w.mu.Lock()
+				p.w.buf = p.w.buf[:copy(p.w.buf, p.w.buf[p.n:])]
+				p.w.mu.Unlock()
+			}
+		}
 		skipSync := false
 		if ferr := fault.Eval(fault.WALPreSync); ferr != nil {
 			if errors.Is(ferr, fault.ErrSkip) {
 				skipSync = true // lost-durability run: pretend the fsync happened
 			} else {
-				w.mgr.broken.Store(true)
-				return fmt.Errorf("wal: writer %d: %w", w.id, ferr)
+				m.broken.Store(true)
+				return fmt.Errorf("wal: group %d: %w", g.id, ferr)
 			}
 		}
-		if w.mgr.syncOnFlush && !skipSync {
-			if err := w.f.Sync(); err != nil {
-				w.mgr.broken.Store(true)
-				return fmt.Errorf("wal: writer %d sync: %w", w.id, err)
+		if m.syncOnFlush && !skipSync {
+			if err := g.f.Sync(); err != nil {
+				m.broken.Store(true)
+				return fmt.Errorf("wal: group %d sync: %w", g.id, err)
 			}
 		}
 		if ferr := fault.Eval(fault.WALPostSync); ferr != nil {
 			// The records are durable but the caller never learns it: the
 			// acknowledgment is lost, not the data.
-			w.mgr.broken.Store(true)
-			return fmt.Errorf("wal: writer %d: %w", w.id, ferr)
+			m.broken.Store(true)
+			return fmt.Errorf("wal: group %d: %w", g.id, ferr)
 		}
 	}
-	if w.bufferGSN > w.flushedGSN.Load() {
-		w.flushedGSN.Store(w.bufferGSN)
+	// Durable: publish every member's horizon.
+	for _, p := range g.parts {
+		if p.gsn > p.w.flushedGSN.Load() {
+			p.w.flushedGSN.Store(p.gsn)
+		}
 	}
 	return nil
 }
@@ -285,18 +462,25 @@ func (w *Writer) flushLocked() error {
 // FlushedGSN returns the writer's durable GSN horizon.
 func (w *Writer) FlushedGSN() uint64 { return w.flushedGSN.Load() }
 
-// Manager owns the per-slot writers and the global flush horizon.
+// Manager owns the per-slot writers, their commit groups, and the global
+// flush horizon.
 type Manager struct {
 	dir         string
 	syncOnFlush bool
 	io          *metrics.IOCounters
 	writers     []*Writer
+	groups      []*group
 	// broken latches the first flush/sync failure (fail-stop, see
 	// ErrBroken).
 	broken atomic.Bool
-	// flushes counts device writes across all writers (buffer drains that
+	// flushes counts device writes across all groups (buffer drains that
 	// actually hit the file, not empty-buffer Flush calls).
 	flushes atomic.Int64
+	// groupWait is how long a commit leader waits for mid-flight sibling
+	// transactions before issuing the group fsync (0 = flush immediately).
+	groupWait time.Duration
+	// groupWaits counts commits that paid the leader wait.
+	groupWaits atomic.Int64
 }
 
 // Broken reports whether the log has failed stop.
@@ -305,40 +489,75 @@ func (m *Manager) Broken() bool { return m.broken.Load() }
 // Flushes returns the number of non-empty buffer drains across all writers.
 func (m *Manager) Flushes() int64 { return m.flushes.Load() }
 
+// GroupWaits returns the number of commits that paid the group-commit
+// leader wait before flushing.
+func (m *Manager) GroupWaits() int64 { return m.groupWaits.Load() }
+
 // Options configures a Manager.
 type Options struct {
-	// Dir is the directory holding the per-writer files (wal-<n>.log).
+	// Dir is the directory holding the log files (wal-<n>.log, one per
+	// commit group).
 	Dir string
 	// Writers is the number of task-slot writers.
 	Writers int
+	// Groups is the number of commit groups (log files). 0 means one group
+	// per writer — the original ungrouped layout with no shared fsync.
+	Groups int
+	// GroupOf maps a writer id to its commit group [0, Groups). Nil means
+	// writer i joins group i%Groups. The engine maps every slot of a worker
+	// to one group so a worker's concurrent commits share a fsync window.
+	GroupOf func(writer int) int
 	// SyncOnFlush issues fsync on every flush (the paper's "WAL sync
 	// enabled" setting). Off by default in tests for speed.
 	SyncOnFlush bool
+	// GroupCommitWait is how long a commit leader that observes sibling
+	// slots with buffered (mid-transaction) records waits for their
+	// commits to arrive before issuing the shared fsync. 0 flushes
+	// immediately. Serial workloads never trigger the wait.
+	GroupCommitWait time.Duration
 	// IO receives write-volume accounting; may be nil.
 	IO *metrics.IOCounters
 }
 
-// Open creates a Manager and its writer files.
+// Open creates a Manager, its commit groups, and their log files.
 func Open(opts Options) (*Manager, error) {
 	if opts.Writers <= 0 {
 		return nil, fmt.Errorf("wal: need at least one writer")
 	}
+	groups := opts.Groups
+	if groups <= 0 {
+		groups = opts.Writers
+	}
+	groupOf := opts.GroupOf
+	if groupOf == nil {
+		groupOf = func(w int) int { return w % groups }
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{dir: opts.Dir, syncOnFlush: opts.SyncOnFlush, io: opts.IO}
-	for i := 0; i < opts.Writers; i++ {
-		f, err := os.OpenFile(m.writerPath(i), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	m := &Manager{dir: opts.Dir, syncOnFlush: opts.SyncOnFlush, groupWait: opts.GroupCommitWait, io: opts.IO}
+	for i := 0; i < groups; i++ {
+		f, err := os.OpenFile(m.groupPath(i), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
 			m.Close()
 			return nil, err
 		}
-		m.writers = append(m.writers, &Writer{id: i, mgr: m, f: f})
+		m.groups = append(m.groups, &group{id: i, mgr: m, f: f})
+	}
+	for i := 0; i < opts.Writers; i++ {
+		gi := groupOf(i)
+		if gi < 0 || gi >= groups {
+			m.Close()
+			return nil, fmt.Errorf("wal: GroupOf(%d) = %d outside [0,%d)", i, gi, groups)
+		}
+		w := &Writer{id: i, mgr: m, grp: m.groups[gi]}
+		m.groups[gi].members = append(m.groups[gi].members, w)
+		m.writers = append(m.writers, w)
 	}
 	return m, nil
 }
 
-func (m *Manager) writerPath(i int) string {
+func (m *Manager) groupPath(i int) string {
 	return filepath.Join(m.dir, fmt.Sprintf("wal-%04d.log", i))
 }
 
@@ -347,6 +566,9 @@ func (m *Manager) Writer(slot int) *Writer { return m.writers[slot] }
 
 // NumWriters returns the writer count.
 func (m *Manager) NumWriters() int { return len(m.writers) }
+
+// NumGroups returns the commit-group (log file) count.
+func (m *Manager) NumGroups() int { return len(m.groups) }
 
 // constraintGSN returns the writer's contribution to the global flush
 // horizon: its flushed GSN while it has unflushed records, otherwise no
@@ -391,41 +613,50 @@ func (m *Manager) WaitRemoteFlush(gsn uint64) error {
 }
 
 // flushPast flushes the writer and advances its horizon to at least gsn
-// when it has nothing buffered at or above it. The unlock is deferred so an
-// injected crash mid-flush cannot strand the mutex and deadlock peers.
+// when it has nothing buffered at or above it. The unlocks are deferred so
+// an injected crash mid-flush cannot strand a mutex and deadlock peers.
 func (w *Writer) flushPast(gsn uint64) error {
+	g := w.grp
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.bufferGSN < gsn {
 		// Everything this writer has even buffered is below gsn;
 		// advance its horizon without touching the disk.
 		w.raiseLocalGSN(gsn)
 		w.bufferGSN = gsn
 	}
-	return w.flushLocked()
+	w.mu.Unlock()
+	return g.flushLocked()
 }
 
-// FlushAll flushes every writer (used at shutdown and checkpoints).
+// FlushAll flushes every group (used at shutdown and checkpoints).
 func (m *Manager) FlushAll() error {
-	for _, w := range m.writers {
-		if err := w.Flush(); err != nil {
+	for _, g := range m.groups {
+		g.mu.Lock()
+		err := g.flushLocked()
+		g.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Close flushes and closes all writer files.
+// Close flushes and closes all group files.
 func (m *Manager) Close() error {
 	var first error
-	for _, w := range m.writers {
-		if w == nil || w.f == nil {
+	for _, g := range m.groups {
+		if g == nil || g.f == nil {
 			continue
 		}
-		if err := w.Flush(); err != nil && first == nil {
+		g.mu.Lock()
+		if err := g.flushLocked(); err != nil && first == nil {
 			first = err
 		}
-		if err := w.f.Close(); err != nil && first == nil {
+		err := g.f.Close()
+		g.mu.Unlock()
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -530,20 +761,25 @@ func (m *Manager) MaxGSN() uint64 {
 	return max
 }
 
-// Truncate discards every writer's on-disk log. The checkpoint that
+// Truncate discards every group's on-disk log. The checkpoint that
 // captured the database state must be durable first. GSN clocks and LSNs
 // keep advancing so post-truncation records sort after history.
 func (m *Manager) Truncate() error {
-	for _, w := range m.writers {
-		w.mu.Lock()
-		if len(w.buf) != 0 {
+	for _, g := range m.groups {
+		g.mu.Lock()
+		for _, w := range g.members {
+			w.mu.Lock()
+			pending := len(w.buf) != 0
 			w.mu.Unlock()
-			return fmt.Errorf("wal: truncate with unflushed records on writer %d", w.id)
+			if pending {
+				g.mu.Unlock()
+				return fmt.Errorf("wal: truncate with unflushed records on writer %d", w.id)
+			}
 		}
-		err := w.f.Truncate(0)
-		w.mu.Unlock()
+		err := g.f.Truncate(0)
+		g.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("wal: truncate writer %d: %w", w.id, err)
+			return fmt.Errorf("wal: truncate group %d: %w", g.id, err)
 		}
 	}
 	return nil

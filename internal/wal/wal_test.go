@@ -237,7 +237,7 @@ func TestUnflushedRecordsNotRecovered(t *testing.T) {
 	rec := Record{Type: RecInsert, GSN: w.NextGSN(0)}
 	w.Append(&rec)
 	// Crash without flush: close the raw file without flushing the buffer.
-	w.f.Close()
+	w.grp.f.Close()
 	recs, err := Recover(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -357,7 +357,7 @@ func TestFlushIOErrorSurfaces(t *testing.T) {
 	w := m.Writer(0)
 	rec := Record{Type: RecInsert, GSN: w.NextGSN(0), Payload: []byte("doomed")}
 	w.Append(&rec)
-	w.f.Close() // simulate device failure
+	w.grp.f.Close() // simulate device failure
 	if err := w.Flush(); err == nil {
 		t.Fatal("flush on closed file succeeded")
 	}

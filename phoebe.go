@@ -101,6 +101,13 @@ type Options struct {
 	PageSize, PageCap int
 	// WALSync fsyncs WAL flushes on commit.
 	WALSync bool
+	// GroupCommitWait is how long a commit leader that sees sibling slots
+	// mid-transaction waits for their commits before issuing the shared
+	// fsync (grows the batch one device write retires). 0 picks a default
+	// of 400µs when WALSync is on; negative disables the wait. Serial
+	// workloads never pay it — the wait only arms when another slot has
+	// already buffered records.
+	GroupCommitWait time.Duration
 	// Isolation is the default level for Execute (ReadCommitted).
 	Isolation Isolation
 	// LockTimeout bounds lock waits (default 2s).
@@ -155,6 +162,13 @@ func Open(opts Options) (*DB, error) {
 	poolSlots := workers * opts.SlotsPerWorker
 	totalSlots := poolSlots + opts.Sessions + 1 // +1 system slot
 	spw := opts.SlotsPerWorker
+	groupWait := opts.GroupCommitWait
+	if groupWait == 0 && opts.WALSync {
+		groupWait = 400 * time.Microsecond
+	}
+	if groupWait < 0 {
+		groupWait = 0
+	}
 	eng, err := core.Open(core.Config{
 		Dir:              opts.Dir,
 		PageSize:         opts.PageSize,
@@ -176,6 +190,21 @@ func Open(opts Options) (*DB, error) {
 			}
 			return slot - poolSlots
 		},
+		// Group commit: every pool slot shares one WAL file, so one
+		// member's commit fsync covers every concurrently buffered
+		// commit — across workers, not just within one worker's
+		// co-routine set. That is what turns N simultaneous commits
+		// into ~one fsync. Session and system slots keep private
+		// files — they are interactive and must not convoy behind
+		// pool commits.
+		WALGroups: 1 + opts.Sessions + 1,
+		WALGroupOf: func(slot int) int {
+			if slot < poolSlots {
+				return 0
+			}
+			return 1 + (slot - poolSlots)
+		},
+		GroupCommitWait: groupWait,
 	})
 	if err != nil {
 		return nil, err

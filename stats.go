@@ -46,6 +46,7 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Counter("phoebe_lock_table_waits_total", "Table-lock acquisitions that blocked.", st.TableLocks.Waits.Load)
 	reg.Counter("phoebe_lock_table_timeouts_total", "Table-lock waits that timed out (deadlock recovery).", st.TableLocks.Timeouts.Load)
 	reg.Counter("phoebe_lock_tuple_waits_total", "Tuple-lock / transaction-ID waits (low-urgency parks).", st.TupleLockWaits.Load)
+	reg.Counter("phoebe_lock_table_spurious_wakeups_total", "Table-lock waiters woken grantable that re-queued (herd pressure).", st.TableLocks.SpuriousWakeups.Load)
 
 	reg.Counter("phoebe_buffer_accesses_total", "Page accesses (hot or cold).", func() int64 {
 		return db.engine.Pool.Stats().Accesses
@@ -62,6 +63,7 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Gauge("phoebe_buffer_resident_bytes", "Main Storage resident footprint.", db.engine.Pool.ResidentBytes)
 
 	reg.Counter("phoebe_wal_flushes_total", "WAL buffer drains that hit the device.", db.engine.WAL.Flushes)
+	reg.Counter("phoebe_wal_group_waits_total", "Commit leaders that yielded the group-commit wait window before flushing.", db.engine.WAL.GroupWaits)
 	reg.Counter("phoebe_wal_remote_flush_waits_total", "Commits that waited on a foreign writer's durable horizon.", st.RemoteFlushWaits.Load)
 	reg.Counter("phoebe_wal_rfa_avoided_total", "Cross-slot page touches whose remote flush RFA proved unnecessary.", st.RFAAvoided.Load)
 
@@ -78,6 +80,7 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Counter("phoebe_checkpoints_total", "Completed checkpoints.", st.Checkpoints.Load)
 
 	reg.Counter("phoebe_sched_executed_total", "Pool tasks completed.", db.pool.Executed)
+	reg.Counter("phoebe_sched_stolen_total", "Tasks stolen from a sibling worker's queue.", db.pool.Stolen)
 	reg.Gauge("phoebe_sched_queue_depth", "Tasks waiting in the admission queue.", func() int64 {
 		return int64(db.pool.QueueDepth())
 	})
