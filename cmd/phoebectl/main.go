@@ -10,6 +10,12 @@
 //	phoebe> scan users
 //	phoebe> stats
 //	phoebe> quit
+//
+// It also carries one-shot backup tooling (no shell):
+//
+//	$ phoebectl backup create  -dir /var/lib/phoebe -archive /backups/phoebe
+//	$ phoebectl backup verify  -archive /backups/phoebe
+//	$ phoebectl backup restore -archive /backups/phoebe -dest /var/lib/phoebe2 -target-gsn 12345
 package main
 
 import (
@@ -24,6 +30,15 @@ import (
 )
 
 func main() {
+	// One-shot subcommands run without the interactive shell.
+	if len(os.Args) > 1 && os.Args[1] == "backup" {
+		if err := runBackup(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	dir := flag.String("dir", "", "database directory (default: temporary)")
 	flag.Parse()
 

@@ -37,6 +37,7 @@ func main() {
 		walSync     = flag.Bool("walsync", true, "fsync WAL on commit")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9187)")
 		slowTxn     = flag.Duration("slow-threshold", 0, "log transactions slower than this with a component breakdown (0 disables)")
+		archiveDir  = flag.String("archive-dir", "", "continuously archive WAL into this directory (enables online base backups and PITR via phoebectl backup)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		SlotsPerWorker:   *slots,
 		WALSync:          *walSync,
 		SlowTxnThreshold: *slowTxn,
+		ArchiveDir:       *archiveDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -96,6 +98,9 @@ func main() {
 		srv.Shutdown(l)
 	}()
 
+	if *archiveDir != "" {
+		fmt.Printf("archiving WAL to %s\n", *archiveDir)
+	}
 	fmt.Printf("phoebeserver listening on %s (data in %s)\n", *listen, *dir)
 	if err := srv.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

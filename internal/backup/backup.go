@@ -1,0 +1,475 @@
+package backup
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/fault"
+	"phoebedb/internal/wal"
+)
+
+// Archive directory layout.
+const (
+	ManifestName = "MANIFEST"
+	LabelName    = "backup_label"
+	// SidecarName is the server's append-only DDL journal, snapshotted
+	// into the archive root each round (see syncSidecarLocked).
+	SidecarName = "schema.sql"
+	segmentsDir = "segments"
+	baseDir     = "base"
+)
+
+// Archiver continuously copies the live WAL into an archive directory. One
+// archiver owns one archive; all methods are safe for concurrent use, but
+// the archiver assumes it is the only process writing the archive.
+//
+// Copy protocol, per WAL group, per round:
+//
+//  1. Read the live wal file from the persisted source offset (SrcOff).
+//  2. Parse whole checksum-valid records only; stop at the first torn or
+//     incomplete tail (those bytes are not yet durable application state —
+//     the next round picks them up once the engine finishes the write).
+//  3. Drop records with GSN <= SealGSN. Checkpoint fast-forwards every
+//     writer's GSN clock to the horizon before sealing, so the filter
+//     exactly identifies bytes from an already-sealed epoch that survived
+//     a crash between seal and WAL truncation.
+//  4. Append the kept bytes to the epoch's segment file and fsync it.
+//  5. Only then rewrite the manifest (atomically) to cover the new bytes.
+//
+// Step 4-before-5 ordering means the manifest-covered prefix of every
+// segment is always durable, whole records; a crash between them leaves a
+// torn segment tail that reopen truncates away and re-copies.
+type Archiver struct {
+	walDir string
+	dir    string
+
+	mu sync.Mutex
+	m  *Manifest
+
+	// Counters surfaced via the metrics registry.
+	rounds        atomic.Int64
+	archivedBytes atomic.Int64
+	seals         atomic.Int64
+	baseBackups   atomic.Int64
+	horizonGSN    atomic.Uint64
+	lastBaseGSN   atomic.Uint64
+}
+
+// OpenArchiver opens (or creates) the archive at dir for the WAL files in
+// walDir. startGSN is the engine's current checkpoint horizon: when the
+// archive is created fresh against a database that already checkpointed,
+// history at or below startGSN lives only in the checkpoint image, so the
+// archive records it as its ContinuousFrom bound (and skips any stale
+// records below it). startGSN is ignored when the archive already exists.
+func OpenArchiver(walDir, dir string, startGSN uint64) (*Archiver, error) {
+	if err := os.MkdirAll(filepath.Join(dir, segmentsDir), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, baseDir), 0o755); err != nil {
+		return nil, err
+	}
+	a := &Archiver{walDir: walDir, dir: dir}
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	switch {
+	case os.IsNotExist(err):
+		a.m = &Manifest{ContinuousFrom: startGSN, SealGSN: startGSN}
+		if err := a.persistLocked(); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, err
+	default:
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return nil, err
+		}
+		a.m = m
+		if err := a.resyncLocked(); err != nil {
+			return nil, err
+		}
+	}
+	a.refreshHorizonLocked()
+	return a, nil
+}
+
+// Dir returns the archive root directory.
+func (a *Archiver) Dir() string { return a.dir }
+
+// resyncLocked reconciles segment files with the manifest after a restart:
+// bytes beyond the covered length are an unacknowledged tail from a crash
+// mid-round and are truncated away (the source bytes are still in the live
+// WAL — SrcOff only advances with the manifest). A segment *shorter* than
+// its covered length is real loss and refuses to open.
+func (a *Archiver) resyncLocked() error {
+	for i := range a.m.Segments {
+		s := &a.m.Segments[i]
+		p := a.segPath(s)
+		st, err := os.Stat(p)
+		if os.IsNotExist(err) {
+			if s.Length == 0 {
+				continue
+			}
+			return fmt.Errorf("backup: segment %s missing (%d bytes covered)", s.Name(), s.Length)
+		}
+		if err != nil {
+			return err
+		}
+		if uint64(st.Size()) < s.Length {
+			return fmt.Errorf("backup: segment %s is %d bytes, manifest covers %d",
+				s.Name(), st.Size(), s.Length)
+		}
+		if uint64(st.Size()) > s.Length {
+			if err := os.Truncate(p, int64(s.Length)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Archiver) segPath(s *Segment) string {
+	return filepath.Join(a.dir, segmentsDir, s.Name())
+}
+
+func (a *Archiver) livePaths() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(a.walDir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// currentSegLocked returns the unsealed segment for group g in the current
+// epoch, creating its manifest entry on first use.
+func (a *Archiver) currentSegLocked(g int) *Segment {
+	for i := range a.m.Segments {
+		s := &a.m.Segments[i]
+		if !s.Sealed && s.Group == uint32(g) && s.Epoch == a.m.Epoch {
+			return s
+		}
+	}
+	a.m.Segments = append(a.m.Segments, Segment{Group: uint32(g), Epoch: a.m.Epoch})
+	return &a.m.Segments[len(a.m.Segments)-1]
+}
+
+// persistLocked atomically rewrites the manifest.
+func (a *Archiver) persistLocked() error {
+	enc := EncodeManifest(a.m)
+	tmp := filepath.Join(a.dir, ManifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(a.dir, ManifestName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(a.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (a *Archiver) refreshHorizonLocked() {
+	var max uint64
+	for i := range a.m.Segments {
+		if g := a.m.Segments[i].LastGSN; g > max {
+			max = g
+		}
+	}
+	if max < a.m.SealGSN {
+		max = a.m.SealGSN
+	}
+	a.horizonGSN.Store(max)
+}
+
+// Archive runs one copy round over every WAL group and returns how many
+// bytes it archived. Safe to call concurrently with transactions: it only
+// ever consumes whole checksum-valid records, which the engine never
+// rewrites in place.
+func (a *Archiver) Archive() (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.archiveLocked()
+}
+
+func (a *Archiver) archiveLocked() (int64, error) {
+	a.rounds.Add(1)
+	paths, err := a.livePaths()
+	if err != nil {
+		return 0, err
+	}
+	for len(a.m.SrcOff) < len(paths) {
+		a.m.SrcOff = append(a.m.SrcOff, 0)
+	}
+	var total int64
+	dirty := false
+	for g, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return total, err
+		}
+		off := a.m.SrcOff[g]
+		if uint64(len(data)) < off {
+			// Only Checkpoint truncates the WAL, and it seals first (which
+			// resets SrcOff to zero). A shrink below our offset means the
+			// archive-before-truncate protocol was violated.
+			return total, fmt.Errorf("backup: %s shrank to %d below archived offset %d",
+				p, len(data), off)
+		}
+		seg := a.currentSegLocked(g)
+		var out []byte
+		var firstGSN, lastGSN uint64
+		consumed := 0
+		buf := data[off:]
+		for {
+			r, n, ok := wal.DecodeRecordAt(buf, consumed)
+			if !ok {
+				break
+			}
+			if r.GSN > a.m.SealGSN {
+				out = append(out, buf[consumed:consumed+n]...)
+				if firstGSN == 0 {
+					firstGSN = r.GSN
+				}
+				if r.GSN > lastGSN {
+					lastGSN = r.GSN
+				}
+			}
+			consumed += n
+		}
+		if consumed == 0 {
+			continue
+		}
+		if len(out) > 0 {
+			if err := fault.Eval(fault.BackupArchiveCopy); err != nil {
+				return total, err
+			}
+			if err := a.appendSegment(seg, out); err != nil {
+				return total, err
+			}
+			seg.CRC = crc32.Update(seg.CRC, crc32.IEEETable, out)
+			seg.Length += uint64(len(out))
+			if seg.FirstGSN == 0 {
+				seg.FirstGSN = firstGSN
+			}
+			if lastGSN > seg.LastGSN {
+				seg.LastGSN = lastGSN
+			}
+			total += int64(len(out))
+		}
+		a.m.SrcOff[g] = off + uint64(consumed)
+		dirty = true
+	}
+	if dirty {
+		if err := a.persistLocked(); err != nil {
+			return total, err
+		}
+	}
+	a.archivedBytes.Add(total)
+	a.refreshHorizonLocked()
+	if err := a.syncSidecarLocked(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// syncSidecarLocked snapshots the DDL journal (schema.sql, kept by the
+// server next to the wal/ directory) into the archive root so a restore
+// that predates the first base backup can still declare the schema before
+// replay. The journal is newline-delimited append-only text, so the copy
+// is cut at the last newline — a torn in-flight append never yields a
+// half statement — and strictly grows, so the newest copy always covers
+// every table any archived record can reference.
+func (a *Archiver) syncSidecarLocked() error {
+	data, err := os.ReadFile(filepath.Join(filepath.Dir(a.walDir), SidecarName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	i := bytes.LastIndexByte(data, '\n')
+	if i < 0 {
+		return nil
+	}
+	data = data[:i+1]
+	dst := filepath.Join(a.dir, SidecarName)
+	if old, err := os.ReadFile(dst); err == nil && bytes.Equal(old, data) {
+		return nil
+	}
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// appendSegment appends out to the segment file and fsyncs it. The
+// manifest still covers only the old length until persistLocked runs, so a
+// crash anywhere in here leaves a torn tail that resync discards.
+func (a *Archiver) appendSegment(seg *Segment, out []byte) error {
+	f, err := os.OpenFile(a.segPath(seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if cut := fault.TornCut(fault.BackupTornSegment, len(out)); cut > 0 {
+		f.Write(out[:len(out)-cut])
+		f.Sync()
+		fault.Crash(fault.BackupTornSegment)
+	}
+	if _, err := f.Write(out); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Seal closes the current epoch at checkpoint horizon cpGSN. The engine
+// calls it quiesced, with the WAL fully flushed and the checkpoint image
+// durable, strictly before WAL truncation. Seal drains every remaining log
+// byte into the archive and refuses (aborting the truncation) if any byte
+// resists parsing — a torn tail in a flushed, quiesced WAL is corruption,
+// not an in-flight write.
+func (a *Archiver) Seal(cpGSN uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.archiveLocked(); err != nil {
+		return err
+	}
+	paths, err := a.livePaths()
+	if err != nil {
+		return err
+	}
+	for g, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if uint64(st.Size()) != a.m.SrcOff[g] {
+			return fmt.Errorf("backup: seal: %s has %d unarchivable bytes at offset %d",
+				p, uint64(st.Size())-a.m.SrcOff[g], a.m.SrcOff[g])
+		}
+	}
+	// Every group gets a segment entry this epoch — empty ones too, so
+	// verify can prove per-group epoch coverage is complete, not absent.
+	for g := range paths {
+		seg := a.currentSegLocked(g)
+		if seg.LastGSN > cpGSN {
+			return fmt.Errorf("backup: seal: segment %s holds GSN %d above checkpoint horizon %d",
+				seg.Name(), seg.LastGSN, cpGSN)
+		}
+		seg.Sealed = true
+	}
+	a.m.SealGSN = cpGSN
+	a.m.Epoch++
+	for g := range a.m.SrcOff {
+		a.m.SrcOff[g] = 0
+	}
+	if err := a.persistLocked(); err != nil {
+		return err
+	}
+	a.seals.Add(1)
+	a.refreshHorizonLocked()
+	return nil
+}
+
+// HorizonGSN returns the highest GSN the archive durably holds.
+func (a *Archiver) HorizonGSN() uint64 { return a.horizonGSN.Load() }
+
+// Rounds returns how many archiving rounds have run.
+func (a *Archiver) Rounds() int64 { return a.rounds.Load() }
+
+// ArchivedBytes returns the total log bytes copied into the archive.
+func (a *Archiver) ArchivedBytes() int64 { return a.archivedBytes.Load() }
+
+// Seals returns how many epochs have been sealed.
+func (a *Archiver) Seals() int64 { return a.seals.Load() }
+
+// BaseBackups returns how many base backups completed.
+func (a *Archiver) BaseBackups() int64 { return a.baseBackups.Load() }
+
+// LastBaseGSN returns the horizon GSN of the newest completed base backup.
+func (a *Archiver) LastBaseGSN() uint64 { return a.lastBaseGSN.Load() }
+
+// LagBytes returns how many live WAL bytes are not yet archive-covered —
+// the data an archive restore would lose if the primary's disk died now.
+func (a *Archiver) LagBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	paths, err := a.livePaths()
+	if err != nil {
+		return 0
+	}
+	var lag int64
+	for g, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		var off uint64
+		if g < len(a.m.SrcOff) {
+			off = a.m.SrcOff[g]
+		}
+		if uint64(st.Size()) > off {
+			lag += st.Size() - int64(off)
+		}
+	}
+	return lag
+}
+
+// LoadManifest reads and validates the archive's manifest.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(data)
+}
+
+// GroupSegments returns group g's segments in epoch order (the group's
+// archived byte stream is their concatenation).
+func (m *Manifest) GroupSegments(g int) []Segment {
+	var segs []Segment
+	for _, s := range m.Segments {
+		if s.Group == uint32(g) {
+			segs = append(segs, s)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Epoch < segs[j].Epoch })
+	return segs
+}
+
+// NumGroups returns how many WAL groups the archive tracks.
+func (m *Manifest) NumGroups() int {
+	n := len(m.SrcOff)
+	for _, s := range m.Segments {
+		if int(s.Group)+1 > n {
+			n = int(s.Group) + 1
+		}
+	}
+	return n
+}
+
+// SegmentPath returns the segment's location under the archive root.
+func SegmentPath(dir string, s *Segment) string {
+	return filepath.Join(dir, segmentsDir, s.Name())
+}

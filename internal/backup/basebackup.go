@@ -1,0 +1,217 @@
+package backup
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"phoebedb/internal/core"
+	"phoebedb/internal/fault"
+)
+
+// BaseFileNames are the data-directory files a base backup captures:
+// the checkpoint image, the frozen-block file its BlockRefs point into,
+// and the DDL journal. The live page file (data.pages) is deliberately
+// absent — checkpoint images carry full page bytes, and everything after
+// the checkpoint is replayed from archived WAL.
+var BaseFileNames = []string{"checkpoint.db", "data.blocks", "schema.sql"}
+
+// BaseSource describes where a base backup copies from. The three hooks
+// bind it to a live engine and are all nil for an offline (stopped
+// database) backup.
+type BaseSource struct {
+	// DataDir is the database directory holding checkpoint.db etc.
+	DataDir string
+	// MaxGSN returns the WAL's current highest assigned GSN.
+	MaxGSN func() uint64
+	// RaiseGSN lifts every WAL writer's GSN clock to at least the given
+	// value, so records logged after the horizon capture sort above it.
+	RaiseGSN func(uint64)
+	// FlushWAL forces every writer's buffer to its group file.
+	FlushWAL func() error
+}
+
+// BaseBackup takes an online base backup into <archive>/base/<seq> and
+// returns its label and directory. The engine keeps serving transactions
+// throughout; only three cheap synchronous steps touch it.
+//
+// Horizon protocol (live source): capture horizon = MaxGSN, then RaiseGSN
+// so every record logged from now on sorts strictly above it, then
+// FlushWAL so every record at or below it is in the group files, then one
+// archive round so those bytes are archive-covered. After that the copied
+// image plus archived WAL up to the horizon reproduce every transaction
+// acknowledged before the backup began — that is the promise HorizonGSN
+// makes in the label.
+//
+// The label is written last, atomically: a crash at any earlier point
+// leaves a directory without backup_label, which Verify reports as
+// incomplete and Restore ignores.
+func (a *Archiver) BaseBackup(src BaseSource) (*Label, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	var horizon uint64
+	if src.MaxGSN != nil {
+		horizon = src.MaxGSN()
+	}
+	if src.RaiseGSN != nil {
+		src.RaiseGSN(horizon)
+	}
+	if src.FlushWAL != nil {
+		if err := src.FlushWAL(); err != nil {
+			return nil, "", fmt.Errorf("backup: base backup flush: %w", err)
+		}
+	}
+	if _, err := a.archiveLocked(); err != nil {
+		return nil, "", fmt.Errorf("backup: base backup catch-up: %w", err)
+	}
+	if horizon == 0 {
+		// Offline source: after a full catch-up round the archive horizon
+		// is the highest GSN the database ever logged.
+		horizon = a.horizonGSN.Load()
+	}
+	if got := a.horizonGSN.Load(); got < horizon {
+		return nil, "", fmt.Errorf("backup: archive horizon %d below backup horizon %d", got, horizon)
+	}
+
+	seq := a.m.NextBase
+	bdir := filepath.Join(a.dir, baseDir, fmt.Sprintf("%06d", seq))
+	if err := os.MkdirAll(bdir, 0o755); err != nil {
+		return nil, "", err
+	}
+	var files []LabelFile
+	var cpGSN uint64
+	for _, name := range BaseFileNames {
+		data, err := os.ReadFile(filepath.Join(src.DataDir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		if name == "checkpoint.db" {
+			// Describe the image bytes actually captured, not whatever the
+			// engine's horizon was when we asked — a checkpoint may have
+			// replaced the file between the two.
+			cpGSN, err = core.ReadCheckpointGSNFromImage(data)
+			if err != nil {
+				return nil, "", fmt.Errorf("backup: base backup: %w", err)
+			}
+		}
+		if err := writeFileSync(filepath.Join(bdir, name), data); err != nil {
+			return nil, "", err
+		}
+		files = append(files, LabelFile{
+			Name: name,
+			Size: uint64(len(data)),
+			CRC:  crc32.ChecksumIEEE(data),
+		})
+	}
+	if cpGSN < a.m.ContinuousFrom {
+		return nil, "", fmt.Errorf("backup: base backup checkpoint horizon %d predates archive history (continuous from %d)",
+			cpGSN, a.m.ContinuousFrom)
+	}
+	if horizon < cpGSN {
+		horizon = cpGSN
+	}
+
+	if err := fault.Eval(fault.BackupPreLabel); err != nil {
+		return nil, "", err
+	}
+	label := &Label{CheckpointGSN: cpGSN, HorizonGSN: horizon, Files: files}
+	if err := writeFileAtomic(filepath.Join(bdir, LabelName), EncodeLabel(label)); err != nil {
+		return nil, "", err
+	}
+	if d, err := os.Open(bdir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+
+	a.m.NextBase = seq + 1
+	if err := a.persistLocked(); err != nil {
+		return nil, "", err
+	}
+	a.baseBackups.Add(1)
+	a.lastBaseGSN.Store(horizon)
+	return label, bdir, nil
+}
+
+// baseEntry is one directory under <archive>/base.
+type baseEntry struct {
+	seq   int
+	dir   string
+	label *Label // nil when incomplete (no valid backup_label)
+	err   string
+}
+
+// listBases returns the base backup directories in ascending sequence
+// order, decoding each label (entries without a valid label are kept, with
+// label nil, so callers can report them).
+func listBases(archiveDir string) ([]baseEntry, error) {
+	root := filepath.Join(archiveDir, baseDir)
+	ents, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []baseEntry
+	for _, de := range ents {
+		if !de.IsDir() {
+			continue
+		}
+		seq, err := strconv.Atoi(de.Name())
+		if err != nil {
+			continue
+		}
+		be := baseEntry{seq: seq, dir: filepath.Join(root, de.Name())}
+		data, err := os.ReadFile(filepath.Join(be.dir, LabelName))
+		switch {
+		case os.IsNotExist(err):
+			be.err = "missing backup_label (crash during base backup)"
+		case err != nil:
+			be.err = err.Error()
+		default:
+			l, derr := DecodeLabel(data)
+			if derr != nil {
+				be.err = derr.Error()
+			} else {
+				be.label = l
+			}
+		}
+		out = append(out, be)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFileAtomic writes data via a temp file, fsync, and rename, so the
+// destination either has the old content or the complete new content.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,60 @@
+package backup_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"phoebedb/internal/fault"
+	"phoebedb/internal/fault/crashtest"
+)
+
+// crashSeed mirrors the core crash tests: deterministic by default,
+// overridable with PHOEBE_CRASHTEST_SEED for schedule exploration.
+func crashSeed(t *testing.T) int64 {
+	if s := os.Getenv("PHOEBE_CRASHTEST_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PHOEBE_CRASHTEST_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 0xBACC09
+}
+
+// TestBackupCrashAtSites crashes the archiver at every backup failpoint —
+// the pre-copy window, a torn segment append, and the window between the
+// base-backup file copies and the label write — then restarts, resyncs,
+// verifies, restores, and compares the restored database against the
+// primary row for row (see crashtest.BackupCrash).
+func TestBackupCrashAtSites(t *testing.T) {
+	seed := crashSeed(t)
+	for i, site := range fault.BackupSites() {
+		site, i := site, i
+		t.Run(site, func(t *testing.T) {
+			err := crashtest.BackupCrash(t.TempDir(), t.TempDir(), t.TempDir(), seed+int64(i), site)
+			if err != nil {
+				t.Fatalf("site %s (seed %d): %v", site, seed+int64(i), err)
+			}
+		})
+	}
+}
+
+// TestTPCCBackupRestore is the end-to-end acceptance run: TPC-C under
+// continuous archiving, an online base backup taken while terminals are
+// committing, a WAL crash mid-run, then recovery on the primary and a
+// restore from the archive — both must pass the TPC-C consistency
+// conditions and agree on every table's contents.
+func TestTPCCBackupRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tpcc backup run skipped in -short")
+	}
+	seed := crashSeed(t)
+	start := time.Now()
+	err := crashtest.TPCCBackupRestore(t.TempDir(), t.TempDir(), t.TempDir(), seed, fault.WALPreSync, 300)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Logf("tpcc archive+backup+crash+restore in %v (seed %d)", time.Since(start), seed)
+}

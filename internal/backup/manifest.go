@@ -1,0 +1,351 @@
+// Package backup implements continuous WAL archiving, online base
+// backups, and point-in-time restore for PhoebeDB.
+//
+// The archive directory is the durability root an operator replicates to
+// cheap storage:
+//
+//	<archive>/MANIFEST            checksummed index of everything below
+//	<archive>/segments/seg-E-G.wal archived log bytes, epoch E, WAL group G
+//	<archive>/base/<seq>/         online base backups (checkpoint image,
+//	                              frozen-block file, schema journal,
+//	                              backup_label)
+//
+// Archiving is continuous: the archiver tails the live wal-*.log files and
+// copies whole checksum-valid records into the current epoch's segments.
+// An epoch ends when the engine checkpoints: Seal drains every remaining
+// log byte into the archive, marks the epoch's segments sealed, and only
+// then is Checkpoint allowed to truncate the WAL — archive-before-truncate
+// is the ordering invariant that makes history recoverable after the WAL
+// itself is gone.
+//
+// Restore materializes an ordinary database directory from the archive:
+// the newest complete base backup's files plus per-group wal files rebuilt
+// from the segment chain, optionally cut at a target GSN (PITR). The
+// engine's normal Recover path then replays it — restore introduces no
+// second recovery code path.
+package backup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary format magics. Both files end with a CRC32 trailer over every
+// preceding byte and reject trailing garbage, so the codecs are canonical:
+// any accepted input re-encodes to exactly itself (fuzzed property).
+const (
+	manifestMagic   uint32 = 0x50424D31 // "PBM1"
+	labelMagic      uint32 = 0x50424C31 // "PBL1"
+	manifestVersion uint32 = 1
+	labelVersion    uint32 = 1
+)
+
+// Segment is one archived run of a WAL group's log bytes. Length/CRC cover
+// the acknowledged prefix of the segment file: bytes beyond Length are an
+// unacknowledged torn tail (a crash between the segment append and the
+// manifest rewrite) and are discarded when the archiver reopens.
+type Segment struct {
+	Group  uint32
+	Epoch  uint32
+	Sealed bool
+	Length uint64
+	CRC    uint32 // crc32(IEEE) of the first Length bytes
+	// FirstGSN is the first archived record's GSN (0 while empty);
+	// LastGSN is the highest GSN archived into the segment.
+	FirstGSN uint64
+	LastGSN  uint64
+}
+
+// Name returns the segment's file name under <archive>/segments.
+func (s *Segment) Name() string {
+	return fmt.Sprintf("seg-%08d-%04d.wal", s.Epoch, s.Group)
+}
+
+// Manifest is the archive's checksummed index, rewritten atomically after
+// every archiving round. Segment bytes become part of the archive only
+// once the manifest covers them — the manifest advances strictly after the
+// segment bytes are fsynced, so the covered prefix is always durable,
+// whole records.
+type Manifest struct {
+	// ContinuousFrom is the GSN from which the archive is gap-free: a base
+	// backup whose checkpoint horizon is at or above it can be restored.
+	// Zero means the archive holds the database's entire history.
+	ContinuousFrom uint64
+	// SealGSN is the GSN horizon of the newest sealed epoch (the
+	// checkpoint GSN that closed it). The archiver skips records at or
+	// below it when tailing — after a crash between seal and WAL
+	// truncation the live files still hold already-archived bytes, and the
+	// GSN filter is what keeps them from being archived twice.
+	SealGSN uint64
+	// Epoch is the current (unsealed) epoch number.
+	Epoch uint32
+	// NextBase is the next base backup sequence number.
+	NextBase uint32
+	// SrcOff is, per WAL group, how many bytes of the live wal file have
+	// been consumed this epoch (including records the GSN filter skipped).
+	SrcOff []uint64
+	// Segments holds every archived segment, sealed epochs first.
+	Segments []Segment
+}
+
+// segmentWire is the encoded size of one Segment.
+const segmentWire = 4 + 4 + 1 + 8 + 4 + 8 + 8
+
+// mWriter appends little-endian fields.
+type mWriter struct{ buf []byte }
+
+func (w *mWriter) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *mWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *mWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *mWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// finish appends the CRC trailer and returns the encoded file.
+func (w *mWriter) finish() []byte {
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+// mReader consumes little-endian fields with sticky error handling.
+type mReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *mReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("backup: truncated or malformed encoding")
+	}
+}
+
+func (r *mReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *mReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *mReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *mReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// count reads a u32 element count and bounds it by the bytes remaining at
+// elemSize each, so a corrupted count cannot drive a huge allocation.
+func (r *mReader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(r.buf)-r.off {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// checkTrailer verifies the CRC trailer and strips it, returning the body.
+func checkTrailer(data []byte, what string) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("backup: %s too short", what)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("backup: %s checksum mismatch", what)
+	}
+	return body, nil
+}
+
+// EncodeManifest renders the manifest in its canonical binary form.
+func EncodeManifest(m *Manifest) []byte {
+	w := &mWriter{}
+	w.u32(manifestMagic)
+	w.u32(manifestVersion)
+	w.u64(m.ContinuousFrom)
+	w.u64(m.SealGSN)
+	w.u32(m.Epoch)
+	w.u32(m.NextBase)
+	w.u32(uint32(len(m.SrcOff)))
+	for _, off := range m.SrcOff {
+		w.u64(off)
+	}
+	w.u32(uint32(len(m.Segments)))
+	for _, s := range m.Segments {
+		w.u32(s.Group)
+		w.u32(s.Epoch)
+		sealed := uint8(0)
+		if s.Sealed {
+			sealed = 1
+		}
+		w.u8(sealed)
+		w.u64(s.Length)
+		w.u32(s.CRC)
+		w.u64(s.FirstGSN)
+		w.u64(s.LastGSN)
+	}
+	return w.finish()
+}
+
+// DecodeManifest parses and validates a manifest file image.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	body, err := checkTrailer(data, "manifest")
+	if err != nil {
+		return nil, err
+	}
+	r := &mReader{buf: body}
+	if r.u32() != manifestMagic {
+		return nil, fmt.Errorf("backup: bad manifest magic")
+	}
+	if v := r.u32(); r.err == nil && v != manifestVersion {
+		return nil, fmt.Errorf("backup: unsupported manifest version %d", v)
+	}
+	m := &Manifest{
+		ContinuousFrom: r.u64(),
+		SealGSN:        r.u64(),
+		Epoch:          r.u32(),
+		NextBase:       r.u32(),
+	}
+	nOff := r.count(8)
+	for i := 0; i < nOff && r.err == nil; i++ {
+		m.SrcOff = append(m.SrcOff, r.u64())
+	}
+	nSeg := r.count(segmentWire)
+	for i := 0; i < nSeg && r.err == nil; i++ {
+		s := Segment{Group: r.u32(), Epoch: r.u32()}
+		switch r.u8() {
+		case 0:
+		case 1:
+			s.Sealed = true
+		default:
+			r.fail()
+		}
+		s.Length = r.u64()
+		s.CRC = r.u32()
+		s.FirstGSN = r.u64()
+		s.LastGSN = r.u64()
+		m.Segments = append(m.Segments, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("backup: %d trailing bytes after manifest", len(body)-r.off)
+	}
+	return m, nil
+}
+
+// LabelFile records one file copied into a base backup, with the size and
+// checksum it had at copy time — restore and verify recompute both.
+type LabelFile struct {
+	Name string
+	Size uint64
+	CRC  uint32
+}
+
+// Label is the backup_label written LAST into a base backup directory: a
+// base backup without a label (a crash mid-copy) is incomplete and is
+// ignored by verify and restore.
+type Label struct {
+	// CheckpointGSN is the GSN horizon of the checkpoint image included in
+	// the backup (0 when the database had never checkpointed). Restore
+	// refuses PITR targets below it — the image already contains that
+	// history in merged form.
+	CheckpointGSN uint64
+	// HorizonGSN is the backup horizon: every transaction acknowledged
+	// before the base backup began has its commit record at or below it,
+	// so restoring to HorizonGSN reproduces at least everything the
+	// application had been told was durable.
+	HorizonGSN uint64
+	// Files lists the copied data files.
+	Files []LabelFile
+}
+
+// EncodeLabel renders the label in its canonical binary form.
+func EncodeLabel(l *Label) []byte {
+	w := &mWriter{}
+	w.u32(labelMagic)
+	w.u32(labelVersion)
+	w.u64(l.CheckpointGSN)
+	w.u64(l.HorizonGSN)
+	w.u32(uint32(len(l.Files)))
+	for _, f := range l.Files {
+		w.bytes([]byte(f.Name))
+		w.u64(f.Size)
+		w.u32(f.CRC)
+	}
+	return w.finish()
+}
+
+// DecodeLabel parses and validates a backup_label image.
+func DecodeLabel(data []byte) (*Label, error) {
+	body, err := checkTrailer(data, "backup label")
+	if err != nil {
+		return nil, err
+	}
+	r := &mReader{buf: body}
+	if r.u32() != labelMagic {
+		return nil, fmt.Errorf("backup: bad label magic")
+	}
+	if v := r.u32(); r.err == nil && v != labelVersion {
+		return nil, fmt.Errorf("backup: unsupported label version %d", v)
+	}
+	l := &Label{CheckpointGSN: r.u64(), HorizonGSN: r.u64()}
+	nf := r.count(4 + 8 + 4)
+	for i := 0; i < nf && r.err == nil; i++ {
+		f := LabelFile{Name: string(r.bytes())}
+		f.Size = r.u64()
+		f.CRC = r.u32()
+		l.Files = append(l.Files, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("backup: %d trailing bytes after label", len(body)-r.off)
+	}
+	return l, nil
+}

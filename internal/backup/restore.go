@@ -1,0 +1,319 @@
+package backup
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"phoebedb/internal/wal"
+)
+
+// BaseInfo summarizes one base backup for verification reports.
+type BaseInfo struct {
+	Seq      int
+	Dir      string
+	Complete bool
+	Label    *Label // nil when incomplete
+	Problem  string // why the backup is unusable, when it is
+}
+
+// VerifyReport summarizes a verified archive.
+type VerifyReport struct {
+	ContinuousFrom uint64
+	HorizonGSN     uint64
+	Epochs         uint32 // sealed epochs
+	Groups         int
+	Segments       int
+	ArchivedBytes  int64
+	Records        int
+	Bases          []BaseInfo
+}
+
+// Verify checks the whole archive: the manifest's checksum and structure,
+// every segment's checksum and record-level parseability against its
+// manifest entry, per-group epoch coverage (no sealed epoch may be
+// missing — that is a gap), and every base backup's files against its
+// label. Incomplete base backups (no label: a crash mid-backup) are
+// reported but are not errors; any integrity failure in the manifest,
+// a segment, or a labeled base backup is.
+func Verify(archiveDir string) (*VerifyReport, error) {
+	m, err := LoadManifest(archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{
+		ContinuousFrom: m.ContinuousFrom,
+		Epochs:         m.Epoch,
+		Groups:         m.NumGroups(),
+		Segments:       len(m.Segments),
+	}
+	for g := 0; g < rep.Groups; g++ {
+		segs := m.GroupSegments(g)
+		// A group's sealed epochs must be a contiguous run ending at the
+		// current epoch (groups created later start at a higher epoch). A
+		// hole in the middle means archived history went missing.
+		for i, s := range segs {
+			if i > 0 && s.Epoch != segs[i-1].Epoch+1 {
+				return nil, fmt.Errorf("backup: group %d missing epochs %d..%d",
+					g, segs[i-1].Epoch+1, s.Epoch-1)
+			}
+			if s.Sealed && s.Epoch >= m.Epoch {
+				return nil, fmt.Errorf("backup: group %d epoch %d sealed beyond current epoch %d",
+					g, s.Epoch, m.Epoch)
+			}
+			if !s.Sealed && s.Epoch != m.Epoch {
+				return nil, fmt.Errorf("backup: group %d epoch %d unsealed but not current",
+					g, s.Epoch)
+			}
+		}
+		if n := len(segs); n > 0 {
+			last := segs[n-1]
+			if last.Sealed && last.Epoch != m.Epoch-1 {
+				return nil, fmt.Errorf("backup: group %d missing epochs %d..%d",
+					g, last.Epoch+1, m.Epoch-1)
+			}
+		}
+	}
+	for i := range m.Segments {
+		s := &m.Segments[i]
+		n, b, err := verifySegment(archiveDir, s)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records += n
+		rep.ArchivedBytes += b
+		if s.LastGSN > rep.HorizonGSN {
+			rep.HorizonGSN = s.LastGSN
+		}
+	}
+	if m.SealGSN > rep.HorizonGSN {
+		rep.HorizonGSN = m.SealGSN
+	}
+	bases, err := listBases(archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, be := range bases {
+		bi := BaseInfo{Seq: be.seq, Dir: be.dir, Label: be.label, Problem: be.err}
+		if be.label != nil {
+			if err := verifyBaseFiles(be.dir, be.label); err != nil {
+				return nil, fmt.Errorf("backup: base %06d: %w", be.seq, err)
+			}
+			bi.Complete = true
+		}
+		rep.Bases = append(rep.Bases, bi)
+	}
+	return rep, nil
+}
+
+// verifySegment checks one segment file against its manifest entry and
+// returns the record count and covered bytes.
+func verifySegment(archiveDir string, s *Segment) (int, int64, error) {
+	p := SegmentPath(archiveDir, s)
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) && s.Length == 0 {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if uint64(len(data)) < s.Length {
+		return 0, 0, fmt.Errorf("backup: segment %s torn: %d bytes on disk, %d covered",
+			s.Name(), len(data), s.Length)
+	}
+	// Bytes beyond Length are an unacknowledged tail from a crashed round;
+	// the archiver truncates them on reopen. Only the covered prefix counts.
+	data = data[:s.Length]
+	if got := crc32.ChecksumIEEE(data); got != s.CRC {
+		return 0, 0, fmt.Errorf("backup: segment %s checksum mismatch", s.Name())
+	}
+	var first, last uint64
+	count := 0
+	off := 0
+	for off < len(data) {
+		r, n, ok := wal.DecodeRecordAt(data, off)
+		if !ok {
+			return 0, 0, fmt.Errorf("backup: segment %s: torn record at offset %d", s.Name(), off)
+		}
+		if count == 0 {
+			first = r.GSN
+		}
+		if r.GSN > last {
+			last = r.GSN
+		}
+		count++
+		off += n
+	}
+	if first != s.FirstGSN || last != s.LastGSN {
+		return 0, 0, fmt.Errorf("backup: segment %s GSN range [%d,%d] does not match manifest [%d,%d]",
+			s.Name(), first, last, s.FirstGSN, s.LastGSN)
+	}
+	return count, int64(len(data)), nil
+}
+
+// verifyBaseFiles checks a labeled base backup's files byte-for-byte
+// against the label's sizes and checksums.
+func verifyBaseFiles(dir string, l *Label) error {
+	for _, f := range l.Files {
+		data, err := os.ReadFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			return err
+		}
+		if uint64(len(data)) != f.Size {
+			return fmt.Errorf("%s is %d bytes, label records %d", f.Name, len(data), f.Size)
+		}
+		if got := crc32.ChecksumIEEE(data); got != f.CRC {
+			return fmt.Errorf("%s checksum mismatch", f.Name)
+		}
+	}
+	return nil
+}
+
+// RestoreReport summarizes a completed restore.
+type RestoreReport struct {
+	BaseSeq       int // -1 when the archive's full history was replayed with no base
+	BaseDir       string
+	CheckpointGSN uint64
+	HorizonGSN    uint64 // newest base backup's acknowledged-durability horizon
+	TargetGSN     uint64 // 0 = everything
+	Groups        int
+	Records       int    // WAL records materialized for replay
+	MaxGSN        uint64 // highest GSN materialized
+}
+
+// Restore materializes an ordinary database directory at destDir from the
+// archive: the newest complete base backup's files, plus per-group wal
+// files rebuilt from the segment chain. targetGSN optionally cuts the
+// replay for point-in-time recovery: only records with GSN <= targetGSN
+// are materialized, which — because a transaction's commit record carries
+// its highest GSN — keeps exactly the transactions that committed at or
+// before the target, each one whole. targetGSN 0 means restore everything
+// the archive holds.
+//
+// The archive is fully verified first; a torn or gap-containing archive
+// refuses to restore. destDir must not already contain a database.
+func Restore(archiveDir, destDir string, targetGSN uint64) (*RestoreReport, error) {
+	if _, err := Verify(archiveDir); err != nil {
+		return nil, err
+	}
+	m, err := LoadManifest(archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	bases, err := listBases(archiveDir)
+	if err != nil {
+		return nil, err
+	}
+	var base *baseEntry
+	for i := len(bases) - 1; i >= 0; i-- {
+		if bases[i].label == nil {
+			continue
+		}
+		// PITR may need an older base: the image must predate the target.
+		if targetGSN != 0 && bases[i].label.CheckpointGSN > targetGSN {
+			continue
+		}
+		base = &bases[i]
+		break
+	}
+	if base == nil && m.ContinuousFrom != 0 {
+		return nil, fmt.Errorf("backup: archive history begins at GSN %d; restore requires a complete base backup%s",
+			m.ContinuousFrom, pitrHint(targetGSN))
+	}
+
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return nil, err
+	}
+	if ents, err := os.ReadDir(destDir); err != nil {
+		return nil, err
+	} else if len(ents) != 0 {
+		return nil, fmt.Errorf("backup: restore destination %s is not empty", destDir)
+	}
+
+	rep := &RestoreReport{BaseSeq: -1, TargetGSN: targetGSN, Groups: m.NumGroups()}
+	if base != nil {
+		rep.BaseSeq = base.seq
+		rep.BaseDir = base.dir
+		rep.CheckpointGSN = base.label.CheckpointGSN
+		rep.HorizonGSN = base.label.HorizonGSN
+		if base.label.CheckpointGSN < m.ContinuousFrom {
+			return nil, fmt.Errorf("backup: base %06d checkpoint horizon %d predates archive history (continuous from %d)",
+				base.seq, base.label.CheckpointGSN, m.ContinuousFrom)
+		}
+		for _, f := range base.label.Files {
+			data, err := os.ReadFile(filepath.Join(base.dir, f.Name))
+			if err != nil {
+				return nil, err
+			}
+			if err := writeFileSync(filepath.Join(destDir, f.Name), data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// The server's DDL journal rides along as an archive sidecar (see
+	// Archiver.syncSidecarLocked). A base backup carries its own
+	// checksummed copy; fill it in from the sidecar only when the restore
+	// predates every base, so schema replay can run before WAL replay.
+	if _, err := os.Stat(filepath.Join(destDir, SidecarName)); os.IsNotExist(err) {
+		if data, rerr := os.ReadFile(filepath.Join(archiveDir, SidecarName)); rerr == nil {
+			if err := writeFileSync(filepath.Join(destDir, SidecarName), data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	target := targetGSN
+	if target == 0 {
+		target = ^uint64(0)
+	}
+	walDir := filepath.Join(destDir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, err
+	}
+	for g := 0; g < rep.Groups; g++ {
+		var out []byte
+		for _, s := range m.GroupSegments(g) {
+			if s.Length == 0 {
+				continue
+			}
+			data, err := os.ReadFile(SegmentPath(archiveDir, &s))
+			if err != nil {
+				return nil, err
+			}
+			data = data[:s.Length]
+			off := 0
+			for off < len(data) {
+				r, n, ok := wal.DecodeRecordAt(data, off)
+				if !ok {
+					return nil, fmt.Errorf("backup: segment %s: torn record at offset %d", s.Name(), off)
+				}
+				if r.GSN > rep.CheckpointGSN && r.GSN <= target {
+					out = append(out, data[off:off+n]...)
+					rep.Records++
+					if r.GSN > rep.MaxGSN {
+						rep.MaxGSN = r.GSN
+					}
+				}
+				off += n
+			}
+		}
+		name := filepath.Join(walDir, fmt.Sprintf("wal-%04d.log", g))
+		if err := writeFileSync(name, out); err != nil {
+			return nil, err
+		}
+	}
+	if d, err := os.Open(destDir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return rep, nil
+}
+
+func pitrHint(targetGSN uint64) string {
+	if targetGSN == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" with checkpoint horizon at or below target GSN %d", targetGSN)
+}

@@ -189,14 +189,51 @@ func (e *Engine) Checkpoint() error {
 	if err := fault.Eval(fault.CheckpointPostSave); err != nil {
 		return err
 	}
+	e.lastCpGSN.Store(cpGSN)
 	e.stats.Checkpoints.Add(1)
 	if err := e.bf.Sync(); err != nil {
 		return err
+	}
+	// Archive ordering: the archiver must copy (and make durable) every
+	// remaining WAL byte before truncation destroys it. A seal failure
+	// aborts the truncation, not the checkpoint — the image is already
+	// durable, recovery drops records at or below cpGSN, and the next
+	// checkpoint retries the seal over the same (longer) log.
+	if e.archiver != nil {
+		if err := e.archiver.Seal(cpGSN); err != nil {
+			return fmt.Errorf("core: checkpoint kept WAL (archive seal failed): %w", err)
+		}
 	}
 	if err := fault.Eval(fault.CheckpointPreTruncate); err != nil {
 		return err
 	}
 	return e.WAL.Truncate()
+}
+
+// ReadCheckpointGSNFromImage extracts the GSN horizon from an encoded
+// checkpoint image without loading it into an engine. Base backups use it
+// so the recorded horizon always describes the exact image bytes captured,
+// even if the engine checkpointed again mid-copy.
+func ReadCheckpointGSNFromImage(data []byte) (uint64, error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("core: checkpoint too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, fmt.Errorf("core: checkpoint checksum mismatch")
+	}
+	r := &cpReader{buf: body}
+	if r.u32() != checkpointMagic {
+		return 0, fmt.Errorf("core: bad checkpoint magic")
+	}
+	if v := r.u32(); r.err == nil && v != checkpointVersion {
+		return 0, fmt.Errorf("core: unsupported checkpoint version %d", v)
+	}
+	g := r.u64()
+	if r.err != nil {
+		return 0, r.err
+	}
+	return g, nil
 }
 
 // loadCheckpoint restores tables from the newest checkpoint, if one
@@ -277,5 +314,6 @@ func (e *Engine) loadCheckpoint() (bool, uint64, error) {
 	for i := 0; i < e.WAL.NumWriters(); i++ {
 		e.WAL.Writer(i).AdvanceGSN(maxGSN)
 	}
+	e.lastCpGSN.Store(maxGSN)
 	return true, maxGSN, nil
 }

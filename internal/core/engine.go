@@ -182,6 +182,17 @@ func (t *Tbl) Index(name string) *Index {
 	return t.indexes[name]
 }
 
+// WALArchiver is the hook a WAL archive implementation (internal/backup)
+// plugs into the checkpoint path. Seal is called with the engine quiesced
+// and the WAL fully flushed, after the checkpoint image is durable and
+// strictly BEFORE the WAL files are truncated: it must copy every
+// remaining log byte into the archive (and make the copy durable) or
+// return an error, in which case the checkpoint completes WITHOUT
+// truncating — history is never destroyed before it is archived.
+type WALArchiver interface {
+	Seal(cpGSN uint64) error
+}
+
 // Engine is the database kernel.
 type Engine struct {
 	cfg   Config
@@ -190,6 +201,12 @@ type Engine struct {
 	Pool  *buffer.Pool
 	IO    *metrics.IOCounters
 	stats EngineStats
+
+	// archiver, when set, is sealed before every checkpoint truncation.
+	archiver WALArchiver
+	// lastCpGSN is the GSN horizon of the newest durable checkpoint image
+	// (written by Checkpoint, restored by loadCheckpoint).
+	lastCpGSN atomic.Uint64
 
 	pf *storage.PageFile
 	bf *storage.BlockFile
@@ -262,6 +279,15 @@ func (e *Engine) Close() error {
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetWALArchiver attaches a WAL archiver: from now on Checkpoint seals the
+// archive (copying every pre-truncation log byte out) before it is allowed
+// to truncate the WAL. Attach before the first post-Open checkpoint.
+func (e *Engine) SetWALArchiver(a WALArchiver) { e.archiver = a }
+
+// LastCheckpointGSN returns the GSN horizon of the newest durable
+// checkpoint image (0 if none). Base backups record it in their label.
+func (e *Engine) LastCheckpointGSN() uint64 { return e.lastCpGSN.Load() }
 
 // CreateTable declares a relation.
 func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {

@@ -73,6 +73,20 @@ const (
 	BufferEvict = "buffer.evict"
 	// ReplicaApply fires before a standby applies a shipped WAL record.
 	ReplicaApply = "replica.apply"
+	// BackupArchiveCopy fires in the WAL archiver before newly parsed log
+	// bytes are appended to the current archive segment (crash mid-archive:
+	// nothing has been copied yet, the WAL still holds the bytes).
+	BackupArchiveCopy = "backup.archiveCopy"
+	// BackupTornSegment tears the archive segment append: a prefix of the
+	// copied bytes is written, ending mid-record, then the process "dies".
+	// The manifest was not updated, so the torn tail is beyond the
+	// acknowledged archive and is discarded on the archiver's next open.
+	BackupTornSegment = "backup.tornSegment"
+	// BackupPreLabel fires during a base backup after the data files
+	// (checkpoint image, frozen blocks, schema) are copied but before the
+	// backup label is written. A crash here leaves a label-less base
+	// directory that verify/restore must ignore.
+	BackupPreLabel = "backup.preLabel"
 )
 
 var allSites = []string{
@@ -80,7 +94,17 @@ var allSites = []string{
 	StorageWritePage, StorageReadPage, StorageAppendBlock,
 	CheckpointPreSave, CheckpointPostSave, CheckpointPreTruncate,
 	BufferEvict, ReplicaApply,
+	BackupArchiveCopy, BackupTornSegment, BackupPreLabel,
 }
+
+// BackupSites are the failpoints in the backup/archive path; the backup
+// crash harness (crashtest.Backup) iterates this list.
+var backupSites = []string{
+	BackupArchiveCopy, BackupTornSegment, BackupPreLabel,
+}
+
+// BackupSites returns the archiver/base-backup failpoint sites.
+func BackupSites() []string { return append([]string(nil), backupSites...) }
 
 // crashSites are the sites where an injected crash must leave the database
 // recoverable; the crash-recovery harness iterates this list.

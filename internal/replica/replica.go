@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"phoebedb/internal/backup"
 	"phoebedb/internal/clock"
 	"phoebedb/internal/core"
 	"phoebedb/internal/fault"
@@ -36,6 +37,13 @@ import (
 	"phoebedb/internal/table"
 	"phoebedb/internal/wal"
 )
+
+// ErrLostPosition reports that the primary truncated its WAL (a
+// checkpoint) past the standby's shipping position. Without a WAL archive
+// the truncated records exist only inside the primary's checkpoint image,
+// which the standby cannot apply incrementally — it must be re-seeded (or
+// pointed at an archive, which never truncates).
+var ErrLostPosition = errors.New("replica: primary truncated WAL past shipping position; re-seed the standby or configure a WAL archive")
 
 // Standby applies a primary's WAL stream to a local engine.
 type Standby struct {
@@ -45,9 +53,19 @@ type Standby struct {
 	// PrimaryWALDir is the primary's WAL directory (shared filesystem or
 	// synchronized copy).
 	PrimaryWALDir string
+	// ArchiveDir optionally points at the primary's WAL archive (see
+	// internal/backup). With an archive the standby survives primary
+	// checkpoints: archived bytes are never truncated, so instead of
+	// tailing the live files it consumes each group's archived stream and
+	// only reads the live file for the not-yet-archived tail. The archive
+	// must cover the database's whole history (ContinuousFrom == 0) —
+	// otherwise the standby would need to start from a restored base
+	// backup, and CatchUp reports ErrLostPosition.
+	ArchiveDir string
 
 	mu       sync.Mutex
-	offsets  map[string]int64        // file -> bytes consumed
+	offsets  map[string]int64        // file (or group stream) -> bytes consumed
+	firstGSN map[string]uint64       // live file -> first record's GSN (restart detector)
 	pending  map[uint64][]wal.Record // xid -> data records
 	commits  map[uint64]uint64       // xid -> cts, commit seen but unapplied
 	applied  int64
@@ -60,6 +78,7 @@ func NewStandby(e *core.Engine, primaryWALDir string) *Standby {
 		Engine:        e,
 		PrimaryWALDir: primaryWALDir,
 		offsets:       make(map[string]int64),
+		firstGSN:      make(map[string]uint64),
 		pending:       make(map[uint64][]wal.Record),
 		commits:       make(map[uint64]uint64),
 	}
@@ -87,14 +106,21 @@ func (s *Standby) CatchUp() (int, error) {
 	if s.promoted {
 		return 0, errors.New("replica: standby already promoted")
 	}
-	if err := s.ingest(); err != nil { // pass one
+	return s.catchUp(false)
+}
+
+// catchUp is CatchUp's body; final marks the terminal promote-time round
+// (the primary and its archiver are dead, so the live-file tail can be
+// scanned past archiver skip points).
+func (s *Standby) catchUp(final bool) (int, error) {
+	if err := s.ingest(final); err != nil { // pass one
 		return 0, err
 	}
 	cutoff := make(map[uint64]uint64, len(s.commits))
 	for xid, cts := range s.commits {
 		cutoff[xid] = cts
 	}
-	if err := s.ingest(); err != nil { // pass two: dependencies
+	if err := s.ingest(final); err != nil { // pass two: dependencies
 		return 0, err
 	}
 	// Apply eligible transactions in cts order.
@@ -130,8 +156,8 @@ func (s *Standby) CatchUp() (int, error) {
 }
 
 // ingest reads newly durable records into the pending/commits state.
-func (s *Standby) ingest() error {
-	newRecs, err := s.readNew()
+func (s *Standby) ingest(final bool) error {
+	newRecs, err := s.readNew(final)
 	if err != nil {
 		return err
 	}
@@ -149,7 +175,10 @@ func (s *Standby) ingest() error {
 }
 
 // readNew reads complete records beyond the per-file offsets.
-func (s *Standby) readNew() ([]wal.Record, error) {
+func (s *Standby) readNew(final bool) ([]wal.Record, error) {
+	if s.ArchiveDir != "" {
+		return s.readNewArchived(final)
+	}
 	paths, err := filepath.Glob(filepath.Join(s.PrimaryWALDir, "wal-*.log"))
 	if err != nil {
 		return nil, err
@@ -162,11 +191,27 @@ func (s *Standby) readNew() ([]wal.Record, error) {
 			return nil, err
 		}
 		off := s.offsets[p]
+		// Detect the file restarting under us. A primary checkpoint
+		// truncates the log, so (a) the file can shrink below our offset,
+		// or (b) — the insidious case — it can shrink and regrow past the
+		// offset before we poll again, leaving the offset pointing into the
+		// middle of an unrelated record where decoding fails forever. Case
+		// (b) is caught by the first record's GSN changing: a truncation
+		// can only be followed by records above the checkpoint horizon,
+		// which every pre-truncation record is at or below.
+		if len(data) > 0 {
+			if r0, _, ok := wal.DecodeRecordAt(data, 0); ok {
+				if prev, seen := s.firstGSN[p]; seen && prev != r0.GSN {
+					return nil, fmt.Errorf("%w (%s restarted: first GSN %d -> %d)",
+						ErrLostPosition, filepath.Base(p), prev, r0.GSN)
+				} else if !seen {
+					s.firstGSN[p] = r0.GSN
+				}
+			}
+		}
 		if int64(len(data)) < off {
-			// The primary checkpointed and truncated its log; a real
-			// deployment re-seeds the standby from the checkpoint. Here we
-			// just restart from the top of the (now shorter) file.
-			off = 0
+			return nil, fmt.Errorf("%w (%s shrank to %d below offset %d)",
+				ErrLostPosition, filepath.Base(p), len(data), off)
 		}
 		for {
 			r, n, ok := wal.DecodeRecordAt(data, int(off))
@@ -178,6 +223,112 @@ func (s *Standby) readNew() ([]wal.Record, error) {
 			off += int64(n)
 		}
 		s.offsets[p] = off
+	}
+	return out, nil
+}
+
+// readNewArchived ships from the WAL archive instead of the live files.
+// Each group's archived stream (its segments concatenated in epoch order)
+// is append-only — checkpoints seal epochs but never remove archived
+// bytes — so a single stream offset per group survives any number of
+// primary checkpoints. The live file supplies only the not-yet-archived
+// tail.
+//
+// Ordering matters: the live files are snapshotted BEFORE the manifest is
+// read. Seal persists the manifest strictly before Checkpoint truncates
+// the WAL, so a truncated-and-regrown file can never be paired with a
+// pre-seal manifest — the one combination whose offset arithmetic would
+// land mid-record in unrelated bytes. Every other interleaving is safe:
+// with a post-seal manifest the stale file's records all sit at or below
+// SealGSN and the GSN filter drops them without advancing the stream.
+func (s *Standby) readNewArchived(final bool) ([]wal.Record, error) {
+	paths, err := filepath.Glob(filepath.Join(s.PrimaryWALDir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	live := make([][]byte, len(paths))
+	for i, p := range paths {
+		if live[i], err = os.ReadFile(p); err != nil {
+			return nil, err
+		}
+	}
+	m, err := backup.LoadManifest(s.ArchiveDir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: archive manifest: %w", err)
+	}
+	if m.ContinuousFrom != 0 && len(s.offsets) == 0 {
+		return nil, fmt.Errorf("%w (archive history begins at GSN %d; start from a restored base backup)",
+			ErrLostPosition, m.ContinuousFrom)
+	}
+	groups := m.NumGroups()
+	if len(paths) > groups {
+		groups = len(paths)
+	}
+	var out []wal.Record
+	for g := 0; g < groups; g++ {
+		key := fmt.Sprintf("group-%04d", g)
+		o := s.offsets[key]
+		var sAll int64
+		for _, seg := range m.GroupSegments(g) {
+			segEnd := sAll + int64(seg.Length)
+			if o < segEnd && seg.Length > 0 {
+				data, err := os.ReadFile(backup.SegmentPath(s.ArchiveDir, &seg))
+				if err != nil {
+					return nil, err
+				}
+				if int64(len(data)) < int64(seg.Length) {
+					return nil, fmt.Errorf("replica: archive segment %s torn", seg.Name())
+				}
+				data = data[:seg.Length]
+				off := int(o - sAll) // record boundary: o only advances whole records
+				for off < len(data) {
+					r, n, ok := wal.DecodeRecordAt(data, off)
+					if !ok {
+						return nil, fmt.Errorf("replica: archive segment %s: bad record at %d", seg.Name(), off)
+					}
+					r.Writer = int32(g)
+					out = append(out, r)
+					off += n
+				}
+				o = segEnd
+			}
+			sAll = segEnd
+		}
+		// Live tail beyond the archive. The archiver has consumed SrcOff
+		// bytes of the live file this epoch (including bytes its GSN filter
+		// skipped), and we have read (o - sAll) stream bytes past the
+		// archived prefix, so the file position continues there. Records at
+		// or below SealGSN are pre-seal leftovers the archiver will skip
+		// too: drop them without advancing the stream offset.
+		if g < len(paths) && o >= sAll {
+			data := live[g]
+			var srcOff uint64
+			if g < len(m.SrcOff) {
+				srcOff = m.SrcOff[g]
+			}
+			off := int64(srcOff) + (o - sAll)
+			for off < int64(len(data)) {
+				r, n, ok := wal.DecodeRecordAt(data, int(off))
+				if !ok {
+					break // torn tail, or the archiver lags a skipped prefix
+				}
+				if r.GSN > m.SealGSN {
+					r.Writer = int32(g)
+					out = append(out, r)
+					o += int64(n)
+				} else if !final {
+					// Mid-epoch the skipped bytes desynchronize the offset
+					// arithmetic until the archiver's SrcOff absorbs them;
+					// stop here and let it catch up. At promote time
+					// (final) nothing will ever be archived again, so keep
+					// scanning — the filter alone is the dedup.
+					break
+				}
+				off += int64(n)
+			}
+		}
+		s.offsets[key] = o
 	}
 	return out, nil
 }
@@ -288,12 +439,21 @@ func (s *Standby) Run(stop <-chan struct{}, interval time.Duration) error {
 // marks the standby promoted. After promotion the engine serves normal
 // transactions as the new primary.
 func (s *Standby) Promote() error {
-	if _, err := s.CatchUp(); err != nil {
-		return err
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.promoted {
+		return errors.New("replica: standby already promoted")
+	}
+	// Terminal drain: the primary is dead, so this is the last chance to
+	// apply committed transactions. Whatever stays in s.pending afterwards
+	// is uncommitted work from transactions the primary never acknowledged
+	// — dropping it is exactly what the primary's own crash recovery would
+	// do.
+	if _, err := s.catchUp(true); err != nil {
+		return err
+	}
 	s.promoted = true
+	s.pending = make(map[uint64][]wal.Record)
 	// New log records must sort after everything shipped.
 	maxGSN := uint64(0)
 	recs, err := wal.Recover(s.PrimaryWALDir)
@@ -304,6 +464,20 @@ func (s *Standby) Promote() error {
 			}
 			if ts := clock.StartTS(r.XID); ts > 0 {
 				s.Engine.Mgr.Clock.AdvanceTo(ts + 1)
+			}
+		}
+	}
+	if s.ArchiveDir != "" {
+		// Archived history can reach past the live files (they truncate on
+		// checkpoint); the promoted timeline must sort above it too.
+		if m, merr := backup.LoadManifest(s.ArchiveDir); merr == nil {
+			if m.SealGSN > maxGSN {
+				maxGSN = m.SealGSN
+			}
+			for _, seg := range m.Segments {
+				if seg.LastGSN > maxGSN {
+					maxGSN = seg.LastGSN
+				}
 			}
 		}
 	}

@@ -248,6 +248,14 @@ func (w *Writer) raiseLocalGSN(g uint64) {
 	}
 }
 
+// RaiseGSN lifts the writer's local GSN clock to at least g without
+// touching the buffer or flushed horizons, so it is safe while
+// transactions run: future records sort above g, and durability claims
+// are unchanged. The base-backup horizon uses this to turn the GSN
+// partial order into a clean cut — every record logged after the raise
+// is strictly above the backup's horizon GSN on every writer.
+func (w *Writer) RaiseGSN(g uint64) { w.raiseLocalGSN(g) }
+
 // AdvanceGSN fast-forwards the writer's GSN clock (and flushed horizon) to
 // at least g. Recovery uses this so that post-restart records sort after
 // every recovered record.

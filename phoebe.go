@@ -28,10 +28,14 @@ package phoebedb
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"phoebedb/internal/backup"
 	"phoebedb/internal/core"
 	"phoebedb/internal/metrics"
 	"phoebedb/internal/rel"
@@ -129,6 +133,16 @@ type Options struct {
 	// keeping only the scalar counters. Used to measure instrumentation
 	// overhead; leave off in normal operation.
 	StatsLite bool
+	// ArchiveDir enables continuous WAL archiving into this directory: a
+	// background archiver copies committed log bytes there, checkpoints
+	// seal (and never truncate) archived history, and BaseBackup takes
+	// online base backups into it. Restore and point-in-time recovery run
+	// from this directory alone (phoebectl backup restore).
+	ArchiveDir string
+	// ArchiveInterval is the background archiver's polling cadence
+	// (default 100ms). It bounds the archive lag: how much acknowledged
+	// work an archive-only restore could lose if the primary's disk died.
+	ArchiveInterval time.Duration
 }
 
 // DB is an open PhoebeDB instance: the kernel plus its co-routine pool.
@@ -145,6 +159,11 @@ type DB struct {
 	sessMu   sync.Mutex
 	sessNext int
 	sessMax  int
+
+	archiver *backup.Archiver
+	archErrs atomic.Int64
+	archStop chan struct{}
+	archDone chan struct{}
 }
 
 // Open creates or opens a database.
@@ -217,6 +236,31 @@ func Open(opts Options) (*DB, error) {
 		sessNext: poolSlots + 1,
 		sessMax:  totalSlots,
 	}
+	if opts.ArchiveDir != "" {
+		// A fresh archive attached to a database that already checkpointed
+		// cannot hold the history the checkpoint absorbed; the archiver
+		// records that horizon so restores demand a base backup covering it.
+		var startGSN uint64
+		if img, rerr := os.ReadFile(filepath.Join(opts.Dir, "checkpoint.db")); rerr == nil {
+			if g, gerr := core.ReadCheckpointGSNFromImage(img); gerr == nil {
+				startGSN = g
+			}
+		}
+		arch, aerr := backup.OpenArchiver(filepath.Join(opts.Dir, "wal"), opts.ArchiveDir, startGSN)
+		if aerr != nil {
+			eng.Close()
+			return nil, fmt.Errorf("phoebedb: open archive: %w", aerr)
+		}
+		db.archiver = arch
+		eng.SetWALArchiver(arch)
+		db.archStop = make(chan struct{})
+		db.archDone = make(chan struct{})
+		interval := opts.ArchiveInterval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		go db.archiveLoop(interval)
+	}
 	db.pool = sched.New(sched.Config{
 		Workers:        workers,
 		SlotsPerWorker: opts.SlotsPerWorker,
@@ -240,8 +284,32 @@ func (db *DB) maintain(worker int) {
 	}
 }
 
+// archiveLoop drives the background archiver until Close.
+func (db *DB) archiveLoop(interval time.Duration) {
+	defer close(db.archDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.archStop:
+			// Final round so Close leaves the smallest possible archive lag.
+			db.archiver.Archive()
+			return
+		case <-t.C:
+			if _, err := db.archiver.Archive(); err != nil {
+				db.archErrs.Add(1)
+			}
+		}
+	}
+}
+
 // Close stops the pool and closes the engine.
 func (db *DB) Close() error {
+	if db.archStop != nil {
+		close(db.archStop)
+		<-db.archDone
+		db.archStop = nil
+	}
 	db.pool.Stop()
 	return db.engine.Close()
 }
@@ -330,6 +398,46 @@ func (db *DB) CollectGarbage() int { return db.engine.CollectGarbage() }
 // be quiesced (no in-flight transactions) — call it from a maintenance
 // window.
 func (db *DB) Checkpoint() error { return db.engine.Checkpoint() }
+
+// Archiver exposes the WAL archiver, or nil when Options.ArchiveDir is
+// unset. Used by the server, tooling, and tests.
+func (db *DB) Archiver() *backup.Archiver { return db.archiver }
+
+// ArchiveErrors reports background archiving rounds that failed.
+func (db *DB) ArchiveErrors() int64 { return db.archErrs.Load() }
+
+// BaseBackupInfo summarizes a completed online base backup.
+type BaseBackupInfo struct {
+	// Dir is the backup's directory under <archive>/base.
+	Dir string
+	// CheckpointGSN is the horizon of the checkpoint image captured.
+	CheckpointGSN uint64
+	// HorizonGSN is the backup horizon: restoring the backup reproduces
+	// at least every transaction acknowledged before it began.
+	HorizonGSN uint64
+}
+
+// BaseBackup takes an online base backup into the archive while the
+// database keeps serving transactions. Requires Options.ArchiveDir.
+func (db *DB) BaseBackup() (BaseBackupInfo, error) {
+	if db.archiver == nil {
+		return BaseBackupInfo{}, fmt.Errorf("phoebedb: base backup requires Options.ArchiveDir")
+	}
+	label, dir, err := db.archiver.BaseBackup(backup.BaseSource{
+		DataDir: db.opts.Dir,
+		MaxGSN:  db.engine.WAL.MaxGSN,
+		RaiseGSN: func(g uint64) {
+			for i := 0; i < db.engine.WAL.NumWriters(); i++ {
+				db.engine.WAL.Writer(i).RaiseGSN(g)
+			}
+		},
+		FlushWAL: db.engine.WAL.FlushAll,
+	})
+	if err != nil {
+		return BaseBackupInfo{}, err
+	}
+	return BaseBackupInfo{Dir: dir, CheckpointGSN: label.CheckpointGSN, HorizonGSN: label.HorizonGSN}, nil
+}
 
 // Session reserves a dedicated task slot for explicit Begin/Commit
 // control. Sessions are not safe for concurrent use; one transaction runs

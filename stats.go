@@ -79,6 +79,21 @@ func buildRegistry(db *DB) *metrics.Registry {
 	})
 	reg.Counter("phoebe_checkpoints_total", "Completed checkpoints.", st.Checkpoints.Load)
 
+	if a := db.archiver; a != nil {
+		reg.Counter("phoebe_archive_rounds_total", "WAL archiving rounds run.", a.Rounds)
+		reg.Counter("phoebe_archive_bytes_total", "Log bytes copied into the WAL archive.", a.ArchivedBytes)
+		reg.Counter("phoebe_archive_seals_total", "Archive epochs sealed by checkpoints.", a.Seals)
+		reg.Counter("phoebe_archive_errors_total", "Background archiving rounds that failed.", db.archErrs.Load)
+		reg.Gauge("phoebe_archive_lag_bytes", "Live WAL bytes not yet covered by the archive.", a.LagBytes)
+		reg.Gauge("phoebe_archive_horizon_gsn", "Highest GSN the archive durably holds.", func() int64 {
+			return int64(a.HorizonGSN())
+		})
+		reg.Counter("phoebe_backup_base_total", "Completed base backups.", a.BaseBackups)
+		reg.Gauge("phoebe_backup_last_base_gsn", "Horizon GSN of the newest base backup (0 = none).", func() int64 {
+			return int64(a.LastBaseGSN())
+		})
+	}
+
 	reg.Counter("phoebe_sched_executed_total", "Pool tasks completed.", db.pool.Executed)
 	reg.Counter("phoebe_sched_stolen_total", "Tasks stolen from a sibling worker's queue.", db.pool.Stolen)
 	reg.Gauge("phoebe_sched_queue_depth", "Tasks waiting in the admission queue.", func() int64 {
