@@ -31,13 +31,14 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', or 'all'")
+		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', 'read', or 'all'")
 		seconds  = flag.Float64("seconds", 3, "measured duration per run")
 		workers  = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
 		slots    = flag.Int("slots", 32, "task slots per worker (paper: 32)")
 		walSync  = flag.Bool("walsync", true, "fsync WAL on commit (the paper's evaluated setting)")
 		maxOver  = flag.Float64("max-overhead", 0, "with -exp overhead: exit non-zero if instrumentation regression exceeds this percent (0 = report only)")
 		minScale = flag.Float64("min-scale", 0, "with -exp scale: exit non-zero if 8-worker tpm is below this multiple of 1-worker tpm (0 = report only)")
+		minRead  = flag.Float64("min-read-gain", 0, "with -exp read: exit non-zero if the fast-path point-read speedup over the ablation is below this ratio (0 = report only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		blkProf  = flag.String("blockprofile", "", "write a blocking profile to this file")
@@ -114,6 +115,14 @@ func run() int {
 			*minScale > 0 && res.Ratio < *minScale {
 			fmt.Fprintf(os.Stderr, "%d-worker scaling %.2fx is below the %.2fx floor\n",
 				res.Workers, res.Ratio, *minScale)
+			return 1
+		}
+	case "read":
+		var res bench.ReadResult
+		if res, err = bench.ExpRead(cfg); err == nil &&
+			*minRead > 0 && res.Gain < *minRead {
+			fmt.Fprintf(os.Stderr, "read fast-path gain %.2fx is below the %.2fx floor\n",
+				res.Gain, *minRead)
 			return 1
 		}
 	default:

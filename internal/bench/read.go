@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/tpcc"
+)
+
+// ReadResult reports the read-path experiment: the MVCC watermark fast
+// path and scratch-row reuse versus the legacy read path (the
+// DisableReadFastPath ablation), plus the SQL prepared-statement plan
+// cache versus per-statement parsing.
+type ReadResult struct {
+	// PointNs / PointAblNs are per-point-read costs, fast path vs ablation.
+	PointNs, PointAblNs float64
+	// ScanRows / ScanAblRows are full-scan throughputs in rows/s.
+	ScanRows, ScanAblRows float64
+	// Gain is PointAblNs / PointNs — the gate's ratio.
+	Gain float64
+	// ScanGain is ScanRows / ScanAblRows.
+	ScanGain float64
+	// FastShare is the fraction of visibility checks served by the
+	// watermark fast path on the fast side (should be ~1 at steady state).
+	FastShare float64
+	// MVCCFraction is MVCC's share of busy time during the fast side's
+	// point-read phase.
+	MVCCFraction float64
+	// SQLNs / SQLAblNs are per-statement costs for a point SELECT with the
+	// plan cache on vs off.
+	SQLNs, SQLAblNs float64
+	// SQLGain is SQLAblNs / SQLNs.
+	SQLGain float64
+	// SQLHitRate is the plan cache hit rate on the cached side.
+	SQLHitRate float64
+}
+
+const (
+	readRows      = 20_000
+	readBatch     = 2000
+	readLoadBatch = 1000
+)
+
+// newReadDB opens a database loaded with readRows rows of
+// accounts(id INT, owner STRING, balance FLOAT), each updated once so
+// every tuple carries a committed UNDO chain head — the state the
+// watermark fast path exists for. ablation=true reverts the kernel to the
+// legacy read path and disables the plan cache.
+func newReadDB(cfg Config, ablation bool) (*PhoebeSetup, []rel.RowID, error) {
+	// Zero TPC-C scale: the experiment declares its own schema and rows.
+	setup, err := NewPhoebe(tpcc.Scale{}, cfg.MaxWorkers, cfg.SlotsPerWorker, false,
+		func(o *phoebedb.Options) {
+			o.DisableReadFastPath = ablation
+			if ablation {
+				o.PlanCacheSize = -1
+			}
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := setup.DB
+	if err := db.CreateTable("accounts", phoebedb.NewSchema(
+		phoebedb.Column{Name: "id", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "owner", Type: phoebedb.TString},
+		phoebedb.Column{Name: "balance", Type: phoebedb.TFloat64},
+	)); err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	if err := db.CreateIndex("accounts", "accounts_pk", []string{"id"}, true); err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	rids := make([]rel.RowID, 0, readRows)
+	for lo := 0; lo < readRows; lo += readLoadBatch {
+		lo := lo
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			for i := lo; i < lo+readLoadBatch && i < readRows; i++ {
+				rid, err := tx.Insert("accounts", phoebedb.Row{
+					phoebedb.Int(int64(i + 1)),
+					phoebedb.Str(fmt.Sprintf("owner-%04d", i%97)),
+					phoebedb.Float(float64(i)),
+				})
+				if err != nil {
+					return err
+				}
+				rids = append(rids, rid)
+			}
+			return nil
+		})
+		if err != nil {
+			setup.Close()
+			return nil, nil, err
+		}
+	}
+	// One committed update per row: every head has a resolvable commit
+	// timestamp, so visibility must either take the fast path or walk.
+	for lo := 0; lo < readRows; lo += readLoadBatch {
+		lo := lo
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			for i := lo; i < lo+readLoadBatch && i < readRows; i++ {
+				if err := tx.Update("accounts", rids[i],
+					map[string]rel.Value{"balance": phoebedb.Float(float64(i) + 0.5)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			setup.Close()
+			return nil, nil, err
+		}
+	}
+	db.Engine().Mgr.RefreshWatermark()
+	return setup, rids, nil
+}
+
+// measurePoint runs random point reads for dur, batched per transaction,
+// returning ns/op.
+func measurePoint(db *phoebedb.DB, rids []rel.RowID, dur time.Duration) (float64, error) {
+	rng := rand.New(rand.NewSource(7))
+	var ops int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	for time.Now().Before(deadline) {
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			for i := 0; i < readBatch; i++ {
+				rid := rids[rng.Intn(len(rids))]
+				row, ok, err := tx.Get("accounts", rid)
+				if err != nil {
+					return err
+				}
+				if !ok || row[0].I < 1 {
+					return fmt.Errorf("bench: bad read of %d", rid)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		ops += readBatch
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), nil
+}
+
+// measureScan runs repeated full table scans for dur, returning rows/s.
+func measureScan(db *phoebedb.DB, dur time.Duration) (float64, error) {
+	var rows int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	for time.Now().Before(deadline) {
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			n := 0
+			if err := tx.ScanTable("accounts", func(rel.RowID, rel.Row) bool {
+				n++
+				return true
+			}); err != nil {
+				return err
+			}
+			if n != readRows {
+				return fmt.Errorf("bench: scan saw %d rows", n)
+			}
+			rows += int64(n)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(rows) / time.Since(start).Seconds(), nil
+}
+
+// measureSQL runs random point SELECTs through ExecSQL for dur, returning
+// ns/statement.
+func measureSQL(db *phoebedb.DB, dur time.Duration) (float64, error) {
+	rng := rand.New(rand.NewSource(11))
+	var ops int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	for time.Now().Before(deadline) {
+		id := rng.Intn(readRows) + 1
+		res, err := db.ExecSQL(fmt.Sprintf("SELECT balance FROM accounts WHERE id = %d", id))
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) != 1 {
+			return 0, fmt.Errorf("bench: SELECT id=%d returned %d rows", id, len(res.Rows))
+		}
+		ops++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), nil
+}
+
+// ExpRead measures the read-path overhaul end to end: point reads and full
+// scans with the watermark fast path + scratch reuse against the
+// DisableReadFastPath ablation, and SQL point statements with the plan
+// cache against per-statement parsing. The returned Gain is what the
+// -min-read-gain CI floor checks.
+func ExpRead(cfg Config) (ReadResult, error) {
+	cfg.Defaults()
+	out := ReadResult{}
+
+	run := func(ablation bool) (point, scanRows, sqlNs float64, res *ReadResult, err error) {
+		setup, rids, err := newReadDB(cfg, ablation)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		defer setup.Close()
+		db := setup.DB
+
+		before := db.Recorder().Aggregate()
+		point, err = measurePoint(db, rids, cfg.dur())
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		after := db.Recorder().Aggregate()
+
+		scanRows, err = measureScan(db, cfg.dur())
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		sqlNs, err = measureSQL(db, cfg.dur())
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+
+		if !ablation {
+			r := &ReadResult{}
+			st := db.Engine().Stats()
+			fast := float64(st.MVCCFastPath.Load())
+			walks := float64(st.MVCCChainWalks.Load())
+			if fast+walks > 0 {
+				r.FastShare = fast / (fast + walks)
+			}
+			var busy int64
+			for c := 0; c < metrics.NumComponents; c++ {
+				busy += after.Nanos[c] - before.Nanos[c]
+			}
+			if busy > 0 {
+				r.MVCCFraction = float64(after.Nanos[metrics.CompMVCC]-before.Nanos[metrics.CompMVCC]) / float64(busy)
+			}
+			hits, misses := db.PlanCacheStats()
+			if hits+misses > 0 {
+				r.SQLHitRate = float64(hits) / float64(hits+misses)
+			}
+			res = r
+		}
+		return point, scanRows, sqlNs, res, nil
+	}
+
+	// Interleave two rounds and keep each side's best, absorbing machine
+	// noise the same way ExpScale does.
+	for round := 0; round < 2; round++ {
+		point, scanRows, sqlNs, extra, err := run(false)
+		if err != nil {
+			return out, err
+		}
+		pointAbl, scanAbl, sqlAbl, _, err := run(true)
+		if err != nil {
+			return out, err
+		}
+		if out.PointNs == 0 || point < out.PointNs {
+			out.PointNs = point
+		}
+		if out.PointAblNs == 0 || pointAbl < out.PointAblNs {
+			out.PointAblNs = pointAbl
+		}
+		if scanRows > out.ScanRows {
+			out.ScanRows = scanRows
+		}
+		if scanAbl > out.ScanAblRows {
+			out.ScanAblRows = scanAbl
+		}
+		if out.SQLNs == 0 || sqlNs < out.SQLNs {
+			out.SQLNs = sqlNs
+		}
+		if out.SQLAblNs == 0 || sqlAbl < out.SQLAblNs {
+			out.SQLAblNs = sqlAbl
+		}
+		out.FastShare = extra.FastShare
+		out.MVCCFraction = extra.MVCCFraction
+		out.SQLHitRate = extra.SQLHitRate
+	}
+	if out.PointNs > 0 {
+		out.Gain = out.PointAblNs / out.PointNs
+	}
+	if out.ScanAblRows > 0 {
+		out.ScanGain = out.ScanRows / out.ScanAblRows
+	}
+	if out.SQLNs > 0 {
+		out.SQLGain = out.SQLAblNs / out.SQLNs
+	}
+
+	cfg.logf("read: point %6.0fns vs ablation %6.0fns (%.2fx)  scan %9.0f rows/s vs %9.0f (%.2fx)",
+		out.PointNs, out.PointAblNs, out.Gain, out.ScanRows, out.ScanAblRows, out.ScanGain)
+	cfg.logf("read: fastpath share %.3f  mvcc fraction %.3f  sql %6.0fns vs %6.0fns (%.2fx, hit rate %.3f)",
+		out.FastShare, out.MVCCFraction, out.SQLNs, out.SQLAblNs, out.SQLGain, out.SQLHitRate)
+	return out, nil
+}

@@ -72,6 +72,11 @@ type Config struct {
 	// (pure latch coupling) — the ablation baseline for the hybrid lock
 	// strategy of §7.2.
 	PessimisticIndex bool
+	// DisableReadFastPath reverts point reads and scans to the legacy
+	// visibility path (fresh row materialization per read, no watermark
+	// short-circuit, no scratch reuse) — the ablation baseline for the
+	// read-path overhaul.
+	DisableReadFastPath bool
 	// PartitionOf maps a task slot to its worker's buffer partition, so a
 	// slot's page allocations land in the partition its worker maintains
 	// (§7.1). Defaults to slot modulo Partitions.
@@ -392,10 +397,10 @@ func IndexKeyOf(ix *Index, row rel.Row, rid rel.RowID) []byte {
 	return indexKey(ix, row, rid)
 }
 
-// indexPrefix builds the search prefix for the given (possibly partial)
-// key values.
-func indexPrefix(ix *Index, vals []rel.Value) []byte {
-	return rel.EncodeKey(nil, vals...)
+// indexPrefix appends the search prefix for the given (possibly partial)
+// key values to dst, so scan-heavy callers can reuse one buffer.
+func indexPrefix(dst []byte, ix *Index, vals []rel.Value) []byte {
+	return rel.EncodeKey(dst, vals...)
 }
 
 // --- Maintenance duties (§7.1) -----------------------------------------------
@@ -438,7 +443,7 @@ func (e *Engine) CollectGarbage() int {
 // eraseTuple removes a tombstoned row and its index entries.
 func (e *Engine) eraseTuple(t *Tbl, rid rel.RowID) {
 	var row rel.Row
-	err := t.Store.WithRow(rid, true, nil, func(h *table.Handle) error {
+	err := t.Store.WithRow(rid, true, nil, func(h table.Handle) error {
 		if !h.Deleted() {
 			return fmt.Errorf("core: GC of live tuple %d", rid)
 		}

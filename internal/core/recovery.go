@@ -89,7 +89,7 @@ func (e *Engine) Recover() (replayed int, err error) {
 			if derr != nil {
 				return replayed, fmt.Errorf("core: recovery update payload: %w", derr)
 			}
-			werr := t.Store.WithRow(rel.RowID(r.RowID), true, nil, func(h *table.Handle) error {
+			werr := t.Store.WithRow(rel.RowID(r.RowID), true, nil, func(h table.Handle) error {
 				for i, c := range cols {
 					h.SetCol(c, vals[i])
 				}

@@ -31,6 +31,19 @@ type EngineStats struct {
 	RemoteFlushWaits atomic.Int64
 	RFAAvoided       atomic.Int64
 
+	// MVCCFastPath counts visibility checks satisfied by the watermark
+	// fast path (stamped commit timestamp below the global watermark: no
+	// TxnMeta load, no chain walk). MVCCChainWalks counts checks that had
+	// to reconstruct an older version by walking the chain, MVCCChainLinks
+	// the total links those walks traversed, and MVCCChainLen the per-walk
+	// length distribution (dimensionless: 1 "nanosecond" = 1 link). The
+	// scalar counters are flushed once per transaction from its private
+	// VisStats; the histogram is observed per walk.
+	MVCCFastPath   atomic.Int64
+	MVCCChainWalks atomic.Int64
+	MVCCChainLinks atomic.Int64
+	MVCCChainLen   metrics.Histogram
+
 	// GCRuns and GCReclaimed count garbage-collection rounds and the UNDO
 	// records they reclaimed.
 	GCRuns      atomic.Int64

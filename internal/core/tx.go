@@ -54,6 +54,24 @@ type Tx struct {
 	encBuf []byte
 	// cands is the index-scan candidate scratch, reused across scans.
 	cands []rel.RowID
+	// rowBuf is the point-read scratch: readRow materializes the current
+	// version here and the visibility check applies before-image deltas in
+	// place. Rows returned from Get/GetByIndex alias it, hence the borrowed
+	// contract: they are valid only until the transaction's next operation.
+	rowBuf rel.Row
+	// scanRowBuf is the index-scan row scratch. Like cands it is taken off
+	// the transaction during a scan so point reads issued from inside the
+	// scan callback keep their own buffer (rowBuf) rather than clobbering
+	// the row the callback is looking at.
+	scanRowBuf rel.Row
+	// keyBuf and endBuf hold the encoded index search prefix and its
+	// exclusive upper bound, reused across scans (both are consumed before
+	// any callback runs, so nested scans may clobber them freely).
+	keyBuf []byte
+	endBuf []byte
+	// vis accumulates visibility-check outcomes locally; finishMetrics
+	// flushes the totals into the engine's shared counters in one shot.
+	vis txn.VisStats
 	// frozenRestores lists frozen tombstones to clear on rollback.
 	frozenRestores []frozenRestore
 }
@@ -116,6 +134,7 @@ func (e *Engine) Begin(slot int, iso txn.Isolation, mets *metrics.SlotMetrics,
 	}
 	tx.tableLocks = tx.tableLocksBuf[:0]
 	tx.idxOps = tx.idxOpsBuf[:0]
+	tx.vis.ChainLen = &e.stats.MVCCChainLen
 	return tx
 }
 
@@ -200,12 +219,12 @@ func (tx *Tx) releaseTableLocks() {
 	tx.tableLocks = tx.tableLocks[:0]
 }
 
-// logChange appends a WAL record for a change to the page under h's latch,
+// logChange appends a WAL record for a change to pg under its latch,
 // maintaining the RFA page stamp (§8).
-func (tx *Tx) logChange(h *table.Handle, typ wal.RecordType, tableID uint32, rid rel.RowID, payload []byte) {
+func (tx *Tx) logChange(pg *table.Page, typ wal.RecordType, tableID uint32, rid rel.RowID, payload []byte) {
 	start := time.Now()
 	w := tx.e.WAL.Writer(tx.slot)
-	st := h.Pg.Stamp
+	st := pg.Stamp
 	if st.LastWriter >= 0 && int(st.LastWriter) != tx.slot {
 		lastFlushed := tx.e.WAL.Writer(int(st.LastWriter)).FlushedGSN()
 		if wal.NeedsRemoteFlush(st, tx.slot, lastFlushed) {
@@ -220,7 +239,7 @@ func (tx *Tx) logChange(h *table.Handle, typ wal.RecordType, tableID uint32, rid
 		}
 	}
 	gsn := w.NextGSN(st.GSN)
-	h.Pg.Stamp = wal.PageStamp{GSN: gsn, LastWriter: int32(tx.slot)}
+	pg.Stamp = wal.PageStamp{GSN: gsn, LastWriter: int32(tx.slot)}
 	rec := wal.Record{Type: typ, GSN: gsn, XID: tx.XID(), TableID: tableID, RowID: uint64(rid), Payload: payload}
 	w.Append(&rec)
 	tx.track(metrics.CompWAL, start)
@@ -266,14 +285,14 @@ func (tx *Tx) insertRow(t *Tbl, row rel.Row, checkUnique bool) (rel.RowID, error
 		}
 	}
 	var rec *undo.Record
-	rid, err := t.Store.Append(row, tx.partition(), tx.yield, func(h *table.Handle) error {
+	rid, err := t.Store.Append(row, tx.partition(), tx.yield, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		rec = tx.inner.AddUndo(t.ID, h.RID, undo.OpInsert, nil, nil)
 		tt.Push(h.RID, rec)
 		tx.track(metrics.CompMVCC, mvccStart)
 		tx.encBuf = rel.EncodeRow(tx.encBuf[:0], row)
-		tx.logChange(h, wal.RecInsert, t.ID, h.RID, tx.encBuf)
+		tx.logChange(h.Pg, wal.RecInsert, t.ID, h.RID, tx.encBuf)
 		return nil
 	})
 	if err != nil {
@@ -319,6 +338,13 @@ func (tx *Tx) partition() int {
 // --- Read ----------------------------------------------------------------------
 
 // Get returns the row version visible to the transaction, if any.
+//
+// Borrowed-row contract: the returned row aliases per-transaction scratch
+// storage and is valid only until the next operation on this transaction.
+// Callers that need values past that point must extract them immediately
+// (string values may be retained — they are zero-copy views of
+// content-immutable page bytes). The same contract applies to rows passed
+// to GetByIndex, ScanIndex, and ScanTable callbacks.
 func (tx *Tx) Get(tableName string, rid rel.RowID) (rel.Row, bool, error) {
 	if err := tx.stmt(); err != nil {
 		return nil, false, err
@@ -338,17 +364,42 @@ func (tx *Tx) Get(tableName string, rid rel.RowID) (rel.Row, bool, error) {
 }
 
 // readRow performs the visibility-checked point read across the hot/cold
-// and frozen layers.
+// and frozen layers, materializing into the transaction's point-read
+// scratch (borrowed contract, see Get).
 func (tx *Tx) readRow(t *Tbl, rid rel.RowID) (rel.Row, bool, error) {
+	return tx.readRowInto(t, rid, &tx.rowBuf)
+}
+
+// readRowInto is readRow with an explicit scratch buffer: the current
+// version is read into *buf (grown to schema width as needed) and the
+// visibility check applies before-image deltas in place, so the returned
+// row aliases *buf and is valid until the buffer's next reuse. This is the
+// allocation-free fast path: no fresh row, no chain walk when the head
+// version's stamped commit timestamp is below the global watermark.
+func (tx *Tx) readRowInto(t *Tbl, rid rel.RowID, buf *rel.Row) (rel.Row, bool, error) {
 	var out rel.Row
 	var ok bool
-	err := t.Store.WithRow(rid, false, tx.yield, func(h *table.Handle) error {
+	err := t.Store.WithRow(rid, false, tx.yield, func(h table.Handle) error {
 		start := time.Now()
 		var head *undo.Record
 		if tt := h.TwinTable(false); tt != nil {
 			head = tt.Head(rid)
 		}
-		out, ok = txn.ReadVisible(head, tx.inner.Snapshot(), tx.XID(), h.Row(), h.Deleted())
+		if tx.e.cfg.DisableReadFastPath {
+			// Ablation baseline: fresh materialization, full visibility
+			// check with no watermark short-circuit.
+			out, ok = txn.ReadVisible(head, tx.inner.Snapshot(), tx.XID(), h.Row(), h.Deleted())
+			tx.track(metrics.CompMVCC, start)
+			return nil
+		}
+		n := t.Schema.NumCols()
+		if cap(*buf) < n {
+			*buf = make(rel.Row, n)
+		}
+		cur := (*buf)[:n]
+		h.ReadRowInto(cur)
+		out, ok = txn.ReadVisibleAt(head, tx.inner.Snapshot(), tx.XID(),
+			tx.e.Mgr.Watermark(), cur, h.Deleted(), true, &tx.vis)
 		tx.track(metrics.CompMVCC, start)
 		return nil
 	})
@@ -425,10 +476,10 @@ func (tx *Tx) resolveIndex(tableName, indexName string) (*Tbl, *Index, error) {
 	return t, ix, nil
 }
 
-// keyPrefixEnd returns the smallest byte string greater than every string
-// with prefix p, or nil if p is all 0xFF.
-func keyPrefixEnd(p []byte) []byte {
-	end := append([]byte(nil), p...)
+// keyPrefixEnd increments end in place to the smallest byte string greater
+// than every string carrying the original prefix, returning the (possibly
+// shortened) slice, or nil if the prefix is all 0xFF (no upper bound).
+func keyPrefixEnd(end []byte) []byte {
 	for i := len(end) - 1; i >= 0; i-- {
 		if end[i] != 0xFF {
 			end[i]++
@@ -439,7 +490,8 @@ func keyPrefixEnd(p []byte) []byte {
 }
 
 func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.RowID, row rel.Row) bool) error {
-	prefix := indexPrefix(ix, vals)
+	tx.keyBuf = indexPrefix(tx.keyBuf[:0], ix, vals)
+	prefix := tx.keyBuf
 	// Unique full-key probes take the point-lookup path: one OLC descent
 	// instead of a range scan.
 	if ix.Unique && len(vals) == len(ix.Cols) {
@@ -464,22 +516,26 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 		fn(rel.RowID(v), row)
 		return nil
 	}
-	hi := keyPrefixEnd(prefix)
+	tx.endBuf = append(tx.endBuf[:0], prefix...)
+	hi := keyPrefixEnd(tx.endBuf)
 	// Collect candidates first: the row reads below take page latches and
-	// must not run inside the index leaf snapshot loop. The scratch slice
-	// is taken off the transaction for the duration so a nested scan from
-	// inside fn allocates its own rather than clobbering ours.
+	// must not run inside the index leaf snapshot loop. The candidate and
+	// row scratches are taken off the transaction for the duration so a
+	// nested scan or point read from inside fn allocates (or uses) its own
+	// rather than clobbering ours.
 	cands := tx.cands[:0]
 	tx.cands = nil
+	rowBuf := tx.scanRowBuf
+	tx.scanRowBuf = nil
 	latchStart := time.Now()
 	ix.Tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
 		cands = append(cands, rel.RowID(v))
 		return true
 	})
 	tx.track(metrics.CompLatch, latchStart)
-	defer func() { tx.cands = cands }()
+	defer func() { tx.cands, tx.scanRowBuf = cands, rowBuf }()
 	for _, rid := range cands {
-		row, ok, err := tx.readRow(t, rid)
+		row, ok, err := tx.readRowInto(t, rid, &rowBuf)
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return err
 		}
@@ -533,14 +589,26 @@ func (tx *Tx) ScanTable(tableName string, fn func(rid rel.RowID, row rel.Row) bo
 	}
 	snapshot := tx.inner.Snapshot()
 	xid := tx.XID()
+	// A watermark loaded once is a valid (if slightly stale) lower bound
+	// for the whole scan: it only ever advances.
+	wm := tx.e.Mgr.Watermark()
+	slow := tx.e.cfg.DisableReadFastPath
 	// ScanAll: tombstoned rows flow through the visibility check so older
-	// snapshots still see rows deleted after them.
+	// snapshots still see rows deleted after them. The scan's scratch row
+	// is owned by this callback (refilled per row), so the visibility check
+	// may apply before-image deltas to it in place.
 	return t.Store.ScanAll(tx.yield, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
 		var head *undo.Record
 		if tt := h.TwinTable(false); tt != nil {
 			head = tt.Head(rid)
 		}
-		visRow, ok := txn.ReadVisible(head, snapshot, xid, row, h.Deleted())
+		var visRow rel.Row
+		var ok bool
+		if slow {
+			visRow, ok = txn.ReadVisible(head, snapshot, xid, row, h.Deleted())
+		} else {
+			visRow, ok = txn.ReadVisibleAt(head, snapshot, xid, wm, row, h.Deleted(), true, &tx.vis)
+		}
 		if !ok {
 			return true
 		}
@@ -618,7 +686,7 @@ func (tx *Tx) waitOn(w errWait, deadline time.Time) bool {
 
 func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string]rel.Value, error)) (rel.Row, error) {
 	var result rel.Row
-	err := t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+	err := t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		head := tt.Head(rid)
@@ -668,7 +736,7 @@ func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string
 		}
 		tx.track(metrics.CompMVCC, mvccStart)
 		tx.encBuf = rel.EncodeDelta(tx.encBuf[:0], cols, vals)
-		tx.logChange(h, wal.RecUpdate, t.ID, rid, tx.encBuf)
+		tx.logChange(h.Pg, wal.RecUpdate, t.ID, rid, tx.encBuf)
 
 		// Index maintenance: if an indexed column changed, add an entry
 		// for the new key. The old entry stays for older snapshots and is
@@ -740,7 +808,7 @@ func (tx *Tx) Delete(tableName string, rid rel.RowID) error {
 }
 
 func (tx *Tx) deleteOnce(t *Tbl, rid rel.RowID) error {
-	err := t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+	err := t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		head := tt.Head(rid)
@@ -769,7 +837,7 @@ func (tx *Tx) deleteOnce(t *Tbl, rid rel.RowID) error {
 		tt.Push(rid, rec)
 		h.SetDeleted(true)
 		tx.track(metrics.CompMVCC, mvccStart)
-		tx.logChange(h, wal.RecDelete, t.ID, rid, nil)
+		tx.logChange(h.Pg, wal.RecDelete, t.ID, rid, nil)
 
 		lockStart = time.Now()
 		lock.UnlockTuple(entry, true)
@@ -947,6 +1015,15 @@ func (tx *Tx) finishMetrics(committed bool) {
 	} else {
 		tx.e.stats.Aborts.Add(1)
 	}
+	// Flush the visibility counters accumulated tx-locally (three shared
+	// atomic adds per transaction instead of per read).
+	if tx.vis.Fast != 0 {
+		tx.e.stats.MVCCFastPath.Add(tx.vis.Fast)
+	}
+	if tx.vis.Walks != 0 {
+		tx.e.stats.MVCCChainWalks.Add(tx.vis.Walks)
+		tx.e.stats.MVCCChainLinks.Add(tx.vis.Links)
+	}
 	if tx.e.cfg.StatsLite {
 		return
 	}
@@ -997,7 +1074,7 @@ func (tx *Tx) rollbackChanges() {
 		rid := rec.RowID
 		switch rec.Op {
 		case undo.OpUpdate:
-			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
 				for _, cv := range rec.Delta {
 					h.SetCol(cv.Col, cv.Val)
 				}
@@ -1007,7 +1084,7 @@ func (tx *Tx) rollbackChanges() {
 				return nil
 			})
 		case undo.OpDelete:
-			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
 				h.SetDeleted(false)
 				if tt := h.TwinTable(false); tt != nil {
 					tt.Pop(rid, rec)
@@ -1015,7 +1092,7 @@ func (tx *Tx) rollbackChanges() {
 				return nil
 			})
 		case undo.OpInsert:
-			t.Store.WithRow(rid, true, tx.yield, func(h *table.Handle) error {
+			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
 				if tt := h.TwinTable(false); tt != nil {
 					tt.Pop(rid, rec)
 				}

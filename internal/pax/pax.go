@@ -16,9 +16,26 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 
 	"phoebedb/internal/rel"
 )
+
+// viewStr returns a string sharing b's backing bytes without copying.
+//
+// Safety contract: var-column backing slices are content-immutable — SetCol
+// always installs a freshly allocated slice (never writes into the old one),
+// and Insert/Delete/SplitInto only move or nil the per-slot slice headers.
+// A view therefore stays valid for the life of the Go heap object it points
+// at, regardless of later updates to the slot; retaining one merely pins
+// that allocation. This is what makes allocation-free point reads possible:
+// materializing a row with string columns costs zero copies.
+func viewStr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
 
 // Page is a PAX-organized slotted page holding up to Cap rows of one
 // relation. It is not safe for concurrent use; callers synchronize through
@@ -159,7 +176,8 @@ func (p *Page) SetCol(at, col int, v rel.Value) {
 	p.vars[p.varIdx[col]][at] = b
 }
 
-// Col reads one column of slot `at`.
+// Col reads one column of slot `at`. String values are zero-copy views of
+// the page's backing bytes (see viewStr for why that is safe).
 func (p *Page) Col(at, col int) rel.Value {
 	t := p.schema.Cols[col].Type
 	if fi := p.fixIdx[col]; fi >= 0 {
@@ -169,7 +187,7 @@ func (p *Page) Col(at, col int) rel.Value {
 		}
 		return rel.Float(math.Float64frombits(u))
 	}
-	return rel.Str(string(p.vars[p.varIdx[col]][at]))
+	return rel.Str(viewStr(p.vars[p.varIdx[col]][at]))
 }
 
 // Row materializes the full tuple at slot `at`.
@@ -207,7 +225,7 @@ func (p *Page) ScanCol(col int, fn func(slot int, v rel.Value)) {
 	}
 	vc := p.vars[p.varIdx[col]]
 	for i := 0; i < p.n; i++ {
-		fn(i, rel.Str(string(vc[i])))
+		fn(i, rel.Str(viewStr(vc[i])))
 	}
 }
 

@@ -362,7 +362,7 @@ func (s *Standby) apply(r wal.Record) error {
 			return err
 		}
 		var newRow rel.Row
-		werr := t.Store.WithRow(rel.RowID(r.RowID), true, nil, func(h *table.Handle) error {
+		werr := t.Store.WithRow(rel.RowID(r.RowID), true, nil, func(h table.Handle) error {
 			for i, c := range cols {
 				h.SetCol(c, vals[i])
 			}
@@ -389,7 +389,7 @@ func (s *Standby) apply(r wal.Record) error {
 		return nil
 	case wal.RecDelete:
 		var old rel.Row
-		rerr := t.Store.WithRow(rel.RowID(r.RowID), false, nil, func(h *table.Handle) error {
+		rerr := t.Store.WithRow(rel.RowID(r.RowID), false, nil, func(h table.Handle) error {
 			old = h.Row()
 			return nil
 		})

@@ -1,0 +1,294 @@
+package sql
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/rel"
+)
+
+// Prepared-statement plan cache. OLTP workloads repeat a handful of
+// statement shapes with different literals; re-lexing, re-parsing, and
+// re-planning each one dominates the SQL layer's per-statement cost. The
+// cache keys on the literal-normalized statement text ('?' in place of
+// each literal), stores the parsed template plus the planner's access-path
+// choice, and on a hit binds the extracted literals into a copy of the
+// template — skipping the lexer, the parser, and planWhere's index scoring.
+//
+// Invalidation: DDL (CREATE TABLE / CREATE INDEX) can change every plan,
+// so the owner calls Invalidate, which drops all entries. Entries are
+// immutable after insertion except the planHint, which is published via an
+// atomic pointer — concurrent sessions share one cache without locking on
+// the hit path beyond the LRU bump.
+
+// CachedStmt is one cached template: the parsed statement with parameter
+// markers in literal positions, plus the lazily captured plan choice.
+type CachedStmt struct {
+	tmpl    Stmt
+	nParams int
+	// plan holds the access-path provenance captured on first execution;
+	// nil until then. Races on Store are benign (idempotent recompute).
+	plan atomic.Pointer[planHint]
+}
+
+// bind substitutes params into a deep copy of the template. The template
+// itself is never mutated: every slice/map reachable from the returned
+// statement is freshly allocated.
+func (cs *CachedStmt) bind(params []rel.Value) (Stmt, error) {
+	if len(params) != cs.nParams {
+		return nil, fmt.Errorf("sql: template wants %d parameters, got %d", cs.nParams, len(params))
+	}
+	bindVal := func(v rel.Value) rel.Value {
+		if isParam(v) {
+			return params[v.I]
+		}
+		return v
+	}
+	bindConds := func(conds []Cond) []Cond {
+		if conds == nil {
+			return nil
+		}
+		out := make([]Cond, len(conds))
+		for i, c := range conds {
+			out[i] = Cond{Col: c.Col, Val: bindVal(c.Val)}
+		}
+		return out
+	}
+	switch s := cs.tmpl.(type) {
+	case InsertStmt:
+		rows := make([][]rel.Value, len(s.Rows))
+		for i, r := range s.Rows {
+			row := make([]rel.Value, len(r))
+			for j, v := range r {
+				row[j] = bindVal(v)
+			}
+			rows[i] = row
+		}
+		s.Rows = rows
+		return s, nil
+	case SelectStmt:
+		s.Where = bindConds(s.Where)
+		return s, nil
+	case UpdateStmt:
+		set := make(map[string]rel.Value, len(s.Set))
+		for k, v := range s.Set {
+			set[k] = bindVal(v)
+		}
+		s.Set = set
+		s.Where = bindConds(s.Where)
+		return s, nil
+	case DeleteStmt:
+		s.Where = bindConds(s.Where)
+		return s, nil
+	}
+	return nil, ErrUnsupported
+}
+
+// PlanCache is a bounded LRU of CachedStmt keyed by normalized statement
+// text. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	cs  *CachedStmt
+}
+
+// NewPlanCache returns a cache bounded to capacity entries (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Hits returns cache hits (statements served from a cached template).
+func (c *PlanCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns cache misses (cacheable statements that had to parse).
+func (c *PlanCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of cached templates.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Invalidate drops every entry. Called on DDL: a new table or index can
+// change any statement's access path.
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element, c.cap)
+}
+
+// Prepare resolves src against the cache: normalize, look up, and on a
+// miss parse the template and insert it. The returned params are the
+// literals extracted from src in source order, ready for ExecPrepared.
+// cacheable=false means the statement bypasses the cache — DDL, statements
+// the normalizer cannot handle, or text that fails to parse (the caller
+// should fall back to Parse on the original text for a faithful error).
+func (c *PlanCache) Prepare(src string) (cs *CachedStmt, params []rel.Value, cacheable bool) {
+	key, params, ok := normalize(src)
+	if !ok {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	if el, hit := c.entries[key]; hit {
+		c.lru.MoveToFront(el)
+		cs := el.Value.(*cacheEntry).cs
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return cs, params, true
+	}
+	c.mu.Unlock()
+
+	tmpl, n, err := parseTemplate(key)
+	if err != nil || n != len(params) {
+		// Unparseable (or a normalizer/parser disagreement): let the
+		// caller produce the error from the original text.
+		return nil, nil, false
+	}
+	c.misses.Add(1)
+	cs = &CachedStmt{tmpl: tmpl, nParams: n}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, hit := c.entries[key]; hit {
+		// Another session inserted the same template while we parsed.
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).cs, params, true
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, cs: cs})
+	c.entries[key] = el
+	if c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*cacheEntry).key)
+	}
+	return cs, params, true
+}
+
+// normalize rewrites src into a cache key with every literal replaced by
+// '?', returning the extracted literals in source order. It mirrors the
+// lexer's token boundaries in a single allocation-light pass: identifiers
+// lowercase (the parser lowercases them anyway), symbols verbatim, string
+// and number literals parameterized. Two exceptions keep templates sound:
+// LIMIT counts stay verbatim in the key (the planner treats LIMIT as part
+// of the plan, and `LIMIT ?` would hide it), and CREATE statements are
+// uncacheable (DDL runs once; caching it would mask Invalidate ordering).
+func normalize(src string) (key string, params []rel.Value, ok bool) {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	prevWord := ""
+	first := true
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+			continue
+		case isIdentStart(rune(c)):
+			start := pos
+			for pos < len(src) && isIdentPart(rune(src[pos])) {
+				pos++
+			}
+			word := strings.ToLower(src[start:pos])
+			if first && word == "create" {
+				return "", nil, false
+			}
+			sb.WriteString(word)
+			sb.WriteByte(' ')
+			prevWord = word
+		case c >= '0' && c <= '9' || c == '-' && pos+1 < len(src) && src[pos+1] >= '0' && src[pos+1] <= '9':
+			start := pos
+			pos++
+			for pos < len(src) && (src[pos] >= '0' && src[pos] <= '9' || src[pos] == '.') {
+				pos++
+			}
+			text := src[start:pos]
+			if prevWord == "limit" {
+				// Keep the count in the key: different limits are
+				// different plans.
+				sb.WriteString(text)
+				sb.WriteByte(' ')
+			} else {
+				v, err := numberValue(text)
+				if err != nil {
+					return "", nil, false
+				}
+				params = append(params, v)
+				sb.WriteString("? ")
+			}
+			prevWord = ""
+		case c == '\'':
+			pos++
+			var lit strings.Builder
+			for {
+				if pos >= len(src) {
+					return "", nil, false // unterminated; Parse reports it
+				}
+				if src[pos] == '\'' {
+					if pos+1 < len(src) && src[pos+1] == '\'' {
+						lit.WriteByte('\'')
+						pos += 2
+						continue
+					}
+					pos++
+					break
+				}
+				lit.WriteByte(src[pos])
+				pos++
+			}
+			params = append(params, rel.Str(lit.String()))
+			sb.WriteString("? ")
+			prevWord = ""
+		case strings.ContainsRune("(),=*.<>", rune(c)):
+			sb.WriteByte(c)
+			sb.WriteByte(' ')
+			pos++
+			prevWord = ""
+		default:
+			// '?' in user text, or anything the lexer would reject:
+			// uncacheable, let Parse produce the error.
+			return "", nil, false
+		}
+		first = false
+	}
+	return sb.String(), params, true
+}
+
+// numberValue mirrors parser.value's literal typing: a '.' makes a float,
+// otherwise the text must be a valid int64.
+func numberValue(text string) (rel.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return rel.Value{}, err
+		}
+		return rel.Float(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return rel.Value{}, err
+	}
+	return rel.Int(n), nil
+}

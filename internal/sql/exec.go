@@ -104,36 +104,138 @@ type plan struct {
 	residual []Cond
 }
 
+// planHint is the access-path provenance the plan cache remembers: which
+// index was chosen and which WHERE positions feed the prefix and the
+// residual. Rebinding a cached statement re-derives the full plan from the
+// hint in one pass over the (structurally identical) bound WHERE — no
+// index scoring. DDL invalidates the whole cache, so a stored hint never
+// outlives the schema it was computed against.
+type planHint struct {
+	nWhere   int
+	index    string
+	prefix   []hintCond
+	residual []hintCond
+}
+
+// hintCond ties one planned condition to its WHERE position and column.
+type hintCond struct{ whereIdx, col int }
+
+// rebuild re-derives the plan from the hint for a freshly bound WHERE.
+// ok=false signals a structural mismatch (the caller re-plans from
+// scratch); an error is a genuine literal type mismatch.
+func (h *planHint) rebuild(schema *rel.Schema, where []Cond) (plan, bool, error) {
+	if h.nWhere != len(where) {
+		return plan{}, false, nil
+	}
+	coerce := func(hc hintCond) (rel.Value, bool, error) {
+		if hc.whereIdx >= len(where) || hc.col >= schema.NumCols() {
+			return rel.Value{}, false, nil
+		}
+		v := where[hc.whereIdx].Val
+		ct := schema.Cols[hc.col].Type
+		if v.Kind != ct {
+			if v.Kind == rel.TInt64 && ct == rel.TFloat64 {
+				return rel.Float(float64(v.I)), true, nil
+			}
+			return rel.Value{}, false, fmt.Errorf("sql: column %q: literal type mismatch", where[hc.whereIdx].Col)
+		}
+		return v, true, nil
+	}
+	p := plan{index: h.index}
+	if len(h.prefix) > 0 {
+		p.prefixVals = make([]rel.Value, len(h.prefix))
+		for i, hc := range h.prefix {
+			v, ok, err := coerce(hc)
+			if !ok || err != nil {
+				return plan{}, false, err
+			}
+			p.prefixVals[i] = v
+		}
+	}
+	if len(h.residual) > 0 {
+		p.residual = make([]Cond, len(h.residual))
+		for i, hc := range h.residual {
+			v, ok, err := coerce(hc)
+			if !ok || err != nil {
+				return plan{}, false, err
+			}
+			p.residual[i] = Cond{Col: where[hc.whereIdx].Col, Val: v}
+		}
+	}
+	return p, true, nil
+}
+
+// resolvedCond is one WHERE condition mapped to its column position, with
+// the literal coerced to the column type.
+type resolvedCond struct {
+	whereIdx int
+	col      int
+	val      rel.Value
+}
+
+// resolveWhere maps conditions to column positions and coerces literal
+// types. Repeated columns dedupe with the last condition winning,
+// preserving the planner's historical map-overwrite semantics. WHERE
+// clauses are small, so linear probing beats building a map.
+func resolveWhere(schema *rel.Schema, where []Cond) ([]resolvedCond, error) {
+	out := make([]resolvedCond, 0, len(where))
+	for i, c := range where {
+		pos := schema.ColIndex(c.Col)
+		if pos < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", c.Col)
+		}
+		v := c.Val
+		if v.Kind != schema.Cols[pos].Type {
+			// Allow int literals for float columns.
+			if v.Kind == rel.TInt64 && schema.Cols[pos].Type == rel.TFloat64 {
+				v = rel.Float(float64(v.I))
+			} else {
+				return nil, fmt.Errorf("sql: column %q: literal type mismatch", c.Col)
+			}
+		}
+		dup := false
+		for j := range out {
+			if out[j].col == pos {
+				out[j] = resolvedCond{whereIdx: i, col: pos, val: v}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, resolvedCond{whereIdx: i, col: pos, val: v})
+		}
+	}
+	return out, nil
+}
+
 // planWhere picks the best access path: the index whose column prefix is
 // covered by the most equality conditions, preferring full unique matches.
 func planWhere(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, error) {
-	byCol := make(map[int]Cond, len(where))
-	for _, c := range where {
-		pos := schema.ColIndex(c.Col)
-		if pos < 0 {
-			return plan{}, fmt.Errorf("sql: unknown column %q", c.Col)
-		}
-		if c.Val.Kind != schema.Cols[pos].Type {
-			// Allow int literals for float columns.
-			if c.Val.Kind == rel.TInt64 && schema.Cols[pos].Type == rel.TFloat64 {
-				c.Val = rel.Float(float64(c.Val.I))
-			} else {
-				return plan{}, fmt.Errorf("sql: column %q: literal type mismatch", c.Col)
+	p, _, err := planWhereHint(schema, indexes, where)
+	return p, err
+}
+
+// planWhereHint is planWhere plus the provenance the plan cache stores.
+func planWhereHint(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, *planHint, error) {
+	rs, err := resolveWhere(schema, where)
+	if err != nil {
+		return plan{}, nil, err
+	}
+	find := func(col int) int {
+		for j := range rs {
+			if rs[j].col == col {
+				return j
 			}
 		}
-		byCol[pos] = c
+		return -1
 	}
-	best := plan{}
-	bestScore := -1
-	for _, ix := range indexes {
+	bestIdx, bestScore, bestCovered := -1, -1, 0
+	for i, ix := range indexes {
 		covered := 0
-		var vals []rel.Value
 		for _, pos := range ix.Cols {
-			c, ok := byCol[pos]
-			if !ok {
+			if find(pos) < 0 {
 				break
 			}
-			vals = append(vals, c.Val)
 			covered++
 		}
 		if covered == 0 {
@@ -144,29 +246,62 @@ func planWhere(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, err
 			score++ // full unique match wins ties
 		}
 		if score > bestScore {
-			bestScore = score
-			coveredCols := map[int]bool{}
-			for i := 0; i < covered; i++ {
-				coveredCols[ix.Cols[i]] = true
-			}
-			var residual []Cond
-			for pos, c := range byCol {
-				if !coveredCols[pos] {
-					residual = append(residual, c)
+			bestIdx, bestScore, bestCovered = i, score, covered
+		}
+	}
+	h := &planHint{nWhere: len(where)}
+	p := plan{}
+	inPrefix := func(col int) bool { return false }
+	if bestIdx >= 0 {
+		ix := indexes[bestIdx]
+		p.index, h.index = ix.Name, ix.Name
+		p.prefixVals = make([]rel.Value, 0, bestCovered)
+		for _, pos := range ix.Cols[:bestCovered] {
+			r := rs[find(pos)]
+			p.prefixVals = append(p.prefixVals, r.val)
+			h.prefix = append(h.prefix, hintCond{whereIdx: r.whereIdx, col: r.col})
+		}
+		prefixCols := ix.Cols[:bestCovered]
+		inPrefix = func(col int) bool {
+			for _, pos := range prefixCols {
+				if pos == col {
+					return true
 				}
 			}
-			best = plan{index: ix.Name, prefixVals: vals, residual: residual}
+			return false
 		}
 	}
-	if bestScore < 0 {
-		// Full scan; everything is residual.
-		residual := make([]Cond, 0, len(byCol))
-		for _, c := range byCol {
-			residual = append(residual, c)
+	for _, r := range rs {
+		if inPrefix(r.col) {
+			continue
 		}
-		return plan{residual: residual}, nil
+		p.residual = append(p.residual, Cond{Col: where[r.whereIdx].Col, Val: r.val})
+		h.residual = append(h.residual, hintCond{whereIdx: r.whereIdx, col: r.col})
 	}
-	return best, nil
+	return p, h, nil
+}
+
+// planFor resolves the access path, consulting and populating the cached
+// statement's plan hint when one is supplied.
+func planFor(hint *CachedStmt, schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, error) {
+	if hint == nil {
+		return planWhere(schema, indexes, where)
+	}
+	if h := hint.plan.Load(); h != nil {
+		p, ok, err := h.rebuild(schema, where)
+		if err != nil {
+			return plan{}, err
+		}
+		if ok {
+			return p, nil
+		}
+	}
+	p, h, err := planWhereHint(schema, indexes, where)
+	if err != nil {
+		return plan{}, err
+	}
+	hint.plan.Store(h)
+	return p, nil
 }
 
 func matches(schema *rel.Schema, row rel.Row, conds []Cond) bool {
@@ -196,15 +331,30 @@ func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, fn func(rid 
 
 // Exec runs a DML statement inside tx.
 func Exec(cat Catalog, tx Txn, stmt Stmt) (Result, error) {
+	return exec(cat, tx, stmt, nil)
+}
+
+// ExecPrepared binds params into cs's template and executes it, reusing
+// the cached access-path choice. It is the hit-path counterpart of
+// Parse+Exec.
+func ExecPrepared(cat Catalog, tx Txn, cs *CachedStmt, params []rel.Value) (Result, error) {
+	stmt, err := cs.bind(params)
+	if err != nil {
+		return Result{}, err
+	}
+	return exec(cat, tx, stmt, cs)
+}
+
+func exec(cat Catalog, tx Txn, stmt Stmt, hint *CachedStmt) (Result, error) {
 	switch s := stmt.(type) {
 	case InsertStmt:
 		return execInsert(cat, tx, s)
 	case SelectStmt:
-		return execSelect(cat, tx, s)
+		return execSelect(cat, tx, s, hint)
 	case UpdateStmt:
-		return execUpdate(cat, tx, s)
+		return execUpdate(cat, tx, s, hint)
 	case DeleteStmt:
-		return execDelete(cat, tx, s)
+		return execDelete(cat, tx, s, hint)
 	case CreateTableStmt, CreateIndexStmt:
 		return Result{}, fmt.Errorf("%w: DDL inside a transaction", ErrUnsupported)
 	default:
@@ -242,7 +392,7 @@ func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
 	return Result{Affected: n}, nil
 }
 
-func execSelect(cat Catalog, tx Txn, s SelectStmt) (Result, error) {
+func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
 	if schema, rows, ok := statTable(cat, s.Table); ok {
 		return selectRows(schema, rows, s)
 	}
@@ -254,7 +404,7 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	p, err := planWhere(schema, indexes, s.Where)
+	p, err := planFor(hint, schema, indexes, s.Where)
 	if err != nil {
 		return Result{}, err
 	}
@@ -328,7 +478,7 @@ func selectRows(schema *rel.Schema, rows []rel.Row, s SelectStmt) (Result, error
 	return res, nil
 }
 
-func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
+func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt) (Result, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
 		return Result{}, errStatReadOnly(s.Table)
 	}
@@ -355,7 +505,7 @@ func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
 		}
 		set[name] = v
 	}
-	p, err := planWhere(schema, indexes, s.Where)
+	p, err := planFor(hint, schema, indexes, s.Where)
 	if err != nil {
 		return Result{}, err
 	}
@@ -376,7 +526,7 @@ func execUpdate(cat Catalog, tx Txn, s UpdateStmt) (Result, error) {
 	return Result{Affected: len(rids)}, nil
 }
 
-func execDelete(cat Catalog, tx Txn, s DeleteStmt) (Result, error) {
+func execDelete(cat Catalog, tx Txn, s DeleteStmt, hint *CachedStmt) (Result, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
 		return Result{}, errStatReadOnly(s.Table)
 	}
@@ -388,7 +538,7 @@ func execDelete(cat Catalog, tx Txn, s DeleteStmt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	p, err := planWhere(schema, indexes, s.Where)
+	p, err := planFor(hint, schema, indexes, s.Where)
 	if err != nil {
 		return Result{}, err
 	}

@@ -31,7 +31,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokSymbol // ( ) , = * . < >
+	tokSymbol // ( ) , = * . < > ?
 )
 
 type token struct {
@@ -90,7 +90,7 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
-		case strings.ContainsRune("(),=*.<>", rune(c)):
+		case strings.ContainsRune("(),=*.<>?", rune(c)):
 			l.pos++
 			l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
 		default:

@@ -66,28 +66,52 @@ func (SelectStmt) stmtNode()      {}
 func (UpdateStmt) stmtNode()      {}
 func (DeleteStmt) stmtNode()      {}
 
+// paramKind marks a rel.Value as a parameter placeholder in a cached
+// statement template: Val.I holds the 0-based parameter index. The kind
+// value sits far outside rel's real type space, so a marker that leaks
+// into execution fails type checks instead of silently matching.
+const paramKind = rel.Type(255)
+
+// isParam reports whether v is a template parameter marker.
+func isParam(v rel.Value) bool { return v.Kind == paramKind }
+
 // parser consumes a token stream.
 type parser struct {
 	toks []token
 	pos  int
 	src  string
+	// allowParams accepts '?' placeholders where a literal is expected
+	// (template parsing for the plan cache); plain Parse rejects them.
+	allowParams bool
+	nParams     int
 }
 
 // Parse parses one SQL statement.
 func Parse(src string) (Stmt, error) {
+	stmt, _, err := parse(src, false)
+	return stmt, err
+}
+
+// parseTemplate parses a literal-normalized statement containing '?'
+// placeholders, returning the template and its parameter count.
+func parseTemplate(src string) (Stmt, int, error) {
+	return parse(src, true)
+}
+
+func parse(src string, allowParams bool) (Stmt, int, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	p := &parser{toks: toks, src: src}
+	p := &parser{toks: toks, src: src, allowParams: allowParams}
 	stmt, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !p.atEOF() {
-		return nil, p.errorf("trailing tokens after statement")
+		return nil, 0, p.errorf("trailing tokens after statement")
 	}
-	return stmt, nil
+	return stmt, p.nParams, nil
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -263,6 +287,14 @@ func (p *parser) value() (rel.Value, error) {
 	case tokString:
 		p.pos++
 		return rel.Str(t.text), nil
+	case tokSymbol:
+		if p.allowParams && t.text == "?" {
+			p.pos++
+			v := rel.Value{Kind: paramKind, I: int64(p.nParams)}
+			p.nParams++
+			return v, nil
+		}
+		return rel.Value{}, p.errorf("expected literal value")
 	default:
 		return rel.Value{}, p.errorf("expected literal value")
 	}

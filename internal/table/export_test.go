@@ -19,7 +19,7 @@ func TestAppendAt(t *testing.T) {
 	if tb.NextRowID() != 6 {
 		t.Fatalf("NextRowID = %d", tb.NextRowID())
 	}
-	if err := tb.WithRow(6, false, nil, func(h *Handle) error {
+	if err := tb.WithRow(6, false, nil, func(h Handle) error {
 		if h.Col(0).I != 6 {
 			return fmt.Errorf("wrong row: %v", h.Row())
 		}
@@ -28,7 +28,7 @@ func TestAppendAt(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Burned rids are absent.
-	if err := tb.WithRow(4, false, nil, func(*Handle) error { return nil }); err != ErrNotFound {
+	if err := tb.WithRow(4, false, nil, func(Handle) error { return nil }); err != ErrNotFound {
 		t.Fatalf("gap rid err = %v", err)
 	}
 	// Regression: AppendAt must reject non-monotonic rids.
@@ -50,7 +50,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	src := newTestTable(t, 4, pool)
 	rids := appendN(t, src, 11)
 	// Tombstone one row; its flag must survive the round trip.
-	src.WithRow(rids[2], true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	src.WithRow(rids[2], true, nil, func(h Handle) error { h.SetDeleted(true); return nil })
 
 	images, nextRID, maxFrozen, err := src.ExportImages(nil)
 	if err != nil {
@@ -71,7 +71,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 		t.Fatalf("imported NextRowID = %d", dst.NextRowID())
 	}
 	for i, rid := range rids {
-		err := dst.WithRow(rid, false, nil, func(h *Handle) error {
+		err := dst.WithRow(rid, false, nil, func(h Handle) error {
 			if !h.Row().Equal(mkRow(i)) {
 				return fmt.Errorf("row %d mismatch", i)
 			}
@@ -111,7 +111,7 @@ func TestExportImportColdPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, rid := range rids {
-		if err := dst.WithRow(rid, false, nil, func(h *Handle) error {
+		if err := dst.WithRow(rid, false, nil, func(h Handle) error {
 			if h.Col(0).I != int64(i) {
 				return fmt.Errorf("row %d corrupted", i)
 			}
@@ -201,7 +201,7 @@ func TestInsertAtSplitsFullPage(t *testing.T) {
 	}
 	// Every row readable through point access too.
 	for _, rid := range []rel.RowID{1, 2, 3, 4, 5} {
-		if err := tb.WithRow(rid, false, nil, func(h *Handle) error { return nil }); err != nil {
+		if err := tb.WithRow(rid, false, nil, func(h Handle) error { return nil }); err != nil {
 			t.Fatalf("row %d unreachable after split: %v", rid, err)
 		}
 	}
@@ -255,7 +255,7 @@ func TestEvictionFailureKeepsPageResident(t *testing.T) {
 	if !pg.Resident() {
 		t.Fatal("page lost after failed eviction")
 	}
-	if err := tb.WithRow(rids[0], false, nil, func(h *Handle) error { return nil }); err != nil {
+	if err := tb.WithRow(rids[0], false, nil, func(h Handle) error { return nil }); err != nil {
 		t.Fatalf("row unreadable after failed eviction: %v", err)
 	}
 }

@@ -56,7 +56,7 @@ func TestConcurrentLaneAppends(t *testing.T) {
 			}
 			seen[rid] = struct{}{}
 			want := mkRow(w*perW + i)
-			if err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+			if err := tb.WithRow(rid, false, nil, func(h Handle) error {
 				if !h.Row().Equal(want) {
 					return fmt.Errorf("rid %d holds %v, want %v", rid, h.Row(), want)
 				}

@@ -291,8 +291,10 @@ func (t *Table) newPage(firstRID rel.RowID, part int, open bool) *Page {
 	return pg
 }
 
-// Handle is the view of one row passed to WithRow callbacks; valid only for
-// the callback's duration, under the page latch.
+// Handle is the view of one row passed to WithRow/Append callbacks; valid
+// only for the callback's duration, under the page latch. It is passed by
+// value so the hot read path never heap-allocates one (a pointer handed to
+// an opaque callback would escape).
 type Handle struct {
 	Pg   *Page
 	Pl   *Payload
@@ -302,6 +304,11 @@ type Handle struct {
 
 // Row materializes the current (newest) tuple version.
 func (h *Handle) Row() rel.Row { return h.Pl.Rows.Row(h.Slot) }
+
+// ReadRowInto materializes the current version into dst, reusing its
+// storage (the allocation-free read path). dst must have schema-many
+// entries.
+func (h *Handle) ReadRowInto(dst rel.Row) { h.Pl.Rows.ReadRowInto(h.Slot, dst) }
 
 // Col reads one column of the current version.
 func (h *Handle) Col(i int) rel.Value { return h.Pl.Rows.Col(h.Slot, i) }
@@ -367,7 +374,7 @@ func (t *Table) findPage(rid rel.RowID) *Page {
 // set, shared otherwise). yield is invoked at latch-spin and page-load
 // points. Returns ErrFrozen for rows below the frozen frontier and
 // ErrNotFound for absent row_ids.
-func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *Handle) error) error {
+func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h Handle) error) error {
 	if uint64(rid) <= t.maxFrozenRowID.Load() {
 		return ErrFrozen
 	}
@@ -394,7 +401,7 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *
 				pg.lt.UnlockExclusive()
 				return ErrNotFound
 			}
-			err = fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
+			err = fn(Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
 			pg.lt.UnlockExclusive()
 			return err
 		}
@@ -410,7 +417,7 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *
 			pg.lt.UnlockShared()
 			return ErrNotFound
 		}
-		err := fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
+		err := fn(Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid})
 		pg.lt.UnlockShared()
 		return err
 	}
@@ -421,7 +428,7 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h *
 // latch (so the caller can build UNDO/WAL state atomically with the
 // insert). Lanes hold disjoint row_id ranges, so concurrent appends on
 // different lanes never touch the same page.
-func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h *Handle) error) (rel.RowID, error) {
+func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h Handle) error) (rel.RowID, error) {
 	if err := row.Conforms(t.Schema); err != nil {
 		return 0, err
 	}
@@ -466,7 +473,7 @@ func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h *Handle) e
 	pl.Deleted = append(pl.Deleted, false)
 	pg.touch()
 	if fn != nil {
-		if err := fn(&Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid}); err != nil {
+		if err := fn(Handle{Pg: pg, Pl: pl, Slot: slot, RID: rid}); err != nil {
 			// Roll the physical insert back; the row_id is burned.
 			pl.Rows.Delete(slot)
 			pl.IDs = pl.IDs[:len(pl.IDs)-1]
@@ -573,7 +580,7 @@ func (t *Table) AppendAt(rid rel.RowID, row rel.Row) error {
 
 // RemoveRow physically erases a tombstoned row (deleted-tuple GC, §7.3).
 func (t *Table) RemoveRow(rid rel.RowID, yield func()) error {
-	return t.WithRow(rid, true, yield, func(h *Handle) error {
+	return t.WithRow(rid, true, yield, func(h Handle) error {
 		if err := h.Pl.Rows.Delete(h.Slot); err != nil {
 			return err
 		}
@@ -607,13 +614,20 @@ func (t *Table) DropCollectibleTwins(maxFrozenXID uint64) int {
 // Scan iterates all live (non-tombstoned) rows in row_id order across the
 // hot/cold layers, invoking fn until it returns false. Each page is read
 // under its shared latch.
+//
+// The row and handle passed to fn are scratch storage owned by the scan and
+// reused for every row: both are valid only for the duration of the
+// callback. Callers that need a row beyond the callback must copy it
+// (string values may be retained — they are zero-copy views of
+// content-immutable page bytes, see pax.viewStr).
 func (t *Table) Scan(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
 	return t.scan(yield, false, fn)
 }
 
 // ScanAll is Scan including tombstoned rows: MVCC scans need them because
 // a delete committed after a reader's snapshot must still be visible to
-// that reader through its version chain.
+// that reader through its version chain. The same scratch-reuse contract as
+// Scan applies.
 func (t *Table) ScanAll(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
 	return t.scan(yield, true, fn)
 }
@@ -622,8 +636,12 @@ func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID
 	t.dirMu.RLock()
 	pages := append([]*Page(nil), t.dir...)
 	t.dirMu.RUnlock()
+	// One scratch row and one handle for the whole scan: the old
+	// per-row Rows.Row + &Handle{...} pair dominated scan allocations.
+	buf := make(rel.Row, t.Schema.NumCols())
+	var h Handle
 	for _, pg := range pages {
-		cont, err := t.scanPage(pg, yield, includeTombstones, fn)
+		cont, err := t.scanPage(pg, yield, includeTombstones, buf, &h, fn)
 		if err != nil {
 			return err
 		}
@@ -634,7 +652,7 @@ func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID
 	return nil
 }
 
-func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) (bool, error) {
+func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, buf rel.Row, h *Handle, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) (bool, error) {
 	for {
 		if pg.swip.State() == swizzle.Cold {
 			pg.lt.LockExclusive(yield)
@@ -652,11 +670,14 @@ func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, fn func
 		}
 		pg.touch()
 		pl := pg.swip.Ptr()
+		h.Pg, h.Pl = pg, pl
 		for i := 0; i < len(pl.IDs); i++ {
 			if pl.Deleted[i] && !includeTombstones {
 				continue
 			}
-			if !fn(pl.IDs[i], pl.Rows.Row(i), &Handle{Pg: pg, Pl: pl, Slot: i, RID: pl.IDs[i]}) {
+			pl.Rows.ReadRowInto(i, buf)
+			h.Slot, h.RID = i, pl.IDs[i]
+			if !fn(pl.IDs[i], buf, h) {
 				pg.lt.UnlockShared()
 				return false, nil
 			}

@@ -66,7 +66,7 @@ func TestWithRowReadsBack(t *testing.T) {
 	tb := newTestTable(t, 4, nil)
 	rids := appendN(t, tb, 10)
 	for i, rid := range rids {
-		err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+		err := tb.WithRow(rid, false, nil, func(h Handle) error {
 			if !h.Row().Equal(mkRow(i)) {
 				t.Fatalf("row %d mismatch", i)
 			}
@@ -79,7 +79,7 @@ func TestWithRowReadsBack(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := tb.WithRow(9999, false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
+	if err := tb.WithRow(9999, false, nil, func(Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing row err = %v", err)
 	}
 }
@@ -87,14 +87,14 @@ func TestWithRowReadsBack(t *testing.T) {
 func TestWithRowExclusiveUpdate(t *testing.T) {
 	tb := newTestTable(t, 8, nil)
 	rids := appendN(t, tb, 3)
-	err := tb.WithRow(rids[1], true, nil, func(h *Handle) error {
+	err := tb.WithRow(rids[1], true, nil, func(h Handle) error {
 		h.SetCol(1, rel.Str("updated"))
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb.WithRow(rids[1], false, nil, func(h *Handle) error {
+	tb.WithRow(rids[1], false, nil, func(h Handle) error {
 		if h.Col(1).S != "updated" {
 			t.Fatalf("update lost: %v", h.Col(1))
 		}
@@ -106,7 +106,7 @@ func TestAppendCallbackErrorRollsBack(t *testing.T) {
 	tb := newTestTable(t, 8, nil)
 	appendN(t, tb, 2)
 	boom := errors.New("boom")
-	_, err := tb.Append(mkRow(99), 0, nil, func(h *Handle) error { return boom })
+	_, err := tb.Append(mkRow(99), 0, nil, func(h Handle) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -121,7 +121,7 @@ func TestRemoveRowAndScanSkipsTombstones(t *testing.T) {
 	tb := newTestTable(t, 4, nil)
 	rids := appendN(t, tb, 6)
 	// Tombstone one row, physically remove another.
-	tb.WithRow(rids[1], true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	tb.WithRow(rids[1], true, nil, func(h Handle) error { h.SetDeleted(true); return nil })
 	if err := tb.RemoveRow(rids[3], nil); err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRemoveRowAndScanSkipsTombstones(t *testing.T) {
 	if fmt.Sprint(seen) != fmt.Sprint(want) {
 		t.Fatalf("scan = %v, want %v", seen, want)
 	}
-	if err := tb.WithRow(rids[3], false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
+	if err := tb.WithRow(rids[3], false, nil, func(Handle) error { return nil }); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("removed row err = %v", err)
 	}
 }
@@ -161,7 +161,7 @@ func TestEvictAndReload(t *testing.T) {
 	}
 	// Every row must still read back (cold pages reload).
 	for i, rid := range rids {
-		err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+		err := tb.WithRow(rid, false, nil, func(h Handle) error {
 			if !h.Row().Equal(mkRow(i)) {
 				return fmt.Errorf("row %d mismatch after reload", i)
 			}
@@ -178,7 +178,7 @@ func TestTwinPinsPage(t *testing.T) {
 	tb := newTestTable(t, 4, pool)
 	rids := appendN(t, tb, 8)
 	// Give the first page a twin table.
-	tb.WithRow(rids[0], true, nil, func(h *Handle) error {
+	tb.WithRow(rids[0], true, nil, func(h Handle) error {
 		tt := h.TwinTable(true)
 		m := undo.NewTxnMeta(clock.MakeXID(1))
 		tt.Push(h.RID, undo.NewArena(0).New(m, 1, h.RID, undo.OpUpdate, nil, nil))
@@ -201,7 +201,7 @@ func TestDropCollectibleTwins(t *testing.T) {
 	arena := undo.NewArena(0)
 	m := undo.NewTxnMeta(clock.MakeXID(1))
 	var rec *undo.Record
-	tb.WithRow(rids[0], true, nil, func(h *Handle) error {
+	tb.WithRow(rids[0], true, nil, func(h Handle) error {
 		tt := h.TwinTable(true)
 		rec = arena.New(m, 1, h.RID, undo.OpUpdate, nil, nil)
 		tt.Push(h.RID, rec)
@@ -238,10 +238,10 @@ func TestDetachFrozenPrefix(t *testing.T) {
 		t.Fatalf("frontier = %d, want %d", tb.MaxFrozenRowID(), rids[7])
 	}
 	// Frozen rows report ErrFrozen; unfrozen remain readable.
-	if err := tb.WithRow(rids[0], false, nil, func(*Handle) error { return nil }); !errors.Is(err, ErrFrozen) {
+	if err := tb.WithRow(rids[0], false, nil, func(Handle) error { return nil }); !errors.Is(err, ErrFrozen) {
 		t.Fatalf("frozen row err = %v", err)
 	}
-	if err := tb.WithRow(rids[9], false, nil, func(*Handle) error { return nil }); err != nil {
+	if err := tb.WithRow(rids[9], false, nil, func(Handle) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	// Candidates carry the data in row_id order.
@@ -261,7 +261,7 @@ func TestDetachFrozenPrefixStopsAtHotOrTombstoned(t *testing.T) {
 		pg.hotness.Store(0)
 	}
 	// Tombstone in the second page: only the first page freezes.
-	tb.WithRow(rids[5], true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	tb.WithRow(rids[5], true, nil, func(h Handle) error { h.SetDeleted(true); return nil })
 	tb.dir[1].hotness.Store(0)
 	cands, _ := tb.DetachFrozenPrefix(10, 0, nil)
 	if len(cands) != 1 {
@@ -293,7 +293,7 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 				all[rid] = true
 				mu.Unlock()
 				// Read own write back.
-				if err := tb.WithRow(rid, false, nil, func(h *Handle) error {
+				if err := tb.WithRow(rid, false, nil, func(h Handle) error {
 					if h.Col(0).I != int64(i) {
 						return fmt.Errorf("read own write failed")
 					}
@@ -318,7 +318,7 @@ func TestPayloadSerializeRoundTrip(t *testing.T) {
 	_ = pl
 	tb := newTestTable(t, 8, nil)
 	appendN(t, tb, 5)
-	tb.WithRow(2, true, nil, func(h *Handle) error { h.SetDeleted(true); return nil })
+	tb.WithRow(2, true, nil, func(h Handle) error { h.SetDeleted(true); return nil })
 	src := tb.dir[0].swip.Ptr()
 	img := src.serialize(nil)
 	got, err := deserializePayload(testSchema(), 8, img)
@@ -363,7 +363,7 @@ func BenchmarkPointRead(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			tb.WithRow(rel.RowID(i%10000+1), false, nil, func(h *Handle) error { return nil })
+			tb.WithRow(rel.RowID(i%10000+1), false, nil, func(h Handle) error { return nil })
 			i++
 		}
 	})

@@ -26,6 +26,7 @@ func CheckConsistency(b Backend, s Scale) error {
 			if !ok {
 				return fmt.Errorf("tpcc: C1 warehouse %d missing", w)
 			}
+			wYtd := wRow[WYtd].F // borrowed row: extract before the next operation
 			var dYtdSum float64
 			for d := int64(1); d <= int64(s.DistrictsPerWH); d++ {
 				_, dRow, ok, err := c.GetByIndex("district", "district_pk", rel.Int(w), rel.Int(d))
@@ -83,8 +84,8 @@ func CheckConsistency(b Backend, s Scale) error {
 					return fmt.Errorf("tpcc: C4 violated at %d/%d: sum(O_OL_CNT)=%d, order lines=%d", w, d, olSum, olCount)
 				}
 			}
-			if math.Abs(wRow[WYtd].F-dYtdSum) > 0.01 {
-				return fmt.Errorf("tpcc: C1 violated at warehouse %d: W_YTD=%.2f, sum(D_YTD)=%.2f", w, wRow[WYtd].F, dYtdSum)
+			if math.Abs(wYtd-dYtdSum) > 0.01 {
+				return fmt.Errorf("tpcc: C1 violated at warehouse %d: W_YTD=%.2f, sum(D_YTD)=%.2f", w, wYtd, dYtdSum)
 			}
 		}
 		return nil

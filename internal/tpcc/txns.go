@@ -31,6 +31,7 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 	if !ok {
 		return errNotFound("warehouse %d", wID)
 	}
+	wTax := wRow[WTax].F // borrowed row: extract before the next operation
 	dRID, dRow, ok, err := c.GetByIndex("district", "district_pk", rel.Int(wID), rel.Int(dID))
 	if err != nil {
 		return err
@@ -38,6 +39,7 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 	if !ok {
 		return errNotFound("district %d/%d", wID, dID)
 	}
+	dTax := dRow[DTax].F
 	// Atomically claim the next order id (UPDATE ... RETURNING semantics).
 	newDRow, err := c.Modify("district", dRID, func(cur rel.Row) (map[string]rel.Value, error) {
 		return map[string]rel.Value{"d_next_o_id": rel.Int(cur[DNextOID].I + 1)}, nil
@@ -53,6 +55,7 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 	if !ok {
 		return errNotFound("customer %d/%d/%d", wID, dID, cID)
 	}
+	cDiscount := cRow[CDiscount].F
 
 	olCnt := r.uniform(5, 15)
 	allLocal := int64(1)
@@ -91,6 +94,7 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 		if !ok {
 			return ErrRollback // the intentional abort path
 		}
+		iPrice := iRow[IPrice].F
 		sRID, _, ok, err := c.GetByIndex("stock", "stock_pk", rel.Int(supplyW), rel.Int(iID))
 		if err != nil {
 			return err
@@ -119,7 +123,7 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 		if err != nil {
 			return err
 		}
-		amount := float64(quantity) * iRow[IPrice].F
+		amount := float64(quantity) * iPrice
 		total += amount
 		if _, err := c.Insert("order_line", rel.Row{
 			rel.Int(oID), rel.Int(dID), rel.Int(wID), rel.Int(ol),
@@ -131,52 +135,55 @@ func NewOrder(c Client, r *rng, s Scale, wID int64) error {
 	}
 	// The computed order total (with taxes and discount) is returned to
 	// the terminal in real TPC-C; computing it exercises the same reads.
-	total = total * (1 - cRow[CDiscount].F) * (1 + wRow[WTax].F + dRow[DTax].F)
+	total = total * (1 - cDiscount) * (1 + wTax + dTax)
 	_ = total
 	return nil
 }
 
 // findCustomer resolves a customer by id (40 %) or last name (60 %, picking
-// the spec's middle customer ordered by first name).
-func findCustomer(c Client, r *rng, s Scale, wID, dID int64) (rel.RowID, rel.Row, error) {
+// the spec's middle customer ordered by first name). It returns the row_id
+// and c_id only: scan rows are borrowed (valid just for the callback), so
+// the scalars are extracted inside it.
+func findCustomer(c Client, r *rng, s Scale, wID, dID int64) (rel.RowID, int64, error) {
 	if r.Intn(100) < 40 {
 		cID := r.customerID(int64(s.CustomersPerDistrict))
-		rid, row, ok, err := c.GetByIndex("customer", "customer_pk", rel.Int(wID), rel.Int(dID), rel.Int(cID))
+		rid, _, ok, err := c.GetByIndex("customer", "customer_pk", rel.Int(wID), rel.Int(dID), rel.Int(cID))
 		if err != nil {
-			return 0, nil, err
+			return 0, 0, err
 		}
 		if !ok {
-			return 0, nil, errNotFound("customer %d/%d/%d", wID, dID, cID)
+			return 0, 0, errNotFound("customer %d/%d/%d", wID, dID, cID)
 		}
-		return rid, row, nil
+		return rid, cID, nil
 	}
 	last := r.lastNameRun(s.MaxLastNames)
 	type hit struct {
-		rid rel.RowID
-		row rel.Row
+		rid   rel.RowID
+		cID   int64
+		first string
 	}
 	var hits []hit
 	err := c.ScanIndex("customer", "customer_name",
 		[]rel.Value{rel.Int(wID), rel.Int(dID), rel.Str(last)},
 		func(rid rel.RowID, row rel.Row) bool {
-			hits = append(hits, hit{rid, row})
+			hits = append(hits, hit{rid, row[CID].I, row[CFirst].S})
 			return true
 		})
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, err
 	}
 	if len(hits) == 0 {
 		// Fall back to by-id: small scales can miss a name.
 		cID := r.customerID(int64(s.CustomersPerDistrict))
-		rid, row, ok, err := c.GetByIndex("customer", "customer_pk", rel.Int(wID), rel.Int(dID), rel.Int(cID))
+		rid, _, ok, err := c.GetByIndex("customer", "customer_pk", rel.Int(wID), rel.Int(dID), rel.Int(cID))
 		if err != nil || !ok {
-			return 0, nil, errNotFound("customer by name %q", last)
+			return 0, 0, errNotFound("customer by name %q", last)
 		}
-		return rid, row, nil
+		return rid, cID, nil
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].row[CFirst].S < hits[j].row[CFirst].S })
+	sort.Slice(hits, func(i, j int) bool { return hits[i].first < hits[j].first })
 	h := hits[len(hits)/2]
-	return h.rid, h.row, nil
+	return h.rid, h.cID, nil
 }
 
 // Payment executes the Payment transaction (clause 2.5).
@@ -220,7 +227,7 @@ func Payment(c Client, r *rng, s Scale, wID int64) error {
 		return err
 	}
 
-	cRID, cRow, err := findCustomer(c, r, s, cWID, cDID)
+	cRID, cID, err := findCustomer(c, r, s, cWID, cDID)
 	if err != nil {
 		return err
 	}
@@ -243,9 +250,8 @@ func Payment(c Client, r *rng, s Scale, wID int64) error {
 	}); err != nil {
 		return err
 	}
-	_ = cRow
 	_, err = c.Insert("history", rel.Row{
-		rel.Int(cRow[CID].I), rel.Int(cDID), rel.Int(cWID),
+		rel.Int(cID), rel.Int(cDID), rel.Int(cWID),
 		rel.Int(dID), rel.Int(wID), rel.Int(2), rel.Float(amount),
 		rel.Str(wRow[WName].S + "    " + dRow[DName].S),
 	})
@@ -255,11 +261,10 @@ func Payment(c Client, r *rng, s Scale, wID int64) error {
 // OrderStatus executes the Order-Status transaction (clause 2.6).
 func OrderStatus(c Client, r *rng, s Scale, wID int64) error {
 	dID := r.uniform(1, int64(s.DistrictsPerWH))
-	_, cRow, err := findCustomer(c, r, s, wID, dID)
+	_, cID, err := findCustomer(c, r, s, wID, dID)
 	if err != nil {
 		return err
 	}
-	cID := cRow[CID].I
 	// Latest order of the customer.
 	var lastOID int64 = -1
 	err = c.ScanIndex("orders", "orders_customer",
@@ -325,6 +330,7 @@ func Delivery(c Client, r *rng, s Scale, wID int64) error {
 		if !ok {
 			return errNotFound("order %d/%d/%d", wID, dID, oID)
 		}
+		cID := oRow[OCID].I // borrowed row: extract before the next operation
 		if err := c.Update("orders", oRID, map[string]rel.Value{"o_carrier_id": rel.Int(carrier)}); err != nil {
 			return err
 		}
@@ -349,7 +355,6 @@ func Delivery(c Client, r *rng, s Scale, wID int64) error {
 				return err
 			}
 		}
-		cID := oRow[OCID].I
 		cRID, _, ok, err := c.GetByIndex("customer", "customer_pk", rel.Int(wID), rel.Int(dID), rel.Int(cID))
 		if err != nil {
 			return err

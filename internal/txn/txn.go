@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"phoebedb/internal/clock"
+	"phoebedb/internal/metrics"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/undo"
 )
@@ -66,7 +68,23 @@ type Manager struct {
 	// transaction, 0 when idle. A slot runs one transaction at a time, so
 	// one word per slot suffices; the GC watermark scan reads them all.
 	activeStart []paddedUint64
+
+	// watermark caches the min-active-start lower bound for the visibility
+	// fast path. Any value ever stored here remains valid forever: slots
+	// active at refresh time have start >= the scanned minimum, and every
+	// transaction beginning later draws a larger timestamp from the clock,
+	// so snapshot >= start >= watermark always holds. It therefore only
+	// advances, and readers may use an arbitrarily stale copy.
+	watermark atomic.Uint64
+	// lastWMRefresh is the clock value at the last watermark refresh; Begin
+	// re-scans at most once per watermarkRefreshTicks clock ticks so
+	// read-heavy workloads keep the fast path warm even when GC is idle.
+	lastWMRefresh atomic.Uint64
 }
+
+// watermarkRefreshTicks bounds how often Begin rescans the active-slot
+// array for the visibility watermark (amortizing the O(slots) scan).
+const watermarkRefreshTicks = 1024
 
 // NewManager creates a manager with the given slot count.
 func NewManager(slots int) *Manager {
@@ -108,6 +126,10 @@ type Txn struct {
 func (m *Manager) Begin(slot int, iso Isolation) *Txn {
 	start := m.Clock.Next()
 	m.activeStart[slot].v.Store(start)
+	if start-m.lastWMRefresh.Load() >= watermarkRefreshTicks {
+		m.lastWMRefresh.Store(start)
+		m.RefreshWatermark()
+	}
 	return &Txn{
 		Meta:    undo.NewTxnMeta(clock.MakeXID(start)),
 		StartTS: start,
@@ -238,6 +260,30 @@ func (m *Manager) MinActiveStartTS() uint64 {
 	return min
 }
 
+// Watermark returns the cached min-active-snapshot watermark: every active
+// (and future) transaction's snapshot is at or above the returned value, so
+// a version whose commit timestamp is at or below it is visible to every
+// snapshot. The cached value may lag the true minimum — staleness is always
+// conservative (the fast path just fires less often).
+func (m *Manager) Watermark() uint64 { return m.watermark.Load() }
+
+// RefreshWatermark recomputes the cached watermark from the active-slot
+// scan, advancing it monotonically, and returns the (possibly newer) value.
+// Called from GC rounds (which need the same scan anyway) and amortized
+// from Begin.
+func (m *Manager) RefreshWatermark() uint64 {
+	w := m.MinActiveStartTS()
+	for {
+		cur := m.watermark.Load()
+		if w <= cur {
+			return cur
+		}
+		if m.watermark.CompareAndSwap(cur, w) {
+			return w
+		}
+	}
+}
+
 // MaxFrozenXID returns the highest XID such that every transaction with an
 // XID at or below it is globally visible: the constraint is the oldest
 // unreclaimed UNDO record and the oldest active transaction across slots.
@@ -268,7 +314,7 @@ func (m *Manager) MaxFrozenXID() uint64 {
 // snapshot. onReclaim receives each reclaimed record (deleted-tuple GC).
 // Returns the number of records reclaimed.
 func (m *Manager) CollectGarbage(onReclaim func(*undo.Record)) int {
-	watermark := m.MinActiveStartTS()
+	watermark := m.RefreshWatermark()
 	n := 0
 	for _, a := range m.arenas {
 		n += a.Reclaim(watermark, onReclaim)
@@ -325,6 +371,123 @@ func ReadVisible(head *undo.Record, snapshot, xid uint64, current rel.Row, curre
 		// compare greater than any snapshot, continuing the walk.
 		if cur.STS() <= snapshot {
 			break
+		}
+	}
+	if !exists {
+		return nil, false
+	}
+	return row, true
+}
+
+// VisStats accumulates visibility-check outcomes for one transaction.
+// Plain (non-atomic) counters: a transaction runs on one slot; the engine
+// flushes them into its shared atomics once at finish.
+type VisStats struct {
+	// Fast counts reads satisfied by the watermark fast path: the head
+	// version's stamped commit timestamp was below the global watermark, so
+	// the newest image was returned without loading the TxnMeta or walking
+	// the chain.
+	Fast int64
+	// Walks counts reads that reconstructed an older version by walking
+	// the chain; Links is the total links traversed across those walks
+	// (per-walk length = delta of Links around the call).
+	Walks int64
+	Links int64
+	// ChainLen, when non-nil, observes each walk's link count as a
+	// dimensionless log2-bucketed histogram (1 "nanosecond" = 1 link).
+	// Unlike the scalar counters it is observed per walk, not flushed at
+	// transaction finish — walks are already the slow path, so the few
+	// atomic adds are noise there.
+	ChainLen *metrics.Histogram
+}
+
+// ReadVisibleAt is the production visibility check: ReadVisible extended
+// with the watermark fast path, caller-owned current images, and outcome
+// accounting.
+//
+// Fast path: if the head's raw ets already holds a plain (stamped) commit
+// timestamp strictly below watermark, the newest image is visible to every
+// possible snapshot — no TxnMeta load, no chain walk. The comparison is
+// strict because Begin publishes a slot's start timestamp one step after
+// drawing it: a scan can miss that in-flight transaction and return a
+// watermark one above its eventual snapshot (the same margin the GC
+// reclaim condition uses).
+//
+// Ownership: when ownsCurrent is true the caller passes a scratch image it
+// owns (e.g. a reused per-slot row buffer) and chain walks apply deltas to
+// it in place instead of cloning — the zero-allocation read path. The
+// returned row aliases current either way; callers hand it out only under
+// a borrowed contract (valid until the next operation that refills the
+// scratch).
+//
+// st may be nil. Equivalence with ReadVisible (same row bytes, same
+// existence verdict, for any watermark that is a valid lower bound on
+// snapshot) is asserted by the property test in visibility_prop_test.go.
+func ReadVisibleAt(head *undo.Record, snapshot, xid, watermark uint64, current rel.Row, currentDeleted bool, ownsCurrent bool, st *VisStats) (rel.Row, bool) {
+	if head == nil || head.Reclaimed() {
+		if currentDeleted {
+			return nil, false
+		}
+		return current, true
+	}
+	ets := head.ETS()
+	if !clock.IsXID(ets) {
+		if ets < watermark {
+			if st != nil {
+				st.Fast++
+			}
+			if currentDeleted {
+				return nil, false
+			}
+			return current, true
+		}
+		if ets <= snapshot {
+			// Head visible to this snapshot (but not yet globally): still
+			// no meta load and no walk, just not a watermark hit.
+			if currentDeleted {
+				return nil, false
+			}
+			return current, true
+		}
+	} else {
+		ets2, committed := head.EffectiveETS()
+		if (committed && ets2 <= snapshot) || head.Meta.XID == xid {
+			if currentDeleted {
+				return nil, false
+			}
+			return current, true
+		}
+	}
+	// Chain walk: assemble before-image deltas until sts <= snapshot.
+	row := current
+	if !ownsCurrent {
+		row = current.Clone()
+	}
+	exists := !currentDeleted
+	links := int64(0)
+	for cur := head; cur != nil && !cur.Reclaimed(); cur = cur.Prev {
+		links++
+		switch cur.Op {
+		case undo.OpUpdate:
+			for _, cv := range cur.Delta {
+				row[cv.Col] = cv.Val
+			}
+		case undo.OpDelete:
+			exists = true // undoing a delete resurrects the row
+		case undo.OpInsert:
+			exists = false // undoing an insert removes the row
+		}
+		// sts may hold an XID (own earlier write) — its MSB makes it
+		// compare greater than any snapshot, continuing the walk.
+		if cur.STS() <= snapshot {
+			break
+		}
+	}
+	if st != nil {
+		st.Walks++
+		st.Links += links
+		if st.ChainLen != nil {
+			st.ChainLen.Observe(time.Duration(links))
 		}
 	}
 	if !exists {

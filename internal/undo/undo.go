@@ -148,13 +148,23 @@ func (r *Record) SetETS(v uint64) { r.ets.Store(v) }
 // stamping scan: if ets already holds a timestamp it is returned; if it
 // holds an XID the owner's meta decides. committed is false while the
 // owning transaction is active or aborted.
+//
+// When the meta resolves to committed, the resolved commit timestamp is
+// stamped back into ets (Larson-style timestamp finalization): the first
+// reader that races ahead of the commit-phase SetETS scan finalizes the
+// record, and every later visibility check takes the plain-timestamp branch
+// without touching the TxnMeta cache line again. The CAS only replaces the
+// exact XID observed above, so it is idempotent with the stamping scan and
+// can never overwrite a newer owner's XID.
 func (r *Record) EffectiveETS() (ts uint64, committed bool) {
 	ets := r.ets.Load()
 	if !clock.IsXID(ets) {
 		return ets, true
 	}
 	if r.Meta != nil && r.Meta.Status() == StatusCommitted {
-		return r.Meta.CTS(), true
+		cts := r.Meta.CTS()
+		r.ets.CompareAndSwap(ets, cts)
+		return cts, true
 	}
 	return ets, false
 }

@@ -40,6 +40,7 @@ import (
 	"phoebedb/internal/metrics"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/sched"
+	"phoebedb/internal/sql"
 	"phoebedb/internal/txn"
 )
 
@@ -122,6 +123,14 @@ type Options struct {
 	// PessimisticIndex disables optimistic lock coupling on index B-Trees
 	// (the hybrid-lock ablation).
 	PessimisticIndex bool
+	// DisableReadFastPath reverts point reads and scans to the legacy
+	// visibility path — fresh row materialization per read, no watermark
+	// short-circuit (the read-path-overhaul ablation).
+	DisableReadFastPath bool
+	// PlanCacheSize bounds the prepared-statement plan cache (number of
+	// cached statement shapes per database; default 256, negative
+	// disables caching).
+	PlanCacheSize int
 	// MaintainEvery runs worker maintenance (page swap, GC) after this
 	// many transactions per slot (default 64).
 	MaintainEvery int
@@ -164,6 +173,10 @@ type DB struct {
 	archErrs atomic.Int64
 	archStop chan struct{}
 	archDone chan struct{}
+
+	// planCache holds prepared-statement templates shared by all sessions;
+	// nil when Options.PlanCacheSize is negative.
+	planCache *sql.PlanCache
 }
 
 // Open creates or opens a database.
@@ -189,18 +202,19 @@ func Open(opts Options) (*DB, error) {
 		groupWait = 0
 	}
 	eng, err := core.Open(core.Config{
-		Dir:              opts.Dir,
-		PageSize:         opts.PageSize,
-		PageCap:          opts.PageCap,
-		BufferBytes:      opts.BufferBytes,
-		Partitions:       workers,
-		Slots:            totalSlots,
-		WALSync:          opts.WALSync,
-		LockTimeout:      opts.LockTimeout,
-		DisableRFA:       opts.DisableRFA,
-		PessimisticIndex: opts.PessimisticIndex,
-		SlowTxnThreshold: opts.SlowTxnThreshold,
-		StatsLite:        opts.StatsLite,
+		Dir:                 opts.Dir,
+		PageSize:            opts.PageSize,
+		PageCap:             opts.PageCap,
+		BufferBytes:         opts.BufferBytes,
+		Partitions:          workers,
+		Slots:               totalSlots,
+		WALSync:             opts.WALSync,
+		LockTimeout:         opts.LockTimeout,
+		DisableRFA:          opts.DisableRFA,
+		PessimisticIndex:    opts.PessimisticIndex,
+		DisableReadFastPath: opts.DisableReadFastPath,
+		SlowTxnThreshold:    opts.SlowTxnThreshold,
+		StatsLite:           opts.StatsLite,
 		// Pool slot IDs are contiguous per worker; session and system
 		// slots fold onto workers round-robin.
 		PartitionOf: func(slot int) int {
@@ -261,6 +275,13 @@ func Open(opts Options) (*DB, error) {
 		}
 		go db.archiveLoop(interval)
 	}
+	cacheSize := opts.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
+	if cacheSize > 0 {
+		db.planCache = sql.NewPlanCache(cacheSize)
+	}
 	db.pool = sched.New(sched.Config{
 		Workers:        workers,
 		SlotsPerWorker: opts.SlotsPerWorker,
@@ -320,15 +341,23 @@ func (db *DB) Engine() *core.Engine { return db.engine }
 // Recorder exposes the per-component metrics recorder.
 func (db *DB) Recorder() *metrics.Recorder { return db.rec }
 
-// CreateTable declares a relation.
+// CreateTable declares a relation. DDL invalidates the plan cache: any
+// cached access path may be stale against the new catalog.
 func (db *DB) CreateTable(name string, schema *Schema) error {
 	_, err := db.engine.CreateTable(name, schema)
+	if err == nil && db.planCache != nil {
+		db.planCache.Invalidate()
+	}
 	return err
 }
 
-// CreateIndex declares a secondary index.
+// CreateIndex declares a secondary index and invalidates the plan cache
+// (see CreateTable).
 func (db *DB) CreateIndex(table, index string, cols []string, unique bool) error {
 	_, err := db.engine.CreateIndex(table, index, cols, unique)
+	if err == nil && db.planCache != nil {
+		db.planCache.Invalidate()
+	}
 	return err
 }
 

@@ -50,14 +50,27 @@ func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
 
 // ExecSQL parses and executes one SQL statement. DDL (CREATE TABLE /
 // CREATE INDEX) applies immediately; DML runs as one transaction on the
-// co-routine pool. The supported subset is documented in internal/sql.
+// co-routine pool. Repeated statement shapes hit the prepared-statement
+// plan cache, skipping the parser and planner (see Options.PlanCacheSize).
+// The supported subset is documented in internal/sql.
 func (db *DB) ExecSQL(query string) (SQLResult, error) {
+	cat := sqlCatalog{db: db}
+	if cs, params, ok := db.prepare(query); ok {
+		var res SQLResult
+		err := db.Execute(func(tx *Tx) error {
+			var execErr error
+			res, execErr = sql.ExecPrepared(cat, tx, cs, params)
+			return execErr
+		})
+		return res, err
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return SQLResult{}, err
 	}
-	cat := sqlCatalog{db: db}
 	if sql.IsDDL(stmt) {
+		// The catalog adapter routes through db.CreateTable/CreateIndex,
+		// which invalidate the plan cache.
 		return sql.ExecDDL(cat, stmt)
 	}
 	var res SQLResult
@@ -70,8 +83,13 @@ func (db *DB) ExecSQL(query string) (SQLResult, error) {
 }
 
 // ExecSQLTx executes one DML statement inside an existing transaction
-// (session use).
+// (session use). Statements share the database-wide plan cache with
+// ExecSQL and all other sessions.
 func (db *DB) ExecSQLTx(tx *Tx, query string) (SQLResult, error) {
+	cat := sqlCatalog{db: db}
+	if cs, params, ok := db.prepare(query); ok {
+		return sql.ExecPrepared(cat, tx, cs, params)
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return SQLResult{}, err
@@ -79,5 +97,25 @@ func (db *DB) ExecSQLTx(tx *Tx, query string) (SQLResult, error) {
 	if sql.IsDDL(stmt) {
 		return SQLResult{}, fmt.Errorf("phoebedb: DDL is not transactional; use ExecSQL")
 	}
-	return sql.Exec(sqlCatalog{db: db}, tx, stmt)
+	return sql.Exec(cat, tx, stmt)
+}
+
+// PlanCacheStats reports the prepared-statement plan cache's hit and miss
+// counts (both zero when the cache is disabled).
+func (db *DB) PlanCacheStats() (hits, misses int64) {
+	if db.planCache == nil {
+		return 0, 0
+	}
+	return db.planCache.Hits(), db.planCache.Misses()
+}
+
+// prepare consults the plan cache. ok=false sends the statement down the
+// parse path: the cache is disabled, the statement is DDL, or it contains
+// something the normalizer does not handle (including syntax errors, so
+// the parser reports them against the original text).
+func (db *DB) prepare(query string) (*sql.CachedStmt, []Value, bool) {
+	if db.planCache == nil {
+		return nil, nil, false
+	}
+	return db.planCache.Prepare(query)
 }

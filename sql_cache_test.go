@@ -1,0 +1,150 @@
+package phoebedb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// DDL must invalidate the shared plan cache: a new index or table can
+// change any cached statement's access path. (Indexes must still be
+// declared before data — the engine does not backfill — so the test
+// exercises invalidation via both DDL routes and re-planning correctness.)
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE items (id INT, kind STRING)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX items_pk ON items (id)")
+	for i := 1; i <= 8; i++ {
+		execOrFatal(t, db, fmt.Sprintf("INSERT INTO items VALUES (%d, 'k')", i))
+	}
+
+	// Warm the cache with an index point-lookup plan.
+	res := execOrFatal(t, db, "SELECT * FROM items WHERE id = 3")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if db.planCache.Len() == 0 {
+		t.Fatal("statement did not populate the plan cache")
+	}
+
+	// DDL through the SQL path clears the cache.
+	execOrFatal(t, db, "CREATE TABLE extra_sql (a INT)")
+	if n := db.planCache.Len(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after CREATE TABLE, want 0", n)
+	}
+
+	// The same statement shape re-plans against the new catalog and still
+	// answers correctly.
+	res = execOrFatal(t, db, "SELECT * FROM items WHERE id = 3")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("post-DDL rows = %+v", res.Rows)
+	}
+	if db.planCache.Len() == 0 {
+		t.Fatal("re-planned statement did not repopulate the cache")
+	}
+
+	// DDL through the programmatic API clears it too.
+	if err := db.CreateTable("extra_api", NewSchema(Column{Name: "a", Type: TInt64})); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.planCache.Len(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after CreateTable, want 0", n)
+	}
+	if err := db.CreateIndex("extra_api", "extra_api_pk", []string{"a"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.planCache.Len(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after CreateIndex, want 0", n)
+	}
+}
+
+// Concurrent sessions share one plan cache; hammering the same statement
+// shapes from many goroutines must stay correct and actually hit.
+func TestPlanCacheConcurrentSessions(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE kv (id INT, v STRING)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX kv_pk ON kv (id)")
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i + 1
+				if _, err := db.ExecSQL(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'v%d')", id, id)); err != nil {
+					errs <- err
+					return
+				}
+				res, err := db.ExecSQL(fmt.Sprintf("SELECT v FROM kv WHERE id = %d", id))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0].S != fmt.Sprintf("v%d", id) {
+					errs <- fmt.Errorf("id %d: rows = %+v", id, res.Rows)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res := execOrFatal(t, db, "SELECT * FROM kv")
+	if len(res.Rows) != workers*perWorker {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), workers*perWorker)
+	}
+	// Two shapes, workers*perWorker executions each: all but the first two
+	// cacheable statements should have hit.
+	if hits := db.planCache.Hits(); hits < int64(workers*perWorker) {
+		t.Fatalf("plan cache hits = %d, expected at least %d", hits, workers*perWorker)
+	}
+}
+
+// PlanCacheSize < 0 disables the cache entirely; every statement takes the
+// parse path and behaves identically.
+func TestPlanCacheDisabled(t *testing.T) {
+	db := openTestDB(t, Options{PlanCacheSize: -1})
+	if db.planCache != nil {
+		t.Fatal("plan cache allocated despite PlanCacheSize=-1")
+	}
+	execOrFatal(t, db, "CREATE TABLE t (id INT)")
+	execOrFatal(t, db, "INSERT INTO t VALUES (1)")
+	res := execOrFatal(t, db, "SELECT * FROM t WHERE id = 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+}
+
+// ExecSQLTx shares the database-wide cache with ExecSQL.
+func TestPlanCacheSessionPath(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE t (id INT, v STRING)")
+	execOrFatal(t, db, "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+
+	hits := db.planCache.Hits()
+	err := db.Execute(func(tx *Tx) error {
+		for i := 1; i <= 2; i++ {
+			res, err := db.ExecSQLTx(tx, fmt.Sprintf("SELECT v FROM t WHERE id = %d", i))
+			if err != nil {
+				return err
+			}
+			if len(res.Rows) != 1 {
+				return fmt.Errorf("id %d: %+v", i, res.Rows)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.planCache.Hits() != hits+1 {
+		t.Fatalf("hits went %d -> %d; second identical shape should hit", hits, db.planCache.Hits())
+	}
+}

@@ -72,6 +72,15 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Counter("phoebe_io_data_write_bytes_total", "Bytes written to data files (page flushes, frozen blocks, checkpoints).", io.DataWrite.Load)
 	reg.Counter("phoebe_io_wal_write_bytes_total", "Bytes written to the WAL.", io.WALWrite.Load)
 
+	reg.Counter("phoebe_mvcc_fastpath_total", "Visibility checks served by the watermark fast path (no chain walk, no TxnMeta load).", st.MVCCFastPath.Load)
+	reg.Counter("phoebe_mvcc_chain_walks_total", "Visibility checks that had to walk the UNDO version chain.", st.MVCCChainWalks.Load)
+	reg.Counter("phoebe_mvcc_chain_links_total", "UNDO links traversed across all chain walks.", st.MVCCChainLinks.Load)
+
+	if db.planCache != nil {
+		reg.Counter("phoebe_sql_plan_cache_hits_total", "SQL statements served from a cached prepared-statement template.", db.planCache.Hits)
+		reg.Counter("phoebe_sql_plan_cache_misses_total", "Cacheable SQL statements that had to lex, parse, and plan.", db.planCache.Misses)
+	}
+
 	reg.Counter("phoebe_gc_runs_total", "Garbage-collection rounds.", st.GCRuns.Load)
 	reg.Counter("phoebe_gc_reclaimed_total", "UNDO records reclaimed by GC.", st.GCReclaimed.Load)
 	reg.Gauge("phoebe_gc_backlog", "Unreclaimed UNDO records across all arenas.", func() int64 {
@@ -126,6 +135,11 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Histogram("phoebe_txn_latency_seconds",
 		"End-to-end transaction latency merged across all task slots.", "", "",
 		func() metrics.HistSnapshot { return db.rec.MergedHist() })
+	// Chain lengths are logical link counts recorded through the duration
+	// histogram: one nanosecond unit = one traversed UNDO link.
+	reg.Histogram("phoebe_mvcc_chain_length",
+		"UNDO links traversed per chain walk (unit: links, not time).", "", "",
+		db.engine.Stats().MVCCChainLen.Snapshot)
 	return reg
 }
 
