@@ -1,0 +1,190 @@
+package phoebedb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"phoebedb/internal/core"
+)
+
+// declareKV creates a table with NO indexes, so tests can load data first
+// and index it afterwards (the online-backfill path).
+func declareKV(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.CreateTable("kv", NewSchema(
+		Column{Name: "id", Type: TInt64},
+		Column{Name: "grp", Type: TInt64},
+		Column{Name: "pad", Type: TString},
+	)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func insertKV(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for lo := 0; lo < n; lo += 256 {
+		hi := lo + 256
+		if hi > n {
+			hi = n
+		}
+		if err := db.Execute(func(tx *Tx) error {
+			for i := lo; i < hi; i++ {
+				if _, err := tx.Insert("kv", Row{Int(int64(i)), Int(int64(i % 7)), Str(fmt.Sprintf("pad-%d", i))}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCreateIndexBackfillsExistingRows is the regression test for the PR 5
+// limitation: CREATE INDEX on a non-empty table used to register an index
+// that silently missed every existing row. Now it backfills online, and
+// queries planned through the new index see all of them.
+func TestCreateIndexBackfillsExistingRows(t *testing.T) {
+	db := openTestDB(t, Options{})
+	declareKV(t, db)
+	const n = 500
+	insertKV(t, db, n)
+
+	if err := db.CreateIndex("kv", "kv_id", []string{"id"}, true); err != nil {
+		t.Fatalf("unique backfill: %v", err)
+	}
+	if err := db.CreateIndex("kv", "kv_grp", []string{"grp"}, false); err != nil {
+		t.Fatalf("non-unique backfill: %v", err)
+	}
+	if got := db.Engine().Stats().IndexBackfillRows.Load(); got < n {
+		t.Fatalf("IndexBackfillRows = %d, want >= %d", got, n)
+	}
+
+	// Point reads through the backfilled unique index.
+	if err := db.Execute(func(tx *Tx) error {
+		for i := 0; i < n; i += 37 {
+			_, row, found, err := tx.GetByIndex("kv", "kv_id", Int(int64(i)))
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("id %d missing from backfilled index", i)
+			}
+			if row[1].I != int64(i%7) {
+				return fmt.Errorf("id %d: grp = %d, want %d", i, row[1].I, i%7)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Range scan through the backfilled non-unique index must agree with a
+	// full table scan.
+	if err := db.Execute(func(tx *Tx) error {
+		want := 0
+		if err := tx.ScanTable("kv", func(rid RowID, row Row) bool {
+			if row[1].I == 3 {
+				want++
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		got := 0
+		if err := tx.ScanIndex("kv", "kv_grp", []Value{Int(3)}, func(rid RowID, row Row) bool {
+			got++
+			return true
+		}); err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("index scan found %d rows, table scan %d", got, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The SQL planner must route equality predicates through the new
+	// index and still return every matching row.
+	res, err := db.ExecSQL("SELECT pad FROM kv WHERE id = 123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "pad-123" {
+		t.Fatalf("SQL read through backfilled index = %+v", res.Rows)
+	}
+}
+
+// TestCreateIndexBackfillSQLRoute runs the same regression through SQL
+// DDL: INSERT, CREATE INDEX, SELECT through it.
+func TestCreateIndexBackfillSQLRoute(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if _, err := db.ExecSQL("CREATE TABLE items (id INT, name STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.ExecSQL(fmt.Sprintf("INSERT INTO items VALUES (%d, 'item-%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.ExecSQL("CREATE UNIQUE INDEX items_pk ON items (id)"); err != nil {
+		t.Fatalf("CREATE INDEX after inserts: %v", err)
+	}
+	res, err := db.ExecSQL("SELECT name FROM items WHERE id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "item-42" {
+		t.Fatalf("rows = %+v, want item-42", res.Rows)
+	}
+}
+
+// TestCreateUniqueIndexDuplicateFails: building a unique index over rows
+// that already violate it must fail with ErrDuplicate and leave no index
+// behind.
+func TestCreateUniqueIndexDuplicateFails(t *testing.T) {
+	db := openTestDB(t, Options{})
+	declareKV(t, db)
+	insertKV(t, db, 100) // grp repeats every 7 rows
+
+	err := db.CreateIndex("kv", "kv_grp_u", []string{"grp"}, true)
+	if !errors.Is(err, core.ErrDuplicate) {
+		t.Fatalf("unique backfill over duplicates: err = %v, want ErrDuplicate", err)
+	}
+	if ix := mustTable(t, db, "kv").Index("kv_grp_u"); ix != nil {
+		t.Fatal("failed backfill left the index registered")
+	}
+	// The table stays fully usable.
+	res, err := db.ExecSQL("SELECT id FROM kv WHERE grp = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows after failed backfill")
+	}
+}
+
+// TestPlainCreateIndexRefusesNonEmpty: the engine-level declare-time
+// CreateIndex (used before recovery/load) must refuse a populated table
+// instead of serving an index that misses rows.
+func TestPlainCreateIndexRefusesNonEmpty(t *testing.T) {
+	db := openTestDB(t, Options{})
+	declareKV(t, db)
+	insertKV(t, db, 10)
+	_, err := db.Engine().CreateIndex("kv", "kv_id", []string{"id"}, true)
+	if !errors.Is(err, core.ErrTableNotEmpty) {
+		t.Fatalf("err = %v, want ErrTableNotEmpty", err)
+	}
+}
+
+func mustTable(t *testing.T, db *DB, name string) *core.Tbl {
+	t.Helper()
+	tbl, err := db.Engine().Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}

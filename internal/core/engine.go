@@ -41,6 +41,12 @@ var (
 	ErrDuplicate    = errors.New("core: duplicate key in unique index")
 	ErrNotFound     = errors.New("core: row not found")
 	ErrTxnDone      = errors.New("core: transaction already finished")
+	// ErrTableNotEmpty rejects plain CreateIndex on a table that already
+	// holds data; CreateIndexOnline backfills instead.
+	ErrTableNotEmpty = errors.New("core: table not empty")
+	// ErrIndexBackfilling rejects reads through an index whose online
+	// backfill has not completed yet.
+	ErrIndexBackfilling = errors.New("core: index backfill in progress")
 )
 
 // Config configures an Engine.
@@ -135,7 +141,19 @@ type Index struct {
 	Cols   []int
 	Unique bool
 	Tree   *btree.Tree
+
+	// hidden is set while an online CREATE INDEX backfill is filling the
+	// index: writers maintain it (it is in Tbl.Indexes()) but readers and
+	// the planner must not use it until the backfill completes. Stored
+	// inverted so the zero value — every index built before data is
+	// loaded, including recovery — is live.
+	hidden atomic.Bool
 }
+
+// Live reports whether the index is complete and usable by readers. An
+// index under online backfill is registered (so writers maintain it) but
+// not live.
+func (ix *Index) Live() bool { return !ix.hidden.Load() }
 
 // Tbl is one catalog entry: storage layers plus the table lock block.
 type Tbl struct {
@@ -319,31 +337,62 @@ func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {
 	return t, nil
 }
 
-// CreateIndex declares a secondary index over the named columns. Indexes
-// must be created before data is loaded (embedded-engine DDL model).
+// CreateIndex declares a secondary index over the named columns. It only
+// covers the empty-table DDL flow (schema declaration before data load or
+// recovery): on a table that already holds pages it refuses with
+// ErrTableNotEmpty instead of silently registering an index that misses
+// the existing rows — use CreateIndexOnline for that.
 func (e *Engine) CreateIndex(tableName, indexName string, cols []string, unique bool) (*Index, error) {
 	t, err := e.Table(tableName)
 	if err != nil {
 		return nil, err
 	}
+	if tableHasData(t) {
+		return nil, fmt.Errorf("%w: CREATE INDEX %q on %q requires an online backfill", ErrTableNotEmpty, indexName, tableName)
+	}
+	return e.registerIndex(t, indexName, cols, unique, false)
+}
+
+// tableHasData reports whether the table may hold rows (conservatively:
+// any hot/cold page or frozen block counts, even if every row in it has
+// been deleted).
+func tableHasData(t *Tbl) bool {
+	return t.Store.NumPages() > 0 || t.Frozen.NumBlocks() > 0
+}
+
+// registerIndex adds an index to the table's catalog entry. With hidden
+// set the index is maintained by writers from here on but reported
+// non-live until the backfill promotes it.
+func (e *Engine) registerIndex(t *Tbl, indexName string, cols []string, unique, hidden bool) (*Index, error) {
 	positions := make([]int, len(cols))
 	for i, c := range cols {
 		p := t.Schema.ColIndex(c)
 		if p < 0 {
-			return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, c, tableName)
+			return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, c, t.Name)
 		}
 		positions[i] = p
 	}
 	ix := &Index{Name: indexName, Cols: positions, Unique: unique, Tree: btree.New()}
 	ix.Tree.Pessimistic = e.cfg.PessimisticIndex
+	ix.hidden.Store(hidden)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.indexes[indexName]; ok {
-		return nil, fmt.Errorf("core: index %q already exists on %q", indexName, tableName)
+		return nil, fmt.Errorf("core: index %q already exists on %q", indexName, t.Name)
 	}
 	t.indexes[indexName] = ix
 	t.rebuildIndexCacheLocked()
 	return ix, nil
+}
+
+// dropIndex removes an index registration (backfill failure cleanup).
+// Writers holding the previous index slice may still insert a few entries
+// into the dropped tree; it is unreachable and garbage-collected.
+func (e *Engine) dropIndex(t *Tbl, indexName string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.indexes, indexName)
+	t.rebuildIndexCacheLocked()
 }
 
 // Table resolves a table by name.

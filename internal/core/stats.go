@@ -52,6 +52,10 @@ type EngineStats struct {
 	// Checkpoints counts completed checkpoints.
 	Checkpoints atomic.Int64
 
+	// IndexBackfillRows counts rows scanned into an index by online
+	// CREATE INDEX backfills (snapshot scan plus version-chain catch-up).
+	IndexBackfillRows atomic.Int64
+
 	// SlowLog captures transactions over the configured threshold with
 	// their full component breakdown.
 	SlowLog metrics.SlowLog

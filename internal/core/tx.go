@@ -473,6 +473,9 @@ func (tx *Tx) resolveIndex(tableName, indexName string) (*Tbl, *Index, error) {
 	if ix == nil {
 		return nil, nil, fmt.Errorf("%w: %q on %q", ErrNoSuchIndex, indexName, tableName)
 	}
+	if !ix.Live() {
+		return nil, nil, fmt.Errorf("%w: %q on %q", ErrIndexBackfilling, indexName, tableName)
+	}
 	return t, ix, nil
 }
 

@@ -369,6 +369,35 @@ func Run(cfg Config) (Report, error) {
 		if !crashed {
 			return rep, fmt.Errorf("crashtest: checkpoint did not crash at %s (err=%v)", cfg.Site, cerr)
 		}
+	case strings.HasPrefix(cfg.Site, "sql."): // crash inside an online index backfill
+		if err := fault.Enable(cfg.Site, fmt.Sprintf("panic@%d", cfg.CrashAfter)); err != nil {
+			return rep, err
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorkload(e, workers, cfg.OpsPerWorker-phase1)
+		}()
+		// Build a third index over the busy table on the spare slot; the
+		// failpoint fires per backfilled row. Indexes live in memory, so
+		// the "crash" must leave only the recoverable table state behind.
+		crashed, cerr := crashAt(func() error {
+			_, err := e.CreateIndexOnline("kv", "kv_pad", []string{"pad"}, false,
+				func(fn func(tx *core.Tx) error) error {
+					tx := e.Begin(cfg.Workers, txn.ReadCommitted, nil, nil, nil)
+					if err := fn(tx); err != nil {
+						tx.Rollback()
+						return err
+					}
+					return tx.Commit()
+				})
+			return err
+		})
+		wg.Wait()
+		if !crashed {
+			return rep, fmt.Errorf("crashtest: backfill did not crash at %s (err=%v)", cfg.Site, cerr)
+		}
 	default: // buffer.* / storage.*: crash inside forced page-swap maintenance
 		runWorkload(e, workers, cfg.OpsPerWorker-phase1)
 		for i := 0; i < 3; i++ {

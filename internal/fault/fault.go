@@ -87,6 +87,11 @@ const (
 	// backup label is written. A crash here leaves a label-less base
 	// directory that verify/restore must ignore.
 	BackupPreLabel = "backup.preLabel"
+	// SQLIndexBackfill fires once per row during an online CREATE INDEX
+	// backfill scan. Indexes are in-memory (rebuilt from the WAL on
+	// recovery), so a crash here must leave the table data consistent and
+	// the half-built index simply gone.
+	SQLIndexBackfill = "sql.indexBackfill"
 )
 
 var allSites = []string{
@@ -95,6 +100,7 @@ var allSites = []string{
 	CheckpointPreSave, CheckpointPostSave, CheckpointPreTruncate,
 	BufferEvict, ReplicaApply,
 	BackupArchiveCopy, BackupTornSegment, BackupPreLabel,
+	SQLIndexBackfill,
 }
 
 // BackupSites are the failpoints in the backup/archive path; the backup
@@ -112,6 +118,7 @@ var crashSites = []string{
 	WALPreSync, WALPostSync, WALTornWrite,
 	CheckpointPreSave, CheckpointPostSave, CheckpointPreTruncate,
 	BufferEvict, StorageWritePage,
+	SQLIndexBackfill,
 }
 
 // AllSites returns every failpoint site compiled into the kernel.

@@ -352,9 +352,15 @@ func (db *DB) CreateTable(name string, schema *Schema) error {
 }
 
 // CreateIndex declares a secondary index and invalidates the plan cache
-// (see CreateTable).
+// (see CreateTable). On a table that already holds rows the index is
+// built online: writers keep running while a snapshot scan plus
+// version-chain catch-up fills the index, and it only becomes visible to
+// the planner — and the plan cache is only invalidated — once the
+// backfill completes (see internal/core CreateIndexOnline). A unique
+// index over data that already contains duplicates fails with
+// core.ErrDuplicate and leaves no trace.
 func (db *DB) CreateIndex(table, index string, cols []string, unique bool) error {
-	_, err := db.engine.CreateIndex(table, index, cols, unique)
+	_, err := db.engine.CreateIndexOnline(table, index, cols, unique, db.Execute)
 	if err == nil && db.planCache != nil {
 		db.planCache.Invalidate()
 	}

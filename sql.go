@@ -43,6 +43,11 @@ func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
 	}
 	var out []sql.IndexMeta
 	for _, ix := range t.Indexes() {
+		// An index under online backfill is maintained by writers but
+		// must not serve plans until it is complete.
+		if !ix.Live() {
+			continue
+		}
 		out = append(out, sql.IndexMeta{Name: ix.Name, Cols: ix.Cols, Unique: ix.Unique})
 	}
 	return out, nil

@@ -87,6 +87,7 @@ func buildRegistry(db *DB) *metrics.Registry {
 		return int64(db.engine.Mgr.LiveUndo())
 	})
 	reg.Counter("phoebe_checkpoints_total", "Completed checkpoints.", st.Checkpoints.Load)
+	reg.Counter("phoebe_index_backfill_rows_total", "Index entries written by online CREATE INDEX backfill scans.", st.IndexBackfillRows.Load)
 
 	if a := db.archiver; a != nil {
 		reg.Counter("phoebe_archive_rounds_total", "WAL archiving rounds run.", a.Rounds)
