@@ -33,6 +33,10 @@ type CachedStmt struct {
 	// plan holds the access-path provenance captured on first execution;
 	// nil until then. Races on Store are benign (idempotent recompute).
 	plan atomic.Pointer[planHint]
+	// sel holds the shaped-select strategy (join side and probe index);
+	// literal-independent, so it survives rebinding. nil until a join
+	// statement first executes.
+	sel atomic.Pointer[selectHint]
 }
 
 // bind substitutes params into a deep copy of the template. The template
@@ -54,7 +58,7 @@ func (cs *CachedStmt) bind(params []rel.Value) (Stmt, error) {
 		}
 		out := make([]Cond, len(conds))
 		for i, c := range conds {
-			out[i] = Cond{Col: c.Col, Val: bindVal(c.Val)}
+			out[i] = Cond{Table: c.Table, Col: c.Col, Val: bindVal(c.Val)}
 		}
 		return out
 	}

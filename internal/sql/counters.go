@@ -1,0 +1,31 @@
+package sql
+
+import "sync/atomic"
+
+// Counters are executor-level statistics the host can export as metrics.
+type Counters struct {
+	// JoinRows counts combined rows emitted by JOIN executions.
+	JoinRows atomic.Int64
+	// SortAvoided counts ORDER BY queries served directly in index scan
+	// order, skipping the sort.
+	SortAvoided atomic.Int64
+	// Sorts counts explicit in-memory sorts (ORDER BY not covered by the
+	// chosen index).
+	Sorts atomic.Int64
+}
+
+// CounterCatalog is optionally implemented by catalogs that expose
+// executor counters.
+type CounterCatalog interface{ SQLCounters() *Counters }
+
+// discardCounters absorbs counts when the catalog exports none.
+var discardCounters Counters
+
+func countersOf(cat Catalog) *Counters {
+	if cc, ok := cat.(CounterCatalog); ok {
+		if c := cc.SQLCounters(); c != nil {
+			return c
+		}
+	}
+	return &discardCounters
+}

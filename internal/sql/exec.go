@@ -393,8 +393,14 @@ func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
 }
 
 func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+	if s.Join != nil {
+		return execSelectJoin(cat, tx, s, hint)
+	}
 	if schema, rows, ok := statTable(cat, s.Table); ok {
-		return selectRows(schema, rows, s)
+		return selectRows(cat, schema, rows, s)
+	}
+	if len(s.GroupBy) > 0 || len(s.OrderBy) > 0 || hasAggs(s.Exprs) {
+		return execSelectShaped(cat, tx, s, hint)
 	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
@@ -404,25 +410,32 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
+		return Result{}, err
+	}
 	p, err := planFor(hint, schema, indexes, s.Where)
 	if err != nil {
 		return Result{}, err
 	}
 	// Projection.
 	var proj []int
-	cols := s.Cols
-	if cols == nil {
+	var cols []string
+	if s.Exprs == nil {
 		for i, c := range schema.Cols {
 			proj = append(proj, i)
 			cols = append(cols, c.Name)
 		}
 	} else {
-		for _, c := range cols {
-			pos := schema.ColIndex(c)
+		for _, e := range s.Exprs {
+			if e.Ref.Table != "" && e.Ref.Table != s.Table {
+				return Result{}, fmt.Errorf("sql: unknown table %q in column reference", e.Ref.Table)
+			}
+			pos := schema.ColIndex(e.Ref.Col)
 			if pos < 0 {
-				return Result{}, fmt.Errorf("sql: unknown column %q", c)
+				return Result{}, fmt.Errorf("sql: unknown column %q", e.Ref.Col)
 			}
 			proj = append(proj, pos)
+			cols = append(cols, e.Ref.Col)
 		}
 	}
 	res := Result{Columns: cols}
@@ -438,44 +451,23 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, er
 }
 
 // selectRows runs a SELECT over pre-materialized rows (virtual stat
-// tables): WHERE becomes pure residual filtering, then projection and LIMIT
-// apply as usual.
-func selectRows(schema *rel.Schema, rows []rel.Row, s SelectStmt) (Result, error) {
+// tables): WHERE becomes pure residual filtering, then the shared shaping
+// pipeline (aggregation, ORDER BY, LIMIT, projection) applies.
+func selectRows(cat Catalog, schema *rel.Schema, rows []rel.Row, s SelectStmt) (Result, error) {
+	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
+		return Result{}, err
+	}
 	p, err := planWhere(schema, nil, s.Where)
 	if err != nil {
 		return Result{}, err
 	}
-	var proj []int
-	cols := s.Cols
-	if cols == nil {
-		for i, c := range schema.Cols {
-			proj = append(proj, i)
-			cols = append(cols, c.Name)
-		}
-	} else {
-		for _, c := range cols {
-			pos := schema.ColIndex(c)
-			if pos < 0 {
-				return Result{}, fmt.Errorf("sql: unknown column %q", c)
-			}
-			proj = append(proj, pos)
-		}
-	}
-	res := Result{Columns: cols}
+	var matched []rel.Row
 	for _, row := range rows {
-		if !matches(schema, row, p.residual) {
-			continue
-		}
-		out := make(rel.Row, len(proj))
-		for i, pos := range proj {
-			out[i] = row[pos]
-		}
-		res.Rows = append(res.Rows, out)
-		if s.Limit > 0 && len(res.Rows) >= s.Limit {
-			break
+		if matches(schema, row, p.residual) {
+			matched = append(matched, row)
 		}
 	}
-	return res, nil
+	return shapeRows(singleSource(s.Table, schema), s, matched, false, countersOf(cat))
 }
 
 func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt) (Result, error) {
@@ -488,6 +480,9 @@ func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt) (Result, er
 	}
 	indexes, err := cat.IndexInfo(s.Table)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
 		return Result{}, err
 	}
 	// Validate and coerce the SET clause.
@@ -536,6 +531,9 @@ func execDelete(cat Catalog, tx Txn, s DeleteStmt, hint *CachedStmt) (Result, er
 	}
 	indexes, err := cat.IndexInfo(s.Table)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
 		return Result{}, err
 	}
 	p, err := planFor(hint, schema, indexes, s.Where)

@@ -33,17 +33,88 @@ type InsertStmt struct {
 
 // Cond is one equality predicate in a WHERE conjunction.
 type Cond struct {
-	Col string
-	Val rel.Value
+	// Table is the optional qualifier ("" = unqualified).
+	Table string
+	Col   string
+	Val   rel.Value
+}
+
+// ColRef names a column, optionally qualified with its table.
+type ColRef struct {
+	Table string // "" when unqualified
+	Col   string
+}
+
+// AggFunc identifies an aggregate function in a select list.
+type AggFunc int
+
+// Aggregate functions. AggNone marks a plain column reference.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// aggNames maps function identifiers to aggregates (detected only when
+// followed by '(', so plain columns may still use these names).
+var aggNames = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "min": AggMin, "max": AggMax, "avg": AggAvg,
+}
+
+// String renders the aggregate name for output column labels.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return "?"
+}
+
+// SelectExpr is one select-list item: a column reference, or an aggregate
+// over one (COUNT(*) has Star set instead of Ref).
+type SelectExpr struct {
+	Agg  AggFunc
+	Star bool // COUNT(*)
+	Ref  ColRef
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Ref  ColRef
+	Desc bool
+}
+
+// JoinClause is an inner equi-join against a second table:
+// FROM <outer> JOIN <Table> ON <Left> = <Right>, where Left and Right
+// each reference one of the two tables (in either order).
+type JoinClause struct {
+	Table string
+	Left  ColRef
+	Right ColRef
 }
 
 // SelectStmt reads rows.
 type SelectStmt struct {
 	Table string
-	// Cols is nil for SELECT *.
-	Cols  []string
-	Where []Cond
-	Limit int // 0 = unlimited
+	// Join, when set, makes this a two-table inner equi-join.
+	Join *JoinClause
+	// Exprs is nil for SELECT *.
+	Exprs   []SelectExpr
+	Where   []Cond
+	GroupBy []ColRef
+	OrderBy []OrderKey
+	Limit   int // 0 = unlimited
 }
 
 // UpdateStmt updates matching rows.
@@ -340,13 +411,29 @@ func (p *parser) insert() (Stmt, error) {
 	return InsertStmt{Table: table, Rows: rows}, nil
 }
 
+// colRef parses an optionally qualified column reference: col | tab.col.
+func (p *parser) colRef() (ColRef, error) {
+	id, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.symbol(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: id, Col: col}, nil
+	}
+	return ColRef{Col: id}, nil
+}
+
 func (p *parser) where() ([]Cond, error) {
 	if !p.keyword("where") {
 		return nil, nil
 	}
 	var conds []Cond
 	for {
-		col, err := p.ident()
+		ref, err := p.colRef()
 		if err != nil {
 			return nil, err
 		}
@@ -357,7 +444,7 @@ func (p *parser) where() ([]Cond, error) {
 		if err != nil {
 			return nil, err
 		}
-		conds = append(conds, Cond{Col: col, Val: v})
+		conds = append(conds, Cond{Table: ref.Table, Col: ref.Col, Val: v})
 		if p.keyword("and") {
 			continue
 		}
@@ -381,17 +468,50 @@ func (p *parser) limit() (int, error) {
 	return n, nil
 }
 
+// selectExpr parses one select-list item: a column reference or an
+// aggregate call. An identifier named like an aggregate is only treated
+// as one when a '(' follows it.
+func (p *parser) selectExpr() (SelectExpr, error) {
+	if t := p.cur(); t.kind == tokIdent {
+		agg, isAgg := aggNames[strings.ToLower(t.text)]
+		next := p.toks[p.pos+1]
+		if isAgg && next.kind == tokSymbol && next.text == "(" {
+			p.pos += 2
+			e := SelectExpr{Agg: agg}
+			if p.symbol("*") {
+				if agg != AggCount {
+					return e, p.errorf("%s(*) is not valid; only COUNT takes *", agg)
+				}
+				e.Star = true
+			} else {
+				ref, err := p.colRef()
+				if err != nil {
+					return e, err
+				}
+				e.Ref = ref
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return e, err
+			}
+			return e, nil
+		}
+	}
+	ref, err := p.colRef()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	return SelectExpr{Ref: ref}, nil
+}
+
 func (p *parser) selectStmt() (Stmt, error) {
-	var cols []string
-	if p.symbol("*") {
-		cols = nil
-	} else {
+	var exprs []SelectExpr
+	if !p.symbol("*") {
 		for {
-			c, err := p.ident()
+			e, err := p.selectExpr()
 			if err != nil {
 				return nil, err
 			}
-			cols = append(cols, c)
+			exprs = append(exprs, e)
 			if p.symbol(",") {
 				continue
 			}
@@ -405,15 +525,80 @@ func (p *parser) selectStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	var join *JoinClause
+	if p.keyword("join") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		join = &JoinClause{Table: jt, Left: left, Right: right}
+	}
 	where, err := p.where()
 	if err != nil {
 		return nil, err
+	}
+	var groupBy []ColRef
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, ref)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	var orderBy []OrderKey
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Ref: ref}
+			if p.keyword("desc") {
+				key.Desc = true
+			} else {
+				p.keyword("asc") // optional
+			}
+			orderBy = append(orderBy, key)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
 	}
 	limit, err := p.limit()
 	if err != nil {
 		return nil, err
 	}
-	return SelectStmt{Table: table, Cols: cols, Where: where, Limit: limit}, nil
+	return SelectStmt{
+		Table: table, Join: join, Exprs: exprs, Where: where,
+		GroupBy: groupBy, OrderBy: orderBy, Limit: limit,
+	}, nil
 }
 
 func (p *parser) update() (Stmt, error) {

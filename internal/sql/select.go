@@ -1,0 +1,732 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phoebedb/internal/rel"
+)
+
+// Shaped SELECT execution: joins, GROUP BY + aggregates, ORDER BY, and
+// their combinations. The simple single-table projection stays on the
+// streaming fast path in exec.go; everything here materializes matching
+// rows first (cloning them — scan callbacks only borrow their row) and
+// then applies the shared shaping pipeline:
+//
+//	gather (scan / join)  →  aggregate  →  sort  →  limit  →  project
+//
+// Two optimizations carry over from the flat path: LIMIT stops the
+// gather early whenever output order is scan order, and an ORDER BY
+// whose keys are already delivered by the chosen index scan skips the
+// sort entirely (counted in Counters.SortAvoided).
+
+// srcSchema describes the row shape a shaped SELECT operates on: one
+// table, or two concatenated (outer ++ inner) for a join.
+type srcSchema struct {
+	tables  []string
+	schemas []*rel.Schema
+	offsets []int
+	width   int
+}
+
+func singleSource(table string, schema *rel.Schema) *srcSchema {
+	return &srcSchema{
+		tables:  []string{table},
+		schemas: []*rel.Schema{schema},
+		offsets: []int{0},
+		width:   schema.NumCols(),
+	}
+}
+
+func joinSource(outer string, os *rel.Schema, inner string, is *rel.Schema) *srcSchema {
+	return &srcSchema{
+		tables:  []string{outer, inner},
+		schemas: []*rel.Schema{os, is},
+		offsets: []int{0, os.NumCols()},
+		width:   os.NumCols() + is.NumCols(),
+	}
+}
+
+// resolve maps a column reference to its position in the combined row.
+// Unqualified names must be unambiguous across the source tables.
+func (ss *srcSchema) resolve(ref ColRef) (int, error) {
+	if ref.Table != "" {
+		for i, t := range ss.tables {
+			if t == ref.Table {
+				if pos := ss.schemas[i].ColIndex(ref.Col); pos >= 0 {
+					return ss.offsets[i] + pos, nil
+				}
+				return 0, fmt.Errorf("sql: unknown column %q.%q", ref.Table, ref.Col)
+			}
+		}
+		return 0, fmt.Errorf("sql: unknown table %q in column reference", ref.Table)
+	}
+	found := -1
+	for i := range ss.schemas {
+		if pos := ss.schemas[i].ColIndex(ref.Col); pos >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("sql: ambiguous column %q", ref.Col)
+			}
+			found = ss.offsets[i] + pos
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", ref.Col)
+	}
+	return found, nil
+}
+
+// colMeta returns the column definition behind a combined-row position.
+func (ss *srcSchema) colMeta(pos int) rel.Column {
+	for i := len(ss.offsets) - 1; i >= 0; i-- {
+		if pos >= ss.offsets[i] {
+			return ss.schemas[i].Cols[pos-ss.offsets[i]]
+		}
+	}
+	return rel.Column{}
+}
+
+// hasAggs reports whether any select-list item is an aggregate.
+func hasAggs(exprs []SelectExpr) bool {
+	for _, e := range exprs {
+		if e.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWhereQualifiers rejects table qualifiers naming anything but the
+// single table in scope (resolveWhere itself ignores qualifiers).
+func checkWhereQualifiers(table string, where []Cond) error {
+	for _, c := range where {
+		if c.Table != "" && c.Table != table {
+			return fmt.Errorf("sql: unknown table %q in column reference", c.Table)
+		}
+	}
+	return nil
+}
+
+// compareValues orders two values of the same column. Mixed kinds cannot
+// occur through the type checker but still order deterministically.
+func compareValues(a, b rel.Value) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	switch a.Kind {
+	case rel.TInt64:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case rel.TFloat64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+	case rel.TString:
+		return strings.Compare(a.S, b.S)
+	}
+	return 0
+}
+
+// outCol is one resolved output column of a shaped SELECT.
+type outCol struct {
+	name string
+	agg  AggFunc
+	star bool // COUNT(*)
+	pos  int  // combined-row position (aggregate argument, or plain output)
+}
+
+func colNames(outCols []outCol) []string {
+	names := make([]string, len(outCols))
+	for i, oc := range outCols {
+		names[i] = oc.name
+	}
+	return names
+}
+
+// buildOutCols resolves the select list against the source.
+func buildOutCols(ss *srcSchema, s SelectStmt) ([]outCol, error) {
+	if s.Exprs == nil {
+		if len(s.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY")
+		}
+		var out []outCol
+		for i := range ss.schemas {
+			for j, c := range ss.schemas[i].Cols {
+				out = append(out, outCol{name: c.Name, pos: ss.offsets[i] + j})
+			}
+		}
+		return out, nil
+	}
+	out := make([]outCol, 0, len(s.Exprs))
+	for _, e := range s.Exprs {
+		oc := outCol{agg: e.Agg, star: e.Star}
+		if e.Star {
+			oc.name = "count(*)"
+			out = append(out, oc)
+			continue
+		}
+		pos, err := ss.resolve(e.Ref)
+		if err != nil {
+			return nil, err
+		}
+		oc.pos = pos
+		label := e.Ref.Col
+		if e.Ref.Table != "" {
+			label = e.Ref.Table + "." + e.Ref.Col
+		}
+		if e.Agg != AggNone {
+			if (e.Agg == AggSum || e.Agg == AggAvg) && ss.colMeta(pos).Type == rel.TString {
+				return nil, fmt.Errorf("sql: %s(%s): argument must be numeric", e.Agg, label)
+			}
+			oc.name = fmt.Sprintf("%s(%s)", e.Agg, label)
+		} else {
+			oc.name = e.Ref.Col
+		}
+		out = append(out, oc)
+	}
+	return out, nil
+}
+
+// shapeRows applies aggregation, ordering, LIMIT, and projection to
+// materialized combined rows. sorted reports that rows already arrive in
+// ORDER BY order (index-order sort avoidance); rows is mutated in place
+// by sorting, so callers must own the slice.
+func shapeRows(ss *srcSchema, s SelectStmt, rows []rel.Row, sorted bool, c *Counters) (Result, error) {
+	outCols, err := buildOutCols(ss, s)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(s.GroupBy) > 0 || hasAggs(s.Exprs) {
+		return aggregateRows(ss, s, outCols, rows, c)
+	}
+	if len(s.OrderBy) > 0 && !sorted {
+		if err := sortRows(ss, s.OrderBy, rows); err != nil {
+			return Result{}, err
+		}
+		c.Sorts.Add(1)
+	}
+	if s.Limit > 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	res := Result{Columns: colNames(outCols), Rows: make([]rel.Row, len(rows))}
+	for i, row := range rows {
+		out := make(rel.Row, len(outCols))
+		for j, oc := range outCols {
+			out[j] = row[oc.pos]
+		}
+		res.Rows[i] = out
+	}
+	return res, nil
+}
+
+// sortRows sorts the combined rows by the ORDER BY keys, stably.
+func sortRows(ss *srcSchema, keys []OrderKey, rows []rel.Row) error {
+	pos := make([]int, len(keys))
+	for i, k := range keys {
+		p, err := ss.resolve(k.Ref)
+		if err != nil {
+			return err
+		}
+		pos[i] = p
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range keys {
+			if cmp := compareValues(rows[i][pos[k]], rows[j][pos[k]]); cmp != 0 {
+				return (cmp < 0) != keys[k].Desc
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count  int64
+	sumI   int64
+	sumF   float64
+	minmax rel.Value
+	seen   bool
+}
+
+func (st *aggState) add(agg AggFunc, v rel.Value) {
+	st.count++
+	switch agg {
+	case AggSum, AggAvg:
+		if v.Kind == rel.TInt64 {
+			st.sumI += v.I
+			st.sumF += float64(v.I)
+		} else {
+			st.sumF += v.F
+		}
+	case AggMin:
+		if !st.seen || compareValues(v, st.minmax) < 0 {
+			st.minmax = v
+		}
+	case AggMax:
+		if !st.seen || compareValues(v, st.minmax) > 0 {
+			st.minmax = v
+		}
+	}
+	st.seen = true
+}
+
+// zeroValue is this no-NULL dialect's result for value aggregates over
+// an empty input: the zero of the argument's column type.
+func zeroValue(ct rel.Type) rel.Value {
+	switch ct {
+	case rel.TFloat64:
+		return rel.Float(0)
+	case rel.TString:
+		return rel.Str("")
+	}
+	return rel.Int(0)
+}
+
+// final renders the aggregate's value; ct is the argument column's type.
+func (st *aggState) final(agg AggFunc, ct rel.Type) rel.Value {
+	switch agg {
+	case AggCount:
+		return rel.Int(st.count)
+	case AggSum:
+		if !st.seen {
+			return zeroValue(ct)
+		}
+		if ct == rel.TFloat64 {
+			return rel.Float(st.sumF)
+		}
+		return rel.Int(st.sumI)
+	case AggAvg:
+		if st.count == 0 {
+			return rel.Float(0)
+		}
+		return rel.Float(st.sumF / float64(st.count))
+	case AggMin, AggMax:
+		if !st.seen {
+			return zeroValue(ct)
+		}
+		return st.minmax
+	}
+	return rel.Value{}
+}
+
+// aggregateRows hash-aggregates the combined rows by the GROUP BY keys
+// (or into a single scalar group). Output order is the encoded group-key
+// order — deterministic — unless ORDER BY (over grouping columns)
+// overrides it.
+func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row, c *Counters) (Result, error) {
+	groupPos := make([]int, len(s.GroupBy))
+	for i, ref := range s.GroupBy {
+		p, err := ss.resolve(ref)
+		if err != nil {
+			return Result{}, err
+		}
+		groupPos[i] = p
+	}
+	inGroup := func(pos int) int {
+		for j, gp := range groupPos {
+			if gp == pos {
+				return j
+			}
+		}
+		return -1
+	}
+	// Every plain output column must be one of the grouping columns.
+	for _, oc := range outCols {
+		if oc.agg == AggNone && inGroup(oc.pos) < 0 {
+			return Result{}, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", oc.name)
+		}
+	}
+	type group struct {
+		vals   []rel.Value // grouping column values, groupPos order
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	keyBuf := make([]rel.Value, len(groupPos))
+	var keyBytes []byte
+	for _, row := range rows {
+		for i, gp := range groupPos {
+			keyBuf[i] = row[gp]
+		}
+		keyBytes = rel.EncodeKey(keyBytes[:0], keyBuf...)
+		g := groups[string(keyBytes)]
+		if g == nil {
+			g = &group{
+				vals:   append([]rel.Value(nil), keyBuf...),
+				states: make([]aggState, len(outCols)),
+			}
+			groups[string(keyBytes)] = g
+		}
+		for i, oc := range outCols {
+			if oc.agg == AggNone {
+				continue
+			}
+			var v rel.Value
+			if !oc.star {
+				v = row[oc.pos]
+			}
+			g.states[i].add(oc.agg, v)
+		}
+	}
+	if len(groupPos) == 0 && len(groups) == 0 {
+		// A scalar aggregate over zero rows still yields one row.
+		groups[""] = &group{states: make([]aggState, len(outCols))}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*group, len(keys))
+	for i, k := range keys {
+		out[i] = groups[k]
+	}
+	if len(s.OrderBy) > 0 {
+		idx := make([]int, len(s.OrderBy))
+		for i, key := range s.OrderBy {
+			p, err := ss.resolve(key.Ref)
+			if err != nil {
+				return Result{}, err
+			}
+			gi := inGroup(p)
+			if gi < 0 {
+				return Result{}, fmt.Errorf("sql: ORDER BY column %q must appear in GROUP BY", key.Ref.Col)
+			}
+			idx[i] = gi
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			for k, gi := range idx {
+				if cmp := compareValues(out[a].vals[gi], out[b].vals[gi]); cmp != 0 {
+					return (cmp < 0) != s.OrderBy[k].Desc
+				}
+			}
+			return false
+		})
+		c.Sorts.Add(1)
+	}
+	if s.Limit > 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	res := Result{Columns: colNames(outCols), Rows: make([]rel.Row, len(out))}
+	for i, g := range out {
+		row := make(rel.Row, len(outCols))
+		for j, oc := range outCols {
+			if oc.agg == AggNone {
+				row[j] = g.vals[inGroup(oc.pos)]
+				continue
+			}
+			ct := rel.TInt64
+			if !oc.star {
+				ct = ss.colMeta(oc.pos).Type
+			}
+			row[j] = g.states[j].final(oc.agg, ct)
+		}
+		res.Rows[i] = row
+	}
+	return res, nil
+}
+
+// orderSatisfied reports whether the planned index scan already emits
+// rows in ORDER BY order: every key ascending, and the key columns
+// matching the index columns after the equality prefix, in sequence.
+// Columns pinned by the equality prefix are constant within the scan and
+// satisfy a key anywhere.
+func orderSatisfied(ss *srcSchema, indexes []IndexMeta, p plan, keys []OrderKey) (bool, error) {
+	if p.index == "" {
+		return false, nil
+	}
+	var ix *IndexMeta
+	for i := range indexes {
+		if indexes[i].Name == p.index {
+			ix = &indexes[i]
+			break
+		}
+	}
+	if ix == nil {
+		return false, nil
+	}
+	prefix := len(p.prefixVals)
+	next := prefix
+	for _, key := range keys {
+		if key.Desc {
+			return false, nil
+		}
+		pos, err := ss.resolve(key.Ref)
+		if err != nil {
+			return false, err
+		}
+		pinned := false
+		for _, pc := range ix.Cols[:prefix] {
+			if pc == pos {
+				pinned = true
+				break
+			}
+		}
+		if pinned {
+			continue
+		}
+		if next < len(ix.Cols) && ix.Cols[next] == pos {
+			next++
+			continue
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// execSelectShaped runs a single-table SELECT with ORDER BY, GROUP BY,
+// or aggregates: gather matching rows (cloned), then shape.
+func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+	schema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	indexes, err := cat.IndexInfo(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
+		return Result{}, err
+	}
+	ss := singleSource(s.Table, schema)
+	p, err := planFor(hint, schema, indexes, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	c := countersOf(cat)
+	aggregate := len(s.GroupBy) > 0 || hasAggs(s.Exprs)
+	sorted := false
+	if !aggregate && len(s.OrderBy) > 0 {
+		sorted, err = orderSatisfied(ss, indexes, p, s.OrderBy)
+		if err != nil {
+			return Result{}, err
+		}
+		if sorted {
+			c.SortAvoided.Add(1)
+		}
+	}
+	// LIMIT can stop the gather early only when output order is scan order.
+	early := 0
+	if !aggregate && s.Limit > 0 && (len(s.OrderBy) == 0 || sorted) {
+		early = s.Limit
+	}
+	var rows []rel.Row
+	err = scanMatching(tx, schema, s.Table, p, func(_ rel.RowID, row rel.Row) bool {
+		r := make(rel.Row, len(row))
+		copy(r, row) // the scan only lends us the row
+		rows = append(rows, r)
+		return early == 0 || len(rows) < early
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return shapeRows(ss, s, rows, sorted, c)
+}
+
+// selectHint caches a join's strategy for a prepared statement: which
+// side drives and which index the other side is probed through. It is
+// literal-independent, and DDL invalidation drops the whole cache entry,
+// so a stored hint never outlives the schema it was computed against.
+type selectHint struct {
+	swapped    bool   // drive over the JOIN table, probe the FROM table
+	probeIndex string // "" = hash join (no usable index on either side)
+}
+
+// indexOnCol returns an index whose first column is pos (so an equality
+// probe on that column is an index prefix scan), preferring unique ones.
+func indexOnCol(indexes []IndexMeta, pos int) string {
+	name := ""
+	for _, ix := range indexes {
+		if len(ix.Cols) > 0 && ix.Cols[0] == pos {
+			if ix.Unique {
+				return ix.Name
+			}
+			if name == "" {
+				name = ix.Name
+			}
+		}
+	}
+	return name
+}
+
+// execSelectJoin runs a two-table inner equi-join: index nested loop
+// probing whichever side has an index on its join column (preferring the
+// JOIN-clause table), falling back to a hash join built on the inner
+// side. The combined rows then flow through the shared shaping pipeline.
+func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+	if _, _, ok := statTable(cat, s.Table); ok {
+		return Result{}, fmt.Errorf("sql: stat table %q cannot be joined", s.Table)
+	}
+	if _, _, ok := statTable(cat, s.Join.Table); ok {
+		return Result{}, fmt.Errorf("sql: stat table %q cannot be joined", s.Join.Table)
+	}
+	if s.Join.Table == s.Table {
+		return Result{}, fmt.Errorf("%w: self-join of %q", ErrUnsupported, s.Table)
+	}
+	outerSchema, err := cat.TableSchema(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	innerSchema, err := cat.TableSchema(s.Join.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	ss := joinSource(s.Table, outerSchema, s.Join.Table, innerSchema)
+
+	// Resolve the equi-join condition: one side per table, either order.
+	lpos, err := ss.resolve(s.Join.Left)
+	if err != nil {
+		return Result{}, err
+	}
+	rpos, err := ss.resolve(s.Join.Right)
+	if err != nil {
+		return Result{}, err
+	}
+	outerPos, innerPos := lpos, rpos
+	if lpos >= ss.offsets[1] {
+		outerPos, innerPos = rpos, lpos
+	}
+	if outerPos >= ss.offsets[1] || innerPos < ss.offsets[1] {
+		return Result{}, fmt.Errorf("sql: join condition must reference both tables")
+	}
+	innerPos -= ss.offsets[1]
+	if outerSchema.Cols[outerPos].Type != innerSchema.Cols[innerPos].Type {
+		return Result{}, fmt.Errorf("sql: join columns have different types")
+	}
+
+	// Partition WHERE by side, stripping qualifiers: each side's planner
+	// resolves bare column names against its own schema.
+	var outerConds, innerConds []Cond
+	for _, cd := range s.Where {
+		pos, err := ss.resolve(ColRef{Table: cd.Table, Col: cd.Col})
+		if err != nil {
+			return Result{}, err
+		}
+		if pos < ss.offsets[1] {
+			outerConds = append(outerConds, Cond{Col: cd.Col, Val: cd.Val})
+		} else {
+			innerConds = append(innerConds, Cond{Col: cd.Col, Val: cd.Val})
+		}
+	}
+	outerIndexes, err := cat.IndexInfo(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	innerIndexes, err := cat.IndexInfo(s.Join.Table)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var sh *selectHint
+	if hint != nil {
+		sh = hint.sel.Load()
+	}
+	if sh == nil {
+		sh = &selectHint{}
+		if ixn := indexOnCol(innerIndexes, innerPos); ixn != "" {
+			sh.probeIndex = ixn
+		} else if ixn := indexOnCol(outerIndexes, outerPos); ixn != "" {
+			sh.probeIndex, sh.swapped = ixn, true
+		}
+		if hint != nil {
+			hint.sel.Store(sh)
+		}
+	}
+
+	c := countersOf(cat)
+	aggregate := len(s.GroupBy) > 0 || hasAggs(s.Exprs)
+	early := 0
+	if !aggregate && len(s.OrderBy) == 0 && s.Limit > 0 {
+		early = s.Limit
+	}
+	var rows []rel.Row
+	emit := func(orow, irow rel.Row) bool {
+		out := make(rel.Row, ss.width)
+		copy(out, orow)
+		copy(out[ss.offsets[1]:], irow)
+		rows = append(rows, out)
+		return early == 0 || len(rows) < early
+	}
+
+	if sh.probeIndex != "" {
+		// Index nested loop: scan the driving side through its own WHERE
+		// plan, probe the other side's index with each join value.
+		driveName, driveSchema, driveConds := s.Table, outerSchema, outerConds
+		probeName, probeSchema, probeConds := s.Join.Table, innerSchema, innerConds
+		driveJoin, driveIndexes := outerPos, outerIndexes
+		if sh.swapped {
+			driveName, driveSchema, driveConds = s.Join.Table, innerSchema, innerConds
+			probeName, probeSchema, probeConds = s.Table, outerSchema, outerConds
+			driveJoin, driveIndexes = innerPos, innerIndexes
+		}
+		dp, err := planWhere(driveSchema, driveIndexes, driveConds)
+		if err != nil {
+			return Result{}, err
+		}
+		var perr error
+		err = scanMatching(tx, driveSchema, driveName, dp, func(_ rel.RowID, drow rel.Row) bool {
+			more := true
+			perr = tx.ScanIndex(probeName, sh.probeIndex, []rel.Value{drow[driveJoin]}, func(_ rel.RowID, prow rel.Row) bool {
+				if !matches(probeSchema, prow, probeConds) {
+					return true
+				}
+				if sh.swapped {
+					more = emit(prow, drow)
+				} else {
+					more = emit(drow, prow)
+				}
+				return more
+			})
+			return perr == nil && more
+		})
+		if err == nil {
+			err = perr
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		// Hash join: build on the inner side, probe while scanning outer.
+		ip, err := planWhere(innerSchema, innerIndexes, innerConds)
+		if err != nil {
+			return Result{}, err
+		}
+		build := make(map[string][]rel.Row)
+		err = scanMatching(tx, innerSchema, s.Join.Table, ip, func(_ rel.RowID, row rel.Row) bool {
+			r := make(rel.Row, len(row))
+			copy(r, row)
+			build[string(rel.EncodeKey(nil, row[innerPos]))] = append(build[string(rel.EncodeKey(nil, row[innerPos]))], r)
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		op, err := planWhere(outerSchema, outerIndexes, outerConds)
+		if err != nil {
+			return Result{}, err
+		}
+		var probeKey []byte
+		err = scanMatching(tx, outerSchema, s.Table, op, func(_ rel.RowID, orow rel.Row) bool {
+			probeKey = rel.EncodeKey(probeKey[:0], orow[outerPos])
+			for _, irow := range build[string(probeKey)] {
+				if !emit(orow, irow) {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	c.JoinRows.Add(int64(len(rows)))
+	return shapeRows(ss, s, rows, false, c)
+}

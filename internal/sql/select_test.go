@@ -1,0 +1,345 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"phoebedb/internal/rel"
+)
+
+// --- Multi-table in-memory fixture for the shaped executor ------------------
+
+type memCat struct {
+	schemas map[string]*rel.Schema
+	indexes map[string][]IndexMeta
+	c       Counters
+}
+
+func (c *memCat) CreateTable(string, *rel.Schema) error            { return nil }
+func (c *memCat) CreateIndex(string, string, []string, bool) error { return nil }
+func (c *memCat) SQLCounters() *Counters                           { return &c.c }
+
+func (c *memCat) TableSchema(name string) (*rel.Schema, error) {
+	s, ok := c.schemas[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return s, nil
+}
+
+func (c *memCat) IndexInfo(name string) ([]IndexMeta, error) { return c.indexes[name], nil }
+
+type memTxn struct {
+	cat   *memCat
+	rows  map[string][]rel.Row
+	scans []string // access-path audit trail
+}
+
+func (m *memTxn) Insert(table string, row rel.Row) (rel.RowID, error) {
+	m.rows[table] = append(m.rows[table], row.Clone())
+	return rel.RowID(len(m.rows[table])), nil
+}
+
+func (m *memTxn) ScanTable(table string, fn func(rel.RowID, rel.Row) bool) error {
+	m.scans = append(m.scans, "table:"+table)
+	for i, row := range m.rows[table] {
+		if !fn(rel.RowID(i+1), row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanIndex emulates a real index scan: rows whose indexed columns match
+// the prefix vals, emitted in index-key order.
+func (m *memTxn) ScanIndex(table, index string, vals []rel.Value, fn func(rel.RowID, rel.Row) bool) error {
+	m.scans = append(m.scans, "index:"+index)
+	var meta *IndexMeta
+	for i := range m.cat.indexes[table] {
+		if m.cat.indexes[table][i].Name == index {
+			meta = &m.cat.indexes[table][i]
+		}
+	}
+	if meta == nil {
+		return fmt.Errorf("no index %q", index)
+	}
+	type hit struct {
+		rid rel.RowID
+		row rel.Row
+	}
+	var hits []hit
+	for i, row := range m.rows[table] {
+		ok := true
+		for j, v := range vals {
+			if !row[meta.Cols[j]].Equal(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits = append(hits, hit{rel.RowID(i + 1), row})
+		}
+	}
+	sort.SliceStable(hits, func(a, b int) bool {
+		for _, c := range meta.Cols {
+			if cmp := compareValues(hits[a].row[c], hits[b].row[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return hits[a].rid < hits[b].rid
+	})
+	for _, h := range hits {
+		if !fn(h.rid, h.row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *memTxn) Update(string, rel.RowID, map[string]rel.Value) error { return nil }
+func (m *memTxn) Delete(string, rel.RowID) error                      { return nil }
+
+// ordersFixture: o(id, region, amt) with unique o_pk(id) and o_region
+// (region, id); i(oid, qty, sku, price) with non-unique i_oid(oid).
+func ordersFixture() (*memCat, *memTxn) {
+	cat := &memCat{
+		schemas: map[string]*rel.Schema{
+			"o": rel.NewSchema(
+				rel.Column{Name: "id", Type: rel.TInt64},
+				rel.Column{Name: "region", Type: rel.TString},
+				rel.Column{Name: "amt", Type: rel.TFloat64},
+			),
+			"i": rel.NewSchema(
+				rel.Column{Name: "oid", Type: rel.TInt64},
+				rel.Column{Name: "qty", Type: rel.TInt64},
+				rel.Column{Name: "sku", Type: rel.TString},
+				rel.Column{Name: "price", Type: rel.TFloat64},
+			),
+		},
+		indexes: map[string][]IndexMeta{
+			"o": {
+				{Name: "o_pk", Cols: []int{0}, Unique: true},
+				{Name: "o_region", Cols: []int{1, 0}},
+			},
+			"i": {{Name: "i_oid", Cols: []int{0}}},
+		},
+	}
+	tx := &memTxn{cat: cat, rows: map[string][]rel.Row{}}
+	for _, r := range []struct {
+		id     int64
+		region string
+		amt    float64
+	}{
+		{3, "eu", 30.5}, {1, "us", 10}, {2, "eu", 20}, {4, "ap", 4.5},
+	} {
+		tx.Insert("o", rel.Row{rel.Int(r.id), rel.Str(r.region), rel.Float(r.amt)})
+	}
+	for _, r := range []struct {
+		oid, qty int64
+		sku      string
+		price    float64
+	}{
+		{1, 2, "ball", 5}, {2, 1, "bat", 20}, {2, 3, "cap", 8}, {3, 5, "ball", 5}, {9, 1, "ghost", 1},
+	} {
+		tx.Insert("i", rel.Row{rel.Int(r.oid), rel.Int(r.qty), rel.Str(r.sku), rel.Float(r.price)})
+	}
+	return cat, tx
+}
+
+func mustExec(t *testing.T, cat Catalog, tx Txn, src string) Result {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := Exec(cat, tx, stmt)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return res
+}
+
+func rowStr(rows []rel.Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		for j, v := range r {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			switch v.Kind {
+			case rel.TInt64:
+				fmt.Fprintf(&sb, "%d", v.I)
+			case rel.TFloat64:
+				fmt.Fprintf(&sb, "%g", v.F)
+			default:
+				sb.WriteString(v.S)
+			}
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func TestExecOrderByLimit(t *testing.T) {
+	cat, tx := ordersFixture()
+	res := mustExec(t, cat, tx, "SELECT id FROM o ORDER BY amt DESC LIMIT 2")
+	if got := rowStr(res.Rows); got != "3;2;" {
+		t.Fatalf("rows = %q", got)
+	}
+	if cat.c.Sorts.Load() != 1 {
+		t.Fatalf("Sorts = %d", cat.c.Sorts.Load())
+	}
+	// Multi-key sort with a tie on region.
+	res = mustExec(t, cat, tx, "SELECT id FROM o ORDER BY region ASC, amt DESC")
+	if got := rowStr(res.Rows); got != "4;3;2;1;" {
+		t.Fatalf("rows = %q", got)
+	}
+}
+
+func TestExecOrderByIndexAvoidsSort(t *testing.T) {
+	cat, tx := ordersFixture()
+	// o_region(region, id) pins region by equality; ORDER BY id rides the
+	// index order, so no sort runs.
+	res := mustExec(t, cat, tx, "SELECT id FROM o WHERE region = 'eu' ORDER BY id")
+	if got := rowStr(res.Rows); got != "2;3;" {
+		t.Fatalf("rows = %q", got)
+	}
+	if cat.c.SortAvoided.Load() != 1 || cat.c.Sorts.Load() != 0 {
+		t.Fatalf("SortAvoided = %d, Sorts = %d", cat.c.SortAvoided.Load(), cat.c.Sorts.Load())
+	}
+	if last := tx.scans[len(tx.scans)-1]; last != "index:o_region" {
+		t.Fatalf("scan = %q", last)
+	}
+	// DESC keys cannot ride the (ascending) index.
+	mustExec(t, cat, tx, "SELECT id FROM o WHERE region = 'eu' ORDER BY id DESC")
+	if cat.c.Sorts.Load() != 1 {
+		t.Fatalf("DESC did not sort")
+	}
+}
+
+func TestExecGroupByAggregates(t *testing.T) {
+	cat, tx := ordersFixture()
+	res := mustExec(t, cat, tx,
+		"SELECT region, count(*), sum(amt), min(amt), max(amt), avg(id) FROM o GROUP BY region ORDER BY region")
+	want := "ap,1,4.5,4.5,4.5,4;eu,2,50.5,20,30.5,2.5;us,1,10,10,10,1;"
+	if got := rowStr(res.Rows); got != want {
+		t.Fatalf("rows = %q, want %q", got, want)
+	}
+	if res.Columns[1] != "count(*)" || res.Columns[2] != "sum(amt)" || res.Columns[5] != "avg(id)" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	// Scalar aggregates; COUNT(col) counts rows like COUNT(*).
+	res = mustExec(t, cat, tx, "SELECT count(oid), sum(qty) FROM i")
+	if got := rowStr(res.Rows); got != "5,12;" {
+		t.Fatalf("scalar rows = %q", got)
+	}
+	// Scalar aggregate over zero rows: one row of zero values.
+	res = mustExec(t, cat, tx, "SELECT count(*), sum(amt), min(region) FROM o WHERE region = 'nowhere'")
+	if got := rowStr(res.Rows); got != "0,0,;" {
+		t.Fatalf("empty scalar rows = %q", got)
+	}
+	// GROUP BY without aggregates deduplicates, deterministically ordered.
+	res = mustExec(t, cat, tx, "SELECT region FROM o GROUP BY region")
+	if got := rowStr(res.Rows); got != "ap;eu;us;" {
+		t.Fatalf("distinct rows = %q", got)
+	}
+}
+
+func TestExecJoinIndexNestedLoop(t *testing.T) {
+	cat, tx := ordersFixture()
+	res := mustExec(t, cat, tx,
+		"SELECT o.id, i.sku FROM o JOIN i ON o.id = i.oid WHERE region = 'eu' ORDER BY o.id, i.sku")
+	if got := rowStr(res.Rows); got != "2,bat;2,cap;3,ball;" {
+		t.Fatalf("rows = %q", got)
+	}
+	// The inner side has i_oid on the join column: INL probes it.
+	probed := false
+	for _, s := range tx.scans {
+		if s == "index:i_oid" {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatalf("no INL probe: %v", tx.scans)
+	}
+	if cat.c.JoinRows.Load() != 3 {
+		t.Fatalf("JoinRows = %d", cat.c.JoinRows.Load())
+	}
+}
+
+func TestExecJoinSwappedAndHash(t *testing.T) {
+	cat, tx := ordersFixture()
+	// i.qty has no index but o.id does: the executor drives over i and
+	// probes o_pk (swapped INL).
+	res := mustExec(t, cat, tx,
+		"SELECT o.id, i.sku FROM o JOIN i ON i.qty = o.id ORDER BY o.id, i.sku")
+	if got := rowStr(res.Rows); got != "1,bat;1,ghost;2,ball;3,cap;" {
+		t.Fatalf("swapped rows = %q", got)
+	}
+	probed := false
+	for _, s := range tx.scans {
+		if s == "index:o_pk" {
+			probed = true
+		}
+	}
+	if !probed {
+		t.Fatalf("no swapped probe: %v", tx.scans)
+	}
+
+	// Neither amt nor price is indexed: hash join.
+	tx.scans = nil
+	res = mustExec(t, cat, tx,
+		"SELECT o.id, i.sku FROM o JOIN i ON o.amt = i.price ORDER BY o.id, i.sku")
+	if got := rowStr(res.Rows); got != "2,bat;" {
+		t.Fatalf("hash rows = %q", got)
+	}
+	for _, s := range tx.scans {
+		if strings.HasPrefix(s, "index:") {
+			t.Fatalf("hash join touched an index: %v", tx.scans)
+		}
+	}
+}
+
+func TestExecJoinAggregates(t *testing.T) {
+	cat, tx := ordersFixture()
+	res := mustExec(t, cat, tx,
+		"SELECT o.region, count(*), sum(i.qty) FROM o JOIN i ON o.id = i.oid GROUP BY o.region ORDER BY o.region")
+	if got := rowStr(res.Rows); got != "eu,3,9;us,1,2;" {
+		t.Fatalf("rows = %q", got)
+	}
+}
+
+func TestExecShapedErrors(t *testing.T) {
+	cat, tx := ordersFixture()
+	for _, src := range []string{
+		"SELECT sku FROM o",                                       // unknown column
+		"SELECT x.id FROM o",                                      // unknown qualifier
+		"SELECT id FROM o WHERE x.id = 1",                         // unknown WHERE qualifier
+		"SELECT id FROM o GROUP BY region",                        // non-grouped column
+		"SELECT sum(region) FROM o",                               // SUM over string
+		"SELECT avg(sku) FROM i",                                  // AVG over string
+		"SELECT * FROM o GROUP BY region",                         // star with GROUP BY
+		"SELECT region FROM o GROUP BY region ORDER BY amt",       // ORDER BY non-group column
+		"SELECT o.id FROM o JOIN i ON o.id = o.id",                // join cond on one table
+		"SELECT o.id FROM o JOIN i ON o.id = i.sku",               // join type mismatch
+		"SELECT o.id FROM o JOIN o ON o.id = o.id",                // self join
+		"SELECT id FROM o JOIN i ON o.id = i.oid",                 // ambiguous? no: id only in o -- use qty test below
+		"SELECT qty FROM i JOIN o ON o.id = i.oid WHERE id = 1 AND oid = 2 AND zzz = 3", // unknown col
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Exec(cat, tx, stmt); err == nil && src != "SELECT id FROM o JOIN i ON o.id = i.oid" {
+			t.Fatalf("%q executed without error", src)
+		}
+	}
+	// Ambiguity: both o and i have no shared names in this fixture, so
+	// craft one via ORDER BY against a joined source with a qualifier typo.
+	stmt, _ := Parse("SELECT o.id FROM o JOIN i ON o.id = i.oid ORDER BY zzz")
+	if _, err := Exec(cat, tx, stmt); err == nil {
+		t.Fatal("unknown ORDER BY column executed")
+	}
+}

@@ -99,13 +99,62 @@ func TestParseSelect(t *testing.T) {
 		t.Fatal(err)
 	}
 	sel := stmt.(SelectStmt)
-	if sel.Table != "t" || len(sel.Cols) != 2 || len(sel.Where) != 2 || sel.Limit != 10 {
+	if sel.Table != "t" || len(sel.Exprs) != 2 || len(sel.Where) != 2 || sel.Limit != 10 {
 		t.Fatalf("stmt = %+v", sel)
+	}
+	if sel.Exprs[0].Ref.Col != "a" || sel.Exprs[0].Agg != AggNone {
+		t.Fatalf("exprs = %+v", sel.Exprs)
 	}
 	stmt, _ = Parse("SELECT * FROM t")
 	sel = stmt.(SelectStmt)
-	if sel.Cols != nil || sel.Where != nil || sel.Limit != 0 {
+	if sel.Exprs != nil || sel.Where != nil || sel.Limit != 0 {
 		t.Fatalf("star stmt = %+v", sel)
+	}
+}
+
+func TestParseSelectShapes(t *testing.T) {
+	stmt, err := Parse("SELECT o.id, count(*), sum(i.qty) FROM o JOIN i ON o.id = i.oid WHERE o.region = 'eu' GROUP BY o.id ORDER BY o.id DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(SelectStmt)
+	if sel.Join == nil || sel.Join.Table != "i" || sel.Join.Left != (ColRef{Table: "o", Col: "id"}) || sel.Join.Right != (ColRef{Table: "i", Col: "oid"}) {
+		t.Fatalf("join = %+v", sel.Join)
+	}
+	if len(sel.Exprs) != 3 || !sel.Exprs[1].Star || sel.Exprs[1].Agg != AggCount || sel.Exprs[2].Agg != AggSum || sel.Exprs[2].Ref != (ColRef{Table: "i", Col: "qty"}) {
+		t.Fatalf("exprs = %+v", sel.Exprs)
+	}
+	if len(sel.Where) != 1 || sel.Where[0].Table != "o" || sel.Where[0].Col != "region" {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0] != (ColRef{Table: "o", Col: "id"}) {
+		t.Fatalf("group by = %+v", sel.GroupBy)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.OrderBy[0].Ref.Col != "id" {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 5 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+	// ASC is accepted and is the default; min/max/avg parse as aggregates.
+	stmt, err = Parse("SELECT min(a), max(a), avg(a) FROM t ORDER BY a ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = stmt.(SelectStmt)
+	if sel.Exprs[0].Agg != AggMin || sel.Exprs[1].Agg != AggMax || sel.Exprs[2].Agg != AggAvg || sel.OrderBy[0].Desc {
+		t.Fatalf("stmt = %+v", sel)
+	}
+	// SUM(*) is rejected; a column named like an aggregate still works.
+	if _, err := Parse("SELECT sum(*) FROM t"); err == nil {
+		t.Fatal("sum(*) parsed")
+	}
+	stmt, err = Parse("SELECT count FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := stmt.(SelectStmt); sel.Exprs[0].Agg != AggNone || sel.Exprs[0].Ref.Col != "count" {
+		t.Fatalf("bare count column = %+v", sel.Exprs)
 	}
 }
 

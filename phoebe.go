@@ -177,6 +177,9 @@ type DB struct {
 	// planCache holds prepared-statement templates shared by all sessions;
 	// nil when Options.PlanCacheSize is negative.
 	planCache *sql.PlanCache
+	// sqlCounters aggregates executor statistics (join rows, sorts) across
+	// all sessions for the metrics registry.
+	sqlCounters sql.Counters
 }
 
 // Open creates or opens a database.

@@ -36,6 +36,12 @@ func (c sqlCatalog) StatTable(name string) (*rel.Schema, []rel.Row, bool) {
 	return c.db.StatTable(name)
 }
 
+// SQLCounters implements sql.CounterCatalog: executor statistics land in
+// the DB-wide counter block exported through the metrics registry.
+func (c sqlCatalog) SQLCounters() *sql.Counters {
+	return &c.db.sqlCounters
+}
+
 func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
 	t, err := c.db.engine.Table(table)
 	if err != nil {

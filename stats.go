@@ -80,6 +80,9 @@ func buildRegistry(db *DB) *metrics.Registry {
 		reg.Counter("phoebe_sql_plan_cache_hits_total", "SQL statements served from a cached prepared-statement template.", db.planCache.Hits)
 		reg.Counter("phoebe_sql_plan_cache_misses_total", "Cacheable SQL statements that had to lex, parse, and plan.", db.planCache.Misses)
 	}
+	reg.Counter("phoebe_sql_join_rows_total", "Combined rows emitted by SQL JOIN executions.", db.sqlCounters.JoinRows.Load)
+	reg.Counter("phoebe_sql_sorts_total", "In-memory sorts run for ORDER BY.", db.sqlCounters.Sorts.Load)
+	reg.Counter("phoebe_sql_sort_avoided_total", "ORDER BY queries served directly in index scan order.", db.sqlCounters.SortAvoided.Load)
 
 	reg.Counter("phoebe_gc_runs_total", "Garbage-collection rounds.", st.GCRuns.Load)
 	reg.Counter("phoebe_gc_reclaimed_total", "UNDO records reclaimed by GC.", st.GCReclaimed.Load)
