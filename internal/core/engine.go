@@ -430,15 +430,19 @@ func (e *Engine) Tables() []*Tbl {
 // indexKey builds the index entry key: the encoded key columns, suffixed
 // with the row_id for non-unique indexes so entries stay distinct.
 func indexKey(ix *Index, row rel.Row, rid rel.RowID) []byte {
-	vals := make(rel.Row, len(ix.Cols))
-	for i, c := range ix.Cols {
-		vals[i] = row[c]
+	return indexKeyInto(nil, ix, row, rid)
+}
+
+// indexKeyInto is the allocation-free variant, appending to dst. Scans
+// use it to recompute a visible row's entry key for stale-entry checks.
+func indexKeyInto(dst []byte, ix *Index, row rel.Row, rid rel.RowID) []byte {
+	for _, c := range ix.Cols {
+		dst = rel.EncodeKey(dst, row[c])
 	}
-	k := rel.EncodeKey(nil, vals...)
 	if !ix.Unique {
-		k = rel.EncodeRowID(k, rid)
+		dst = rel.EncodeRowID(dst, rid)
 	}
-	return k
+	return dst
 }
 
 // IndexKeyOf builds an index entry key for external appliers (replication).

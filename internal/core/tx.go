@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -54,6 +55,16 @@ type Tx struct {
 	encBuf []byte
 	// cands is the index-scan candidate scratch, reused across scans.
 	cands []rel.RowID
+	// candKeys/candEnds hold the candidates' full entry keys (concatenated,
+	// with end offsets): the scan verifies each visible row against the
+	// entry that produced it, not just the search prefix, so stale entries
+	// left behind by updates to non-prefix index columns are filtered even
+	// when they fall inside the scanned range. Taken off the transaction
+	// during a scan, like cands.
+	candKeys []byte
+	candEnds []int
+	// verifyBuf is the recomputed-entry-key scratch for that check.
+	verifyBuf []byte
 	// rowBuf is the point-read scratch: readRow materializes the current
 	// version here and the visibility check applies before-image deltas in
 	// place. Rows returned from Get/GetByIndex alias it, hence the borrowed
@@ -528,16 +539,29 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 	// rather than clobbering ours.
 	cands := tx.cands[:0]
 	tx.cands = nil
+	candKeys := tx.candKeys[:0]
+	candEnds := tx.candEnds[:0]
+	tx.candKeys, tx.candEnds = nil, nil
 	rowBuf := tx.scanRowBuf
 	tx.scanRowBuf = nil
+	verifyBuf := tx.verifyBuf
+	tx.verifyBuf = nil
 	latchStart := time.Now()
 	ix.Tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
 		cands = append(cands, rel.RowID(v))
+		candKeys = append(candKeys, k...)
+		candEnds = append(candEnds, len(candKeys))
 		return true
 	})
 	tx.track(metrics.CompLatch, latchStart)
-	defer func() { tx.cands, tx.scanRowBuf = cands, rowBuf }()
-	for _, rid := range cands {
+	defer func() {
+		tx.cands, tx.scanRowBuf = cands, rowBuf
+		tx.candKeys, tx.candEnds, tx.verifyBuf = candKeys, candEnds, verifyBuf
+	}()
+	start := 0
+	for i, rid := range cands {
+		entry := candKeys[start:candEnds[i]]
+		start = candEnds[i]
 		row, ok, err := tx.readRowInto(t, rid, &rowBuf)
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return err
@@ -545,17 +569,15 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 		if !ok || row == nil {
 			continue // stale entry or invisible version
 		}
-		// Verify the visible version still matches the search key: stale
-		// entries can point at rows whose indexed columns changed.
-		match := true
-		for i := range vals {
-			if !row[ix.Cols[i]].Equal(vals[i]) {
-				match = false
-				break
-			}
-		}
-		if !match {
-			continue
+		// Verify the visible version still produces this exact entry key.
+		// Comparing against the search prefix alone is not enough: an
+		// update to a non-prefix index column leaves the old entry inside
+		// the scanned range, pointing at a row that still matches the
+		// prefix — the row would be emitted once per entry, and at the
+		// stale entry's sort position.
+		verifyBuf = indexKeyInto(verifyBuf[:0], ix, row, rid)
+		if !bytes.Equal(verifyBuf, entry) {
+			continue // stale entry
 		}
 		if !fn(rid, row) {
 			return nil

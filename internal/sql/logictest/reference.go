@@ -1,0 +1,653 @@
+// Package logictest holds the SQL layer's correctness harnesses: a golden
+// logic-test runner executing testdata/*.slt scripts, and a differential
+// oracle that runs the same statements against PhoebeDB and a naive
+// in-memory reference engine, diffing the row sets.
+//
+// The reference engine shares only the parser with the real SQL layer.
+// Execution — visibility, planning, index maintenance, joins, sorting,
+// aggregation — is reimplemented here in the most obvious O(n²) way, so a
+// bug would have to be made twice, in two very different shapes, to go
+// unnoticed.
+package logictest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/sql"
+)
+
+// Reference is the naive engine. Not safe for concurrent use.
+type Reference struct {
+	tables map[string]*refTable
+}
+
+type refTable struct {
+	schema  *rel.Schema
+	rows    []rel.Row
+	uniques [][]int         // column sets of unique indexes
+	indexes map[string]bool // names, to reject duplicates
+}
+
+// NewReference returns an empty reference engine.
+func NewReference() *Reference {
+	return &Reference{tables: map[string]*refTable{}}
+}
+
+// Exec parses and executes one statement. Error messages need not match
+// the real engine's — the harness only compares error presence.
+func (r *Reference) Exec(src string) (sql.Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return sql.Result{}, err
+	}
+	return r.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed statement. The oracle uses this to
+// re-run a SELECT with its LIMIT stripped.
+func (r *Reference) ExecStmt(stmt sql.Stmt) (sql.Result, error) {
+	switch s := stmt.(type) {
+	case sql.CreateTableStmt:
+		return r.createTable(s)
+	case sql.CreateIndexStmt:
+		return r.createIndex(s)
+	case sql.InsertStmt:
+		return r.insert(s)
+	case sql.SelectStmt:
+		return r.sel(s)
+	case sql.UpdateStmt:
+		return r.update(s)
+	case sql.DeleteStmt:
+		return r.del(s)
+	}
+	return sql.Result{}, fmt.Errorf("reference: unsupported statement")
+}
+
+func (r *Reference) createTable(s sql.CreateTableStmt) (sql.Result, error) {
+	if _, ok := r.tables[s.Table]; ok {
+		return sql.Result{}, fmt.Errorf("reference: table %q exists", s.Table)
+	}
+	if len(s.Cols) == 0 {
+		return sql.Result{}, fmt.Errorf("reference: no columns")
+	}
+	r.tables[s.Table] = &refTable{schema: rel.NewSchema(s.Cols...), indexes: map[string]bool{}}
+	return sql.Result{}, nil
+}
+
+func (r *Reference) createIndex(s sql.CreateIndexStmt) (sql.Result, error) {
+	t, ok := r.tables[s.Table]
+	if !ok {
+		return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Table)
+	}
+	if t.indexes[s.Index] {
+		return sql.Result{}, fmt.Errorf("reference: index %q exists", s.Index)
+	}
+	cols := make([]int, len(s.Cols))
+	for i, cn := range s.Cols {
+		pos := t.schema.ColIndex(cn)
+		if pos < 0 {
+			return sql.Result{}, fmt.Errorf("reference: unknown column %q", cn)
+		}
+		cols[i] = pos
+	}
+	if s.Unique {
+		// Mirror the online backfill's uniqueness verification: existing
+		// rows must not already violate the index.
+		seen := map[string]bool{}
+		for _, row := range t.rows {
+			k := renderKey(row, cols)
+			if seen[k] {
+				return sql.Result{}, fmt.Errorf("reference: duplicate key for index %q", s.Index)
+			}
+			seen[k] = true
+		}
+		t.uniques = append(t.uniques, cols)
+	}
+	t.indexes[s.Index] = true
+	return sql.Result{}, nil
+}
+
+// coerce applies the engine's literal typing rule: ints widen to float
+// columns, everything else must match exactly.
+func coerce(v rel.Value, ct rel.Type) (rel.Value, error) {
+	if v.Kind == ct {
+		return v, nil
+	}
+	if v.Kind == rel.TInt64 && ct == rel.TFloat64 {
+		return rel.Float(float64(v.I)), nil
+	}
+	return rel.Value{}, fmt.Errorf("reference: literal type mismatch")
+}
+
+// renderKey gives a comparison key over selected columns.
+func renderKey(row rel.Row, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		sb.WriteString(RenderValue(row[c]))
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func (r *Reference) insert(s sql.InsertStmt) (sql.Result, error) {
+	t, ok := r.tables[s.Table]
+	if !ok {
+		return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Table)
+	}
+	// Stage first: the real engine runs INSERT in one transaction, so a
+	// mid-statement failure keeps nothing.
+	staged := make([]rel.Row, 0, len(s.Rows))
+	for _, vals := range s.Rows {
+		if len(vals) != t.schema.NumCols() {
+			return sql.Result{}, fmt.Errorf("reference: arity mismatch")
+		}
+		row := make(rel.Row, len(vals))
+		for i, v := range vals {
+			cv, err := coerce(v, t.schema.Cols[i].Type)
+			if err != nil {
+				return sql.Result{}, err
+			}
+			row[i] = cv
+		}
+		for _, u := range t.uniques {
+			k := renderKey(row, u)
+			for _, other := range append(t.rows, staged...) {
+				if renderKey(other, u) == k {
+					return sql.Result{}, fmt.Errorf("reference: duplicate key")
+				}
+			}
+		}
+		staged = append(staged, row)
+	}
+	t.rows = append(t.rows, staged...)
+	return sql.Result{Affected: len(staged)}, nil
+}
+
+// refSrc is the (possibly joined) row shape a SELECT operates on.
+type refSrc struct {
+	tables  []string
+	schemas []*rel.Schema
+	offsets []int
+}
+
+func (rs *refSrc) width() int {
+	last := len(rs.schemas) - 1
+	return rs.offsets[last] + rs.schemas[last].NumCols()
+}
+
+func (rs *refSrc) resolve(ref sql.ColRef) (int, error) {
+	if ref.Table != "" {
+		for i, t := range rs.tables {
+			if t == ref.Table {
+				if pos := rs.schemas[i].ColIndex(ref.Col); pos >= 0 {
+					return rs.offsets[i] + pos, nil
+				}
+				return 0, fmt.Errorf("reference: unknown column %q.%q", ref.Table, ref.Col)
+			}
+		}
+		return 0, fmt.Errorf("reference: unknown table %q", ref.Table)
+	}
+	found := -1
+	for i := range rs.schemas {
+		if pos := rs.schemas[i].ColIndex(ref.Col); pos >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("reference: ambiguous column %q", ref.Col)
+			}
+			found = rs.offsets[i] + pos
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("reference: unknown column %q", ref.Col)
+	}
+	return found, nil
+}
+
+func (rs *refSrc) colType(pos int) rel.Type {
+	for i := len(rs.offsets) - 1; i >= 0; i-- {
+		if pos >= rs.offsets[i] {
+			return rs.schemas[i].Cols[pos-rs.offsets[i]].Type
+		}
+	}
+	return rel.TInt64
+}
+
+// resolveConds maps WHERE to (combined position, coerced value) pairs,
+// deduplicating repeated columns with the last condition winning — the
+// engine's documented planner semantics.
+func (rs *refSrc) resolveConds(where []sql.Cond) (map[int]rel.Value, error) {
+	out := map[int]rel.Value{}
+	for _, c := range where {
+		pos, err := rs.resolve(sql.ColRef{Table: c.Table, Col: c.Col})
+		if err != nil {
+			return nil, err
+		}
+		v, err := coerce(c.Val, rs.colType(pos))
+		if err != nil {
+			return nil, err
+		}
+		out[pos] = v
+	}
+	return out, nil
+}
+
+func condsMatch(row rel.Row, conds map[int]rel.Value) bool {
+	for pos, v := range conds {
+		if !row[pos].Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func refCompare(a, b rel.Value) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	switch a.Kind {
+	case rel.TInt64:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case rel.TFloat64:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+	case rel.TString:
+		return strings.Compare(a.S, b.S)
+	}
+	return 0
+}
+
+func (r *Reference) sel(s sql.SelectStmt) (sql.Result, error) {
+	t, ok := r.tables[s.Table]
+	if !ok {
+		return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Table)
+	}
+	src := &refSrc{tables: []string{s.Table}, schemas: []*rel.Schema{t.schema}, offsets: []int{0}}
+
+	// Gather the combined rows: single table, or the filtered cross
+	// product for a join (quadratic on purpose — obviously correct).
+	var rows []rel.Row
+	if s.Join != nil {
+		if s.Join.Table == s.Table {
+			return sql.Result{}, fmt.Errorf("reference: self-join unsupported")
+		}
+		it, ok := r.tables[s.Join.Table]
+		if !ok {
+			return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Join.Table)
+		}
+		src.tables = append(src.tables, s.Join.Table)
+		src.schemas = append(src.schemas, it.schema)
+		src.offsets = append(src.offsets, t.schema.NumCols())
+		lpos, err := src.resolve(s.Join.Left)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		rpos, err := src.resolve(s.Join.Right)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		split := src.offsets[1]
+		if (lpos < split) == (rpos < split) {
+			return sql.Result{}, fmt.Errorf("reference: join condition must reference both tables")
+		}
+		if src.colType(lpos) != src.colType(rpos) {
+			return sql.Result{}, fmt.Errorf("reference: join columns have different types")
+		}
+		for _, orow := range t.rows {
+			for _, irow := range it.rows {
+				combined := make(rel.Row, src.width())
+				copy(combined, orow)
+				copy(combined[split:], irow)
+				if combined[lpos].Equal(combined[rpos]) {
+					rows = append(rows, combined)
+				}
+			}
+		}
+	} else {
+		for _, row := range t.rows {
+			rows = append(rows, row.Clone())
+		}
+	}
+
+	conds, err := src.resolveConds(s.Where)
+	if err != nil {
+		return sql.Result{}, err
+	}
+	kept := rows[:0]
+	for _, row := range rows {
+		if condsMatch(row, conds) {
+			kept = append(kept, row)
+		}
+	}
+	rows = kept
+
+	hasAgg := false
+	for _, e := range s.Exprs {
+		if e.Agg != sql.AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(s.GroupBy) > 0 {
+		return r.aggregate(src, s, rows)
+	}
+
+	// Plain projection list.
+	type col struct {
+		name string
+		pos  int
+	}
+	var cols []col
+	if s.Exprs == nil {
+		for i := range src.schemas {
+			for j, c := range src.schemas[i].Cols {
+				cols = append(cols, col{c.Name, src.offsets[i] + j})
+			}
+		}
+	} else {
+		for _, e := range s.Exprs {
+			pos, err := src.resolve(e.Ref)
+			if err != nil {
+				return sql.Result{}, err
+			}
+			cols = append(cols, col{e.Ref.Col, pos})
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]int, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			pos, err := src.resolve(k.Ref)
+			if err != nil {
+				return sql.Result{}, err
+			}
+			keys[i] = pos
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for i, pos := range keys {
+				if c := refCompare(rows[a][pos], rows[b][pos]); c != 0 {
+					return (c < 0) != s.OrderBy[i].Desc
+				}
+			}
+			return false
+		})
+	}
+	if s.Limit > 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	res := sql.Result{}
+	for _, c := range cols {
+		res.Columns = append(res.Columns, c.name)
+	}
+	for _, row := range rows {
+		out := make(rel.Row, len(cols))
+		for i, c := range cols {
+			out[i] = row[c.pos]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (r *Reference) aggregate(src *refSrc, s sql.SelectStmt, rows []rel.Row) (sql.Result, error) {
+	if s.Exprs == nil {
+		return sql.Result{}, fmt.Errorf("reference: SELECT * with GROUP BY")
+	}
+	groupPos := make([]int, len(s.GroupBy))
+	for i, ref := range s.GroupBy {
+		pos, err := src.resolve(ref)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		groupPos[i] = pos
+	}
+	inGroup := func(pos int) bool {
+		for _, gp := range groupPos {
+			if gp == pos {
+				return true
+			}
+		}
+		return false
+	}
+	// Validate the select list up front (the engine does too).
+	type item struct {
+		agg  sql.AggFunc
+		star bool
+		pos  int
+		name string
+	}
+	items := make([]item, 0, len(s.Exprs))
+	for _, e := range s.Exprs {
+		it := item{agg: e.Agg, star: e.Star}
+		if e.Star {
+			it.name = "count(*)"
+			items = append(items, it)
+			continue
+		}
+		pos, err := src.resolve(e.Ref)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		it.pos = pos
+		label := e.Ref.Col
+		if e.Ref.Table != "" {
+			label = e.Ref.Table + "." + e.Ref.Col
+		}
+		if e.Agg == sql.AggNone {
+			if !inGroup(pos) {
+				return sql.Result{}, fmt.Errorf("reference: %q not grouped", e.Ref.Col)
+			}
+			it.name = e.Ref.Col
+		} else {
+			if (e.Agg == sql.AggSum || e.Agg == sql.AggAvg) && src.colType(pos) == rel.TString {
+				return sql.Result{}, fmt.Errorf("reference: %s over string", e.Agg)
+			}
+			it.name = fmt.Sprintf("%s(%s)", e.Agg, label)
+		}
+		items = append(items, it)
+	}
+	// ORDER BY keys must be grouping columns.
+	orderIdx := make([]int, len(s.OrderBy))
+	for i, k := range s.OrderBy {
+		pos, err := src.resolve(k.Ref)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		found := -1
+		for j, gp := range groupPos {
+			if gp == pos {
+				found = j
+			}
+		}
+		if found < 0 {
+			return sql.Result{}, fmt.Errorf("reference: ORDER BY %q not grouped", k.Ref.Col)
+		}
+		orderIdx[i] = found
+	}
+
+	type grp struct {
+		vals []rel.Value
+		rows []rel.Row
+	}
+	groups := map[string]*grp{}
+	var order []string
+	for _, row := range rows {
+		vals := make([]rel.Value, len(groupPos))
+		for i, gp := range groupPos {
+			vals[i] = row[gp]
+		}
+		k := renderKey(row, groupPos)
+		g := groups[k]
+		if g == nil {
+			g = &grp{vals: vals}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	if len(groupPos) == 0 && len(groups) == 0 {
+		groups[""] = &grp{}
+		order = append(order, "")
+	}
+	out := make([]*grp, 0, len(order))
+	sort.Strings(order)
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(out, func(a, b int) bool {
+			for i, gi := range orderIdx {
+				if c := refCompare(out[a].vals[gi], out[b].vals[gi]); c != 0 {
+					return (c < 0) != s.OrderBy[i].Desc
+				}
+			}
+			return false
+		})
+	}
+	if s.Limit > 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	res := sql.Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, it.name)
+	}
+	for _, g := range out {
+		row := make(rel.Row, len(items))
+		for i, it := range items {
+			row[i] = refAggValue(src, it.agg, it.star, it.pos, g.rows, g.vals, groupPos)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// refAggValue computes one aggregate (or grouped column) the slow way.
+func refAggValue(src *refSrc, agg sql.AggFunc, star bool, pos int, rows []rel.Row, gvals []rel.Value, groupPos []int) rel.Value {
+	if agg == sql.AggNone {
+		for i, gp := range groupPos {
+			if gp == pos {
+				return gvals[i]
+			}
+		}
+		return rel.Value{}
+	}
+	if agg == sql.AggCount {
+		return rel.Int(int64(len(rows)))
+	}
+	ct := src.colType(pos)
+	if len(rows) == 0 {
+		// The dialect has no NULL: empty scalar aggregates yield zero
+		// values (AVG is float).
+		if agg == sql.AggAvg {
+			return rel.Float(0)
+		}
+		switch ct {
+		case rel.TFloat64:
+			return rel.Float(0)
+		case rel.TString:
+			return rel.Str("")
+		}
+		return rel.Int(0)
+	}
+	switch agg {
+	case sql.AggSum:
+		if ct == rel.TFloat64 {
+			sum := 0.0
+			for _, row := range rows {
+				sum += row[pos].F
+			}
+			return rel.Float(sum)
+		}
+		sum := int64(0)
+		for _, row := range rows {
+			sum += row[pos].I
+		}
+		return rel.Int(sum)
+	case sql.AggAvg:
+		sum := 0.0
+		for _, row := range rows {
+			if ct == rel.TFloat64 {
+				sum += row[pos].F
+			} else {
+				sum += float64(row[pos].I)
+			}
+		}
+		return rel.Float(sum / float64(len(rows)))
+	case sql.AggMin, sql.AggMax:
+		best := rows[0][pos]
+		for _, row := range rows[1:] {
+			c := refCompare(row[pos], best)
+			if (agg == sql.AggMin && c < 0) || (agg == sql.AggMax && c > 0) {
+				best = row[pos]
+			}
+		}
+		return best
+	}
+	return rel.Value{}
+}
+
+func (r *Reference) update(s sql.UpdateStmt) (sql.Result, error) {
+	t, ok := r.tables[s.Table]
+	if !ok {
+		return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Table)
+	}
+	src := &refSrc{tables: []string{s.Table}, schemas: []*rel.Schema{t.schema}, offsets: []int{0}}
+	set := map[int]rel.Value{}
+	for name, v := range s.Set {
+		pos := t.schema.ColIndex(name)
+		if pos < 0 {
+			return sql.Result{}, fmt.Errorf("reference: unknown column %q", name)
+		}
+		cv, err := coerce(v, t.schema.Cols[pos].Type)
+		if err != nil {
+			return sql.Result{}, err
+		}
+		set[pos] = cv
+	}
+	conds, err := src.resolveConds(s.Where)
+	if err != nil {
+		return sql.Result{}, err
+	}
+	// NOTE: like the engine, UPDATE does not re-check unique indexes.
+	n := 0
+	for _, row := range t.rows {
+		if condsMatch(row, conds) {
+			for pos, v := range set {
+				row[pos] = v
+			}
+			n++
+		}
+	}
+	return sql.Result{Affected: n}, nil
+}
+
+func (r *Reference) del(s sql.DeleteStmt) (sql.Result, error) {
+	t, ok := r.tables[s.Table]
+	if !ok {
+		return sql.Result{}, fmt.Errorf("reference: unknown table %q", s.Table)
+	}
+	src := &refSrc{tables: []string{s.Table}, schemas: []*rel.Schema{t.schema}, offsets: []int{0}}
+	conds, err := src.resolveConds(s.Where)
+	if err != nil {
+		return sql.Result{}, err
+	}
+	kept := t.rows[:0]
+	n := 0
+	for _, row := range t.rows {
+		if condsMatch(row, conds) {
+			n++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	return sql.Result{Affected: n}, nil
+}

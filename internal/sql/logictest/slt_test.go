@@ -1,0 +1,38 @@
+package logictest
+
+import (
+	"path/filepath"
+	"testing"
+
+	phoebedb "phoebedb"
+)
+
+func openDB(t testing.TB) *phoebedb.DB {
+	t.Helper()
+	db, err := phoebedb.Open(phoebedb.Options{Dir: t.TempDir(), Workers: 2, SlotsPerWorker: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestLogicScripts runs every testdata/*.slt golden script against a
+// fresh database and a fresh reference engine.
+func TestLogicScripts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.slt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no .slt scripts found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			db := openDB(t)
+			RunScript(t, path, db.ExecSQL)
+		})
+	}
+}

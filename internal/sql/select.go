@@ -671,6 +671,17 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 		if err != nil {
 			return Result{}, err
 		}
+		// The probe side bypasses planWhere, so apply the same dedupe
+		// (last condition wins) and int→float coercion here; matches()
+		// compares raw values and must see normalized conditions.
+		prs, err := resolveWhere(probeSchema, probeConds)
+		if err != nil {
+			return Result{}, err
+		}
+		probeConds = make([]Cond, len(prs))
+		for i, rc := range prs {
+			probeConds[i] = Cond{Col: probeSchema.Cols[rc.col].Name, Val: rc.val}
+		}
 		var perr error
 		err = scanMatching(tx, driveSchema, driveName, dp, func(_ rel.RowID, drow rel.Row) bool {
 			more := true

@@ -99,7 +99,7 @@ func (m *memTxn) ScanIndex(table, index string, vals []rel.Value, fn func(rel.Ro
 }
 
 func (m *memTxn) Update(string, rel.RowID, map[string]rel.Value) error { return nil }
-func (m *memTxn) Delete(string, rel.RowID) error                      { return nil }
+func (m *memTxn) Delete(string, rel.RowID) error                       { return nil }
 
 // ordersFixture: o(id, region, amt) with unique o_pk(id) and o_region
 // (region, id); i(oid, qty, sku, price) with non-unique i_oid(oid).
@@ -314,18 +314,18 @@ func TestExecJoinAggregates(t *testing.T) {
 func TestExecShapedErrors(t *testing.T) {
 	cat, tx := ordersFixture()
 	for _, src := range []string{
-		"SELECT sku FROM o",                                       // unknown column
-		"SELECT x.id FROM o",                                      // unknown qualifier
-		"SELECT id FROM o WHERE x.id = 1",                         // unknown WHERE qualifier
-		"SELECT id FROM o GROUP BY region",                        // non-grouped column
-		"SELECT sum(region) FROM o",                               // SUM over string
-		"SELECT avg(sku) FROM i",                                  // AVG over string
-		"SELECT * FROM o GROUP BY region",                         // star with GROUP BY
-		"SELECT region FROM o GROUP BY region ORDER BY amt",       // ORDER BY non-group column
-		"SELECT o.id FROM o JOIN i ON o.id = o.id",                // join cond on one table
-		"SELECT o.id FROM o JOIN i ON o.id = i.sku",               // join type mismatch
-		"SELECT o.id FROM o JOIN o ON o.id = o.id",                // self join
-		"SELECT id FROM o JOIN i ON o.id = i.oid",                 // ambiguous? no: id only in o -- use qty test below
+		"SELECT sku FROM o",                                                             // unknown column
+		"SELECT x.id FROM o",                                                            // unknown qualifier
+		"SELECT id FROM o WHERE x.id = 1",                                               // unknown WHERE qualifier
+		"SELECT id FROM o GROUP BY region",                                              // non-grouped column
+		"SELECT sum(region) FROM o",                                                     // SUM over string
+		"SELECT avg(sku) FROM i",                                                        // AVG over string
+		"SELECT * FROM o GROUP BY region",                                               // star with GROUP BY
+		"SELECT region FROM o GROUP BY region ORDER BY amt",                             // ORDER BY non-group column
+		"SELECT o.id FROM o JOIN i ON o.id = o.id",                                      // join cond on one table
+		"SELECT o.id FROM o JOIN i ON o.id = i.sku",                                     // join type mismatch
+		"SELECT o.id FROM o JOIN o ON o.id = o.id",                                      // self join
+		"SELECT id FROM o JOIN i ON o.id = i.oid",                                       // ambiguous? no: id only in o -- use qty test below
 		"SELECT qty FROM i JOIN o ON o.id = i.oid WHERE id = 1 AND oid = 2 AND zzz = 3", // unknown col
 	} {
 		stmt, err := Parse(src)
