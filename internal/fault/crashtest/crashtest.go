@@ -444,6 +444,11 @@ func Run(cfg Config) (Report, error) {
 	if err := checkIndexes(e2, cfg.Workers, got); err != nil {
 		return rep, err
 	}
+	for _, ixName := range []string{"kv_id", "kv_ver"} {
+		if err := VerifyIndex(e2, cfg.Workers, "kv", ixName); err != nil {
+			return rep, err
+		}
+	}
 	if err := checkState(workers, got); err != nil {
 		return rep, err
 	}
@@ -552,6 +557,97 @@ func checkIndexes(e *core.Engine, spareSlot int, got map[int64]gotRow) error {
 		}
 		if !found {
 			return fmt.Errorf("crashtest: ver index missing id %d (ver %d)", id, g.ver)
+		}
+	}
+	return nil
+}
+
+// VerifyIndex checks that the named index and a full table scan agree
+// row-for-row: every visible base row is reachable through the index
+// under its current key values, the index emits no row twice and nothing
+// the table scan did not produce, and the indexed column values match.
+// spareSlot must not be running any other transaction. Exported so
+// backfill and recovery tests outside this package can reuse one
+// consistency definition.
+func VerifyIndex(e *core.Engine, spareSlot int, table, index string) error {
+	tx := e.Begin(spareSlot, txn.ReadCommitted, nil, nil, nil)
+	defer tx.Commit() // read-only: no WAL traffic
+	return VerifyIndexIn(tx, e, table, index)
+}
+
+// VerifyIndexIn is VerifyIndex on a caller-supplied transaction, for
+// callers whose slots are managed elsewhere (e.g. a DB session).
+func VerifyIndexIn(tx *core.Tx, e *core.Engine, table, index string) error {
+	t, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	ix := t.Index(index)
+	if ix == nil {
+		return fmt.Errorf("crashtest: no index %q on %q", index, table)
+	}
+	base := make(map[rel.RowID]rel.Row)
+	err = tx.ScanTable(table, func(rid rel.RowID, row rel.Row) bool {
+		base[rid] = row.Clone()
+		return true
+	})
+	if err != nil {
+		return err
+	}
+
+	// Index → table: full enumeration, each visible rid exactly once,
+	// emitted row matching the base copy on the indexed columns.
+	seen := make(map[rel.RowID]bool, len(base))
+	var scanErr error
+	err = tx.ScanIndex(table, index, nil, func(rid rel.RowID, row rel.Row) bool {
+		if seen[rid] {
+			scanErr = fmt.Errorf("crashtest: index %q emitted rid %d twice", index, rid)
+			return false
+		}
+		seen[rid] = true
+		b, ok := base[rid]
+		if !ok {
+			scanErr = fmt.Errorf("crashtest: index %q emitted rid %d absent from table scan", index, rid)
+			return false
+		}
+		for _, c := range ix.Cols {
+			if !row[c].Equal(b[c]) {
+				scanErr = fmt.Errorf("crashtest: index %q rid %d col %d: index row %v, table row %v",
+					index, rid, c, row[c], b[c])
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+
+	// Table → index: every base row must be found probing its own key.
+	vals := make([]rel.Value, len(ix.Cols))
+	for rid, row := range base {
+		if !seen[rid] {
+			return fmt.Errorf("crashtest: index %q is missing rid %d", index, rid)
+		}
+		for i, c := range ix.Cols {
+			vals[i] = row[c]
+		}
+		found := false
+		err = tx.ScanIndex(table, index, vals, func(r rel.RowID, _ rel.Row) bool {
+			if r == rid {
+				found = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("crashtest: index %q does not reach rid %d under its key", index, rid)
 		}
 	}
 	return nil

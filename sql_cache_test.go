@@ -148,3 +148,87 @@ func TestPlanCacheSessionPath(t *testing.T) {
 		t.Fatalf("hits went %d -> %d; second identical shape should hit", hits, db.planCache.Hits())
 	}
 }
+
+// Join and GROUP BY statements must be cacheable: the second execution
+// with swapped literals is a cache hit that rebinds and still answers
+// correctly.
+func TestPlanCacheJoinAndGroupBy(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE c (cid INT, region STRING)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX c_pk ON c (cid)")
+	execOrFatal(t, db, "CREATE TABLE o (oid INT, cid INT, amt FLOAT)")
+	execOrFatal(t, db, "INSERT INTO c VALUES (1, 'eu'), (2, 'us'), (3, 'ap')")
+	execOrFatal(t, db, "INSERT INTO o VALUES (10, 1, 5), (11, 2, 7), (12, 1, 2), (13, 1, 7)")
+
+	hits0, _ := db.PlanCacheStats()
+	res := execOrFatal(t, db, "SELECT oid FROM o JOIN c ON o.cid = c.cid WHERE region = 'eu'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows = %d, want 3", len(res.Rows))
+	}
+	if db.planCache.Len() == 0 {
+		t.Fatal("join statement was not cached")
+	}
+	// Same shape, different literal: must hit and rebind.
+	res = execOrFatal(t, db, "SELECT oid FROM o JOIN c ON o.cid = c.cid WHERE region = 'us'")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 11 {
+		t.Fatalf("rebound join rows = %+v, want [[11]]", res.Rows)
+	}
+	hits1, _ := db.PlanCacheStats()
+	if hits1 != hits0+1 {
+		t.Fatalf("join rebind: hits %d -> %d, want +1", hits0, hits1)
+	}
+
+	res = execOrFatal(t, db, "SELECT cid, count(*), sum(amt) FROM o WHERE amt = 7 GROUP BY cid ORDER BY cid")
+	if len(res.Rows) != 2 {
+		t.Fatalf("group rows = %+v", res.Rows)
+	}
+	res = execOrFatal(t, db, "SELECT cid, count(*), sum(amt) FROM o WHERE amt = 5 GROUP BY cid ORDER BY cid")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 || res.Rows[0][1].I != 1 {
+		t.Fatalf("rebound group rows = %+v", res.Rows)
+	}
+	hits2, _ := db.PlanCacheStats()
+	if hits2 != hits1+1 {
+		t.Fatalf("group rebind: hits %d -> %d, want +1", hits1, hits2)
+	}
+}
+
+// Completing an online index backfill changes the available access paths,
+// so it must flush the plan cache — through the SQL DDL route and the
+// programmatic API alike — and re-planned statements must use the new
+// index correctly.
+func TestPlanCacheInvalidatedByBackfill(t *testing.T) {
+	db := openTestDB(t, Options{})
+	declareKV(t, db)
+	insertKV(t, db, 500)
+
+	res := execOrFatal(t, db, "SELECT id FROM kv WHERE grp = 3")
+	want := len(res.Rows)
+	if want == 0 || db.planCache.Len() == 0 {
+		t.Fatalf("warmup: rows=%d cached=%d", want, db.planCache.Len())
+	}
+
+	// SQL route: CREATE INDEX backfills 500 rows, then invalidates.
+	execOrFatal(t, db, "CREATE INDEX kv_grp ON kv (grp)")
+	if n := db.planCache.Len(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after online CREATE INDEX, want 0", n)
+	}
+	res = execOrFatal(t, db, "SELECT id FROM kv WHERE grp = 3")
+	if len(res.Rows) != want {
+		t.Fatalf("re-planned query: %d rows, want %d", len(res.Rows), want)
+	}
+	if db.planCache.Len() == 0 {
+		t.Fatal("re-planned statement did not repopulate the cache")
+	}
+
+	// Programmatic route: online backfill through DB.CreateIndex.
+	if err := db.CreateIndex("kv", "kv_id", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.planCache.Len(); n != 0 {
+		t.Fatalf("plan cache holds %d entries after DB.CreateIndex backfill, want 0", n)
+	}
+	res = execOrFatal(t, db, "SELECT grp FROM kv WHERE id = 42")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 42%7 {
+		t.Fatalf("unique-index query after backfill: %+v", res.Rows)
+	}
+}
