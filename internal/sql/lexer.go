@@ -4,18 +4,26 @@
 // serves natively:
 //
 //	CREATE TABLE t (a INT, b STRING, c FLOAT)
-//	CREATE [UNIQUE] INDEX i ON t (a, b)
+//	CREATE [UNIQUE] INDEX i ON t (a, b)        -- online backfill on non-empty tables
 //	INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', 3.5)
 //	SELECT a, b FROM t WHERE a = 1 AND b = 'x' [LIMIT n]
-//	SELECT * FROM t [WHERE ...] [LIMIT n]
+//	SELECT * FROM t [WHERE ...] [ORDER BY c [ASC|DESC], ...] [LIMIT n]
+//	SELECT t.a, u.g FROM t JOIN u ON t.a = u.x [WHERE ...]
+//	SELECT a, count(*), sum(c), min(b), max(b), avg(c)
+//	       FROM t [WHERE ...] [GROUP BY a, ...] [ORDER BY ...] [LIMIT n]
 //	UPDATE t SET c = 9.5 WHERE a = 1
 //	DELETE FROM t WHERE a = 1
+//
+// Column references may be qualified (t.a) anywhere a column is legal;
+// aggregates are count/sum/min/max/avg, with count(*) counting rows.
 //
 // The planner matches equality conjunctions in WHERE against declared
 // index prefixes (choosing the longest usable prefix, unique indexes
 // first) and falls back to a visibility-checked full scan with a residual
 // filter — mirroring how the kernel's native access paths are meant to be
-// used.
+// used. Joins are two-table inner equi-joins: index nested loop when a
+// join column is a usable index prefix, hash join otherwise. ORDER BY
+// skips its sort when the chosen index already delivers the order.
 package sql
 
 import (
