@@ -1,0 +1,129 @@
+package phoebedb
+
+import (
+	"sync"
+	"time"
+
+	"phoebedb/internal/waitevent"
+)
+
+// Active-session history (ASH): a background sampler that captures, at a
+// fixed cadence (Options.ASHSampleInterval, default 10ms), every slot
+// with a running transaction — its XID, the statement it is executing,
+// and the wait event it is blocked on (or on-CPU). Samples land in a
+// fixed-size ring, so history cost is constant regardless of uptime, and
+// are exposed through the phoebe_stat_activity_history virtual table.
+//
+// Sampling reads only per-slot atomic words (the txn manager's
+// active-start array and the waitevent cell), so a sample never blocks a
+// running transaction.
+
+// ashDefaultRing bounds the retained samples: at the 10ms default
+// cadence a full ring under one active session spans ~40s of history,
+// proportionally less under concurrency.
+const ashDefaultRing = 4096
+
+// ashSample is one sampled observation of one active slot.
+type ashSample struct {
+	t      time.Time
+	slot   int
+	xid    uint64
+	event  waitevent.Event
+	stmtID uint64
+}
+
+type ashSampler struct {
+	db       *DB
+	interval time.Duration
+
+	mu     sync.Mutex
+	ring   []ashSample
+	next   int
+	filled bool
+	wrote  int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newASHSampler(db *DB, interval time.Duration, ringSize int) *ashSampler {
+	if ringSize <= 0 {
+		ringSize = ashDefaultRing
+	}
+	return &ashSampler{
+		db:       db,
+		interval: interval,
+		ring:     make([]ashSample, ringSize),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (a *ashSampler) start() { go a.run() }
+
+// halt stops the sampler goroutine; retained history stays readable.
+func (a *ashSampler) halt() {
+	close(a.stop)
+	<-a.done
+}
+
+func (a *ashSampler) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.sample()
+		}
+	}
+}
+
+// sample captures one observation per slot with a running transaction.
+func (a *ashSampler) sample() {
+	waits := a.db.waits
+	now := time.Now()
+	active := a.db.engine.Mgr.ActiveSnapshot()
+	if len(active) == 0 {
+		return
+	}
+	a.mu.Lock()
+	for _, at := range active {
+		a.ring[a.next] = ashSample{
+			t:      now,
+			slot:   at.Slot,
+			xid:    at.XID,
+			event:  waits.Current(at.Slot),
+			stmtID: waits.Stmt(at.Slot),
+		}
+		a.next++
+		a.wrote++
+		if a.next == len(a.ring) {
+			a.next = 0
+			a.filled = true
+		}
+	}
+	a.mu.Unlock()
+}
+
+// snapshot returns the retained samples, oldest first.
+func (a *ashSampler) snapshot() []ashSample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.filled {
+		return append([]ashSample(nil), a.ring[:a.next]...)
+	}
+	out := make([]ashSample, 0, len(a.ring))
+	out = append(out, a.ring[a.next:]...)
+	out = append(out, a.ring[:a.next]...)
+	return out
+}
+
+// samples reports the total observations written (monotonic; for tests).
+func (a *ashSampler) samples() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.wrote
+}

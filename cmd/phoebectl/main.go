@@ -22,11 +22,14 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	phoebedb "phoebedb"
+
+	"phoebedb/internal/waitevent"
 )
 
 func main() {
@@ -82,7 +85,7 @@ func main() {
 func run(db *phoebedb.DB, line string) error {
 	fields := strings.Fields(line)
 	switch strings.ToLower(fields[0]) {
-	case "select", "update":
+	case "select", "update", "explain":
 		// Full SQL statements route through the SQL layer.
 		return runSQL(db, line)
 	case "help":
@@ -98,6 +101,7 @@ func run(db *phoebedb.DB, line string) error {
   freeze            run one freezing round
   gc                run one garbage-collection round
   stats             engine counters
+  stats -top [N]    top statements by total time, with wait breakdowns
   quit`)
 		return nil
 	case "create":
@@ -134,6 +138,15 @@ func run(db *phoebedb.DB, line string) error {
 	case "sql":
 		return runSQL(db, strings.TrimSpace(line[3:]))
 	case "stats":
+		if len(fields) > 1 && (fields[1] == "-top" || fields[1] == "top") {
+			n := 10
+			if len(fields) > 2 {
+				if v, err := strconv.Atoi(fields[2]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			return statsTop(db, os.Stdout, n)
+		}
 		// Summary line first, then the full registry dump.
 		st := db.Stats()
 		fmt.Printf("txns=%d resident=%dB dataR=%dB dataW=%dB wal=%dB\n\n",
@@ -147,6 +160,37 @@ func run(db *phoebedb.DB, line string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
 	}
+}
+
+// statsTop prints the n statements with the most total time, each with
+// its per-wait-event breakdown — the phoebe_stat_statements view.
+func statsTop(db *phoebedb.DB, w io.Writer, n int) error {
+	snaps := db.StmtStats().Snapshot()
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "(no statements recorded)")
+		return nil
+	}
+	if n > 0 && len(snaps) > n {
+		snaps = snaps[:n]
+	}
+	for i, s := range snaps {
+		fmt.Fprintf(w, "#%d  %s\n", i+1, s.Text)
+		fmt.Fprintf(w, "    calls=%d errors=%d total=%.3fms mean=%.3fms p95=%.3fms rows=%d buf_misses=%d wal_bytes=%d\n",
+			s.Calls, s.Errors, float64(s.TotalNanos)/1e6, float64(s.MeanNanos())/1e6,
+			float64(s.Hist.Quantile(0.95).Nanoseconds())/1e6, s.Rows, s.BufMisses, s.WALBytes)
+		var waits []string
+		for e := 1; e < waitevent.NumEvents; e++ {
+			if s.WaitNanos[e] == 0 && s.WaitCount[e] == 0 {
+				continue
+			}
+			waits = append(waits, fmt.Sprintf("%s=%.3fms/%d",
+				waitevent.Event(e), float64(s.WaitNanos[e])/1e6, s.WaitCount[e]))
+		}
+		if len(waits) > 0 {
+			fmt.Fprintf(w, "    waits: %s\n", strings.Join(waits, " "))
+		}
+	}
+	return nil
 }
 
 // runSQL executes a SQL statement and prints its result.

@@ -31,6 +31,13 @@ func (p Phoebe) Execute(fn func(c tpcc.Client) error) error {
 	return p.DB.Execute(func(tx *phoebedb.Tx) error { return fn(tx) })
 }
 
+// ExecuteTagged implements tpcc.TaggedBackend: the transaction's wall
+// time, wait events, buffer misses, and WAL bytes are attributed to name
+// in phoebe_stat_statements.
+func (p Phoebe) ExecuteTagged(name string, fn func(c tpcc.Client) error) error {
+	return p.DB.ExecuteTagged(name, func(tx *phoebedb.Tx) error { return fn(tx) })
+}
+
 // Baseline adapts a baseline.DB to tpcc.Backend.
 type Baseline struct {
 	DB *baseline.DB

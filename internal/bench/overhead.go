@@ -11,8 +11,10 @@ import (
 )
 
 // OverheadResult compares TPC-C throughput with full instrumentation
-// (per-transaction histograms, trace ring, slow-log checks, plus a live
-// scraper) against StatsLite (scalar counters only).
+// (per-transaction histograms, trace ring, slow-log checks, wait-event
+// stamping at every blocking site, per-statement aggregation with tagged
+// TPC-C transactions, the 10ms ASH sampler, plus a live scraper) against
+// StatsLite (scalar counters only).
 type OverheadResult struct {
 	// FullTpm / LiteTpm are best-of-two throughputs per mode.
 	FullTpm, LiteTpm float64
@@ -23,10 +25,10 @@ type OverheadResult struct {
 }
 
 // ExpOverhead measures the cost of always-on introspection: it runs the
-// same short TPC-C workload with stats fully on (including a background
-// scraper hammering the registry, the worst case) and with StatsLite,
-// interleaved twice to absorb machine noise, and keeps the best run of
-// each mode.
+// same short TPC-C workload with stats fully on (wait events, statement
+// aggregates, the ASH sampler, and a background scraper hammering the
+// registry — the worst case) and with StatsLite, interleaved twice to
+// absorb machine noise, and keeps the best run of each mode.
 func ExpOverhead(cfg Config) (OverheadResult, error) {
 	cfg.Defaults()
 	run := func(lite bool) (float64, error) {

@@ -190,7 +190,7 @@ func (tx *Tx) backfillIndex(t *Tbl, ix *Index, snapOut *uint64) error {
 	// Hot/cold pages: tombstones flow through too — a recently deleted
 	// row may still be visible to old snapshots via its chain.
 	var serr error
-	err := t.Store.ScanAll(tx.yield, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
+	err := t.Store.ScanAll(&tx.tctx, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
 		var head *undo.Record
 		if tt := h.TwinTable(false); tt != nil {
 			head = tt.Head(rid)

@@ -31,6 +31,7 @@ import (
 	"phoebedb/internal/txn"
 	"phoebedb/internal/undo"
 	"phoebedb/internal/wal"
+	"phoebedb/internal/waitevent"
 )
 
 // Errors surfaced by the engine API.
@@ -101,6 +102,10 @@ type Config struct {
 	GroupCommitWait time.Duration
 	// IO receives I/O byte accounting; one is created if nil.
 	IO *metrics.IOCounters
+	// Waits receives per-slot wait-event stamps from the engine's blocking
+	// sites (table/tuple lock waits, remote-flush waits, buffer-miss reads,
+	// WAL flushes); may be nil, in which case no stamping occurs.
+	Waits *waitevent.Slots
 	// SlowTxnThreshold arms the slow-transaction log: any transaction whose
 	// total latency exceeds it is captured with its component breakdown.
 	// Zero disables the log.
@@ -270,6 +275,7 @@ func Open(cfg Config) (*Engine, error) {
 		SyncOnFlush:     cfg.WALSync,
 		GroupCommitWait: cfg.GroupCommitWait,
 		IO:              e.IO,
+		Waits:           cfg.Waits,
 	})
 	if err != nil {
 		e.pf.Close()
@@ -302,6 +308,10 @@ func (e *Engine) Close() error {
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Waits returns the engine's wait-event slots (nil when observability is
+// off).
+func (e *Engine) Waits() *waitevent.Slots { return e.cfg.Waits }
 
 // SetWALArchiver attaches a WAL archiver: from now on Checkpoint seals the
 // archive (copying every pre-truncation log byte out) before it is allowed

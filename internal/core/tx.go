@@ -14,6 +14,7 @@ import (
 	"phoebedb/internal/txn"
 	"phoebedb/internal/undo"
 	"phoebedb/internal/wal"
+	"phoebedb/internal/waitevent"
 )
 
 // Tx is one transaction bound to a task slot. All methods must be called
@@ -26,6 +27,15 @@ type Tx struct {
 	// Yield hooks supplied by the scheduler; either may be nil.
 	yield   func()                                               // high urgency
 	waitLow func(ch <-chan struct{}, timeout time.Duration) bool // low urgency
+
+	// tctx is the table-layer context: the yield hook plus the wait-event
+	// identity (slots + slot id) that residency misses stamp as buffer_io.
+	tctx table.Ctx
+
+	// stmtFP/planNote carry the SQL layer's statement fingerprint and plan
+	// provenance into the transaction trace (slow log, trace ring).
+	stmtFP   string
+	planNote string
 
 	mets     *metrics.SlotMetrics
 	started  time.Time
@@ -143,6 +153,7 @@ func (e *Engine) Begin(slot int, iso txn.Isolation, mets *metrics.SlotMetrics,
 		mets:    mets,
 		started: time.Now(),
 	}
+	tx.tctx = table.Ctx{Yield: yield, Waits: e.cfg.Waits, Slot: slot}
 	tx.tableLocks = tx.tableLocksBuf[:0]
 	tx.idxOps = tx.idxOpsBuf[:0]
 	tx.vis.ChainLen = &e.stats.MVCCChainLen
@@ -154,6 +165,18 @@ func (tx *Tx) XID() uint64 { return tx.inner.XID() }
 
 // Snapshot returns the current statement snapshot.
 func (tx *Tx) Snapshot() uint64 { return tx.inner.Snapshot() }
+
+// Slot returns the task slot the transaction is bound to.
+func (tx *Tx) Slot() int { return tx.slot }
+
+// NoteStatement records the normalized fingerprint of the statement the
+// transaction is executing; it is carried into the transaction trace so
+// slow-log lines identify the query.
+func (tx *Tx) NoteStatement(fp string) { tx.stmtFP = fp }
+
+// NotePlan records the executor's plan provenance (access path, join
+// strategy) for the transaction trace.
+func (tx *Tx) NotePlan(p string) { tx.planNote = p }
 
 // track charges d to a component in both the slot metrics and the
 // transaction's accounted total (so Compute can be derived as residual).
@@ -201,7 +224,9 @@ func (tx *Tx) lockTable(t *Tbl, m lock.Mode) error {
 	start := time.Now()
 	acquired := t.Lock.TryLock(m)
 	if !acquired {
+		seg := tx.tctx.Waits.Begin(tx.slot, waitevent.EvTableLock)
 		err := t.Lock.Lock(m, tx.e.cfg.LockTimeout)
+		tx.tctx.Waits.End(tx.slot, waitevent.EvTableLock, seg)
 		tx.addWait(time.Since(start))
 		if err != nil {
 			return fmt.Errorf("table %q: %w", t.Name, err)
@@ -296,7 +321,7 @@ func (tx *Tx) insertRow(t *Tbl, row rel.Row, checkUnique bool) (rel.RowID, error
 		}
 	}
 	var rec *undo.Record
-	rid, err := t.Store.Append(row, tx.partition(), tx.yield, func(h table.Handle) error {
+	rid, err := t.Store.Append(row, tx.partition(), &tx.tctx, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		rec = tx.inner.AddUndo(t.ID, h.RID, undo.OpInsert, nil, nil)
@@ -390,7 +415,7 @@ func (tx *Tx) readRow(t *Tbl, rid rel.RowID) (rel.Row, bool, error) {
 func (tx *Tx) readRowInto(t *Tbl, rid rel.RowID, buf *rel.Row) (rel.Row, bool, error) {
 	var out rel.Row
 	var ok bool
-	err := t.Store.WithRow(rid, false, tx.yield, func(h table.Handle) error {
+	err := t.Store.WithRow(rid, false, &tx.tctx, func(h table.Handle) error {
 		start := time.Now()
 		var head *undo.Record
 		if tt := h.TwinTable(false); tt != nil {
@@ -622,7 +647,7 @@ func (tx *Tx) ScanTable(tableName string, fn func(rid rel.RowID, row rel.Row) bo
 	// snapshots still see rows deleted after them. The scan's scratch row
 	// is owned by this callback (refilled per row), so the visibility check
 	// may apply before-image deltas to it in place.
-	return t.Store.ScanAll(tx.yield, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
+	return t.Store.ScanAll(&tx.tctx, func(rid rel.RowID, row rel.Row, h *table.Handle) bool {
 		var head *undo.Record
 		if tt := h.TwinTable(false); tt != nil {
 			head = tt.Head(rid)
@@ -703,6 +728,8 @@ func (tx *Tx) waitOn(w errWait, deadline time.Time) bool {
 	if remaining <= 0 {
 		return false
 	}
+	seg := tx.tctx.Waits.Begin(tx.slot, waitevent.EvTupleLock)
+	defer tx.tctx.Waits.End(tx.slot, waitevent.EvTupleLock, seg)
 	if w.meta != nil {
 		return tx.waitLow(w.meta.Done(), remaining)
 	}
@@ -711,7 +738,7 @@ func (tx *Tx) waitOn(w errWait, deadline time.Time) bool {
 
 func (tx *Tx) modifyOnce(t *Tbl, rid rel.RowID, fn func(cur rel.Row) (map[string]rel.Value, error)) (rel.Row, error) {
 	var result rel.Row
-	err := t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
+	err := t.Store.WithRow(rid, true, &tx.tctx, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		head := tt.Head(rid)
@@ -833,7 +860,7 @@ func (tx *Tx) Delete(tableName string, rid rel.RowID) error {
 }
 
 func (tx *Tx) deleteOnce(t *Tbl, rid rel.RowID) error {
-	err := t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
+	err := t.Store.WithRow(rid, true, &tx.tctx, func(h table.Handle) error {
 		mvccStart := time.Now()
 		tt := h.TwinTable(true)
 		head := tt.Head(rid)
@@ -981,12 +1008,16 @@ func (tx *Tx) Commit() error {
 			// Ablation: behave like a serialized log — wait until every
 			// writer's durable horizon covers this commit.
 			tx.e.stats.RemoteFlushWaits.Add(1)
+			seg := tx.tctx.Waits.Begin(tx.slot, waitevent.EvRemoteFlush)
 			err = tx.e.WAL.WaitRemoteFlush(cr.GSN)
+			tx.tctx.Waits.End(tx.slot, waitevent.EvRemoteFlush, seg)
 		} else if err == nil && tx.inner.NeedsRemoteFlush {
 			// RFA slow path: a foreign slot's unflushed change to one of
 			// our pages must be durable before we report commit.
 			tx.e.stats.RemoteFlushWaits.Add(1)
+			seg := tx.tctx.Waits.Begin(tx.slot, waitevent.EvRemoteFlush)
 			err = tx.e.WAL.WaitRemoteFlush(tx.inner.MaxObservedGSN)
+			tx.tctx.Waits.End(tx.slot, waitevent.EvRemoteFlush, seg)
 		}
 		tx.addWait(time.Since(flushStart))
 		if err != nil {
@@ -1061,6 +1092,8 @@ func (tx *Tx) finishMetrics(committed bool) {
 		Wait:      tx.waited,
 		Committed: committed,
 		Comp:      tx.comp,
+		Stmt:      tx.stmtFP,
+		Plan:      tx.planNote,
 	}
 	tx.mets.Ring.Record(tr)
 	tx.e.stats.SlowLog.Offer(tr)
@@ -1099,7 +1132,7 @@ func (tx *Tx) rollbackChanges() {
 		rid := rec.RowID
 		switch rec.Op {
 		case undo.OpUpdate:
-			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
+			t.Store.WithRow(rid, true, &tx.tctx, func(h table.Handle) error {
 				for _, cv := range rec.Delta {
 					h.SetCol(cv.Col, cv.Val)
 				}
@@ -1109,7 +1142,7 @@ func (tx *Tx) rollbackChanges() {
 				return nil
 			})
 		case undo.OpDelete:
-			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
+			t.Store.WithRow(rid, true, &tx.tctx, func(h table.Handle) error {
 				h.SetDeleted(false)
 				if tt := h.TwinTable(false); tt != nil {
 					tt.Pop(rid, rec)
@@ -1117,13 +1150,13 @@ func (tx *Tx) rollbackChanges() {
 				return nil
 			})
 		case undo.OpInsert:
-			t.Store.WithRow(rid, true, tx.yield, func(h table.Handle) error {
+			t.Store.WithRow(rid, true, &tx.tctx, func(h table.Handle) error {
 				if tt := h.TwinTable(false); tt != nil {
 					tt.Pop(rid, rec)
 				}
 				return nil
 			})
-			t.Store.RemoveRow(rid, tx.yield)
+			t.Store.RemoveRow(rid, &tx.tctx)
 		}
 		rec.MarkDead()
 	}

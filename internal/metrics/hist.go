@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +26,13 @@ const HistBuckets = 48
 // trade-off for the "is p99 microseconds or milliseconds?" questions the
 // NVMeVirt study shows distinguish storage engines, at zero hot-path cost.
 type Histogram struct {
+	// mu serializes Snapshot against in-flight Observes: observers share the
+	// read side (the adds themselves are atomic, so readers never contend
+	// with each other), while Snapshot takes the write side so a scrape sees
+	// every observation entirely or not at all — previously a merge racing a
+	// concurrent Observe could count the bucket increment but miss the sum,
+	// skewing the reported mean.
+	mu     sync.RWMutex
 	counts [HistBuckets]atomic.Int64
 	sum    atomic.Int64
 	max    atomic.Int64
@@ -54,6 +62,8 @@ func (h *Histogram) Observe(d time.Duration) {
 	if n < 0 {
 		n = 0
 	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	h.counts[histBucket(n)].Add(1)
 	h.sum.Add(n)
 	for {
@@ -64,10 +74,11 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
-// Snapshot returns a point-in-time copy. Buckets are loaded individually,
-// so a snapshot taken mid-Observe may be off by the observation in flight —
-// never torn, never decreasing.
+// Snapshot returns a point-in-time copy, excluding in-flight Observes so
+// the bucket counts, sum, and max are mutually consistent.
 func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var s HistSnapshot
 	for i := range h.counts {
 		c := h.counts[i].Load()

@@ -22,6 +22,13 @@ type TxnTrace struct {
 	Wait      time.Duration
 	Committed bool
 	Comp      [NumComponents]time.Duration
+	// Stmt is the normalized fingerprint of the statement the transaction
+	// was executing (empty for engine-API transactions); Plan is the plan
+	// provenance the executor chose (access path, join strategy) — together
+	// they make a slow-transaction line actionable without re-running the
+	// query.
+	Stmt string
+	Plan string
 }
 
 // String renders the trace one-line, dominant components first.
@@ -32,6 +39,12 @@ func (t TxnTrace) String() string {
 		state = "abort"
 	}
 	fmt.Fprintf(&b, "xid=%d slot=%d %s total=%v wait=%v", t.XID, t.Slot, state, t.Total, t.Wait)
+	if t.Stmt != "" {
+		fmt.Fprintf(&b, " stmt=%q", t.Stmt)
+	}
+	if t.Plan != "" {
+		fmt.Fprintf(&b, " plan=%q", t.Plan)
+	}
 	type cd struct {
 		c Component
 		d time.Duration

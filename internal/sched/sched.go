@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"phoebedb/internal/metrics"
+	"phoebedb/internal/waitevent"
 )
 
 // Task is one unit of work (typically one transaction attempt).
@@ -56,6 +57,8 @@ type Config struct {
 	QueueDepth int
 	// Recorder receives per-slot metrics; may be nil.
 	Recorder *metrics.Recorder
+	// Waits receives per-slot wait-event stamps from yields; may be nil.
+	Waits *waitevent.Slots
 	// Maintain, if set, is invoked by a worker's slots between tasks,
 	// every MaintainEvery completed tasks per slot.
 	Maintain      func(worker int)
@@ -71,6 +74,8 @@ type Slot struct {
 	Worker, ID int
 	// Metrics is the slot-local metrics accumulator (never nil).
 	Metrics *metrics.SlotMetrics
+	// Waits receives the slot's yield wait-event stamps; may be nil.
+	Waits *waitevent.Slots
 
 	pool          *Pool
 	sinceMaintain int
@@ -81,9 +86,17 @@ type Slot struct {
 }
 
 // YieldHigh is a high-urgency yield (latch spin, page read): the slot
-// remains runnable.
+// remains runnable. It is too hot to time, so only the current-event word
+// is stamped — the ASH sampler still sees yield-bound slots statistically,
+// while cumulative sched_yield time comes from the parked (low) yields.
 func (s *Slot) YieldHigh() {
 	s.highYields.Add(1)
+	if s.Waits != nil {
+		s.Waits.Set(s.ID, waitevent.EvSchedYield)
+		runtime.Gosched()
+		s.Waits.Set(s.ID, waitevent.EvNone)
+		return
+	}
 	runtime.Gosched()
 }
 
@@ -92,6 +105,13 @@ func (s *Slot) YieldHigh() {
 // executing its other slots while this one is parked.
 func (s *Slot) YieldLow(ch <-chan struct{}, timeout time.Duration) bool {
 	s.lowYields.Add(1)
+	// Stamp the park as sched_yield only if the caller has not already
+	// classified the wait (a tuple-lock wait parks through here and must be
+	// charged once, to tuple_lock, not twice).
+	if s.Waits != nil && s.Waits.Current(s.ID) == waitevent.EvNone {
+		start := s.Waits.Begin(s.ID, waitevent.EvSchedYield)
+		defer s.Waits.End(s.ID, waitevent.EvSchedYield, start)
+	}
 	if timeout <= 0 {
 		<-ch
 		return true
@@ -187,7 +207,7 @@ func (p *Pool) Yields() (high, low int64) {
 func (p *Pool) Start() {
 	for w := 0; w < p.cfg.Workers; w++ {
 		for i := 0; i < p.cfg.SlotsPerWorker; i++ {
-			s := &Slot{Worker: w, ID: w*p.cfg.SlotsPerWorker + i, pool: p}
+			s := &Slot{Worker: w, ID: w*p.cfg.SlotsPerWorker + i, pool: p, Waits: p.cfg.Waits}
 			if p.cfg.Recorder != nil {
 				s.Metrics = p.cfg.Recorder.NewSlot()
 			} else {

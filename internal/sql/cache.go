@@ -30,6 +30,9 @@ import (
 type CachedStmt struct {
 	tmpl    Stmt
 	nParams int
+	// key is the normalized statement text the template was cached under —
+	// the fingerprint per-statement aggregates and the slow log key on.
+	key string
 	// plan holds the access-path provenance captured on first execution;
 	// nil until then. Races on Store are benign (idempotent recompute).
 	plan atomic.Pointer[planHint]
@@ -37,6 +40,20 @@ type CachedStmt struct {
 	// literal-independent, so it survives rebinding. nil until a join
 	// statement first executes.
 	sel atomic.Pointer[selectHint]
+}
+
+// Fingerprint returns the normalized statement text the template was
+// cached under.
+func (cs *CachedStmt) Fingerprint() string { return cs.key }
+
+// Fingerprint returns the normalized per-statement aggregation key for
+// query — the same key the plan cache uses — falling back to the trimmed
+// source text when the normalizer cannot handle the statement.
+func Fingerprint(query string) string {
+	if key, _, ok := normalize(query); ok {
+		return key
+	}
+	return strings.TrimSpace(query)
 }
 
 // bind substitutes params into a deep copy of the template. The template
@@ -171,7 +188,7 @@ func (c *PlanCache) Prepare(src string) (cs *CachedStmt, params []rel.Value, cac
 		return nil, nil, false
 	}
 	c.misses.Add(1)
-	cs = &CachedStmt{tmpl: tmpl, nParams: n}
+	cs = &CachedStmt{tmpl: tmpl, nParams: n, key: key}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -216,7 +233,10 @@ func normalize(src string) (key string, params []rel.Value, ok bool) {
 				pos++
 			}
 			word := strings.ToLower(src[start:pos])
-			if first && word == "create" {
+			// CREATE: DDL runs once, caching would mask Invalidate ordering.
+			// EXPLAIN: a diagnostic whose literals must survive verbatim into
+			// the rendered plan — parameterizing them would lie.
+			if first && (word == "create" || word == "explain") {
 				return "", nil, false
 			}
 			sb.WriteString(word)

@@ -315,23 +315,36 @@ func matches(schema *rel.Schema, row rel.Row, conds []Cond) bool {
 }
 
 // scanMatching drives the planned access path, invoking fn for each
-// matching (rid, row) until fn returns false.
-func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, fn func(rid rel.RowID, row rel.Row) bool) error {
+// matching (rid, row) until fn returns false. op, when non-nil, collects
+// the scan's actuals for EXPLAIN ANALYZE: rows examined (in), rows passing
+// the residual filter (out), and wall time; a nil op costs one branch.
+func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, op *opTrace, fn func(rid rel.RowID, row rel.Row) bool) error {
+	start := op.begin()
 	visit := func(rid rel.RowID, row rel.Row) bool {
+		if op != nil {
+			op.rowsIn++
+		}
 		if !matches(schema, row, p.residual) {
 			return true
 		}
+		if op != nil {
+			op.rowsOut++
+		}
 		return fn(rid, row)
 	}
+	var err error
 	if p.index != "" {
-		return tx.ScanIndex(table, p.index, p.prefixVals, visit)
+		err = tx.ScanIndex(table, p.index, p.prefixVals, visit)
+	} else {
+		err = tx.ScanTable(table, visit)
 	}
-	return tx.ScanTable(table, visit)
+	op.end(start)
+	return err
 }
 
 // Exec runs a DML statement inside tx.
 func Exec(cat Catalog, tx Txn, stmt Stmt) (Result, error) {
-	return exec(cat, tx, stmt, nil)
+	return exec(cat, tx, stmt, nil, nil)
 }
 
 // ExecPrepared binds params into cs's template and executes it, reusing
@@ -342,19 +355,21 @@ func ExecPrepared(cat Catalog, tx Txn, cs *CachedStmt, params []rel.Value) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	return exec(cat, tx, stmt, cs)
+	return exec(cat, tx, stmt, cs, nil)
 }
 
-func exec(cat Catalog, tx Txn, stmt Stmt, hint *CachedStmt) (Result, error) {
+func exec(cat Catalog, tx Txn, stmt Stmt, hint *CachedStmt, tr *execTrace) (Result, error) {
 	switch s := stmt.(type) {
 	case InsertStmt:
-		return execInsert(cat, tx, s)
+		return execInsert(cat, tx, s, tr)
 	case SelectStmt:
-		return execSelect(cat, tx, s, hint)
+		return execSelect(cat, tx, s, hint, tr)
 	case UpdateStmt:
-		return execUpdate(cat, tx, s, hint)
+		return execUpdate(cat, tx, s, hint, tr)
 	case DeleteStmt:
-		return execDelete(cat, tx, s, hint)
+		return execDelete(cat, tx, s, hint, tr)
+	case ExplainStmt:
+		return execExplain(cat, tx, s)
 	case CreateTableStmt, CreateIndexStmt:
 		return Result{}, fmt.Errorf("%w: DDL inside a transaction", ErrUnsupported)
 	default:
@@ -362,7 +377,7 @@ func exec(cat Catalog, tx Txn, stmt Stmt, hint *CachedStmt) (Result, error) {
 	}
 }
 
-func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
+func execInsert(cat Catalog, tx Txn, s InsertStmt, tr *execTrace) (Result, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
 		return Result{}, errStatReadOnly(s.Table)
 	}
@@ -370,6 +385,8 @@ func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	mop := tr.modifyOp()
+	mstart := mop.begin()
 	n := 0
 	for _, vals := range s.Rows {
 		if len(vals) != schema.NumCols() {
@@ -389,18 +406,23 @@ func execInsert(cat Catalog, tx Txn, s InsertStmt) (Result, error) {
 		}
 		n++
 	}
+	mop.rows(int64(len(s.Rows)), int64(n))
+	mop.end(mstart)
 	return Result{Affected: n}, nil
 }
 
-func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt, tr *execTrace) (Result, error) {
 	if s.Join != nil {
-		return execSelectJoin(cat, tx, s, hint)
+		return execSelectJoin(cat, tx, s, hint, tr)
 	}
 	if schema, rows, ok := statTable(cat, s.Table); ok {
-		return selectRows(cat, schema, rows, s)
+		return selectRows(cat, schema, rows, s, tr)
 	}
-	if len(s.GroupBy) > 0 || len(s.OrderBy) > 0 || hasAggs(s.Exprs) {
-		return execSelectShaped(cat, tx, s, hint)
+	if tr != nil || len(s.GroupBy) > 0 || len(s.OrderBy) > 0 || hasAggs(s.Exprs) {
+		// EXPLAIN ANALYZE routes the streaming fast path through the shaped
+		// pipeline too: same rows, and every operator gets instrumented
+		// while the hot untraced path keeps zero branches.
+		return execSelectShaped(cat, tx, s, hint, tr)
 	}
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
@@ -417,6 +439,7 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	notePlan(tx, scanLabel(s.Table, p))
 	// Projection.
 	var proj []int
 	var cols []string
@@ -439,7 +462,7 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, er
 		}
 	}
 	res := Result{Columns: cols}
-	err = scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+	err = scanMatching(tx, schema, s.Table, p, nil, func(rid rel.RowID, row rel.Row) bool {
 		out := make(rel.Row, len(proj))
 		for i, pos := range proj {
 			out[i] = row[pos]
@@ -453,7 +476,7 @@ func execSelect(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, er
 // selectRows runs a SELECT over pre-materialized rows (virtual stat
 // tables): WHERE becomes pure residual filtering, then the shared shaping
 // pipeline (aggregation, ORDER BY, LIMIT, projection) applies.
-func selectRows(cat Catalog, schema *rel.Schema, rows []rel.Row, s SelectStmt) (Result, error) {
+func selectRows(cat Catalog, schema *rel.Schema, rows []rel.Row, s SelectStmt, tr *execTrace) (Result, error) {
 	if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
 		return Result{}, err
 	}
@@ -461,16 +484,25 @@ func selectRows(cat Catalog, schema *rel.Schema, rows []rel.Row, s SelectStmt) (
 	if err != nil {
 		return Result{}, err
 	}
+	op := tr.scanOp()
+	start := op.begin()
 	var matched []rel.Row
 	for _, row := range rows {
+		if op != nil {
+			op.rowsIn++
+		}
 		if matches(schema, row, p.residual) {
+			if op != nil {
+				op.rowsOut++
+			}
 			matched = append(matched, row)
 		}
 	}
-	return shapeRows(singleSource(s.Table, schema), s, matched, false, countersOf(cat))
+	op.end(start)
+	return shapeRows(singleSource(s.Table, schema), s, matched, false, countersOf(cat), tr)
 }
 
-func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt) (Result, error) {
+func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt, tr *execTrace) (Result, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
 		return Result{}, errStatReadOnly(s.Table)
 	}
@@ -504,24 +536,29 @@ func execUpdate(cat Catalog, tx Txn, s UpdateStmt, hint *CachedStmt) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	notePlan(tx, scanLabel(s.Table, p))
 	// Collect targets first: updating while scanning the same index could
 	// revisit moved entries.
 	var rids []rel.RowID
-	if err := scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+	if err := scanMatching(tx, schema, s.Table, p, tr.scanOp(), func(rid rel.RowID, row rel.Row) bool {
 		rids = append(rids, rid)
 		return true
 	}); err != nil {
 		return Result{}, err
 	}
+	mop := tr.modifyOp()
+	mstart := mop.begin()
 	for _, rid := range rids {
 		if err := tx.Update(s.Table, rid, set); err != nil {
 			return Result{}, err
 		}
 	}
+	mop.rows(int64(len(rids)), int64(len(rids)))
+	mop.end(mstart)
 	return Result{Affected: len(rids)}, nil
 }
 
-func execDelete(cat Catalog, tx Txn, s DeleteStmt, hint *CachedStmt) (Result, error) {
+func execDelete(cat Catalog, tx Txn, s DeleteStmt, hint *CachedStmt, tr *execTrace) (Result, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
 		return Result{}, errStatReadOnly(s.Table)
 	}
@@ -540,17 +577,22 @@ func execDelete(cat Catalog, tx Txn, s DeleteStmt, hint *CachedStmt) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	notePlan(tx, scanLabel(s.Table, p))
 	var rids []rel.RowID
-	if err := scanMatching(tx, schema, s.Table, p, func(rid rel.RowID, row rel.Row) bool {
+	if err := scanMatching(tx, schema, s.Table, p, tr.scanOp(), func(rid rel.RowID, row rel.Row) bool {
 		rids = append(rids, rid)
 		return true
 	}); err != nil {
 		return Result{}, err
 	}
+	mop := tr.modifyOp()
+	mstart := mop.begin()
 	for _, rid := range rids {
 		if err := tx.Delete(s.Table, rid); err != nil {
 			return Result{}, err
 		}
 	}
+	mop.rows(int64(len(rids)), int64(len(rids)))
+	mop.end(mstart)
 	return Result{Affected: len(rids)}, nil
 }

@@ -8,12 +8,15 @@ import (
 )
 
 // skippable reports statements the differential harness must not feed to
-// both engines: stat-table reads exist only in the real engine, and
-// UPDATEs touching unique-indexed columns are deliberately unchecked by
-// the engine (documented), so the two sides may legitimately diverge.
+// both engines: stat-table reads and EXPLAIN output exist only in the
+// real engine, and UPDATEs touching unique-indexed columns are
+// deliberately unchecked by the engine (documented), so the two sides
+// may legitimately diverge.
 func (r *Reference) skippable(stmt sql.Stmt) bool {
 	statTable := func(name string) bool { return strings.HasPrefix(name, "phoebe_stat") }
 	switch s := stmt.(type) {
+	case sql.ExplainStmt:
+		return true
 	case sql.SelectStmt:
 		if statTable(s.Table) {
 			return true

@@ -130,12 +130,21 @@ type DeleteStmt struct {
 	Where []Cond
 }
 
+// ExplainStmt renders the inner statement's plan. With Analyze set the
+// statement is also executed and each plan operator reports its actual
+// row counts, loop count, and wall time.
+type ExplainStmt struct {
+	Analyze bool
+	Inner   Stmt
+}
+
 func (CreateTableStmt) stmtNode() {}
 func (CreateIndexStmt) stmtNode() {}
 func (InsertStmt) stmtNode()      {}
 func (SelectStmt) stmtNode()      {}
 func (UpdateStmt) stmtNode()      {}
 func (DeleteStmt) stmtNode()      {}
+func (ExplainStmt) stmtNode()     {}
 
 // paramKind marks a rel.Value as a parameter placeholder in a cached
 // statement template: Val.I holds the 0-based parameter index. The kind
@@ -252,8 +261,15 @@ func (p *parser) statement() (Stmt, error) {
 		return p.update()
 	case p.keyword("delete"):
 		return p.delete()
+	case p.keyword("explain"):
+		analyze := p.keyword("analyze")
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return ExplainStmt{Analyze: analyze, Inner: inner}, nil
 	default:
-		return nil, p.errorf("expected CREATE, INSERT, SELECT, UPDATE, or DELETE")
+		return nil, p.errorf("expected CREATE, INSERT, SELECT, UPDATE, DELETE, or EXPLAIN")
 	}
 }
 

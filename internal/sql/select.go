@@ -198,24 +198,36 @@ func buildOutCols(ss *srcSchema, s SelectStmt) ([]outCol, error) {
 // shapeRows applies aggregation, ordering, LIMIT, and projection to
 // materialized combined rows. sorted reports that rows already arrive in
 // ORDER BY order (index-order sort avoidance); rows is mutated in place
-// by sorting, so callers must own the slice.
-func shapeRows(ss *srcSchema, s SelectStmt, rows []rel.Row, sorted bool, c *Counters) (Result, error) {
+// by sorting, so callers must own the slice. tr, when non-nil, collects
+// per-operator actuals for EXPLAIN ANALYZE.
+func shapeRows(ss *srcSchema, s SelectStmt, rows []rel.Row, sorted bool, c *Counters, tr *execTrace) (Result, error) {
 	outCols, err := buildOutCols(ss, s)
 	if err != nil {
 		return Result{}, err
 	}
 	if len(s.GroupBy) > 0 || hasAggs(s.Exprs) {
-		return aggregateRows(ss, s, outCols, rows, c)
+		return aggregateRows(ss, s, outCols, rows, c, tr)
 	}
 	if len(s.OrderBy) > 0 && !sorted {
+		sop := tr.sortOp()
+		sstart := sop.begin()
 		if err := sortRows(ss, s.OrderBy, rows); err != nil {
 			return Result{}, err
 		}
+		sop.rows(int64(len(rows)), int64(len(rows)))
+		sop.end(sstart)
 		c.Sorts.Add(1)
 	}
-	if s.Limit > 0 && len(rows) > s.Limit {
-		rows = rows[:s.Limit]
+	if s.Limit > 0 {
+		lop := tr.limitOp()
+		lop.rows(int64(len(rows)), 0)
+		if len(rows) > s.Limit {
+			rows = rows[:s.Limit]
+		}
+		lop.rows(0, int64(len(rows)))
 	}
+	pop := tr.projectOp()
+	pstart := pop.begin()
 	res := Result{Columns: colNames(outCols), Rows: make([]rel.Row, len(rows))}
 	for i, row := range rows {
 		out := make(rel.Row, len(outCols))
@@ -224,6 +236,8 @@ func shapeRows(ss *srcSchema, s SelectStmt, rows []rel.Row, sorted bool, c *Coun
 		}
 		res.Rows[i] = out
 	}
+	pop.rows(int64(len(rows)), int64(len(res.Rows)))
+	pop.end(pstart)
 	return res, nil
 }
 
@@ -322,7 +336,7 @@ func (st *aggState) final(agg AggFunc, ct rel.Type) rel.Value {
 // (or into a single scalar group). Output order is the encoded group-key
 // order — deterministic — unless ORDER BY (over grouping columns)
 // overrides it.
-func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row, c *Counters) (Result, error) {
+func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row, c *Counters, tr *execTrace) (Result, error) {
 	groupPos := make([]int, len(s.GroupBy))
 	for i, ref := range s.GroupBy {
 		p, err := ss.resolve(ref)
@@ -349,6 +363,8 @@ func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row
 		vals   []rel.Value // grouping column values, groupPos order
 		states []aggState
 	}
+	aop := tr.aggOp()
+	astart := aop.begin()
 	groups := make(map[string]*group)
 	keyBuf := make([]rel.Value, len(groupPos))
 	var keyBytes []byte
@@ -389,7 +405,11 @@ func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row
 	for i, k := range keys {
 		out[i] = groups[k]
 	}
+	aop.rows(int64(len(rows)), int64(len(out)))
+	aop.end(astart)
 	if len(s.OrderBy) > 0 {
+		sop := tr.sortOp()
+		sstart := sop.begin()
 		idx := make([]int, len(s.OrderBy))
 		for i, key := range s.OrderBy {
 			p, err := ss.resolve(key.Ref)
@@ -410,11 +430,20 @@ func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row
 			}
 			return false
 		})
+		sop.rows(int64(len(out)), int64(len(out)))
+		sop.end(sstart)
 		c.Sorts.Add(1)
 	}
-	if s.Limit > 0 && len(out) > s.Limit {
-		out = out[:s.Limit]
+	if s.Limit > 0 {
+		lop := tr.limitOp()
+		lop.rows(int64(len(out)), 0)
+		if len(out) > s.Limit {
+			out = out[:s.Limit]
+		}
+		lop.rows(0, int64(len(out)))
 	}
+	pop := tr.projectOp()
+	pstart := pop.begin()
 	res := Result{Columns: colNames(outCols), Rows: make([]rel.Row, len(out))}
 	for i, g := range out {
 		row := make(rel.Row, len(outCols))
@@ -431,6 +460,8 @@ func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row
 		}
 		res.Rows[i] = row
 	}
+	pop.rows(int64(len(out)), int64(len(res.Rows)))
+	pop.end(pstart)
 	return res, nil
 }
 
@@ -484,7 +515,7 @@ func orderSatisfied(ss *srcSchema, indexes []IndexMeta, p plan, keys []OrderKey)
 
 // execSelectShaped runs a single-table SELECT with ORDER BY, GROUP BY,
 // or aggregates: gather matching rows (cloned), then shape.
-func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt, tr *execTrace) (Result, error) {
 	schema, err := cat.TableSchema(s.Table)
 	if err != nil {
 		return Result{}, err
@@ -518,8 +549,9 @@ func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Resu
 	if !aggregate && s.Limit > 0 && (len(s.OrderBy) == 0 || sorted) {
 		early = s.Limit
 	}
+	notePlan(tx, scanLabel(s.Table, p))
 	var rows []rel.Row
-	err = scanMatching(tx, schema, s.Table, p, func(_ rel.RowID, row rel.Row) bool {
+	err = scanMatching(tx, schema, s.Table, p, tr.scanOp(), func(_ rel.RowID, row rel.Row) bool {
 		r := make(rel.Row, len(row))
 		copy(r, row) // the scan only lends us the row
 		rows = append(rows, r)
@@ -528,7 +560,7 @@ func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	return shapeRows(ss, s, rows, sorted, c)
+	return shapeRows(ss, s, rows, sorted, c, tr)
 }
 
 // selectHint caches a join's strategy for a prepared statement: which
@@ -557,49 +589,59 @@ func indexOnCol(indexes []IndexMeta, pos int) string {
 	return name
 }
 
-// execSelectJoin runs a two-table inner equi-join: index nested loop
-// probing whichever side has an index on its join column (preferring the
-// JOIN-clause table), falling back to a hash join built on the inner
-// side. The combined rows then flow through the shared shaping pipeline.
-func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result, error) {
+// joinInfo is a two-table equi-join resolved against the catalog: the
+// combined source schema, the join columns (schema-local on each side),
+// the WHERE conditions partitioned by side, and each side's indexes.
+// Shared between execution and EXPLAIN's plan rendering.
+type joinInfo struct {
+	ss                         *srcSchema
+	outerSchema, innerSchema   *rel.Schema
+	outerPos, innerPos         int
+	outerConds, innerConds     []Cond
+	outerIndexes, innerIndexes []IndexMeta
+}
+
+// resolveJoin validates and resolves s's two-table join: schemas, the
+// equi-join columns, WHERE partitioned by side, and index metadata.
+func resolveJoin(cat Catalog, s SelectStmt) (*joinInfo, error) {
 	if _, _, ok := statTable(cat, s.Table); ok {
-		return Result{}, fmt.Errorf("sql: stat table %q cannot be joined", s.Table)
+		return nil, fmt.Errorf("sql: stat table %q cannot be joined", s.Table)
 	}
 	if _, _, ok := statTable(cat, s.Join.Table); ok {
-		return Result{}, fmt.Errorf("sql: stat table %q cannot be joined", s.Join.Table)
+		return nil, fmt.Errorf("sql: stat table %q cannot be joined", s.Join.Table)
 	}
 	if s.Join.Table == s.Table {
-		return Result{}, fmt.Errorf("%w: self-join of %q", ErrUnsupported, s.Table)
+		return nil, fmt.Errorf("%w: self-join of %q", ErrUnsupported, s.Table)
 	}
 	outerSchema, err := cat.TableSchema(s.Table)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	innerSchema, err := cat.TableSchema(s.Join.Table)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	ss := joinSource(s.Table, outerSchema, s.Join.Table, innerSchema)
 
 	// Resolve the equi-join condition: one side per table, either order.
 	lpos, err := ss.resolve(s.Join.Left)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	rpos, err := ss.resolve(s.Join.Right)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	outerPos, innerPos := lpos, rpos
 	if lpos >= ss.offsets[1] {
 		outerPos, innerPos = rpos, lpos
 	}
 	if outerPos >= ss.offsets[1] || innerPos < ss.offsets[1] {
-		return Result{}, fmt.Errorf("sql: join condition must reference both tables")
+		return nil, fmt.Errorf("sql: join condition must reference both tables")
 	}
 	innerPos -= ss.offsets[1]
 	if outerSchema.Cols[outerPos].Type != innerSchema.Cols[innerPos].Type {
-		return Result{}, fmt.Errorf("sql: join columns have different types")
+		return nil, fmt.Errorf("sql: join columns have different types")
 	}
 
 	// Partition WHERE by side, stripping qualifiers: each side's planner
@@ -608,7 +650,7 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 	for _, cd := range s.Where {
 		pos, err := ss.resolve(ColRef{Table: cd.Table, Col: cd.Col})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if pos < ss.offsets[1] {
 			outerConds = append(outerConds, Cond{Col: cd.Col, Val: cd.Val})
@@ -618,28 +660,53 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 	}
 	outerIndexes, err := cat.IndexInfo(s.Table)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	innerIndexes, err := cat.IndexInfo(s.Join.Table)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
+	return &joinInfo{
+		ss:          ss,
+		outerSchema: outerSchema, innerSchema: innerSchema,
+		outerPos: outerPos, innerPos: innerPos,
+		outerConds: outerConds, innerConds: innerConds,
+		outerIndexes: outerIndexes, innerIndexes: innerIndexes,
+	}, nil
+}
 
+// chooseJoinStrategy picks (and caches on hint) the join strategy: index
+// nested loop through whichever side has an index on its join column
+// (preferring the JOIN-clause table), else hash join.
+func chooseJoinStrategy(hint *CachedStmt, ji *joinInfo) *selectHint {
 	var sh *selectHint
 	if hint != nil {
 		sh = hint.sel.Load()
 	}
 	if sh == nil {
 		sh = &selectHint{}
-		if ixn := indexOnCol(innerIndexes, innerPos); ixn != "" {
+		if ixn := indexOnCol(ji.innerIndexes, ji.innerPos); ixn != "" {
 			sh.probeIndex = ixn
-		} else if ixn := indexOnCol(outerIndexes, outerPos); ixn != "" {
+		} else if ixn := indexOnCol(ji.outerIndexes, ji.outerPos); ixn != "" {
 			sh.probeIndex, sh.swapped = ixn, true
 		}
 		if hint != nil {
 			hint.sel.Store(sh)
 		}
 	}
+	return sh
+}
+
+// execSelectJoin runs a two-table inner equi-join: index nested loop
+// probing whichever side has an index on its join column (preferring the
+// JOIN-clause table), falling back to a hash join built on the inner
+// side. The combined rows then flow through the shared shaping pipeline.
+func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt, tr *execTrace) (Result, error) {
+	ji, err := resolveJoin(cat, s)
+	if err != nil {
+		return Result{}, err
+	}
+	sh := chooseJoinStrategy(hint, ji)
 
 	c := countersOf(cat)
 	aggregate := len(s.GroupBy) > 0 || hasAggs(s.Exprs)
@@ -649,9 +716,9 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 	}
 	var rows []rel.Row
 	emit := func(orow, irow rel.Row) bool {
-		out := make(rel.Row, ss.width)
+		out := make(rel.Row, ji.ss.width)
 		copy(out, orow)
-		copy(out[ss.offsets[1]:], irow)
+		copy(out[ji.ss.offsets[1]:], irow)
 		rows = append(rows, out)
 		return early == 0 || len(rows) < early
 	}
@@ -659,18 +726,19 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 	if sh.probeIndex != "" {
 		// Index nested loop: scan the driving side through its own WHERE
 		// plan, probe the other side's index with each join value.
-		driveName, driveSchema, driveConds := s.Table, outerSchema, outerConds
-		probeName, probeSchema, probeConds := s.Join.Table, innerSchema, innerConds
-		driveJoin, driveIndexes := outerPos, outerIndexes
+		driveName, driveSchema, driveConds := s.Table, ji.outerSchema, ji.outerConds
+		probeName, probeSchema, probeConds := s.Join.Table, ji.innerSchema, ji.innerConds
+		driveJoin, driveIndexes := ji.outerPos, ji.outerIndexes
 		if sh.swapped {
-			driveName, driveSchema, driveConds = s.Join.Table, innerSchema, innerConds
-			probeName, probeSchema, probeConds = s.Table, outerSchema, outerConds
-			driveJoin, driveIndexes = innerPos, innerIndexes
+			driveName, driveSchema, driveConds = s.Join.Table, ji.innerSchema, ji.innerConds
+			probeName, probeSchema, probeConds = s.Table, ji.outerSchema, ji.outerConds
+			driveJoin, driveIndexes = ji.innerPos, ji.innerIndexes
 		}
 		dp, err := planWhere(driveSchema, driveIndexes, driveConds)
 		if err != nil {
 			return Result{}, err
 		}
+		notePlan(tx, joinLabel(sh, scanLabel(driveName, dp), probeName))
 		// The probe side bypasses planWhere, so apply the same dedupe
 		// (last condition wins) and int→float coercion here; matches()
 		// compares raw values and must see normalized conditions.
@@ -682,12 +750,20 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 		for i, rc := range prs {
 			probeConds[i] = Cond{Col: probeSchema.Cols[rc.col].Name, Val: rc.val}
 		}
+		pop := tr.probeOp()
 		var perr error
-		err = scanMatching(tx, driveSchema, driveName, dp, func(_ rel.RowID, drow rel.Row) bool {
+		err = scanMatching(tx, driveSchema, driveName, dp, tr.scanOp(), func(_ rel.RowID, drow rel.Row) bool {
 			more := true
+			pstart := pop.begin()
 			perr = tx.ScanIndex(probeName, sh.probeIndex, []rel.Value{drow[driveJoin]}, func(_ rel.RowID, prow rel.Row) bool {
+				if pop != nil {
+					pop.rowsIn++
+				}
 				if !matches(probeSchema, prow, probeConds) {
 					return true
+				}
+				if pop != nil {
+					pop.rowsOut++
 				}
 				if sh.swapped {
 					more = emit(prow, drow)
@@ -696,8 +772,17 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 				}
 				return more
 			})
+			pop.end(pstart)
 			return perr == nil && more
 		})
+		if tr != nil {
+			// The probe runs inside the drive scan's callback; keep each
+			// wall-second charged to exactly one operator.
+			tr.scan.nanos -= tr.probe.nanos
+			if tr.scan.nanos < 0 {
+				tr.scan.nanos = 0
+			}
+		}
 		if err == nil {
 			err = perr
 		}
@@ -706,38 +791,53 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt) (Result
 		}
 	} else {
 		// Hash join: build on the inner side, probe while scanning outer.
-		ip, err := planWhere(innerSchema, innerIndexes, innerConds)
+		ip, err := planWhere(ji.innerSchema, ji.innerIndexes, ji.innerConds)
 		if err != nil {
 			return Result{}, err
 		}
 		build := make(map[string][]rel.Row)
-		err = scanMatching(tx, innerSchema, s.Join.Table, ip, func(_ rel.RowID, row rel.Row) bool {
+		err = scanMatching(tx, ji.innerSchema, s.Join.Table, ip, tr.buildOp(), func(_ rel.RowID, row rel.Row) bool {
 			r := make(rel.Row, len(row))
 			copy(r, row)
-			build[string(rel.EncodeKey(nil, row[innerPos]))] = append(build[string(rel.EncodeKey(nil, row[innerPos]))], r)
+			build[string(rel.EncodeKey(nil, row[ji.innerPos]))] = append(build[string(rel.EncodeKey(nil, row[ji.innerPos]))], r)
 			return true
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		op, err := planWhere(outerSchema, outerIndexes, outerConds)
+		outp, err := planWhere(ji.outerSchema, ji.outerIndexes, ji.outerConds)
 		if err != nil {
 			return Result{}, err
 		}
+		notePlan(tx, joinLabel(sh, scanLabel(s.Table, outp), s.Join.Table))
+		pop := tr.probeOp()
+		pstart := pop.begin()
 		var probeKey []byte
-		err = scanMatching(tx, outerSchema, s.Table, op, func(_ rel.RowID, orow rel.Row) bool {
-			probeKey = rel.EncodeKey(probeKey[:0], orow[outerPos])
-			for _, irow := range build[string(probeKey)] {
+		err = scanMatching(tx, ji.outerSchema, s.Table, outp, tr.scanOp(), func(_ rel.RowID, orow rel.Row) bool {
+			probeKey = rel.EncodeKey(probeKey[:0], orow[ji.outerPos])
+			matched := build[string(probeKey)]
+			if pop != nil {
+				pop.rowsIn++
+				pop.rowsOut += int64(len(matched))
+			}
+			for _, irow := range matched {
 				if !emit(orow, irow) {
 					return false
 				}
 			}
 			return true
 		})
+		pop.end(pstart)
+		if tr != nil {
+			tr.probe.nanos -= tr.scan.nanos
+			if tr.probe.nanos < 0 {
+				tr.probe.nanos = 0
+			}
+		}
 		if err != nil {
 			return Result{}, err
 		}
 	}
 	c.JoinRows.Add(int64(len(rows)))
-	return shapeRows(ss, s, rows, false, c)
+	return shapeRows(ji.ss, s, rows, false, c, tr)
 }

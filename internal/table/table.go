@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"phoebedb/internal/buffer"
 	"phoebedb/internal/latch"
@@ -30,7 +31,35 @@ import (
 	"phoebedb/internal/swizzle"
 	"phoebedb/internal/undo"
 	"phoebedb/internal/wal"
+	"phoebedb/internal/waitevent"
 )
+
+// Ctx carries a caller's scheduling and observability identity through the
+// table's latch/residency paths: Yield is invoked at latch-spin and
+// page-load points (the paper's high-urgency yield), and Waits/Slot let a
+// buffer-miss page read be charged to the waiting task slot as a
+// buffer_io wait event. A nil *Ctx is valid and means "no yield, no
+// stamping" — maintenance and recovery paths pass nil.
+type Ctx struct {
+	Yield func()
+	Waits *waitevent.Slots
+	Slot  int
+}
+
+// yield invokes the yield hook if any.
+func (c *Ctx) yield() {
+	if c != nil && c.Yield != nil {
+		c.Yield()
+	}
+}
+
+// yieldFunc returns the raw yield hook (possibly nil) for latch waits.
+func (c *Ctx) yieldFunc() func() {
+	if c == nil {
+		return nil
+	}
+	return c.Yield
+}
 
 // ErrNotFound reports a row_id absent from the table's hot/cold layers.
 var ErrNotFound = errors.New("table: row not found")
@@ -333,17 +362,22 @@ func (h *Handle) TwinTable(create bool) *undo.TwinTable {
 }
 
 // ensureResident loads a cold page's payload. Requires the exclusive latch.
-func (pg *Page) ensureResident(yield func()) (*Payload, error) {
+func (pg *Page) ensureResident(io *Ctx) (*Payload, error) {
 	if pg.swip.State() != swizzle.Cold {
 		return pg.swip.Ptr(), nil
 	}
-	if yield != nil {
-		yield() // the paper's async-read high-urgency yield point
-	}
+	io.yield() // the paper's async-read high-urgency yield point
 	if pg.table.pool != nil {
 		pg.table.pool.CountMiss(pg.part)
 	}
+	var waitStart time.Time
+	if io != nil && io.Waits != nil {
+		waitStart = io.Waits.Begin(io.Slot, waitevent.EvBufferIO)
+	}
 	img, err := pg.table.pf.ReadPage(pg.swip.PageID(), nil)
+	if io != nil && io.Waits != nil {
+		io.Waits.End(io.Slot, waitevent.EvBufferIO, waitStart)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +408,7 @@ func (t *Table) findPage(rid rel.RowID) *Page {
 // set, shared otherwise). yield is invoked at latch-spin and page-load
 // points. Returns ErrFrozen for rows below the frozen frontier and
 // ErrNotFound for absent row_ids.
-func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h Handle) error) error {
+func (t *Table) WithRow(rid rel.RowID, exclusive bool, io *Ctx, fn func(h Handle) error) error {
 	if uint64(rid) <= t.maxFrozenRowID.Load() {
 		return ErrFrozen
 	}
@@ -384,8 +418,8 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h H
 	}
 	for {
 		if exclusive || pg.swip.State() == swizzle.Cold {
-			pg.lt.LockExclusive(yield)
-			pl, err := pg.ensureResident(yield)
+			pg.lt.LockExclusive(io.yieldFunc())
+			pl, err := pg.ensureResident(io)
 			if err != nil {
 				pg.lt.UnlockExclusive()
 				return err
@@ -405,7 +439,7 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h H
 			pg.lt.UnlockExclusive()
 			return err
 		}
-		pg.lt.LockShared(yield)
+		pg.lt.LockShared(io.yieldFunc())
 		if pg.swip.State() == swizzle.Cold {
 			pg.lt.UnlockShared()
 			continue
@@ -428,7 +462,7 @@ func (t *Table) WithRow(rid rel.RowID, exclusive bool, yield func(), fn func(h H
 // latch (so the caller can build UNDO/WAL state atomically with the
 // insert). Lanes hold disjoint row_id ranges, so concurrent appends on
 // different lanes never touch the same page.
-func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h Handle) error) (rel.RowID, error) {
+func (t *Table) Append(row rel.Row, part int, io *Ctx, fn func(h Handle) error) (rel.RowID, error) {
 	if err := row.Conforms(t.Schema); err != nil {
 		return 0, err
 	}
@@ -438,9 +472,9 @@ func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h Handle) er
 	pg := l.pg
 	var pl *Payload
 	if pg != nil {
-		pg.lt.LockExclusive(yield)
+		pg.lt.LockExclusive(io.yieldFunc())
 		var err error
-		pl, err = pg.ensureResident(yield)
+		pl, err = pg.ensureResident(io)
 		if err != nil {
 			pg.lt.UnlockExclusive()
 			return 0, err
@@ -459,7 +493,7 @@ func (t *Table) Append(row rel.Row, part int, yield func(), fn func(h Handle) er
 		l.next, l.end = end-uint64(t.PageCap)+1, end
 		pg = t.newPage(rel.RowID(l.next), part, true)
 		l.pg = pg
-		pg.lt.LockExclusive(yield)
+		pg.lt.LockExclusive(io.yieldFunc())
 		pl = pg.swip.Ptr()
 	}
 	rid := rel.RowID(l.next)
@@ -579,8 +613,8 @@ func (t *Table) AppendAt(rid rel.RowID, row rel.Row) error {
 }
 
 // RemoveRow physically erases a tombstoned row (deleted-tuple GC, §7.3).
-func (t *Table) RemoveRow(rid rel.RowID, yield func()) error {
-	return t.WithRow(rid, true, yield, func(h Handle) error {
+func (t *Table) RemoveRow(rid rel.RowID, io *Ctx) error {
+	return t.WithRow(rid, true, io, func(h Handle) error {
 		if err := h.Pl.Rows.Delete(h.Slot); err != nil {
 			return err
 		}
@@ -620,19 +654,19 @@ func (t *Table) DropCollectibleTwins(maxFrozenXID uint64) int {
 // callback. Callers that need a row beyond the callback must copy it
 // (string values may be retained — they are zero-copy views of
 // content-immutable page bytes, see pax.viewStr).
-func (t *Table) Scan(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
-	return t.scan(yield, false, fn)
+func (t *Table) Scan(io *Ctx, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+	return t.scan(io, false, fn)
 }
 
 // ScanAll is Scan including tombstoned rows: MVCC scans need them because
 // a delete committed after a reader's snapshot must still be visible to
 // that reader through its version chain. The same scratch-reuse contract as
 // Scan applies.
-func (t *Table) ScanAll(yield func(), fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
-	return t.scan(yield, true, fn)
+func (t *Table) ScanAll(io *Ctx, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+	return t.scan(io, true, fn)
 }
 
-func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
+func (t *Table) scan(io *Ctx, includeTombstones bool, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) error {
 	t.dirMu.RLock()
 	pages := append([]*Page(nil), t.dir...)
 	t.dirMu.RUnlock()
@@ -641,7 +675,7 @@ func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID
 	buf := make(rel.Row, t.Schema.NumCols())
 	var h Handle
 	for _, pg := range pages {
-		cont, err := t.scanPage(pg, yield, includeTombstones, buf, &h, fn)
+		cont, err := t.scanPage(pg, io, includeTombstones, buf, &h, fn)
 		if err != nil {
 			return err
 		}
@@ -652,18 +686,18 @@ func (t *Table) scan(yield func(), includeTombstones bool, fn func(rid rel.RowID
 	return nil
 }
 
-func (t *Table) scanPage(pg *Page, yield func(), includeTombstones bool, buf rel.Row, h *Handle, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) (bool, error) {
+func (t *Table) scanPage(pg *Page, io *Ctx, includeTombstones bool, buf rel.Row, h *Handle, fn func(rid rel.RowID, row rel.Row, h *Handle) bool) (bool, error) {
 	for {
 		if pg.swip.State() == swizzle.Cold {
-			pg.lt.LockExclusive(yield)
-			if _, err := pg.ensureResident(yield); err != nil {
+			pg.lt.LockExclusive(io.yieldFunc())
+			if _, err := pg.ensureResident(io); err != nil {
 				pg.lt.UnlockExclusive()
 				return false, err
 			}
 			pg.lt.UnlockExclusive()
 			continue
 		}
-		pg.lt.LockShared(yield)
+		pg.lt.LockShared(io.yieldFunc())
 		if pg.swip.State() == swizzle.Cold {
 			pg.lt.UnlockShared()
 			continue
@@ -720,7 +754,7 @@ type FrozenCandidate struct {
 // pages with decayed access counts at or below maxHot, no twin table, and
 // no pending tombstones. It advances max_frozen_row_id to cover the
 // detached range and returns the detached payloads in row_id order.
-func (t *Table) DetachFrozenPrefix(maxPages int, maxHot uint32, yield func()) ([]FrozenCandidate, error) {
+func (t *Table) DetachFrozenPrefix(maxPages int, maxHot uint32, io *Ctx) ([]FrozenCandidate, error) {
 	t.dirMu.Lock()
 	defer t.dirMu.Unlock()
 	var out []FrozenCandidate
@@ -729,12 +763,12 @@ func (t *Table) DetachFrozenPrefix(maxPages int, maxHot uint32, yield func()) ([
 		if pg.open.Load() || pg.Hotness() > maxHot {
 			break // an insert frontier never freezes
 		}
-		pg.lt.LockExclusive(yield)
+		pg.lt.LockExclusive(io.yieldFunc())
 		if pg.Twin != nil {
 			pg.lt.UnlockExclusive()
 			break
 		}
-		pl, err := pg.ensureResident(yield)
+		pl, err := pg.ensureResident(io)
 		if err != nil {
 			pg.lt.UnlockExclusive()
 			return out, err
@@ -774,13 +808,13 @@ type PageImage struct {
 // ExportImages serializes every hot/cold page (loading cold pages) for a
 // checkpoint. The engine quiesces transactions first; the table must not
 // be mutated during the export.
-func (t *Table) ExportImages(yield func()) (images []PageImage, nextRowID, maxFrozenRID uint64, err error) {
+func (t *Table) ExportImages(io *Ctx) (images []PageImage, nextRowID, maxFrozenRID uint64, err error) {
 	t.dirMu.RLock()
 	pages := append([]*Page(nil), t.dir...)
 	t.dirMu.RUnlock()
 	for _, pg := range pages {
-		pg.lt.LockExclusive(yield)
-		pl, lerr := pg.ensureResident(yield)
+		pg.lt.LockExclusive(io.yieldFunc())
+		pl, lerr := pg.ensureResident(io)
 		if lerr != nil {
 			pg.lt.UnlockExclusive()
 			return nil, 0, 0, lerr

@@ -130,6 +130,9 @@ func Run(b Backend, cfg DriverConfig) Result {
 	var userAborts, errCount, budget atomic.Int64
 	budget.Store(cfg.Transactions)
 
+	// A TaggedBackend gets each transaction attributed by type in the
+	// engine's per-statement aggregates ("tpcc.NewOrder", ...).
+	tagged, _ := b.(TaggedBackend)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
@@ -152,8 +155,7 @@ func Run(b Backend, cfg DriverConfig) Result {
 					w = r.uniform(1, int64(cfg.Scale.Warehouses))
 				}
 				tt := pickTxn(r)
-				t0 := time.Now()
-				err := b.Execute(func(c Client) error {
+				work := func(c Client) error {
 					switch tt {
 					case TxnNewOrder:
 						return NewOrder(c, r, cfg.Scale, w)
@@ -166,7 +168,14 @@ func Run(b Backend, cfg DriverConfig) Result {
 					default:
 						return StockLevel(c, r, cfg.Scale, w)
 					}
-				})
+				}
+				t0 := time.Now()
+				var err error
+				if tagged != nil {
+					err = tagged.ExecuteTagged("tpcc."+tt.String(), work)
+				} else {
+					err = b.Execute(work)
+				}
 				el := time.Since(t0)
 				switch {
 				case err == nil:

@@ -43,6 +43,14 @@ type Backend interface {
 	Execute(fn func(c Client) error) error
 }
 
+// TaggedBackend is optionally implemented by backends that attribute a
+// transaction's cost to a named logical statement (per-statement
+// aggregates, wait-event breakdowns). The driver uses it when available,
+// tagging each transaction "tpcc.<TxnType>".
+type TaggedBackend interface {
+	ExecuteTagged(name string, fn func(c Client) error) error
+}
+
 // Column index constants per table, in schema order.
 //
 // WAREHOUSE

@@ -1,0 +1,119 @@
+package waitevent
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafe(t *testing.T) {
+	var s *Slots
+	start := s.Begin(0, EvTableLock)
+	s.End(0, EvTableLock, start)
+	s.Switch(0, EvWALFlush, EvWALGroupLead, start)
+	s.SetStmt(0, 7)
+	if s.Current(0) != EvNone || s.Stmt(0) != 0 || s.NumSlots() != 0 {
+		t.Fatal("nil Slots must read as empty")
+	}
+	var snap Snapshot
+	s.SlotSnapshot(0, &snap)
+	c, n := s.Totals()
+	if c[EvTableLock] != 0 || n[EvTableLock] != 0 {
+		t.Fatal("nil Slots must total zero")
+	}
+}
+
+func TestBeginEndCharges(t *testing.T) {
+	s := New(2)
+	start := s.Begin(1, EvTupleLock)
+	if got := s.Current(1); got != EvTupleLock {
+		t.Fatalf("current = %v, want tuple_lock", got)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.End(1, EvTupleLock, start)
+	if got := s.Current(1); got != EvNone {
+		t.Fatalf("current after End = %v, want none", got)
+	}
+	var snap Snapshot
+	s.SlotSnapshot(1, &snap)
+	if snap.Count[EvTupleLock] != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count[EvTupleLock])
+	}
+	if snap.Nanos[EvTupleLock] < int64(time.Millisecond) {
+		t.Fatalf("nanos = %d, want >= 1ms", snap.Nanos[EvTupleLock])
+	}
+	// Slot 0 is untouched.
+	s.SlotSnapshot(0, &snap)
+	if snap.Count[EvTupleLock] != 0 {
+		t.Fatal("slot 0 must be untouched")
+	}
+}
+
+func TestSwitchSplitsCharge(t *testing.T) {
+	s := New(1)
+	start := s.Begin(0, EvWALFlush)
+	time.Sleep(time.Millisecond)
+	start = s.Switch(0, EvWALFlush, EvWALGroupLead, start)
+	if got := s.Current(0); got != EvWALGroupLead {
+		t.Fatalf("current after Switch = %v", got)
+	}
+	time.Sleep(time.Millisecond)
+	s.End(0, EvWALGroupLead, start)
+	var snap Snapshot
+	s.SlotSnapshot(0, &snap)
+	if snap.Count[EvWALFlush] != 1 || snap.Count[EvWALGroupLead] != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", snap.Count[EvWALFlush], snap.Count[EvWALGroupLead])
+	}
+	if snap.Nanos[EvWALFlush] <= 0 || snap.Nanos[EvWALGroupLead] <= 0 {
+		t.Fatal("both segments must be charged")
+	}
+}
+
+func TestStmtWord(t *testing.T) {
+	s := New(1)
+	s.SetStmt(0, 42)
+	if got := s.Stmt(0); got != 42 {
+		t.Fatalf("stmt = %d, want 42", got)
+	}
+	s.SetStmt(0, 0)
+	if got := s.Stmt(0); got != 0 {
+		t.Fatalf("stmt = %d, want 0", got)
+	}
+}
+
+func TestTotalsAcrossSlots(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	for slot := 0; slot < 4; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				st := s.Begin(slot, EvBufferIO)
+				s.End(slot, EvBufferIO, st)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	count, nanos := s.Totals()
+	if count[EvBufferIO] != 400 {
+		t.Fatalf("total count = %d, want 400", count[EvBufferIO])
+	}
+	if nanos[EvBufferIO] < 0 {
+		t.Fatal("nanos must be non-negative")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	seen := map[string]bool{}
+	for e := Event(0); int(e) < NumEvents; e++ {
+		n := e.String()
+		if n == "" || n == "event?" || seen[n] {
+			t.Fatalf("event %d has bad or duplicate name %q", e, n)
+		}
+		seen[n] = true
+	}
+	if Event(99).String() != "event?" {
+		t.Fatal("out-of-range event must render as event?")
+	}
+}

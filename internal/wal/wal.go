@@ -54,6 +54,7 @@ import (
 
 	"phoebedb/internal/fault"
 	"phoebedb/internal/metrics"
+	"phoebedb/internal/waitevent"
 )
 
 // ErrBroken reports a write to a failed log. After any flush or fsync
@@ -178,6 +179,10 @@ type Writer struct {
 	// flush uses it to measure how many commits one device write retired.
 	bufCommits int
 	flushedGSN atomic.Uint64
+	// appended counts total bytes ever encoded into this writer's stream.
+	// Per-statement accounting differences it around a statement to charge
+	// log volume to the statement that generated it.
+	appended atomic.Int64
 	// localGSN is the highest GSN assigned by this writer. Atomic rather
 	// than owner-private: a remote commit's flushPast fast-forwards it
 	// when it advances the flushed horizon past an empty buffer, so the
@@ -277,7 +282,9 @@ func (w *Writer) Append(r *Record) {
 	w.mu.Lock()
 	w.lsn++
 	r.LSN = w.lsn
+	before := len(w.buf)
 	w.buf = encodeRecord(w.buf, r)
+	w.appended.Add(int64(len(w.buf) - before))
 	if r.GSN > w.bufferGSN {
 		w.bufferGSN = r.GSN
 	}
@@ -287,6 +294,10 @@ func (w *Writer) Append(r *Record) {
 	w.mu.Unlock()
 }
 
+// AppendedBytes returns the total bytes ever encoded into this writer's
+// stream (durable or not) — a monotonic counter for per-statement deltas.
+func (w *Writer) AppendedBytes() int64 { return w.appended.Load() }
+
 // Flush makes every record this writer has buffered durable (fsync if the
 // manager is in sync mode) and advances the writer's flushed-GSN horizon.
 // It is the group-commit entry point: the caller convoys on the group's
@@ -294,6 +305,24 @@ func (w *Writer) Append(r *Record) {
 // write+fsync window. A committer that blocked behind a leader usually
 // finds its records already durable and returns without a device write.
 func (w *Writer) Flush() error {
+	ws := w.mgr.waits
+	if ws == nil {
+		return w.flushCommit(nil, nil)
+	}
+	// The writer id is the committing task slot's id, so the stamp lands on
+	// the right slot: followers convoying on g.mu and the device write both
+	// count as wal_flush; the leader's deliberate yield window restamps as
+	// wal_group_lead inside flushCommit.
+	seg := ws.Begin(w.id, waitevent.EvWALFlush)
+	err := w.flushCommit(ws, &seg)
+	ws.End(w.id, waitevent.EvWALFlush, seg)
+	return err
+}
+
+// flushCommit is Flush's body; seg is the current wait-segment start when
+// wait-event stamping is on (ws non-nil), updated in place when the stamp
+// switches between wal_flush and wal_group_lead.
+func (w *Writer) flushCommit(ws *waitevent.Slots, seg *time.Time) error {
 	g := w.grp
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -325,9 +354,15 @@ func (w *Writer) Flush() error {
 		// amortized probe per probeInterval flushes and nothing else.
 		w.mgr.groupWaits.Add(1)
 		g.mu.Unlock()
+		if ws != nil {
+			*seg = ws.Switch(w.id, waitevent.EvWALFlush, waitevent.EvWALGroupLead, *seg)
+		}
 		deadline := time.Now().Add(d)
 		for time.Now().Before(deadline) {
 			runtime.Gosched()
+		}
+		if ws != nil {
+			*seg = ws.Switch(w.id, waitevent.EvWALGroupLead, waitevent.EvWALFlush, *seg)
 		}
 		g.mu.Lock()
 		if w.mgr.broken.Load() {
@@ -489,6 +524,8 @@ type Manager struct {
 	groupWait time.Duration
 	// groupWaits counts commits that paid the leader wait.
 	groupWaits atomic.Int64
+	// waits receives wait-event stamps for commit flushes; may be nil.
+	waits *waitevent.Slots
 }
 
 // Broken reports whether the log has failed stop.
@@ -525,6 +562,9 @@ type Options struct {
 	GroupCommitWait time.Duration
 	// IO receives write-volume accounting; may be nil.
 	IO *metrics.IOCounters
+	// Waits receives per-slot wait-event stamps from the commit flush
+	// path (writer ids are task-slot ids); may be nil.
+	Waits *waitevent.Slots
 }
 
 // Open creates a Manager, its commit groups, and their log files.
@@ -543,7 +583,7 @@ func Open(opts Options) (*Manager, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{dir: opts.Dir, syncOnFlush: opts.SyncOnFlush, groupWait: opts.GroupCommitWait, io: opts.IO}
+	m := &Manager{dir: opts.Dir, syncOnFlush: opts.SyncOnFlush, groupWait: opts.GroupCommitWait, io: opts.IO, waits: opts.Waits}
 	for i := 0; i < groups; i++ {
 		f, err := os.OpenFile(m.groupPath(i), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {

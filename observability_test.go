@@ -1,0 +1,200 @@
+package phoebedb
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// statRow finds the phoebe_stat_statements row whose statement column
+// contains sub, returning the projected values.
+func statRow(t *testing.T, db *DB, cols, sub string) []int64 {
+	t.Helper()
+	res := execOrFatal(t, db, "SELECT statement, "+cols+" FROM phoebe_stat_statements")
+	for _, r := range res.Rows {
+		if strings.Contains(r[0].S, sub) {
+			out := make([]int64, len(r)-1)
+			for i, v := range r[1:] {
+				out[i] = v.I
+			}
+			return out
+		}
+	}
+	t.Fatalf("no phoebe_stat_statements row matching %q in %d rows", sub, len(res.Rows))
+	return nil
+}
+
+func TestStatStatementsAggregates(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE acct (id INT, bal INT)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX acct_pk ON acct (id)")
+	execOrFatal(t, db, "INSERT INTO acct VALUES (1, 10), (2, 20), (3, 30)")
+
+	// Two executions with different literals share one fingerprint.
+	execOrFatal(t, db, "SELECT bal FROM acct WHERE id = 1")
+	execOrFatal(t, db, "SELECT bal FROM acct WHERE id = 2")
+
+	v := statRow(t, db, "calls, rows, total_us, mean_us, p95_us", "select bal from acct")
+	if v[0] != 2 {
+		t.Fatalf("calls = %d, want 2", v[0])
+	}
+	if v[1] != 2 {
+		t.Fatalf("rows = %d, want 2 (one row per call)", v[1])
+	}
+	if v[2] <= 0 || v[3] <= 0 || v[4] < 0 {
+		t.Fatalf("total/mean/p95 = %v", v[1:])
+	}
+
+	// The insert's row count is its affected count.
+	if v := statRow(t, db, "calls, rows", "insert into acct"); v[0] != 1 || v[1] != 3 {
+		t.Fatalf("insert stats = %v", v)
+	}
+
+	// Errors are counted without charging rows.
+	if _, err := db.ExecSQL("SELECT bal FROM missing WHERE id = 1"); err == nil {
+		t.Fatal("select on missing table succeeded")
+	}
+	if v := statRow(t, db, "calls, errors", "select bal from missing"); v[0] != 1 || v[1] != 1 {
+		t.Fatalf("error stats = %v", v)
+	}
+
+	// The full wait breakdown projects per-event columns.
+	res := execOrFatal(t, db,
+		"SELECT statement, buf_misses, wal_bytes, tuple_lock_us, buffer_io_us, wal_flush_us FROM phoebe_stat_statements")
+	if len(res.Rows) == 0 {
+		t.Fatal("no statement rows")
+	}
+}
+
+func TestExecuteTaggedAttribution(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE kv (k INT, v INT)")
+
+	for i := 0; i < 3; i++ {
+		if err := db.ExecuteTagged("app.Seed", func(tx *Tx) error {
+			_, err := db.ExecSQLTx(tx, "INSERT INTO kv VALUES (1, 2)")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := statRow(t, db, "calls, errors, total_us", "app.Seed"); v[0] != 3 || v[1] != 0 || v[2] <= 0 {
+		t.Fatalf("tagged stats = %v", v)
+	}
+}
+
+// TestStatsLiteDisablesObservability: with StatsLite on, wait tracking,
+// statement aggregates, and the ASH sampler are all absent, and the stat
+// tables stay readable (empty).
+func TestStatsLiteDisablesObservability(t *testing.T) {
+	db := openTestDB(t, Options{StatsLite: true})
+	if db.Waits() != nil || db.StmtStats() != nil || db.ash != nil {
+		t.Fatal("observability state allocated under StatsLite")
+	}
+	execOrFatal(t, db, "CREATE TABLE kv (k INT, v INT)")
+	execOrFatal(t, db, "INSERT INTO kv VALUES (1, 2)")
+	if res := execOrFatal(t, db, "SELECT * FROM phoebe_stat_statements"); len(res.Rows) != 0 {
+		t.Fatalf("stat_statements rows = %d under StatsLite", len(res.Rows))
+	}
+	if res := execOrFatal(t, db, "SELECT * FROM phoebe_stat_activity_history"); len(res.Rows) != 0 {
+		t.Fatalf("ASH rows = %d under StatsLite", len(res.Rows))
+	}
+}
+
+// TestASHCapturesTupleLockWait holds a row lock in one transaction while
+// a second, tagged transaction blocks updating the same row; the 1ms ASH
+// sampler must observe the blocked session in tuple_lock, and the tagged
+// statement's aggregate must show tuple-lock wait time.
+func TestASHCapturesTupleLockWait(t *testing.T) {
+	db := openTestDB(t, Options{ASHSampleInterval: time.Millisecond})
+	execOrFatal(t, db, "CREATE TABLE acct (id INT, bal INT)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX acct_pk ON acct (id)")
+	execOrFatal(t, db, "INSERT INTO acct VALUES (1, 10)")
+
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	holderErr := make(chan error, 1)
+	go func() {
+		holderErr <- db.Execute(func(tx *Tx) error {
+			if _, err := db.ExecSQLTx(tx, "UPDATE acct SET bal = 11 WHERE id = 1"); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return nil
+		})
+	}()
+	<-locked
+
+	blockedErr := make(chan error, 1)
+	go func() {
+		blockedErr <- db.ExecuteTagged("test.Blocked", func(tx *Tx) error {
+			_, err := db.ExecSQLTx(tx, "UPDATE acct SET bal = 12 WHERE id = 1")
+			return err
+		})
+	}()
+
+	// Let the sampler observe the blocked session (1ms cadence, ~80
+	// sampling opportunities), then release the lock.
+	time.Sleep(80 * time.Millisecond)
+	close(release)
+	if err := <-holderErr; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	if err := <-blockedErr; err != nil {
+		t.Fatalf("blocked txn: %v", err)
+	}
+
+	res := execOrFatal(t, db,
+		"SELECT slot, statement FROM phoebe_stat_activity_history WHERE wait_event = 'tuple_lock'")
+	if len(res.Rows) == 0 {
+		t.Fatal("no tuple_lock samples in ASH")
+	}
+	if res.Rows[0][1].S == "" {
+		t.Error("tuple_lock sample has no statement attribution")
+	}
+	if v := statRow(t, db, "calls, tuple_lock_us", "test.Blocked"); v[0] != 1 || v[1] <= 0 {
+		t.Fatalf("blocked statement stats = %v (want calls=1, tuple_lock_us>0)", v)
+	}
+}
+
+// TestExplainAnalyzeSQL runs EXPLAIN ANALYZE on a two-table join through
+// the full stack and checks per-operator actuals plus the wall-time line.
+func TestExplainAnalyzeSQL(t *testing.T) {
+	db := openTestDB(t, Options{})
+	execOrFatal(t, db, "CREATE TABLE c (cid INT, region STRING)")
+	execOrFatal(t, db, "CREATE UNIQUE INDEX c_pk ON c (cid)")
+	execOrFatal(t, db, "CREATE TABLE o (oid INT, cid INT)")
+	execOrFatal(t, db, "INSERT INTO c VALUES (1, 'eu'), (2, 'us')")
+	execOrFatal(t, db, "INSERT INTO o VALUES (10, 1), (11, 2), (12, 1)")
+
+	res := execOrFatal(t, db, "EXPLAIN ANALYZE SELECT o.oid, c.region FROM o JOIN c ON o.cid = c.cid")
+	var text []string
+	for _, r := range res.Rows {
+		text = append(text, r[0].S)
+	}
+	plan := strings.Join(text, "\n")
+	for _, want := range []string{
+		"IndexNestedLoop Join (o.cid = c.cid)",
+		"Seq Scan on o (actual rows=3 loops=1",
+		"Index Scan using c_pk on c (actual rows=3 loops=3",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	if !strings.HasPrefix(text[len(text)-1], "Execution Time: ") {
+		t.Fatalf("last line %q", text[len(text)-1])
+	}
+
+	// EXPLAIN without ANALYZE carries no actuals and runs nothing.
+	res = execOrFatal(t, db, "EXPLAIN DELETE FROM o WHERE oid = 10")
+	for _, r := range res.Rows {
+		if strings.Contains(r[0].S, "actual rows=") {
+			t.Fatalf("plain EXPLAIN has actuals: %q", r[0].S)
+		}
+	}
+	if n := len(execOrFatal(t, db, "SELECT oid FROM o").Rows); n != 3 {
+		t.Fatalf("plain EXPLAIN executed its statement: %d rows left", n)
+	}
+}

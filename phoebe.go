@@ -42,6 +42,7 @@ import (
 	"phoebedb/internal/sched"
 	"phoebedb/internal/sql"
 	"phoebedb/internal/txn"
+	"phoebedb/internal/waitevent"
 )
 
 // Re-exported relational primitives, so applications only import this
@@ -139,9 +140,16 @@ type Options struct {
 	// SlowLog). Zero leaves it off.
 	SlowTxnThreshold time.Duration
 	// StatsLite disables per-transaction histogram and trace updates,
-	// keeping only the scalar counters. Used to measure instrumentation
-	// overhead; leave off in normal operation.
+	// keeping only the scalar counters. It also turns off wait-event
+	// stamping, per-statement aggregation, and the ASH sampler. Used to
+	// measure instrumentation overhead; leave off in normal operation.
 	StatsLite bool
+	// ASHSampleInterval is the active-session-history sampling cadence:
+	// a background sampler captures every slot's (txn state, statement,
+	// wait event) into a fixed ring exposed as
+	// phoebe_stat_activity_history. 0 picks the 10ms default; negative
+	// disables sampling. Ignored under StatsLite.
+	ASHSampleInterval time.Duration
 	// ArchiveDir enables continuous WAL archiving into this directory: a
 	// background archiver copies committed log bytes there, checkpoints
 	// seal (and never truncate) archived history, and BaseBackup takes
@@ -174,6 +182,15 @@ type DB struct {
 	archStop chan struct{}
 	archDone chan struct{}
 
+	// waits is the per-slot wait-event state stamped by the kernel's
+	// blocking sites; nil under StatsLite.
+	waits *waitevent.Slots
+	// stmtStats aggregates per-statement execution profiles keyed by the
+	// plan cache's normalized fingerprint; nil under StatsLite.
+	stmtStats *metrics.StmtStats
+	// ash samples slot activity into a fixed ring; nil when disabled.
+	ash *ashSampler
+
 	// planCache holds prepared-statement templates shared by all sessions;
 	// nil when Options.PlanCacheSize is negative.
 	planCache *sql.PlanCache
@@ -204,6 +221,10 @@ func Open(opts Options) (*DB, error) {
 	if groupWait < 0 {
 		groupWait = 0
 	}
+	var waits *waitevent.Slots
+	if !opts.StatsLite {
+		waits = waitevent.New(totalSlots)
+	}
 	eng, err := core.Open(core.Config{
 		Dir:                 opts.Dir,
 		PageSize:            opts.PageSize,
@@ -218,6 +239,7 @@ func Open(opts Options) (*DB, error) {
 		DisableReadFastPath: opts.DisableReadFastPath,
 		SlowTxnThreshold:    opts.SlowTxnThreshold,
 		StatsLite:           opts.StatsLite,
+		Waits:               waits,
 		// Pool slot IDs are contiguous per worker; session and system
 		// slots fold onto workers round-robin.
 		PartitionOf: func(slot int) int {
@@ -252,6 +274,10 @@ func Open(opts Options) (*DB, error) {
 		sysSlot:  poolSlots,
 		sessNext: poolSlots + 1,
 		sessMax:  totalSlots,
+		waits:    waits,
+	}
+	if !opts.StatsLite {
+		db.stmtStats = metrics.NewStmtStats(0)
 	}
 	if opts.ArchiveDir != "" {
 		// A fresh archive attached to a database that already checkpointed
@@ -291,9 +317,18 @@ func Open(opts Options) (*DB, error) {
 		ThreadMode:     opts.ThreadMode,
 		MaintainEvery:  opts.MaintainEvery,
 		Recorder:       db.rec,
+		Waits:          waits,
 		Maintain:       db.maintain,
 	})
 	db.pool.Start()
+	if waits != nil && opts.ASHSampleInterval >= 0 {
+		interval := opts.ASHSampleInterval
+		if interval == 0 {
+			interval = 10 * time.Millisecond
+		}
+		db.ash = newASHSampler(db, interval, 0)
+		db.ash.start()
+	}
 	db.reg = buildRegistry(db)
 	return db, nil
 }
@@ -329,6 +364,10 @@ func (db *DB) archiveLoop(interval time.Duration) {
 
 // Close stops the pool and closes the engine.
 func (db *DB) Close() error {
+	if db.ash != nil {
+		db.ash.halt()
+		db.ash = nil
+	}
 	if db.archStop != nil {
 		close(db.archStop)
 		<-db.archDone
@@ -343,6 +382,13 @@ func (db *DB) Engine() *core.Engine { return db.engine }
 
 // Recorder exposes the per-component metrics recorder.
 func (db *DB) Recorder() *metrics.Recorder { return db.rec }
+
+// Waits exposes the per-slot wait-event state (nil under StatsLite).
+func (db *DB) Waits() *waitevent.Slots { return db.waits }
+
+// StmtStats exposes the per-statement aggregate store (nil under
+// StatsLite).
+func (db *DB) StmtStats() *metrics.StmtStats { return db.stmtStats }
 
 // CreateTable declares a relation. DDL invalidates the plan cache: any
 // cached access path may be stale against the new catalog.
@@ -395,6 +441,68 @@ func (db *DB) ExecuteIso(iso Isolation, fn func(tx *Tx) error) error {
 		return err
 	}
 	return txErr
+}
+
+// ExecuteTagged is Execute with the transaction's cost attributed to the
+// named logical statement (e.g. "tpcc.NewOrder") in the per-statement
+// aggregates: wall time, wait-event breakdown, buffer misses, and WAL
+// bytes all land under tag in phoebe_stat_statements.
+func (db *DB) ExecuteTagged(tag string, fn func(tx *Tx) error) error {
+	st := db.stmtStats.Intern(tag)
+	if st == nil {
+		return db.Execute(fn)
+	}
+	var txErr error
+	err := db.pool.SubmitWait(func(s *sched.Slot) {
+		done := db.stmtBegin(s.ID, st)
+		tx := db.engine.Begin(s.ID, db.opts.Isolation, s.Metrics, s.YieldHigh, s.YieldLow)
+		tx.NoteStatement(tag)
+		if txErr = fn(tx); txErr != nil {
+			tx.Rollback()
+		} else {
+			txErr = tx.Commit()
+		}
+		done(0, txErr)
+	})
+	if err != nil {
+		return err
+	}
+	return txErr
+}
+
+// stmtBegin snapshots a slot's wait totals and WAL position before a
+// statement and returns the closure that differences them into st after.
+// The statement ID is published in the slot's waitevent word for the ASH
+// sampler to resolve.
+func (db *DB) stmtBegin(slot int, st *metrics.StmtStat) func(rows int64, err error) {
+	if st == nil {
+		return func(int64, error) {}
+	}
+	var before waitevent.Snapshot
+	db.waits.SlotSnapshot(slot, &before)
+	db.waits.SetStmt(slot, st.ID)
+	walBefore := db.engine.WAL.Writer(slot).AppendedBytes()
+	start := time.Now()
+	return func(rows int64, err error) {
+		elapsed := time.Since(start)
+		var after waitevent.Snapshot
+		db.waits.SlotSnapshot(slot, &after)
+		db.waits.SetStmt(slot, 0)
+		sample := metrics.StmtSample{
+			Elapsed:  elapsed,
+			Rows:     rows,
+			Err:      err != nil,
+			WALBytes: db.engine.WAL.Writer(slot).AppendedBytes() - walBefore,
+		}
+		for e := 0; e < waitevent.NumEvents; e++ {
+			sample.Waits.Count[e] = after.Count[e] - before.Count[e]
+			sample.Waits.Nanos[e] = after.Nanos[e] - before.Nanos[e]
+		}
+		// Every buffer miss is one EvBufferIO wait, so the event count is
+		// the statement's miss count.
+		sample.BufMisses = sample.Waits.Count[waitevent.EvBufferIO]
+		st.Record(&sample)
+	}
 }
 
 // Submit runs fn as one transaction without waiting for it; done (if not
@@ -481,8 +589,9 @@ func (db *DB) BaseBackup() (BaseBackupInfo, error) {
 // control. Sessions are not safe for concurrent use; one transaction runs
 // at a time per session.
 type Session struct {
-	db   *DB
-	slot int
+	db      *DB
+	slot    int
+	metrics *metrics.SlotMetrics
 }
 
 // Session allocates a session slot. It fails once Options.Sessions slots
@@ -493,14 +602,14 @@ func (db *DB) Session() (*Session, error) {
 	if db.sessNext >= db.sessMax {
 		return nil, fmt.Errorf("phoebedb: all %d session slots in use", db.opts.Sessions)
 	}
-	s := &Session{db: db, slot: db.sessNext}
+	s := &Session{db: db, slot: db.sessNext, metrics: db.rec.NewSlot()}
 	db.sessNext++
 	return s, nil
 }
 
 // Begin starts a transaction on the session's slot.
 func (s *Session) Begin(iso Isolation) *Tx {
-	return s.db.engine.Begin(s.slot, iso, nil, nil, nil)
+	return s.db.engine.Begin(s.slot, iso, s.metrics, nil, nil)
 }
 
 // Stats is a point-in-time summary of engine activity.

@@ -67,10 +67,15 @@ func (c sqlCatalog) IndexInfo(table string) ([]sql.IndexMeta, error) {
 func (db *DB) ExecSQL(query string) (SQLResult, error) {
 	cat := sqlCatalog{db: db}
 	if cs, params, ok := db.prepare(query); ok {
+		fp := cs.Fingerprint()
+		st := db.stmtStats.Intern(fp)
 		var res SQLResult
 		err := db.Execute(func(tx *Tx) error {
+			done := db.stmtBegin(tx.Slot(), st)
+			tx.NoteStatement(fp)
 			var execErr error
 			res, execErr = sql.ExecPrepared(cat, tx, cs, params)
+			done(resultRows(res), execErr)
 			return execErr
 		})
 		return res, err
@@ -84,13 +89,27 @@ func (db *DB) ExecSQL(query string) (SQLResult, error) {
 		// which invalidate the plan cache.
 		return sql.ExecDDL(cat, stmt)
 	}
+	fp := sql.Fingerprint(query)
+	st := db.stmtStats.Intern(fp)
 	var res SQLResult
 	err = db.Execute(func(tx *Tx) error {
+		done := db.stmtBegin(tx.Slot(), st)
+		tx.NoteStatement(fp)
 		var execErr error
 		res, execErr = sql.Exec(cat, tx, stmt)
+		done(resultRows(res), execErr)
 		return execErr
 	})
 	return res, err
+}
+
+// resultRows is the rows figure a statement contributes to its
+// aggregates: rows returned for SELECT, rows affected for writes.
+func resultRows(r SQLResult) int64 {
+	if len(r.Columns) > 0 {
+		return int64(len(r.Rows))
+	}
+	return int64(r.Affected)
 }
 
 // ExecSQLTx executes one DML statement inside an existing transaction
@@ -99,7 +118,12 @@ func (db *DB) ExecSQL(query string) (SQLResult, error) {
 func (db *DB) ExecSQLTx(tx *Tx, query string) (SQLResult, error) {
 	cat := sqlCatalog{db: db}
 	if cs, params, ok := db.prepare(query); ok {
-		return sql.ExecPrepared(cat, tx, cs, params)
+		fp := cs.Fingerprint()
+		done := db.stmtBegin(tx.Slot(), db.stmtStats.Intern(fp))
+		tx.NoteStatement(fp)
+		res, err := sql.ExecPrepared(cat, tx, cs, params)
+		done(resultRows(res), err)
+		return res, err
 	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
@@ -108,7 +132,12 @@ func (db *DB) ExecSQLTx(tx *Tx, query string) (SQLResult, error) {
 	if sql.IsDDL(stmt) {
 		return SQLResult{}, fmt.Errorf("phoebedb: DDL is not transactional; use ExecSQL")
 	}
-	return sql.Exec(cat, tx, stmt)
+	fp := sql.Fingerprint(query)
+	done := db.stmtBegin(tx.Slot(), db.stmtStats.Intern(fp))
+	tx.NoteStatement(fp)
+	res, err := sql.Exec(cat, tx, stmt)
+	done(resultRows(res), err)
+	return res, err
 }
 
 // PlanCacheStats reports the prepared-statement plan cache's hit and miss

@@ -6,6 +6,7 @@ import (
 
 	"phoebedb/internal/fault"
 	"phoebedb/internal/metrics"
+	"phoebedb/internal/waitevent"
 )
 
 // This file wires the kernel's decentralized counters into the metrics
@@ -121,6 +122,33 @@ func buildRegistry(db *DB) *metrics.Registry {
 		return low
 	})
 
+	if db.waits != nil {
+		reg.CounterVec("phoebe_wait_event_micros_total",
+			"Cumulative off-CPU time by wait event, across all slots.", "event",
+			func() []metrics.LabeledValue {
+				_, nanos := db.waits.Totals()
+				out := make([]metrics.LabeledValue, 0, waitevent.NumEvents-1)
+				for e := 1; e < waitevent.NumEvents; e++ {
+					out = append(out, metrics.LabeledValue{
+						Label: waitevent.Event(e).String(), Value: nanos[e] / 1000,
+					})
+				}
+				return out
+			})
+		reg.CounterVec("phoebe_wait_event_waits_total",
+			"Completed waits by wait event, across all slots.", "event",
+			func() []metrics.LabeledValue {
+				count, _ := db.waits.Totals()
+				out := make([]metrics.LabeledValue, 0, waitevent.NumEvents-1)
+				for e := 1; e < waitevent.NumEvents; e++ {
+					out = append(out, metrics.LabeledValue{
+						Label: waitevent.Event(e).String(), Value: count[e],
+					})
+				}
+				return out
+			})
+	}
+
 	reg.CounterVec("phoebe_failpoint_hits", "Evaluations of armed failpoint sites.", "site",
 		func() []metrics.LabeledValue {
 			hits := fault.HitCounts()
@@ -151,11 +179,13 @@ func buildRegistry(db *DB) *metrics.Registry {
 
 // Stat-table names served over the SQL protocol.
 const (
-	StatEngineTable   = "phoebe_stat_engine"
-	StatLatencyTable  = "phoebe_stat_latency"
-	StatActivityTable = "phoebe_stat_activity"
-	StatSlowTable     = "phoebe_stat_slow"
-	StatTablesTable   = "phoebe_stat_tables"
+	StatEngineTable     = "phoebe_stat_engine"
+	StatLatencyTable    = "phoebe_stat_latency"
+	StatActivityTable   = "phoebe_stat_activity"
+	StatSlowTable       = "phoebe_stat_slow"
+	StatTablesTable     = "phoebe_stat_tables"
+	StatStatementsTable = "phoebe_stat_statements"
+	StatASHTable        = "phoebe_stat_activity_history"
 )
 
 var (
@@ -193,12 +223,41 @@ var (
 		Column{Name: "lock_us", Type: TInt64},
 		Column{Name: "buffer_us", Type: TInt64},
 		Column{Name: "gc_us", Type: TInt64},
+		Column{Name: "stmt", Type: TString},
+		Column{Name: "plan", Type: TString},
 	)
 	statTablesSchema = NewSchema(
 		Column{Name: "name", Type: TString},
 		Column{Name: "id", Type: TInt64},
 		Column{Name: "pages", Type: TInt64},
 		Column{Name: "indexes", Type: TInt64},
+	)
+	// statStatementsSchema appends one <event>_us column per wait event so
+	// each statement row carries its full wait breakdown.
+	statStatementsSchema = func() *Schema {
+		cols := []Column{
+			{Name: "statement", Type: TString},
+			{Name: "calls", Type: TInt64},
+			{Name: "errors", Type: TInt64},
+			{Name: "total_us", Type: TInt64},
+			{Name: "mean_us", Type: TInt64},
+			{Name: "p95_us", Type: TInt64},
+			{Name: "rows", Type: TInt64},
+			{Name: "buf_misses", Type: TInt64},
+			{Name: "wal_bytes", Type: TInt64},
+		}
+		for e := 1; e < waitevent.NumEvents; e++ {
+			cols = append(cols, Column{Name: waitevent.Event(e).String() + "_us", Type: TInt64})
+		}
+		return NewSchema(cols...)
+	}()
+	statASHSchema = NewSchema(
+		Column{Name: "sample_us", Type: TInt64},
+		Column{Name: "slot", Type: TInt64},
+		Column{Name: "xid", Type: TInt64},
+		Column{Name: "state", Type: TString},
+		Column{Name: "wait_event", Type: TString},
+		Column{Name: "statement", Type: TString},
 	)
 )
 
@@ -254,6 +313,7 @@ func (db *DB) StatTable(name string) (*Schema, []Row, bool) {
 			for c := 0; c < metrics.NumComponents; c++ {
 				row = append(row, micros(t.Comp[c]))
 			}
+			row = append(row, Str(t.Stmt), Str(t.Plan))
 			rows = append(rows, row)
 		}
 		return statSlowSchema, rows, true
@@ -267,6 +327,39 @@ func (db *DB) StatTable(name string) (*Schema, []Row, bool) {
 			})
 		}
 		return statTablesSchema, rows, true
+
+	case StatStatementsTable:
+		var rows []Row
+		for _, sn := range db.stmtStats.Snapshot() {
+			row := Row{
+				Str(sn.Text), Int(sn.Calls), Int(sn.Errors),
+				Int(sn.TotalNanos / 1000), Int(sn.MeanNanos() / 1000),
+				micros(sn.Hist.Quantile(0.95)),
+				Int(sn.Rows), Int(sn.BufMisses), Int(sn.WALBytes),
+			}
+			for e := 1; e < waitevent.NumEvents; e++ {
+				row = append(row, Int(sn.WaitNanos[e]/1000))
+			}
+			rows = append(rows, row)
+		}
+		return statStatementsSchema, rows, true
+
+	case StatASHTable:
+		var rows []Row
+		if db.ash != nil {
+			for _, smp := range db.ash.snapshot() {
+				state := "cpu"
+				if smp.event != waitevent.EvNone {
+					state = "wait"
+				}
+				rows = append(rows, Row{
+					Int(smp.t.UnixMicro()), Int(int64(smp.slot)), Int(int64(smp.xid)),
+					Str(state), Str(smp.event.String()),
+					Str(db.stmtStats.TextByID(smp.stmtID)),
+				})
+			}
+		}
+		return statASHSchema, rows, true
 	}
 	return nil, nil, false
 }
