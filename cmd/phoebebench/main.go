@@ -31,7 +31,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', 'read', or 'all'")
+		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', 'read', 'vecscan', or 'all'")
 		seconds  = flag.Float64("seconds", 3, "measured duration per run")
 		workers  = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
 		slots    = flag.Int("slots", 32, "task slots per worker (paper: 32)")
@@ -39,6 +39,7 @@ func run() int {
 		maxOver  = flag.Float64("max-overhead", 0, "with -exp overhead: exit non-zero if instrumentation regression exceeds this percent (0 = report only)")
 		minScale = flag.Float64("min-scale", 0, "with -exp scale: exit non-zero if 8-worker tpm is below this multiple of 1-worker tpm (0 = report only)")
 		minRead  = flag.Float64("min-read-gain", 0, "with -exp read: exit non-zero if the fast-path point-read speedup over the ablation is below this ratio (0 = report only)")
+		minVec   = flag.Float64("min-vec-gain", 0, "with -exp vecscan: exit non-zero if the vectorized filtered-aggregate speedup over the ablation is below this ratio (0 = report only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		blkProf  = flag.String("blockprofile", "", "write a blocking profile to this file")
@@ -123,6 +124,14 @@ func run() int {
 			*minRead > 0 && res.Gain < *minRead {
 			fmt.Fprintf(os.Stderr, "read fast-path gain %.2fx is below the %.2fx floor\n",
 				res.Gain, *minRead)
+			return 1
+		}
+	case "vecscan":
+		var res bench.VecScanResult
+		if res, err = bench.ExpVecScan(cfg); err == nil &&
+			*minVec > 0 && res.Gain < *minVec {
+			fmt.Fprintf(os.Stderr, "vectorized scan gain %.2fx is below the %.2fx floor\n",
+				res.Gain, *minVec)
 			return 1
 		}
 	default:

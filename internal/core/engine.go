@@ -84,6 +84,11 @@ type Config struct {
 	// short-circuit, no scratch reuse) — the ablation baseline for the
 	// read-path overhaul.
 	DisableReadFastPath bool
+	// DisableVectorizedScan turns off batch predicate evaluation over PAX
+	// minipages (selection vectors): filtered full scans fall back to
+	// row-at-a-time materialization — the ablation baseline for the
+	// vectorized scan path.
+	DisableVectorizedScan bool
 	// PartitionOf maps a task slot to its worker's buffer partition, so a
 	// slot's page allocations land in the partition its worker maintains
 	// (§7.1). Defaults to slot modulo Partitions.

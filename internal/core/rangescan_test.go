@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"phoebedb/internal/rel"
+)
+
+// collectRange runs one ScanIndexRange in a fresh transaction and returns
+// the visible ids in scan order.
+func collectRange(t *testing.T, e *Engine, table, index string, prefix []rel.Value,
+	lo, hi rel.Value, hasLo, hasHi, loIncl, hiIncl bool) []int64 {
+	t.Helper()
+	tx := begin(e, 0)
+	defer tx.Rollback()
+	var ids []int64
+	err := tx.ScanIndexRange(table, index, prefix, lo, hi, hasLo, hasHi, loIncl, hiIncl,
+		func(rid rel.RowID, row rel.Row) bool {
+			ids = append(ids, row[0].I)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func eqIDs(a []int64, b ...int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScanIndexRangeBounds(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	tx := begin(e, 0)
+	for i := 1; i <= 9; i++ {
+		if _, err := tx.Insert("accounts", acct(i, fmt.Sprintf("o%d", i), float64(i)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	unset := rel.Value{}
+	cases := []struct {
+		name           string
+		lo, hi         rel.Value
+		hasLo, hasHi   bool
+		loIncl, hiIncl bool
+		want           []int64
+	}{
+		{"closed", rel.Int(3), rel.Int(6), true, true, true, true, []int64{3, 4, 5, 6}},
+		{"half open hi", rel.Int(3), rel.Int(6), true, true, true, false, []int64{3, 4, 5}},
+		{"half open lo", rel.Int(3), rel.Int(6), true, true, false, true, []int64{4, 5, 6}},
+		{"open both", rel.Int(3), rel.Int(6), true, true, false, false, []int64{4, 5}},
+		{"lo only", rel.Int(7), unset, true, false, true, false, []int64{7, 8, 9}},
+		{"hi only", unset, rel.Int(3), false, true, false, false, []int64{1, 2}},
+		{"empty interval", rel.Int(5), rel.Int(5), true, true, false, false, nil},
+		{"point", rel.Int(5), rel.Int(5), true, true, true, true, []int64{5}},
+		{"outside", rel.Int(100), rel.Int(200), true, true, true, true, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := collectRange(t, e, "accounts", "accounts_pk", nil,
+				tc.lo, tc.hi, tc.hasLo, tc.hasHi, tc.loIncl, tc.hiIncl)
+			if !eqIDs(got, tc.want...) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// A range over a string column must respect the order-preserving key
+// encoding, including values that extend past the bound's prefix.
+func TestScanIndexRangeStrings(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	tx := begin(e, 0)
+	owners := []string{"ann", "bob", "bob\x00", "bobby", "carl", "dee"}
+	for i, o := range owners {
+		if _, err := tx.Insert("accounts", acct(i+1, o, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// ["bob", "carl"): catches bob and its extensions, not ann/carl/dee.
+	got := collectRange(t, e, "accounts", "accounts_owner", nil,
+		rel.Str("bob"), rel.Str("carl"), true, true, true, false)
+	if !eqIDs(got, 2, 3, 4) {
+		t.Fatalf("string range got %v, want [2 3 4]", got)
+	}
+	// ("bob", ...]: strictly above "bob" still includes "bob\x00" (the
+	// smallest string extension) — exclusivity is per value, not prefix.
+	got = collectRange(t, e, "accounts", "accounts_owner", nil,
+		rel.Str("bob"), rel.Value{}, true, false, false, false)
+	if !eqIDs(got, 3, 4, 5, 6) {
+		t.Fatalf("exclusive string lo got %v, want [3 4 5 6]", got)
+	}
+}
+
+// An equality prefix pins the leading index column; the range applies to
+// the next one, and rows under other prefixes never surface.
+func TestScanIndexRangeWithPrefix(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	if _, err := e.CreateTable("ol", rel.NewSchema(
+		rel.Column{Name: "id", Type: rel.TInt64},
+		rel.Column{Name: "grp", Type: rel.TInt64},
+		rel.Column{Name: "seq", Type: rel.TInt64},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex("ol", "ol_grp_seq", []string{"grp", "seq"}, false); err != nil {
+		t.Fatal(err)
+	}
+	tx := begin(e, 0)
+	id := int64(1)
+	for grp := int64(1); grp <= 3; grp++ {
+		for seq := int64(1); seq <= 5; seq++ {
+			if _, err := tx.Insert("ol", rel.Row{rel.Int(id), rel.Int(grp), rel.Int(seq)}); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = begin(e, 0)
+	defer tx.Rollback()
+	var got [][2]int64
+	err := tx.ScanIndexRange("ol", "ol_grp_seq", []rel.Value{rel.Int(2)},
+		rel.Int(2), rel.Int(4), true, true, true, true,
+		func(rid rel.RowID, row rel.Row) bool {
+			got = append(got, [2]int64{row[1].I, row[2].I})
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{2, 2}, {2, 3}, {2, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Stale index entries — left behind by an update that moved the row out of
+// the scanned range — must not surface.
+func TestScanIndexRangeSkipsStaleEntries(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	tx := begin(e, 0)
+	rid2 := rel.RowID(0)
+	for i := 1; i <= 5; i++ {
+		rid, err := tx.Insert("accounts", acct(i, fmt.Sprintf("o%d", i), float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			rid2 = rid
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Move row 2's owner from o2 to z2: the old "o2" entry is stale until
+	// GC, and the range scan's verify pass must skip it.
+	tx = begin(e, 0)
+	if err := tx.Update("accounts", rid2, map[string]rel.Value{"owner": rel.Str("z2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectRange(t, e, "accounts", "accounts_owner", nil,
+		rel.Str("o1"), rel.Str("o5"), true, true, true, true)
+	if !eqIDs(got, 1, 3, 4, 5) {
+		t.Fatalf("got %v, want [1 3 4 5] (stale o2 entry must be skipped)", got)
+	}
+	// The moved row surfaces under its new key.
+	got = collectRange(t, e, "accounts", "accounts_owner", nil,
+		rel.Str("z"), rel.Value{}, true, false, true, false)
+	if !eqIDs(got, 2) {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+// A transaction's own uncommitted writes and concurrent invisible writes
+// behave under range scans exactly as under prefix scans.
+func TestScanIndexRangeVisibility(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	setupAccounts(t, e)
+	tx := begin(e, 0)
+	for i := 1; i <= 3; i++ {
+		if _, err := tx.Insert("accounts", acct(i, "x", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	writer := begin(e, 0)
+	if _, err := writer.Insert("accounts", acct(4, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The writer sees its own row 4; a concurrent reader does not.
+	var mine []int64
+	if err := writer.ScanIndexRange("accounts", "accounts_pk", nil,
+		rel.Int(1), rel.Int(10), true, true, true, true,
+		func(rid rel.RowID, row rel.Row) bool {
+			mine = append(mine, row[0].I)
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(mine, 1, 2, 3, 4) {
+		t.Fatalf("writer sees %v, want [1 2 3 4]", mine)
+	}
+	reader := begin(e, 1)
+	var others []int64
+	if err := reader.ScanIndexRange("accounts", "accounts_pk", nil,
+		rel.Int(1), rel.Int(10), true, true, true, true,
+		func(rid rel.RowID, row rel.Row) bool {
+			others = append(others, row[0].I)
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !eqIDs(others, 1, 2, 3) {
+		t.Fatalf("reader sees %v, want [1 2 3]", others)
+	}
+	reader.Rollback()
+	writer.Rollback()
+}

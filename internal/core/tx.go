@@ -557,6 +557,63 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 	}
 	tx.endBuf = append(tx.endBuf[:0], prefix...)
 	hi := keyPrefixEnd(tx.endBuf)
+	return tx.scanIndexKeys(t, ix, prefix, hi, fn)
+}
+
+// ScanIndexRange iterates, in key order, the visible rows whose leading
+// index columns equal prefix and whose next index column falls between lo
+// and hi (either bound optional, inclusivity per flag), until fn returns
+// false. This is the planner's B-Tree range scan: one descent to the lo
+// bound, then a leaf walk that stops at the hi bound, instead of scanning
+// the whole prefix and filtering.
+func (tx *Tx) ScanIndexRange(tableName, indexName string, prefix []rel.Value, lo, hi rel.Value,
+	hasLo, hasHi, loIncl, hiIncl bool, fn func(rid rel.RowID, row rel.Row) bool) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	t, ix, err := tx.resolveIndex(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return err
+	}
+	// Key-space bounds from value bounds, exploiting order preservation of
+	// rel.EncodeKey. Tree.Scan is [lo, hi): an inclusive value bound on
+	// either side converts via keyPrefixEnd, which is the smallest key
+	// greater than every entry carrying that value (column encodings are
+	// self-delimiting, so no longer value shares the prefix).
+	tx.keyBuf = indexPrefix(tx.keyBuf[:0], ix, prefix)
+	loKey := tx.keyBuf
+	if hasLo {
+		loKey = rel.EncodeKey(loKey, lo)
+		tx.keyBuf = loKey
+		if !loIncl {
+			if loKey = keyPrefixEnd(loKey); loKey == nil {
+				return nil // no key above an all-0xFF bound
+			}
+		}
+	}
+	tx.endBuf = indexPrefix(tx.endBuf[:0], ix, prefix)
+	hiKey := tx.endBuf
+	if hasHi {
+		hiKey = rel.EncodeKey(hiKey, hi)
+		tx.endBuf = hiKey
+		if hiIncl {
+			hiKey = keyPrefixEnd(hiKey) // nil → unbounded above
+		}
+	} else if len(hiKey) > 0 {
+		hiKey = keyPrefixEnd(hiKey) // close off the prefix
+	} else {
+		hiKey = nil // no prefix, no hi: scan to the end
+	}
+	return tx.scanIndexKeys(t, ix, loKey, hiKey, fn)
+}
+
+// scanIndexKeys is the shared key-range scan core: snapshot the matching
+// index entries under [loKey, hiKey), then visibility-check and
+// stale-entry-verify each candidate outside the leaf latch.
+func (tx *Tx) scanIndexKeys(t *Tbl, ix *Index, loKey, hiKey []byte, fn func(rid rel.RowID, row rel.Row) bool) error {
 	// Collect candidates first: the row reads below take page latches and
 	// must not run inside the index leaf snapshot loop. The candidate and
 	// row scratches are taken off the transaction for the duration so a
@@ -572,7 +629,7 @@ func (tx *Tx) scanIndexRaw(t *Tbl, ix *Index, vals []rel.Value, fn func(rid rel.
 	verifyBuf := tx.verifyBuf
 	tx.verifyBuf = nil
 	latchStart := time.Now()
-	ix.Tree.Scan(prefix, hi, func(k []byte, v uint64) bool {
+	ix.Tree.Scan(loKey, hiKey, func(k []byte, v uint64) bool {
 		cands = append(cands, rel.RowID(v))
 		candKeys = append(candKeys, k...)
 		candEnds = append(candEnds, len(candKeys))

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"time"
+
+	"phoebedb/internal/clock"
+	"phoebedb/internal/lock"
+	"phoebedb/internal/metrics"
+	"phoebedb/internal/pax"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/table"
+	"phoebedb/internal/txn"
+)
+
+// Vectorized table scans (§5.2): predicates on fixed-width columns
+// evaluate column-at-a-time against PAX minipage bytes into a selection
+// bitmap, so rows failing the filter are never materialized. MVCC
+// qualification happens page-at-a-time first: slots whose newest version
+// is visible by the watermark (or snapshot) short-circuit join the batch
+// path; only the residue — slots with in-flight or post-snapshot writers —
+// falls back to a per-row chain walk.
+
+// VectorizedScanEnabled reports whether batch scans may run. The path
+// builds on the watermark read fast path, so either ablation flag turns it
+// off (implements the sql layer's VectorizedTxn).
+func (tx *Tx) VectorizedScanEnabled() bool {
+	return !tx.e.cfg.DisableVectorizedScan && !tx.e.cfg.DisableReadFastPath
+}
+
+// qualifyPage partitions a page's slots for this transaction's snapshot:
+// bits left set in sel are slots whose current page bytes are the visible
+// version (tombstones honored); returned residue slots need a chain walk.
+// Caller holds the page's shared latch via ScanPages.
+func (tx *Tx) qualifyPage(v table.PageView, snapshot, wm uint64, sel pax.Sel, residue []int) []int {
+	pl := v.Pl
+	if v.Twin == nil {
+		// No version chains anywhere on the page: current versions are
+		// globally visible, tombstones invisible to everyone.
+		for i, d := range pl.Deleted {
+			if d {
+				sel.Clear(i)
+			}
+		}
+		return residue
+	}
+	for i, rid := range pl.IDs {
+		head := v.Twin.Head(rid)
+		if head == nil || head.Reclaimed() {
+			if pl.Deleted[i] {
+				sel.Clear(i)
+			}
+			continue
+		}
+		if ets := head.ETS(); !clock.IsXID(ets) && (ets < wm || ets <= snapshot) {
+			if ets < wm {
+				tx.vis.Fast++
+			}
+			if pl.Deleted[i] {
+				sel.Clear(i)
+			}
+			continue
+		}
+		sel.Clear(i)
+		residue = append(residue, i)
+	}
+	return residue
+}
+
+// evalPreds applies the predicates to a materialized row (residue and
+// frozen-layer rows, which bypass the batch filter).
+func evalPreds(preds []rel.ColPred, row rel.Row) bool {
+	for _, p := range preds {
+		if !p.EvalRow(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanTableFiltered invokes fn for every visible row satisfying all
+// predicates, with the filter evaluated batch-at-a-time against minipage
+// bytes (implements the sql layer's VectorizedTxn). Every predicate column
+// must be fixed-width — the SQL planner guarantees it. The borrowed-row
+// contract of ScanTable applies.
+func (tx *Tx) ScanTableFiltered(tableName string, preds []rel.ColPred, fn func(rid rel.RowID, row rel.Row) bool) error {
+	if err := tx.stmt(); err != nil {
+		return err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return err
+	}
+	// Frozen rows are immutable and globally visible; they are few and
+	// already materialized, so the filter runs per row.
+	stop := false
+	if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
+		if !evalPreds(preds, row) {
+			return true
+		}
+		if !fn(rid, row) {
+			stop = true
+			return false
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if stop {
+		return nil
+	}
+	snapshot := tx.inner.Snapshot()
+	xid := tx.XID()
+	wm := tx.e.Mgr.Watermark()
+	buf := make(rel.Row, t.Schema.NumCols())
+	var sel pax.Sel
+	var residue []int
+	var ferr error
+	serr := t.Store.ScanPages(&tx.tctx, func(v table.PageView) bool {
+		start := time.Now()
+		pl := v.Pl
+		sel = sel.Reset(len(pl.IDs))
+		residue = tx.qualifyPage(v, snapshot, wm, sel, residue[:0])
+		if ferr = pl.Rows.FilterFixed(preds, sel); ferr != nil {
+			return false
+		}
+		tx.track(metrics.CompMVCC, start)
+		cont := true
+		sel.ForEach(func(i int) bool {
+			pl.Rows.ReadRowInto(i, buf)
+			cont = fn(pl.IDs[i], buf)
+			return cont
+		})
+		if !cont {
+			return false
+		}
+		for _, i := range residue {
+			mvccStart := time.Now()
+			pl.Rows.ReadRowInto(i, buf)
+			row, ok := txn.ReadVisibleAt(v.Twin.Head(pl.IDs[i]), snapshot, xid, wm,
+				buf, pl.Deleted[i], true, &tx.vis)
+			tx.track(metrics.CompMVCC, mvccStart)
+			if !ok || !evalPreds(preds, row) {
+				continue
+			}
+			if !fn(pl.IDs[i], row) {
+				return false
+			}
+		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return serr
+}
+
+// AggTableFiltered computes pushed-down aggregates over the qualifying
+// rows without materializing them: qualification and filtering as in
+// ScanTableFiltered, then each aggregate folds directly over its column
+// strip. Returns one value per spec plus the qualifying row count (vals
+// are meaningless when n is 0).
+func (tx *Tx) AggTableFiltered(tableName string, preds []rel.ColPred, specs []rel.AggSpec) ([]rel.Value, int64, error) {
+	if err := tx.stmt(); err != nil {
+		return nil, 0, err
+	}
+	t, err := tx.e.Table(tableName)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := tx.lockTable(t, lock.ModeIS); err != nil {
+		return nil, 0, err
+	}
+	agg := pax.NewAggState(specs)
+	if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
+		if evalPreds(preds, row) {
+			agg.FoldRow(row)
+		}
+		return true
+	}); err != nil {
+		return nil, 0, err
+	}
+	snapshot := tx.inner.Snapshot()
+	xid := tx.XID()
+	wm := tx.e.Mgr.Watermark()
+	buf := make(rel.Row, t.Schema.NumCols())
+	var sel pax.Sel
+	var residue []int
+	var ferr error
+	serr := t.Store.ScanPages(&tx.tctx, func(v table.PageView) bool {
+		start := time.Now()
+		pl := v.Pl
+		sel = sel.Reset(len(pl.IDs))
+		residue = tx.qualifyPage(v, snapshot, wm, sel, residue[:0])
+		if ferr = pl.Rows.FilterFixed(preds, sel); ferr != nil {
+			return false
+		}
+		if ferr = agg.Fold(pl.Rows, sel); ferr != nil {
+			return false
+		}
+		for _, i := range residue {
+			pl.Rows.ReadRowInto(i, buf)
+			row, ok := txn.ReadVisibleAt(v.Twin.Head(pl.IDs[i]), snapshot, xid, wm,
+				buf, pl.Deleted[i], true, &tx.vis)
+			if ok && evalPreds(preds, row) {
+				agg.FoldRow(row)
+			}
+		}
+		tx.track(metrics.CompMVCC, start)
+		return true
+	})
+	if ferr != nil {
+		return nil, 0, ferr
+	}
+	if serr != nil {
+		return nil, 0, serr
+	}
+	vals := make([]rel.Value, len(specs))
+	for si, sp := range specs {
+		ct := rel.TInt64
+		if sp.Op != rel.AggOpCount {
+			ct = t.Schema.Cols[sp.Col].Type
+		}
+		vals[si] = agg.Result(si, ct)
+	}
+	return vals, agg.N(), nil
+}

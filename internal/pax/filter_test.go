@@ -1,0 +1,175 @@
+package pax
+
+import (
+	"testing"
+
+	"phoebedb/internal/rel"
+)
+
+func filterSchema() *rel.Schema {
+	return rel.NewSchema(
+		rel.Column{Name: "id", Type: rel.TInt64},
+		rel.Column{Name: "name", Type: rel.TString},
+		rel.Column{Name: "score", Type: rel.TFloat64},
+	)
+}
+
+func fillPage(t *testing.T, n int) *Page {
+	t.Helper()
+	p := NewPage(filterSchema(), n+8)
+	for i := 0; i < n; i++ {
+		row := rel.Row{rel.Int(int64(i)), rel.Str(string(rune('a' + i%26))), rel.Float(float64(i) / 2)}
+		if _, err := p.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func selected(s Sel) []int {
+	var out []int
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+func TestSelReset(t *testing.T) {
+	s := MakeSel(0)
+	s = s.Reset(70)
+	if s.Count() != 70 {
+		t.Fatalf("Count=%d after Reset(70)", s.Count())
+	}
+	if !s.Has(0) || !s.Has(63) || !s.Has(69) {
+		t.Fatal("Reset left expected bits clear")
+	}
+	s.Clear(63)
+	if s.Has(63) || s.Count() != 69 {
+		t.Fatal("Clear failed")
+	}
+	s.Set(63)
+	if !s.Has(63) {
+		t.Fatal("Set failed")
+	}
+	// Shrinking reuses storage and must not leak stale high bits.
+	s = s.Reset(3)
+	if got := selected(s); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Reset(3) selected %v", got)
+	}
+}
+
+func TestFilterFixedInt(t *testing.T) {
+	p := fillPage(t, 100)
+	sel := MakeSel(p.Len()).Reset(p.Len())
+	err := p.FilterFixed([]rel.ColPred{
+		{Col: 0, Op: rel.CmpGe, Val: rel.Int(10)},
+		{Col: 0, Op: rel.CmpLt, Val: rel.Int(14)},
+	}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := selected(sel); len(got) != 4 || got[0] != 10 || got[3] != 13 {
+		t.Fatalf("selected %v, want [10..13]", got)
+	}
+}
+
+func TestFilterFixedFloatAndNe(t *testing.T) {
+	p := fillPage(t, 10)
+	sel := MakeSel(p.Len()).Reset(p.Len())
+	err := p.FilterFixed([]rel.ColPred{
+		{Col: 2, Op: rel.CmpLe, Val: rel.Float(2.0)}, // score = i/2 → i <= 4
+		{Col: 0, Op: rel.CmpNe, Val: rel.Int(2)},
+	}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := selected(sel); len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("selected %v, want [0 1 3 4]", got)
+	}
+}
+
+func TestFilterFixedRespectsSeedSelection(t *testing.T) {
+	p := fillPage(t, 8)
+	sel := MakeSel(p.Len()).Reset(p.Len())
+	sel.Clear(3) // e.g. a deleted or MVCC-residue slot
+	if err := p.FilterFixed([]rel.ColPred{{Col: 0, Op: rel.CmpGe, Val: rel.Int(2)}}, sel); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range selected(sel) {
+		if i == 3 {
+			t.Fatal("cleared seed slot resurfaced")
+		}
+	}
+	if sel.Count() != 5 { // 2,4,5,6,7
+		t.Fatalf("Count=%d, want 5", sel.Count())
+	}
+}
+
+func TestFilterFixedRejectsVarWidth(t *testing.T) {
+	p := fillPage(t, 4)
+	sel := MakeSel(p.Len()).Reset(p.Len())
+	if err := p.FilterFixed([]rel.ColPred{{Col: 1, Op: rel.CmpEq, Val: rel.Str("a")}}, sel); err == nil {
+		t.Fatal("var-width predicate accepted")
+	}
+}
+
+func TestAggStateFold(t *testing.T) {
+	specs := []rel.AggSpec{
+		{Op: rel.AggOpCount},
+		{Op: rel.AggOpSum, Col: 0},
+		{Op: rel.AggOpMin, Col: 2},
+		{Op: rel.AggOpMax, Col: 2},
+		{Op: rel.AggOpMin, Col: 1},
+	}
+	a := NewAggState(specs)
+	// Two pages: ids 0..9 and 10..19, filtered to even ids only.
+	for pg := 0; pg < 2; pg++ {
+		p := NewPage(filterSchema(), 16)
+		for i := 0; i < 10; i++ {
+			id := int64(pg*10 + i)
+			row := rel.Row{rel.Int(id), rel.Str(string(rune('a' + id))), rel.Float(float64(id) * 1.5)}
+			if _, err := p.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sel := MakeSel(p.Len()).Reset(p.Len())
+		if err := p.FilterFixed([]rel.ColPred{{Col: 0, Op: rel.CmpNe, Val: rel.Int(3)}}, sel); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Fold(p, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.N() != 19 {
+		t.Fatalf("N=%d, want 19", a.N())
+	}
+	if v := a.Result(0, rel.TInt64); v.I != 19 {
+		t.Errorf("count = %v", v)
+	}
+	// sum ids 0..19 minus 3 = 190 - 3
+	if v := a.Result(1, rel.TInt64); v.I != 187 {
+		t.Errorf("sum = %v, want 187", v)
+	}
+	if v := a.Result(2, rel.TFloat64); v.F != 0 {
+		t.Errorf("min = %v, want 0", v)
+	}
+	if v := a.Result(3, rel.TFloat64); v.F != 28.5 {
+		t.Errorf("max = %v, want 28.5", v)
+	}
+	if v := a.Result(4, rel.TString); v.S != "a" {
+		t.Errorf("min name = %v, want a", v)
+	}
+}
+
+func TestAggStateEmpty(t *testing.T) {
+	a := NewAggState([]rel.AggSpec{{Op: rel.AggOpCount}})
+	p := fillPage(t, 4)
+	sel := MakeSel(p.Len()) // nothing selected
+	if err := a.Fold(p, sel); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 0 {
+		t.Fatalf("N=%d, want 0", a.N())
+	}
+}

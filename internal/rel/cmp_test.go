@@ -1,0 +1,75 @@
+package rel
+
+import "testing"
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Str("ba"), Str("b"), 1},
+		{Int(9), Float(1), -1}, // mixed kinds order by kind
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpAccepts(t *testing.T) {
+	type row struct {
+		op         CmpOp
+		lt, eq, gt bool // expected Accepts for c = -1, 0, +1
+	}
+	rows := []row{
+		{CmpEq, false, true, false},
+		{CmpNe, true, false, true},
+		{CmpLt, true, false, false},
+		{CmpLe, true, true, false},
+		{CmpGt, false, false, true},
+		{CmpGe, false, true, true},
+	}
+	for _, r := range rows {
+		if r.op.Accepts(-1) != r.lt || r.op.Accepts(0) != r.eq || r.op.Accepts(1) != r.gt {
+			t.Errorf("%s: Accepts = (%v,%v,%v), want (%v,%v,%v)", r.op,
+				r.op.Accepts(-1), r.op.Accepts(0), r.op.Accepts(1), r.lt, r.eq, r.gt)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{CmpEq: "=", CmpNe: "!=", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestColPredEvalRow(t *testing.T) {
+	r := Row{Int(5), Str("x"), Float(1.5)}
+	cases := []struct {
+		p    ColPred
+		want bool
+	}{
+		{ColPred{0, CmpGt, Int(4)}, true},
+		{ColPred{0, CmpGt, Int(5)}, false},
+		{ColPred{0, CmpLe, Int(5)}, true},
+		{ColPred{1, CmpNe, Str("y")}, true},
+		{ColPred{2, CmpLt, Float(1.5)}, false},
+		{ColPred{2, CmpGe, Float(1.5)}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.EvalRow(r); got != c.want {
+			t.Errorf("%v.EvalRow = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

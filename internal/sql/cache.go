@@ -75,7 +75,7 @@ func (cs *CachedStmt) bind(params []rel.Value) (Stmt, error) {
 		}
 		out := make([]Cond, len(conds))
 		for i, c := range conds {
-			out[i] = Cond{Table: c.Table, Col: c.Col, Val: bindVal(c.Val)}
+			out[i] = Cond{Table: c.Table, Col: c.Col, Op: c.Op, Val: bindVal(c.Val)}
 		}
 		return out
 	}
@@ -285,7 +285,20 @@ func normalize(src string) (key string, params []rel.Value, ok bool) {
 			params = append(params, rel.Str(lit.String()))
 			sb.WriteString("? ")
 			prevWord = ""
-		case strings.ContainsRune("(),=*.<>", rune(c)):
+		case c == '<' || c == '>' || c == '!':
+			// Mirror the lexer: <=, >=, != are single tokens. A bare '!' is
+			// a lex error — uncacheable, let Parse report it.
+			sb.WriteByte(c)
+			pos++
+			if pos < len(src) && src[pos] == '=' {
+				sb.WriteByte('=')
+				pos++
+			} else if c == '!' {
+				return "", nil, false
+			}
+			sb.WriteByte(' ')
+			prevWord = ""
+		case strings.ContainsRune("(),=*.", rune(c)):
 			sb.WriteByte(c)
 			sb.WriteByte(' ')
 			pos++

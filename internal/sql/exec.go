@@ -99,10 +99,28 @@ type plan struct {
 	index string
 	// prefixVals are the equality values covering the index prefix.
 	prefixVals []rel.Value
-	// residual are the conditions not covered by the index prefix,
-	// evaluated against each candidate row.
+	// Range bounds on the index column right after the equality prefix
+	// (meaningful only when hasLo or hasHi): the scan walks the B-Tree
+	// between them instead of the whole prefix. rangeCol names the bound
+	// column for EXPLAIN.
+	rangeCol       string
+	lo, hi         rel.Value
+	hasLo, hasHi   bool
+	loIncl, hiIncl bool
+	// rangeConds are the bound conditions in residual form, used when the
+	// transaction cannot run a native range scan (the bounds then demote
+	// to a filter over a wider scan).
+	rangeConds []Cond
+	// residual are the conditions not covered by the index prefix or the
+	// range bounds, evaluated against each candidate row.
 	residual []Cond
+	// empty marks a provably empty result: contradictory conditions on
+	// one column (e.g. x > 5 AND x < 3). No scan runs at all.
+	empty bool
 }
+
+// hasRange reports whether the plan carries index range bounds.
+func (p *plan) hasRange() bool { return p.hasLo || p.hasHi }
 
 // planHint is the access-path provenance the plan cache remembers: which
 // index was chosen and which WHERE positions feed the prefix and the
@@ -111,10 +129,16 @@ type plan struct {
 // index scoring. DDL invalidates the whole cache, so a stored hint never
 // outlives the schema it was computed against.
 type planHint struct {
-	nWhere   int
-	index    string
-	prefix   []hintCond
-	residual []hintCond
+	nWhere int
+	index  string
+	prefix []hintCond
+	// rangeLo/rangeHi are WHERE positions feeding the range bounds (-1 =
+	// unset); rangeCol is the bound column's schema position. Bound
+	// inclusivity re-derives from the WHERE ops, which are part of the
+	// cache key, so it cannot drift between bindings.
+	rangeCol         int
+	rangeLo, rangeHi int
+	residual         []hintCond
 }
 
 // hintCond ties one planned condition to its WHERE position and column.
@@ -122,7 +146,10 @@ type hintCond struct{ whereIdx, col int }
 
 // rebuild re-derives the plan from the hint for a freshly bound WHERE.
 // ok=false signals a structural mismatch (the caller re-plans from
-// scratch); an error is a genuine literal type mismatch.
+// scratch); an error is a genuine literal type mismatch. Range bounds
+// re-coerce (int literals widen on float columns) and the contradiction
+// check re-runs — a cached BETWEEN bound to an empty interval yields an
+// empty plan, not a wrong scan.
 func (h *planHint) rebuild(schema *rel.Schema, where []Cond) (plan, bool, error) {
 	if h.nWhere != len(where) {
 		return plan{}, false, nil
@@ -152,6 +179,29 @@ func (h *planHint) rebuild(schema *rel.Schema, where []Cond) (plan, bool, error)
 			p.prefixVals[i] = v
 		}
 	}
+	if h.rangeLo >= 0 {
+		v, ok, err := coerce(hintCond{whereIdx: h.rangeLo, col: h.rangeCol})
+		if !ok || err != nil {
+			return plan{}, false, err
+		}
+		c := where[h.rangeLo]
+		p.rangeCol, p.lo, p.hasLo, p.loIncl = c.Col, v, true, c.Op == rel.CmpGe
+		p.rangeConds = append(p.rangeConds, Cond{Col: c.Col, Op: c.Op, Val: v})
+	}
+	if h.rangeHi >= 0 {
+		v, ok, err := coerce(hintCond{whereIdx: h.rangeHi, col: h.rangeCol})
+		if !ok || err != nil {
+			return plan{}, false, err
+		}
+		c := where[h.rangeHi]
+		p.rangeCol, p.hi, p.hasHi, p.hiIncl = c.Col, v, true, c.Op == rel.CmpLe
+		p.rangeConds = append(p.rangeConds, Cond{Col: c.Col, Op: c.Op, Val: v})
+	}
+	if p.hasLo && p.hasHi {
+		if c := rel.Compare(p.lo, p.hi); c > 0 || (c == 0 && !(p.loIncl && p.hiIncl)) {
+			p.empty = true
+		}
+	}
 	if len(h.residual) > 0 {
 		p.residual = make([]Cond, len(h.residual))
 		for i, hc := range h.residual {
@@ -159,7 +209,7 @@ func (h *planHint) rebuild(schema *rel.Schema, where []Cond) (plan, bool, error)
 			if !ok || err != nil {
 				return plan{}, false, err
 			}
-			p.residual[i] = Cond{Col: where[hc.whereIdx].Col, Val: v}
+			p.residual[i] = Cond{Col: where[hc.whereIdx].Col, Op: where[hc.whereIdx].Op, Val: v}
 		}
 	}
 	return p, true, nil
@@ -170,19 +220,63 @@ func (h *planHint) rebuild(schema *rel.Schema, where []Cond) (plan, bool, error)
 type resolvedCond struct {
 	whereIdx int
 	col      int
+	op       rel.CmpOp
 	val      rel.Value
 }
 
-// resolveWhere maps conditions to column positions and coerces literal
-// types. Repeated columns dedupe with the last condition winning,
-// preserving the planner's historical map-overwrite semantics. WHERE
-// clauses are small, so linear probing beats building a map.
-func resolveWhere(schema *rel.Schema, where []Cond) ([]resolvedCond, error) {
-	out := make([]resolvedCond, 0, len(where))
+// resolvedBound is one side of a column's intersected range.
+type resolvedBound struct {
+	set      bool
+	incl     bool
+	val      rel.Value
+	whereIdx int
+}
+
+// resolvedRange is the intersection of all range conditions on one column.
+type resolvedRange struct {
+	col    int
+	lo, hi resolvedBound
+}
+
+// resolvedWhere is a WHERE conjunction normalized for planning: equality
+// conditions deduped (last wins, the documented planner semantics), range
+// conditions intersected per column, != conditions kept verbatim.
+type resolvedWhere struct {
+	// conds holds equality and != conditions, first-appearance order.
+	conds []resolvedCond
+	// ranges holds per-column intersected bounds, first-appearance order.
+	ranges []resolvedRange
+	// empty marks a provably empty conjunction (contradictory bounds, or
+	// an equality outside the column's range).
+	empty bool
+	// stable reports that no value-dependent choice was made (every bound
+	// came from exactly one condition and no column mixes = with a
+	// range), so a plan hint keyed on WHERE positions can be cached.
+	stable bool
+}
+
+// resolveWhere maps conditions to column positions, coerces literal types,
+// and normalizes the conjunction. Equality conditions on a repeated column
+// dedupe with the last one winning — the planner's historical map-overwrite
+// semantics, mirrored by the reference engine. Range conditions must NOT
+// dedupe that way (x > 5 AND x < 10 is an interval, not a replacement):
+// they intersect, tightening each side and keeping the stricter bound on
+// ties; a provably empty intersection marks the whole conjunction empty.
+// WHERE clauses are small, so linear probing beats building maps.
+func resolveWhere(schema *rel.Schema, where []Cond) (resolvedWhere, error) {
+	rw := resolvedWhere{stable: true}
+	findRange := func(col int) *resolvedRange {
+		for j := range rw.ranges {
+			if rw.ranges[j].col == col {
+				return &rw.ranges[j]
+			}
+		}
+		return nil
+	}
 	for i, c := range where {
 		pos := schema.ColIndex(c.Col)
 		if pos < 0 {
-			return nil, fmt.Errorf("sql: unknown column %q", c.Col)
+			return resolvedWhere{}, fmt.Errorf("sql: unknown column %q", c.Col)
 		}
 		v := c.Val
 		if v.Kind != schema.Cols[pos].Type {
@@ -190,74 +284,199 @@ func resolveWhere(schema *rel.Schema, where []Cond) ([]resolvedCond, error) {
 			if v.Kind == rel.TInt64 && schema.Cols[pos].Type == rel.TFloat64 {
 				v = rel.Float(float64(v.I))
 			} else {
-				return nil, fmt.Errorf("sql: column %q: literal type mismatch", c.Col)
+				return resolvedWhere{}, fmt.Errorf("sql: column %q: literal type mismatch", c.Col)
 			}
 		}
-		dup := false
-		for j := range out {
-			if out[j].col == pos {
-				out[j] = resolvedCond{whereIdx: i, col: pos, val: v}
-				dup = true
+		switch c.Op {
+		case rel.CmpEq:
+			dup := false
+			for j := range rw.conds {
+				if rw.conds[j].col == pos && rw.conds[j].op == rel.CmpEq {
+					rw.conds[j] = resolvedCond{whereIdx: i, col: pos, op: rel.CmpEq, val: v}
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				rw.conds = append(rw.conds, resolvedCond{whereIdx: i, col: pos, op: rel.CmpEq, val: v})
+			}
+		case rel.CmpNe:
+			rw.conds = append(rw.conds, resolvedCond{whereIdx: i, col: pos, op: rel.CmpNe, val: v})
+		default:
+			rr := findRange(pos)
+			if rr == nil {
+				rw.ranges = append(rw.ranges, resolvedRange{col: pos})
+				rr = &rw.ranges[len(rw.ranges)-1]
+			}
+			b := resolvedBound{set: true, incl: c.Op == rel.CmpGe || c.Op == rel.CmpLe, val: v, whereIdx: i}
+			side := &rr.lo
+			if c.Op == rel.CmpLt || c.Op == rel.CmpLe {
+				side = &rr.hi
+			}
+			if !side.set {
+				*side = b
+				break
+			}
+			// A second bound on the same side: which one wins depends on
+			// the literal values, so a cached hint cannot replay the
+			// choice — fall back to per-execution planning.
+			rw.stable = false
+			cv := rel.Compare(v, side.val)
+			isLo := side == &rr.lo
+			if (isLo && cv > 0) || (!isLo && cv < 0) || (cv == 0 && !b.incl && side.incl) {
+				*side = b
+			}
+		}
+	}
+	// Intersect each column's range with itself and with any equality on
+	// the same column.
+	kept := rw.ranges[:0]
+	for _, rr := range rw.ranges {
+		if rr.lo.set && rr.hi.set {
+			if c := rel.Compare(rr.lo.val, rr.hi.val); c > 0 || (c == 0 && !(rr.lo.incl && rr.hi.incl)) {
+				rw.empty = true
+			}
+		}
+		eqVal, hasEq := rel.Value{}, false
+		for _, rc := range rw.conds {
+			if rc.col == rr.col && rc.op == rel.CmpEq {
+				eqVal, hasEq = rc.val, true
 				break
 			}
 		}
-		if !dup {
-			out = append(out, resolvedCond{whereIdx: i, col: pos, val: v})
+		if hasEq {
+			// The equality either pins the column inside the range (the
+			// range becomes redundant) or contradicts it (empty). Whether
+			// the range survives depends on literal values: unstable.
+			rw.stable = false
+			if rr.lo.set {
+				c := rel.Compare(eqVal, rr.lo.val)
+				if c < 0 || (c == 0 && !rr.lo.incl) {
+					rw.empty = true
+				}
+			}
+			if rr.hi.set {
+				c := rel.Compare(eqVal, rr.hi.val)
+				if c > 0 || (c == 0 && !rr.hi.incl) {
+					rw.empty = true
+				}
+			}
+			continue // equality subsumes the range
+		}
+		kept = append(kept, rr)
+	}
+	rw.ranges = kept
+	return rw, nil
+}
+
+// boundCond renders one range bound back into residual-filter form.
+func boundCond(schema *rel.Schema, col int, b resolvedBound, isLo bool) Cond {
+	op := rel.CmpLt
+	if isLo {
+		op = rel.CmpGt
+		if b.incl {
+			op = rel.CmpGe
+		}
+	} else if b.incl {
+		op = rel.CmpLe
+	}
+	return Cond{Col: schema.Cols[col].Name, Op: op, Val: b.val}
+}
+
+// flatten renders the normalized conjunction as residual-filter conditions
+// (for paths that bypass index planning, like the join probe side).
+func (rw *resolvedWhere) flatten(schema *rel.Schema) []Cond {
+	out := make([]Cond, 0, len(rw.conds)+2*len(rw.ranges))
+	for _, rc := range rw.conds {
+		out = append(out, Cond{Col: schema.Cols[rc.col].Name, Op: rc.op, Val: rc.val})
+	}
+	for _, rr := range rw.ranges {
+		if rr.lo.set {
+			out = append(out, boundCond(schema, rr.col, rr.lo, true))
+		}
+		if rr.hi.set {
+			out = append(out, boundCond(schema, rr.col, rr.hi, false))
 		}
 	}
-	return out, nil
+	return out
 }
 
 // planWhere picks the best access path: the index whose column prefix is
-// covered by the most equality conditions, preferring full unique matches.
+// covered by the most equality conditions, preferring full unique matches,
+// with a range condition on the next index column extending the path to a
+// B-Tree range scan.
 func planWhere(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, error) {
 	p, _, err := planWhereHint(schema, indexes, where)
 	return p, err
 }
 
 // planWhereHint is planWhere plus the provenance the plan cache stores.
+// The hint is nil when the resolution made value-dependent choices (the
+// caller then re-plans per execution instead of caching).
 func planWhereHint(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan, *planHint, error) {
-	rs, err := resolveWhere(schema, where)
+	rw, err := resolveWhere(schema, where)
 	if err != nil {
 		return plan{}, nil, err
 	}
-	find := func(col int) int {
-		for j := range rs {
-			if rs[j].col == col {
+	findEq := func(col int) int {
+		for j := range rw.conds {
+			if rw.conds[j].col == col && rw.conds[j].op == rel.CmpEq {
 				return j
 			}
 		}
 		return -1
 	}
-	bestIdx, bestScore, bestCovered := -1, -1, 0
+	findRange := func(col int) *resolvedRange {
+		for j := range rw.ranges {
+			if rw.ranges[j].col == col {
+				return &rw.ranges[j]
+			}
+		}
+		return nil
+	}
+	// Score: equality coverage dominates (x4), full unique matches break
+	// coverage ties (+2), and a range on the next index column breaks the
+	// remaining ties (+1) — so among equally covered indexes the planner
+	// prefers the one whose ordering the range can exploit.
+	bestIdx, bestScore, bestCovered := -1, 0, 0
+	var bestRange *resolvedRange
 	for i, ix := range indexes {
 		covered := 0
 		for _, pos := range ix.Cols {
-			if find(pos) < 0 {
+			if findEq(pos) < 0 {
 				break
 			}
 			covered++
 		}
-		if covered == 0 {
+		var rr *resolvedRange
+		if covered < len(ix.Cols) {
+			rr = findRange(ix.Cols[covered])
+		}
+		if covered == 0 && rr == nil {
 			continue
 		}
-		score := covered * 2
+		score := covered * 4
 		if ix.Unique && covered == len(ix.Cols) {
-			score++ // full unique match wins ties
+			score += 2 // full unique match wins ties
+		}
+		if rr != nil {
+			score++
 		}
 		if score > bestScore {
-			bestIdx, bestScore, bestCovered = i, score, covered
+			bestIdx, bestScore, bestCovered, bestRange = i, score, covered, rr
 		}
 	}
-	h := &planHint{nWhere: len(where)}
-	p := plan{}
+	h := &planHint{nWhere: len(where), rangeCol: -1, rangeLo: -1, rangeHi: -1}
+	p := plan{empty: rw.empty}
 	inPrefix := func(col int) bool { return false }
 	if bestIdx >= 0 {
 		ix := indexes[bestIdx]
 		p.index, h.index = ix.Name, ix.Name
-		p.prefixVals = make([]rel.Value, 0, bestCovered)
+		if bestCovered > 0 {
+			p.prefixVals = make([]rel.Value, 0, bestCovered)
+		}
 		for _, pos := range ix.Cols[:bestCovered] {
-			r := rs[find(pos)]
+			r := rw.conds[findEq(pos)]
 			p.prefixVals = append(p.prefixVals, r.val)
 			h.prefix = append(h.prefix, hintCond{whereIdx: r.whereIdx, col: r.col})
 		}
@@ -270,13 +489,44 @@ func planWhereHint(schema *rel.Schema, indexes []IndexMeta, where []Cond) (plan,
 			}
 			return false
 		}
+		if bestRange != nil {
+			p.rangeCol = schema.Cols[bestRange.col].Name
+			h.rangeCol = bestRange.col
+			if bestRange.lo.set {
+				p.lo, p.hasLo, p.loIncl = bestRange.lo.val, true, bestRange.lo.incl
+				h.rangeLo = bestRange.lo.whereIdx
+				p.rangeConds = append(p.rangeConds, boundCond(schema, bestRange.col, bestRange.lo, true))
+			}
+			if bestRange.hi.set {
+				p.hi, p.hasHi, p.hiIncl = bestRange.hi.val, true, bestRange.hi.incl
+				h.rangeHi = bestRange.hi.whereIdx
+				p.rangeConds = append(p.rangeConds, boundCond(schema, bestRange.col, bestRange.hi, false))
+			}
+		}
 	}
-	for _, r := range rs {
-		if inPrefix(r.col) {
+	for _, r := range rw.conds {
+		if r.op == rel.CmpEq && inPrefix(r.col) {
 			continue
 		}
-		p.residual = append(p.residual, Cond{Col: where[r.whereIdx].Col, Val: r.val})
+		p.residual = append(p.residual, Cond{Col: where[r.whereIdx].Col, Op: r.op, Val: r.val})
 		h.residual = append(h.residual, hintCond{whereIdx: r.whereIdx, col: r.col})
+	}
+	for i := range rw.ranges {
+		rr := &rw.ranges[i]
+		if rr == bestRange {
+			continue // enforced by the scan bounds
+		}
+		if rr.lo.set {
+			p.residual = append(p.residual, boundCond(schema, rr.col, rr.lo, true))
+			h.residual = append(h.residual, hintCond{whereIdx: rr.lo.whereIdx, col: rr.col})
+		}
+		if rr.hi.set {
+			p.residual = append(p.residual, boundCond(schema, rr.col, rr.hi, false))
+			h.residual = append(h.residual, hintCond{whereIdx: rr.hi.whereIdx, col: rr.col})
+		}
+	}
+	if !rw.stable {
+		return p, nil, nil
 	}
 	return p, h, nil
 }
@@ -300,25 +550,93 @@ func planFor(hint *CachedStmt, schema *rel.Schema, indexes []IndexMeta, where []
 	if err != nil {
 		return plan{}, err
 	}
-	hint.plan.Store(h)
+	if h != nil {
+		hint.plan.Store(h)
+	}
 	return p, nil
 }
 
 func matches(schema *rel.Schema, row rel.Row, conds []Cond) bool {
 	for _, c := range conds {
 		pos := schema.ColIndex(c.Col)
-		if pos < 0 || !row[pos].Equal(c.Val) {
+		if pos < 0 || !c.Op.Accepts(rel.Compare(row[pos], c.Val)) {
 			return false
 		}
 	}
 	return true
 }
 
+// RangeTxn is optionally implemented by transactions whose index scans
+// accept lo/hi range bounds (the kernel's B-Tree Scan(lo, hi)). prefix
+// carries the equality values pinning the leading index columns; the
+// bounds constrain the next index column. An unset bound (hasLo/hasHi
+// false) leaves that side open within the prefix.
+type RangeTxn interface {
+	ScanIndexRange(table, index string, prefix []rel.Value, lo, hi rel.Value,
+		hasLo, hasHi, loIncl, hiIncl bool, fn func(rid rel.RowID, row rel.Row) bool) error
+}
+
+// VectorizedTxn is optionally implemented by transactions that can
+// evaluate fixed-width column predicates batch-at-a-time against PAX
+// minipages (selection vectors, §5.2) instead of materializing every row.
+// Both scans honor the borrowed-row contract of ScanTable.
+type VectorizedTxn interface {
+	// VectorizedScanEnabled reports whether the engine has the vectorized
+	// path enabled (false under the DisableVectorizedScan ablation).
+	VectorizedScanEnabled() bool
+	// ScanTableFiltered invokes fn only for visible rows satisfying every
+	// predicate.
+	ScanTableFiltered(table string, preds []rel.ColPred, fn func(rid rel.RowID, row rel.Row) bool) error
+	// AggTableFiltered folds the qualifying rows into the given aggregates
+	// without materializing rows, returning one value per spec plus the
+	// qualifying row count (vals are meaningless when n is 0).
+	AggTableFiltered(table string, preds []rel.ColPred, specs []rel.AggSpec) (vals []rel.Value, n int64, err error)
+}
+
+// colPreds lowers residual conditions to column predicates for the
+// vectorized path. ok is false when any condition touches a var-width
+// column (string comparisons keep the row-at-a-time path) or an unknown
+// column.
+func colPreds(schema *rel.Schema, conds []Cond) ([]rel.ColPred, bool) {
+	if len(conds) == 0 {
+		return nil, true
+	}
+	preds := make([]rel.ColPred, len(conds))
+	for i, c := range conds {
+		pos := schema.ColIndex(c.Col)
+		if pos < 0 || schema.Cols[pos].Type.FixedWidth() == 0 {
+			return nil, false
+		}
+		preds[i] = rel.ColPred{Col: pos, Op: c.Op, Val: c.Val}
+	}
+	return preds, true
+}
+
+// vectorizedFor returns the vectorized transaction surface when tx
+// supports it and the engine has it enabled.
+func vectorizedFor(tx Txn) (VectorizedTxn, bool) {
+	vt, ok := tx.(VectorizedTxn)
+	if !ok || !vt.VectorizedScanEnabled() {
+		return nil, false
+	}
+	return vt, true
+}
+
 // scanMatching drives the planned access path, invoking fn for each
 // matching (rid, row) until fn returns false. op, when non-nil, collects
 // the scan's actuals for EXPLAIN ANALYZE: rows examined (in), rows passing
 // the residual filter (out), and wall time; a nil op costs one branch.
+//
+// Access paths, in order: a provably empty plan scans nothing; an index
+// plan with range bounds runs a B-Tree range scan (demoting the bounds to
+// residual filters when tx lacks RangeTxn); an equality-prefix index plan
+// runs a prefix scan; a full scan evaluates its residual vectorized over
+// PAX column strips when tx supports it and every filtered column is
+// fixed-width, else row at a time.
 func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, op *opTrace, fn func(rid rel.RowID, row rel.Row) bool) error {
+	if p.empty {
+		return nil
+	}
 	start := op.begin()
 	visit := func(rid rel.RowID, row rel.Row) bool {
 		if op != nil {
@@ -333,9 +651,46 @@ func scanMatching(tx Txn, schema *rel.Schema, table string, p plan, op *opTrace,
 		return fn(rid, row)
 	}
 	var err error
-	if p.index != "" {
+	switch {
+	case p.index != "" && p.hasRange():
+		if rt, ok := tx.(RangeTxn); ok {
+			err = rt.ScanIndexRange(table, p.index, p.prefixVals, p.lo, p.hi,
+				p.hasLo, p.hasHi, p.loIncl, p.hiIncl, visit)
+			break
+		}
+		// No native range scan: widen to the prefix (or full) scan and
+		// re-apply the bounds as filters.
+		widened := visit
+		if len(p.rangeConds) > 0 {
+			widened = func(rid rel.RowID, row rel.Row) bool {
+				if !matches(schema, row, p.rangeConds) {
+					return true
+				}
+				return visit(rid, row)
+			}
+		}
+		if len(p.prefixVals) > 0 {
+			err = tx.ScanIndex(table, p.index, p.prefixVals, widened)
+		} else {
+			err = tx.ScanTable(table, widened)
+		}
+	case p.index != "":
 		err = tx.ScanIndex(table, p.index, p.prefixVals, visit)
-	} else {
+	default:
+		if vt, ok := vectorizedFor(tx); ok {
+			if preds, ok := colPreds(schema, p.residual); ok {
+				// The selection vector already applied every predicate:
+				// fn sees exactly the qualifying rows.
+				err = vt.ScanTableFiltered(table, preds, func(rid rel.RowID, row rel.Row) bool {
+					if op != nil {
+						op.rowsIn++
+						op.rowsOut++
+					}
+					return fn(rid, row)
+				})
+				break
+			}
+		}
 		err = tx.ScanTable(table, visit)
 	}
 	op.end(start)

@@ -146,7 +146,12 @@ func notePlan(tx Txn, desc string) {
 
 // scanLabel is the one-line access-path description of a planned scan.
 func scanLabel(table string, p plan) string {
-	if p.index != "" {
+	switch {
+	case p.empty:
+		return "Empty Scan on " + table
+	case p.index != "" && p.hasRange():
+		return "Index Range Scan using " + p.index + " on " + table
+	case p.index != "":
 		return "Index Scan using " + p.index + " on " + table
 	}
 	return "Seq Scan on " + table
@@ -177,7 +182,7 @@ func refString(r ColRef) string {
 	return r.Col
 }
 
-// condsString renders equality conditions "col = val AND ...".
+// condsString renders conditions "col op val AND ...".
 func condsString(conds []Cond) string {
 	parts := make([]string, len(conds))
 	for i, c := range conds {
@@ -185,15 +190,43 @@ func condsString(conds []Cond) string {
 		if c.Table != "" {
 			col = c.Table + "." + c.Col
 		}
-		parts[i] = col + " = " + c.Val.String()
+		parts[i] = col + " " + c.Op.String() + " " + c.Val.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// rangeCondString renders a plan's index range bounds with their
+// inclusivity, e.g. "amt >= 10 AND amt < 20".
+func rangeCondString(p plan) string {
+	var parts []string
+	if p.hasLo {
+		op := ">"
+		if p.loIncl {
+			op = ">="
+		}
+		parts = append(parts, p.rangeCol+" "+op+" "+p.lo.String())
+	}
+	if p.hasHi {
+		op := "<"
+		if p.hiIncl {
+			op = "<="
+		}
+		parts = append(parts, p.rangeCol+" "+op+" "+p.hi.String())
 	}
 	return strings.Join(parts, " AND ")
 }
 
 // scanPlanNode builds the plan node for a planned table access: the
-// access path plus Index Cond / Filter annotations.
-func scanPlanNode(table string, schema *rel.Schema, indexes []IndexMeta, p plan, op *opTrace) *planNode {
+// access path plus Index Cond / Index Range Cond / Filter annotations.
+// tx is consulted (never executed) for the vectorized capability: a full
+// scan whose residual runs batch-at-a-time over column strips is marked
+// "Vectorized: true" — the same test scanMatching applies.
+func scanPlanNode(table string, schema *rel.Schema, indexes []IndexMeta, p plan, op *opTrace, tx Txn) *planNode {
 	n := &planNode{label: scanLabel(table, p), op: op}
+	if p.empty {
+		n.notes = append(n.notes, "One-Time Filter: false (contradictory WHERE)")
+		return n
+	}
 	if p.index != "" && len(p.prefixVals) > 0 {
 		for i := range indexes {
 			if indexes[i].Name != p.index {
@@ -207,8 +240,18 @@ func scanPlanNode(table string, schema *rel.Schema, indexes []IndexMeta, p plan,
 			break
 		}
 	}
+	if p.index != "" && p.hasRange() {
+		n.notes = append(n.notes, "Index Range Cond: "+rangeCondString(p))
+	}
 	if len(p.residual) > 0 {
 		n.notes = append(n.notes, "Filter: "+condsString(p.residual))
+	}
+	if p.index == "" {
+		if _, ok := vectorizedFor(tx); ok {
+			if _, ok := colPreds(schema, p.residual); ok {
+				n.notes = append(n.notes, "Vectorized: true")
+			}
+		}
 	}
 	return n
 }
@@ -252,9 +295,9 @@ func shapePlanNodes(ss *srcSchema, s SelectStmt, child *planNode, sorted bool, t
 
 // buildSelectPlan reconstructs the plan tree for a SELECT by invoking
 // the same planner decisions the executor makes.
-func buildSelectPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error) {
+func buildSelectPlan(cat Catalog, tx Txn, s SelectStmt, tr *execTrace) (*planNode, error) {
 	if s.Join != nil {
-		return buildJoinPlan(cat, s, tr)
+		return buildJoinPlan(cat, tx, s, tr)
 	}
 	if schema, _, ok := statTable(cat, s.Table); ok {
 		if err := checkWhereQualifiers(s.Table, s.Where); err != nil {
@@ -290,7 +333,7 @@ func buildSelectPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error
 			return nil, err
 		}
 	}
-	scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp())
+	scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp(), tx)
 	if sorted {
 		scan.notes = append(scan.notes, "Order: "+p.index+" scan order satisfies ORDER BY (sort avoided)")
 	}
@@ -302,7 +345,7 @@ func buildSelectPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error
 
 // buildJoinPlan reconstructs the join subtree via the executor's own
 // strategy choice (hint-less, so the pick is recomputed deterministically).
-func buildJoinPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error) {
+func buildJoinPlan(cat Catalog, tx Txn, s SelectStmt, tr *execTrace) (*planNode, error) {
 	ji, err := resolveJoin(cat, s)
 	if err != nil {
 		return nil, err
@@ -325,7 +368,7 @@ func buildJoinPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error) 
 		if err != nil {
 			return nil, err
 		}
-		drive := scanPlanNode(driveName, driveSchema, driveIndexes, dp, tr.scanOp())
+		drive := scanPlanNode(driveName, driveSchema, driveIndexes, dp, tr.scanOp(), tx)
 		probe := &planNode{
 			label: "Index Scan using " + sh.probeIndex + " on " + probeName,
 			op:    tr.probeOp(),
@@ -348,8 +391,8 @@ func buildJoinPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error) 
 		if err != nil {
 			return nil, err
 		}
-		outer := scanPlanNode(s.Table, ji.outerSchema, ji.outerIndexes, outp, tr.scanOp())
-		inner := scanPlanNode(s.Join.Table, ji.innerSchema, ji.innerIndexes, ip, tr.buildOp())
+		outer := scanPlanNode(s.Table, ji.outerSchema, ji.outerIndexes, outp, tr.scanOp(), tx)
+		inner := scanPlanNode(s.Join.Table, ji.innerSchema, ji.innerIndexes, ip, tr.buildOp(), tx)
 		build := &planNode{label: "Hash Build", children: []*planNode{inner}}
 		join = &planNode{
 			label:    "Hash Join (" + cond + ")",
@@ -361,10 +404,10 @@ func buildJoinPlan(cat Catalog, s SelectStmt, tr *execTrace) (*planNode, error) 
 }
 
 // buildPlan reconstructs the plan tree for any explainable statement.
-func buildPlan(cat Catalog, stmt Stmt, tr *execTrace) (*planNode, error) {
+func buildPlan(cat Catalog, tx Txn, stmt Stmt, tr *execTrace) (*planNode, error) {
 	switch s := stmt.(type) {
 	case SelectStmt:
-		return buildSelectPlan(cat, s, tr)
+		return buildSelectPlan(cat, tx, s, tr)
 	case InsertStmt:
 		return &planNode{
 			label: fmt.Sprintf("Insert on %s (%d rows)", s.Table, len(s.Rows)),
@@ -383,7 +426,7 @@ func buildPlan(cat Catalog, stmt Stmt, tr *execTrace) (*planNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp())
+		scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp(), tx)
 		return &planNode{
 			label:    "Update on " + s.Table,
 			op:       tr.modifyOp(),
@@ -402,7 +445,7 @@ func buildPlan(cat Catalog, stmt Stmt, tr *execTrace) (*planNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp())
+		scan := scanPlanNode(s.Table, schema, indexes, p, tr.scanOp(), tx)
 		return &planNode{
 			label:    "Delete on " + s.Table,
 			op:       tr.modifyOp(),
@@ -453,7 +496,7 @@ func execExplain(cat Catalog, tx Txn, s ExplainStmt) (Result, error) {
 		}
 		tr.total = time.Since(start)
 	}
-	root, err := buildPlan(cat, s.Inner, tr)
+	root, err := buildPlan(cat, tx, s.Inner, tr)
 	if err != nil {
 		return Result{}, err
 	}

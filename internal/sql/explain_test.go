@@ -245,3 +245,69 @@ func TestExplainAnalyzeUntracedZeroCost(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExplainRangeConds(t *testing.T) {
+	cat, tx := ordersFixture()
+
+	// Range bounds on the unique index render as an Index Range Cond with
+	// their inclusivity.
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT region FROM o WHERE id > 1 AND id <= 3"), []string{
+		"Project (region)",
+		"  -> Index Range Scan using o_pk on o",
+		"       Index Range Cond: id > 1 AND id <= 3",
+	}, "pk range")
+
+	// Equality prefix + BETWEEN on the next index column.
+	wantLines(t, explainLines(t, cat, tx,
+		"EXPLAIN SELECT id FROM o WHERE region = 'eu' AND id BETWEEN 1 AND 2"), []string{
+		"Project (id)",
+		"  -> Index Range Scan using o_region on o",
+		"       Index Cond: region = \"eu\"",
+		"       Index Range Cond: id >= 1 AND id <= 2",
+	}, "prefix + between")
+
+	// Unindexed comparison stays a residual filter, rendered op-aware.
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT id FROM o WHERE amt >= 10"), []string{
+		"Project (id)",
+		"  -> Seq Scan on o",
+		"       Filter: amt >= 10",
+	}, "op-aware filter")
+
+	// Contradictory bounds prove emptiness before any scan.
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT id FROM o WHERE id > 5 AND id < 3"), []string{
+		"Project (id)",
+		"  -> Empty Scan on o",
+		"       One-Time Filter: false (contradictory WHERE)",
+	}, "contradiction")
+}
+
+// TestExplainVectorizedNote pins when a scan node advertises the batch
+// path: full scan, capability present and enabled, every filtered column
+// fixed-width.
+func TestExplainVectorizedNote(t *testing.T) {
+	cat, mtx := ordersFixture()
+	tx := &vecMemTxn{memTxn: mtx, enabled: true}
+
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT id FROM o WHERE amt >= 10"), []string{
+		"Project (id)",
+		"  -> Seq Scan on o",
+		"       Filter: amt >= 10",
+		"       Vectorized: true",
+	}, "vectorized seq scan")
+
+	// A var-width filter column keeps the row path.
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT id FROM o WHERE region = 'x' AND amt > 1"), []string{
+		"Project (id)",
+		"  -> Index Scan using o_region on o",
+		"       Index Cond: region = \"x\"",
+		"       Filter: amt > 1",
+	}, "index scan never vectorized")
+
+	// Capability disabled (the ablation): no note.
+	tx.enabled = false
+	wantLines(t, explainLines(t, cat, tx, "EXPLAIN SELECT id FROM o WHERE amt >= 10"), []string{
+		"Project (id)",
+		"  -> Seq Scan on o",
+		"       Filter: amt >= 10",
+	}, "ablation off")
+}

@@ -7,6 +7,8 @@
 //	CREATE [UNIQUE] INDEX i ON t (a, b)        -- online backfill on non-empty tables
 //	INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', 3.5)
 //	SELECT a, b FROM t WHERE a = 1 AND b = 'x' [LIMIT n]
+//	SELECT * FROM t WHERE a > 1 AND c <= 9.5 AND b != 'x'
+//	SELECT * FROM t WHERE a BETWEEN 3 AND 7    -- sugar for a >= 3 AND a <= 7
 //	SELECT * FROM t [WHERE ...] [ORDER BY c [ASC|DESC], ...] [LIMIT n]
 //	SELECT t.a, u.g FROM t JOIN u ON t.a = u.x [WHERE ...]
 //	SELECT a, count(*), sum(c), min(b), max(b), avg(c)
@@ -16,14 +18,23 @@
 //
 // Column references may be qualified (t.a) anywhere a column is legal;
 // aggregates are count/sum/min/max/avg, with count(*) counting rows.
+// WHERE is a conjunction of comparisons (=, !=, <, <=, >, >=, BETWEEN)
+// between a column and a literal; the dialect has no NULL, so comparison
+// semantics are total.
 //
 // The planner matches equality conjunctions in WHERE against declared
 // index prefixes (choosing the longest usable prefix, unique indexes
-// first) and falls back to a visibility-checked full scan with a residual
-// filter — mirroring how the kernel's native access paths are meant to be
-// used. Joins are two-table inner equi-joins: index nested loop when a
-// join column is a usable index prefix, hash join otherwise. ORDER BY
-// skips its sort when the chosen index already delivers the order.
+// first); a range conjunct (<, <=, >, >=, BETWEEN) on the next index
+// column after the equality prefix extends the access path to a B-Tree
+// range scan with lo/hi bounds. Range conditions on one column intersect
+// (a provably empty intersection short-circuits the scan); equality keeps
+// the documented last-wins dedupe. Everything else falls back to a
+// visibility-checked full scan with a residual filter — vectorized over
+// PAX column strips when every filtered column is fixed-width. Joins are
+// two-table inner equi-joins: index nested loop when a join column is a
+// usable index prefix, hash join otherwise. ORDER BY skips its sort when
+// the chosen index already delivers the order (a range column still
+// delivers its own ascending order).
 package sql
 
 import (
@@ -39,7 +50,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokSymbol // ( ) , = * . < > ?
+	tokSymbol // ( ) , = * . < > <= >= != ?
 )
 
 type token struct {
@@ -98,7 +109,15 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
-		case strings.ContainsRune("(),=*.<>?", rune(c)):
+		case c == '<' || c == '>' || c == '!':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			} else if c == '!' {
+				return nil, fmt.Errorf("sql: unexpected character %q at %d (did you mean !=?)", c, start)
+			}
+			l.tokens = append(l.tokens, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.ContainsRune("(),=*.?", rune(c)):
 			l.pos++
 			l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: start})
 		default:

@@ -28,6 +28,14 @@ var fuzzSeeds = []string{
 	"INSERT INTO fu VALUES (1, 'dup')",
 	"SELECT nope FROM ft",
 	"SELECT sum(s) FROM ft",
+	"SELECT a FROM ft WHERE a > 1 AND a <= 2",
+	"SELECT a, f FROM ft WHERE f >= 0.25 AND f < 2 AND a != 2",
+	"SELECT x FROM fu WHERE x BETWEEN 1 AND 3",
+	"SELECT count(*), sum(f), min(f), max(a) FROM ft WHERE a >= 1 AND f < 9",
+	"SELECT s FROM ft WHERE s > 'a' ORDER BY s LIMIT 2",
+	"SELECT a FROM ft WHERE a > 2 AND a < 1",
+	"UPDATE ft SET f = 0.5 WHERE f BETWEEN 1 AND 3",
+	"DELETE FROM ft WHERE a != 1 AND a >= 2",
 }
 
 // FuzzSQLVsReference feeds arbitrary statements to the engine and the

@@ -61,6 +61,22 @@ func (g *gen) ref(table string, c oracleCol) string {
 	return c.name
 }
 
+// cond renders one predicate over the named column: usually equality,
+// sometimes a comparison or BETWEEN, so range planning, bound intersection,
+// and the batch filters get continuous differential coverage (repeated
+// columns across conjuncts arise naturally from random draws).
+func (g *gen) cond(name string, typ byte) string {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		ops := []string{"<", "<=", ">", ">=", "!="}
+		return fmt.Sprintf("%s %s %s", name, ops[g.rng.Intn(len(ops))], g.literal(typ))
+	case 3:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", name, g.literal(typ), g.literal(typ))
+	default:
+		return fmt.Sprintf("%s = %s", name, g.literal(typ))
+	}
+}
+
 func (g *gen) where(table string) string {
 	n := g.rng.Intn(3)
 	var conds []string
@@ -70,7 +86,7 @@ func (g *gen) where(table string) string {
 		if g.rng.Intn(50) == 0 {
 			name = "zz" // deliberate unknown column: both sides must error
 		}
-		conds = append(conds, fmt.Sprintf("%s = %s", name, g.literal(c.typ)))
+		conds = append(conds, g.cond(name, c.typ))
 	}
 	if len(conds) == 0 {
 		return ""
@@ -241,7 +257,7 @@ func (g *gen) whereFor(srcCols []struct {
 	var conds []string
 	for i := 0; i < n; i++ {
 		sc := srcCols[g.rng.Intn(len(srcCols))]
-		conds = append(conds, fmt.Sprintf("%s = %s", g.ref(sc.table, sc.col), g.literal(sc.col.typ)))
+		conds = append(conds, g.cond(g.ref(sc.table, sc.col), sc.col.typ))
 	}
 	if len(conds) == 0 {
 		return ""

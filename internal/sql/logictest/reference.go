@@ -219,28 +219,50 @@ func (rs *refSrc) colType(pos int) rel.Type {
 	return rel.TInt64
 }
 
-// resolveConds maps WHERE to (combined position, coerced value) pairs,
-// deduplicating repeated columns with the last condition winning — the
-// engine's documented planner semantics.
-func (rs *refSrc) resolveConds(where []sql.Cond) (map[int]rel.Value, error) {
-	out := map[int]rel.Value{}
+type refCond struct {
+	pos int
+	op  rel.CmpOp
+	val rel.Value
+}
+
+// refConds is a WHERE conjunction normalized the way the engine documents:
+// repeated equality conditions on a column dedupe with the last winning;
+// comparison conditions (<, <=, >, >=, !=) all apply conjunctively, which
+// is exactly the planner's per-column range intersection.
+type refConds struct {
+	eq    map[int]rel.Value
+	other []refCond
+}
+
+// resolveConds maps WHERE to combined positions with coerced literals.
+func (rs *refSrc) resolveConds(where []sql.Cond) (refConds, error) {
+	out := refConds{eq: map[int]rel.Value{}}
 	for _, c := range where {
 		pos, err := rs.resolve(sql.ColRef{Table: c.Table, Col: c.Col})
 		if err != nil {
-			return nil, err
+			return refConds{}, err
 		}
 		v, err := coerce(c.Val, rs.colType(pos))
 		if err != nil {
-			return nil, err
+			return refConds{}, err
 		}
-		out[pos] = v
+		if c.Op == rel.CmpEq {
+			out.eq[pos] = v
+		} else {
+			out.other = append(out.other, refCond{pos: pos, op: c.Op, val: v})
+		}
 	}
 	return out, nil
 }
 
-func condsMatch(row rel.Row, conds map[int]rel.Value) bool {
-	for pos, v := range conds {
+func condsMatch(row rel.Row, conds refConds) bool {
+	for pos, v := range conds.eq {
 		if !row[pos].Equal(v) {
+			return false
+		}
+	}
+	for _, c := range conds.other {
+		if !c.op.Accepts(refCompare(row[c.pos], c.val)) {
 			return false
 		}
 	}

@@ -31,11 +31,15 @@ type InsertStmt struct {
 	Rows  [][]rel.Value
 }
 
-// Cond is one equality predicate in a WHERE conjunction.
+// Cond is one comparison predicate in a WHERE conjunction:
+// <col> <op> <literal>. BETWEEN desugars in the parser to a >= and a <=
+// Cond on the same column, so downstream layers only see the six
+// operators. The zero Op is rel.CmpEq, keeping pre-range callers valid.
 type Cond struct {
 	// Table is the optional qualifier ("" = unqualified).
 	Table string
 	Col   string
+	Op    rel.CmpOp
 	Val   rel.Value
 }
 
@@ -453,19 +457,66 @@ func (p *parser) where() ([]Cond, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol("="); err != nil {
-			return nil, err
+		if p.keyword("between") {
+			// col BETWEEN a AND b desugars to col >= a AND col <= b; the
+			// inner AND is consumed here so it cannot be read as the
+			// conjunction separator.
+			lo, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds,
+				Cond{Table: ref.Table, Col: ref.Col, Op: rel.CmpGe, Val: lo},
+				Cond{Table: ref.Table, Col: ref.Col, Op: rel.CmpLe, Val: hi})
+		} else {
+			op, err := p.cmpOp()
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, Cond{Table: ref.Table, Col: ref.Col, Op: op, Val: v})
 		}
-		v, err := p.value()
-		if err != nil {
-			return nil, err
-		}
-		conds = append(conds, Cond{Table: ref.Table, Col: ref.Col, Val: v})
 		if p.keyword("and") {
 			continue
 		}
 		return conds, nil
 	}
+}
+
+// cmpOp consumes one comparison operator token.
+func (p *parser) cmpOp() (rel.CmpOp, error) {
+	if p.cur().kind == tokSymbol {
+		var op rel.CmpOp
+		switch p.cur().text {
+		case "=":
+			op = rel.CmpEq
+		case "!=":
+			op = rel.CmpNe
+		case "<":
+			op = rel.CmpLt
+		case "<=":
+			op = rel.CmpLe
+		case ">":
+			op = rel.CmpGt
+		case ">=":
+			op = rel.CmpGe
+		default:
+			return 0, p.errorf("expected comparison operator")
+		}
+		p.pos++
+		return op, nil
+	}
+	return 0, p.errorf("expected comparison operator")
 }
 
 func (p *parser) limit() (int, error) {

@@ -465,6 +465,83 @@ func aggregateRows(ss *srcSchema, s SelectStmt, outCols []outCol, rows []rel.Row
 	return res, nil
 }
 
+// pushdownScalarAggs computes an all-aggregate scalar SELECT over a full
+// table scan through the vectorized path: predicates filter column
+// strips into a selection vector and each aggregate folds directly over
+// its minipage, so no qualifying row is materialized (§5.2). ok is false
+// when the shape doesn't qualify — a non-aggregate output column, a
+// var-width filter column, or a transaction without the batch surface —
+// and the caller falls back to the gather + shape pipeline.
+func pushdownScalarAggs(tx Txn, ss *srcSchema, s SelectStmt, p plan) (Result, bool, error) {
+	vt, ok := vectorizedFor(tx)
+	if !ok {
+		return Result{}, false, nil
+	}
+	preds, ok := colPreds(ss.schemas[0], p.residual)
+	if !ok {
+		return Result{}, false, nil
+	}
+	outCols, err := buildOutCols(ss, s)
+	if err != nil {
+		return Result{}, false, err
+	}
+	// Lower each output to a fold spec. COUNT (star or column — the
+	// dialect has no NULLs, so they agree) reads the shared row count;
+	// AVG folds a SUM and divides by it.
+	specIdx := make([]int, len(outCols))
+	var specs []rel.AggSpec
+	for i, oc := range outCols {
+		var op rel.AggOp
+		switch oc.agg {
+		case AggCount:
+			specIdx[i] = -1
+			continue
+		case AggSum, AggAvg:
+			op = rel.AggOpSum
+		case AggMin:
+			op = rel.AggOpMin
+		case AggMax:
+			op = rel.AggOpMax
+		default: // AggNone: plain column in an aggregate select list
+			return Result{}, false, nil
+		}
+		specIdx[i] = len(specs)
+		specs = append(specs, rel.AggSpec{Op: op, Col: oc.pos})
+	}
+	notePlan(tx, scanLabel(s.Table, p))
+	vals, n, err := vt.AggTableFiltered(s.Table, preds, specs)
+	if err != nil {
+		return Result{}, false, err
+	}
+	row := make(rel.Row, len(outCols))
+	for i, oc := range outCols {
+		ct := rel.TInt64
+		if !oc.star {
+			ct = ss.colMeta(oc.pos).Type
+		}
+		switch {
+		case oc.agg == AggCount:
+			row[i] = rel.Int(n)
+		case oc.agg == AggAvg:
+			if n == 0 {
+				row[i] = rel.Float(0)
+				break
+			}
+			sum := vals[specIdx[i]]
+			f := sum.F
+			if sum.Kind == rel.TInt64 {
+				f = float64(sum.I)
+			}
+			row[i] = rel.Float(f / float64(n))
+		case n == 0:
+			row[i] = zeroValue(ct)
+		default:
+			row[i] = vals[specIdx[i]]
+		}
+	}
+	return Result{Columns: colNames(outCols), Rows: []rel.Row{row}}, true, nil
+}
+
 // orderSatisfied reports whether the planned index scan already emits
 // rows in ORDER BY order: every key ascending, and the key columns
 // matching the index columns after the equality prefix, in sequence.
@@ -534,6 +611,12 @@ func execSelectShaped(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt, tr *e
 	}
 	c := countersOf(cat)
 	aggregate := len(s.GroupBy) > 0 || hasAggs(s.Exprs)
+	if aggregate && tr == nil && len(s.GroupBy) == 0 && len(s.OrderBy) == 0 &&
+		p.index == "" && !p.empty {
+		if res, ok, err := pushdownScalarAggs(tx, ss, s, p); ok || err != nil {
+			return res, err
+		}
+	}
 	sorted := false
 	if !aggregate && len(s.OrderBy) > 0 {
 		sorted, err = orderSatisfied(ss, indexes, p, s.OrderBy)
@@ -653,9 +736,9 @@ func resolveJoin(cat Catalog, s SelectStmt) (*joinInfo, error) {
 			return nil, err
 		}
 		if pos < ss.offsets[1] {
-			outerConds = append(outerConds, Cond{Col: cd.Col, Val: cd.Val})
+			outerConds = append(outerConds, Cond{Col: cd.Col, Op: cd.Op, Val: cd.Val})
 		} else {
-			innerConds = append(innerConds, Cond{Col: cd.Col, Val: cd.Val})
+			innerConds = append(innerConds, Cond{Col: cd.Col, Op: cd.Op, Val: cd.Val})
 		}
 	}
 	outerIndexes, err := cat.IndexInfo(s.Table)
@@ -740,16 +823,17 @@ func execSelectJoin(cat Catalog, tx Txn, s SelectStmt, hint *CachedStmt, tr *exe
 		}
 		notePlan(tx, joinLabel(sh, scanLabel(driveName, dp), probeName))
 		// The probe side bypasses planWhere, so apply the same dedupe
-		// (last condition wins) and int→float coercion here; matches()
-		// compares raw values and must see normalized conditions.
-		prs, err := resolveWhere(probeSchema, probeConds)
+		// (last condition wins), range intersection, and int→float coercion
+		// here; matches() compares raw values and must see normalized
+		// conditions.
+		prw, err := resolveWhere(probeSchema, probeConds)
 		if err != nil {
 			return Result{}, err
 		}
-		probeConds = make([]Cond, len(prs))
-		for i, rc := range prs {
-			probeConds[i] = Cond{Col: probeSchema.Cols[rc.col].Name, Val: rc.val}
+		if prw.empty {
+			return shapeRows(ji.ss, s, nil, false, c, tr)
 		}
+		probeConds = prw.flatten(probeSchema)
 		pop := tr.probeOp()
 		var perr error
 		err = scanMatching(tx, driveSchema, driveName, dp, tr.scanOp(), func(_ rel.RowID, drow rel.Row) bool {

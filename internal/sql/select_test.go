@@ -343,3 +343,157 @@ func TestExecShapedErrors(t *testing.T) {
 		t.Fatal("unknown ORDER BY column executed")
 	}
 }
+
+// vecMemTxn adds the VectorizedTxn capability on top of memTxn, delegating
+// to row-at-a-time evaluation. It lets unit tests exercise the planner's
+// vectorized dispatch and the scalar aggregate pushdown without an engine.
+type vecMemTxn struct {
+	*memTxn
+	enabled  bool
+	aggCalls int
+}
+
+func (v *vecMemTxn) VectorizedScanEnabled() bool { return v.enabled }
+
+func (v *vecMemTxn) ScanTableFiltered(table string, preds []rel.ColPred, fn func(rel.RowID, rel.Row) bool) error {
+	v.scans = append(v.scans, "vec:"+table)
+	for i, row := range v.rows[table] {
+		ok := true
+		for _, p := range preds {
+			if !p.EvalRow(row) {
+				ok = false
+				break
+			}
+		}
+		if ok && !fn(rel.RowID(i+1), row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (v *vecMemTxn) AggTableFiltered(table string, preds []rel.ColPred, specs []rel.AggSpec) ([]rel.Value, int64, error) {
+	v.aggCalls++
+	var n int64
+	vals := make([]rel.Value, len(specs))
+	err := v.ScanTableFiltered(table, preds, func(_ rel.RowID, row rel.Row) bool {
+		for si, sp := range specs {
+			if sp.Op == rel.AggOpCount {
+				continue
+			}
+			cv := row[sp.Col]
+			if n == 0 {
+				vals[si] = cv
+				continue
+			}
+			switch sp.Op {
+			case rel.AggOpSum:
+				if cv.Kind == rel.TInt64 {
+					vals[si] = rel.Int(vals[si].I + cv.I)
+				} else {
+					vals[si] = rel.Float(vals[si].F + cv.F)
+				}
+			case rel.AggOpMin:
+				if compareValues(cv, vals[si]) < 0 {
+					vals[si] = cv
+				}
+			case rel.AggOpMax:
+				if compareValues(cv, vals[si]) > 0 {
+					vals[si] = cv
+				}
+			}
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for si, sp := range specs {
+		if sp.Op == rel.AggOpCount {
+			vals[si] = rel.Int(n)
+		}
+	}
+	return vals, n, nil
+}
+
+// Scalar aggregates over a fixed-width filtered full scan must take the
+// pushdown path (one AggTableFiltered call, no row materialization in the
+// shaped pipeline) and produce the same results as the row path.
+func TestScalarAggPushdown(t *testing.T) {
+	cat, mtx := ordersFixture()
+	tx := &vecMemTxn{memTxn: mtx, enabled: true}
+
+	res := mustExec(t, cat, tx, "SELECT count(*), sum(amt), min(amt), max(amt), avg(amt) FROM o WHERE amt >= 10")
+	if tx.aggCalls != 1 {
+		t.Fatalf("aggCalls = %d, want 1 (pushdown not taken)", tx.aggCalls)
+	}
+	// Qualifying rows: amt 30.5, 10, 20.
+	want := rel.Row{rel.Int(3), rel.Float(60.5), rel.Float(10), rel.Float(30.5), rel.Float(60.5 / 3)}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	for i, v := range want {
+		if !res.Rows[0][i].Equal(v) {
+			t.Fatalf("col %d = %v, want %v", i, res.Rows[0][i], v)
+		}
+	}
+
+	// Empty input: the pushdown must substitute the zero-row defaults.
+	res = mustExec(t, cat, tx, "SELECT count(*), sum(amt), min(id), avg(amt) FROM o WHERE amt > 1000")
+	if tx.aggCalls != 2 {
+		t.Fatalf("aggCalls = %d, want 2", tx.aggCalls)
+	}
+	want = rel.Row{rel.Int(0), rel.Float(0), rel.Int(0), rel.Float(0)}
+	for i, v := range want {
+		if !res.Rows[0][i].Equal(v) {
+			t.Fatalf("empty col %d = %v, want %v", i, res.Rows[0][i], v)
+		}
+	}
+
+	// A var-width filter column keeps the row path but must agree.
+	res = mustExec(t, cat, tx, "SELECT count(*), sum(amt) FROM o WHERE region = 'eu' AND amt > 1")
+	if tx.aggCalls != 2 {
+		t.Fatalf("aggCalls = %d, want 2 (var-width filter must not push down)", tx.aggCalls)
+	}
+	if !res.Rows[0][0].Equal(rel.Int(2)) || !res.Rows[0][1].Equal(rel.Float(50.5)) {
+		t.Fatalf("row-path aggs = %v", res.Rows[0])
+	}
+
+	// GROUP BY keeps the grouped pipeline.
+	mustExec(t, cat, tx, "SELECT region, count(*) FROM o WHERE amt > 1 GROUP BY region")
+	if tx.aggCalls != 2 {
+		t.Fatalf("aggCalls = %d, want 2 (GROUP BY must not push down)", tx.aggCalls)
+	}
+
+	// Ablation off: row path, same answer.
+	tx.enabled = false
+	res = mustExec(t, cat, tx, "SELECT count(*), sum(amt) FROM o WHERE amt >= 10")
+	if tx.aggCalls != 2 {
+		t.Fatalf("aggCalls = %d, want 2 (disabled capability must not push down)", tx.aggCalls)
+	}
+	if !res.Rows[0][0].Equal(rel.Int(3)) || !res.Rows[0][1].Equal(rel.Float(60.5)) {
+		t.Fatalf("ablation aggs = %v", res.Rows[0])
+	}
+}
+
+// The vectorized dispatch must route filtered full scans through
+// ScanTableFiltered and leave indexed/var-width scans on the row path.
+func TestVectorizedScanDispatch(t *testing.T) {
+	cat, mtx := ordersFixture()
+	tx := &vecMemTxn{memTxn: mtx, enabled: true}
+
+	res := mustExec(t, cat, tx, "SELECT id FROM o WHERE amt >= 10 ORDER BY id")
+	if got := fmt.Sprint(res.Rows); got != "[[1] [2] [3]]" {
+		t.Fatalf("rows = %s", got)
+	}
+	if len(tx.scans) == 0 || tx.scans[len(tx.scans)-1] != "vec:o" {
+		t.Fatalf("scans = %v, want trailing vec:o", tx.scans)
+	}
+
+	// String predicate: row path.
+	mustExec(t, cat, tx, "SELECT id FROM o WHERE region != 'eu'")
+	if tx.scans[len(tx.scans)-1] != "table:o" {
+		t.Fatalf("scans = %v, want trailing table:o", tx.scans)
+	}
+}

@@ -177,6 +177,37 @@ func TestParseUpdateDelete(t *testing.T) {
 	}
 }
 
+func TestParseComparisons(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE a >= 2 AND b < 'm' AND c != 1.5 AND d BETWEEN 3 AND 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(SelectStmt)
+	want := []Cond{
+		{Col: "a", Op: rel.CmpGe, Val: rel.Int(2)},
+		{Col: "b", Op: rel.CmpLt, Val: rel.Str("m")},
+		{Col: "c", Op: rel.CmpNe, Val: rel.Float(1.5)},
+		{Col: "d", Op: rel.CmpGe, Val: rel.Int(3)},
+		{Col: "d", Op: rel.CmpLe, Val: rel.Int(7)},
+	}
+	if len(sel.Where) != len(want) {
+		t.Fatalf("Where = %+v", sel.Where)
+	}
+	for i, c := range want {
+		if sel.Where[i] != c {
+			t.Errorf("Where[%d] = %+v, want %+v", i, sel.Where[i], c)
+		}
+	}
+	// BETWEEN's AND binds to the range; a further conjunct still parses.
+	stmt, err = Parse("DELETE FROM t WHERE d BETWEEN 3 AND 7 AND e = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := stmt.(DeleteStmt); len(del.Where) != 3 || del.Where[2].Col != "e" {
+		t.Fatalf("Where = %+v", del.Where)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
@@ -184,7 +215,10 @@ func TestParseErrors(t *testing.T) {
 		"SELECT FROM t",
 		"CREATE TABLE t (a blob)",
 		"INSERT INTO t VALUES 1, 2",
-		"SELECT * FROM t WHERE a > 1", // only equality supported
+		"SELECT * FROM t WHERE a ! 1",            // bare ! is not an operator
+		"SELECT * FROM t WHERE a BETWEEN 1",      // BETWEEN needs AND hi
+		"SELECT * FROM t WHERE a BETWEEN 1 OR 2", // ... spelled AND
+		"SELECT * FROM t WHERE a >",              // operator without literal
 		"UPDATE t SET",
 		"SELECT * FROM t extra",
 		"SELECT * FROM t LIMIT 'x'",

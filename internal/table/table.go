@@ -721,6 +721,53 @@ func (t *Table) scanPage(pg *Page, io *Ctx, includeTombstones bool, buf rel.Row,
 	}
 }
 
+// PageView is one resident page's content handed to ScanPages callbacks.
+// Everything in it is borrowed: valid only under the page's shared latch,
+// for the duration of the callback.
+type PageView struct {
+	Pl *Payload
+	// Twin is the page's twin table (nil when no slot has an uncollected
+	// version chain or tuple lock).
+	Twin *undo.TwinTable
+}
+
+// ScanPages iterates the hot/cold pages in row_id order, invoking fn once
+// per page under its shared latch, until fn returns false. This is the
+// batch counterpart of Scan: the callback sees the whole PAX payload at
+// once (tombstones included) and evaluates column predicates against
+// minipage bytes without materializing rows.
+func (t *Table) ScanPages(io *Ctx, fn func(v PageView) bool) error {
+	t.dirMu.RLock()
+	pages := append([]*Page(nil), t.dir...)
+	t.dirMu.RUnlock()
+	for _, pg := range pages {
+		for {
+			if pg.swip.State() == swizzle.Cold {
+				pg.lt.LockExclusive(io.yieldFunc())
+				if _, err := pg.ensureResident(io); err != nil {
+					pg.lt.UnlockExclusive()
+					return err
+				}
+				pg.lt.UnlockExclusive()
+				continue
+			}
+			pg.lt.LockShared(io.yieldFunc())
+			if pg.swip.State() == swizzle.Cold {
+				pg.lt.UnlockShared()
+				continue
+			}
+			pg.touch()
+			cont := fn(PageView{Pl: pg.swip.Ptr(), Twin: pg.Twin})
+			pg.lt.UnlockShared()
+			if !cont {
+				return nil
+			}
+			break
+		}
+	}
+	return nil
+}
+
 // NextRowID returns the highest assigned row_id (reserved-but-unused chunk
 // remainders don't count: they may be burned without ever holding a row).
 func (t *Table) NextRowID() rel.RowID { return rel.RowID(t.maxAssigned.Load()) }

@@ -128,6 +128,10 @@ type Options struct {
 	// visibility path — fresh row materialization per read, no watermark
 	// short-circuit (the read-path-overhaul ablation).
 	DisableReadFastPath bool
+	// DisableVectorizedScan turns off batch predicate evaluation over PAX
+	// minipages: filtered full scans and pushed-down aggregates fall back
+	// to row-at-a-time materialization (the vectorized-scan ablation).
+	DisableVectorizedScan bool
 	// PlanCacheSize bounds the prepared-statement plan cache (number of
 	// cached statement shapes per database; default 256, negative
 	// disables caching).
@@ -226,20 +230,21 @@ func Open(opts Options) (*DB, error) {
 		waits = waitevent.New(totalSlots)
 	}
 	eng, err := core.Open(core.Config{
-		Dir:                 opts.Dir,
-		PageSize:            opts.PageSize,
-		PageCap:             opts.PageCap,
-		BufferBytes:         opts.BufferBytes,
-		Partitions:          workers,
-		Slots:               totalSlots,
-		WALSync:             opts.WALSync,
-		LockTimeout:         opts.LockTimeout,
-		DisableRFA:          opts.DisableRFA,
-		PessimisticIndex:    opts.PessimisticIndex,
-		DisableReadFastPath: opts.DisableReadFastPath,
-		SlowTxnThreshold:    opts.SlowTxnThreshold,
-		StatsLite:           opts.StatsLite,
-		Waits:               waits,
+		Dir:                   opts.Dir,
+		PageSize:              opts.PageSize,
+		PageCap:               opts.PageCap,
+		BufferBytes:           opts.BufferBytes,
+		Partitions:            workers,
+		Slots:                 totalSlots,
+		WALSync:               opts.WALSync,
+		LockTimeout:           opts.LockTimeout,
+		DisableRFA:            opts.DisableRFA,
+		PessimisticIndex:      opts.PessimisticIndex,
+		DisableReadFastPath:   opts.DisableReadFastPath,
+		DisableVectorizedScan: opts.DisableVectorizedScan,
+		SlowTxnThreshold:      opts.SlowTxnThreshold,
+		StatsLite:             opts.StatsLite,
+		Waits:                 waits,
 		// Pool slot IDs are contiguous per worker; session and system
 		// slots fold onto workers round-robin.
 		PartitionOf: func(slot int) int {
