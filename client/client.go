@@ -1,21 +1,39 @@
 // Package client is the Go driver for a standalone PhoebeDB server
-// (cmd/phoebeserver): it speaks the newline-delimited SQL protocol of
-// internal/server.
+// (cmd/phoebeserver): it speaks the framed wire protocol of
+// internal/wire, including pipelining and session transactions.
+//
+// Synchronous use:
 //
 //	c, _ := client.Dial("localhost:5440")
 //	defer c.Close()
 //	c.Exec("CREATE TABLE t (id INT, v STRING)")
 //	res, _ := c.Exec("SELECT * FROM t WHERE id = 1")
 //	fmt.Println(res.Rows)
+//
+// Pipelined use — enqueue many statements before reading any response;
+// the server executes them in order and responses come back in order:
+//
+//	for i := 0; i < 100; i++ {
+//		c.Send(fmt.Sprintf("SELECT v FROM t WHERE id = %d", i))
+//	}
+//	c.Flush()
+//	for i := 0; i < 100; i++ {
+//		res, err := c.Recv()
+//		...
+//	}
 package client
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
-	"strings"
 	"time"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/wire"
 )
 
 // Result is one statement's outcome.
@@ -27,127 +45,206 @@ type Result struct {
 	Affected int
 }
 
-// Conn is one client connection. Not safe for concurrent use; open one
-// per goroutine (a connection is a session).
-type Conn struct {
-	c net.Conn
-	r *bufio.Scanner
-	w *bufio.Writer
+// ServerError is a structured error returned by the server (as opposed
+// to a transport failure). Code is one of the wire.ErrCode* values, e.g.
+// "SQL" for statement errors, "OVERLOADED" for admission-control
+// rejection.
+type ServerError struct {
+	Code string
+	Msg  string
 }
 
-// Dial connects to a PhoebeDB server.
+// Error implements error.
+func (e *ServerError) Error() string { return fmt.Sprintf("client: server [%s]: %s", e.Code, e.Msg) }
+
+// Conn is one client connection (= one server session). Not safe for
+// concurrent use; open one per goroutine.
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+	// outstanding counts pipelined requests sent but not yet Recv'd.
+	outstanding int
+	hdr         [4]byte
+	scratch     []byte
+}
+
+// Dial connects to a PhoebeDB server and performs the protocol
+// handshake.
 func Dial(addr string) (*Conn, error) {
 	return DialTimeout(addr, 5*time.Second)
 }
 
 // DialTimeout connects with a bound on connection establishment.
 func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Conn{c: c, r: sc, w: bufio.NewWriter(c)}, nil
+	c := &Conn{
+		c: nc,
+		r: bufio.NewReaderSize(nc, 64*1024),
+		w: bufio.NewWriterSize(nc, 64*1024),
+	}
+	c.w.Write(wire.AppendHello(nil))
+	if err := c.w.Flush(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	if _, err := c.recvFrame(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	return c, nil
 }
 
-// Close terminates the session.
+// Close sends Quit (best effort) and closes the connection. Any open
+// transaction is rolled back by the server.
 func (c *Conn) Close() error {
-	fmt.Fprintln(c.w, "quit")
+	c.w.Write(wire.AppendFrame(nil, wire.FrameQuit, nil))
 	c.w.Flush()
 	return c.c.Close()
 }
 
-// Exec sends one SQL statement and parses the response.
-func (c *Conn) Exec(query string) (Result, error) {
-	if strings.ContainsAny(query, "\n\r") {
-		return Result{}, fmt.Errorf("client: statement must be a single line")
+// Send enqueues one SQL statement without waiting for its response.
+// Call Flush to push buffered frames to the server and Recv once per
+// Send, in order, to collect results.
+func (c *Conn) Send(query string) error {
+	c.outstanding++
+	if _, err := c.w.Write(wire.AppendQuery(c.takeScratch(), query)); err != nil {
+		return err
 	}
-	if _, err := fmt.Fprintln(c.w, query); err != nil {
+	return nil
+}
+
+// Flush pushes all buffered frames to the server.
+func (c *Conn) Flush() error { return c.w.Flush() }
+
+// Recv reads the next pipelined response. It must be called exactly
+// once per Send/sendCtl, in order.
+func (c *Conn) Recv() (Result, error) {
+	if c.outstanding == 0 {
+		return Result{}, fmt.Errorf("client: Recv without outstanding Send")
+	}
+	c.outstanding--
+	return c.recvFrame()
+}
+
+// Outstanding reports how many pipelined responses have not been
+// received yet.
+func (c *Conn) Outstanding() int { return c.outstanding }
+
+// Exec sends one SQL statement and waits for its result. Any previously
+// Sent statements are flushed and their responses must still be Recv'd
+// first — mixing Exec into an open pipeline is an error.
+func (c *Conn) Exec(query string) (Result, error) {
+	if c.outstanding != 0 {
+		return Result{}, fmt.Errorf("client: Exec with %d pipelined responses pending; Recv them first", c.outstanding)
+	}
+	if err := c.Send(query); err != nil {
 		return Result{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Result{}, err
+	}
+	return c.Recv()
+}
+
+// Begin opens an explicit transaction at the server's default isolation
+// level. The transaction spans subsequent statements on this connection
+// until Commit or Rollback; on disconnect the server rolls it back.
+func (c *Conn) Begin() error { return c.beginIso(0) }
+
+// BeginReadCommitted / BeginRepeatableRead open a transaction at an
+// explicit isolation level.
+func (c *Conn) BeginReadCommitted() error  { return c.beginIso(1) }
+func (c *Conn) BeginRepeatableRead() error { return c.beginIso(2) }
+
+func (c *Conn) beginIso(iso byte) error {
+	return c.ctlRoundTrip(wire.AppendBegin(c.takeScratch(), iso))
+}
+
+// Commit commits the open transaction.
+func (c *Conn) Commit() error {
+	return c.ctlRoundTrip(wire.AppendFrame(c.takeScratch(), wire.FrameCommit, nil))
+}
+
+// Rollback aborts the open transaction (a no-op without one).
+func (c *Conn) Rollback() error {
+	return c.ctlRoundTrip(wire.AppendFrame(c.takeScratch(), wire.FrameRollback, nil))
+}
+
+func (c *Conn) ctlRoundTrip(frame []byte) error {
+	if c.outstanding != 0 {
+		return fmt.Errorf("client: transaction control with %d pipelined responses pending; Recv them first", c.outstanding)
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return err
 	}
 	if err := c.w.Flush(); err != nil {
-		return Result{}, err
+		return err
 	}
-	line, err := c.readLine()
-	if err != nil {
-		return Result{}, err
+	_, err := c.recvFrame()
+	return err
+}
+
+// takeScratch hands out the reusable frame-encoding buffer.
+func (c *Conn) takeScratch() []byte {
+	if c.scratch == nil {
+		c.scratch = make([]byte, 0, 512)
 	}
-	switch {
-	case strings.HasPrefix(line, "ERR "):
-		return Result{}, fmt.Errorf("client: server: %s", line[4:])
-	case strings.HasPrefix(line, "OK "):
-		n, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+	return c.scratch[:0]
+}
+
+// recvFrame reads one server frame and decodes it into a Result.
+func (c *Conn) recvFrame() (Result, error) {
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return Result{}, fmt.Errorf("client: read frame: %w", err)
+	}
+	ln := int(binary.BigEndian.Uint32(c.hdr[:]))
+	if ln < 4 || ln > wire.MaxFrame {
+		return Result{}, fmt.Errorf("client: bad frame length %d", ln)
+	}
+	buf := make([]byte, ln)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return Result{}, fmt.Errorf("client: read frame: %w", err)
+	}
+	typ, body := buf[0], buf[4:]
+	switch typ {
+	case wire.FrameOK:
+		n, err := wire.DecodeOK(body)
 		if err != nil {
-			return Result{}, fmt.Errorf("client: bad OK line %q", line)
+			return Result{}, err
 		}
 		return Result{Affected: n}, nil
-	case strings.HasPrefix(line, "ROWS "):
-		n, err := strconv.Atoi(strings.TrimSpace(line[5:]))
-		if err != nil || n < 0 {
-			return Result{}, fmt.Errorf("client: bad ROWS line %q", line)
-		}
-		header, err := c.readLine()
+	case wire.FrameError:
+		code, msg, err := wire.DecodeError(body)
 		if err != nil {
 			return Result{}, err
 		}
-		res := Result{Columns: strings.Split(header, "\t")}
-		for i := 0; i < n; i++ {
-			row, err := c.readLine()
-			if err != nil {
-				return Result{}, err
-			}
-			fields := strings.Split(row, "\t")
-			for j, f := range fields {
-				fields[j] = decodeField(f)
-			}
-			res.Rows = append(res.Rows, fields)
-		}
-		endLine, err := c.readLine()
+		return Result{}, &ServerError{Code: code, Msg: msg}
+	case wire.FrameRows:
+		cols, rows, err := wire.DecodeRows(body)
 		if err != nil {
 			return Result{}, err
 		}
-		if endLine != "END" {
-			return Result{}, fmt.Errorf("client: protocol error: expected END, got %q", endLine)
+		res := Result{Columns: cols, Rows: make([][]string, len(rows))}
+		for i, row := range rows {
+			out := make([]string, len(row))
+			for j, v := range row {
+				switch v.Kind {
+				case rel.TInt64:
+					out[j] = strconv.FormatInt(v.I, 10)
+				case rel.TFloat64:
+					out[j] = strconv.FormatFloat(v.F, 'g', -1, 64)
+				default:
+					out[j] = v.S
+				}
+			}
+			res.Rows[i] = out
 		}
 		return res, nil
 	default:
-		return Result{}, fmt.Errorf("client: protocol error: %q", line)
+		return Result{}, fmt.Errorf("client: unexpected frame type %q", typ)
 	}
-}
-
-func (c *Conn) readLine() (string, error) {
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return "", err
-		}
-		return "", fmt.Errorf("client: connection closed")
-	}
-	return c.r.Text(), nil
-}
-
-// decodeField reverses the server's string escaping.
-func decodeField(s string) string {
-	if !strings.ContainsRune(s, '\\') {
-		return s
-	}
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\\' && i+1 < len(s) {
-			switch s[i+1] {
-			case 't':
-				b.WriteByte('\t')
-			case 'n':
-				b.WriteByte('\n')
-			case '\\':
-				b.WriteByte('\\')
-			default:
-				b.WriteByte(s[i+1])
-			}
-			i++
-			continue
-		}
-		b.WriteByte(s[i])
-	}
-	return b.String()
 }

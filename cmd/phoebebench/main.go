@@ -31,7 +31,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', 'read', 'vecscan', or 'all'")
+		exp      = flag.String("exp", "all", "experiment: 1-9, 'ablations', 'overhead', 'scale', 'read', 'vecscan', 'connmux', or 'all'")
 		seconds  = flag.Float64("seconds", 3, "measured duration per run")
 		workers  = flag.Int("workers", 0, "max worker threads (default GOMAXPROCS)")
 		slots    = flag.Int("slots", 32, "task slots per worker (paper: 32)")
@@ -40,6 +40,9 @@ func run() int {
 		minScale = flag.Float64("min-scale", 0, "with -exp scale: exit non-zero if 8-worker tpm is below this multiple of 1-worker tpm (0 = report only)")
 		minRead  = flag.Float64("min-read-gain", 0, "with -exp read: exit non-zero if the fast-path point-read speedup over the ablation is below this ratio (0 = report only)")
 		minVec   = flag.Float64("min-vec-gain", 0, "with -exp vecscan: exit non-zero if the vectorized filtered-aggregate speedup over the ablation is below this ratio (0 = report only)")
+		conns    = flag.Int("conns", 10000, "with -exp connmux: loopback connection count (clamped to the fd limit)")
+		pipeline = flag.Int("pipeline", 32, "with -exp connmux: pipelined statements per flush")
+		minMux   = flag.Float64("min-mux-gain", 0, "with -exp connmux: exit non-zero if pipelined throughput over the sync baseline is below this ratio, or if the goroutine count is not O(pool) (0 = report only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		blkProf  = flag.String("blockprofile", "", "write a blocking profile to this file")
@@ -133,6 +136,22 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "vectorized scan gain %.2fx is below the %.2fx floor\n",
 				res.Gain, *minVec)
 			return 1
+		}
+	case "connmux":
+		var res bench.ConnMuxResult
+		if res, err = bench.ExpConnMux(cfg, *conns, *pipeline); err == nil && *minMux > 0 {
+			if res.Gain < *minMux {
+				fmt.Fprintf(os.Stderr, "connection-mux pipelining gain %.2fx is below the %.2fx floor\n",
+					res.Gain, *minMux)
+				return 1
+			}
+			// On Linux idle connections park in epoll, so the goroutine
+			// count must stay O(pool + pumps), not O(connections).
+			if runtime.GOOS == "linux" && res.Conns >= 1000 && res.PeakGoroutines > res.Conns/2 {
+				fmt.Fprintf(os.Stderr, "peak goroutine count %d is not O(pool) for %d connections\n",
+					res.PeakGoroutines, res.Conns)
+				return 1
+			}
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -1,18 +1,27 @@
-// Command phoebeserver runs PhoebeDB as a standalone database server
-// (the paper's future-work item 1): it opens a database directory,
-// recovers it, and serves the newline-delimited SQL protocol on a TCP
-// port. Drive it with the client package or netcat:
+// Command phoebeserver runs PhoebeDB as a standalone database server:
+// it opens a database directory, recovers it, and serves the framed,
+// pipelined wire protocol (internal/wire) on a TCP port — the
+// production front door with connection multiplexing onto the
+// co-routine slot pool and admission control. Drive it with the client
+// package:
 //
 //	$ phoebeserver -dir /var/lib/phoebe -listen :5440 &
-//	$ printf "CREATE TABLE t (id INT, v STRING)\nINSERT INTO t VALUES (1,'x')\nSELECT * FROM t\nquit\n" | nc localhost 5440
+//	$ # in Go:
+//	c, _ := client.Dial("localhost:5440")
+//	c.Exec("CREATE TABLE t (id INT, v STRING)")
 //
-// Schema persistence: tables declared over SQL are recorded in a schema
-// journal (schema.sql in the data directory) and re-applied before WAL
-// recovery on restart.
+// The legacy newline-delimited text protocol (drivable with netcat)
+// stays available behind -text-listen:
+//
+//	$ phoebeserver -dir /var/lib/phoebe -text-listen :5441 &
+//	$ printf "SELECT * FROM t\nquit\n" | nc localhost 5441
+//
+// Schema persistence: DDL executed over either protocol is recorded in
+// a journal-first schema journal (schema.sql in the data directory) and
+// re-applied before WAL recovery on restart.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -20,24 +29,31 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
+	"time"
 
 	phoebedb "phoebedb"
 
 	"phoebedb/internal/server"
+	"phoebedb/internal/wire"
 )
 
 func main() {
 	var (
 		dir         = flag.String("dir", "phoebe-data", "database directory")
-		listen      = flag.String("listen", "127.0.0.1:5440", "listen address")
+		listen      = flag.String("listen", "127.0.0.1:5440", "wire-protocol listen address")
+		textListen  = flag.String("text-listen", "", "also serve the legacy newline text protocol on this address (e.g. :5441)")
 		workers     = flag.Int("workers", 0, "worker threads (default GOMAXPROCS)")
 		slots       = flag.Int("slots", 32, "task slots per worker")
 		walSync     = flag.Bool("walsync", true, "fsync WAL on commit")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9187)")
 		slowTxn     = flag.Duration("slow-threshold", 0, "log transactions slower than this with a component breakdown (0 disables)")
 		archiveDir  = flag.String("archive-dir", "", "continuously archive WAL into this directory (enables online base backups and PITR via phoebectl backup)")
+
+		maxConns    = flag.Int("max-connections", 10000, "connection cap (excess connects get TOO_MANY_CONNECTIONS)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent statement cap (default: pool slots - 2)")
+		maxPipeline = flag.Int("max-pipeline", 128, "pipelined statements buffered per connection before the server stops reading it")
+		idleTxn     = flag.Duration("idle-txn-timeout", time.Minute, "roll back transactions idle longer than this")
 	)
 	flag.Parse()
 
@@ -56,8 +72,16 @@ func main() {
 	defer db.Close()
 
 	// Replay the schema journal, then the WAL.
-	journal := filepath.Join(*dir, "schema.sql")
-	if applied, err := replaySchema(db, journal); err != nil {
+	journal, err := wire.OpenJournal(filepath.Join(*dir, "schema.sql"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schema journal:", err)
+		os.Exit(1)
+	}
+	defer journal.Close()
+	if applied, err := journal.Replay(func(stmt string) error {
+		_, rerr := db.ExecSQL(stmt)
+		return rerr
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "schema journal:", err)
 		os.Exit(1)
 	} else if applied > 0 {
@@ -75,8 +99,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	srv := server.New(db)
-	srv.JournalDDL = func(stmt string) error { return appendSchema(journal, stmt) }
+	srv := wire.NewServer(db)
+	srv.Journal = journal
+	srv.MaxConnections = *maxConns
+	srv.MaxInflight = *maxInflight
+	srv.MaxPipeline = *maxPipeline
+	srv.IdleTxnTimeout = *idleTxn
+
+	var textSrv *server.Server
+	var textL net.Listener
+	if *textListen != "" {
+		textL, err = net.Listen("tcp", *textListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "text-listen:", err)
+			os.Exit(1)
+		}
+		textSrv = server.New(db)
+		textSrv.Journal = journal
+		go func() {
+			if err := textSrv.Serve(textL); err != nil {
+				fmt.Fprintln(os.Stderr, "text serve:", err)
+			}
+		}()
+		fmt.Printf("legacy text protocol on %s\n", *textListen)
+	}
 
 	if *slowTxn > 0 {
 		db.SlowLog().SetOutput(log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds))
@@ -95,6 +141,9 @@ func main() {
 	go func() {
 		<-sig
 		fmt.Println("shutting down")
+		if textSrv != nil {
+			textSrv.Shutdown(textL)
+		}
 		srv.Shutdown(l)
 	}()
 
@@ -106,42 +155,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-}
-
-// replaySchema re-applies CREATE statements from the journal.
-func replaySchema(db *phoebedb.DB, path string) (int, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	n := 0
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		stmt := strings.TrimSpace(sc.Text())
-		if stmt == "" {
-			continue
-		}
-		if _, err := db.ExecSQL(stmt); err != nil {
-			return n, fmt.Errorf("replay %q: %w", stmt, err)
-		}
-		n++
-	}
-	return n, sc.Err()
-}
-
-// appendSchema records a DDL statement durably.
-func appendSchema(path, stmt string) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintln(f, stmt); err != nil {
-		return err
-	}
-	return f.Sync()
 }

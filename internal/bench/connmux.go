@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/client"
+	"phoebedb/internal/tpcc"
+	"phoebedb/internal/wire"
+)
+
+// ConnMuxResult reports the connection-multiplexing experiment: many
+// loopback connections issuing point reads over the wire protocol,
+// synchronous one-statement round trips versus pipelined batches. The
+// pipelined side exercises the whole front door — epoll-parked idle
+// connections, per-connection pipeline buffering, admission onto the
+// slot pool — and should win on round-trip amortization while keeping
+// the process goroutine count O(pool), not O(connections).
+type ConnMuxResult struct {
+	// Conns is the connection count actually used (the requested count
+	// clamped to the process file-descriptor limit).
+	Conns int
+	// Pipeline is the statements-per-flush depth of the pipelined phase.
+	Pipeline int
+	// SyncTps / PipeTps are point reads per second in each phase.
+	SyncTps, PipeTps float64
+	// Gain is PipeTps / SyncTps — the -min-mux-gain gate's ratio.
+	Gain float64
+	// PeakGoroutines is the highest goroutine count sampled during the
+	// pipelined phase, covering both the server and the pump clients.
+	PeakGoroutines int
+	// PoolSlots is the co-routine slot pool size serving the statements.
+	PoolSlots int
+}
+
+const connMuxRows = 1024
+
+// ExpConnMux measures pipelined-vs-synchronous point-read throughput
+// over conns loopback connections at the given pipeline depth.
+func ExpConnMux(cfg Config, conns, pipeline int) (ConnMuxResult, error) {
+	cfg.Defaults()
+	if conns <= 0 {
+		conns = 10000
+	}
+	if pipeline <= 0 {
+		pipeline = 32
+	}
+	// Every loopback connection burns two descriptors (client and server
+	// end); keep headroom for the database's own files and the listener.
+	if lim := openFilesLimit(); lim > 1000 {
+		if cap := int((lim - 1000) / 2); conns > cap {
+			cfg.logf("connmux: clamping %d conns to %d (RLIMIT_NOFILE is %d)", conns, cap, lim)
+			conns = cap
+		}
+	}
+	var res ConnMuxResult
+	res.Conns, res.Pipeline = conns, pipeline
+
+	setup, err := NewPhoebe(tpcc.Scale{}, cfg.MaxWorkers, cfg.SlotsPerWorker, false, nil)
+	if err != nil {
+		return res, err
+	}
+	defer setup.Close()
+	db := setup.DB
+	res.PoolSlots = db.PoolSlots()
+	if err := db.CreateTable("kv", phoebedb.NewSchema(
+		phoebedb.Column{Name: "id", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "v", Type: phoebedb.TString},
+	)); err != nil {
+		return res, err
+	}
+	if err := db.CreateIndex("kv", "kv_pk", []string{"id"}, true); err != nil {
+		return res, err
+	}
+	if err := db.Execute(func(tx *phoebedb.Tx) error {
+		for i := 1; i <= connMuxRows; i++ {
+			if _, err := tx.Insert("kv", phoebedb.Row{
+				phoebedb.Int(int64(i)),
+				phoebedb.Str(fmt.Sprintf("value-%04d", i)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	srv := wire.NewServer(db)
+	srv.MaxConnections = conns + 64
+	// The synchronous phase parks every connection in the admission
+	// queue at once; size it for that rather than rejecting.
+	srv.MaxQueue = conns + 64
+	srv.MaxPipeline = 2 * pipeline
+	if srv.MaxPipeline < 128 {
+		srv.MaxPipeline = 128
+	}
+	go srv.Serve(l)
+	defer srv.Shutdown(l)
+
+	cfg.logf("== ConnMux: pipelined wire protocol over %d connections (pool %d slots) ==",
+		conns, res.PoolSlots)
+
+	addr := l.Addr().String()
+	clients := make([]*client.Conn, conns)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	if err := dialAll(addr, clients); err != nil {
+		return res, err
+	}
+
+	firstErr := make(chan error, 1)
+	fail := func(err error) {
+		select {
+		case firstErr <- err:
+		default:
+		}
+	}
+
+	// Phase 1: synchronous baseline — one goroutine per connection, one
+	// statement per round trip.
+	var syncOps atomic.Int64
+	deadline := time.Now().Add(cfg.dur())
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			seed := uint32(i)*2654435761 + 1
+			for time.Now().Before(deadline) {
+				seed = seed*1664525 + 1013904223
+				q := fmt.Sprintf("SELECT v FROM kv WHERE id = %d", int(seed%connMuxRows)+1)
+				if _, err := c.Exec(q); err != nil {
+					fail(fmt.Errorf("sync read: %w", err))
+					return
+				}
+				syncOps.Add(1)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	select {
+	case err := <-firstErr:
+		return res, err
+	default:
+	}
+	res.SyncTps = float64(syncOps.Load()) / cfg.Seconds
+	cfg.logf("sync:      %9.0f reads/s  (1 statement per round trip)", res.SyncTps)
+
+	// Phase 2: pipelined — a small fixed set of pump goroutines, each
+	// owning a shard of connections and batching `pipeline` statements
+	// per flush. Connections between batches sit parked in epoll.
+	pumps := 64
+	if pumps > conns {
+		pumps = conns
+	}
+	var pipeOps atomic.Int64
+	var peak atomic.Int64
+	stopSample := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+			select {
+			case <-stopSample:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	deadline = time.Now().Add(cfg.dur())
+	for p := 0; p < pumps; p++ {
+		shard := clients[p*conns/pumps : (p+1)*conns/pumps]
+		wg.Add(1)
+		go func(p int, shard []*client.Conn) {
+			defer wg.Done()
+			seed := uint32(p)*2654435761 + 17
+			for time.Now().Before(deadline) {
+				for _, c := range shard {
+					for k := 0; k < pipeline; k++ {
+						seed = seed*1664525 + 1013904223
+						q := fmt.Sprintf("SELECT v FROM kv WHERE id = %d", int(seed%connMuxRows)+1)
+						if err := c.Send(q); err != nil {
+							fail(fmt.Errorf("pipelined send: %w", err))
+							return
+						}
+					}
+					if err := c.Flush(); err != nil {
+						fail(fmt.Errorf("pipelined flush: %w", err))
+						return
+					}
+					for k := 0; k < pipeline; k++ {
+						if _, err := c.Recv(); err != nil {
+							fail(fmt.Errorf("pipelined recv: %w", err))
+							return
+						}
+					}
+					pipeOps.Add(int64(pipeline))
+					if !time.Now().Before(deadline) {
+						break
+					}
+				}
+			}
+		}(p, shard)
+	}
+	wg.Wait()
+	close(stopSample)
+	samplerWG.Wait()
+	select {
+	case err := <-firstErr:
+		return res, err
+	default:
+	}
+	res.PipeTps = float64(pipeOps.Load()) / cfg.Seconds
+	res.PeakGoroutines = int(peak.Load())
+	if res.SyncTps > 0 {
+		res.Gain = res.PipeTps / res.SyncTps
+	}
+	cfg.logf("pipelined: %9.0f reads/s  (depth %d, %d pumps)  gain %.2fx",
+		res.PipeTps, pipeline, pumps, res.Gain)
+	cfg.logf("peak goroutines during pipelined phase: %d (%d connections)",
+		res.PeakGoroutines, conns)
+	return res, nil
+}
+
+// dialAll opens one wire connection per slot of clients, dialing with
+// bounded concurrency so 10k handshakes don't arrive as one thundering
+// herd.
+func dialAll(addr string, clients []*client.Conn) error {
+	idxc := make(chan int, len(clients))
+	for i := range clients {
+		idxc <- i
+	}
+	close(idxc)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				c, err := client.DialTimeout(addr, 30*time.Second)
+				if err != nil {
+					select {
+					case errc <- fmt.Errorf("dial conn %d: %w", i, err):
+					default:
+					}
+					return
+				}
+				clients[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// openFilesLimit returns 0 on platforms without RLIMIT_NOFILE; the
+// caller skips the clamp.
+func openFilesLimit() uint64 { return 0 }

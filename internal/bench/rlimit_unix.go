@@ -1,0 +1,14 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// openFilesLimit returns the soft RLIMIT_NOFILE, or 0 if unknown.
+func openFilesLimit() uint64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0
+	}
+	return uint64(lim.Cur)
+}

@@ -14,7 +14,6 @@ import (
 
 	phoebedb "phoebedb"
 
-	"phoebedb/client"
 	"phoebedb/internal/fault"
 )
 
@@ -63,7 +62,7 @@ func TestMetricsEndpointUnderLoad(t *testing.T) {
 	ms := httptest.NewServer(srv.MetricsHandler())
 	defer ms.Close()
 
-	setup, err := client.Dial(addr)
+	setup, err := dialText(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +77,7 @@ func TestMetricsEndpointUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := dialText(addr)
 			if err != nil {
 				t.Error(err)
 				return
@@ -126,7 +125,7 @@ func TestMetricsEndpointUnderLoad(t *testing.T) {
 	}
 
 	// The same numbers are queryable over SQL as virtual tables.
-	c, err := client.Dial(addr)
+	c, err := dialText(addr)
 	if err != nil {
 		t.Fatal(err)
 	}

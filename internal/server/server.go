@@ -1,9 +1,6 @@
-// Package server turns the embedded kernel into a standalone database
-// server — the paper's future-work item 1 ("develop SQL interface to
-// establish PhoebeDB as a standalone server").
-//
-// The wire protocol is a newline-delimited text protocol, simple enough
-// to drive with netcat:
+// Package server is the legacy newline-delimited text front end, kept
+// for netcat-style debugging (the production front door is the framed,
+// pipelined protocol in internal/wire):
 //
 //	client: one SQL statement per line
 //	server: "OK <affected>"                       for writes / DDL
@@ -20,19 +17,28 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
 
 	phoebedb "phoebedb"
+	"phoebedb/internal/wire"
 )
+
+// maxStatement bounds one statement line. An oversized line is consumed
+// and answered with an error; the session survives (previously the
+// scanner gave up and the connection died silently).
+const maxStatement = 1 << 20
 
 // Server serves the SQL protocol over a listener.
 type Server struct {
 	DB *phoebedb.DB
-	// JournalDDL, if set, is invoked with every successfully executed DDL
-	// statement so the host can persist schema across restarts.
-	JournalDDL func(stmt string) error
+	// Journal, if set, persists DDL across restarts through the shared
+	// journal-first path (wire.Journal): the statement is recorded
+	// durably before it executes, so the journal can never miss an
+	// applied statement.
+	Journal *wire.Journal
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -78,6 +84,39 @@ func (s *Server) Shutdown(l net.Listener) {
 	s.mu.Unlock()
 }
 
+// readStatement reads one newline-terminated statement, bounded by
+// maxStatement. An over-limit line is consumed to its newline and
+// reported as tooLong so the caller can answer with an error and keep
+// the session alive.
+func readStatement(r *bufio.Reader) (line string, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, ferr := r.ReadSlice('\n')
+		if !tooLong {
+			buf = append(buf, frag...)
+			if len(buf) > maxStatement {
+				tooLong = true
+				buf = nil
+			}
+		}
+		if ferr == bufio.ErrBufferFull {
+			continue
+		}
+		if ferr != nil {
+			// EOF mid-line: surface any complete prefix as a final
+			// statement, matching line-scanner behavior.
+			if ferr == io.EOF && len(buf) > 0 && !tooLong {
+				return string(buf), false, nil
+			}
+			return "", tooLong, ferr
+		}
+		if tooLong {
+			return "", true, nil
+		}
+		return string(buf), false, nil
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -85,11 +124,19 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	r := bufio.NewReaderSize(conn, 64*1024)
 	w := bufio.NewWriter(conn)
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
+	for {
+		raw, tooLong, err := readStatement(r)
+		if err != nil {
+			return
+		}
+		if tooLong {
+			fmt.Fprintf(w, "ERR statement too large (limit %d bytes)\n", maxStatement)
+			w.Flush()
+			continue
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
@@ -98,18 +145,11 @@ func (s *Server) handle(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		res, err := s.DB.ExecSQL(line)
+		res, err := s.execStatement(line)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 			w.Flush()
 			continue
-		}
-		if s.JournalDDL != nil && strings.HasPrefix(strings.ToLower(line), "create ") {
-			if jerr := s.JournalDDL(line); jerr != nil {
-				fmt.Fprintf(w, "ERR schema journal: %s\n", jerr)
-				w.Flush()
-				continue
-			}
 		}
 		if res.Columns == nil {
 			fmt.Fprintf(w, "OK %d\n", res.Affected)
@@ -128,6 +168,22 @@ func (s *Server) handle(conn net.Conn) {
 		fmt.Fprintln(w, "END")
 		w.Flush()
 	}
+}
+
+// execStatement routes DDL through the shared journal-first path (record
+// durably, then execute, revoke on failure) and everything else straight
+// to the executor.
+func (s *Server) execStatement(line string) (phoebedb.SQLResult, error) {
+	if s.Journal == nil || !strings.HasPrefix(strings.ToLower(line), "create ") {
+		return s.DB.ExecSQL(line)
+	}
+	var res phoebedb.SQLResult
+	err := s.Journal.Exec(line, func() error {
+		var aerr error
+		res, aerr = s.DB.ExecSQL(line)
+		return aerr
+	})
+	return res, err
 }
 
 // encodeField renders a value for the wire: strings have tabs/newlines

@@ -2,13 +2,15 @@ package server
 
 import (
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	phoebedb "phoebedb"
 
-	"phoebedb/client"
+	"phoebedb/internal/wire"
 )
 
 // startServer boots a server on a random port and returns its address.
@@ -38,7 +40,7 @@ func TestServerEndToEnd(t *testing.T) {
 	db := openServerDB(t)
 	addr, _, _ := startServer(t, db)
 
-	c, err := client.Dial(addr)
+	c, err := dialText(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestServerEndToEnd(t *testing.T) {
 func TestServerErrorsDoNotKillConnection(t *testing.T) {
 	db := openServerDB(t)
 	addr, _, _ := startServer(t, db)
-	c, err := client.Dial(addr)
+	c, err := dialText(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestServerErrorsDoNotKillConnection(t *testing.T) {
 func TestServerStringEscaping(t *testing.T) {
 	db := openServerDB(t)
 	addr, _, _ := startServer(t, db)
-	c, _ := client.Dial(addr)
+	c, _ := dialText(addr)
 	defer c.Close()
 	c.Exec("CREATE TABLE s (id INT, v STRING)")
 	// A value with an embedded tab must survive the wire format.
@@ -119,7 +121,7 @@ func TestServerStringEscaping(t *testing.T) {
 func TestServerConcurrentClients(t *testing.T) {
 	db := openServerDB(t)
 	addr, _, _ := startServer(t, db)
-	setup, _ := client.Dial(addr)
+	setup, _ := dialText(addr)
 	setup.Exec("CREATE TABLE c (id INT, v STRING)")
 	setup.Exec("CREATE UNIQUE INDEX c_pk ON c (id)")
 	setup.Close()
@@ -132,7 +134,7 @@ func TestServerConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := dialText(addr)
 			if err != nil {
 				errs[g] = err
 				return
@@ -153,7 +155,7 @@ func TestServerConcurrentClients(t *testing.T) {
 			t.Fatalf("client %d: %v", g, err)
 		}
 	}
-	c, _ := client.Dial(addr)
+	c, _ := dialText(addr)
 	defer c.Close()
 	res, err := c.Exec("SELECT * FROM c")
 	if err != nil || len(res.Rows) != clients*per {
@@ -161,31 +163,87 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestJournalDDLHook(t *testing.T) {
+// TestJournalDDLFirst drives DDL through the shared journal and checks
+// the journal-first ordering: successful statements are recorded, a
+// failing statement is recorded then revoked, and replay reconstructs
+// exactly the surviving schema.
+func TestJournalDDLFirst(t *testing.T) {
 	db := openServerDB(t)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := New(db)
-	var journal []string
-	srv.JournalDDL = func(stmt string) error {
-		journal = append(journal, stmt)
-		return nil
+	jpath := filepath.Join(t.TempDir(), "schema.sql")
+	j, err := wire.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer j.Close()
+	srv.Journal = j
 	go srv.Serve(l)
 	defer srv.Shutdown(l)
 
-	c, _ := client.Dial(l.Addr().String())
+	c, _ := dialText(l.Addr().String())
 	defer c.Close()
-	c.Exec("CREATE TABLE j (a INT)")
-	c.Exec("INSERT INTO j VALUES (1)")
-	c.Exec("CREATE INDEX j_a ON j (a)")
-	if len(journal) != 2 {
-		t.Fatalf("journal = %v", journal)
+	if _, err := c.Exec("CREATE TABLE j (a INT)"); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.HasPrefix(journal[0], "CREATE TABLE") || !strings.HasPrefix(journal[1], "CREATE INDEX") {
-		t.Fatalf("journal = %v", journal)
+	c.Exec("INSERT INTO j VALUES (1)")
+	if _, err := c.Exec("CREATE INDEX j_a ON j (a)"); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate CREATE fails to apply: it must be recorded, then
+	// revoked, so replay does not resurrect it.
+	if _, err := c.Exec("CREATE TABLE j (a INT)"); err == nil {
+		t.Fatal("duplicate CREATE TABLE succeeded")
+	}
+
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "CREATE TABLE") ||
+		!strings.HasPrefix(lines[1], "CREATE INDEX") ||
+		!strings.HasPrefix(lines[2], "CREATE TABLE") || lines[3] != "--revoke" {
+		t.Fatalf("journal file = %q", lines)
+	}
+
+	var replayed []string
+	n, err := j.Replay(func(stmt string) error {
+		replayed = append(replayed, stmt)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("replay = (%d, %v)", n, err)
+	}
+	if !strings.HasPrefix(replayed[0], "CREATE TABLE") || !strings.HasPrefix(replayed[1], "CREATE INDEX") {
+		t.Fatalf("replayed = %v", replayed)
+	}
+}
+
+// TestOversizedStatementKeepsSession sends a statement over the 1 MiB
+// line limit and checks the server answers with an error instead of
+// silently killing the connection — the session must keep working.
+func TestOversizedStatementKeepsSession(t *testing.T) {
+	db := openServerDB(t)
+	addr, _, _ := startServer(t, db)
+	c, err := dialText(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE big (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	huge := "INSERT INTO big VALUES (" + strings.Repeat("1", maxStatement) + ")"
+	if _, err := c.Exec(huge); err == nil || !strings.Contains(err.Error(), "statement too large") {
+		t.Fatalf("oversized statement error = %v", err)
+	}
+	// Same connection, normal statement: the session survived.
+	if res, err := c.Exec("INSERT INTO big VALUES (7)"); err != nil || res.Affected != 1 {
+		t.Fatalf("post-oversize insert = (%+v, %v)", res, err)
 	}
 }
 

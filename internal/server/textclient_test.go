@@ -1,0 +1,107 @@
+package server
+
+// The Go driver (package client) now speaks the framed wire protocol of
+// internal/wire, so these tests carry their own minimal text-protocol
+// client — which doubles as documentation that the legacy protocol
+// really is drivable with nothing but a line reader.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type textResult struct {
+	Columns  []string
+	Rows     [][]string
+	Affected int
+}
+
+type textConn struct {
+	c net.Conn
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+func dialText(addr string) (*textConn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &textConn{c: c, r: sc, w: bufio.NewWriter(c)}, nil
+}
+
+func (c *textConn) Close() error {
+	fmt.Fprintln(c.w, "quit")
+	c.w.Flush()
+	return c.c.Close()
+}
+
+func (c *textConn) readLine() (string, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("textclient: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+func (c *textConn) Exec(query string) (textResult, error) {
+	if _, err := fmt.Fprintln(c.w, query); err != nil {
+		return textResult{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return textResult{}, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return textResult{}, err
+	}
+	switch {
+	case strings.HasPrefix(line, "ERR "):
+		return textResult{}, fmt.Errorf("textclient: server: %s", line[4:])
+	case strings.HasPrefix(line, "OK "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+		if err != nil {
+			return textResult{}, fmt.Errorf("textclient: bad OK line %q", line)
+		}
+		return textResult{Affected: n}, nil
+	case strings.HasPrefix(line, "ROWS "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[5:]))
+		if err != nil || n < 0 {
+			return textResult{}, fmt.Errorf("textclient: bad ROWS line %q", line)
+		}
+		header, err := c.readLine()
+		if err != nil {
+			return textResult{}, err
+		}
+		res := textResult{Columns: strings.Split(header, "\t")}
+		for i := 0; i < n; i++ {
+			row, err := c.readLine()
+			if err != nil {
+				return textResult{}, err
+			}
+			fields := strings.Split(row, "\t")
+			for j, f := range fields {
+				fields[j] = DecodeField(f)
+			}
+			res.Rows = append(res.Rows, fields)
+		}
+		endLine, err := c.readLine()
+		if err != nil {
+			return textResult{}, err
+		}
+		if endLine != "END" {
+			return textResult{}, fmt.Errorf("textclient: expected END, got %q", endLine)
+		}
+		return res, nil
+	default:
+		return textResult{}, fmt.Errorf("textclient: protocol error: %q", line)
+	}
+}

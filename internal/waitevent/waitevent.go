@@ -46,9 +46,13 @@ const (
 	// EvSchedYield is a low-urgency scheduler park (the slot gave its
 	// worker away while waiting for a wakeup).
 	EvSchedYield
+	// EvServer is server front-end time: a statement's admission-queue
+	// wait before it reached a task slot, or an in-transaction session
+	// parked on its slot waiting for the client's next pipelined frame.
+	EvServer
 
 	// NumEvents is the number of distinct events, including EvNone.
-	NumEvents = int(EvSchedYield) + 1
+	NumEvents = int(EvServer) + 1
 )
 
 var names = [NumEvents]string{
@@ -60,6 +64,7 @@ var names = [NumEvents]string{
 	EvWALGroupLead: "wal_group_lead",
 	EvRemoteFlush:  "remote_flush",
 	EvSchedYield:   "sched_yield",
+	EvServer:       "server",
 }
 
 // String implements fmt.Stringer.
@@ -144,6 +149,20 @@ func (s *Slots) Switch(slot int, from, to Event, start time.Time) time.Time {
 	c.nanos[from].Add(int64(now.Sub(start)))
 	c.current.Store(int32(to))
 	return now
+}
+
+// Charge attributes an externally measured, already-completed wait to the
+// slot — for waits that happen before the task owns the slot (a server
+// admission-queue wait is measured by the front end and charged here once
+// the statement starts running). Call only from the slot's owning task so
+// the single-writer discipline of the cumulative arrays holds.
+func (s *Slots) Charge(slot int, e Event, d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	c := &s.cells[slot]
+	c.count[e].Add(1)
+	c.nanos[e].Add(int64(d))
 }
 
 // Current returns the slot's current wait event (EvNone when on-CPU).

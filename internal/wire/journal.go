@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// revokeMarker cancels the statement recorded immediately before it.
+// A marker is appended when a journaled DDL statement fails to execute,
+// so replay skips it instead of re-applying a statement the catalog
+// rejected.
+const revokeMarker = "--revoke"
+
+// Journal is the durable DDL journal shared by the wire and legacy text
+// front ends. The ordering invariant is journal-first: a statement is
+// recorded (and fsynced) BEFORE it executes, so a crash between the two
+// replays the statement forward on restart — the journal can only ever
+// be ahead of the catalog, never behind it. When execution fails after
+// recording, a revoke marker is appended so replay skips the statement;
+// if even the marker cannot be written, Exec reports the journal as
+// inconsistent rather than leaving a silent divergence.
+//
+// The format is one statement per line. Files written by earlier
+// releases (plain statement lines, no markers) replay unchanged.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// appendLine writes one line and fsyncs it.
+func (j *Journal) appendLine(line string) error {
+	if _, err := fmt.Fprintln(j.f, line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Exec runs a DDL statement under the journal-first protocol: record the
+// statement durably, run apply, and on apply failure append a revoke
+// marker so replay skips it. A failure to record prevents execution
+// entirely; a failure to revoke after a failed apply is reported as a
+// journal inconsistency (the statement would otherwise replay on the
+// next restart even though it never took effect).
+func (j *Journal) Exec(stmt string, apply func() error) error {
+	if strings.ContainsAny(stmt, "\n\r") {
+		return fmt.Errorf("wire: DDL statement contains newline; cannot journal")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLine(stmt); err != nil {
+		return fmt.Errorf("schema journal: %w", err)
+	}
+	aerr := apply()
+	if aerr == nil {
+		return nil
+	}
+	if rerr := j.appendLine(revokeMarker); rerr != nil {
+		return fmt.Errorf("schema journal inconsistent: statement %q failed (%v) and revoke marker could not be written: %w", stmt, aerr, rerr)
+	}
+	return aerr
+}
+
+// Replay re-executes the journaled statements in order through exec,
+// skipping revoked entries. Statements that fail to re-apply are skipped
+// (the catalog may already contain them when the crash happened between
+// record and a completed apply); it returns how many statements were
+// attempted.
+func (j *Journal) Replay(exec func(stmt string) error) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	var stmts []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxFrame)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == revokeMarker:
+			if len(stmts) > 0 {
+				stmts = stmts[:len(stmts)-1]
+			}
+		default:
+			stmts = append(stmts, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for _, s := range stmts {
+		// Idempotent replay: "already exists" from a statement that
+		// completed before the crash is expected, not an error.
+		_ = exec(s)
+	}
+	return len(stmts), nil
+}

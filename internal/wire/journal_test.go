@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalExecOrdering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.sql")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// The statement must be on disk BEFORE apply runs (journal-first).
+	err = j.Exec("CREATE TABLE a (x INT)", func() error {
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil || !strings.Contains(string(raw), "CREATE TABLE a") {
+			t.Fatalf("statement not journaled before apply: %q (%v)", raw, rerr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing apply leaves the statement revoked, and Exec reports the
+	// apply error.
+	applyErr := errors.New("catalog says no")
+	err = j.Exec("CREATE TABLE b (x INT)", func() error { return applyErr })
+	if !errors.Is(err, applyErr) {
+		t.Fatalf("err = %v", err)
+	}
+
+	var replayed []string
+	n, err := j.Replay(func(stmt string) error {
+		replayed = append(replayed, stmt)
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("replay = (%d, %v)", n, err)
+	}
+	if len(replayed) != 1 || !strings.HasPrefix(replayed[0], "CREATE TABLE a") {
+		t.Fatalf("replayed = %v", replayed)
+	}
+}
+
+// TestJournalLegacyFormat replays a plain-line schema file written by
+// the pre-journal releases unchanged.
+func TestJournalLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.sql")
+	legacy := "CREATE TABLE old (a INT)\nCREATE INDEX old_a ON old (a)\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var replayed []string
+	n, err := j.Replay(func(stmt string) error {
+		replayed = append(replayed, stmt)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("replay = (%d, %v)", n, err)
+	}
+	if replayed[0] != "CREATE TABLE old (a INT)" || replayed[1] != "CREATE INDEX old_a ON old (a)" {
+		t.Fatalf("replayed = %v", replayed)
+	}
+}
+
+func TestJournalRejectsNewlines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schema.sql")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Exec("CREATE TABLE x (a INT)\n; DROP", func() error { return nil }); err == nil {
+		t.Fatal("newline statement journaled")
+	}
+}

@@ -1,0 +1,238 @@
+//go:build linux
+
+package wire
+
+// The Linux read path is the multiplexer the ISSUE calls for: idle
+// connections cost one epoll registration and ~no memory, not a parked
+// goroutine. One poller goroutine runs epoll_wait; readable connections
+// are handed to a small fixed pool of reader goroutines that drain the
+// socket with non-blocking reads and decode frames. EPOLLONESHOT
+// guarantees a connection is owned by at most one reader at a time; the
+// reader re-arms after hitting EAGAIN (or the session re-arms after
+// draining a full pipeline), so total goroutines are O(readers +
+// writers + active sessions), independent of open connections.
+//
+// Events are routed by token, not file descriptor: the kernel can
+// recycle an fd the instant it closes, but a token is never reused, so
+// a stale event left in the epoll ring after a close can at worst miss
+// in the token map — it can never reach the wrong connection. Tokens
+// are deleted (and EPOLL_CTL_DEL issued) before the fd is closed.
+
+import (
+	"sync"
+	"syscall"
+)
+
+// wakeToken marks the shutdown pipe's epoll registration; conn tokens
+// start at 1.
+const wakeToken = 0
+
+type pollState struct {
+	epfd    int
+	wakeR   int
+	wakeW   int
+	mu      sync.Mutex
+	toks    map[uint32]*conn
+	nextTok uint32
+}
+
+// pollConn is the per-connection read-side state: the raw-syscall handle
+// for non-blocking reads and the epoll routing token.
+type pollConn struct {
+	raw syscall.RawConn
+	fd  int
+	tok uint32
+}
+
+func (s *Server) pollerInit() error {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return err
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: wakeToken}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(p[0])
+		syscall.Close(p[1])
+		return err
+	}
+	s.poll.epfd = epfd
+	s.poll.wakeR = p[0]
+	s.poll.wakeW = p[1]
+	s.poll.toks = make(map[uint32]*conn)
+	return nil
+}
+
+func (s *Server) pollerShutdown() {
+	syscall.Close(s.poll.epfd)
+	syscall.Close(s.poll.wakeR)
+	syscall.Close(s.poll.wakeW)
+}
+
+func (s *Server) pollerWake() {
+	var b [1]byte
+	syscall.Write(s.poll.wakeW, b[:])
+}
+
+const connEvents = syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT
+
+func (s *Server) pollerRegister(c *conn) error {
+	sc, ok := c.nc.(syscall.Conn)
+	if !ok {
+		return syscall.EINVAL
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	c.poll.raw = raw
+	if err := raw.Control(func(fd uintptr) { c.poll.fd = int(fd) }); err != nil {
+		return err
+	}
+	s.poll.mu.Lock()
+	s.poll.nextTok++
+	c.poll.tok = s.poll.nextTok
+	s.poll.toks[c.poll.tok] = c
+	err = syscall.EpollCtl(s.poll.epfd, syscall.EPOLL_CTL_ADD, c.poll.fd,
+		&syscall.EpollEvent{Events: connEvents, Fd: int32(c.poll.tok)})
+	if err != nil {
+		delete(s.poll.toks, c.poll.tok)
+	}
+	s.poll.mu.Unlock()
+	return err
+}
+
+// pollerResume re-arms the oneshot registration after a reader hit
+// EAGAIN, or after the session drained a full pipeline (backpressure
+// release). The token check makes resume-after-close a no-op.
+func (s *Server) pollerResume(c *conn) {
+	s.poll.mu.Lock()
+	if s.poll.toks[c.poll.tok] == c {
+		syscall.EpollCtl(s.poll.epfd, syscall.EPOLL_CTL_MOD, c.poll.fd,
+			&syscall.EpollEvent{Events: connEvents, Fd: int32(c.poll.tok)})
+	}
+	s.poll.mu.Unlock()
+}
+
+// pollerUnregister runs before the fd closes (see closeConn).
+func (s *Server) pollerUnregister(c *conn) {
+	s.poll.mu.Lock()
+	if s.poll.toks[c.poll.tok] == c {
+		delete(s.poll.toks, c.poll.tok)
+		syscall.EpollCtl(s.poll.epfd, syscall.EPOLL_CTL_DEL, c.poll.fd, nil)
+	}
+	s.poll.mu.Unlock()
+}
+
+func (s *Server) startReaders() {
+	s.wg.Add(1)
+	go s.pollLoop()
+	for i := 0; i < s.Readers; i++ {
+		s.wg.Add(1)
+		go s.reader()
+	}
+}
+
+func (s *Server) pollLoop() {
+	defer s.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(s.poll.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			tok := uint32(events[i].Fd)
+			if tok == wakeToken {
+				select {
+				case <-s.done:
+					return
+				default:
+				}
+				var b [8]byte
+				syscall.Read(s.poll.wakeR, b[:])
+				continue
+			}
+			s.poll.mu.Lock()
+			c := s.poll.toks[tok]
+			s.poll.mu.Unlock()
+			if c == nil {
+				continue
+			}
+			select {
+			case s.readable <- c:
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) reader() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-s.done:
+			return
+		case c := <-s.readable:
+			s.serveRead(c, buf)
+		}
+	}
+}
+
+// serveRead drains one readable connection: non-blocking reads until
+// EAGAIN (then re-arm), EOF/error (then close), or pipeline-full (then
+// leave un-armed; the session resumes reads when it drains).
+func (s *Server) serveRead(c *conn, buf []byte) {
+	for {
+		n, err := readNB(c, buf)
+		if n > 0 {
+			s.cBytesIn.Add(int64(n))
+			switch s.ingest(c, buf[:n]) {
+			case ingestDead, ingestPaused:
+				return
+			}
+		}
+		if err == syscall.EAGAIN {
+			s.pollerResume(c)
+			return
+		}
+		if err != nil || n == 0 { // error or EOF
+			s.closeConn(c)
+			return
+		}
+	}
+}
+
+// readNB performs one non-blocking read through the RawConn, which pins
+// the fd against close/reuse for the duration of the syscall. Returning
+// true from the callback means "don't wait for readability" — the whole
+// point: EAGAIN surfaces to the caller instead of parking a goroutine.
+func readNB(c *conn, p []byte) (int, error) {
+	var n int
+	var rerr error
+	cerr := c.poll.raw.Read(func(fd uintptr) bool {
+		for {
+			n, rerr = syscall.Read(int(fd), p)
+			if rerr != syscall.EINTR {
+				return true
+			}
+		}
+	})
+	if n < 0 {
+		n = 0
+	}
+	if cerr != nil {
+		return n, cerr
+	}
+	return n, rerr
+}

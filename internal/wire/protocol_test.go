@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"testing"
+
+	"phoebedb/internal/rel"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	stream = AppendHello(stream)
+	stream = AppendQuery(stream, "SELECT 1")
+	stream = AppendBegin(stream, 2)
+	stream = AppendOK(stream, 42)
+	stream = AppendError(stream, ErrCodeSQL, "boom")
+
+	f, n, err := ParseFrame(stream)
+	if err != nil || f.Type != FrameHello || f.Tenant != 0 {
+		t.Fatalf("hello = (%+v, %v)", f, err)
+	}
+	stream = stream[n:]
+	f, n, _ = ParseFrame(stream)
+	if f.Type != FrameQuery || string(f.Body) != "SELECT 1" {
+		t.Fatalf("query = %+v", f)
+	}
+	stream = stream[n:]
+	f, n, _ = ParseFrame(stream)
+	if f.Type != FrameBegin || f.Body[0] != 2 {
+		t.Fatalf("begin = %+v", f)
+	}
+	stream = stream[n:]
+	f, n, _ = ParseFrame(stream)
+	if f.Type != FrameOK {
+		t.Fatalf("ok = %+v", f)
+	}
+	if v, err := DecodeOK(f.Body); err != nil || v != 42 {
+		t.Fatalf("affected = (%d, %v)", v, err)
+	}
+	stream = stream[n:]
+	f, n, _ = ParseFrame(stream)
+	code, msg, err := DecodeError(f.Body)
+	if err != nil || code != ErrCodeSQL || msg != "boom" {
+		t.Fatalf("error = (%q, %q, %v)", code, msg, err)
+	}
+	if len(stream[n:]) != 0 {
+		t.Fatalf("%d trailing bytes", len(stream[n:]))
+	}
+}
+
+func TestParseFramePartial(t *testing.T) {
+	full := AppendQuery(nil, "SELECT 1")
+	for i := 0; i < len(full); i++ {
+		if f, n, err := ParseFrame(full[:i]); n != 0 || err != nil {
+			t.Fatalf("prefix %d: (%+v, %d, %v)", i, f, n, err)
+		}
+	}
+	if _, n, err := ParseFrame(full); n != len(full) || err != nil {
+		t.Fatalf("full: (%d, %v)", n, err)
+	}
+	// A length below the fixed header is a framing error.
+	if _, _, err := ParseFrame([]byte{0, 0, 0, 2, 0, 0}); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	cols := []string{"id", "f", "v"}
+	rows := []rel.Row{
+		{rel.Int(-7), rel.Float(2.5), rel.Str("hello\tworld\n")},
+		{rel.Int(1 << 40), rel.Float(-0.125), rel.Str("")},
+	}
+	frame, ok := AppendRows(nil, cols, rows)
+	if !ok {
+		t.Fatal("encode failed")
+	}
+	f, _, err := ParseFrame(frame)
+	if err != nil || f.Type != FrameRows {
+		t.Fatalf("frame = (%+v, %v)", f, err)
+	}
+	gotCols, gotRows, err := DecodeRows(f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCols) != 3 || gotCols[2] != "v" {
+		t.Fatalf("cols = %v", gotCols)
+	}
+	if len(gotRows) != 2 ||
+		gotRows[0][0].I != -7 || gotRows[0][1].F != 2.5 || gotRows[0][2].S != "hello\tworld\n" ||
+		gotRows[1][0].I != 1<<40 || gotRows[1][1].F != -0.125 || gotRows[1][2].S != "" {
+		t.Fatalf("rows = %+v", gotRows)
+	}
+}
+
+func TestRowsTooLarge(t *testing.T) {
+	big := make([]rel.Row, 0, 64)
+	s := rel.Str(string(make([]byte, 64*1024)))
+	for i := 0; i < 64; i++ {
+		big = append(big, rel.Row{s})
+	}
+	if _, ok := AppendRows(nil, []string{"v"}, big); ok {
+		t.Fatal("oversized result encoded")
+	}
+}

@@ -195,6 +195,11 @@ type DB struct {
 	// ash samples slot activity into a fixed ring; nil when disabled.
 	ash *ashSampler
 
+	// statExtras holds virtual stat tables registered by layers above the
+	// kernel (the wire server's phoebe_stat_server); see RegisterStatTable.
+	statExtraMu sync.RWMutex
+	statExtras  map[string]func() (*Schema, []Row)
+
 	// planCache holds prepared-statement templates shared by all sessions;
 	// nil when Options.PlanCacheSize is negative.
 	planCache *sql.PlanCache

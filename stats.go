@@ -263,6 +263,19 @@ var (
 
 func micros(d time.Duration) Value { return Int(d.Microseconds()) }
 
+// RegisterStatTable registers an additional phoebe_stat_* virtual table
+// materialized by fn on every read. Layers above the kernel use this to
+// surface their own state over the SQL protocol (the wire front end
+// registers phoebe_stat_server). Re-registering a name replaces it.
+func (db *DB) RegisterStatTable(name string, fn func() (*Schema, []Row)) {
+	db.statExtraMu.Lock()
+	defer db.statExtraMu.Unlock()
+	if db.statExtras == nil {
+		db.statExtras = make(map[string]func() (*Schema, []Row))
+	}
+	db.statExtras[name] = fn
+}
+
 // StatTable materializes one virtual stat table, or ok=false for any name
 // that is not one. Every call reads the live counters — two scrapes of the
 // same table can and should differ under load.
@@ -360,6 +373,13 @@ func (db *DB) StatTable(name string) (*Schema, []Row, bool) {
 			}
 		}
 		return statASHSchema, rows, true
+	}
+	db.statExtraMu.RLock()
+	fn := db.statExtras[name]
+	db.statExtraMu.RUnlock()
+	if fn != nil {
+		schema, rows := fn()
+		return schema, rows, true
 	}
 	return nil, nil, false
 }
