@@ -10,6 +10,7 @@ import (
 
 	"phoebedb/internal/core"
 	"phoebedb/internal/fault"
+	"phoebedb/internal/frozen"
 )
 
 // BaseFileNames are the data-directory files a base backup captures:
@@ -82,33 +83,86 @@ func (a *Archiver) BaseBackup(src BaseSource) (*Label, string, error) {
 	if err := os.MkdirAll(bdir, 0o755); err != nil {
 		return nil, "", err
 	}
-	var files []LabelFile
-	var cpGSN uint64
-	for _, name := range BaseFileNames {
-		data, err := os.ReadFile(filepath.Join(src.DataDir, name))
+	// Snapshot the checkpoint image together with the cold manifest it
+	// names. A concurrent checkpoint can replace the image and garbage-
+	// collect old manifest epochs between our two reads, so on a missing
+	// manifest the newer image is recaptured and its manifest read instead
+	// (manifest GC keeps the current and previous epoch, so one retry
+	// always lands on a live pair).
+	var cpData, manData []byte
+	var manName string
+	for attempt := 0; ; attempt++ {
+		var err error
+		cpData, err = os.ReadFile(filepath.Join(src.DataDir, "checkpoint.db"))
 		if os.IsNotExist(err) {
-			continue
+			cpData = nil
+			break
 		}
 		if err != nil {
 			return nil, "", err
 		}
-		if name == "checkpoint.db" {
-			// Describe the image bytes actually captured, not whatever the
-			// engine's horizon was when we asked — a checkpoint may have
-			// replaced the file between the two.
-			cpGSN, err = core.ReadCheckpointGSNFromImage(data)
-			if err != nil {
-				return nil, "", fmt.Errorf("backup: base backup: %w", err)
-			}
+		epoch, _, err := core.ReadColdManifestRefFromImage(cpData)
+		if err != nil {
+			return nil, "", fmt.Errorf("backup: base backup: %w", err)
 		}
+		if epoch == 0 {
+			manName = ""
+			break
+		}
+		manName = frozen.ManifestFileName(epoch)
+		manData, err = os.ReadFile(filepath.Join(src.DataDir, manName))
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) || attempt > 0 {
+			return nil, "", fmt.Errorf("backup: base backup cold manifest: %w", err)
+		}
+	}
+
+	var files []LabelFile
+	var cpGSN uint64
+	copyOne := func(name string, data []byte) error {
 		if err := writeFileSync(filepath.Join(bdir, name), data); err != nil {
-			return nil, "", err
+			return err
 		}
 		files = append(files, LabelFile{
 			Name: name,
 			Size: uint64(len(data)),
 			CRC:  crc32.ChecksumIEEE(data),
 		})
+		return nil
+	}
+	for _, name := range BaseFileNames {
+		data := cpData
+		if name != "checkpoint.db" {
+			var err error
+			data, err = os.ReadFile(filepath.Join(src.DataDir, name))
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				return nil, "", err
+			}
+		} else if data == nil {
+			continue
+		} else {
+			// Describe the image bytes actually captured, not whatever the
+			// engine's horizon was when we asked — a checkpoint may have
+			// replaced the file between the two.
+			var err error
+			cpGSN, err = core.ReadCheckpointGSNFromImage(data)
+			if err != nil {
+				return nil, "", fmt.Errorf("backup: base backup: %w", err)
+			}
+		}
+		if err := copyOne(name, data); err != nil {
+			return nil, "", err
+		}
+	}
+	if manName != "" {
+		if err := copyOne(manName, manData); err != nil {
+			return nil, "", err
+		}
 	}
 	if cpGSN < a.m.ContinuousFrom {
 		return nil, "", fmt.Errorf("backup: base backup checkpoint horizon %d predates archive history (continuous from %d)",

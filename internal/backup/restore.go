@@ -5,7 +5,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"phoebedb/internal/core"
+	"phoebedb/internal/frozen"
 	"phoebedb/internal/wal"
 )
 
@@ -100,6 +103,9 @@ func Verify(archiveDir string) (*VerifyReport, error) {
 			if err := verifyBaseFiles(be.dir, be.label); err != nil {
 				return nil, fmt.Errorf("backup: base %06d: %w", be.seq, err)
 			}
+			if err := verifyColdTier(be.dir, be.label); err != nil {
+				return nil, fmt.Errorf("backup: base %06d: %w", be.seq, err)
+			}
 			bi.Complete = true
 		}
 		rep.Bases = append(rep.Bases, bi)
@@ -165,6 +171,80 @@ func verifyBaseFiles(dir string, l *Label) error {
 		}
 		if got := crc32.ChecksumIEEE(data); got != f.CRC {
 			return fmt.Errorf("%s checksum mismatch", f.Name)
+		}
+	}
+	return nil
+}
+
+// verifyColdTier cross-checks a base backup's cold-tier capture: the
+// checkpoint image must name exactly the cold manifest the backup holds
+// (epoch and CRC), and every segment the manifest lists must verify —
+// whole-segment checksum, header integrity, per-block decompression,
+// row-id ordering, and bloom-filter membership — against the copied block
+// file. verifyBaseFiles already proved the bytes match the label; this
+// proves the cold tier they describe is internally consistent.
+func verifyColdTier(dir string, l *Label) error {
+	var manName string
+	for _, f := range l.Files {
+		if strings.HasPrefix(f.Name, "cold.manifest.") {
+			manName = f.Name
+		}
+	}
+	cpData, err := os.ReadFile(filepath.Join(dir, "checkpoint.db"))
+	if os.IsNotExist(err) {
+		if manName != "" {
+			return fmt.Errorf("%s present without a checkpoint image", manName)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	epoch, wantCRC, err := core.ReadColdManifestRefFromImage(cpData)
+	if err != nil {
+		return err
+	}
+	if epoch == 0 {
+		if manName != "" {
+			return fmt.Errorf("%s present but the image names no cold manifest", manName)
+		}
+		return nil
+	}
+	if want := frozen.ManifestFileName(epoch); manName != want {
+		return fmt.Errorf("image names cold manifest %s, backup holds %q", want, manName)
+	}
+	manData, err := os.ReadFile(filepath.Join(dir, manName))
+	if err != nil {
+		return err
+	}
+	if got := crc32.ChecksumIEEE(manData); got != wantCRC {
+		return fmt.Errorf("%s checksum %#x, image records %#x", manName, got, wantCRC)
+	}
+	m, err := frozen.DecodeManifest(manData)
+	if err != nil {
+		return err
+	}
+	if m.Epoch != epoch {
+		return fmt.Errorf("%s carries epoch %d, image names %d", manName, m.Epoch, epoch)
+	}
+	var blocks []byte
+	for _, t := range m.Tables {
+		if len(t.Segments) == 0 {
+			continue
+		}
+		if blocks == nil {
+			if blocks, err = os.ReadFile(filepath.Join(dir, "data.blocks")); err != nil {
+				return err
+			}
+		}
+		for i, s := range t.Segments {
+			end := s.Ref.Offset + int64(s.Ref.Len)
+			if s.Ref.Offset < 0 || end > int64(len(blocks)) {
+				return fmt.Errorf("table %q segment %d overruns the block file", t.Table, i)
+			}
+			if err := frozen.VerifySegmentBytes(blocks[s.Ref.Offset:end], s); err != nil {
+				return fmt.Errorf("table %q segment %d: %w", t.Table, i, err)
+			}
 		}
 	}
 	return nil

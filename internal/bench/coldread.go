@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	phoebedb "phoebedb"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/tpcc"
+)
+
+// ColdReadResult reports the levelled cold-tier experiment: point reads
+// and zone-pruned scans over compacted, compressed column-strip segments
+// versus the flat frozen-block ablation (DisableColdCompaction), plus the
+// measured read and write amplification of the compacted tier.
+type ColdReadResult struct {
+	// GetNs / GetFlatNs are per-cold-point-read costs, levelled vs flat.
+	GetNs, GetFlatNs float64
+	// ScanNs / ScanFlatNs are per-statement costs for a filtered scalar
+	// aggregate whose predicate zone maps can prune (~5% of blocks
+	// survive on the levelled side; the flat side has no zones).
+	ScanNs, ScanFlatNs float64
+	// Gain is GetFlatNs / GetNs — the -min-cold-gain gate's ratio.
+	Gain float64
+	// ScanGain is ScanFlatNs / ScanNs.
+	ScanGain float64
+	// ReadAmp is segments probed per cold lookup on the levelled side.
+	// Disjoint rid ranges + bloom filters keep it at or below 1.
+	ReadAmp float64
+	// BloomNegRate is the share of lookups for purged row_ids the bloom
+	// filter answered without touching a block.
+	BloomNegRate float64
+	// WriteAmp is (FreezeBytes+CompactBytes)/FreezeBytes on the levelled
+	// side — bytes written per byte frozen, the cost of compaction.
+	WriteAmp float64
+	// Compression is RawBytes/FreezeBytes — the segment codec's ratio.
+	Compression float64
+}
+
+const (
+	coldRows      = 20_000
+	coldLoadBatch = 1000
+	coldGetBatch  = 512
+	// coldFreezePages freezes 32 × 64-row pages per round, so the flat
+	// ablation gets one ~2048-row block per freeze batch while the
+	// levelled side splits the same batch into 512-row blocks.
+	coldFreezePages = 32
+	// coldCacheBytes keeps the decompressed-block LRU small enough that a
+	// random point-read working set misses constantly — the regime where
+	// per-miss decompression cost dominates.
+	coldCacheBytes = 64 << 10
+)
+
+// newColdReadDB opens a database whose cold(id, seq, score, hits, tag)
+// table is almost entirely frozen: every 16th row is deleted before
+// freezing (so the cold tier has row_id gaps for bloom filters to answer),
+// garbage collection releases undo twins and tombstones, and every sealed
+// page is demoted. flat=true keeps the tier as whole-batch frozen blocks;
+// otherwise the segments are compacted level by level. WarmThreshold is
+// raised to infinity so reads never promote rows back.
+func newColdReadDB(cfg Config, flat bool) (*PhoebeSetup, []rel.RowID, error) {
+	setup, err := NewPhoebe(tpcc.Scale{}, cfg.MaxWorkers, cfg.SlotsPerWorker, false,
+		func(o *phoebedb.Options) {
+			o.DisableColdCompaction = flat
+			o.ColdCacheBytes = coldCacheBytes
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := setup.DB
+	if err := db.CreateTable("cold", phoebedb.NewSchema(
+		phoebedb.Column{Name: "id", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "seq", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "score", Type: phoebedb.TFloat64},
+		phoebedb.Column{Name: "hits", Type: phoebedb.TInt64},
+		phoebedb.Column{Name: "tag", Type: phoebedb.TString},
+	)); err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	if err := db.CreateIndex("cold", "cold_pk", []string{"id"}, true); err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	rids := make([]rel.RowID, 0, coldRows)
+	for lo := 0; lo < coldRows; lo += coldLoadBatch {
+		lo := lo
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			for i := lo; i < lo+coldLoadBatch && i < coldRows; i++ {
+				rid, err := tx.Insert("cold", phoebedb.Row{
+					phoebedb.Int(int64(i + 1)),
+					phoebedb.Int(int64(i)), // insertion order: zone maps can prune on it
+					phoebedb.Float(float64(i % 1000)),
+					phoebedb.Int(int64(i % 100)),
+					phoebedb.Str(fmt.Sprintf("tag-%03d", i%251)),
+				})
+				if err != nil {
+					return err
+				}
+				rids = append(rids, rid)
+			}
+			return nil
+		})
+		if err != nil {
+			setup.Close()
+			return nil, nil, err
+		}
+	}
+	// Delete every 16th row, then erase the tombstones, so the frozen tier
+	// has row_id gaps: lookups of those ids are the bloom filter's case.
+	err = db.Execute(func(tx *phoebedb.Tx) error {
+		for i := 0; i < coldRows; i += 16 {
+			if err := tx.Delete("cold", rids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	e := db.Engine()
+	e.Mgr.RefreshWatermark()
+	for i := 0; i < 3; i++ {
+		e.CollectGarbage() // release undo twins, erase tombstones
+	}
+	tb, err := e.Table("cold")
+	if err != nil {
+		setup.Close()
+		return nil, nil, err
+	}
+	tb.Frozen.WarmThreshold = math.MaxUint32 // reads never promote back
+	for {
+		n, err := e.FreezeTables(coldFreezePages, ^uint32(0))
+		if err != nil {
+			setup.Close()
+			return nil, nil, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if !flat {
+		if _, err := db.CompactCold(); err != nil {
+			setup.Close()
+			return nil, nil, err
+		}
+	}
+	st := db.ColdStats()
+	if st.Segments == 0 || tb.Store.MaxFrozenRowID() == 0 {
+		setup.Close()
+		return nil, nil, fmt.Errorf("bench: cold tier not populated (flat=%v): %+v", flat, st)
+	}
+	// Restrict the point-read working set to frozen row_ids. Purged rids
+	// stay in the mix in their natural 1-in-16 ratio: on the levelled side
+	// the bloom filter answers them without I/O, on the flat side they
+	// cost a full block decompression like any other miss.
+	maxFrozen := tb.Store.MaxFrozenRowID()
+	frozenRids := rids[:0]
+	for _, rid := range rids {
+		if rid <= maxFrozen {
+			frozenRids = append(frozenRids, rid)
+		}
+	}
+	return setup, frozenRids, nil
+}
+
+// measureColdPoint runs random point reads over the frozen working set,
+// batched per transaction, returning ns/op. Reads of purged row_ids must
+// come back not-found; everything else must materialize.
+func measureColdPoint(db *phoebedb.DB, rids []rel.RowID, dur time.Duration) (float64, error) {
+	rng := rand.New(rand.NewSource(13))
+	var ops int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	for time.Now().Before(deadline) {
+		err := db.Execute(func(tx *phoebedb.Tx) error {
+			for i := 0; i < coldGetBatch; i++ {
+				rid := rids[rng.Intn(len(rids))]
+				row, ok, err := tx.Get("cold", rid)
+				if err != nil {
+					return err
+				}
+				if ok && row[0].I < 1 {
+					return fmt.Errorf("bench: bad cold read of %d", rid)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		ops += coldGetBatch
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), nil
+}
+
+// ExpColdRead extends Exp 4/5's temperature story down to disk layout: it
+// measures cold point reads and zone-prunable cold scans over the
+// levelled segment tier against the flat frozen-block ablation
+// (DisableColdCompaction), and reports the levelled side's measured read
+// amplification (segments probed per lookup, bloom negatives) and write
+// amplification (compaction bytes per frozen byte). The returned Gain is
+// what the -min-cold-gain CI floor checks.
+func ExpColdRead(cfg Config) (ColdReadResult, error) {
+	cfg.Defaults()
+	out := ColdReadResult{}
+
+	// seq >= 19000 keeps the last ~5% of rows in insertion order, so zone
+	// maps prune ~95% of levelled blocks; the flat side scans everything.
+	const scanStmt = "SELECT count(*), sum(score) FROM cold WHERE seq >= 19000"
+
+	run := func(flat bool) (getNs, scanNs float64, st phoebedb.ColdStats, err error) {
+		setup, rids, err := newColdReadDB(cfg, flat)
+		if err != nil {
+			return 0, 0, st, err
+		}
+		defer setup.Close()
+		if getNs, err = measureColdPoint(setup.DB, rids, cfg.dur()); err != nil {
+			return 0, 0, st, err
+		}
+		if scanNs, err = measureVecStmt(setup.DB, scanStmt, cfg.dur()); err != nil {
+			return 0, 0, st, err
+		}
+		return getNs, scanNs, setup.DB.ColdStats(), nil
+	}
+
+	// Interleave two rounds and keep each side's best, absorbing machine
+	// noise the same way ExpRead and ExpVecScan do.
+	for round := 0; round < 2; round++ {
+		getNs, scanNs, st, err := run(false)
+		if err != nil {
+			return out, err
+		}
+		getFlat, scanFlat, _, err := run(true)
+		if err != nil {
+			return out, err
+		}
+		if out.GetNs == 0 || getNs < out.GetNs {
+			out.GetNs = getNs
+		}
+		if out.GetFlatNs == 0 || getFlat < out.GetFlatNs {
+			out.GetFlatNs = getFlat
+		}
+		if out.ScanNs == 0 || scanNs < out.ScanNs {
+			out.ScanNs = scanNs
+		}
+		if out.ScanFlatNs == 0 || scanFlat < out.ScanFlatNs {
+			out.ScanFlatNs = scanFlat
+		}
+		if st.Lookups > 0 {
+			out.ReadAmp = float64(st.SegmentsProbed) / float64(st.Lookups)
+			out.BloomNegRate = float64(st.BloomNegatives) / float64(st.Lookups)
+		}
+		if st.FreezeBytes > 0 {
+			out.WriteAmp = float64(st.FreezeBytes+st.CompactBytes) / float64(st.FreezeBytes)
+			out.Compression = float64(st.RawBytes) / float64(st.FreezeBytes)
+		}
+	}
+	if out.GetNs > 0 {
+		out.Gain = out.GetFlatNs / out.GetNs
+	}
+	if out.ScanNs > 0 {
+		out.ScanGain = out.ScanFlatNs / out.ScanNs
+	}
+
+	cfg.logf("coldread: point %8.0fns vs flat %8.0fns (%.2fx)", out.GetNs, out.GetFlatNs, out.Gain)
+	cfg.logf("coldread: scan  %8.0fns vs flat %8.0fns (%.2fx)", out.ScanNs, out.ScanFlatNs, out.ScanGain)
+	cfg.logf("coldread: read amp %.3f seg/lookup, bloom-neg rate %.3f, write amp %.2fx, compression %.2fx",
+		out.ReadAmp, out.BloomNegRate, out.WriteAmp, out.Compression)
+	return out, nil
+}

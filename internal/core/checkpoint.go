@@ -10,7 +10,6 @@ import (
 	"phoebedb/internal/fault"
 	"phoebedb/internal/frozen"
 	"phoebedb/internal/rel"
-	"phoebedb/internal/storage"
 	"phoebedb/internal/table"
 )
 
@@ -29,7 +28,7 @@ import (
 
 const (
 	checkpointMagic   uint32 = 0x50434B31 // "PCK1"
-	checkpointVersion uint32 = 1
+	checkpointVersion uint32 = 2
 )
 
 // ErrActiveTransactions reports a checkpoint attempt while transactions
@@ -38,6 +37,58 @@ var ErrActiveTransactions = fmt.Errorf("core: checkpoint requires a quiesced eng
 
 func (e *Engine) checkpointPath() string {
 	return filepath.Join(e.cfg.Dir, "checkpoint.db")
+}
+
+func (e *Engine) coldManifestPath(epoch uint64) string {
+	return filepath.Join(e.cfg.Dir, frozen.ManifestFileName(epoch))
+}
+
+// writeColdManifest durably writes one manifest epoch file (tmp, fsync,
+// rename). The frozen.manifestSwap failpoint guards the rename: a crash
+// before or during it leaves at worst a stray epoch file that no
+// checkpoint references.
+func (e *Engine) writeColdManifest(epoch uint64, data []byte) error {
+	path := e.coldManifestPath(epoch)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	e.IO.DataWrite.Add(int64(len(data)))
+	if err := fault.Eval(fault.FrozenManifestSwap); err != nil {
+		return fmt.Errorf("core: cold manifest swap: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// gcColdManifests removes superseded manifest epochs, keeping the current
+// one and its predecessor (a base backup that read checkpoint.db just
+// before a checkpoint may still be copying the previous epoch).
+func (e *Engine) gcColdManifests(current uint64) {
+	ents, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		var epoch uint64
+		if _, err := fmt.Sscanf(ent.Name(), "cold.manifest.%d", &epoch); err != nil {
+			continue
+		}
+		if epoch+1 < current {
+			os.Remove(filepath.Join(e.cfg.Dir, ent.Name()))
+		}
+	}
 }
 
 type cpWriter struct {
@@ -126,12 +177,37 @@ func (e *Engine) Checkpoint() error {
 		e.WAL.Writer(i).AdvanceGSN(cpGSN)
 	}
 
+	// Cold-tier durability rides the checkpoint: segments already live in
+	// the append-only block file, so syncing it and then committing a
+	// manifest naming the current segment set makes the cold directory
+	// crash-consistent. The manifest is an immutable epoch-named file; the
+	// checkpoint image records (epoch, crc) and the image's atomic rename
+	// below is the manifest swap commit point — a crash anywhere before it
+	// leaves the previous checkpoint and its manifest epoch authoritative.
+	if err := e.bf.Sync(); err != nil {
+		return err
+	}
+	tables := e.Tables()
+	manifest := &frozen.Manifest{Epoch: e.coldEpoch.Load() + 1}
+	for _, t := range tables {
+		manifest.Tables = append(manifest.Tables, frozen.TableManifest{
+			Table:    t.Name,
+			Segments: t.Frozen.Export(),
+		})
+	}
+	manifestBytes := frozen.EncodeManifest(manifest)
+	manifestCRC := crc32.ChecksumIEEE(manifestBytes)
+	if err := e.writeColdManifest(manifest.Epoch, manifestBytes); err != nil {
+		return err
+	}
+
 	w := &cpWriter{}
 	w.u32(checkpointMagic)
 	w.u32(checkpointVersion)
 	w.u64(cpGSN)
 	w.u64(e.Mgr.Clock.Now())
-	tables := e.Tables()
+	w.u64(manifest.Epoch)
+	w.u32(manifestCRC)
 	w.u32(uint32(len(tables)))
 	for _, t := range tables {
 		w.bytes([]byte(t.Name))
@@ -146,19 +222,6 @@ func (e *Engine) Checkpoint() error {
 		for _, im := range images {
 			w.u64(uint64(im.FirstRID))
 			w.bytes(im.Img)
-		}
-		blocks := t.Frozen.Export()
-		w.u32(uint32(len(blocks)))
-		for _, b := range blocks {
-			w.u64(uint64(b.FirstRID))
-			w.u64(uint64(b.LastRID))
-			w.u32(uint32(b.NumRows))
-			w.u64(uint64(b.Ref.Offset))
-			w.u32(uint32(b.Ref.Len))
-			w.u32(uint32(len(b.Deleted)))
-			for _, rid := range b.Deleted {
-				w.u64(uint64(rid))
-			}
 		}
 	}
 	w.u32(crc32.ChecksumIEEE(w.buf))
@@ -190,10 +253,9 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	e.lastCpGSN.Store(cpGSN)
+	e.coldEpoch.Store(manifest.Epoch)
 	e.stats.Checkpoints.Add(1)
-	if err := e.bf.Sync(); err != nil {
-		return err
-	}
+	e.gcColdManifests(manifest.Epoch)
 	// Archive ordering: the archiver must copy (and make durable) every
 	// remaining WAL byte before truncation destroys it. A seal failure
 	// aborts the truncation, not the checkpoint — the image is already
@@ -208,6 +270,71 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	return e.WAL.Truncate()
+}
+
+// loadColdManifest reads the manifest epoch a checkpoint references,
+// verifies it byte-for-byte against the recorded CRC, and rebuilds each
+// table's segment directory.
+func (e *Engine) loadColdManifest(epoch uint64, wantCRC uint32) error {
+	e.coldEpoch.Store(epoch)
+	if epoch == 0 {
+		return nil
+	}
+	data, err := os.ReadFile(e.coldManifestPath(epoch))
+	if err != nil {
+		return fmt.Errorf("core: cold manifest epoch %d: %w", epoch, err)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != wantCRC {
+		return fmt.Errorf("core: cold manifest epoch %d CRC %#x, checkpoint says %#x", epoch, crc, wantCRC)
+	}
+	m, err := frozen.DecodeManifest(data)
+	if err != nil {
+		return err
+	}
+	if m.Epoch != epoch {
+		return fmt.Errorf("core: cold manifest file epoch %d, checkpoint says %d", m.Epoch, epoch)
+	}
+	for _, tm := range m.Tables {
+		if len(tm.Segments) == 0 {
+			continue
+		}
+		t, terr := e.Table(tm.Table)
+		if terr != nil {
+			return fmt.Errorf("core: cold manifest references undeclared table %q", tm.Table)
+		}
+		if err := t.Frozen.Import(tm.Segments); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadColdManifestRefFromImage extracts the cold manifest (epoch, crc)
+// reference from an encoded checkpoint image. Base backups use it to copy
+// the exact manifest the captured image names.
+func ReadColdManifestRefFromImage(data []byte) (epoch uint64, crc uint32, err error) {
+	if len(data) < 4 {
+		return 0, 0, fmt.Errorf("core: checkpoint too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, fmt.Errorf("core: checkpoint checksum mismatch")
+	}
+	r := &cpReader{buf: body}
+	if r.u32() != checkpointMagic {
+		return 0, 0, fmt.Errorf("core: bad checkpoint magic")
+	}
+	if v := r.u32(); r.err == nil && v != checkpointVersion {
+		return 0, 0, fmt.Errorf("core: unsupported checkpoint version %d", v)
+	}
+	r.u64() // cpGSN
+	r.u64() // clock
+	epoch = r.u64()
+	crc = r.u32()
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	return epoch, crc, nil
 }
 
 // ReadCheckpointGSNFromImage extracts the GSN horizon from an encoded
@@ -264,6 +391,8 @@ func (e *Engine) loadCheckpoint() (bool, uint64, error) {
 	}
 	maxGSN := r.u64()
 	cpTS := r.u64()
+	manifestEpoch := r.u64()
+	manifestCRC := r.u32()
 	numTables := int(r.u32())
 	for i := 0; i < numTables && r.err == nil; i++ {
 		name := string(r.bytes())
@@ -286,29 +415,12 @@ func (e *Engine) loadCheckpoint() (bool, uint64, error) {
 				return false, 0, err
 			}
 		}
-		numBlocks := int(r.u32())
-		metas := make([]frozen.BlockMeta, 0, numBlocks)
-		for b := 0; b < numBlocks && r.err == nil; b++ {
-			m := frozen.BlockMeta{
-				FirstRID: rel.RowID(r.u64()),
-				LastRID:  rel.RowID(r.u64()),
-			}
-			m.NumRows = int(r.u32())
-			m.Ref = storage.BlockRef{Offset: int64(r.u64()), Len: int32(r.u32())}
-			nd := int(r.u32())
-			for d := 0; d < nd && r.err == nil; d++ {
-				m.Deleted = append(m.Deleted, rel.RowID(r.u64()))
-			}
-			metas = append(metas, m)
-		}
-		if r.err == nil {
-			if err := t.Frozen.Import(metas); err != nil {
-				return false, 0, err
-			}
-		}
 	}
 	if r.err != nil {
 		return false, 0, r.err
+	}
+	if err := e.loadColdManifest(manifestEpoch, manifestCRC); err != nil {
+		return false, 0, err
 	}
 	e.Mgr.Clock.AdvanceTo(cpTS + 1)
 	for i := 0; i < e.WAL.NumWriters(); i++ {

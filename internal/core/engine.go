@@ -89,6 +89,14 @@ type Config struct {
 	// row-at-a-time materialization — the ablation baseline for the
 	// vectorized scan path.
 	DisableVectorizedScan bool
+	// DisableColdCompaction reverts the cold tier to flat frozen blocks:
+	// Freeze writes one whole-batch compressed block per call, with no
+	// bloom filters, zone maps, or levelled compaction — the ablation
+	// baseline for the levelled cold store.
+	DisableColdCompaction bool
+	// ColdCacheBytes bounds the per-table decompressed cold-block LRU
+	// (0 = frozen.DefaultCacheBytes).
+	ColdCacheBytes int64
 	// PartitionOf maps a task slot to its worker's buffer partition, so a
 	// slot's page allocations land in the partition its worker maintains
 	// (§7.1). Defaults to slot modulo Partitions.
@@ -240,6 +248,9 @@ type Engine struct {
 	// lastCpGSN is the GSN horizon of the newest durable checkpoint image
 	// (written by Checkpoint, restored by loadCheckpoint).
 	lastCpGSN atomic.Uint64
+	// coldEpoch is the cold-manifest epoch the newest durable checkpoint
+	// references; Checkpoint writes epoch+1 next.
+	coldEpoch atomic.Uint64
 
 	pf *storage.PageFile
 	bf *storage.BlockFile
@@ -335,12 +346,15 @@ func (e *Engine) CreateTable(name string, schema *rel.Schema) (*Tbl, error) {
 		return nil, fmt.Errorf("core: table %q already exists", name)
 	}
 	e.nextTableID++
+	fs := frozen.NewStore(e.bf, schema)
+	fs.Flat = e.cfg.DisableColdCompaction
+	fs.CacheBytes = e.cfg.ColdCacheBytes
 	t := &Tbl{
 		Name:    name,
 		ID:      e.nextTableID,
 		Schema:  schema,
 		Store:   table.New(e.nextTableID, schema, e.cfg.PageCap, e.pf, e.Pool),
-		Frozen:  frozen.NewStore(e.bf, schema),
+		Frozen:  fs,
 		indexes: make(map[string]*Index),
 	}
 	t.Lock.Stats = &e.stats.TableLocks
@@ -372,7 +386,7 @@ func (e *Engine) CreateIndex(tableName, indexName string, cols []string, unique 
 // any hot/cold page or frozen block counts, even if every row in it has
 // been deleted).
 func tableHasData(t *Tbl) bool {
-	return t.Store.NumPages() > 0 || t.Frozen.NumBlocks() > 0
+	return t.Store.NumPages() > 0 || t.Frozen.NumSegments() > 0
 }
 
 // registerIndex adds an index to the table's catalog entry. With hidden
@@ -561,10 +575,48 @@ func (e *Engine) FreezeTables(maxPages int, maxHot uint32) (int, error) {
 		if len(ids) == 0 {
 			continue
 		}
-		if _, err := t.Frozen.Freeze(ids, rows); err != nil {
+		if err := t.Frozen.Freeze(ids, rows); err != nil {
 			return total, err
 		}
 		total += len(ids)
 	}
 	return total, nil
+}
+
+// CompactCold runs at most one cold-segment merge per table — the
+// rate-limited form the maintenance loop calls so compaction I/O never
+// monopolizes a worker. Returns the number of segments merged.
+func (e *Engine) CompactCold() (int, error) {
+	total := 0
+	for _, t := range e.Tables() {
+		n, err := t.Frozen.Compact()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// CompactColdAll merges every table's cold tier until no level is over
+// its fanout (tests and benchmarks; production uses CompactCold rounds).
+func (e *Engine) CompactColdAll() (int, error) {
+	total := 0
+	for _, t := range e.Tables() {
+		n, err := t.Frozen.CompactAll()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ColdStats aggregates the cold-tier counters across tables.
+func (e *Engine) ColdStats() frozen.ColdStats {
+	var st frozen.ColdStats
+	for _, t := range e.Tables() {
+		st.Add(t.Frozen.Stats())
+	}
+	return st
 }

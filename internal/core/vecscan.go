@@ -93,20 +93,36 @@ func (tx *Tx) ScanTableFiltered(tableName string, preds []rel.ColPred, fn func(r
 	if err := tx.lockTable(t, lock.ModeIS); err != nil {
 		return err
 	}
-	// Frozen rows are immutable and globally visible; they are few and
-	// already materialized, so the filter runs per row.
+	// Frozen rows are immutable and globally visible, so the cold tier
+	// runs the same column-strip filter as the hot path: segments stream
+	// decompressed blocks (zone maps prune segments the predicates
+	// refute), FilterFixed narrows the live-row bitmap, and only
+	// qualifying rows materialize.
 	stop := false
-	if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
-		if !evalPreds(preds, row) {
-			return true
-		}
-		if !fn(rid, row) {
-			stop = true
+	var frozenBuf rel.Row
+	var ferr2 error
+	if err := t.Frozen.ScanBlocks(preds, func(ids []rel.RowID, page *pax.Page, fsel pax.Sel) bool {
+		if ferr2 = page.FilterFixed(preds, fsel); ferr2 != nil {
 			return false
 		}
-		return true
+		if frozenBuf == nil {
+			frozenBuf = make(rel.Row, t.Schema.NumCols())
+		}
+		cont := true
+		fsel.ForEach(func(i int) bool {
+			page.ReadRowInto(i, frozenBuf)
+			cont = fn(ids[i], frozenBuf)
+			return cont
+		})
+		if !cont {
+			stop = true
+		}
+		return cont
 	}); err != nil {
 		return err
+	}
+	if ferr2 != nil {
+		return ferr2
 	}
 	if stop {
 		return nil
@@ -174,13 +190,22 @@ func (tx *Tx) AggTableFiltered(tableName string, preds []rel.ColPred, specs []re
 		return nil, 0, err
 	}
 	agg := pax.NewAggState(specs)
-	if err := t.Frozen.ScanLive(func(rid rel.RowID, row rel.Row) bool {
-		if evalPreds(preds, row) {
-			agg.FoldRow(row)
+	// Cold segments fold aggregates directly over their decompressed
+	// column strips — no row materialization, same as the hot batch path.
+	var ferr2 error
+	if err := t.Frozen.ScanBlocks(preds, func(ids []rel.RowID, page *pax.Page, fsel pax.Sel) bool {
+		if ferr2 = page.FilterFixed(preds, fsel); ferr2 != nil {
+			return false
+		}
+		if ferr2 = agg.Fold(page, fsel); ferr2 != nil {
+			return false
 		}
 		return true
 	}); err != nil {
 		return nil, 0, err
+	}
+	if ferr2 != nil {
+		return nil, 0, ferr2
 	}
 	snapshot := tx.inner.Snapshot()
 	xid := tx.XID()

@@ -307,3 +307,155 @@ func TestVectorizedScanAblation(t *testing.T) {
 	}
 	tx.Rollback()
 }
+
+// A table spanning all three temperatures at once — compacted cold
+// levels, a fresh L0 segment, and hot pages — must filter identically on
+// the batch and row paths, including after delete-marks and warm-ups move
+// rows between tiers, and even when a warm-up lands mid-scan.
+func TestScanFilteredThreeTemperatures(t *testing.T) {
+	e := openTestEngine(t, Config{PageCap: 8})
+	setupAccounts(t, e)
+	tb, err := e.Table("accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Frozen.Fanout = 2
+	tb.Frozen.BlockRows = 8
+
+	tx := begin(e, 0)
+	rids := make([]rel.RowID, 0, 80)
+	for i := 1; i <= 80; i++ {
+		rid, err := tx.Insert("accounts", acct(i, "o", float64(i)*10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// History on rows headed for every tier: two updates and two deletes,
+	// one pair in the soon-frozen prefix, one in the hot tail.
+	tx = begin(e, 0)
+	for _, i := range []int{3, 40} {
+		if err := tx.Update("accounts", rids[i], map[string]rel.Value{"balance": rel.Float(1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{12, 70} {
+		if err := tx.Delete("accounts", rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.CollectGarbage()
+	e.CollectGarbage()
+	// Three separate freeze batches become three L0 segments; compaction
+	// (fanout 2) merges into level 1; one more freeze leaves a fresh L0
+	// beside it. The last two pages stay hot.
+	for i := 0; i < 3; i++ {
+		if n, err := e.FreezeTables(2, 1<<20); err != nil || n == 0 {
+			t.Fatalf("freeze %d = (%d, %v)", i, n, err)
+		}
+	}
+	if _, err := e.CompactColdAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e.FreezeTables(2, 1<<20); err != nil || n == 0 {
+		t.Fatalf("post-compact freeze = (%d, %v)", n, err)
+	}
+	st := e.ColdStats()
+	maxFrozen := tb.Store.MaxFrozenRowID()
+	if st.MaxLevel < 1 || st.Segments < 2 || maxFrozen == 0 || maxFrozen >= rids[79] {
+		t.Fatalf("tier shape: %+v, frontier %d", st, maxFrozen)
+	}
+
+	predSets := [][]rel.ColPred{
+		nil,
+		{{Col: 0, Op: rel.CmpGe, Val: rel.Int(10)}, {Col: 0, Op: rel.CmpLt, Val: rel.Int(60)}},
+		{{Col: 2, Op: rel.CmpGt, Val: rel.Float(500)}},
+		{{Col: 0, Op: rel.CmpGt, Val: rel.Int(5000)}}, // matches nothing
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, preds := range predSets {
+			r := begin(e, 1)
+			got, want := vecIDs(t, r, preds), rowIDs(t, r, preds)
+			r.Rollback()
+			if !eqIDs(got, want...) {
+				t.Fatalf("%s: preds %v: vectorized %v, row path %v", stage, preds, got, want)
+			}
+		}
+	}
+	check("three tiers")
+
+	// Delete-mark a compacted row and update an L0 row: both warm into hot
+	// storage with fresh row_ids inside the transaction, leaving frozen
+	// tombstones behind.
+	tx = begin(e, 0)
+	if err := tx.Delete("accounts", rids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("accounts", rids[50], map[string]rel.Value{"balance": rel.Float(2000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check("after frozen delete+update")
+	r := begin(e, 1)
+	seen := make(map[int64]float64)
+	if err := r.ScanTable("accounts", func(_ rel.RowID, row rel.Row) bool {
+		seen[row[0].I] = row[2].F
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.Rollback()
+	if _, ok := seen[6]; ok {
+		t.Fatal("frozen-deleted id 6 still visible")
+	}
+	if seen[51] != 2000 {
+		t.Fatalf("warmed id 51 balance = %v, want 2000", seen[51])
+	}
+
+	// Mid-scan warm-up: the frozen sections stream before hot pages, so a
+	// warm triggered at the first hot row moves already-emitted frozen rows
+	// into hot storage beneath the running scan. The warmed copies commit
+	// after the statement snapshot, so the scan still sees every row
+	// exactly once.
+	tb.Frozen.WarmThreshold = 1
+	r = begin(e, 1)
+	want := rowIDs(t, r, nil)
+	var got []int64
+	warmed := false
+	err = r.ScanTableFiltered("accounts", nil, func(rid rel.RowID, row rel.Row) bool {
+		if !warmed && rid > maxFrozen {
+			warmed = true
+			w := begin(e, 0)
+			if _, ok, err := w.Get("accounts", rids[20]); err != nil || !ok {
+				t.Fatalf("mid-scan frozen get = (%v, %v)", ok, err)
+			}
+			w.Rollback() // the read queued the warm; nothing to commit
+			if n, err := e.ProcessWarmQueue(0); err != nil || n == 0 {
+				t.Fatalf("mid-scan warm = (%d, %v)", n, err)
+			}
+		}
+		got = append(got, row[0].I)
+		return true
+	})
+	r.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmed {
+		t.Fatal("scan never reached a hot row")
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !eqIDs(got, want...) {
+		t.Fatalf("mid-scan warm: scan saw %v, want %v", got, want)
+	}
+	check("after mid-scan warm")
+}

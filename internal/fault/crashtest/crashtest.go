@@ -398,6 +398,41 @@ func Run(cfg Config) (Report, error) {
 		if !crashed {
 			return rep, fmt.Errorf("crashtest: backfill did not crash at %s (err=%v)", cfg.Site, cerr)
 		}
+	case strings.HasPrefix(cfg.Site, "frozen."): // crash inside cold-tier maintenance
+		// Quiesce the workload, then demote pages into cold segments in
+		// small freeze/compact/checkpoint rounds so segments accumulate
+		// across levels and earlier rounds are already durable when the
+		// crash fires: panic@3 lands on the third segment write, the third
+		// merge, or the third manifest swap. Cold durability rides the
+		// checkpoint (freezing writes no WAL), so recovery must restore the
+		// exact frozen/hot split the last completed checkpoint captured.
+		runWorkload(e, workers, cfg.OpsPerWorker-phase1)
+		for i := 0; i < 3; i++ {
+			e.CollectGarbage() // erase tombstones so page prefixes freeze
+		}
+		if t, terr := e.Table("kv"); terr == nil {
+			t.Frozen.Fanout = 2 // merge every two segments: reach L2 fast
+		}
+		if err := fault.Enable(cfg.Site, "panic@3"); err != nil {
+			return rep, err
+		}
+		crashed, cerr := crashAt(func() error {
+			for i := 0; i < 64; i++ {
+				if _, err := e.FreezeTables(1, ^uint32(0)); err != nil {
+					return err
+				}
+				if _, err := e.CompactColdAll(); err != nil {
+					return err
+				}
+				if err := e.Checkpoint(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if !crashed {
+			return rep, fmt.Errorf("crashtest: cold maintenance never hit %s (err=%v)", cfg.Site, cerr)
+		}
 	default: // buffer.* / storage.*: crash inside forced page-swap maintenance
 		runWorkload(e, workers, cfg.OpsPerWorker-phase1)
 		for i := 0; i < 3; i++ {
@@ -435,6 +470,13 @@ func Run(cfg Config) (Report, error) {
 	rep.Replayed, err = e2.Recover()
 	if err != nil {
 		return rep, fmt.Errorf("crashtest: recover: %w", err)
+	}
+	if strings.HasPrefix(cfg.Site, "frozen.") {
+		// The run is only meaningful if the last completed checkpoint's
+		// manifest actually restored cold segments.
+		if st := e2.ColdStats(); st.Segments == 0 {
+			return rep, fmt.Errorf("crashtest: no cold segments survived recovery at %s", cfg.Site)
+		}
 	}
 	got, err := readAll(e2, cfg.Workers)
 	if err != nil {

@@ -87,6 +87,19 @@ const (
 	// backup label is written. A crash here leaves a label-less base
 	// directory that verify/restore must ignore.
 	BackupPreLabel = "backup.preLabel"
+	// FrozenSegmentWrite fires before a cold segment (freeze batch or
+	// compaction output) is appended to the block file. A crash here may
+	// leave partial segment bytes in the append-only file; nothing
+	// references them, so they are harmless garbage.
+	FrozenSegmentWrite = "frozen.segmentWrite"
+	// FrozenManifestSwap fires during checkpoint, before the new cold
+	// manifest epoch file is renamed into place. A crash here leaves the
+	// previous checkpoint (and its manifest epoch) authoritative.
+	FrozenManifestSwap = "frozen.manifestSwap"
+	// FrozenCompactMerge fires after a compaction merge has written its
+	// output segment but before the in-memory segment directory swap. A
+	// crash here orphans the merged bytes; the input segments survive.
+	FrozenCompactMerge = "frozen.compactMerge"
 	// SQLIndexBackfill fires once per row during an online CREATE INDEX
 	// backfill scan. Indexes are in-memory (rebuilt from the WAL on
 	// recovery), so a crash here must leave the table data consistent and
@@ -100,6 +113,7 @@ var allSites = []string{
 	CheckpointPreSave, CheckpointPostSave, CheckpointPreTruncate,
 	BufferEvict, ReplicaApply,
 	BackupArchiveCopy, BackupTornSegment, BackupPreLabel,
+	FrozenSegmentWrite, FrozenManifestSwap, FrozenCompactMerge,
 	SQLIndexBackfill,
 }
 
@@ -118,6 +132,7 @@ var crashSites = []string{
 	WALPreSync, WALPostSync, WALTornWrite,
 	CheckpointPreSave, CheckpointPostSave, CheckpointPreTruncate,
 	BufferEvict, StorageWritePage,
+	FrozenSegmentWrite, FrozenManifestSwap, FrozenCompactMerge,
 	SQLIndexBackfill,
 }
 

@@ -1,0 +1,104 @@
+package frozen
+
+import "encoding/binary"
+
+// bloom is a split block-less bloom filter over row_ids: k derived hash
+// probes into one bit array. Segments are immutable, so the filter is
+// built once at segment construction and never mutated afterwards; a
+// negative answer lets a cold point read return without touching the
+// segment's data blocks at all.
+type bloom struct {
+	words  []uint64
+	hashes uint32
+}
+
+// bloomBitsPerKey sizes the filter: 10 bits/key ≈ 1% false positives
+// with 7 hash probes.
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	bits := n * bloomBitsPerKey
+	return &bloom{words: make([]uint64, (bits+63)/64), hashes: bloomHashes}
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probes derives the double-hashing pair for key.
+func probes(key uint64) (h1, h2 uint64) {
+	h1 = mix64(key)
+	h2 = mix64(key ^ 0x9e3779b97f4a7c15)
+	return h1, h2 | 1 // odd stride visits every bit position
+}
+
+// add inserts key.
+func (b *bloom) add(key uint64) {
+	nbits := uint64(len(b.words)) * 64
+	h1, h2 := probes(key)
+	for i := uint32(0); i < b.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		b.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether key may have been added (no false negatives).
+func (b *bloom) mayContain(key uint64) bool {
+	if len(b.words) == 0 {
+		return true
+	}
+	nbits := uint64(len(b.words)) * 64
+	h1, h2 := probes(key)
+	for i := uint32(0); i < b.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		if b.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encode appends the filter's wire form: hash count, word count, words.
+func (b *bloom) encode(dst []byte) []byte {
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], b.hashes)
+	dst = append(dst, b8[:4]...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(b.words)))
+	dst = append(dst, b8[:4]...)
+	for _, w := range b.words {
+		binary.LittleEndian.PutUint64(b8[:], w)
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+// decodeBloom parses a filter from buf, returning the remainder.
+func decodeBloom(buf []byte) (*bloom, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, errTruncated("bloom header")
+	}
+	hashes := binary.LittleEndian.Uint32(buf[:4])
+	nw := int(binary.LittleEndian.Uint32(buf[4:8]))
+	buf = buf[8:]
+	if hashes == 0 || hashes > 32 || nw < 0 || len(buf) < nw*8 {
+		return nil, nil, errTruncated("bloom words")
+	}
+	b := &bloom{words: make([]uint64, nw), hashes: hashes}
+	for i := 0; i < nw; i++ {
+		b.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return b, buf[nw*8:], nil
+}

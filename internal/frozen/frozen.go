@@ -1,31 +1,40 @@
-// Package frozen implements the Data Block File layer (§5.2): long-cold
-// data compressed into immutable blocks, primarily serving analytical
-// scans while keeping OLTP table scans from warming the buffer pool.
+// Package frozen implements the Data Block File layer (§5.2) as a
+// levelled cold store: long-cold rows are demoted into immutable,
+// DEFLATE-compressed column-strip segments, primarily serving analytical
+// scans and rare point reads while keeping OLTP table scans from warming
+// the buffer pool.
 //
-// A block is a run of consecutive leaf pages' rows — row_id order is
-// preserved — serialized and DEFLATE-compressed into the append-only block
-// file. Blocks are immutable on disk: updates and deletes are out-of-place
-// (§5.2 case 3) — the row is marked deleted in the block's in-memory
-// tombstone set and, for updates/warming, re-inserted into hot storage with
-// a fresh row_id by the engine, which also refreshes secondary indexes.
-// Tombstones are not persisted here; recovery replays them from the WAL.
+// A segment is a run of consecutive rows — row_id order is preserved —
+// cut into independently compressed blocks of ~DefaultBlockRows rows.
+// Each segment carries a block directory, a bloom filter over its row_ids
+// and per-column-strip zone maps (min/max), so a cold point read touches
+// at most one segment (bloom negatives touch zero) and decompresses one
+// block, not the whole segment. Freeze emits level-0 segments; a
+// background compaction merges the oldest segments of a level into one
+// next-level segment, purging tombstones — row_ids grow monotonically
+// with freeze time, so per-level oldest-first merges keep every segment's
+// rid range disjoint.
 //
-// Each block counts its reads; once a block exceeds the warm threshold the
-// engine extracts its surviving rows back into hot storage ("frequently
-// accessed frozen pages ... are marked as deleted and reinserted").
-// A small decompression cache (FIFO over blocks) bounds repeated-scan cost.
+// Segments are immutable on disk: updates and deletes are out-of-place
+// (§5.2 case 3) — the row is tombstoned in the segment's in-memory
+// deleted set and, for updates/warming, re-inserted into hot storage with
+// a fresh row_id by the engine. Tombstones become durable via the cold
+// manifest written at checkpoint; between checkpoints recovery replays
+// them from the WAL. Each block counts its reads; once a block crosses
+// the warm threshold the engine extracts its surviving rows back into hot
+// storage. A byte-bounded LRU over decompressed blocks bounds repeated-
+// read cost.
 package frozen
 
 import (
-	"bytes"
-	"compress/flate"
-	"encoding/binary"
+	"container/list"
 	"fmt"
-	"io"
+	"hash/crc32"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"phoebedb/internal/fault"
 	"phoebedb/internal/pax"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/storage"
@@ -35,192 +44,325 @@ import (
 // engine should warm the block back into hot storage.
 const DefaultWarmReadThreshold = 1024
 
+// DefaultCacheBytes bounds the decompressed-block LRU (raw bytes).
+const DefaultCacheBytes = 4 << 20
+
 // blockData is a decompressed block image.
 type blockData struct {
 	ids  []rel.RowID
 	rows *pax.Page
 }
 
-// Block is one immutable frozen run.
-type Block struct {
-	FirstRID, LastRID rel.RowID
-	NumRows           int
-	ref               storage.BlockRef
-
-	mu      sync.Mutex
-	deleted map[rel.RowID]bool
-	reads   atomic.Uint32
-	cache   atomic.Pointer[blockData]
+// ColdStats is a snapshot of one store's cold-tier counters.
+type ColdStats struct {
+	Lookups        int64 // point reads routed to the cold tier
+	SegmentsProbed int64 // lookups that consulted a segment block
+	BloomNegatives int64 // lookups answered by the bloom filter alone
+	CacheHits      int64
+	CacheMisses    int64
+	Compactions    int64
+	FreezeBytes    int64 // compressed bytes appended by Freeze (level 0)
+	CompactBytes   int64 // compressed bytes appended by compaction merges
+	RawBytes       int64 // uncompressed bytes frozen (level 0)
+	Segments       int64 // gauge
+	Blocks         int64 // gauge
+	MaxLevel       int64 // gauge
 }
 
-// Reads returns the block's access count.
-func (b *Block) Reads() uint32 { return b.reads.Load() }
+// Add accumulates b into s (gauges sum; MaxLevel takes the max).
+func (s *ColdStats) Add(b ColdStats) {
+	s.Lookups += b.Lookups
+	s.SegmentsProbed += b.SegmentsProbed
+	s.BloomNegatives += b.BloomNegatives
+	s.CacheHits += b.CacheHits
+	s.CacheMisses += b.CacheMisses
+	s.Compactions += b.Compactions
+	s.FreezeBytes += b.FreezeBytes
+	s.CompactBytes += b.CompactBytes
+	s.RawBytes += b.RawBytes
+	s.Segments += b.Segments
+	s.Blocks += b.Blocks
+	if b.MaxLevel > s.MaxLevel {
+		s.MaxLevel = b.MaxLevel
+	}
+}
 
-// Store manages one table's frozen blocks.
+type cacheKey struct {
+	seg *segment
+	idx int
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	d     *blockData
+	bytes int64
+}
+
+// Store manages one table's cold segments.
 type Store struct {
 	bf            *storage.BlockFile
 	schema        *rel.Schema
 	WarmThreshold uint32
 
-	mu     sync.RWMutex
-	blocks []*Block // ascending FirstRID
+	// Flat disables compaction, blooms and zone maps: Freeze emits one
+	// whole-batch block per segment, reproducing the flat frozen tier
+	// (the DisableColdCompaction ablation).
+	Flat bool
+	// CacheBytes bounds the decompressed-block LRU (0 = default).
+	CacheBytes int64
+	// Fanout is the per-level segment count that triggers a merge
+	// (0 = DefaultFanout).
+	Fanout int
+	// BlockRows is the row count per compressed block (0 = default).
+	BlockRows int
 
-	cacheMu  sync.Mutex
-	cacheQ   []*Block
-	cacheCap int
+	mu   sync.RWMutex
+	segs []*segment // ascending firstRID
+
+	compactMu sync.Mutex // one merge at a time
+
+	cacheMu    sync.Mutex
+	cacheLRU   *list.List // front = most recent; values are *cacheEntry
+	cacheMap   map[cacheKey]*list.Element
+	cacheUsed  int64
+	lookups    atomic.Int64
+	segProbes  atomic.Int64
+	bloomNeg   atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	compacts   atomic.Int64
+	freezeByt  atomic.Int64
+	compactByt atomic.Int64
+	rawBytes   atomic.Int64
 }
 
-// NewStore creates a frozen store over the block file.
+// NewStore creates a cold store over the block file.
 func NewStore(bf *storage.BlockFile, schema *rel.Schema) *Store {
-	return &Store{bf: bf, schema: schema, WarmThreshold: DefaultWarmReadThreshold, cacheCap: 4}
+	return &Store{
+		bf:            bf,
+		schema:        schema,
+		WarmThreshold: DefaultWarmReadThreshold,
+		cacheLRU:      list.New(),
+		cacheMap:      make(map[cacheKey]*list.Element),
+	}
 }
 
-// NumBlocks returns the block count.
-func (s *Store) NumBlocks() int {
+func (s *Store) cacheCapBytes() int64 {
+	if s.CacheBytes > 0 {
+		return s.CacheBytes
+	}
+	return DefaultCacheBytes
+}
+
+func (s *Store) fanout() int {
+	if s.Fanout > 0 {
+		return s.Fanout
+	}
+	return DefaultFanout
+}
+
+func (s *Store) blockRows() int {
+	if s.BlockRows > 0 {
+		return s.BlockRows
+	}
+	return DefaultBlockRows
+}
+
+// NumSegments returns the live segment count.
+func (s *Store) NumSegments() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.blocks)
+	return len(s.segs)
 }
 
-// MaxRID returns the largest frozen row_id (0 if no blocks).
+// NumBlocks returns the live segment count (legacy name).
+func (s *Store) NumBlocks() int { return s.NumSegments() }
+
+// MaxRID returns the largest frozen row_id (0 if no segments).
 func (s *Store) MaxRID() rel.RowID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.blocks) == 0 {
+	if len(s.segs) == 0 {
 		return 0
 	}
-	return s.blocks[len(s.blocks)-1].LastRID
+	return s.segs[len(s.segs)-1].lastRID
+}
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() ColdStats {
+	st := ColdStats{
+		Lookups:        s.lookups.Load(),
+		SegmentsProbed: s.segProbes.Load(),
+		BloomNegatives: s.bloomNeg.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMiss.Load(),
+		Compactions:    s.compacts.Load(),
+		FreezeBytes:    s.freezeByt.Load(),
+		CompactBytes:   s.compactByt.Load(),
+		RawBytes:       s.rawBytes.Load(),
+	}
+	s.mu.RLock()
+	st.Segments = int64(len(s.segs))
+	for _, g := range s.segs {
+		st.Blocks += int64(len(g.blocks))
+		if int64(g.level) > st.MaxLevel {
+			st.MaxLevel = int64(g.level)
+		}
+	}
+	s.mu.RUnlock()
+	return st
 }
 
 // Freeze compresses the rows (ascending row_ids, all greater than any
-// frozen so far) into a new block.
-func (s *Store) Freeze(ids []rel.RowID, rows []rel.Row) (*Block, error) {
+// frozen so far) into a new level-0 segment.
+func (s *Store) Freeze(ids []rel.RowID, rows []rel.Row) error {
 	if len(ids) == 0 || len(ids) != len(rows) {
-		return nil, fmt.Errorf("frozen: bad freeze batch (%d ids, %d rows)", len(ids), len(rows))
-	}
-	for i := 1; i < len(ids); i++ {
-		if ids[i] <= ids[i-1] {
-			return nil, fmt.Errorf("frozen: row_ids not ascending at %d", i)
-		}
+		return fmt.Errorf("frozen: bad freeze batch (%d ids, %d rows)", len(ids), len(rows))
 	}
 	if max := s.MaxRID(); ids[0] <= max {
-		return nil, fmt.Errorf("frozen: row_id %d overlaps frozen range (max %d)", ids[0], max)
+		return fmt.Errorf("frozen: row_id %d overlaps frozen range (max %d)", ids[0], max)
 	}
-	page := pax.NewPage(s.schema, len(ids))
-	for _, r := range rows {
-		if _, err := page.Append(r); err != nil {
-			return nil, err
+	blockRows := s.blockRows()
+	if s.Flat {
+		blockRows = len(ids) // one whole-batch block, the flat ablation
+	}
+	sb := newSegmentBuilder(s.schema, 0, s.Flat, blockRows)
+	for i, id := range ids {
+		if err := sb.add(id, rows[i]); err != nil {
+			return err
 		}
 	}
-	// Serialize: count, ids, pax image; then DEFLATE.
-	var raw []byte
-	var b8 [8]byte
-	binary.LittleEndian.PutUint32(b8[:4], uint32(len(ids)))
-	raw = append(raw, b8[:4]...)
-	for _, id := range ids {
-		binary.LittleEndian.PutUint64(b8[:], uint64(id))
-		raw = append(raw, b8[:]...)
-	}
-	raw = page.Serialize(raw)
-	var comp bytes.Buffer
-	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	g, compBytes, err := s.appendSegment(sb)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if _, err := fw.Write(raw); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	ref, err := s.bf.AppendBlock(comp.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	blk := &Block{
-		FirstRID: ids[0],
-		LastRID:  ids[len(ids)-1],
-		NumRows:  len(ids),
-		ref:      ref,
-		deleted:  make(map[rel.RowID]bool),
-	}
+	s.freezeByt.Add(compBytes)
+	s.rawBytes.Add(sb.rawTotal)
 	s.mu.Lock()
-	s.blocks = append(s.blocks, blk)
+	s.segs = append(s.segs, g)
 	s.mu.Unlock()
-	return blk, nil
+	return nil
 }
 
-// blockFor routes a row_id to its block (nil if outside all ranges).
-func (s *Store) blockFor(rid rel.RowID) *Block {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].LastRID >= rid })
-	if i == len(s.blocks) || s.blocks[i].FirstRID > rid {
+// appendSegment finishes the builder, appends the encoded segment to the
+// block file (behind the frozen.segmentWrite failpoint) and returns the
+// in-memory segment.
+func (s *Store) appendSegment(sb *segmentBuilder) (*segment, int64, error) {
+	data, hlen, err := sb.finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := fault.Eval(fault.FrozenSegmentWrite); err != nil {
+		return nil, 0, fmt.Errorf("frozen: segment write: %w", err)
+	}
+	ref, err := s.bf.AppendBlock(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	g, err := decodeSegmentHeader(data[:hlen])
+	if err != nil {
+		return nil, 0, fmt.Errorf("frozen: self-check of new segment: %w", err)
+	}
+	g.ref = ref
+	g.headerLen = hlen
+	g.crc = crc32.ChecksumIEEE(data)
+	return g, int64(len(data)), nil
+}
+
+// segmentForLocked routes a row_id to its segment; caller holds s.mu.
+func (s *Store) segmentForLocked(rid rel.RowID) *segment {
+	i := sort.Search(len(s.segs), func(i int) bool { return s.segs[i].lastRID >= rid })
+	if i == len(s.segs) || s.segs[i].firstRID > rid {
 		return nil
 	}
-	return s.blocks[i]
+	return s.segs[i]
 }
 
-func (s *Store) load(b *Block) (*blockData, error) {
-	if d := b.cache.Load(); d != nil {
+// loadBlock returns a decompressed block, through the byte-bounded LRU.
+func (s *Store) loadBlock(g *segment, bi int) (*blockData, error) {
+	key := cacheKey{seg: g, idx: bi}
+	s.cacheMu.Lock()
+	if el, ok := s.cacheMap[key]; ok {
+		s.cacheLRU.MoveToFront(el)
+		d := el.Value.(*cacheEntry).d
+		s.cacheMu.Unlock()
+		s.cacheHits.Add(1)
 		return d, nil
 	}
-	comp, err := s.bf.ReadBlock(b.ref)
+	s.cacheMu.Unlock()
+	s.cacheMiss.Add(1)
+	comp, err := s.bf.ReadBlock(g.bodyRef(bi))
 	if err != nil {
 		return nil, err
 	}
-	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	ids, page, err := decompressBlock(s.schema, comp, g.blocks[bi].rawLen)
 	if err != nil {
-		return nil, fmt.Errorf("frozen: decompress block at %d: %w", b.ref.Offset, err)
+		return nil, fmt.Errorf("frozen: segment block at %d: %w", g.ref.Offset, err)
 	}
-	if len(raw) < 4 {
-		return nil, fmt.Errorf("frozen: truncated block")
-	}
-	n := int(binary.LittleEndian.Uint32(raw[:4]))
-	off := 4
-	if len(raw) < off+8*n {
-		return nil, fmt.Errorf("frozen: truncated block ids")
-	}
-	d := &blockData{ids: make([]rel.RowID, n)}
-	for i := 0; i < n; i++ {
-		d.ids[i] = rel.RowID(binary.LittleEndian.Uint64(raw[off : off+8]))
-		off += 8
-	}
-	page, err := pax.Deserialize(s.schema, n, raw[off:])
-	if err != nil {
-		return nil, err
-	}
-	d.rows = page
-	b.cache.Store(d)
-	// FIFO cache bound across blocks.
+	d := &blockData{ids: ids, rows: page}
 	s.cacheMu.Lock()
-	s.cacheQ = append(s.cacheQ, b)
-	if len(s.cacheQ) > s.cacheCap {
-		evict := s.cacheQ[0]
-		s.cacheQ = s.cacheQ[1:]
-		if evict != b {
-			evict.cache.Store(nil)
+	if _, ok := s.cacheMap[key]; !ok {
+		el := s.cacheLRU.PushFront(&cacheEntry{key: key, d: d, bytes: int64(g.blocks[bi].rawLen)})
+		s.cacheMap[key] = el
+		s.cacheUsed += int64(g.blocks[bi].rawLen)
+		cap := s.cacheCapBytes()
+		for s.cacheUsed > cap && s.cacheLRU.Len() > 1 {
+			back := s.cacheLRU.Back()
+			e := back.Value.(*cacheEntry)
+			s.cacheLRU.Remove(back)
+			delete(s.cacheMap, e.key)
+			s.cacheUsed -= e.bytes
 		}
 	}
 	s.cacheMu.Unlock()
 	return d, nil
 }
 
-// Get returns the frozen row, if present and not deleted. The bool reports
-// presence.
+// dropCached evicts every cached block of a segment (after compaction
+// removes it from the directory).
+func (s *Store) dropCached(g *segment) {
+	s.cacheMu.Lock()
+	for key, el := range s.cacheMap {
+		if key.seg == g {
+			s.cacheUsed -= el.Value.(*cacheEntry).bytes
+			s.cacheLRU.Remove(el)
+			delete(s.cacheMap, key)
+		}
+	}
+	s.cacheMu.Unlock()
+}
+
+// Get returns the frozen row, if present and not deleted. The bool
+// reports presence. Bloom-negative lookups return without touching any
+// segment block.
 func (s *Store) Get(rid rel.RowID) (rel.Row, bool, error) {
-	b := s.blockFor(rid)
-	if b == nil {
+	s.lookups.Add(1)
+	s.mu.RLock()
+	g := s.segmentForLocked(rid)
+	if g == nil {
+		s.mu.RUnlock()
 		return nil, false, nil
 	}
-	b.reads.Add(1)
-	b.mu.Lock()
-	del := b.deleted[rid]
-	b.mu.Unlock()
+	if g.filter != nil && !g.filter.mayContain(uint64(rid)) {
+		s.mu.RUnlock()
+		s.bloomNeg.Add(1)
+		return nil, false, nil
+	}
+	bi := g.blockFor(rid)
+	if bi < 0 {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	g.reads[bi].Add(1)
+	g.mu.Lock()
+	del := g.deleted[rid]
+	g.mu.Unlock()
+	s.mu.RUnlock()
 	if del {
 		return nil, false, nil
 	}
-	d, err := s.load(b)
+	s.segProbes.Add(1)
+	d, err := s.loadBlock(g, bi)
 	if err != nil {
 		return nil, false, err
 	}
@@ -232,13 +374,24 @@ func (s *Store) Get(rid rel.RowID) (rel.Row, bool, error) {
 }
 
 // MarkDeleted tombstones a frozen row (out-of-place delete/update). It
-// reports whether the row existed and was live.
+// reports whether the row existed and was live. The whole operation runs
+// under the directory read-lock so a concurrent compaction swap cannot
+// strand the tombstone on a retired segment.
 func (s *Store) MarkDeleted(rid rel.RowID) (bool, error) {
-	b := s.blockFor(rid)
-	if b == nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.segmentForLocked(rid)
+	if g == nil {
 		return false, nil
 	}
-	d, err := s.load(b)
+	if g.filter != nil && !g.filter.mayContain(uint64(rid)) {
+		return false, nil
+	}
+	bi := g.blockFor(rid)
+	if bi < 0 {
+		return false, nil
+	}
+	d, err := s.loadBlock(g, bi)
 	if err != nil {
 		return false, err
 	}
@@ -246,82 +399,126 @@ func (s *Store) MarkDeleted(rid rel.RowID) (bool, error) {
 	if i == len(d.ids) || d.ids[i] != rid {
 		return false, nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.deleted[rid] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.deleted[rid] {
 		return false, nil
 	}
-	b.deleted[rid] = true
+	g.deleted[rid] = true
 	return true, nil
 }
 
 // Undelete clears a tombstone (rollback of a warming transaction).
 func (s *Store) Undelete(rid rel.RowID) {
-	b := s.blockFor(rid)
-	if b == nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.segmentForLocked(rid)
+	if g == nil {
 		return
 	}
-	b.mu.Lock()
-	delete(b.deleted, rid)
-	b.mu.Unlock()
+	g.mu.Lock()
+	delete(g.deleted, rid)
+	g.mu.Unlock()
 }
 
 // ShouldWarm reports whether the row's block has crossed the read
 // threshold (§5.2 case 3).
 func (s *Store) ShouldWarm(rid rel.RowID) bool {
-	b := s.blockFor(rid)
-	return b != nil && b.reads.Load() >= s.WarmThreshold
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.segmentForLocked(rid)
+	if g == nil {
+		return false
+	}
+	bi := g.blockFor(rid)
+	return bi >= 0 && g.reads[bi].Load() >= s.WarmThreshold
 }
 
-// ExtractLive returns the block's surviving rows (for re-insertion into
-// hot storage) and tombstones them all. The block stays in place, fully
-// dead, until a future block-file compaction.
+// ExtractLive returns the surviving rows of the block containing rid (for
+// re-insertion into hot storage) and tombstones them. Warming is
+// per-block: a hot key does not drag a whole multi-megabyte segment back
+// into the buffer pool.
 func (s *Store) ExtractLive(rid rel.RowID) (ids []rel.RowID, rows []rel.Row, err error) {
-	b := s.blockFor(rid)
-	if b == nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.segmentForLocked(rid)
+	if g == nil {
 		return nil, nil, nil
 	}
-	d, err := s.load(b)
+	bi := g.blockFor(rid)
+	if bi < 0 {
+		return nil, nil, nil
+	}
+	d, err := s.loadBlock(g, bi)
 	if err != nil {
 		return nil, nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for i, id := range d.ids {
-		if b.deleted[id] {
+		if g.deleted[id] {
 			continue
 		}
-		b.deleted[id] = true
+		g.deleted[id] = true
 		ids = append(ids, id)
 		rows = append(rows, d.rows.Row(i))
 	}
-	b.reads.Store(0)
+	g.reads[bi].Store(0)
 	return ids, rows, nil
 }
 
-// ScanLive streams every live frozen row in row_id order — the OLAP path.
-// Scanning does not bump warm counters: per §5.2, "operations like table
-// scans do not warm any data".
-func (s *Store) ScanLive(fn func(rid rel.RowID, row rel.Row) bool) error {
-	s.mu.RLock()
-	blocks := append([]*Block(nil), s.blocks...)
-	s.mu.RUnlock()
-	for _, b := range blocks {
-		d, err := s.load(b)
-		if err != nil {
-			return err
-		}
-		b.mu.Lock()
-		dels := make(map[rel.RowID]bool, len(b.deleted))
-		for k, v := range b.deleted {
+// snapshotDeleted copies the segment's tombstone set.
+func (g *segment) snapshotDeleted() map[rel.RowID]bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.deleted) == 0 {
+		return nil
+	}
+	dels := make(map[rel.RowID]bool, len(g.deleted))
+	for k, v := range g.deleted {
+		if v {
 			dels[k] = v
 		}
-		b.mu.Unlock()
-		for i, id := range d.ids {
-			if dels[id] {
+	}
+	return dels
+}
+
+// ScanBlocks streams decompressed column-strip blocks in row_id order
+// with a selection bitmap over live (non-tombstoned) slots — the
+// vectorized cold-scan path: FilterFixed/AggState fold directly over the
+// strips. Segments whose zone maps refute a predicate are skipped without
+// I/O. fn must not retain ids/page/sel across calls; returning false
+// stops the scan. Scanning does not bump warm counters: per §5.2,
+// "operations like table scans do not warm any data".
+func (s *Store) ScanBlocks(preds []rel.ColPred, fn func(ids []rel.RowID, page *pax.Page, sel pax.Sel) bool) error {
+	s.mu.RLock()
+	segs := append([]*segment(nil), s.segs...)
+	s.mu.RUnlock()
+	var sel pax.Sel
+	for _, g := range segs {
+		if zonesPrune(g.zones, preds) {
+			continue
+		}
+		dels := g.snapshotDeleted()
+		for bi := range g.blocks {
+			d, err := s.loadBlock(g, bi)
+			if err != nil {
+				return err
+			}
+			sel = sel.Reset(len(d.ids))
+			live := len(d.ids)
+			if len(dels) > 0 {
+				for i, id := range d.ids {
+					if dels[id] {
+						sel.Clear(i)
+						live--
+					}
+				}
+			}
+			if live == 0 {
 				continue
 			}
-			if !fn(id, d.rows.Row(i)) {
+			if !fn(d.ids, d.rows, sel) {
 				return nil
 			}
 		}
@@ -329,58 +526,228 @@ func (s *Store) ScanLive(fn func(rid rel.RowID, row rel.Row) bool) error {
 	return nil
 }
 
+// ScanLive streams every live frozen row in row_id order — the
+// row-at-a-time path kept for index rebuilds and non-vectorized scans.
+func (s *Store) ScanLive(fn func(rid rel.RowID, row rel.Row) bool) error {
+	return s.ScanBlocks(nil, func(ids []rel.RowID, page *pax.Page, sel pax.Sel) bool {
+		for i := range ids {
+			if !sel.Has(i) {
+				continue
+			}
+			if !fn(ids[i], page.Row(i)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Compact runs at most one merge: the lowest level holding at least
+// Fanout segments has its oldest Fanout segments merged into one
+// next-level segment, dropping tombstoned rows. Returns the number of
+// segments merged (0 if nothing to do). One merge per call is the rate
+// limit: the maintenance loop calls this between batches so foreground
+// latency is unaffected.
+func (s *Store) Compact() (int, error) {
+	if s.Flat {
+		return 0, nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	fanout := s.fanout()
+	s.mu.RLock()
+	var inputs []*segment
+	levels := make(map[int][]*segment)
+	minLevel := -1
+	for _, g := range s.segs {
+		levels[g.level] = append(levels[g.level], g)
+		if len(levels[g.level]) >= fanout && (minLevel < 0 || g.level < minLevel) {
+			minLevel = g.level
+		}
+	}
+	if minLevel >= 0 {
+		inputs = append(inputs, levels[minLevel][:fanout]...)
+	}
+	s.mu.RUnlock()
+	if len(inputs) == 0 {
+		return 0, nil
+	}
+
+	// Snapshot tombstones: rows dead now are purged from the merged
+	// output; tombstones added while we merge are re-applied at swap.
+	snaps := make([]map[rel.RowID]bool, len(inputs))
+	for i, g := range inputs {
+		snaps[i] = g.snapshotDeleted()
+	}
+
+	sb := newSegmentBuilder(s.schema, inputs[0].level+1, false, s.blockRows())
+	rows := 0
+	for i, g := range inputs {
+		for bi := range g.blocks {
+			comp, err := s.bf.ReadBlock(g.bodyRef(bi))
+			if err != nil {
+				return 0, err
+			}
+			ids, page, err := decompressBlock(s.schema, comp, g.blocks[bi].rawLen)
+			if err != nil {
+				return 0, err
+			}
+			for j, id := range ids {
+				if snaps[i][id] {
+					continue
+				}
+				if err := sb.add(id, page.Row(j)); err != nil {
+					return 0, err
+				}
+				rows++
+			}
+		}
+	}
+
+	var merged *segment
+	if rows > 0 {
+		g, compBytes, err := s.appendSegment(sb)
+		if err != nil {
+			return 0, err
+		}
+		s.compactByt.Add(compBytes)
+		merged = g
+	}
+
+	// frozen.compactMerge: crash here leaves the merged bytes as orphaned
+	// garbage in the append-only block file; the directory (and the
+	// manifest the next checkpoint would write) still reference the
+	// intact input segments.
+	if err := fault.Eval(fault.FrozenCompactMerge); err != nil {
+		return 0, fmt.Errorf("frozen: compact merge: %w", err)
+	}
+
+	s.mu.Lock()
+	// Re-apply tombstones added during the merge to the new segment.
+	if merged != nil {
+		for i, g := range inputs {
+			g.mu.Lock()
+			for rid, del := range g.deleted {
+				if del && !snaps[i][rid] {
+					merged.deleted[rid] = true
+				}
+			}
+			g.mu.Unlock()
+		}
+	}
+	out := s.segs[:0:0]
+	replaced := false
+	for _, g := range s.segs {
+		if isInput(inputs, g) {
+			if !replaced && merged != nil {
+				out = append(out, merged)
+			}
+			replaced = true
+			continue
+		}
+		out = append(out, g)
+	}
+	s.segs = out
+	s.mu.Unlock()
+	s.compacts.Add(1)
+	for _, g := range inputs {
+		s.dropCached(g)
+	}
+	return len(inputs), nil
+}
+
+func isInput(inputs []*segment, g *segment) bool {
+	for _, in := range inputs {
+		if in == g {
+			return true
+		}
+	}
+	return false
+}
+
+// CompactAll merges until no level is over its fanout. Returns the total
+// number of segments merged.
+func (s *Store) CompactAll() (int, error) {
+	total := 0
+	for {
+		n, err := s.Compact()
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += n
+	}
+}
+
 // CompressedBytes returns the block file size (diagnostics, Exp 4).
 func (s *Store) CompressedBytes() int64 { return s.bf.Size() }
 
-// BlockMeta is a frozen block's checkpoint record: its row range, its
-// location in the (append-only, immutable) block file, and its tombstones.
-type BlockMeta struct {
-	FirstRID, LastRID rel.RowID
-	NumRows           int
-	Ref               storage.BlockRef
-	Deleted           []rel.RowID
-}
-
-// Export captures the block directory for a checkpoint.
-func (s *Store) Export() []BlockMeta {
+// Export captures the segment directory for a checkpoint manifest.
+func (s *Store) Export() []SegmentMeta {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]BlockMeta, 0, len(s.blocks))
-	for _, b := range s.blocks {
-		m := BlockMeta{FirstRID: b.FirstRID, LastRID: b.LastRID, NumRows: b.NumRows, Ref: b.ref}
-		b.mu.Lock()
-		for rid, d := range b.deleted {
+	out := make([]SegmentMeta, 0, len(s.segs))
+	for _, g := range s.segs {
+		m := SegmentMeta{
+			Level:     g.level,
+			Flat:      g.flat,
+			FirstRID:  g.firstRID,
+			LastRID:   g.lastRID,
+			NumRows:   g.numRows,
+			Ref:       g.ref,
+			HeaderLen: g.headerLen,
+			CRC:       g.crc,
+		}
+		g.mu.Lock()
+		for rid, d := range g.deleted {
 			if d {
 				m.Deleted = append(m.Deleted, rid)
 			}
 		}
-		b.mu.Unlock()
+		g.mu.Unlock()
 		sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
 		out = append(out, m)
 	}
 	return out
 }
 
-// Import rebuilds the block directory from a checkpoint export. The store
-// must be empty; the block file must be the one the refs point into.
-func (s *Store) Import(metas []BlockMeta) error {
+// Import rebuilds the segment directory from a manifest. The store must
+// be empty; the block file must be the one the refs point into. Each
+// segment's header is read back and CRC-verified.
+func (s *Store) Import(metas []SegmentMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.blocks) != 0 {
+	if len(s.segs) != 0 {
 		return fmt.Errorf("frozen: Import on non-empty store")
 	}
 	for _, m := range metas {
-		b := &Block{
-			FirstRID: m.FirstRID,
-			LastRID:  m.LastRID,
-			NumRows:  m.NumRows,
-			ref:      m.Ref,
-			deleted:  make(map[rel.RowID]bool, len(m.Deleted)),
+		if m.HeaderLen <= 0 || int64(m.HeaderLen) > int64(m.Ref.Len) {
+			return fmt.Errorf("frozen: manifest header length %d out of range", m.HeaderLen)
 		}
+		hdr, err := s.bf.ReadBlock(storage.BlockRef{Offset: m.Ref.Offset, Len: int32(m.HeaderLen)})
+		if err != nil {
+			return err
+		}
+		g, err := decodeSegmentHeader(hdr)
+		if err != nil {
+			return fmt.Errorf("frozen: import segment at %d: %w", m.Ref.Offset, err)
+		}
+		if g.firstRID != m.FirstRID || g.lastRID != m.LastRID || g.numRows != m.NumRows {
+			return fmt.Errorf("frozen: segment at %d disagrees with manifest", m.Ref.Offset)
+		}
+		g.ref = m.Ref
+		g.headerLen = m.HeaderLen
+		g.crc = m.CRC
 		for _, rid := range m.Deleted {
-			b.deleted[rid] = true
+			g.deleted[rid] = true
 		}
-		s.blocks = append(s.blocks, b)
+		if n := len(s.segs); n > 0 && g.firstRID <= s.segs[n-1].lastRID {
+			return fmt.Errorf("frozen: manifest segments overlap at %d", g.firstRID)
+		}
+		s.segs = append(s.segs, g)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"phoebedb/internal/pax"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/storage"
 )
@@ -36,15 +37,19 @@ func batch(first, n int) ([]rel.RowID, []rel.Row) {
 	return ids, rows
 }
 
+func mustFreeze(t *testing.T, s *Store, ids []rel.RowID, rows []rel.Row) {
+	t.Helper()
+	if err := s.Freeze(ids, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFreezeAndGet(t *testing.T) {
 	s := newTestStore(t)
 	ids, rows := batch(1, 50)
-	blk, err := s.Freeze(ids, rows)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if blk.FirstRID != 1 || blk.LastRID != 50 || blk.NumRows != 50 {
-		t.Fatalf("block = %+v", blk)
+	mustFreeze(t, s, ids, rows)
+	if s.NumSegments() != 1 || s.MaxRID() != 50 {
+		t.Fatalf("NumSegments=%d MaxRID=%d", s.NumSegments(), s.MaxRID())
 	}
 	for i, id := range ids {
 		row, ok, err := s.Get(id)
@@ -58,63 +63,90 @@ func TestFreezeAndGet(t *testing.T) {
 	if _, ok, _ := s.Get(999); ok {
 		t.Fatal("absent rid found")
 	}
-	if s.MaxRID() != 50 || s.NumBlocks() != 1 {
-		t.Fatalf("MaxRID=%d NumBlocks=%d", s.MaxRID(), s.NumBlocks())
-	}
 	if s.CompressedBytes() <= 0 {
 		t.Fatal("no bytes written")
+	}
+	st := s.Stats()
+	if st.Lookups != 51 || st.FreezeBytes <= 0 || st.RawBytes <= st.FreezeBytes {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
 func TestFreezeValidation(t *testing.T) {
 	s := newTestStore(t)
 	ids, rows := batch(1, 10)
-	if _, err := s.Freeze(nil, nil); err == nil {
+	if err := s.Freeze(nil, nil); err == nil {
 		t.Fatal("empty batch accepted")
 	}
-	if _, err := s.Freeze(ids[:5], rows[:4]); err == nil {
+	if err := s.Freeze(ids[:5], rows[:4]); err == nil {
 		t.Fatal("mismatched batch accepted")
 	}
 	bad := append([]rel.RowID(nil), ids...)
 	bad[3] = bad[2]
-	if _, err := s.Freeze(bad, rows); err == nil {
+	if err := s.Freeze(bad, rows); err == nil {
 		t.Fatal("non-ascending ids accepted")
 	}
-	if _, err := s.Freeze(ids, rows); err != nil {
-		t.Fatal(err)
-	}
+	mustFreeze(t, s, ids, rows)
 	// Overlapping range rejected.
-	if _, err := s.Freeze(ids, rows); err == nil {
+	if err := s.Freeze(ids, rows); err == nil {
 		t.Fatal("overlapping freeze accepted")
 	}
 }
 
-func TestMultipleBlocksAndRouting(t *testing.T) {
+func TestMultipleSegmentsAndRouting(t *testing.T) {
 	s := newTestStore(t)
 	for b := 0; b < 5; b++ {
-		ids, rows := batch(b*100+1, 20) // gaps between blocks
-		if _, err := s.Freeze(ids, rows); err != nil {
-			t.Fatal(err)
-		}
+		ids, rows := batch(b*100+1, 20) // gaps between segments
+		mustFreeze(t, s, ids, rows)
 	}
-	if s.NumBlocks() != 5 {
-		t.Fatalf("NumBlocks = %d", s.NumBlocks())
+	if s.NumSegments() != 5 {
+		t.Fatalf("NumSegments = %d", s.NumSegments())
 	}
-	// Row in third block.
+	// Row in third segment.
 	row, ok, err := s.Get(215)
 	if err != nil || !ok || row[0].I != 215 {
 		t.Fatalf("Get(215) = (%v,%v,%v)", row, ok, err)
 	}
-	// Gap between blocks: absent.
+	// Gap between segments: absent.
 	if _, ok, _ := s.Get(50); ok {
 		t.Fatal("rid in gap found")
+	}
+}
+
+// Rid gaps inside a segment's range are answered by the bloom filter
+// without reading any block: the read amplification of an absent-key
+// lookup is zero segments.
+func TestBloomNegativesTouchNothing(t *testing.T) {
+	s := newTestStore(t)
+	n := 500
+	ids := make([]rel.RowID, n)
+	rows := make([]rel.Row, n)
+	for i := 0; i < n; i++ {
+		ids[i] = rel.RowID(2 * (i + 1)) // even rids only
+		rows[i] = rel.Row{rel.Int(int64(i)), rel.Str("x")}
+	}
+	mustFreeze(t, s, ids, rows)
+	misses := 0
+	for i := 1; i < n; i++ { // odd rids 3..2n-1, all inside the segment's range
+		if _, ok, err := s.Get(rel.RowID(2*i + 1)); ok || err != nil {
+			t.Fatalf("odd rid %d = (%v, %v)", 2*i+1, ok, err)
+		}
+		misses++
+	}
+	st := s.Stats()
+	if st.BloomNegatives+st.SegmentsProbed < int64(misses) {
+		t.Fatalf("misses unaccounted: %+v", st)
+	}
+	// 10 bits/key, 7 hashes: ~1% false positives. Allow 10x slack.
+	if st.BloomNegatives < int64(misses)*9/10 {
+		t.Fatalf("only %d/%d bloom negatives", st.BloomNegatives, misses)
 	}
 }
 
 func TestMarkDeleted(t *testing.T) {
 	s := newTestStore(t)
 	ids, rows := batch(1, 10)
-	s.Freeze(ids, rows)
+	mustFreeze(t, s, ids, rows)
 	ok, err := s.MarkDeleted(5)
 	if err != nil || !ok {
 		t.Fatalf("MarkDeleted = (%v,%v)", ok, err)
@@ -132,14 +164,19 @@ func TestMarkDeleted(t *testing.T) {
 	if _, ok, _ := s.Get(4); !ok {
 		t.Fatal("neighbor lost")
 	}
+	// Undelete restores visibility (warming-txn rollback).
+	s.Undelete(5)
+	if _, ok, _ := s.Get(5); !ok {
+		t.Fatal("undeleted row invisible")
+	}
 }
 
 func TestScanLiveSkipsDeleted(t *testing.T) {
 	s := newTestStore(t)
 	ids1, rows1 := batch(1, 5)
-	s.Freeze(ids1, rows1)
+	mustFreeze(t, s, ids1, rows1)
 	ids2, rows2 := batch(10, 5)
-	s.Freeze(ids2, rows2)
+	mustFreeze(t, s, ids2, rows2)
 	s.MarkDeleted(3)
 	s.MarkDeleted(12)
 	var seen []rel.RowID
@@ -161,11 +198,55 @@ func TestScanLiveSkipsDeleted(t *testing.T) {
 	}
 }
 
+// ScanBlocks must skip whole segments whose zone maps refute a predicate,
+// without decompressing (or even reading) any of their blocks.
+func TestScanBlocksZonePruning(t *testing.T) {
+	s := newTestStore(t)
+	ids1, rows1 := batch(1, 100) // k in [1,100]
+	mustFreeze(t, s, ids1, rows1)
+	ids2, rows2 := batch(1000, 100) // k in [1000,1099]
+	mustFreeze(t, s, ids2, rows2)
+
+	before := s.Stats().CacheMisses
+	calls := 0
+	preds := []rel.ColPred{{Col: 0, Op: rel.CmpGe, Val: rel.Int(500)}}
+	if err := s.ScanBlocks(preds, func(ids []rel.RowID, page *pax.Page, sel pax.Sel) bool {
+		for _, id := range ids {
+			if id < 1000 {
+				t.Fatalf("pruned segment emitted rid %d", id)
+			}
+		}
+		calls++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("second segment not scanned")
+	}
+	// Only the surviving segment's block was decompressed.
+	if got := s.Stats().CacheMisses - before; got != int64(calls) {
+		t.Fatalf("%d blocks decompressed for %d surviving blocks", got, calls)
+	}
+	// A predicate refuting both segments touches nothing.
+	before = s.Stats().CacheMisses
+	if err := s.ScanBlocks([]rel.ColPred{{Col: 0, Op: rel.CmpGt, Val: rel.Int(10_000)}},
+		func([]rel.RowID, *pax.Page, pax.Sel) bool {
+			t.Fatal("block emitted despite refuting predicate")
+			return false
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().CacheMisses - before; got != 0 {
+		t.Fatalf("%d blocks read under a fully refuting predicate", got)
+	}
+}
+
 func TestScanDoesNotWarm(t *testing.T) {
 	s := newTestStore(t)
 	s.WarmThreshold = 2
 	ids, rows := batch(1, 5)
-	s.Freeze(ids, rows)
+	mustFreeze(t, s, ids, rows)
 	for i := 0; i < 10; i++ {
 		s.ScanLive(func(rel.RowID, rel.Row) bool { return true })
 	}
@@ -178,7 +259,7 @@ func TestWarmThresholdAndExtract(t *testing.T) {
 	s := newTestStore(t)
 	s.WarmThreshold = 3
 	ids, rows := batch(1, 6)
-	s.Freeze(ids, rows)
+	mustFreeze(t, s, ids, rows)
 	s.MarkDeleted(2)
 	if s.ShouldWarm(1) {
 		t.Fatal("cold block reported warm")
@@ -215,33 +296,169 @@ func TestWarmThresholdAndExtract(t *testing.T) {
 	}
 }
 
-func TestCacheEviction(t *testing.T) {
+// Warming is per block, not per segment: reads of one block must not
+// report the segment's other blocks warm.
+func TestWarmingIsPerBlock(t *testing.T) {
 	s := newTestStore(t)
-	s.cacheCap = 2
+	s.WarmThreshold = 2
+	s.BlockRows = 4
+	ids, rows := batch(1, 12) // three 4-row blocks in one segment
+	mustFreeze(t, s, ids, rows)
+	if s.Stats().Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", s.Stats().Blocks)
+	}
+	for i := 0; i < 2; i++ {
+		s.Get(1) // first block only
+	}
+	if !s.ShouldWarm(2) {
+		t.Fatal("read block not warm")
+	}
+	if s.ShouldWarm(6) || s.ShouldWarm(10) {
+		t.Fatal("unread blocks reported warm")
+	}
+	gotIDs, _, err := s.ExtractLive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != 4 {
+		t.Fatalf("extracted %d rows, want the 4-row block", len(gotIDs))
+	}
+	// Rows in the other blocks stay frozen and live.
+	if _, ok, _ := s.Get(6); !ok {
+		t.Fatal("row in unwarmed block lost")
+	}
+}
+
+func TestCacheEvictionAndCounters(t *testing.T) {
+	s := newTestStore(t)
+	s.CacheBytes = 1 // every load evicts the previous block
 	for b := 0; b < 6; b++ {
 		ids, rows := batch(b*10+1, 5)
-		if _, err := s.Freeze(ids, rows); err != nil {
-			t.Fatal(err)
-		}
+		mustFreeze(t, s, ids, rows)
 	}
-	// Touch all blocks; the cache holds at most cacheCap decompressed.
 	for b := 0; b < 6; b++ {
 		if _, ok, err := s.Get(rel.RowID(b*10 + 1)); !ok || err != nil {
-			t.Fatalf("block %d unreadable", b)
+			t.Fatalf("segment %d unreadable", b)
 		}
 	}
-	cached := 0
-	for _, b := range s.blocks {
-		if b.cache.Load() != nil {
-			cached++
-		}
+	st := s.Stats()
+	if st.CacheMisses != 6 || st.CacheHits != 0 {
+		t.Fatalf("hits=%d misses=%d, want 0/6", st.CacheHits, st.CacheMisses)
 	}
-	if cached > 2 {
-		t.Fatalf("%d blocks cached, cap 2", cached)
-	}
-	// Evicted blocks remain readable (re-decompress).
+	// Evicted blocks remain readable (re-decompress, counted as misses).
 	if _, ok, _ := s.Get(1); !ok {
 		t.Fatal("evicted block unreadable")
+	}
+	if st = s.Stats(); st.CacheMisses != 7 {
+		t.Fatalf("misses = %d after re-read, want 7", st.CacheMisses)
+	}
+	// A roomy cache serves repeats from memory.
+	s2 := newTestStore(t)
+	ids, rows := batch(1, 50)
+	mustFreeze(t, s2, ids, rows)
+	for i := 0; i < 10; i++ {
+		s2.Get(25)
+	}
+	if st := s2.Stats(); st.CacheMisses != 1 || st.CacheHits != 9 {
+		t.Fatalf("hits=%d misses=%d, want 9/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// Compaction merges a full level into one next-level segment, purging
+// tombstoned rows for good; survivors stay readable throughout.
+func TestCompactionMergesAndPurges(t *testing.T) {
+	s := newTestStore(t)
+	s.Fanout = 2
+	s.BlockRows = 8
+	for b := 0; b < 4; b++ {
+		ids, rows := batch(b*100+1, 20)
+		mustFreeze(t, s, ids, rows)
+	}
+	s.MarkDeleted(5)
+	s.MarkDeleted(105)
+	merged, err := s.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("nothing compacted")
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.MaxLevel < 2 || st.Compactions == 0 || st.CompactBytes <= 0 {
+		t.Fatalf("post-compaction stats = %+v", st)
+	}
+	// Purged rows gone, survivors intact, order preserved.
+	var seen []rel.RowID
+	s.ScanLive(func(rid rel.RowID, _ rel.Row) bool { seen = append(seen, rid); return true })
+	if len(seen) != 78 {
+		t.Fatalf("%d live rows after compaction, want 78", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatal("compacted scan out of rid order")
+		}
+	}
+	for _, rid := range []rel.RowID{5, 105} {
+		if _, ok, _ := s.Get(rid); ok {
+			t.Fatalf("purged rid %d still visible", rid)
+		}
+	}
+	if row, ok, _ := s.Get(301); !ok || row[0].I != 301 {
+		t.Fatal("survivor lost in merge")
+	}
+	// Deletes keep working against the merged segment.
+	if ok, err := s.MarkDeleted(301); err != nil || !ok {
+		t.Fatalf("delete after compaction = (%v,%v)", ok, err)
+	}
+	if _, ok, _ := s.Get(301); ok {
+		t.Fatal("post-compaction tombstone ignored")
+	}
+}
+
+// A merge whose inputs are fully tombstoned produces no output segment.
+func TestCompactionDropsAllDeadInputs(t *testing.T) {
+	s := newTestStore(t)
+	s.Fanout = 2
+	for b := 0; b < 2; b++ {
+		ids, rows := batch(b*10+1, 3)
+		mustFreeze(t, s, ids, rows)
+		for _, id := range ids {
+			s.MarkDeleted(id)
+		}
+	}
+	if _, err := s.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.NumSegments(); n != 0 {
+		t.Fatalf("%d segments of pure tombstones survive", n)
+	}
+}
+
+// The flat ablation (DisableColdCompaction) reproduces the old frozen
+// tier: one whole-batch block per segment, no bloom or zones, no merging.
+func TestFlatAblation(t *testing.T) {
+	s := newTestStore(t)
+	s.Flat = true
+	s.BlockRows = 4 // ignored when flat
+	for b := 0; b < 5; b++ {
+		ids, rows := batch(b*100+1, 20)
+		mustFreeze(t, s, ids, rows)
+	}
+	st := s.Stats()
+	if st.Segments != 5 || st.Blocks != 5 {
+		t.Fatalf("flat stats = %+v, want one block per segment", st)
+	}
+	if n, err := s.CompactAll(); err != nil || n != 0 {
+		t.Fatalf("flat compaction = (%d,%v), want no-op", n, err)
+	}
+	if row, ok, _ := s.Get(215); !ok || row[0].I != 215 {
+		t.Fatal("flat segment unreadable")
+	}
+	if _, ok, _ := s.Get(50); ok {
+		t.Fatal("gap rid found")
+	}
+	if st := s.Stats(); st.BloomNegatives != 0 {
+		t.Fatalf("flat store reported %d bloom negatives", st.BloomNegatives)
 	}
 }
 
@@ -254,12 +471,88 @@ func TestCompressionActuallyShrinks(t *testing.T) {
 		ids[i] = rel.RowID(i + 1)
 		rows[i] = rel.Row{rel.Int(int64(i)), rel.Str("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")}
 	}
-	if _, err := s.Freeze(ids, rows); err != nil {
-		t.Fatal(err)
-	}
+	mustFreeze(t, s, ids, rows)
 	rawEstimate := int64(n * (8 + 40))
 	if s.CompressedBytes() >= rawEstimate/2 {
 		t.Fatalf("compressed %d bytes, raw estimate %d: compression ineffective", s.CompressedBytes(), rawEstimate)
+	}
+}
+
+// VerifySegmentBytes must accept every segment the store writes and
+// reject any single-byte corruption of it.
+func TestVerifySegmentBytes(t *testing.T) {
+	bf, err := storage.OpenBlockFile(filepath.Join(t.TempDir(), "frozen.blocks"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	s := NewStore(bf, testSchema())
+	s.BlockRows = 8
+	ids, rows := batch(1, 30)
+	if err := s.Freeze(ids, rows); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Export()[0]
+	data, err := bf.ReadBlock(m.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySegmentBytes(data, m); err != nil {
+		t.Fatalf("pristine segment rejected: %v", err)
+	}
+	for _, off := range []int{0, 10, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0xFF
+		if VerifySegmentBytes(bad, m) == nil {
+			t.Fatalf("corruption at byte %d undetected", off)
+		}
+	}
+	short := m
+	short.NumRows++
+	if VerifySegmentBytes(data, short) == nil {
+		t.Fatal("manifest/header row-count disagreement undetected")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Epoch: 7,
+		Tables: []TableManifest{
+			{Table: "kv", Segments: []SegmentMeta{
+				{Level: 1, FirstRID: 1, LastRID: 90, NumRows: 80,
+					Ref: storage.BlockRef{Offset: 8, Len: 4096}, HeaderLen: 128, CRC: 0xDEAD,
+					Deleted: []rel.RowID{4, 17}},
+				{Level: 0, Flat: true, FirstRID: 100, LastRID: 120, NumRows: 21,
+					Ref: storage.BlockRef{Offset: 4104, Len: 512}, HeaderLen: 64, CRC: 0xBEEF},
+			}},
+			{Table: "empty"},
+		},
+	}
+	data := EncodeManifest(m)
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", m) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	for _, off := range []int{0, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, err := DecodeManifest(bad); err == nil {
+			t.Fatalf("manifest corruption at byte %d undetected", off)
+		}
+	}
+	if _, err := DecodeManifest(data[:3]); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+	// Out-of-order segments rejected.
+	bad := &Manifest{Tables: []TableManifest{{Table: "t", Segments: []SegmentMeta{
+		{FirstRID: 100, LastRID: 200, NumRows: 1, Ref: storage.BlockRef{Len: 1}, HeaderLen: 1},
+		{FirstRID: 1, LastRID: 50, NumRows: 1, Ref: storage.BlockRef{Len: 1}, HeaderLen: 1},
+	}}}}
+	if _, err := DecodeManifest(EncodeManifest(bad)); err == nil {
+		t.Fatal("out-of-order manifest accepted")
 	}
 }
 

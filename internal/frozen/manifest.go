@@ -1,0 +1,206 @@
+package frozen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+)
+
+// The cold manifest is the durable segment directory: one record per
+// table naming every live segment (location, level, row range, header
+// length, whole-segment CRC) plus its persisted tombstones. Manifests are
+// immutable, epoch-named files (cold.manifest.<epoch>) written inside the
+// checkpoint quiesce window; the checkpoint image records the epoch and
+// CRC, so the checkpoint's atomic rename is also the manifest swap commit
+// point. Superseded segments stay in the append-only block file, which is
+// what makes crash recovery trivial: whatever epoch the surviving
+// checkpoint names is fully intact.
+const (
+	manifestMagic   uint32 = 0x50434D31 // "PCM1"
+	manifestVersion uint32 = 1
+)
+
+// ManifestFileName returns the file name for a manifest epoch.
+func ManifestFileName(epoch uint64) string {
+	return fmt.Sprintf("cold.manifest.%d", epoch)
+}
+
+// SegmentMeta is one segment's manifest record.
+type SegmentMeta struct {
+	Level     int
+	Flat      bool
+	FirstRID  rel.RowID
+	LastRID   rel.RowID
+	NumRows   int
+	Ref       storage.BlockRef
+	HeaderLen int
+	CRC       uint32 // crc32 (IEEE) of the full segment bytes
+	Deleted   []rel.RowID
+}
+
+// TableManifest is one table's segment list, keyed by table name (stable
+// across restarts, unlike numeric table ids).
+type TableManifest struct {
+	Table    string
+	Segments []SegmentMeta
+}
+
+// Manifest is a full cold-tier directory snapshot.
+type Manifest struct {
+	Epoch  uint64
+	Tables []TableManifest
+}
+
+// EncodeManifest serializes m with a crc32 trailer.
+func EncodeManifest(m *Manifest) []byte {
+	var out []byte
+	var b8 [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		out = append(out, b8[:4]...)
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
+	putU32(manifestMagic)
+	putU32(manifestVersion)
+	putU64(m.Epoch)
+	putU32(uint32(len(m.Tables)))
+	for _, t := range m.Tables {
+		putU32(uint32(len(t.Table)))
+		out = append(out, t.Table...)
+		putU32(uint32(len(t.Segments)))
+		for _, s := range t.Segments {
+			putU32(uint32(s.Level))
+			if s.Flat {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			putU64(uint64(s.FirstRID))
+			putU64(uint64(s.LastRID))
+			putU32(uint32(s.NumRows))
+			putU64(uint64(s.Ref.Offset))
+			putU32(uint32(s.Ref.Len))
+			putU32(uint32(s.HeaderLen))
+			putU32(s.CRC)
+			putU32(uint32(len(s.Deleted)))
+			for _, rid := range s.Deleted {
+				putU64(uint64(rid))
+			}
+		}
+	}
+	putU32(crc32.ChecksumIEEE(out))
+	return out
+}
+
+// DecodeManifest parses and CRC-checks a manifest image.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("frozen: truncated manifest")
+	}
+	body := data[:len(data)-4]
+	if got := crc32.ChecksumIEEE(body); got != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, fmt.Errorf("frozen: manifest CRC mismatch")
+	}
+	buf := body
+	fail := func(what string) error { return fmt.Errorf("frozen: truncated manifest: %s", what) }
+	u32 := func() (uint32, bool) {
+		if len(buf) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[:4])
+		buf = buf[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(buf) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[:8])
+		buf = buf[8:]
+		return v, true
+	}
+	magic, ok := u32()
+	if !ok || magic != manifestMagic {
+		return nil, fmt.Errorf("frozen: bad manifest magic")
+	}
+	ver, ok := u32()
+	if !ok || ver != manifestVersion {
+		return nil, fmt.Errorf("frozen: unsupported manifest version %d", ver)
+	}
+	m := &Manifest{}
+	var ok2 bool
+	if m.Epoch, ok2 = u64(); !ok2 {
+		return nil, fail("epoch")
+	}
+	nt, ok := u32()
+	if !ok || nt > 1<<20 {
+		return nil, fail("table count")
+	}
+	for ti := uint32(0); ti < nt; ti++ {
+		nameLen, ok := u32()
+		if !ok || int(nameLen) > len(buf) {
+			return nil, fail("table name")
+		}
+		t := TableManifest{Table: string(buf[:nameLen])}
+		buf = buf[nameLen:]
+		ns, ok := u32()
+		if !ok || ns > 1<<24 {
+			return nil, fail("segment count")
+		}
+		for si := uint32(0); si < ns; si++ {
+			var s SegmentMeta
+			lv, ok := u32()
+			if !ok || len(buf) < 1 {
+				return nil, fail("segment level")
+			}
+			s.Level = int(lv)
+			s.Flat = buf[0] == 1
+			buf = buf[1:]
+			first, ok1 := u64()
+			last, ok2 := u64()
+			nr, ok3 := u32()
+			off, ok4 := u64()
+			rlen, ok5 := u32()
+			hlen, ok6 := u32()
+			crc, ok7 := u32()
+			nd, ok8 := u32()
+			if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
+				return nil, fail("segment record")
+			}
+			s.FirstRID = rel.RowID(first)
+			s.LastRID = rel.RowID(last)
+			s.NumRows = int(nr)
+			s.Ref = storage.BlockRef{Offset: int64(off), Len: int32(rlen)}
+			s.HeaderLen = int(hlen)
+			s.CRC = crc
+			if s.FirstRID > s.LastRID || s.NumRows < 0 || s.Ref.Len < 0 || s.HeaderLen <= 0 {
+				return nil, fmt.Errorf("frozen: manifest segment record invalid")
+			}
+			if nd > 1<<24 || len(buf) < int(nd)*8 {
+				return nil, fail("tombstones")
+			}
+			for di := uint32(0); di < nd; di++ {
+				rid, _ := u64()
+				s.Deleted = append(s.Deleted, rel.RowID(rid))
+			}
+			t.Segments = append(t.Segments, s)
+		}
+		if !sort.SliceIsSorted(t.Segments, func(i, j int) bool {
+			return t.Segments[i].FirstRID < t.Segments[j].FirstRID
+		}) {
+			return nil, fmt.Errorf("frozen: manifest segments out of rid order for table %q", t.Table)
+		}
+		m.Tables = append(m.Tables, t)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("frozen: %d trailing manifest bytes", len(buf))
+	}
+	return m, nil
+}

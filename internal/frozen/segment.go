@@ -1,0 +1,571 @@
+package frozen
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"phoebedb/internal/pax"
+	"phoebedb/internal/rel"
+	"phoebedb/internal/storage"
+)
+
+// Segment on-disk format ("PCS1"): a self-describing run of sorted cold
+// rows stored as independently compressed column-strip blocks.
+//
+//	magic u32 | version u32 | level u32 | flags u8 | numRows u32 | numBlocks u32
+//	per block: firstRID u64 | lastRID u64 | numRows u32 | rawLen u32 | compOff u32 | compLen u32
+//	bloomPresent u8 [ bloom: hashes u32, numWords u32, words u64[] ]
+//	zonesPresent u8 [ numZones u16, per zone: col u16, kind u8, min u64, max u64 ]
+//	headerCRC u32
+//	body: concatenated DEFLATE blocks, each raw = count u32, ids u64[], pax image
+//
+// compOff is relative to the body start (header end), so a point read
+// issues one small sub-range read of exactly the block it needs. The
+// header CRC covers everything before it; the whole-segment CRC recorded
+// in the manifest covers header+body and is what backup verification
+// checks.
+const (
+	segmentMagic   uint32 = 0x50435331 // "PCS1"
+	segmentVersion uint32 = 1
+
+	segFlagFlat byte = 1 << 0 // flat ablation segment: one block, no bloom/zones
+)
+
+// DefaultBlockRows is the row count per compressed block inside a segment:
+// small enough that a point read decompresses a few tens of KB, large
+// enough that flate still finds redundancy and scans amortize the per-
+// block directory walk.
+const DefaultBlockRows = 512
+
+// DefaultFanout is the per-level segment count that triggers a merge into
+// the next level.
+const DefaultFanout = 4
+
+func errTruncated(what string) error {
+	return fmt.Errorf("frozen: truncated segment: %s", what)
+}
+
+// zone is a per-column-strip min/max summary. Only fixed-width columns
+// carry zones; min/max hold the raw 8-byte minipage encoding interpreted
+// by kind.
+type zone struct {
+	col  uint16
+	kind rel.Type
+	min  uint64
+	max  uint64
+}
+
+// prunes reports whether the predicate provably rejects every row whose
+// column value lies within the zone.
+func (z zone) prunes(p rel.ColPred) bool {
+	switch z.kind {
+	case rel.TInt64:
+		if p.Val.Kind != rel.TInt64 {
+			return false
+		}
+		return prunesOrdered(int64(z.min), int64(z.max), p.Val.I, p.Op)
+	case rel.TFloat64:
+		if p.Val.Kind != rel.TFloat64 {
+			return false
+		}
+		return prunesOrdered(math.Float64frombits(z.min), math.Float64frombits(z.max), p.Val.F, p.Op)
+	}
+	return false
+}
+
+func prunesOrdered[T int64 | float64](min, max, v T, op rel.CmpOp) bool {
+	switch op {
+	case rel.CmpEq:
+		return v < min || v > max
+	case rel.CmpNe:
+		return min == v && max == v
+	case rel.CmpLt:
+		return min >= v
+	case rel.CmpLe:
+		return min > v
+	case rel.CmpGt:
+		return max <= v
+	case rel.CmpGe:
+		return max < v
+	}
+	return false
+}
+
+// zonesPrune reports whether any predicate alone rejects the whole zone
+// range (predicates are conjunctive).
+func zonesPrune(zones []zone, preds []rel.ColPred) bool {
+	if len(zones) == 0 || len(preds) == 0 {
+		return false
+	}
+	for _, p := range preds {
+		for _, z := range zones {
+			if int(z.col) == p.Col && z.prunes(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// segBlock is one compressed block's directory entry.
+type segBlock struct {
+	firstRID rel.RowID
+	lastRID  rel.RowID
+	numRows  uint32
+	rawLen   uint32
+	compOff  uint32
+	compLen  uint32
+}
+
+// segment is an immutable on-disk run plus its mutable read-side state
+// (tombstones, per-block warm counters).
+type segment struct {
+	firstRID  rel.RowID
+	lastRID   rel.RowID
+	numRows   int
+	level     int
+	flat      bool
+	ref       storage.BlockRef // whole segment: header + body
+	headerLen int
+	crc       uint32 // whole-segment CRC (manifest / backup verification)
+	blocks    []segBlock
+	filter    *bloom
+	zones     []zone
+
+	reads []atomic.Uint32 // per block, drives warming
+
+	mu      sync.Mutex
+	deleted map[rel.RowID]bool
+}
+
+// blockFor locates the block holding rid, or -1.
+func (g *segment) blockFor(rid rel.RowID) int {
+	lo, hi := 0, len(g.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.blocks[mid].lastRID < rid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(g.blocks) || g.blocks[lo].firstRID > rid {
+		return -1
+	}
+	return lo
+}
+
+// bodyRef returns the sub-range BlockRef of block i's compressed bytes.
+func (g *segment) bodyRef(i int) storage.BlockRef {
+	b := g.blocks[i]
+	return storage.BlockRef{
+		Offset: g.ref.Offset + int64(g.headerLen) + int64(b.compOff),
+		Len:    int32(b.compLen),
+	}
+}
+
+// --- Builder -----------------------------------------------------------------
+
+// segmentBuilder accumulates rows in rid order and emits one encoded
+// segment: blocks are cut every blockRows rows, each compressed
+// independently; bloom and zone summaries accumulate across all rows.
+type segmentBuilder struct {
+	schema    *rel.Schema
+	level     int
+	flat      bool
+	blockRows int
+
+	ids    []rel.RowID // all rids, for the bloom filter
+	blocks []segBlock
+	body   bytes.Buffer
+
+	curIDs  []rel.RowID
+	curPage *pax.Page
+
+	zones    []zone
+	zoneInit bool
+	rawTotal int64
+}
+
+func newSegmentBuilder(schema *rel.Schema, level int, flat bool, blockRows int) *segmentBuilder {
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	return &segmentBuilder{schema: schema, level: level, flat: flat, blockRows: blockRows}
+}
+
+func (sb *segmentBuilder) add(id rel.RowID, row rel.Row) error {
+	if n := len(sb.ids); n > 0 && id <= sb.ids[n-1] {
+		return fmt.Errorf("frozen: row_ids not ascending (%d after %d)", id, sb.ids[n-1])
+	}
+	if sb.curPage == nil {
+		sb.curPage = pax.NewPage(sb.schema, sb.blockRows)
+		sb.curIDs = sb.curIDs[:0]
+	}
+	if _, err := sb.curPage.Append(row); err != nil {
+		return err
+	}
+	sb.curIDs = append(sb.curIDs, id)
+	sb.ids = append(sb.ids, id)
+	if !sb.flat {
+		sb.foldZones(row)
+	}
+	if !sb.flat && sb.curPage.Len() >= sb.blockRows {
+		return sb.flushBlock()
+	}
+	return nil
+}
+
+func (sb *segmentBuilder) foldZones(row rel.Row) {
+	if !sb.zoneInit {
+		sb.zoneInit = true
+		for ci, c := range sb.schema.Cols {
+			if c.Type.FixedWidth() <= 0 {
+				continue
+			}
+			sb.zones = append(sb.zones, zone{col: uint16(ci), kind: c.Type, min: rawBits(row[ci]), max: rawBits(row[ci])})
+		}
+		return
+	}
+	for i := range sb.zones {
+		z := &sb.zones[i]
+		v := rawBits(row[int(z.col)])
+		if zoneLess(z.kind, v, z.min) {
+			z.min = v
+		}
+		if zoneLess(z.kind, z.max, v) {
+			z.max = v
+		}
+	}
+}
+
+func rawBits(v rel.Value) uint64 {
+	if v.Kind == rel.TFloat64 {
+		return math.Float64bits(v.F)
+	}
+	return uint64(v.I)
+}
+
+func zoneLess(kind rel.Type, a, b uint64) bool {
+	if kind == rel.TFloat64 {
+		return math.Float64frombits(a) < math.Float64frombits(b)
+	}
+	return int64(a) < int64(b)
+}
+
+func (sb *segmentBuilder) flushBlock() error {
+	if sb.curPage == nil || sb.curPage.Len() == 0 {
+		return nil
+	}
+	n := sb.curPage.Len()
+	raw := make([]byte, 0, 4+8*n+sb.curPage.SerializedSize())
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(n))
+	raw = append(raw, b8[:4]...)
+	for _, id := range sb.curIDs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(id))
+		raw = append(raw, b8[:]...)
+	}
+	raw = sb.curPage.Serialize(raw)
+
+	compOff := sb.body.Len()
+	fw, err := flate.NewWriter(&sb.body, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	sb.rawTotal += int64(len(raw))
+	sb.blocks = append(sb.blocks, segBlock{
+		firstRID: sb.curIDs[0],
+		lastRID:  sb.curIDs[n-1],
+		numRows:  uint32(n),
+		rawLen:   uint32(len(raw)),
+		compOff:  uint32(compOff),
+		compLen:  uint32(sb.body.Len() - compOff),
+	})
+	sb.curPage = nil
+	sb.curIDs = nil
+	return nil
+}
+
+// finish encodes the full segment. Returns the segment bytes and the
+// header length (everything before the block body).
+func (sb *segmentBuilder) finish() (data []byte, headerLen int, err error) {
+	if err := sb.flushBlock(); err != nil {
+		return nil, 0, err
+	}
+	if len(sb.ids) == 0 {
+		return nil, 0, fmt.Errorf("frozen: empty segment")
+	}
+
+	var hdr []byte
+	var b8 [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		hdr = append(hdr, b8[:4]...)
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		hdr = append(hdr, b8[:]...)
+	}
+	putU32(segmentMagic)
+	putU32(segmentVersion)
+	putU32(uint32(sb.level))
+	var flags byte
+	if sb.flat {
+		flags |= segFlagFlat
+	}
+	hdr = append(hdr, flags)
+	putU32(uint32(len(sb.ids)))
+	putU32(uint32(len(sb.blocks)))
+	for _, b := range sb.blocks {
+		putU64(uint64(b.firstRID))
+		putU64(uint64(b.lastRID))
+		putU32(b.numRows)
+		putU32(b.rawLen)
+		putU32(b.compOff)
+		putU32(b.compLen)
+	}
+	if sb.flat {
+		hdr = append(hdr, 0, 0) // no bloom, no zones
+	} else {
+		hdr = append(hdr, 1)
+		bl := newBloom(len(sb.ids))
+		for _, id := range sb.ids {
+			bl.add(uint64(id))
+		}
+		hdr = bl.encode(hdr)
+		hdr = append(hdr, 1)
+		binary.LittleEndian.PutUint16(b8[:2], uint16(len(sb.zones)))
+		hdr = append(hdr, b8[:2]...)
+		for _, z := range sb.zones {
+			binary.LittleEndian.PutUint16(b8[:2], z.col)
+			hdr = append(hdr, b8[:2]...)
+			hdr = append(hdr, byte(z.kind))
+			putU64(z.min)
+			putU64(z.max)
+		}
+	}
+	putU32(crc32.ChecksumIEEE(hdr))
+	headerLen = len(hdr)
+	return append(hdr, sb.body.Bytes()...), headerLen, nil
+}
+
+// decodeSegmentHeader parses a segment header (hdr must be exactly the
+// header bytes, CRC trailer included).
+func decodeSegmentHeader(hdr []byte) (*segment, error) {
+	if len(hdr) < 4 {
+		return nil, errTruncated("header")
+	}
+	if got := crc32.ChecksumIEEE(hdr[:len(hdr)-4]); got != binary.LittleEndian.Uint32(hdr[len(hdr)-4:]) {
+		return nil, fmt.Errorf("frozen: segment header CRC mismatch")
+	}
+	buf := hdr[:len(hdr)-4]
+	need := func(n int) error {
+		if len(buf) < n {
+			return errTruncated("header field")
+		}
+		return nil
+	}
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(buf[:4])
+		buf = buf[4:]
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(buf[:8])
+		buf = buf[8:]
+		return v
+	}
+	if err := need(4 + 4 + 4 + 1 + 4 + 4); err != nil {
+		return nil, err
+	}
+	if u32() != segmentMagic {
+		return nil, fmt.Errorf("frozen: bad segment magic")
+	}
+	if v := u32(); v != segmentVersion {
+		return nil, fmt.Errorf("frozen: unsupported segment version %d", v)
+	}
+	g := &segment{deleted: make(map[rel.RowID]bool)}
+	g.level = int(u32())
+	flags := buf[0]
+	buf = buf[1:]
+	g.flat = flags&segFlagFlat != 0
+	g.numRows = int(u32())
+	nb := int(u32())
+	if nb <= 0 || nb > 1<<20 {
+		return nil, fmt.Errorf("frozen: bad segment block count %d", nb)
+	}
+	if err := need(nb * 32); err != nil {
+		return nil, err
+	}
+	g.blocks = make([]segBlock, nb)
+	for i := range g.blocks {
+		b := &g.blocks[i]
+		b.firstRID = rel.RowID(u64())
+		b.lastRID = rel.RowID(u64())
+		b.numRows = u32()
+		b.rawLen = u32()
+		b.compOff = u32()
+		b.compLen = u32()
+	}
+	g.firstRID = g.blocks[0].firstRID
+	g.lastRID = g.blocks[nb-1].lastRID
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	hasBloom := buf[0] == 1
+	buf = buf[1:]
+	if hasBloom {
+		var err error
+		g.filter, buf, err = decodeBloom(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	hasZones := buf[0] == 1
+	buf = buf[1:]
+	if hasZones {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		nz := int(binary.LittleEndian.Uint16(buf[:2]))
+		buf = buf[2:]
+		if err := need(nz * 19); err != nil {
+			return nil, err
+		}
+		g.zones = make([]zone, nz)
+		for i := range g.zones {
+			g.zones[i].col = binary.LittleEndian.Uint16(buf[:2])
+			buf = buf[2:]
+			g.zones[i].kind = rel.Type(buf[0])
+			buf = buf[1:]
+			g.zones[i].min = u64()
+			g.zones[i].max = u64()
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("frozen: %d trailing header bytes", len(buf))
+	}
+	g.reads = make([]atomic.Uint32, nb)
+	return g, nil
+}
+
+// decompressBlock expands one compressed block into (ids, page).
+func decompressBlock(schema *rel.Schema, comp []byte, wantRaw uint32) ([]rel.RowID, *pax.Page, error) {
+	raw, err := io.ReadAll(flate.NewReader(bytes.NewReader(comp)))
+	if err != nil {
+		return nil, nil, fmt.Errorf("frozen: decompress block: %w", err)
+	}
+	if wantRaw != 0 && uint32(len(raw)) != wantRaw {
+		return nil, nil, fmt.Errorf("frozen: block raw length %d, want %d", len(raw), wantRaw)
+	}
+	if len(raw) < 4 {
+		return nil, nil, errTruncated("block row count")
+	}
+	n := int(binary.LittleEndian.Uint32(raw[:4]))
+	off := 4
+	if n < 0 || len(raw) < off+8*n {
+		return nil, nil, errTruncated("block ids")
+	}
+	ids := make([]rel.RowID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = rel.RowID(binary.LittleEndian.Uint64(raw[off:]))
+		off += 8
+	}
+	if schema == nil {
+		return ids, nil, nil
+	}
+	page, err := pax.Deserialize(schema, maxInt(n, 1), raw[off:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if page.Len() != n {
+		return nil, nil, fmt.Errorf("frozen: block pax rows %d, ids %d", page.Len(), n)
+	}
+	return ids, page, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// VerifySegmentBytes checks a raw segment image against its manifest
+// record without needing the table schema: whole-segment CRC, header CRC
+// and shape, block directory ordering, per-block decompression, row-id
+// ordering, and bloom membership of every stored row id. Used by backup
+// verification.
+func VerifySegmentBytes(data []byte, m SegmentMeta) error {
+	if int64(len(data)) != int64(m.Ref.Len) {
+		return fmt.Errorf("frozen: segment length %d, manifest says %d", len(data), m.Ref.Len)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != m.CRC {
+		return fmt.Errorf("frozen: segment CRC %#x, manifest says %#x", crc, m.CRC)
+	}
+	if m.HeaderLen <= 0 || m.HeaderLen > len(data) {
+		return fmt.Errorf("frozen: bad manifest header length %d", m.HeaderLen)
+	}
+	g, err := decodeSegmentHeader(data[:m.HeaderLen])
+	if err != nil {
+		return err
+	}
+	if g.firstRID != m.FirstRID || g.lastRID != m.LastRID || g.numRows != m.NumRows ||
+		g.level != m.Level || g.flat != m.Flat {
+		return fmt.Errorf("frozen: segment header disagrees with manifest record")
+	}
+	body := data[m.HeaderLen:]
+	total := 0
+	var prev rel.RowID
+	for i, b := range g.blocks {
+		if b.firstRID > b.lastRID || (i > 0 && b.firstRID <= prev) {
+			return fmt.Errorf("frozen: block %d rid range out of order", i)
+		}
+		prev = b.lastRID
+		if int64(b.compOff)+int64(b.compLen) > int64(len(body)) {
+			return fmt.Errorf("frozen: block %d overruns segment body", i)
+		}
+		ids, _, err := decompressBlock(nil, body[b.compOff:b.compOff+b.compLen], b.rawLen)
+		if err != nil {
+			return fmt.Errorf("frozen: block %d: %w", i, err)
+		}
+		if len(ids) != int(b.numRows) {
+			return fmt.Errorf("frozen: block %d has %d rows, directory says %d", i, len(ids), b.numRows)
+		}
+		for j, id := range ids {
+			if id < b.firstRID || id > b.lastRID || (j > 0 && id <= ids[j-1]) {
+				return fmt.Errorf("frozen: block %d row id %d out of order/range", i, id)
+			}
+			if g.filter != nil && !g.filter.mayContain(uint64(id)) {
+				return fmt.Errorf("frozen: bloom filter missing row id %d", id)
+			}
+		}
+		total += len(ids)
+	}
+	for _, z := range g.zones {
+		if zoneLess(z.kind, z.max, z.min) {
+			return fmt.Errorf("frozen: zone map for col %d has min > max", z.col)
+		}
+	}
+	if total != g.numRows {
+		return fmt.Errorf("frozen: segment rows %d, header says %d", total, g.numRows)
+	}
+	return nil
+}

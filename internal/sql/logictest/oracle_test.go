@@ -317,6 +317,11 @@ func (g *gen) next(i int) string {
 
 // TestDifferentialOracle replays a deterministic random workload against
 // the engine and the naive reference, diffing every statement's outcome.
+// Every 200 statements a cold-tier maintenance round runs — garbage
+// collection, freezing, segment compaction, and a warm-queue drain — so
+// the stream keeps reading and writing rows as they migrate between hot
+// pages, L0 segments, and compacted cold levels. The reference knows
+// nothing about temperature, so any divergence is a tiering bug.
 func TestDifferentialOracle(t *testing.T) {
 	const nStatements = 1200
 	db := openDB(t)
@@ -331,10 +336,30 @@ func TestDifferentialOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	e := db.Engine()
+	for _, tbl := range e.Tables() {
+		tbl.Frozen.Fanout = 2 // small stream: compact eagerly
+	}
 	for i := 0; i < nStatements; i++ {
 		stmt := g.next(i)
 		if err := Diff(stmt, db.ExecSQL, ref); err != nil {
 			t.Fatalf("statement %d: %v", i, err)
 		}
+		if i%200 == 199 {
+			e.CollectGarbage()
+			e.CollectGarbage()
+			if _, err := e.FreezeTables(2, ^uint32(0)); err != nil {
+				t.Fatalf("statement %d: freeze: %v", i, err)
+			}
+			if _, err := e.CompactColdAll(); err != nil {
+				t.Fatalf("statement %d: compact: %v", i, err)
+			}
+			if _, err := e.ProcessWarmQueue(0); err != nil {
+				t.Fatalf("statement %d: warm: %v", i, err)
+			}
+		}
+	}
+	if st := e.ColdStats(); st.Segments == 0 || st.Compactions == 0 {
+		t.Fatalf("oracle stream never built a cold tier: %+v", st)
 	}
 }

@@ -37,6 +37,7 @@ import (
 
 	"phoebedb/internal/backup"
 	"phoebedb/internal/core"
+	"phoebedb/internal/frozen"
 	"phoebedb/internal/metrics"
 	"phoebedb/internal/rel"
 	"phoebedb/internal/sched"
@@ -62,6 +63,8 @@ type (
 	Tx = core.Tx
 	// Isolation selects the snapshot isolation level.
 	Isolation = txn.Isolation
+	// ColdStats aggregates cold-tier counters across all tables.
+	ColdStats = frozen.ColdStats
 )
 
 // Column types.
@@ -132,6 +135,13 @@ type Options struct {
 	// minipages: filtered full scans and pushed-down aggregates fall back
 	// to row-at-a-time materialization (the vectorized-scan ablation).
 	DisableVectorizedScan bool
+	// DisableColdCompaction reverts the cold tier to flat frozen blocks:
+	// one whole-batch compressed block per freeze, no bloom filters, zone
+	// maps, or levelled compaction (the levelled-cold-store ablation).
+	DisableColdCompaction bool
+	// ColdCacheBytes bounds the per-table LRU of decompressed cold-segment
+	// blocks (0 = default 4 MiB).
+	ColdCacheBytes int64
 	// PlanCacheSize bounds the prepared-statement plan cache (number of
 	// cached statement shapes per database; default 256, negative
 	// disables caching).
@@ -247,6 +257,8 @@ func Open(opts Options) (*DB, error) {
 		PessimisticIndex:      opts.PessimisticIndex,
 		DisableReadFastPath:   opts.DisableReadFastPath,
 		DisableVectorizedScan: opts.DisableVectorizedScan,
+		DisableColdCompaction: opts.DisableColdCompaction,
+		ColdCacheBytes:        opts.ColdCacheBytes,
 		SlowTxnThreshold:      opts.SlowTxnThreshold,
 		StatsLite:             opts.StatsLite,
 		Waits:                 waits,
@@ -344,11 +356,15 @@ func Open(opts Options) (*DB, error) {
 }
 
 // maintain is the worker duty hook (§7.1): partition page swaps, garbage
-// collection, and frozen-block warming on the system slot.
+// collection, frozen-block warming on the system slot, and one
+// rate-limited cold-compaction merge — at most one segment merge per
+// maintenance round, so background reorganization cannot monopolize a
+// worker that foreground transactions are waiting on.
 func (db *DB) maintain(worker int) {
 	db.engine.MaintainWorker(worker)
 	if db.maintainMu.TryLock() {
 		db.engine.ProcessWarmQueue(db.sysSlot)
+		db.engine.CompactCold()
 		db.maintainMu.Unlock()
 	}
 }
@@ -538,6 +554,20 @@ func (db *DB) Submit(fn func(tx *Tx) error, done chan<- error) error {
 func (db *DB) Freeze(maxPages int, maxHot uint32) (int, error) {
 	return db.engine.FreezeTables(maxPages, maxHot)
 }
+
+// CompactCold runs cold-tier compaction to quiescence: segments merge
+// level by level until no level exceeds its fanout. Benchmarks and tests
+// use it to reach a steady cold layout; the maintenance loop compacts
+// incrementally on its own.
+func (db *DB) CompactCold() (int, error) {
+	db.maintainMu.Lock()
+	defer db.maintainMu.Unlock()
+	return db.engine.CompactColdAll()
+}
+
+// ColdStats sums cold-tier counters (lookups, bloom negatives, cache
+// hits/misses, compactions, write amplification inputs) across tables.
+func (db *DB) ColdStats() ColdStats { return db.engine.ColdStats() }
 
 // ProcessWarmQueue warms read-hot frozen blocks back into hot storage.
 func (db *DB) ProcessWarmQueue() (int, error) {

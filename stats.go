@@ -85,6 +85,28 @@ func buildRegistry(db *DB) *metrics.Registry {
 	reg.Counter("phoebe_sql_sorts_total", "In-memory sorts run for ORDER BY.", db.sqlCounters.Sorts.Load)
 	reg.Counter("phoebe_sql_sort_avoided_total", "ORDER BY queries served directly in index scan order.", db.sqlCounters.SortAvoided.Load)
 
+	cold := func(f func(s ColdStats) int64) func() int64 {
+		return func() int64 { return f(db.engine.ColdStats()) }
+	}
+	reg.Counter("phoebe_cold_lookups_total", "Point reads routed to the cold tier.",
+		cold(func(s ColdStats) int64 { return s.Lookups }))
+	reg.Counter("phoebe_cold_segments_probed_total", "Cold segments whose blocks were actually read for a lookup.",
+		cold(func(s ColdStats) int64 { return s.SegmentsProbed }))
+	reg.Counter("phoebe_cold_bloom_negatives_total", "Cold lookups answered 'absent' by a segment bloom filter without I/O.",
+		cold(func(s ColdStats) int64 { return s.BloomNegatives }))
+	reg.Counter("phoebe_cold_block_cache_hits_total", "Cold block reads served from the decompressed-block LRU.",
+		cold(func(s ColdStats) int64 { return s.CacheHits }))
+	reg.Counter("phoebe_cold_block_cache_misses_total", "Cold block reads that decompressed from disk.",
+		cold(func(s ColdStats) int64 { return s.CacheMisses }))
+	reg.Counter("phoebe_cold_compactions_total", "Cold segment merges completed.",
+		cold(func(s ColdStats) int64 { return s.Compactions }))
+	reg.Counter("phoebe_cold_freeze_bytes_total", "Compressed bytes written by freezing (first cold write).",
+		cold(func(s ColdStats) int64 { return s.FreezeBytes }))
+	reg.Counter("phoebe_cold_compact_bytes_total", "Compressed bytes rewritten by compaction merges.",
+		cold(func(s ColdStats) int64 { return s.CompactBytes }))
+	reg.Gauge("phoebe_cold_segments", "Live cold segments across all tables.",
+		cold(func(s ColdStats) int64 { return s.Segments }))
+
 	reg.Counter("phoebe_gc_runs_total", "Garbage-collection rounds.", st.GCRuns.Load)
 	reg.Counter("phoebe_gc_reclaimed_total", "UNDO records reclaimed by GC.", st.GCReclaimed.Load)
 	reg.Gauge("phoebe_gc_backlog", "Unreclaimed UNDO records across all arenas.", func() int64 {
